@@ -1,0 +1,132 @@
+// CAL — sensor calibration robustness (the paper names "sensor
+// calibration" as a design goal of the standard-cell style): one-point
+// vs two-point calibration across process corners and Monte-Carlo
+// die-to-die variation.
+#include "bench_common.hpp"
+
+#include "analysis/statistics.hpp"
+#include "phys/corners.hpp"
+#include "sensor/presets.hpp"
+#include "sensor/smart_sensor.hpp"
+#include "util/cli.hpp"
+
+#include <cmath>
+#include <iostream>
+
+using namespace stsense;
+
+namespace {
+
+double worst_error(const sensor::SmartTemperatureSensor& s) {
+    double worst = 0.0;
+    for (double t = -50.0; t <= 150.0; t += 20.0) {
+        worst = std::max(worst, std::abs(s.measure(t).temperature_c - t));
+    }
+    return worst;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    bench::banner("CAL",
+                  "one-point vs two-point calibration across corners and "
+                  "Monte-Carlo variation");
+
+    const auto base = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
+    const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.75);
+
+    // Golden-die characterization for the one-point scheme.
+    sensor::SmartTemperatureSensor golden(base, cfg);
+    const double nominal_gain = golden.nominal_gain_c_per_code(0.0, 100.0);
+    std::cout << "golden-die gain: " << util::sci(nominal_gain, 4)
+              << " degC/code\n\n";
+
+    // --- Corners ------------------------------------------------------
+    std::cout << "process corners (worst |error| over -50..150 degC):\n";
+    util::Table ct({"corner", "raw code @27C", "uncal err (degC)",
+                    "1-pt err (degC)", "2-pt err (degC)"});
+    bool corners_ok = true;
+    for (phys::Corner corner : phys::kAllCorners) {
+        const auto tech = phys::apply_corner(base, corner);
+
+        sensor::SmartTemperatureSensor uncal_probe(tech, cfg);
+        // "Uncalibrated": golden die's converter applied to this die.
+        sensor::SmartTemperatureSensor golden_cal(base, cfg);
+        golden_cal.calibrate_two_point(0.0, 100.0);
+        double uncal = 0.0;
+        for (double t = -50.0; t <= 150.0; t += 20.0) {
+            uncal = std::max(uncal, std::abs(golden_cal.convert(
+                                        uncal_probe.raw_code(t)) - t));
+        }
+
+        sensor::SmartTemperatureSensor one(tech, cfg);
+        one.calibrate_one_point(27.0, nominal_gain);
+        sensor::SmartTemperatureSensor two(tech, cfg);
+        two.calibrate_two_point(0.0, 100.0);
+
+        const double e1 = worst_error(one);
+        const double e2 = worst_error(two);
+        corners_ok = corners_ok && e2 < 1.0 && e2 <= e1 + 0.05;
+        ct.add_row({phys::to_string(corner),
+                    std::to_string(uncal_probe.raw_code(27.0)),
+                    util::fixed(uncal, 2), util::fixed(e1, 3), util::fixed(e2, 3)});
+    }
+    std::cout << ct.render();
+
+    // --- Monte-Carlo --------------------------------------------------
+    const int n_dies = cli.get("dies", 50);
+    std::cout << "\nMonte-Carlo over " << n_dies
+              << " dies (vth sigma 15 mV, kp sigma 4 %):\n";
+    phys::VariationSpec spec;
+    util::Rng rng(static_cast<std::uint64_t>(cli.get("seed", 12345)));
+    std::vector<double> err_uncal;
+    std::vector<double> err_one;
+    std::vector<double> err_two;
+    sensor::SmartTemperatureSensor golden_cal(base, cfg);
+    golden_cal.calibrate_two_point(0.0, 100.0);
+    for (int die = 0; die < n_dies; ++die) {
+        const auto tech = phys::sample_variation(base, spec, rng);
+        sensor::SmartTemperatureSensor probe(tech, cfg);
+        double uncal = 0.0;
+        for (double t = -50.0; t <= 150.0; t += 20.0) {
+            uncal = std::max(uncal,
+                             std::abs(golden_cal.convert(probe.raw_code(t)) - t));
+        }
+        err_uncal.push_back(uncal);
+
+        sensor::SmartTemperatureSensor one(tech, cfg);
+        one.calibrate_one_point(27.0, nominal_gain);
+        err_one.push_back(worst_error(one));
+
+        sensor::SmartTemperatureSensor two(tech, cfg);
+        two.calibrate_two_point(0.0, 100.0);
+        err_two.push_back(worst_error(two));
+    }
+
+    util::Table mt({"scheme", "mean err (degC)", "p95 err (degC)", "max err (degC)"});
+    auto add = [&](const char* name, const std::vector<double>& e) {
+        const auto s = analysis::summarize(e);
+        mt.add_row({name, util::fixed(s.mean, 3),
+                    util::fixed(analysis::percentile(e, 95.0), 3),
+                    util::fixed(s.max, 3)});
+    };
+    add("uncalibrated (golden converter)", err_uncal);
+    add("one-point (offset trim)", err_one);
+    add("two-point", err_two);
+    std::cout << mt.render();
+
+    const auto su = analysis::summarize(err_uncal);
+    const auto s1 = analysis::summarize(err_one);
+    const auto s2 = analysis::summarize(err_two);
+
+    bench::ShapeChecks checks;
+    checks.expect("uncalibrated readout is unusable across corners/variation (>2 degC)",
+                  su.max > 2.0);
+    checks.expect("one-point offset trim removes most of the spread",
+                  s1.mean < 0.5 * su.mean);
+    checks.expect("two-point calibration beats one-point",
+                  s2.mean < s1.mean && s2.max <= s1.max + 0.05);
+    checks.expect("two-point keeps every corner within 1 degC", corners_ok);
+    return checks.report();
+}

@@ -1,0 +1,99 @@
+// FIG1 — reproduces Fig. 1 of the paper: the simulated transient output
+// of a five-stage inverter ring oscillator (~1.5 ns window in the paper).
+//
+// Output: an ASCII rendering of the waveform, the measured period /
+// frequency / duty cycle, and a CSV dump for external plotting.
+#include "bench_common.hpp"
+
+#include "phys/technology.hpp"
+#include "ring/analytic.hpp"
+#include "ring/spice_ring.hpp"
+#include "spice/vcd_export.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+#include <iostream>
+
+using namespace stsense;
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    bench::banner("FIG1", "transient output of a 5-stage inverter ring (SPICE engine)");
+
+    const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
+    const double temp_c = cli.get("temp", 27.0);
+    const double ratio = cli.get("ratio", 2.5);
+
+    const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, ratio);
+    const ring::SpiceRingModel model(tech, cfg);
+    const ring::AnalyticRingModel analytic(tech, cfg);
+
+    ring::SpiceRingOptions opt;
+    opt.skip_cycles = 2;
+    opt.measure_cycles = 5;
+    opt.steps_per_period = 400;
+    const auto res = model.simulate(273.15 + temp_c, opt);
+
+    // The paper's figure shows ~1.5 ns; plot a similar window after startup.
+    std::vector<double> t_ps;
+    std::vector<double> v;
+    const double t0 = 2.0 * res.period;
+    const double t1 = t0 + 1.5e-9;
+    for (std::size_t i = 0; i < res.waveform.size(); ++i) {
+        if (res.waveform.time[i] >= t0 && res.waveform.time[i] <= t1) {
+            t_ps.push_back((res.waveform.time[i] - t0) * 1e12);
+            v.push_back(res.waveform.value[i]);
+        }
+    }
+
+    util::PlotOptions popt;
+    popt.width = 72;
+    popt.height = 14;
+    popt.x_label = "time (ps)";
+    popt.y_label = "ring node voltage (V), " + tech.name + " @ " +
+                   util::fixed(temp_c, 1) + " degC";
+    std::cout << util::ascii_plot(t_ps, v, popt) << "\n";
+
+    util::Table table({"quantity", "value"});
+    table.add_row({"period (SPICE)", util::fixed(res.period * 1e12, 2) + " ps"});
+    table.add_row({"period (analytic)",
+                   util::fixed(analytic.period(273.15 + temp_c) * 1e12, 2) + " ps"});
+    table.add_row({"frequency", util::fixed(res.frequency / 1e9, 3) + " GHz"});
+    table.add_row({"duty cycle", util::fixed(res.duty_cycle, 3)});
+    table.add_row({"cycle-to-cycle stddev",
+                   util::fixed(res.period_stddev * 1e15, 1) + " fs"});
+    table.add_row({"cycles measured", std::to_string(res.cycles_measured)});
+    table.add_row({"supply power (metered)",
+                   util::fixed(res.avg_supply_power_w * 1e3, 3) + " mW"});
+    std::cout << table.render();
+
+    const std::string csv_path = cli.get("csv", std::string("fig1_waveform.csv"));
+    util::CsvWriter csv(csv_path);
+    csv.header({"time_ps", "volts"});
+    for (std::size_t i = 0; i < t_ps.size(); ++i) csv.row({t_ps[i], v[i]});
+    const std::string vcd_path = cli.get("vcd", std::string("fig1_waveform.vcd"));
+    spice::export_vcd(vcd_path, std::vector<spice::Trace>{res.waveform});
+    std::cout << "\nwaveform csv: " << csv_path << " (" << csv.rows_written()
+              << " rows); vcd: " << vcd_path << "\n";
+
+    bench::ShapeChecks checks;
+    checks.expect("ring oscillates with a stable period",
+                  res.cycles_measured >= 3 && res.period_stddev < 0.02 * res.period);
+    checks.expect("period is in the sub-ns regime of the paper's figure",
+                  res.period > 50e-12 && res.period < 2e-9);
+    checks.expect("waveform swings (near) rail to rail",
+                  [&] {
+                      double lo = tech.vdd;
+                      double hi = 0.0;
+                      for (double x : v) {
+                          lo = std::min(lo, x);
+                          hi = std::max(hi, x);
+                      }
+                      return lo < 0.15 * tech.vdd && hi > 0.85 * tech.vdd;
+                  }());
+    checks.expect("SPICE and analytic periods agree within 2x",
+                  res.period / analytic.period(273.15 + temp_c) > 0.5 &&
+                      res.period / analytic.period(273.15 + temp_c) < 2.0);
+    return checks.report();
+}

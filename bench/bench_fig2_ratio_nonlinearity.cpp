@@ -1,0 +1,103 @@
+// FIG2 — reproduces Fig. 2 of the paper: non-linearity error of the
+// 5-inverter ring's period over -50..150 degC for the Wp/Wn family
+// {1.75, 2.25, 3, 4}, plus the fine sweep behind the paper's "< 0.2%
+// with an adequate ratio" claim.
+#include "bench_common.hpp"
+
+#include "analysis/nonlinearity.hpp"
+#include "ring/analytic.hpp"
+#include "ring/sweep.hpp"
+#include "sensor/optimizer.hpp"
+#include "sensor/presets.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+#include <iostream>
+#include <map>
+
+using namespace stsense;
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    bench::banner("FIG2",
+                  "non-linearity error vs temperature for Wp/Wn in {1.75, 2.25, 3, 4}");
+
+    const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
+    const auto grid = ring::paper_temperature_grid_c();
+
+    // Per-temperature error series for each ratio (the figure's curves).
+    std::vector<std::vector<double>> error_series;
+    std::vector<std::string> names;
+    std::map<double, double> max_nl;
+    for (double r : sensor::presets::kFig2Ratios) {
+        const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, r);
+        const auto sw = ring::paper_sweep(tech, cfg);
+        const auto nl = analysis::nonlinearity(sw.temps_c, sw.period_s);
+        error_series.push_back(nl.error_percent);
+        names.push_back("Wp/Wn=" + util::fixed(r, 2));
+        max_nl[r] = nl.max_abs_percent;
+    }
+
+    util::PlotOptions popt;
+    popt.width = 68;
+    popt.height = 14;
+    popt.x_label = "temperature (degC)";
+    popt.y_label = "non-linearity error (% of full scale), " + tech.name;
+    std::cout << util::ascii_plot_multi(grid, error_series, names, popt) << "\n";
+
+    util::Table table({"Wp/Wn", "max |NL| (%)", "period @27C (ps)", "sensitivity (%/K)"});
+    for (double r : sensor::presets::kFig2Ratios) {
+        const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, r);
+        const ring::AnalyticRingModel m(tech, cfg);
+        const double p27 = m.period(300.15);
+        table.add_row({util::fixed(r, 2), util::fixed(max_nl[r], 4),
+                       util::fixed(p27 * 1e12, 1),
+                       util::fixed(100.0 * m.sensitivity(300.15) / p27, 4)});
+    }
+    std::cout << table.render();
+
+    // Fine ratio sweep + continuous optimum (the "< 0.2 %" claim).
+    std::cout << "\nfine ratio sweep (claim: adequate ratio pushes max |NL| below 0.2 %):\n";
+    std::vector<double> fine;
+    for (double r = 1.0; r <= 5.0 + 1e-9; r += 0.25) fine.push_back(r);
+    const auto pts = sensor::ratio_sweep(tech, cells::CellKind::Inv, 5, fine);
+    util::Table ftable({"Wp/Wn", "max |NL| (%)"});
+    for (const auto& p : pts) {
+        ftable.add_row({util::fixed(p.ratio, 2), util::fixed(p.max_nl_percent, 4)});
+    }
+    std::cout << ftable.render();
+
+    const auto opt = sensor::optimize_ratio(tech, cells::CellKind::Inv, 5, 1.0, 5.0);
+    std::cout << "\ngolden-section optimum: Wp/Wn = " << util::fixed(opt.ratio, 3)
+              << ", max |NL| = " << util::fixed(opt.max_nl_percent, 4) << " % ("
+              << opt.evaluations << " evaluations)\n";
+
+    const std::string csv_path = cli.get("csv", std::string("fig2_ratio_nl.csv"));
+    util::CsvWriter csv(csv_path);
+    csv.header({"temp_c", "err_r175", "err_r225", "err_r300", "err_r400"});
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        csv.row({grid[i], error_series[0][i], error_series[1][i], error_series[2][i],
+                 error_series[3][i]});
+    }
+    std::cout << "error-series csv: " << csv_path << "\n";
+
+    bench::ShapeChecks checks;
+    checks.expect("optimum ratio achieves max |NL| < 0.2 % (paper Sec. 2 claim)",
+                  opt.max_nl_percent < 0.2);
+    checks.expect("best family member is an interior ratio (2.25 or 3), not an extreme",
+                  std::min(max_nl[2.25], max_nl[3.0]) <
+                      std::min(max_nl[1.75], max_nl[4.0]));
+    checks.expect("r=3 beats r=1.75 and r=4 (figure ordering)",
+                  max_nl[3.0] < max_nl[1.75] && max_nl[3.0] < max_nl[4.0]);
+    checks.expect("errors stay within the figure's +-1 % band",
+                  [&] {
+                      for (const auto& s : error_series) {
+                          for (double e : s) {
+                              if (std::abs(e) > 1.0) return false;
+                          }
+                      }
+                      return true;
+                  }());
+    return checks.report();
+}

@@ -1,0 +1,111 @@
+// FIG3 — reproduces Fig. 3 of the paper: non-linearity error of 5-stage
+// rings built from *stock standard cells* at the library Wp/Wn ratio
+// (the paper's core cell-based optimization), plus the exhaustive
+// enumeration of all stock-cell mixes.
+#include "bench_common.hpp"
+
+#include "analysis/nonlinearity.hpp"
+#include "ring/analytic.hpp"
+#include "ring/sweep.hpp"
+#include "sensor/optimizer.hpp"
+#include "sensor/presets.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+#include <iostream>
+
+using namespace stsense;
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    bench::banner("FIG3",
+                  "non-linearity error for different cell-mix ring configurations "
+                  "(library ratio, stock cells only)");
+
+    const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
+    const auto grid = ring::paper_temperature_grid_c();
+    const auto configs = sensor::presets::fig3_configurations();
+
+    std::vector<std::vector<double>> error_series;
+    std::vector<std::string> names;
+    std::vector<double> max_nls;
+    for (const auto& [name, cfg] : configs) {
+        const auto sw = ring::paper_sweep(tech, cfg);
+        const auto nl = analysis::nonlinearity(sw.temps_c, sw.period_s);
+        error_series.push_back(nl.error_percent);
+        names.push_back(name);
+        max_nls.push_back(nl.max_abs_percent);
+    }
+
+    util::PlotOptions popt;
+    popt.width = 68;
+    popt.height = 14;
+    popt.x_label = "temperature (degC)";
+    popt.y_label = "non-linearity error (% of full scale), " + tech.name +
+                   " (library ratio = " + util::fixed(tech.library_ratio, 2) + ")";
+    std::cout << util::ascii_plot_multi(grid, error_series, names, popt) << "\n";
+
+    util::Table table({"configuration", "max |NL| (%)", "period @27C (ps)"});
+    double nl_pure_inv = 0.0;
+    double nl_best_named = 1e9;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const ring::AnalyticRingModel m(tech, configs[i].second);
+        table.add_row({configs[i].first, util::fixed(max_nls[i], 4),
+                       util::fixed(m.period(300.15) * 1e12, 1)});
+        if (configs[i].first == "5xINV") nl_pure_inv = max_nls[i];
+        nl_best_named = std::min(nl_best_named, max_nls[i]);
+    }
+    std::cout << table.render();
+
+    // Exhaustive stock-cell mix search (abstract: "an adequate set of
+    // standard logic gates").
+    const auto mixes = sensor::enumerate_mixes(tech, cells::kAllCellKinds,
+                                               sensor::presets::kPaperStages);
+    std::cout << "\nexhaustive mix enumeration over {INV, NAND2, NAND3, NOR2, NOR3} "
+              << "(" << mixes.size() << " multisets), top 8:\n";
+    util::Table best({"rank", "configuration", "max |NL| (%)"});
+    for (std::size_t i = 0; i < mixes.size() && i < 8; ++i) {
+        best.add_row({std::to_string(i + 1), mixes[i].name,
+                      util::fixed(mixes[i].max_nl_percent, 4)});
+    }
+    std::cout << best.render();
+
+    const std::string csv_path = cli.get("csv", std::string("fig3_cell_mix.csv"));
+    util::CsvWriter csv(csv_path);
+    std::vector<std::string> hdr{"temp_c"};
+    for (const auto& n : names) hdr.push_back(n);
+    csv.header(hdr);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        std::vector<double> row{grid[i]};
+        for (const auto& s : error_series) row.push_back(s[i]);
+        csv.row(row);
+    }
+    std::cout << "\nerror-series csv: " << csv_path << "\n";
+
+    bench::ShapeChecks checks;
+    checks.expect("cell mixes span a wide NL range (selection is a real knob)",
+                  [&] {
+                      double lo = max_nls[0];
+                      double hi = max_nls[0];
+                      for (double v : max_nls) {
+                          lo = std::min(lo, v);
+                          hi = std::max(hi, v);
+                      }
+                      return hi / lo > 2.0;
+                  }());
+    checks.expect("an adequate mix beats the pure 5xINV library ring",
+                  nl_best_named < nl_pure_inv);
+    checks.expect("best mix overall reaches < 0.2 % (matches sizing-based tuning)",
+                  mixes.front().max_nl_percent < 0.2);
+    checks.expect("errors stay within the figure's ~+-1.2 % band",
+                  [&] {
+                      for (const auto& s : error_series) {
+                          for (double e : s) {
+                              if (std::abs(e) > 1.2) return false;
+                          }
+                      }
+                      return true;
+                  }());
+    return checks.report();
+}

@@ -1,0 +1,85 @@
+// UNIT-GATE — gate-level validation of the smart unit's counter: the
+// OscWindow datapath built from INV/AND/DFF cells and run on the
+// event-driven logic simulator, fed the analytic ring's period across
+// temperature, against the behavioural (cycle-accurate) model.
+#include "bench_common.hpp"
+
+#include "digital/period_counter.hpp"
+#include "logic/counters.hpp"
+#include "ring/analytic.hpp"
+#include "util/cli.hpp"
+
+#include <cmath>
+#include <iostream>
+
+using namespace stsense;
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    bench::banner("UNIT-GATE",
+                  "gate-level OscWindow counter (event-driven sim) vs the "
+                  "behavioural model across temperature");
+
+    const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
+    const auto cfg_ring = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.75);
+    const ring::AnalyticRingModel ring_model(tech, cfg_ring);
+
+    // The ring is divided by 2^4 locally; the counter gates over 2^7
+    // divided periods against a 125 MHz reference.
+    const int pre_divider_log2 = 4;
+    const int divider_bits = 7;
+    const double ref_period_ps = 8000.0;
+
+    digital::GateConfig behav;
+    behav.scheme = digital::GatingScheme::OscWindow;
+    behav.osc_cycles = 1u << divider_bits;
+    behav.ref_freq_hz = 1e12 / ref_period_ps;
+    behav.divider_log2 = pre_divider_log2;
+
+    util::Table table({"T (degC)", "ring period (ps)", "gate-level code",
+                       "behavioural code", "delta"});
+    bool all_close = true;
+    std::vector<double> codes;
+    for (double tc = -50.0; tc <= 150.0; tc += 50.0) {
+        const double period_s = ring_model.period(273.15 + tc);
+        const double divided_ps = period_s * 1e12 * (1 << pre_divider_log2);
+
+        logic::Circuit circuit;
+        const auto counter =
+            logic::build_osc_window_counter(circuit, divider_bits, 14);
+        const auto gate_code = logic::run_gate_level_measurement(
+            circuit, counter, divided_ps, ref_period_ps, 2e7);
+        const std::uint32_t behav_code =
+            digital::quantized_code(behav, period_s);
+
+        const bool ok = gate_code.has_value() &&
+                        std::abs(static_cast<double>(*gate_code) -
+                                 static_cast<double>(behav_code)) <= 2.0;
+        all_close = all_close && ok;
+        codes.push_back(static_cast<double>(gate_code.value_or(0)));
+        table.add_row({util::fixed(tc, 0), util::fixed(period_s * 1e12, 2),
+                       std::to_string(gate_code.value_or(0)),
+                       std::to_string(behav_code),
+                       util::fixed(static_cast<double>(gate_code.value_or(0)) -
+                                       static_cast<double>(behav_code),
+                                   0)});
+    }
+    std::cout << table.render();
+
+    std::cout << "\n(The gate-level counter is nothing but INV/AND2/DFF "
+                 "standard cells on the event-driven simulator — the 'cell-"
+                 "based' claim applies to the processing block too.)\n";
+
+    bench::ShapeChecks checks;
+    checks.expect("gate-level and behavioural codes agree within 2 counts "
+                  "at every temperature",
+                  all_close);
+    checks.expect("gate-level codes increase monotonically with temperature",
+                  [&] {
+                      for (std::size_t i = 1; i < codes.size(); ++i) {
+                          if (codes[i] <= codes[i - 1]) return false;
+                      }
+                      return true;
+                  }());
+    return checks.report();
+}

@@ -1,0 +1,113 @@
+// MISMATCH — within-die mismatch between the distributed rings and the
+// calibration-flow trade-off: shared (one trim for all sensors) vs
+// individual (per-sensor trim). Also demonstrates the width-vs-Vth
+// mismatch asymmetry the model predicts: width mismatch cancels to first
+// order around a ring, Vth mismatch does not.
+#include "bench_common.hpp"
+
+#include "ring/analytic.hpp"
+#include "sensor/monitor.hpp"
+#include "util/cli.hpp"
+
+#include <cmath>
+#include <iostream>
+
+using namespace stsense;
+
+namespace {
+
+double period_spread_rel(const phys::Technology& tech,
+                         const ring::RingConfig& base,
+                         const ring::MismatchSpec& spec, int n,
+                         std::uint64_t seed) {
+    const double p0 = ring::AnalyticRingModel(tech, base).period(300.0);
+    util::Rng rng(seed);
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const auto varied = ring::sample_stage_mismatch(base, spec, rng);
+        const double p = ring::AnalyticRingModel(tech, varied).period(300.0);
+        sum_sq += (p - p0) * (p - p0);
+    }
+    return std::sqrt(sum_sq / n) / p0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    bench::banner("MISMATCH",
+                  "within-die mismatch: period spread sources and the shared- "
+                  "vs individual-calibration trade");
+
+    const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
+    const auto base = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.75);
+
+    std::cout << "period spread by mismatch source (100 rings each):\n";
+    util::Table st({"source", "sigma", "rel period spread (%)"});
+    double w_small = 0.0;
+    double w_big = 0.0;
+    double v_small = 0.0;
+    double v_big = 0.0;
+    {
+        ring::MismatchSpec s;
+        s.vth_sigma_v = 0.0;
+        s.drive_sigma = 0.02;
+        w_small = period_spread_rel(tech, base, s, 100, 1);
+        st.add_row({"width/drive", "2 %", util::fixed(100.0 * w_small, 4)});
+        s.drive_sigma = 0.08;
+        w_big = period_spread_rel(tech, base, s, 100, 1);
+        st.add_row({"width/drive", "8 %", util::fixed(100.0 * w_big, 4)});
+        s.drive_sigma = 0.0;
+        s.vth_sigma_v = 0.004;
+        v_small = period_spread_rel(tech, base, s, 100, 2);
+        st.add_row({"Vth", "4 mV", util::fixed(100.0 * v_small, 4)});
+        s.vth_sigma_v = 0.016;
+        v_big = period_spread_rel(tech, base, s, 100, 2);
+        st.add_row({"Vth", "16 mV", util::fixed(100.0 * v_big, 4)});
+    }
+    std::cout << st.render();
+    std::cout << "\n(4x the width sigma multiplies the spread ~16x — quadratic, "
+                 "the first-order term cancels around the loop. 4x the Vth "
+                 "sigma multiplies it ~4x — linear.)\n\n";
+
+    // Calibration flows on a 3x3 monitored die with realistic mismatch.
+    const auto fp = thermal::demo_floorplan();
+    const auto sites = sensor::uniform_sites(fp, 3, 3);
+    auto run = [&](bool mismatch, bool individual) {
+        sensor::MonitorConfig cfg;
+        cfg.grid_nx = 32;
+        cfg.grid_ny = 32;
+        cfg.enable_mismatch = mismatch;
+        cfg.individual_calibration = individual;
+        return sensor::ThermalMonitor(tech, base, fp, sites, cfg).scan();
+    };
+    const auto matched = run(false, false);
+    const auto shared = run(true, false);
+    const auto individual = run(true, true);
+
+    util::Table ct({"flow", "max |err| (degC)", "rms err (degC)"});
+    ct.add_row({"no mismatch (ideal)", util::fixed(matched.max_abs_error_c, 3),
+                util::fixed(matched.rms_error_c, 3)});
+    ct.add_row({"mismatch + shared calibration",
+                util::fixed(shared.max_abs_error_c, 3),
+                util::fixed(shared.rms_error_c, 3)});
+    ct.add_row({"mismatch + individual calibration",
+                util::fixed(individual.max_abs_error_c, 3),
+                util::fixed(individual.rms_error_c, 3)});
+    std::cout << "thermal-map accuracy (3x3 sensors, 2 mV/8 mV realistic "
+                 "mismatch):\n"
+              << ct.render();
+
+    bench::ShapeChecks checks;
+    checks.expect("width mismatch is quadratic (4x sigma -> >8x spread)",
+                  w_big / w_small > 8.0);
+    checks.expect("Vth mismatch is linear (4x sigma -> ~4x spread)",
+                  std::abs(v_big / v_small - 4.0) < 1.5);
+    checks.expect("Vth dominates width mismatch at realistic magnitudes",
+                  v_small > w_small);
+    checks.expect("shared calibration leaves a visible residual",
+                  shared.max_abs_error_c > 3.0 * matched.max_abs_error_c);
+    checks.expect("individual calibration recovers sub-0.5 degC maps",
+                  individual.max_abs_error_c < 0.5);
+    return checks.report();
+}

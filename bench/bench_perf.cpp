@@ -1,0 +1,102 @@
+// PERF — google-benchmark microbenchmarks of the simulation kernels:
+// MOSFET evaluation, Newton DC solves, transient steps, full ring
+// simulations vs stage count, analytic sweeps, and the thermal solver.
+#include <benchmark/benchmark.h>
+
+#include "analysis/nonlinearity.hpp"
+#include "cells/cell_netlist.hpp"
+#include "phys/technology.hpp"
+#include "ring/analytic.hpp"
+#include "ring/spice_ring.hpp"
+#include "ring/sweep.hpp"
+#include "spice/simulator.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/grid.hpp"
+
+using namespace stsense;
+
+namespace {
+
+void BM_MosfetEvaluate(benchmark::State& state) {
+    const auto tech = phys::cmos350();
+    const phys::MosGeometry g{1e-6, tech.lmin};
+    double vds = 0.0;
+    for (auto _ : state) {
+        vds += 1e-3;
+        if (vds > 3.3) vds = 0.0;
+        benchmark::DoNotOptimize(phys::evaluate(tech.nmos, g, 3.3, vds, 350.0));
+    }
+}
+BENCHMARK(BM_MosfetEvaluate);
+
+void BM_InverterDcOp(benchmark::State& state) {
+    const auto tech = phys::cmos350();
+    spice::Circuit c;
+    const auto vdd = c.add_driven_node("vdd", spice::Source::dc(tech.vdd));
+    const auto in = c.add_driven_node("in", spice::Source::dc(0.5 * tech.vdd));
+    const auto out = c.add_node("out");
+    cells::CellSpec spec;
+    emit_cell(c, tech, spec, vdd, in, out, "dut");
+    for (auto _ : state) {
+        spice::Simulator sim(c);
+        benchmark::DoNotOptimize(sim.dc_operating_point());
+    }
+}
+BENCHMARK(BM_InverterDcOp);
+
+void BM_RingTransient(benchmark::State& state) {
+    const auto n = static_cast<int>(state.range(0));
+    const auto tech = phys::cmos350();
+    const ring::SpiceRingModel model(
+        tech, ring::RingConfig::uniform(cells::CellKind::Inv, n, 2.5));
+    ring::SpiceRingOptions opt;
+    opt.skip_cycles = 2;
+    opt.measure_cycles = 4;
+    opt.steps_per_period = 200;
+    opt.record_waveform = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.simulate(300.0, opt));
+    }
+    state.SetLabel(std::to_string(n) + " stages");
+}
+BENCHMARK(BM_RingTransient)->Arg(5)->Arg(9)->Arg(21);
+
+void BM_AnalyticPeriod(benchmark::State& state) {
+    const auto tech = phys::cmos350();
+    const ring::AnalyticRingModel model(
+        tech, ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.5));
+    double t = 250.0;
+    for (auto _ : state) {
+        t += 1.0;
+        if (t > 420.0) t = 250.0;
+        benchmark::DoNotOptimize(model.period(t));
+    }
+}
+BENCHMARK(BM_AnalyticPeriod);
+
+void BM_PaperSweepAnalytic(benchmark::State& state) {
+    const auto tech = phys::cmos350();
+    const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.5);
+    for (auto _ : state) {
+        const auto sw = ring::paper_sweep(tech, cfg);
+        benchmark::DoNotOptimize(
+            analysis::max_nonlinearity_percent(sw.temps_c, sw.period_s));
+    }
+}
+BENCHMARK(BM_PaperSweepAnalytic);
+
+void BM_ThermalSteadyState(benchmark::State& state) {
+    const auto n = static_cast<int>(state.range(0));
+    const thermal::Floorplan fp = thermal::demo_floorplan();
+    const thermal::ThermalGrid grid(n, n, fp.die_width(), fp.die_height());
+    const auto power = fp.power_map(n, n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(grid.steady_state(power));
+    }
+    state.SetLabel(std::to_string(n) + "x" + std::to_string(n));
+}
+BENCHMARK(BM_ThermalSteadyState)->Arg(16)->Arg(32)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// XCHECK — methodology cross-validation: the analytic delay engine that
+// drives the Fig. 2/3 sweeps against the transistor-level SPICE engine,
+// per configuration and per temperature.
+#include "bench_common.hpp"
+
+#include "analysis/linear_fit.hpp"
+#include "ring/analytic.hpp"
+#include "ring/spice_ring.hpp"
+#include "sensor/presets.hpp"
+#include "util/cli.hpp"
+
+#include <cmath>
+#include <iostream>
+
+using namespace stsense;
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    bench::banner("XCHECK", "analytic period model vs transistor-level SPICE");
+
+    const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
+    const std::vector<double> temps_c{-50.0, 0.0, 50.0, 100.0, 150.0};
+
+    ring::SpiceRingOptions opt;
+    opt.skip_cycles = 2;
+    opt.measure_cycles = 4;
+    opt.steps_per_period = 200;
+    opt.record_waveform = false;
+
+    struct Config {
+        std::string name;
+        ring::RingConfig cfg;
+    };
+    using K = cells::CellKind;
+    const std::vector<Config> configs{
+        {"5xINV r=1.75", ring::RingConfig::uniform(K::Inv, 5, 1.75)},
+        {"5xINV r=2.50", ring::RingConfig::uniform(K::Inv, 5, 2.5)},
+        {"5xINV r=4.00", ring::RingConfig::uniform(K::Inv, 5, 4.0)},
+        {"5xNAND2", ring::RingConfig::uniform(K::Nand2, 5)},
+        {"2xINV+3xNAND2", ring::RingConfig::mix({{K::Inv, 2}, {K::Nand2, 3}})},
+        {"5xNOR2", ring::RingConfig::uniform(K::Nor2, 5)},
+        {"9xINV r=2.50", ring::RingConfig::uniform(K::Inv, 9, 2.5)},
+    };
+
+    util::Table table({"configuration", "T (degC)", "analytic (ps)", "SPICE (ps)",
+                       "ratio"});
+    bool ratios_bounded = true;
+    bool sens_agrees = true;
+    for (const auto& c : configs) {
+        const ring::AnalyticRingModel am(tech, c.cfg);
+        const ring::SpiceRingModel sm(tech, c.cfg);
+        std::vector<double> pa;
+        std::vector<double> ps;
+        for (double tc : temps_c) {
+            const double a = am.period(273.15 + tc);
+            const double s = sm.simulate(273.15 + tc, opt).period;
+            pa.push_back(a);
+            ps.push_back(s);
+            const double ratio = s / a;
+            ratios_bounded = ratios_bounded && ratio > 0.5 && ratio < 2.0;
+            table.add_row({c.name, util::fixed(tc, 0), util::fixed(a * 1e12, 1),
+                           util::fixed(s * 1e12, 1), util::fixed(ratio, 3)});
+        }
+        // Relative temperature sensitivity must match between engines:
+        // compare normalized slopes of period vs temperature.
+        const auto fa = analysis::least_squares(temps_c, pa);
+        const auto fs = analysis::least_squares(temps_c, ps);
+        const double rel_a = fa.slope / pa[2];
+        const double rel_s = fs.slope / ps[2];
+        sens_agrees = sens_agrees && std::abs(rel_s / rel_a - 1.0) < 0.25;
+    }
+    std::cout << table.render();
+
+    bench::ShapeChecks checks;
+    checks.expect("absolute periods agree within 2x for every config/temp",
+                  ratios_bounded);
+    checks.expect("relative temperature sensitivity agrees within 25 %",
+                  sens_agrees);
+    return checks.report();
+}

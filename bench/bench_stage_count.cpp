@@ -1,0 +1,78 @@
+// CLAIM-STAGES — reproduces the Section 2 text claim: "ring-oscillators
+// with 5, 9 or 21 stages have similar characteristics in terms of
+// linearity" (and quantifies what *does* change: period, power, area).
+#include "bench_common.hpp"
+
+#include "analysis/nonlinearity.hpp"
+#include "ring/analytic.hpp"
+#include "ring/sweep.hpp"
+#include "sensor/presets.hpp"
+#include "thermal/self_heating.hpp"
+#include "util/cli.hpp"
+
+#include <iostream>
+
+using namespace stsense;
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    bench::banner("CLAIM-STAGES",
+                  "linearity vs number of ring stages (paper: 5, 9, 21 are alike)");
+
+    const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
+    const double ratio = cli.get("ratio", 2.5);
+
+    util::Table table({"stages", "max |NL| (%)", "period @27C (ps)",
+                       "sensitivity (ps/K)", "power @27C (mW)"});
+    std::vector<double> nls;
+    // Extend the paper's {5, 9, 21} family with more odd counts.
+    const std::vector<int> family{3, 5, 7, 9, 13, 21, 31, 51};
+    for (int n : family) {
+        const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, n, ratio);
+        const auto sw = ring::paper_sweep(tech, cfg);
+        const double nl = analysis::max_nonlinearity_percent(sw.temps_c, sw.period_s);
+        const ring::AnalyticRingModel m(tech, cfg);
+        table.add_row({std::to_string(n), util::fixed(nl, 4),
+                       util::fixed(m.period(300.15) * 1e12, 1),
+                       util::fixed(m.sensitivity(300.15) * 1e12, 4),
+                       util::fixed(thermal::ring_dynamic_power(tech, cfg, 300.15) * 1e3, 3)});
+        nls.push_back(nl);
+    }
+    std::cout << table.render();
+
+    // The paper family specifically.
+    double nl5 = 0.0;
+    double nl9 = 0.0;
+    double nl21 = 0.0;
+    for (std::size_t i = 0; i < family.size(); ++i) {
+        if (family[i] == 5) nl5 = nls[i];
+        if (family[i] == 9) nl9 = nls[i];
+        if (family[i] == 21) nl21 = nls[i];
+    }
+
+    bench::ShapeChecks checks;
+    checks.expect("5/9/21-stage rings agree in max |NL| to within 0.02 % abs",
+                  std::abs(nl5 - nl9) < 0.02 && std::abs(nl5 - nl21) < 0.02);
+    checks.expect("linearity is stage-count independent across the whole family",
+                  [&] {
+                      double lo = nls[0];
+                      double hi = nls[0];
+                      for (double v : nls) {
+                          lo = std::min(lo, v);
+                          hi = std::max(hi, v);
+                      }
+                      return hi - lo < 0.05;
+                  }());
+    checks.expect("period scales ~linearly with stage count (21/5 within 10 %)",
+                  [&] {
+                      const auto p = [&](int n) {
+                          return ring::AnalyticRingModel(
+                                     tech, ring::RingConfig::uniform(
+                                               cells::CellKind::Inv, n, ratio))
+                              .period(300.15);
+                      };
+                      const double r = p(21) / p(5);
+                      return r > 0.9 * 21.0 / 5.0 && r < 1.1 * 21.0 / 5.0;
+                  }());
+    return checks.report();
+}

@@ -1,0 +1,72 @@
+// SUPPLY — ablation: supply-voltage sensitivity of the ring sensor.
+// A delay-based sensor aliases supply noise into temperature error; this
+// bench quantifies the effect vs Wp/Wn ratio and technology node, and
+// derives the supply-regulation requirement — the deployment caveat the
+// paper leaves implicit.
+#include "bench_common.hpp"
+
+#include "sensor/supply.hpp"
+#include "util/cli.hpp"
+
+#include <cmath>
+#include <iostream>
+
+using namespace stsense;
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    bench::banner("SUPPLY",
+                  "supply sensitivity of the ring sensor (temperature error "
+                  "aliased from supply noise)");
+
+    const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
+
+    std::cout << "per ratio (5xINV ring, " << tech.name << ", 27 degC):\n";
+    util::Table rt({"Wp/Wn", "dP/P per V (%)", "dP/P per K (%)",
+                    "err per 10 mV (degC)", "regulation for 0.5 degC (mV)"});
+    std::vector<double> errs;
+    for (double r : {1.75, 2.25, 2.75, 3.0, 4.0}) {
+        const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, r);
+        const auto s = sensor::supply_sensitivity(tech, cfg, 27.0);
+        errs.push_back(s.temp_error_per_10mv_c);
+        rt.add_row({util::fixed(r, 2), util::fixed(100.0 * s.dperiod_dvdd_rel, 3),
+                    util::fixed(100.0 * s.dperiod_dtemp_rel, 4),
+                    util::fixed(s.temp_error_per_10mv_c, 3),
+                    util::fixed(1e3 * sensor::required_supply_regulation(s, 0.5), 2)});
+    }
+    std::cout << rt.render();
+
+    std::cout << "\nper node (5xINV at the library ratio, 27 degC):\n";
+    util::Table nt({"node", "Vdd (V)", "err per 10 mV (degC)",
+                    "err per 1% Vdd droop (degC)"});
+    std::vector<double> node_err_10mv;
+    for (const std::string name : {"cmos350", "cmos180", "cmos130"}) {
+        const auto t = phys::technology_by_name(name);
+        const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5);
+        const auto s = sensor::supply_sensitivity(t, cfg, 27.0);
+        node_err_10mv.push_back(s.temp_error_per_10mv_c);
+        nt.add_row({name, util::fixed(t.vdd, 2),
+                    util::fixed(s.temp_error_per_10mv_c, 3),
+                    util::fixed(s.temp_error_per_10mv_c * t.vdd, 3)});
+    }
+    std::cout << nt.render();
+
+    std::cout << "\n(The diode/PTAT baseline is first-order supply-independent; "
+                 "this is the price of the all-digital sensor. Mitigations: "
+                 "regulated/filtered sensor supply, or ratioed dual-ring "
+                 "readouts.)\n";
+
+    bench::ShapeChecks checks;
+    checks.expect("supply aliasing is significant (> 0.1 degC per 10 mV)",
+                  errs[2] > 0.1);
+    checks.expect("every ratio keeps the effect below 20 degC per 10 mV",
+                  [&] {
+                      for (double e : errs) {
+                          if (e >= 20.0) return false;
+                      }
+                      return true;
+                  }());
+    checks.expect("low-Vdd nodes are more supply-sensitive per 10 mV",
+                  node_err_10mv[2] > node_err_10mv[0]);
+    return checks.report();
+}

@@ -1,0 +1,106 @@
+// UNIT-MAP — the paper's thermal-mapping feature (Sec. 3): multiplexed
+// readout of ring oscillators distributed over a die, against the
+// ground-truth temperature field of the RC thermal model.
+#include "bench_common.hpp"
+
+#include "sensor/monitor.hpp"
+#include "sensor/presets.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+using namespace stsense;
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    bench::banner("UNIT-MAP",
+                  "thermal mapping via multiplexed ring-oscillator sensors "
+                  "(3x3 grid on a 10x10 mm die)");
+
+    const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
+    const auto fp = thermal::demo_floorplan();
+
+    std::cout << "floorplan blocks:\n";
+    util::Table fpt({"block", "x (mm)", "y (mm)", "w (mm)", "h (mm)", "power (W)"});
+    for (const auto& b : fp.blocks()) {
+        fpt.add_row({b.name, util::fixed(b.x * 1e3, 2), util::fixed(b.y * 1e3, 2),
+                     util::fixed(b.width * 1e3, 2), util::fixed(b.height * 1e3, 2),
+                     util::fixed(b.power_w, 1)});
+    }
+    std::cout << fpt.render() << "\n";
+
+    const int nx = cli.get("sensors", 3);
+    const auto sites = sensor::uniform_sites(fp, nx, nx);
+    sensor::MonitorConfig cfg;
+    cfg.grid_nx = cli.get("grid", 48);
+    cfg.grid_ny = cfg.grid_nx;
+    cfg.alarm_threshold_c = cli.get("alarm", 110.0);
+    const sensor::ThermalMonitor mon(
+        tech, ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.75), fp, sites,
+        cfg);
+    const auto map = mon.scan();
+
+    util::Table table({"sensor", "x (mm)", "y (mm)", "true (degC)",
+                       "measured (degC)", "error (degC)", "code"});
+    for (const auto& r : map.sites) {
+        table.add_row({r.name, util::fixed(r.x * 1e3, 2), util::fixed(r.y * 1e3, 2),
+                       util::fixed(r.true_c, 2), util::fixed(r.measured_c, 2),
+                       util::fixed(r.error_c, 3), std::to_string(r.code)});
+    }
+    std::cout << table.render();
+
+    std::cout << "\ndie peak " << util::fixed(map.die_peak_c, 2)
+              << " degC | max |err| " << util::fixed(map.max_abs_error_c, 3)
+              << " degC | rms err " << util::fixed(map.rms_error_c, 3)
+              << " degC | full mux scan " << util::fixed(map.scan_time_s * 1e6, 1)
+              << " us\n";
+    std::cout << "over-temperature alarm (trip "
+              << util::fixed(cfg.alarm_threshold_c, 1) << " degC): "
+              << (map.alarm ? "LATCHED by site " + map.alarm_site
+                            : std::string("clear"))
+              << "\n";
+
+    const std::string csv_path = cli.get("csv", std::string("thermal_map.csv"));
+    util::CsvWriter csv(csv_path);
+    csv.header({"x_mm", "y_mm", "true_c", "measured_c", "error_c"});
+    for (const auto& r : map.sites) {
+        csv.row({r.x * 1e3, r.y * 1e3, r.true_c, r.measured_c, r.error_c});
+    }
+    std::cout << "site csv: " << csv_path << "\n";
+
+    const auto hottest =
+        std::max_element(map.sites.begin(), map.sites.end(),
+                         [](const auto& a, const auto& b) {
+                             return a.measured_c < b.measured_c;
+                         });
+    const auto coolest =
+        std::min_element(map.sites.begin(), map.sites.end(),
+                         [](const auto& a, const auto& b) {
+                             return a.measured_c < b.measured_c;
+                         });
+
+    bench::ShapeChecks checks;
+    checks.expect("hotspots produce > 10 degC of on-die gradient to map",
+                  hottest->measured_c - coolest->measured_c > 10.0);
+    checks.expect("every site read within 0.5 degC of local truth",
+                  map.max_abs_error_c < 0.5);
+    checks.expect("measured field preserves the spatial ordering of the truth",
+                  [&] {
+                      for (const auto& a : map.sites) {
+                          for (const auto& b : map.sites) {
+                              if (a.true_c > b.true_c + 2.0 &&
+                                  a.measured_c <= b.measured_c) {
+                                  return false;
+                              }
+                          }
+                      }
+                      return true;
+                  }());
+    checks.expect("die peak in the paper's motivating regime (> 100 degC)",
+                  map.die_peak_c > 100.0);
+    checks.expect("the hardware alarm latched on a site above the 110 degC trip",
+                  map.alarm && hottest->true_c > cfg.alarm_threshold_c);
+    return checks.report();
+}

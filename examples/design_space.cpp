@@ -1,0 +1,65 @@
+// Design-space exploration: both of the paper's optimization axes.
+//
+//  1. Transistor-level (Fig. 2): sweep the Wp/Wn ratio and let the
+//     golden-section optimizer find the linearity optimum.
+//  2. Cell-based (Fig. 3): enumerate every 5-stage mix of stock cells
+//     and rank them — no custom sizing required.
+//
+//   $ ./examples/design_space [--tech=cmos180]
+#include "sensor/optimizer.hpp"
+
+#include "phys/technology.hpp"
+#include "util/cli.hpp"
+#include "util/sequence.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+#include <string>
+
+int main(int argc, char** argv) {
+    using namespace stsense;
+    const util::Cli cli(argc, argv);
+    const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
+
+    // --- Axis 1: transistor sizing ------------------------------------
+    std::cout << "== axis 1: Wp/Wn ratio of a 5-inverter ring (" << tech.name
+              << ") ==\n";
+    const auto ratios = util::linspace(1.0, 5.0, 9);
+    util::Table rt({"Wp/Wn", "max |NL| (%)", "period @27C (ps)"});
+    for (const auto& p : sensor::ratio_sweep(tech, cells::CellKind::Inv, 5, ratios)) {
+        rt.add_row({util::fixed(p.ratio, 2), util::fixed(p.max_nl_percent, 4),
+                    util::fixed(p.period_27c_s * 1e12, 1)});
+    }
+    std::cout << rt.render();
+
+    const auto opt = sensor::optimize_ratio(tech, cells::CellKind::Inv, 5, 1.0, 5.0);
+    std::cout << "\noptimum: Wp/Wn = " << util::fixed(opt.ratio, 3) << " with "
+              << util::fixed(opt.max_nl_percent, 4) << " % max |NL| ("
+              << opt.evaluations << " sweep evaluations)\n";
+
+    // --- Axis 2: stock-cell selection ---------------------------------
+    std::cout << "\n== axis 2: stock-cell mixes at the library ratio ("
+              << util::fixed(tech.library_ratio, 2) << ") ==\n";
+    const auto mixes = sensor::enumerate_mixes(tech, cells::kAllCellKinds, 5);
+    std::cout << "enumerated " << mixes.size() << " 5-stage multisets of "
+              << "{INV, NAND2, NAND3, NOR2, NOR3}\n\n";
+
+    util::Table mt({"rank", "configuration", "max |NL| (%)"});
+    for (std::size_t i = 0; i < 10 && i < mixes.size(); ++i) {
+        mt.add_row({std::to_string(i + 1), mixes[i].name,
+                    util::fixed(mixes[i].max_nl_percent, 4)});
+    }
+    mt.add_row({"...", "", ""});
+    mt.add_row({std::to_string(mixes.size()), mixes.back().name,
+                util::fixed(mixes.back().max_nl_percent, 4)});
+    std::cout << mt.render();
+
+    std::cout << "\ntakeaway: the best stock-cell mix ("
+              << mixes.front().name << ", "
+              << util::fixed(mixes.front().max_nl_percent, 4)
+              << " %) recovers most of the custom-sizing optimum ("
+              << util::fixed(opt.max_nl_percent, 4)
+              << " %) without touching a single transistor — the paper's "
+                 "cell-based design argument.\n";
+    return 0;
+}

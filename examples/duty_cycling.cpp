@@ -1,0 +1,63 @@
+// Self-heating management: why the smart unit can disable its
+// oscillator. Drives the cycle-accurate SmartUnit through several
+// sampling policies and reports the oscillator duty and the resulting
+// self-heating bias for each.
+//
+//   $ ./examples/duty_cycling
+#include "digital/smart_unit.hpp"
+#include "sensor/presets.hpp"
+#include "sensor/smart_sensor.hpp"
+#include "thermal/self_heating.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace stsense;
+    const auto tech = phys::cmos350();
+    const auto cfg = sensor::presets::paper_ring();
+    const double die_c = 85.0;
+
+    // One measurement through the real FSM to get its true duty cost.
+    sensor::SmartTemperatureSensor probe(tech, cfg);
+    const double period = probe.period_at(die_c);
+
+    digital::SmartUnitConfig ucfg;
+    ucfg.gate = sensor::default_gate();
+    digital::SmartUnit unit(ucfg, [&](int) { return period; });
+    unit.measure_blocking(0);
+    const std::uint64_t busy_cycles = unit.cycles_osc_enabled();
+    const double t_ref = 1.0 / ucfg.gate.ref_freq_hz;
+    std::cout << "one measurement keeps the ring enabled for " << busy_cycles
+              << " ref cycles (" << busy_cycles * t_ref * 1e6 << " us)\n\n";
+
+    // Sampling policies: how often does thermal management need a reading?
+    struct Policy {
+        const char* name;
+        double interval_s;
+    };
+    const Policy policies[] = {
+        {"free-running (never disabled)", 0.0},
+        {"10 kHz sampling", 1e-4},
+        {"1 kHz sampling", 1e-3},
+        {"100 Hz sampling", 1e-2},
+        {"1 Hz sampling", 1.0},
+    };
+
+    util::Table table({"policy", "oscillator duty", "junction rise (degC)"});
+    const double t_meas = static_cast<double>(busy_cycles) * t_ref;
+    for (const auto& p : policies) {
+        const double duty =
+            p.interval_s == 0.0 ? 1.0 : std::min(1.0, t_meas / p.interval_s);
+        thermal::SelfHeatingParams sh;
+        sh.duty = duty;
+        const auto r = thermal::solve_self_heating(tech, cfg, die_c, sh);
+        table.add_row({p.name, util::fixed(duty, 6), util::fixed(r.delta_c, 4)});
+    }
+    std::cout << table.render();
+
+    std::cout << "\nfree-running, the sensor reads its own heat (several degC); "
+                 "duty-cycled through the smart unit's disable, the bias "
+                 "vanishes — the feature the paper calls out in Section 3.\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a smart temperature sensor from standard cells,
+// calibrate it at two temperatures, and read the die temperature as a
+// digital word — the complete happy path of the library in ~40 lines.
+//
+//   $ ./examples/quickstart
+#include "sensor/smart_sensor.hpp"
+
+#include "phys/technology.hpp"
+#include "ring/config.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace stsense;
+
+    // 1. Pick a technology and a ring built from stock inverting cells.
+    //    (Ratio 2.75 is near the linearity optimum for this node — see
+    //    examples/design_space.cpp for how to find it.)
+    const phys::Technology tech = phys::cmos350();
+    const ring::RingConfig ring_cfg =
+        ring::RingConfig::uniform(cells::CellKind::Inv, /*n=*/5, /*ratio=*/2.75);
+
+    // 2. Construct the smart sensor: ring oscillator + period counter +
+    //    fixed-point converter, all behind one object.
+    sensor::SmartTemperatureSensor sensor(tech, ring_cfg);
+
+    std::cout << "ring: " << ring::describe(ring_cfg) << " in " << tech.name
+              << "\nperiod at 27 degC: " << sensor.period_at(27.0) * 1e12
+              << " ps\nnon-linearity over -50..150 degC: "
+              << sensor.nonlinearity_percent() << " % of full scale\n\n";
+
+    // 3. Two-point factory calibration (0 and 100 degC insertions).
+    sensor.calibrate_two_point(0.0, 100.0);
+
+    // 4. Measure. Each call runs the cycle-accurate smart unit: the ring
+    //    is enabled, the gate counts, the fixed-point datapath converts.
+    util::Table table({"die temp (degC)", "code", "reading (degC)", "error (degC)",
+                       "meas time (us)"});
+    for (double t : {-40.0, 0.0, 27.0, 85.0, 125.0}) {
+        const sensor::Measurement m = sensor.measure(t);
+        table.add_row({util::fixed(t, 1), std::to_string(m.code),
+                       util::fixed(m.temperature_c, 3),
+                       util::fixed(m.temperature_c - t, 3),
+                       util::fixed(m.measurement_time_s * 1e6, 1)});
+    }
+    std::cout << table.render();
+
+    std::cout << "\nresolution at 27 degC: " << sensor.resolution_c(27.0)
+              << " degC/LSB\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+#include "analysis/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::analysis {
+
+LinearCalibration LinearCalibration::two_point(const CalibrationPoint& a,
+                                               const CalibrationPoint& b) {
+    const double dr = b.reading - a.reading;
+    if (std::abs(dr) < 1e-300) {
+        throw std::invalid_argument("two_point: identical readings");
+    }
+    const double gain = (b.temperature_c - a.temperature_c) / dr;
+    const double offset = a.temperature_c - gain * a.reading;
+    return LinearCalibration(offset, gain);
+}
+
+LinearCalibration LinearCalibration::one_point(const CalibrationPoint& a,
+                                               double nominal_gain) {
+    const double offset = a.temperature_c - nominal_gain * a.reading;
+    return LinearCalibration(offset, nominal_gain);
+}
+
+PolynomialCalibration::PolynomialCalibration(
+    std::span<const CalibrationPoint> points, int degree) {
+    std::vector<double> r;
+    std::vector<double> t;
+    r.reserve(points.size());
+    t.reserve(points.size());
+    for (const auto& p : points) {
+        r.push_back(p.reading);
+        t.push_back(p.temperature_c);
+    }
+    poly_ = polyfit(r, t, degree);
+}
+
+template <typename Calibration>
+CalibrationReport evaluate_calibration(const Calibration& cal,
+                                       std::span<const double> true_temp_c,
+                                       std::span<const double> readings) {
+    if (true_temp_c.size() != readings.size() || true_temp_c.empty()) {
+        throw std::invalid_argument("evaluate_calibration: bad sizes");
+    }
+    CalibrationReport rep;
+    rep.error_c.reserve(readings.size());
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < readings.size(); ++i) {
+        const double e = cal.temperature(readings[i]) - true_temp_c[i];
+        rep.error_c.push_back(e);
+        rep.max_abs_error_c = std::max(rep.max_abs_error_c, std::abs(e));
+        sum_sq += e * e;
+    }
+    rep.rms_error_c = std::sqrt(sum_sq / static_cast<double>(readings.size()));
+    return rep;
+}
+
+// Explicit instantiations for the calibration types offered here.
+template CalibrationReport evaluate_calibration<LinearCalibration>(
+    const LinearCalibration&, std::span<const double>, std::span<const double>);
+template CalibrationReport evaluate_calibration<PolynomialCalibration>(
+    const PolynomialCalibration&, std::span<const double>, std::span<const double>);
+
+} // namespace stsense::analysis

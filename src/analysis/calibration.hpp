@@ -1,0 +1,80 @@
+// Sensor calibration: mapping a raw reading (oscillation period or
+// digital code) back to temperature.
+//
+// The paper names "sensor calibration" as one of the advantages the
+// standard-cell style should preserve; the calibration bench quantifies
+// how well one-point and two-point schemes hold up across process
+// corners and die-to-die variation.
+#pragma once
+
+#include "analysis/polynomial.hpp"
+
+#include <span>
+#include <vector>
+
+namespace stsense::analysis {
+
+/// One calibration measurement: the sensor's raw reading at a known
+/// temperature.
+struct CalibrationPoint {
+    double temperature_c = 0.0; ///< Reference temperature [deg C].
+    double reading = 0.0;       ///< Raw sensor output at that temperature.
+};
+
+/// Linear reading -> temperature map: T = offset + gain * reading.
+class LinearCalibration {
+public:
+    LinearCalibration() = default;
+    LinearCalibration(double offset, double gain) : offset_(offset), gain_(gain) {}
+
+    /// Two-point calibration through both measurements.
+    /// Throws std::invalid_argument if the readings coincide.
+    static LinearCalibration two_point(const CalibrationPoint& a,
+                                       const CalibrationPoint& b);
+
+    /// One-point calibration: the gain is taken from a nominal device
+    /// characterization [deg C per reading unit]; only the offset is
+    /// trimmed at the single reference temperature.
+    static LinearCalibration one_point(const CalibrationPoint& a,
+                                       double nominal_gain);
+
+    /// Converts a raw reading to temperature [deg C].
+    double temperature(double reading) const { return offset_ + gain_ * reading; }
+
+    double offset() const { return offset_; }
+    double gain() const { return gain_; }
+
+private:
+    double offset_ = 0.0;
+    double gain_ = 0.0;
+};
+
+/// Polynomial reading -> temperature map fitted on many points,
+/// for the higher-order calibration ablation.
+class PolynomialCalibration {
+public:
+    /// Fits T(reading) of the given degree over the supplied points.
+    PolynomialCalibration(std::span<const CalibrationPoint> points, int degree);
+
+    double temperature(double reading) const { return poly_(reading); }
+    const Polynomial& polynomial() const { return poly_; }
+
+private:
+    Polynomial poly_;
+};
+
+/// Accuracy of a calibration over a validation sweep.
+struct CalibrationReport {
+    std::vector<double> error_c; ///< Estimated minus true temperature, per point.
+    double max_abs_error_c = 0.0;
+    double rms_error_c = 0.0;
+};
+
+/// Applies `temperature(reading)` to every reading and compares against
+/// the true temperatures. Sizes must match and be non-empty.
+template <typename Calibration>
+CalibrationReport evaluate_calibration(const Calibration& cal,
+                                       std::span<const double> true_temp_c,
+                                       std::span<const double> readings);
+
+} // namespace stsense::analysis

@@ -1,0 +1,71 @@
+#include "analysis/linear_fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::analysis {
+
+namespace {
+
+void check(std::span<const double> x, std::span<const double> y) {
+    if (x.size() != y.size()) throw std::invalid_argument("fit: size mismatch");
+    if (x.size() < 2) throw std::invalid_argument("fit: need >= 2 points");
+}
+
+double r_squared_of(std::span<const double> x, std::span<const double> y,
+                    double slope, double intercept) {
+    double mean_y = 0.0;
+    for (double v : y) mean_y += v;
+    mean_y /= static_cast<double>(y.size());
+
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double fit = intercept + slope * x[i];
+        ss_res += (y[i] - fit) * (y[i] - fit);
+        ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+    }
+    if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+} // namespace
+
+LinearFit least_squares(std::span<const double> x, std::span<const double> y) {
+    check(x, y);
+    const double n = static_cast<double>(x.size());
+    double sx = 0.0;
+    double sy = 0.0;
+    double sxx = 0.0;
+    double sxy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    if (std::abs(denom) < 1e-300) {
+        throw std::invalid_argument("least_squares: degenerate x values");
+    }
+    LinearFit f;
+    f.slope = (n * sxy - sx * sy) / denom;
+    f.intercept = (sy - f.slope * sx) / n;
+    f.r_squared = r_squared_of(x, y, f.slope, f.intercept);
+    return f;
+}
+
+LinearFit endpoint_fit(std::span<const double> x, std::span<const double> y) {
+    check(x, y);
+    const double dx = x.back() - x.front();
+    if (std::abs(dx) < 1e-300) {
+        throw std::invalid_argument("endpoint_fit: identical endpoints");
+    }
+    LinearFit f;
+    f.slope = (y.back() - y.front()) / dx;
+    f.intercept = y.front() - f.slope * x.front();
+    f.r_squared = r_squared_of(x, y, f.slope, f.intercept);
+    return f;
+}
+
+} // namespace stsense::analysis

@@ -1,0 +1,27 @@
+// Linear fits of y(x) series. The paper's non-linearity metric is the
+// residual of the sensor response against its best straight line, so
+// these fits are the measurement backbone of Figs. 2 and 3.
+#pragma once
+
+#include <span>
+
+namespace stsense::analysis {
+
+/// y = intercept + slope * x.
+struct LinearFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 1.0; ///< Coefficient of determination.
+
+    double operator()(double x) const { return intercept + slope * x; }
+};
+
+/// Ordinary least-squares fit. Preconditions: sizes match, >= 2 points,
+/// x not all equal; throws std::invalid_argument otherwise.
+LinearFit least_squares(std::span<const double> x, std::span<const double> y);
+
+/// Endpoint fit: the line through (x.front, y.front) and (x.back,
+/// y.back). This is the "two-point calibration" line of a sensor.
+LinearFit endpoint_fit(std::span<const double> x, std::span<const double> y);
+
+} // namespace stsense::analysis

@@ -1,0 +1,40 @@
+#include "analysis/nonlinearity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::analysis {
+
+NonlinearityResult nonlinearity(std::span<const double> x,
+                                std::span<const double> y, FitKind kind) {
+    if (x.size() != y.size()) throw std::invalid_argument("nonlinearity: size mismatch");
+    if (x.size() < 3) throw std::invalid_argument("nonlinearity: need >= 3 points");
+
+    NonlinearityResult out;
+    out.fit = kind == FitKind::LeastSquares ? least_squares(x, y) : endpoint_fit(x, y);
+
+    const auto [ymin, ymax] = std::minmax_element(y.begin(), y.end());
+    out.full_scale = *ymax - *ymin;
+    if (out.full_scale <= 0.0) {
+        throw std::invalid_argument("nonlinearity: degenerate y span");
+    }
+
+    out.error_percent.reserve(x.size());
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double e = 100.0 * (y[i] - out.fit(x[i])) / out.full_scale;
+        out.error_percent.push_back(e);
+        out.max_abs_percent = std::max(out.max_abs_percent, std::abs(e));
+        sum_sq += e * e;
+    }
+    out.rms_percent = std::sqrt(sum_sq / static_cast<double>(x.size()));
+    return out;
+}
+
+double max_nonlinearity_percent(std::span<const double> x,
+                                std::span<const double> y, FitKind kind) {
+    return nonlinearity(x, y, kind).max_abs_percent;
+}
+
+} // namespace stsense::analysis

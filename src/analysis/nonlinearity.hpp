@@ -1,0 +1,39 @@
+// Non-linearity error of a sensor response, the y-axis of the paper's
+// Figs. 2 and 3: the deviation of y(x) from a reference straight line,
+// expressed in percent of the full-scale output span.
+#pragma once
+
+#include "analysis/linear_fit.hpp"
+
+#include <span>
+#include <vector>
+
+namespace stsense::analysis {
+
+/// Which straight line the residuals are measured against.
+enum class FitKind {
+    LeastSquares, ///< Best-fit line (the paper's metric).
+    Endpoint,     ///< Line through the sweep endpoints.
+};
+
+/// Non-linearity analysis of one response curve.
+struct NonlinearityResult {
+    LinearFit fit;                     ///< The reference line used.
+    std::vector<double> error_percent; ///< Residual at each x, % of full scale.
+    double max_abs_percent = 0.0;      ///< max |error_percent|.
+    double rms_percent = 0.0;          ///< RMS of error_percent.
+    double full_scale = 0.0;           ///< |y| span used for normalization.
+};
+
+/// Computes the non-linearity of y(x). Preconditions: >= 3 points,
+/// non-degenerate x and y spans; throws std::invalid_argument otherwise.
+NonlinearityResult nonlinearity(std::span<const double> x,
+                                std::span<const double> y,
+                                FitKind kind = FitKind::LeastSquares);
+
+/// Shorthand for the headline number (max |NL| in % of full scale).
+double max_nonlinearity_percent(std::span<const double> x,
+                                std::span<const double> y,
+                                FitKind kind = FitKind::LeastSquares);
+
+} // namespace stsense::analysis

@@ -1,0 +1,82 @@
+#include "analysis/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::analysis {
+
+double Polynomial::operator()(double x) const {
+    double acc = 0.0;
+    for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+    return acc;
+}
+
+Polynomial polyfit(std::span<const double> x, std::span<const double> y,
+                   int degree) {
+    if (degree < 0) throw std::invalid_argument("polyfit: negative degree");
+    if (x.size() != y.size()) throw std::invalid_argument("polyfit: size mismatch");
+    const std::size_t n = static_cast<std::size_t>(degree) + 1;
+    if (x.size() < n) throw std::invalid_argument("polyfit: not enough points");
+
+    // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+    std::vector<double> a(n * n, 0.0);
+    std::vector<double> b(n, 0.0);
+    std::vector<double> powers(2 * n - 1, 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        double xp = 1.0;
+        for (std::size_t k = 0; k < 2 * n - 1; ++k) {
+            powers[k] += xp;
+            xp *= x[i];
+        }
+        xp = 1.0;
+        for (std::size_t k = 0; k < n; ++k) {
+            b[k] += xp * y[i];
+            xp *= x[i];
+        }
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) a[r * n + c] = powers[r + c];
+    }
+
+    // Gaussian elimination with partial pivoting.
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t pivot = k;
+        double best = std::abs(a[perm[k] * n + k]);
+        for (std::size_t r = k + 1; r < n; ++r) {
+            if (std::abs(a[perm[r] * n + k]) > best) {
+                best = std::abs(a[perm[r] * n + k]);
+                pivot = r;
+            }
+        }
+        if (best < 1e-300) throw std::invalid_argument("polyfit: singular system");
+        std::swap(perm[k], perm[pivot]);
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double f = a[perm[r] * n + k] / a[perm[k] * n + k];
+            for (std::size_t c = k; c < n; ++c) a[perm[r] * n + c] -= f * a[perm[k] * n + c];
+            b[perm[r]] -= f * b[perm[k]];
+        }
+    }
+    Polynomial p;
+    p.coeffs.assign(n, 0.0);
+    for (std::size_t ki = n; ki-- > 0;) {
+        double sum = b[perm[ki]];
+        for (std::size_t c = ki + 1; c < n; ++c) sum -= a[perm[ki] * n + c] * p.coeffs[c];
+        p.coeffs[ki] = sum / a[perm[ki] * n + ki];
+    }
+    return p;
+}
+
+double max_residual(const Polynomial& p, std::span<const double> x,
+                    std::span<const double> y) {
+    if (x.size() != y.size()) throw std::invalid_argument("max_residual: size mismatch");
+    double m = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        m = std::max(m, std::abs(y[i] - p(x[i])));
+    }
+    return m;
+}
+
+} // namespace stsense::analysis

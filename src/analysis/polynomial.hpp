@@ -1,0 +1,32 @@
+// Polynomial least-squares fitting (normal equations over a dense
+// Gaussian elimination). Used for higher-order sensor inverse models in
+// the calibration study.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace stsense::analysis {
+
+/// Polynomial with coefficients in ascending power order:
+/// p(x) = c[0] + c[1] x + ... + c[n] x^n.
+struct Polynomial {
+    std::vector<double> coeffs;
+
+    /// Horner evaluation; the zero polynomial evaluates to 0.
+    double operator()(double x) const;
+
+    int degree() const { return static_cast<int>(coeffs.size()) - 1; }
+};
+
+/// Least-squares polynomial fit of the given degree.
+/// Preconditions: degree >= 0, points >= degree + 1, sizes match;
+/// throws std::invalid_argument otherwise or if the system is singular.
+Polynomial polyfit(std::span<const double> x, std::span<const double> y,
+                   int degree);
+
+/// Maximum absolute residual |y_i - p(x_i)|.
+double max_residual(const Polynomial& p, std::span<const double> x,
+                    std::span<const double> y);
+
+} // namespace stsense::analysis

@@ -1,0 +1,67 @@
+#include "analysis/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stsense::analysis {
+
+namespace {
+
+void check_nonempty(std::span<const double> samples, const char* what) {
+    if (samples.empty()) {
+        throw std::invalid_argument(std::string(what) + ": empty sample set");
+    }
+}
+
+} // namespace
+
+Summary summarize(std::span<const double> samples) {
+    check_nonempty(samples, "summarize");
+    Summary s;
+    s.count = samples.size();
+    s.min = samples[0];
+    s.max = samples[0];
+    double sum = 0.0;
+    for (double v : samples) {
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.mean = sum / static_cast<double>(s.count);
+    double var = 0.0;
+    for (double v : samples) var += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(var / static_cast<double>(s.count));
+    return s;
+}
+
+double percentile(std::span<const double> samples, double p) {
+    check_nonempty(samples, "percentile");
+    if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of [0,100]");
+    std::vector<double> sorted(samples.begin(), samples.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted[0];
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double f = rank - static_cast<double>(lo);
+    return sorted[lo] + f * (sorted[hi] - sorted[lo]);
+}
+
+double rms(std::span<const double> samples) {
+    check_nonempty(samples, "rms");
+    double sum = 0.0;
+    for (double v : samples) sum += v * v;
+    return std::sqrt(sum / static_cast<double>(samples.size()));
+}
+
+double mean_abs(std::span<const double> samples) {
+    check_nonempty(samples, "mean_abs");
+    double sum = 0.0;
+    for (double v : samples) sum += std::abs(v);
+    return sum / static_cast<double>(samples.size());
+}
+
+} // namespace stsense::analysis

@@ -1,0 +1,31 @@
+// Summary statistics over sample sets (Monte-Carlo calibration spreads,
+// thermal-map errors, cycle jitter).
+#pragma once
+
+#include <span>
+
+namespace stsense::analysis {
+
+/// Standard summary of a sample set.
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0; ///< Population standard deviation.
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/// Computes the summary. Precondition: non-empty; throws otherwise.
+Summary summarize(std::span<const double> samples);
+
+/// p-th percentile (0..100) with linear interpolation between order
+/// statistics. Precondition: non-empty, 0 <= p <= 100.
+double percentile(std::span<const double> samples, double p);
+
+/// Root-mean-square of the samples. Precondition: non-empty.
+double rms(std::span<const double> samples);
+
+/// Mean absolute value. Precondition: non-empty.
+double mean_abs(std::span<const double> samples);
+
+} // namespace stsense::analysis

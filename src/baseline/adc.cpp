@@ -1,0 +1,35 @@
+#include "baseline/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::baseline {
+
+Adc::Adc(int bits, double v_min, double v_max, double noise_v_rms)
+    : bits_(bits), v_min_(v_min), v_max_(v_max), noise_v_rms_(noise_v_rms) {
+    if (bits < 1 || bits > 24) throw std::invalid_argument("Adc: bits out of [1, 24]");
+    if (v_max <= v_min) throw std::invalid_argument("Adc: v_max must be > v_min");
+    if (noise_v_rms < 0.0) throw std::invalid_argument("Adc: negative noise");
+    lsb_ = (v_max_ - v_min_) / static_cast<double>(1u << bits_);
+}
+
+std::uint32_t Adc::convert(double volts, util::Rng& rng) const {
+    const double noisy = noise_v_rms_ > 0.0 ? volts + rng.normal(0.0, noise_v_rms_)
+                                            : volts;
+    return convert(noisy);
+}
+
+std::uint32_t Adc::convert(double volts) const {
+    const double clipped = std::clamp(volts, v_min_, v_max_);
+    const double idx = (clipped - v_min_) / lsb_;
+    const std::uint32_t code = static_cast<std::uint32_t>(idx);
+    return std::min(code, max_code());
+}
+
+double Adc::code_to_voltage(std::uint32_t code) const {
+    const std::uint32_t c = std::min(code, max_code());
+    return v_min_ + (static_cast<double>(c) + 0.5) * lsb_;
+}
+
+} // namespace stsense::baseline

@@ -1,0 +1,41 @@
+// Ideal N-bit ADC model with optional input-referred noise, used to
+// digitize the diode baseline's analogue output (the conversion step the
+// paper identifies as a drawback of analogue sensors in cell-based
+// flows).
+#pragma once
+
+#include "util/rng.hpp"
+
+#include <cstdint>
+
+namespace stsense::baseline {
+
+/// Uniform quantizer over [v_min, v_max] with 2^bits levels.
+class Adc {
+public:
+    /// Preconditions: 1 <= bits <= 24, v_max > v_min, noise >= 0.
+    Adc(int bits, double v_min, double v_max, double noise_v_rms = 0.0);
+
+    /// Converts a voltage to a code; clips outside the input range.
+    /// Noise (if configured) is drawn from `rng`.
+    std::uint32_t convert(double volts, util::Rng& rng) const;
+
+    /// Noise-free conversion.
+    std::uint32_t convert(double volts) const;
+
+    /// Center voltage of a code's quantization bin.
+    double code_to_voltage(std::uint32_t code) const;
+
+    int bits() const { return bits_; }
+    std::uint32_t max_code() const { return (1u << bits_) - 1; }
+    double lsb() const { return lsb_; }
+
+private:
+    int bits_;
+    double v_min_;
+    double v_max_;
+    double noise_v_rms_;
+    double lsb_;
+};
+
+} // namespace stsense::baseline

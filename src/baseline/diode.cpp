@@ -1,0 +1,33 @@
+#include "baseline/diode.hpp"
+
+#include "phys/units.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::baseline {
+
+double saturation_current(const DiodeParams& p, double temp_k) {
+    if (temp_k <= 0.0) throw std::invalid_argument("diode: temp must be > 0");
+    const double vt = phys::thermal_voltage(temp_k);
+    const double vt0 = phys::thermal_voltage(p.t0);
+    // Is(T) = Is0 * (T/T0)^xti * exp(Eg/Vt0 - Eg/Vt) (per-unit-charge Eg in V).
+    return p.is0 * std::pow(temp_k / p.t0, p.xti) *
+           std::exp(p.eg_ev / vt0 - p.eg_ev / vt);
+}
+
+double forward_voltage(const DiodeParams& p, double current_a, double temp_k) {
+    if (current_a <= 0.0) throw std::invalid_argument("diode: current must be > 0");
+    const double is = saturation_current(p, temp_k);
+    return p.eta * phys::thermal_voltage(temp_k) * std::log(current_a / is);
+}
+
+double ptat_voltage(const DiodeParams& p, double i_high, double i_low,
+                    double temp_k) {
+    if (i_high <= i_low || i_low <= 0.0) {
+        throw std::invalid_argument("diode: need i_high > i_low > 0");
+    }
+    return p.eta * phys::thermal_voltage(temp_k) * std::log(i_high / i_low);
+}
+
+} // namespace stsense::baseline

@@ -1,0 +1,36 @@
+// Diode / BJT junction temperature transducer — the classical analogue
+// sensor the paper contrasts with (Pentium 4 thermal diode, PowerPC
+// Thermal Assist Unit). Implemented so the comparison bench can actually
+// run both sensor styles on the same temperature sweep.
+//
+// Physics: V_D = eta * (kT/q) * ln(I / Is(T)), with the saturation
+// current Is(T) = Is0 * (T/T0)^xti * exp(-Eg*q/(k*T) + Eg*q/(k*T0)).
+// A single junction gives ~ -1.6 mV/K with mild curvature; the
+// difference of two junction voltages at different bias currents is the
+// ideally linear PTAT voltage delta_V = eta*(kT/q)*ln(I1/I2).
+#pragma once
+
+namespace stsense::baseline {
+
+/// Junction model parameters.
+struct DiodeParams {
+    double is0 = 1.0e-15;   ///< Saturation current at t0 [A].
+    double eta = 1.006;     ///< Ideality factor.
+    double xti = 3.0;       ///< Saturation-current temperature exponent.
+    double eg_ev = 1.12;    ///< Bandgap [eV].
+    double t0 = 300.0;      ///< Reference temperature [K].
+};
+
+/// Saturation current at `temp_k` [A].
+double saturation_current(const DiodeParams& p, double temp_k);
+
+/// Forward voltage at bias `current_a` and `temp_k` [V].
+/// Preconditions: current_a > 0, temp_k > 0.
+double forward_voltage(const DiodeParams& p, double current_a, double temp_k);
+
+/// PTAT voltage: V(i_high) - V(i_low) at `temp_k` [V]. Linear in T by
+/// construction; the canonical bandgap-sensor core.
+double ptat_voltage(const DiodeParams& p, double i_high, double i_low,
+                    double temp_k);
+
+} // namespace stsense::baseline

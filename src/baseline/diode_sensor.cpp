@@ -1,0 +1,58 @@
+#include "baseline/diode_sensor.hpp"
+
+#include "phys/units.hpp"
+
+#include <stdexcept>
+
+namespace stsense::baseline {
+
+DiodeTemperatureSensor::DiodeTemperatureSensor(DiodeSensorConfig config)
+    : config_(config),
+      adc_(config.adc_bits, config.adc_vmin, config.adc_vmax,
+           config.adc_noise_v) {
+    if (config_.i_high <= config_.i_low || config_.i_low <= 0.0) {
+        throw std::invalid_argument("DiodeTemperatureSensor: need i_high > i_low > 0");
+    }
+}
+
+std::uint32_t DiodeTemperatureSensor::code_at(double temp_c) const {
+    const double v = ptat_voltage(config_.diode, config_.i_high, config_.i_low,
+                                  phys::celsius_to_kelvin(temp_c));
+    return adc_.convert(v);
+}
+
+void DiodeTemperatureSensor::calibrate(double t_low_c, double t_high_c) {
+    if (t_high_c <= t_low_c) {
+        throw std::invalid_argument("calibrate: t_high must be > t_low");
+    }
+    const analysis::CalibrationPoint a{t_low_c, static_cast<double>(code_at(t_low_c))};
+    const analysis::CalibrationPoint b{t_high_c, static_cast<double>(code_at(t_high_c))};
+    cal_ = analysis::LinearCalibration::two_point(a, b);
+    calibrated_ = true;
+}
+
+DiodeMeasurement DiodeTemperatureSensor::finish(double temp_c,
+                                                std::uint32_t code) const {
+    if (!calibrated_) {
+        throw std::logic_error("DiodeTemperatureSensor: measure before calibrate");
+    }
+    DiodeMeasurement m;
+    m.ptat_v = ptat_voltage(config_.diode, config_.i_high, config_.i_low,
+                            phys::celsius_to_kelvin(temp_c));
+    m.code = code;
+    m.temperature_c = cal_.temperature(static_cast<double>(code));
+    return m;
+}
+
+DiodeMeasurement DiodeTemperatureSensor::measure(double temp_c) const {
+    return finish(temp_c, code_at(temp_c));
+}
+
+DiodeMeasurement DiodeTemperatureSensor::measure(double temp_c,
+                                                 util::Rng& rng) const {
+    const double v = ptat_voltage(config_.diode, config_.i_high, config_.i_low,
+                                  phys::celsius_to_kelvin(temp_c));
+    return finish(temp_c, adc_.convert(v, rng));
+}
+
+} // namespace stsense::baseline

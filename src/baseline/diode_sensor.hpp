@@ -1,0 +1,60 @@
+// End-to-end diode temperature sensor: PTAT front-end + ADC + linear
+// code-to-temperature map, mirroring the interface of the ring-based
+// SmartTemperatureSensor so the comparison bench treats both uniformly.
+#pragma once
+
+#include "analysis/calibration.hpp"
+#include "baseline/adc.hpp"
+#include "baseline/diode.hpp"
+
+#include <cstdint>
+
+namespace stsense::baseline {
+
+/// Configuration of the diode sensor channel.
+struct DiodeSensorConfig {
+    DiodeParams diode;
+    double i_high = 10.0e-6; ///< High bias current [A].
+    double i_low = 1.0e-6;   ///< Low bias current [A].
+    int adc_bits = 12;
+    double adc_vmin = 0.0;
+    double adc_vmax = 0.15;  ///< PTAT full scale [V].
+    double adc_noise_v = 0.0;
+};
+
+/// One measurement outcome.
+struct DiodeMeasurement {
+    double ptat_v = 0.0;       ///< Analogue front-end output [V].
+    std::uint32_t code = 0;    ///< ADC code.
+    double temperature_c = 0.0;///< Converted temperature estimate [deg C].
+};
+
+class DiodeTemperatureSensor {
+public:
+    explicit DiodeTemperatureSensor(DiodeSensorConfig config = {});
+
+    /// Two-point calibration at the given reference temperatures (noise-
+    /// free calibration conversions, as in a production trim).
+    void calibrate(double t_low_c, double t_high_c);
+
+    /// Measures at true junction temperature `temp_c`. Requires
+    /// calibrate() first; throws std::logic_error otherwise.
+    DiodeMeasurement measure(double temp_c) const;
+
+    /// Measurement with ADC noise drawn from `rng`.
+    DiodeMeasurement measure(double temp_c, util::Rng& rng) const;
+
+    const DiodeSensorConfig& config() const { return config_; }
+    bool calibrated() const { return calibrated_; }
+
+private:
+    std::uint32_t code_at(double temp_c) const;
+    DiodeMeasurement finish(double temp_c, std::uint32_t code) const;
+
+    DiodeSensorConfig config_;
+    Adc adc_;
+    analysis::LinearCalibration cal_;
+    bool calibrated_ = false;
+};
+
+} // namespace stsense::baseline

@@ -1,0 +1,146 @@
+#include "cells/cell_netlist.hpp"
+
+#include "cells/delay_model.hpp"
+#include "phys/mosfet.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace stsense::cells {
+
+namespace {
+
+/// Collects devices first so parasitics can be attached uniformly.
+struct Instance {
+    spice::NodeId drain;
+    spice::NodeId gate;
+    spice::NodeId source;
+    bool is_pmos = false;
+};
+
+void add_device_with_parasitics(spice::Circuit& ckt,
+                                const phys::Technology& tech,
+                                const Instance& inst, double width,
+                                double vth_shift_v) {
+    phys::MosfetParams params = inst.is_pmos ? tech.pmos : tech.nmos;
+    params.vth0 += vth_shift_v;
+    const phys::MosGeometry geom{width, tech.lmin};
+
+    spice::Mosfet m;
+    m.drain = inst.drain;
+    m.gate = inst.gate;
+    m.source = inst.source;
+    m.params = params;
+    m.geometry = geom;
+    ckt.add_mosfet(m);
+
+    const double cg = phys::gate_capacitance(params, geom);
+    const double cj = phys::drain_capacitance(params, geom);
+    if (!ckt.is_driven(inst.gate) && cg > 0.0) {
+        ckt.add_capacitor(inst.gate, ckt.ground(), cg);
+    }
+    for (spice::NodeId n : {inst.drain, inst.source}) {
+        if (!ckt.is_driven(n) && cj > 0.0) {
+            ckt.add_capacitor(n, ckt.ground(), cj);
+        }
+    }
+}
+
+} // namespace
+
+void emit_cell(spice::Circuit& ckt, const phys::Technology& tech,
+               const CellSpec& spec, spice::NodeId vdd, spice::NodeId in,
+               spice::NodeId out, const std::string& prefix) {
+    emit_cell(ckt, tech, spec, vdd, in, out, prefix, {});
+}
+
+void emit_cell(spice::Circuit& ckt, const phys::Technology& tech,
+               const CellSpec& spec, spice::NodeId vdd, spice::NodeId in,
+               spice::NodeId out, const std::string& prefix,
+               std::span<const spice::NodeId> side_inputs) {
+    validate(spec);
+    phys::validate(tech);
+    if (!ckt.is_driven(vdd)) {
+        throw std::invalid_argument("emit_cell: vdd must be a driven node");
+    }
+    if (!side_inputs.empty()) {
+        if (spec.tie == SideInputTie::Bridge) {
+            throw std::invalid_argument(
+                "emit_cell: explicit side inputs require Supply tie");
+        }
+        if (side_inputs.size() !=
+            static_cast<std::size_t>(input_count(spec.kind) - 1)) {
+            throw std::invalid_argument("emit_cell: wrong side-input count");
+        }
+    }
+
+    const DelayModel model(tech);
+    const CellSizes sz = model.sizes(spec);
+    const int inputs = input_count(spec.kind);
+    const bool bridge = spec.tie == SideInputTie::Bridge;
+
+    // Gate node of logic input i: input 0 always switches; side inputs
+    // connect to the caller's nodes when given, else bridge to the
+    // switching input or tie to the enabling supply.
+    auto gate_of = [&](int i, bool nand_like) -> spice::NodeId {
+        if (i == 0 || bridge) return in;
+        if (!side_inputs.empty()) return side_inputs[static_cast<std::size_t>(i - 1)];
+        return nand_like ? vdd : ckt.ground();
+    };
+
+    std::vector<Instance> devices;
+
+    switch (spec.kind) {
+        case CellKind::Inv: {
+            devices.push_back({out, in, ckt.ground(), false});
+            devices.push_back({out, in, vdd, true});
+            break;
+        }
+        case CellKind::Nand2:
+        case CellKind::Nand3: {
+            // Series NMOS from out to ground; switching device on top.
+            std::vector<spice::NodeId> chain{out};
+            for (int i = 1; i < inputs; ++i) {
+                chain.push_back(ckt.add_node(prefix + ".x" + std::to_string(i)));
+            }
+            chain.push_back(ckt.ground());
+            for (int i = 0; i < inputs; ++i) {
+                devices.push_back({chain[static_cast<std::size_t>(i)],
+                                   gate_of(i, /*nand_like=*/true),
+                                   chain[static_cast<std::size_t>(i) + 1], false});
+            }
+            // Parallel PMOS from vdd to out.
+            for (int i = 0; i < inputs; ++i) {
+                devices.push_back({out, gate_of(i, true), vdd, true});
+            }
+            break;
+        }
+        case CellKind::Nor2:
+        case CellKind::Nor3: {
+            // Series PMOS from vdd to out; switching device nearest out.
+            std::vector<spice::NodeId> chain{out};
+            for (int i = 1; i < inputs; ++i) {
+                chain.push_back(ckt.add_node(prefix + ".x" + std::to_string(i)));
+            }
+            chain.push_back(vdd);
+            for (int i = 0; i < inputs; ++i) {
+                devices.push_back({chain[static_cast<std::size_t>(i)],
+                                   gate_of(i, /*nand_like=*/false),
+                                   chain[static_cast<std::size_t>(i) + 1], true});
+            }
+            // Parallel NMOS from out to ground.
+            for (int i = 0; i < inputs; ++i) {
+                devices.push_back({out, gate_of(i, false), ckt.ground(), false});
+            }
+            break;
+        }
+    }
+
+    for (const auto& inst : devices) {
+        add_device_with_parasitics(ckt, tech, inst,
+                                   inst.is_pmos ? sz.wp : sz.wn,
+                                   spec.vth_shift_v);
+    }
+}
+
+} // namespace stsense::cells

@@ -1,0 +1,44 @@
+// Transistor-level netlist emission for the standard cells.
+//
+// Emits the pull-up / pull-down networks of a CellSpec into a
+// spice::Circuit, including gate and junction parasitics, with the
+// side inputs tied per the spec (Supply or Bridge). This is what turns a
+// RingConfig into the Fig. 1-style transistor-level simulation.
+#pragma once
+
+#include "cells/cell.hpp"
+#include "phys/technology.hpp"
+#include "spice/netlist.hpp"
+
+#include <span>
+#include <string>
+
+namespace stsense::cells {
+
+/// Emits the transistors and parasitic capacitors of one cell.
+///
+/// `in` is the switching input, `out` the cell output; both nodes must
+/// already exist in `ckt`. `vdd` must be a driven supply node. Internal
+/// stack nodes are created as "<prefix>.x1", "<prefix>.x2"...
+///
+/// Parasitics: every transistor contributes its gate capacitance at its
+/// gate node and a junction capacitance at each channel terminal;
+/// capacitances landing on driven nodes are omitted (they cannot affect
+/// the solution).
+void emit_cell(spice::Circuit& ckt, const phys::Technology& tech,
+               const CellSpec& spec, spice::NodeId vdd, spice::NodeId in,
+               spice::NodeId out, const std::string& prefix);
+
+/// Variant with explicit side-input nodes: side input i of a k-input
+/// cell connects to `side_inputs[i]` instead of the tie the spec
+/// dictates. This is how a ring gets a *standard-cell enable*: a NAND
+/// stage whose side input is the EN signal gates the oscillation off —
+/// the paper's "possibility to disable the oscillator". `side_inputs`
+/// must have exactly input_count(kind) - 1 entries; the spec's tie mode
+/// must be Supply (Bridge has no side inputs to rewire).
+void emit_cell(spice::Circuit& ckt, const phys::Technology& tech,
+               const CellSpec& spec, spice::NodeId vdd, spice::NodeId in,
+               spice::NodeId out, const std::string& prefix,
+               std::span<const spice::NodeId> side_inputs);
+
+} // namespace stsense::cells

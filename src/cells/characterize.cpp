@@ -1,0 +1,101 @@
+#include "cells/characterize.hpp"
+
+#include "cells/cell_netlist.hpp"
+#include "spice/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::cells {
+
+CharacterizationResult characterize_cell(const phys::Technology& tech,
+                                         const CellSpec& spec,
+                                         double load_farads, double temp_k,
+                                         const CharacterizeOptions& opt) {
+    if (load_farads < 0.0) {
+        throw std::invalid_argument("characterize_cell: negative load");
+    }
+
+    spice::Circuit ckt;
+    const spice::NodeId vdd = ckt.add_driven_node("vdd", spice::Source::dc(tech.vdd));
+    const spice::NodeId in = ckt.add_driven_node(
+        "in", spice::Source::pulse(0.0, tech.vdd, opt.settle_time,
+                                   opt.pulse_width, /*period=*/0.0,
+                                   opt.input_rise_time));
+    const spice::NodeId out = ckt.add_node("out");
+
+    emit_cell(ckt, tech, spec, vdd, in, out, "dut");
+    if (load_farads > 0.0) ckt.add_capacitor(out, ckt.ground(), load_farads);
+
+    spice::SimOptions sim_opt;
+    sim_opt.temp_k = temp_k;
+    spice::Simulator sim(ckt, sim_opt);
+
+    spice::TransientSpec spec_t;
+    spec_t.t_stop = opt.settle_time + 2.0 * opt.pulse_width;
+    spec_t.dt = opt.time_step;
+    spec_t.probes = {in, out};
+    const spice::TransientResult res = sim.transient(spec_t);
+
+    const spice::Trace& tin = res.trace("in");
+    const spice::Trace& tout = res.trace("out");
+    const double mid = 0.5 * tech.vdd;
+
+    // Input rising makes an inverting output fall, and vice versa.
+    const auto tphl = spice::propagation_delay(tin, tout, mid, spice::EdgeDir::Falling);
+    const auto tplh = spice::propagation_delay(tin, tout, mid, spice::EdgeDir::Rising);
+    if (!tphl || !tplh) {
+        throw std::runtime_error("characterize_cell: output did not switch for " +
+                                 describe(spec));
+    }
+    return {*tphl, *tplh};
+}
+
+VtcResult measure_vtc(const phys::Technology& tech, const CellSpec& spec,
+                      int n_points, double temp_k) {
+    if (n_points < 8) throw std::invalid_argument("measure_vtc: n_points < 8");
+
+    VtcResult out;
+    out.vin.reserve(static_cast<std::size_t>(n_points));
+    out.vout.reserve(static_cast<std::size_t>(n_points));
+
+    for (int i = 0; i < n_points; ++i) {
+        const double vin =
+            tech.vdd * static_cast<double>(i) / static_cast<double>(n_points - 1);
+
+        spice::Circuit ckt;
+        const spice::NodeId vdd =
+            ckt.add_driven_node("vdd", spice::Source::dc(tech.vdd));
+        const spice::NodeId in = ckt.add_driven_node("in", spice::Source::dc(vin));
+        const spice::NodeId node_out = ckt.add_node("out");
+        emit_cell(ckt, tech, spec, vdd, in, node_out, "dut");
+
+        spice::SimOptions opt;
+        opt.temp_k = temp_k;
+        spice::Simulator sim(ckt, opt);
+        const auto volts = sim.dc_operating_point();
+        out.vin.push_back(vin);
+        out.vout.push_back(volts[node_out.index]);
+    }
+
+    // Switching threshold: Vout - Vin crosses zero (falling through it).
+    for (std::size_t i = 1; i < out.vin.size(); ++i) {
+        const double d0 = out.vout[i - 1] - out.vin[i - 1];
+        const double d1 = out.vout[i] - out.vin[i];
+        if (d0 >= 0.0 && d1 < 0.0) {
+            const double f = d0 / (d0 - d1);
+            out.switching_threshold_v =
+                out.vin[i - 1] + f * (out.vin[i] - out.vin[i - 1]);
+            break;
+        }
+    }
+    for (std::size_t i = 1; i < out.vin.size(); ++i) {
+        const double gain = std::abs((out.vout[i] - out.vout[i - 1]) /
+                                     (out.vin[i] - out.vin[i - 1]));
+        out.max_gain = std::max(out.max_gain, gain);
+    }
+    return out;
+}
+
+} // namespace stsense::cells

@@ -1,0 +1,52 @@
+// SPICE-based cell characterization: measures t_pHL / t_pLH of a cell
+// the way a library characterization flow would — a driven input edge
+// into the transistor-level cell with an explicit output load — and is
+// used to validate the analytic DelayModel.
+#pragma once
+
+#include "cells/cell.hpp"
+#include "phys/technology.hpp"
+
+#include <vector>
+
+namespace stsense::cells {
+
+/// Measured propagation delays of one characterization run.
+struct CharacterizationResult {
+    double tphl = 0.0; ///< Output falling delay [s].
+    double tplh = 0.0; ///< Output rising delay [s].
+};
+
+/// Characterization settings.
+struct CharacterizeOptions {
+    double input_rise_time = 3.0e-11; ///< Stimulus edge ramp [s].
+    double time_step = 1.0e-12;       ///< Transient step [s].
+    double settle_time = 5.0e-10;     ///< Quiet time before the first edge [s].
+    double pulse_width = 2.0e-9;      ///< Input high time [s].
+};
+
+/// Simulates the cell driving `load_farads` at `temp_k` and extracts
+/// both propagation delays (50%-to-50%). Throws std::runtime_error if a
+/// delay cannot be measured (e.g. the output never switches).
+CharacterizationResult characterize_cell(const phys::Technology& tech,
+                                         const CellSpec& spec,
+                                         double load_farads, double temp_k,
+                                         const CharacterizeOptions& opt = {});
+
+/// Voltage transfer characteristic of a cell used as an inverter: a DC
+/// sweep of the switching input. The switching threshold (where
+/// Vout = Vin) sets the ring nodes' effective trip point and hence the
+/// duty cycle; it moves with the Wp/Wn ratio, which is why the Fig. 2
+/// sizing knob also skews the waveform.
+struct VtcResult {
+    std::vector<double> vin;  ///< Sweep points [V].
+    std::vector<double> vout; ///< DC output at each point [V].
+    double switching_threshold_v = 0.0; ///< Vin where Vout = Vin.
+    double max_gain = 0.0;              ///< max |dVout/dVin| (regeneration).
+};
+
+/// Runs an n_points DC sweep from 0 to Vdd. Preconditions: n_points >= 8.
+VtcResult measure_vtc(const phys::Technology& tech, const CellSpec& spec,
+                      int n_points, double temp_k);
+
+} // namespace stsense::cells

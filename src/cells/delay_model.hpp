@@ -1,0 +1,74 @@
+// Analytic propagation-delay model for the standard cells.
+//
+// Delay of a CMOS stage under the alpha-power law (Sakurai–Newton):
+//
+//     t_p = K * C_L * Vdd / I_eff(T)
+//
+// where I_eff is the effective drive of the switching network:
+// a k-deep series stack divides the saturation current by k, and (in
+// Bridge tie mode) k parallel switching devices multiply it by k.
+//
+// Because I_eff carries the full temperature model of phys::MosfetParams,
+// this closed form reproduces the period-vs-temperature curvature that
+// the paper tunes via Wp/Wn ratio (Fig. 2) and cell mix (Fig. 3) at a
+// fraction of the cost of transistor-level simulation. The SPICE
+// cross-check bench quantifies the agreement.
+#pragma once
+
+#include "cells/cell.hpp"
+#include "phys/technology.hpp"
+
+namespace stsense::cells {
+
+/// Drawn transistor widths of a cell instance.
+struct CellSizes {
+    double wn = 0.0; ///< Each NMOS width [m].
+    double wp = 0.0; ///< Each PMOS width [m].
+};
+
+/// Propagation delays of one cell for a given load and temperature.
+struct CellDelays {
+    double tphl = 0.0; ///< High-to-low output transition [s].
+    double tplh = 0.0; ///< Low-to-high output transition [s].
+
+    double pair_delay() const { return tphl + tplh; }
+};
+
+/// Analytic delay/capacitance model bound to one technology.
+class DelayModel {
+public:
+    /// Validates and captures the technology by value.
+    explicit DelayModel(const phys::Technology& tech);
+
+    /// Transistor widths implied by the spec (drive and ratio applied).
+    CellSizes sizes(const CellSpec& spec) const;
+
+    /// Capacitive load the cell presents to its driver [F]. Accounts for
+    /// the number of connected input pins (1 for Supply tie, all for
+    /// Bridge tie).
+    double input_capacitance(const CellSpec& spec) const;
+
+    /// Parasitic capacitance at the cell's own output node [F].
+    double output_capacitance(const CellSpec& spec) const;
+
+    /// Effective pull-down / pull-up saturation currents at temp_k [A].
+    double pulldown_current(const CellSpec& spec, double temp_k) const;
+    double pullup_current(const CellSpec& spec, double temp_k) const;
+
+    /// Propagation delays driving `load_farads` at `temp_k`.
+    CellDelays delays(const CellSpec& spec, double load_farads,
+                      double temp_k) const;
+
+    const phys::Technology& technology() const { return tech_; }
+
+private:
+    double resolved_ratio(const CellSpec& spec) const;
+
+    phys::Technology tech_;
+};
+
+/// Proportionality constant in t_p = K * C_L * Vdd / I_eff. The standard
+/// step-response estimate gives K = 1/2 (output slews half the swing).
+inline constexpr double kDelayFactor = 0.5;
+
+} // namespace stsense::cells

@@ -1,0 +1,129 @@
+#include "cells/liberty.hpp"
+
+#include "cells/delay_model.hpp"
+#include "phys/units.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stsense::cells {
+
+namespace {
+
+std::string fmt(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+std::string index_list(const std::vector<double>& values, double scale) {
+    std::string out = "\"";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i) out += ", ";
+        out += fmt(values[i] * scale);
+    }
+    out += "\"";
+    return out;
+}
+
+/// One values() row per load; entries per temperature; delays in ps.
+void emit_table(std::ostringstream& os, const char* kind,
+                const DelayTable& table, bool rise) {
+    os << "        " << kind << " (load_temp_template) {\n";
+    os << "          index_1 (" << index_list(table.loads(), 1e15) << ");\n";
+    os << "          index_2 (" << index_list(table.temps(), 1.0) << ");\n";
+    os << "          values ( \\\n";
+    for (std::size_t il = 0; il < table.loads().size(); ++il) {
+        os << "            \"";
+        for (std::size_t it = 0; it < table.temps().size(); ++it) {
+            if (it) os << ", ";
+            const CellDelays d = table.lookup(table.loads()[il], table.temps()[it]);
+            os << fmt((rise ? d.tplh : d.tphl) * 1e12);
+        }
+        os << "\"" << (il + 1 < table.loads().size() ? ", \\" : " \\") << "\n";
+    }
+    os << "          );\n        }\n";
+}
+
+} // namespace
+
+std::string liberty_cell_name(const CellSpec& spec) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "_X%g", spec.drive);
+    return to_string(spec.kind) + buf;
+}
+
+std::string liberty_function(CellKind kind) {
+    switch (kind) {
+        case CellKind::Inv: return "!A1";
+        case CellKind::Nand2: return "!(A1 & A2)";
+        case CellKind::Nand3: return "!(A1 & A2 & A3)";
+        case CellKind::Nor2: return "!(A1 | A2)";
+        case CellKind::Nor3: return "!(A1 | A2 | A3)";
+    }
+    throw std::invalid_argument("liberty_function: bad kind");
+}
+
+std::string liberty_text(const phys::Technology& tech,
+                         std::span<const CellSpec> specs,
+                         std::vector<double> loads_f,
+                         std::vector<double> temps_k) {
+    if (specs.empty()) throw std::invalid_argument("liberty_text: no cells");
+    if (loads_f.empty()) loads_f = default_load_axis();
+    if (temps_k.empty()) temps_k = default_temp_axis_k();
+
+    const DelayModel model(tech);
+    std::ostringstream os;
+    os << "/* stsense characterization export.\n"
+       << " * NOTE: index_2 is junction temperature in kelvin (not input\n"
+       << " * slew) — these tables characterize the thermal transducer. */\n";
+    os << "library (stsense_" << tech.name << ") {\n";
+    os << "  delay_model : table_lookup;\n";
+    os << "  time_unit : \"1ps\";\n";
+    os << "  voltage_unit : \"1V\";\n";
+    os << "  capacitive_load_unit (1, ff);\n";
+    os << "  nom_voltage : " << fmt(tech.vdd) << ";\n";
+    os << "  nom_temperature : 27;\n";
+    os << "  lu_table_template (load_temp_template) {\n"
+       << "    variable_1 : total_output_net_capacitance;\n"
+       << "    variable_2 : temperature;\n"
+       << "    index_1 (" << index_list(loads_f, 1e15) << ");\n"
+       << "    index_2 (" << index_list(temps_k, 1.0) << ");\n  }\n";
+
+    for (const CellSpec& spec : specs) {
+        const DelayTable table(tech, spec, loads_f, temps_k);
+        const CellSizes sz = model.sizes(spec);
+        os << "  cell (" << liberty_cell_name(spec) << ") {\n";
+        os << "    area : "
+           << fmt((sz.wn + sz.wp) * tech.lmin * input_count(spec.kind) * 1e12)
+           << ";\n";
+        for (int i = 0; i < input_count(spec.kind); ++i) {
+            os << "    pin (A" << i + 1 << ") {\n"
+               << "      direction : input;\n"
+               << "      capacitance : "
+               << fmt(model.input_capacitance(spec) * 1e15) << ";\n    }\n";
+        }
+        os << "    pin (Y) {\n"
+           << "      direction : output;\n"
+           << "      function : \"" << liberty_function(spec.kind) << "\";\n"
+           << "      timing () {\n"
+           << "        related_pin : \"A1\";\n";
+        emit_table(os, "cell_rise", table, /*rise=*/true);
+        emit_table(os, "cell_fall", table, /*rise=*/false);
+        os << "      }\n    }\n  }\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+void write_liberty(const std::string& path, const phys::Technology& tech,
+                   std::span<const CellSpec> specs, std::vector<double> loads_f,
+                   std::vector<double> temps_k) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("write_liberty: cannot open " + path);
+    out << liberty_text(tech, specs, std::move(loads_f), std::move(temps_k));
+}
+
+} // namespace stsense::cells

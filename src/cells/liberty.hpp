@@ -1,0 +1,40 @@
+// Liberty (.lib) export of the characterized cells.
+//
+// Downstream cell-based flows consume characterization as Liberty
+// tables; this writer emits the sensor cells with their input
+// capacitances, logic functions and (load x temperature) delay tables —
+// temperature replaces the customary input-slew axis because this
+// library characterizes the thermal transducer behaviour (noted in the
+// emitted comment header).
+#pragma once
+
+#include "cells/nldm.hpp"
+#include "phys/technology.hpp"
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stsense::cells {
+
+/// Renders a Liberty library for the given cells characterized over the
+/// given axes (defaults when empty). Deterministic text output.
+std::string liberty_text(const phys::Technology& tech,
+                         std::span<const CellSpec> specs,
+                         std::vector<double> loads_f = {},
+                         std::vector<double> temps_k = {});
+
+/// Writes liberty_text() to a file; throws std::runtime_error on I/O
+/// failure.
+void write_liberty(const std::string& path, const phys::Technology& tech,
+                   std::span<const CellSpec> specs,
+                   std::vector<double> loads_f = {},
+                   std::vector<double> temps_k = {});
+
+/// Liberty cell name for a spec, e.g. "INV_X1" or "NAND2_X2".
+std::string liberty_cell_name(const CellSpec& spec);
+
+/// Liberty boolean function of the output pin, e.g. "!(A1 & A2)".
+std::string liberty_function(CellKind kind);
+
+} // namespace stsense::cells

@@ -1,0 +1,98 @@
+#include "cells/nldm.hpp"
+
+#include "cells/characterize.hpp"
+#include "phys/units.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stsense::cells {
+
+namespace {
+
+void check_axis(const std::vector<double>& axis, const char* name) {
+    if (axis.size() < 2) {
+        throw std::invalid_argument(std::string("DelayTable: axis '") + name +
+                                    "' needs >= 2 points");
+    }
+    for (std::size_t i = 1; i < axis.size(); ++i) {
+        if (axis[i] <= axis[i - 1]) {
+            throw std::invalid_argument(std::string("DelayTable: axis '") + name +
+                                        "' must be strictly increasing");
+        }
+    }
+}
+
+/// Returns (lower index, interpolation fraction) for v on axis, clamped.
+std::pair<std::size_t, double> locate(const std::vector<double>& axis, double v) {
+    if (v <= axis.front()) return {0, 0.0};
+    if (v >= axis.back()) return {axis.size() - 2, 1.0};
+    const auto it = std::upper_bound(axis.begin(), axis.end(), v);
+    const std::size_t hi = static_cast<std::size_t>(it - axis.begin());
+    const std::size_t lo = hi - 1;
+    return {lo, (v - axis[lo]) / (axis[hi] - axis[lo])};
+}
+
+} // namespace
+
+DelayTable::DelayTable(const phys::Technology& tech, const CellSpec& spec,
+                       std::vector<double> loads_f, std::vector<double> temps_k,
+                       CharacterizationSource source)
+    : spec_(spec), loads_(std::move(loads_f)), temps_(std::move(temps_k)) {
+    check_axis(loads_, "load");
+    check_axis(temps_, "temp");
+    validate(spec_);
+
+    const DelayModel model(tech);
+    grid_.resize(loads_.size() * temps_.size());
+    for (std::size_t il = 0; il < loads_.size(); ++il) {
+        for (std::size_t it = 0; it < temps_.size(); ++it) {
+            CellDelays d;
+            if (source == CharacterizationSource::AnalyticModel) {
+                d = model.delays(spec_, loads_[il], temps_[it]);
+            } else {
+                const CharacterizationResult r =
+                    characterize_cell(tech, spec_, loads_[il], temps_[it]);
+                d.tphl = r.tphl;
+                d.tplh = r.tplh;
+            }
+            grid_[index(il, it)] = d;
+        }
+    }
+}
+
+CellDelays DelayTable::lookup(double load_f, double temp_k) const {
+    const auto [il, fl] = locate(loads_, load_f);
+    const auto [it, ft] = locate(temps_, temp_k);
+
+    auto lerp2 = [&](auto pick) {
+        const double v00 = pick(grid_[index(il, it)]);
+        const double v01 = pick(grid_[index(il, it + 1)]);
+        const double v10 = pick(grid_[index(il + 1, it)]);
+        const double v11 = pick(grid_[index(il + 1, it + 1)]);
+        const double lo = v00 + ft * (v01 - v00);
+        const double hi = v10 + ft * (v11 - v10);
+        return lo + fl * (hi - lo);
+    };
+
+    CellDelays out;
+    out.tphl = lerp2([](const CellDelays& d) { return d.tphl; });
+    out.tplh = lerp2([](const CellDelays& d) { return d.tplh; });
+    return out;
+}
+
+std::vector<double> default_load_axis() {
+    using phys::femto;
+    return {femto(2.0), femto(4.0), femto(8.0), femto(16.0), femto(32.0),
+            femto(80.0)};
+}
+
+std::vector<double> default_temp_axis_k() {
+    std::vector<double> t;
+    for (double c = -60.0; c <= 160.0 + 1e-9; c += 20.0) {
+        t.push_back(phys::celsius_to_kelvin(c));
+    }
+    return t;
+}
+
+} // namespace stsense::cells

@@ -1,0 +1,59 @@
+// NLDM-style characterization tables.
+//
+// Production cell libraries ship delays as lookup tables over (load,
+// condition) rather than analytic formulas. This module characterizes a
+// cell into a (load x temperature) table — from either the analytic
+// model or transistor-level SPICE runs — and answers queries by
+// bilinear interpolation, exactly like a liberty NLDM consumer would.
+// It lets the ring sweeps run from "library data" instead of the model,
+// closing the loop with a real cell-based design flow.
+#pragma once
+
+#include "cells/cell.hpp"
+#include "cells/delay_model.hpp"
+#include "phys/technology.hpp"
+
+#include <vector>
+
+namespace stsense::cells {
+
+/// Characterization source for table construction.
+enum class CharacterizationSource {
+    AnalyticModel, ///< Fast; exact samples of DelayModel.
+    Spice,         ///< Transistor-level measurements (slow, authoritative).
+};
+
+/// A (load, temperature) -> {tphl, tplh} lookup table for one cell.
+class DelayTable {
+public:
+    /// Characterizes `spec` on the grid loads x temps. Axes must be
+    /// strictly increasing with >= 2 entries each.
+    DelayTable(const phys::Technology& tech, const CellSpec& spec,
+               std::vector<double> loads_f, std::vector<double> temps_k,
+               CharacterizationSource source = CharacterizationSource::AnalyticModel);
+
+    /// Bilinear interpolation; clamps outside the characterized grid
+    /// (standard liberty consumer behaviour).
+    CellDelays lookup(double load_f, double temp_k) const;
+
+    const std::vector<double>& loads() const { return loads_; }
+    const std::vector<double>& temps() const { return temps_; }
+    const CellSpec& spec() const { return spec_; }
+
+private:
+    std::size_t index(std::size_t il, std::size_t it) const {
+        return il * temps_.size() + it;
+    }
+
+    CellSpec spec_;
+    std::vector<double> loads_;
+    std::vector<double> temps_;
+    std::vector<CellDelays> grid_; ///< loads-major.
+};
+
+/// Default characterization axes spanning the sensor's operating space:
+/// loads 2..80 fF (log-ish spacing), temps -60..160 degC.
+std::vector<double> default_load_axis();
+std::vector<double> default_temp_axis_k();
+
+} // namespace stsense::cells

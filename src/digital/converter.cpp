@@ -1,0 +1,67 @@
+#include "digital/converter.hpp"
+
+#include <stdexcept>
+
+namespace stsense::digital {
+
+LinearConverter::LinearConverter(const analysis::LinearCalibration& cal,
+                                 int code_shift)
+    : code_shift_(code_shift) {
+    if (code_shift < 0 || code_shift > 24) {
+        throw std::invalid_argument("LinearConverter: code_shift out of [0, 24]");
+    }
+    // Store gain pre-scaled by 2^shift so that typical per-code gains
+    // (~1e-3 degC/count) keep enough Q16.16 mantissa bits.
+    gain_ = Fx::from_double(cal.gain() * static_cast<double>(std::int64_t{1} << code_shift));
+    offset_ = Fx::from_double(cal.offset());
+    if (gain_.is_saturated() || offset_.is_saturated()) {
+        throw std::invalid_argument("LinearConverter: calibration out of Q16.16 range");
+    }
+}
+
+Fx LinearConverter::convert(std::uint32_t code) const {
+    // temp_raw = offset_raw + (gain_raw * code) >> shift, all in int64:
+    // exactly the MAC a synthesized datapath would perform.
+    const std::int64_t prod = static_cast<std::int64_t>(gain_.raw()) *
+                              static_cast<std::int64_t>(code);
+    const std::int64_t shifted = prod >> code_shift_;
+    return Fx::from_raw(static_cast<std::int64_t>(offset_.raw()) + shifted);
+}
+
+ReciprocalConverter::ReciprocalConverter(Fx offset, Fx gain,
+                                         std::uint64_t recip_scale)
+    : offset_(offset), gain_(gain), recip_scale_(recip_scale) {
+    if (recip_scale == 0 || recip_scale > (std::uint64_t{1} << 30)) {
+        throw std::invalid_argument("ReciprocalConverter: recip_scale out of (0, 2^30]");
+    }
+}
+
+ReciprocalConverter ReciprocalConverter::from_two_point(std::uint32_t code_a,
+                                                        double temp_a_c,
+                                                        std::uint32_t code_b,
+                                                        double temp_b_c,
+                                                        std::uint64_t recip_scale) {
+    if (code_a == 0 || code_b == 0 || code_a == code_b) {
+        throw std::invalid_argument("ReciprocalConverter: degenerate codes");
+    }
+    const double ra = static_cast<double>(recip_scale) / code_a;
+    const double rb = static_cast<double>(recip_scale) / code_b;
+    const double gain = (temp_a_c - temp_b_c) / (ra - rb);
+    const double offset = temp_a_c - gain * ra;
+    return ReciprocalConverter(Fx::from_double(offset), Fx::from_double(gain),
+                               recip_scale);
+}
+
+Fx ReciprocalConverter::reciprocal(std::uint32_t code) const {
+    if (code == 0) throw std::domain_error("ReciprocalConverter: code is zero");
+    // Integer division with 16 fractional quotient bits — the output of
+    // a 46-bit restoring divider.
+    const std::uint64_t num = recip_scale_ << Fx::kFracBits;
+    return Fx::from_raw(static_cast<std::int64_t>(num / code));
+}
+
+Fx ReciprocalConverter::convert(std::uint32_t code) const {
+    return offset_ + gain_ * reciprocal(code);
+}
+
+} // namespace stsense::digital

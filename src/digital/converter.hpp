@@ -1,0 +1,73 @@
+// Fixed-point code -> temperature converters (the arithmetic half of the
+// smart unit's "digital processing bloc").
+//
+// OscWindow codes are linear in temperature, so the datapath is a single
+// Q16.16 multiply-accumulate: T = offset + gain * code. RefWindow codes
+// are inverse in the period, so a hardware-style restoring division
+// produces scale/code first: T = offset + gain * (scale / code).
+#pragma once
+
+#include "analysis/calibration.hpp"
+#include "digital/fixed_point.hpp"
+
+#include <cstdint>
+
+namespace stsense::digital {
+
+/// Linear converter: T = offset + gain * (code / code_scale).
+///
+/// `code_scale` is a power-of-two pre-shift applied to the raw counter
+/// value so large codes fit the Q16.16 gain multiply without saturating
+/// (a hardware barrel shift). Gains are stored in Q16.16.
+class LinearConverter {
+public:
+    /// Builds from a calibration in the *code domain* (reading = code).
+    /// `code_shift` >= 0 selects code_scale = 2^code_shift.
+    LinearConverter(const analysis::LinearCalibration& cal, int code_shift = 6);
+
+    /// Converts a raw code to Q16.16 degrees Celsius.
+    Fx convert(std::uint32_t code) const;
+
+    /// Convenience: converted value as a double [deg C].
+    double convert_c(std::uint32_t code) const { return convert(code).to_double(); }
+
+    Fx offset() const { return offset_; }
+    Fx gain() const { return gain_; }
+    int code_shift() const { return code_shift_; }
+
+private:
+    Fx offset_;
+    Fx gain_; ///< Degrees per *shifted* code unit, Q16.16.
+    int code_shift_;
+};
+
+/// Reciprocal converter for RefWindow codes:
+/// T = offset + gain * (recip_scale / code), with the division done in
+/// integer arithmetic exactly as a sequential hardware divider would.
+class ReciprocalConverter {
+public:
+    /// `recip_scale` is the dividend constant (design-time choice; pick
+    /// ~= nominal_code * 2^10 for ~10 fractional bits of quotient).
+    ReciprocalConverter(Fx offset, Fx gain, std::uint64_t recip_scale);
+
+    /// Builds from two calibration points measured in the code domain.
+    static ReciprocalConverter from_two_point(std::uint32_t code_a, double temp_a_c,
+                                              std::uint32_t code_b, double temp_b_c,
+                                              std::uint64_t recip_scale);
+
+    /// Converts a raw code; throws std::domain_error on code == 0.
+    Fx convert(std::uint32_t code) const;
+    double convert_c(std::uint32_t code) const { return convert(code).to_double(); }
+
+    std::uint64_t recip_scale() const { return recip_scale_; }
+
+private:
+    /// Integer reciprocal: floor(recip_scale / code), as Q16.16.
+    Fx reciprocal(std::uint32_t code) const;
+
+    Fx offset_;
+    Fx gain_;
+    std::uint64_t recip_scale_;
+};
+
+} // namespace stsense::digital

@@ -1,0 +1,52 @@
+#include "digital/fixed_point.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::digital {
+
+Fx Fx::saturate(std::int64_t raw) {
+    if (raw > kRawMax) return Fx(static_cast<std::int32_t>(kRawMax));
+    if (raw < kRawMin) return Fx(static_cast<std::int32_t>(kRawMin));
+    return Fx(static_cast<std::int32_t>(raw));
+}
+
+Fx Fx::from_raw(std::int64_t raw) {
+    return saturate(raw);
+}
+
+Fx Fx::from_int(std::int32_t v) {
+    return saturate(static_cast<std::int64_t>(v) << kFracBits);
+}
+
+Fx Fx::from_double(double v) {
+    if (std::isnan(v)) throw std::domain_error("Fx::from_double: NaN");
+    return saturate(static_cast<std::int64_t>(std::llround(v * kOne)));
+}
+
+Fx Fx::operator+(Fx o) const {
+    return saturate(static_cast<std::int64_t>(raw_) + o.raw_);
+}
+
+Fx Fx::operator-(Fx o) const {
+    return saturate(static_cast<std::int64_t>(raw_) - o.raw_);
+}
+
+Fx Fx::operator*(Fx o) const {
+    const std::int64_t prod = static_cast<std::int64_t>(raw_) * o.raw_;
+    // Round to nearest on the >> kFracBits shift, as a hardware
+    // round-half-up multiplier would.
+    return saturate((prod + (kOne >> 1)) >> kFracBits);
+}
+
+Fx Fx::operator/(Fx o) const {
+    if (o.raw_ == 0) throw std::domain_error("Fx: divide by zero");
+    const std::int64_t num = static_cast<std::int64_t>(raw_) << kFracBits;
+    return saturate(num / o.raw_);
+}
+
+Fx Fx::operator-() const {
+    return saturate(-static_cast<std::int64_t>(raw_));
+}
+
+} // namespace stsense::digital

@@ -1,0 +1,54 @@
+// Q16.16 fixed-point arithmetic.
+//
+// The smart unit's digital block converts a period count to a
+// temperature word without a floating-point unit; this type models the
+// 32-bit signed Q16.16 datapath it would synthesize to, with saturation
+// on overflow (matching a hardware saturating ALU).
+#pragma once
+
+#include <cstdint>
+
+namespace stsense::digital {
+
+/// Signed Q16.16 fixed-point value stored in 32 bits (modelled through
+/// int64 internally for intermediate products).
+class Fx {
+public:
+    static constexpr int kFracBits = 16;
+    static constexpr std::int64_t kOne = std::int64_t{1} << kFracBits;
+    static constexpr std::int64_t kRawMax = INT32_MAX;
+    static constexpr std::int64_t kRawMin = INT32_MIN;
+
+    constexpr Fx() = default;
+
+    static Fx from_raw(std::int64_t raw);
+    static Fx from_int(std::int32_t v);
+    static Fx from_double(double v);
+
+    std::int32_t raw() const { return raw_; }
+    double to_double() const { return static_cast<double>(raw_) / kOne; }
+    /// Integer part, truncated toward negative infinity.
+    std::int32_t floor() const { return static_cast<std::int32_t>(raw_ >> kFracBits); }
+
+    Fx operator+(Fx o) const;
+    Fx operator-(Fx o) const;
+    Fx operator*(Fx o) const;
+    /// Division; throws std::domain_error on divide-by-zero.
+    Fx operator/(Fx o) const;
+    Fx operator-() const;
+
+    friend bool operator==(Fx, Fx) = default;
+    bool operator<(Fx o) const { return raw_ < o.raw_; }
+
+    /// True if the last from_double / arithmetic saturated. (Sticky per
+    /// value: saturation produces exactly kRawMax/kRawMin.)
+    bool is_saturated() const { return raw_ == kRawMax || raw_ == kRawMin; }
+
+private:
+    explicit constexpr Fx(std::int32_t raw) : raw_(raw) {}
+    static Fx saturate(std::int64_t raw);
+
+    std::int32_t raw_ = 0;
+};
+
+} // namespace stsense::digital

@@ -1,0 +1,69 @@
+#include "digital/serial.hpp"
+
+#include <stdexcept>
+
+namespace stsense::digital {
+
+SpiSlave::SpiSlave(SmartUnit& unit) : unit_(unit) {}
+
+void SpiSlave::select(bool selected) {
+    selected_ = selected;
+    bits_ = 0;
+    command_ = 0;
+    shift_in_ = 0;
+    shift_out_ = 0;
+}
+
+bool SpiSlave::clock_bit(bool mosi) {
+    if (!selected_) throw std::logic_error("SpiSlave: not selected");
+    if (bits_ >= kCommandBits + kDataBits) {
+        throw std::logic_error("SpiSlave: transaction already complete");
+    }
+
+    bool miso = false;
+    if (bits_ < kCommandBits) {
+        command_ = static_cast<std::uint8_t>((command_ << 1) | (mosi ? 1 : 0));
+        ++bits_;
+        if (bits_ == kCommandBits && !(command_ & kWriteFlag)) {
+            // Read: latch the register now; data shifts out MSB first.
+            shift_out_ = unit_.read(command_ & 0x03u);
+        }
+    } else {
+        const bool is_write = (command_ & kWriteFlag) != 0;
+        if (is_write) {
+            shift_in_ = (shift_in_ << 1) | (mosi ? 1u : 0u);
+        } else {
+            miso = (shift_out_ & 0x80000000u) != 0;
+            shift_out_ <<= 1;
+        }
+        ++bits_;
+        if (bits_ == kCommandBits + kDataBits && is_write) {
+            unit_.write(command_ & 0x03u, shift_in_);
+        }
+    }
+    return miso;
+}
+
+std::uint32_t SpiSlave::read_register(std::uint32_t addr) {
+    if (addr > 3) throw std::invalid_argument("SpiSlave: address out of range");
+    select(true);
+    const std::uint8_t cmd = static_cast<std::uint8_t>(addr & 0x03u);
+    for (int b = 7; b >= 0; --b) clock_bit((cmd >> b) & 1);
+    std::uint32_t value = 0;
+    for (int b = 0; b < kDataBits; ++b) {
+        value = (value << 1) | (clock_bit(false) ? 1u : 0u);
+    }
+    select(false);
+    return value;
+}
+
+void SpiSlave::write_register(std::uint32_t addr, std::uint32_t value) {
+    if (addr > 3) throw std::invalid_argument("SpiSlave: address out of range");
+    select(true);
+    const std::uint8_t cmd = static_cast<std::uint8_t>(kWriteFlag | (addr & 0x03u));
+    for (int b = 7; b >= 0; --b) clock_bit((cmd >> b) & 1);
+    for (int b = kDataBits - 1; b >= 0; --b) clock_bit((value >> b) & 1);
+    select(false);
+}
+
+} // namespace stsense::digital

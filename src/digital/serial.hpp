@@ -1,0 +1,60 @@
+// Serial (SPI-style) readout port for the smart unit.
+//
+// A built-in sensor is only useful if its result leaves the die cheaply;
+// the paper's unit "produce[s] an output signal" and multiplexes
+// readouts. This module models the bit-level serial slave a test/debug
+// port would expose: an 8-bit command (R/W flag + register address)
+// followed by 32 data bits, MSB first, giving testers register-accurate
+// access to CTRL/STATUS/DATA over four pins.
+#pragma once
+
+#include "digital/smart_unit.hpp"
+
+#include <cstdint>
+
+namespace stsense::digital {
+
+/// Bit-level SPI slave bound to a SmartUnit register bus.
+///
+/// Protocol (mode 0, MSB first):
+///   byte 0:  bit 7 = write flag, bits 1:0 = register address
+///   bits 8..39: data (write: master -> slave; read: slave -> master)
+///
+/// The slave must be selected (cs(true)) before clocking; deselecting
+/// aborts and resets any partial transaction.
+class SpiSlave {
+public:
+    /// The unit must outlive the slave.
+    explicit SpiSlave(SmartUnit& unit);
+
+    /// Chip-select control; select(false) resets the transaction state.
+    void select(bool selected);
+    bool selected() const { return selected_; }
+
+    /// One SCK cycle: samples `mosi`, returns the MISO level for this
+    /// bit. Throws std::logic_error if not selected. Register writes are
+    /// applied when the final data bit lands; invalid addresses on write
+    /// surface as std::invalid_argument from the unit at that point.
+    bool clock_bit(bool mosi);
+
+    /// Bits clocked in the current transaction (0..40).
+    int bit_count() const { return bits_; }
+
+    // Convenience full transactions (40 clocks each).
+    std::uint32_t read_register(std::uint32_t addr);
+    void write_register(std::uint32_t addr, std::uint32_t value);
+
+    static constexpr std::uint8_t kWriteFlag = 0x80;
+    static constexpr int kCommandBits = 8;
+    static constexpr int kDataBits = 32;
+
+private:
+    SmartUnit& unit_;
+    bool selected_ = false;
+    int bits_ = 0;
+    std::uint8_t command_ = 0;
+    std::uint32_t shift_in_ = 0;
+    std::uint32_t shift_out_ = 0;
+};
+
+} // namespace stsense::digital

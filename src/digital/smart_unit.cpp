@@ -1,0 +1,181 @@
+#include "digital/smart_unit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::digital {
+
+SmartUnit::SmartUnit(SmartUnitConfig config, PeriodProvider provider)
+    : config_(config),
+      provider_(std::move(provider)),
+      channel_data_(static_cast<std::size_t>(std::max(config.num_channels, 1)), 0),
+      channel_valid_(static_cast<std::size_t>(std::max(config.num_channels, 1)), 0) {
+    validate(config_.gate);
+    if (config_.num_channels < 1 || config_.num_channels > 256) {
+        throw std::invalid_argument("SmartUnit: num_channels out of [1, 256]");
+    }
+    if (config_.settle_cycles < 0) {
+        throw std::invalid_argument("SmartUnit: settle_cycles must be >= 0");
+    }
+    if (!provider_) {
+        throw std::invalid_argument("SmartUnit: null period provider");
+    }
+}
+
+bool SmartUnit::oscillator_enabled() const {
+    return force_enable_ || busy();
+}
+
+double SmartUnit::oscillator_duty() const {
+    if (cycles_total_ == 0) return 0.0;
+    return static_cast<double>(cycles_osc_on_) / static_cast<double>(cycles_total_);
+}
+
+void SmartUnit::write(std::uint32_t addr, std::uint32_t value) {
+    if (addr == reg::kThreshold) {
+        // Rewriting the threshold re-arms the (sticky) alarm.
+        threshold_ = value;
+        alarm_ = false;
+        alarm_channel_ = 0;
+        return;
+    }
+    if (addr != reg::kCtrl) {
+        throw std::invalid_argument("SmartUnit: write to read-only register");
+    }
+    const int channel = static_cast<int>((value & kCtrlChannelMask) >> kCtrlChannelShift);
+    if (channel >= config_.num_channels) {
+        throw std::invalid_argument("SmartUnit: channel out of range");
+    }
+    channel_ = channel;
+    force_enable_ = (value & kCtrlForceEnable) != 0;
+    scan_ = (value & kCtrlScan) != 0;
+    if ((value & kCtrlStart) || (scan_ && !busy())) start_measurement();
+}
+
+void SmartUnit::start_measurement() {
+    if (busy()) return; // Hardware ignores START while a measurement runs.
+    osc_phase_ = 0.0;
+    ref_count_ = 0;
+    settle_left_ = config_.settle_cycles;
+    state_ = settle_left_ > 0 ? UnitState::Settle : UnitState::Count;
+}
+
+std::uint32_t SmartUnit::channel_data(int channel) const {
+    if (channel < 0 || channel >= config_.num_channels) {
+        throw std::invalid_argument("SmartUnit: channel out of range");
+    }
+    return channel_data_[static_cast<std::size_t>(channel)];
+}
+
+std::uint32_t SmartUnit::read(std::uint32_t addr) const {
+    if (addr >= reg::kChanBase &&
+        addr < reg::kChanBase + static_cast<std::uint32_t>(config_.num_channels)) {
+        return channel_data_[addr - reg::kChanBase];
+    }
+    switch (addr) {
+        case reg::kCtrl:
+            return (force_enable_ ? kCtrlForceEnable : 0u) |
+                   (scan_ ? kCtrlScan : 0u) |
+                   (static_cast<std::uint32_t>(channel_) << kCtrlChannelShift);
+        case reg::kStatus: {
+            std::uint32_t s = 0;
+            if (busy()) s |= kStatusBusy;
+            if (done()) s |= kStatusDone;
+            if (oscillator_enabled()) s |= kStatusOscOn;
+            if (alarm_) {
+                s |= kStatusAlarm;
+                s |= static_cast<std::uint32_t>(alarm_channel_) << kStatusAlarmChShift;
+            }
+            s |= static_cast<std::uint32_t>(state_) << kStatusStateShift;
+            return s;
+        }
+        case reg::kData:
+            return data_;
+        case reg::kCycles:
+            return static_cast<std::uint32_t>(cycles_total_);
+        case reg::kThreshold:
+            return threshold_;
+        default:
+            throw std::invalid_argument("SmartUnit: bad register address");
+    }
+}
+
+void SmartUnit::tick() {
+    ++cycles_total_;
+    if (oscillator_enabled()) ++cycles_osc_on_;
+
+    switch (state_) {
+        case UnitState::Idle:
+        case UnitState::Done:
+            break;
+        case UnitState::Settle:
+            if (--settle_left_ <= 0) state_ = UnitState::Count;
+            break;
+        case UnitState::Count: {
+            const double period = provider_(channel_);
+            if (!(period > 0.0) || !std::isfinite(period)) {
+                throw std::runtime_error("SmartUnit: provider returned bad period");
+            }
+            const double t_ref = 1.0 / config_.gate.ref_freq_hz;
+            // The counter sees the (optionally divided) ring clock.
+            osc_phase_ += t_ref / (period * divider_ratio(config_.gate));
+            ++ref_count_;
+            if (config_.gate.scheme == GatingScheme::RefWindow) {
+                if (ref_count_ >= config_.gate.ref_cycles) {
+                    data_ = static_cast<std::uint32_t>(osc_phase_);
+                    finish_measurement();
+                }
+            } else {
+                if (osc_phase_ >= static_cast<double>(config_.gate.osc_cycles)) {
+                    data_ = ref_count_;
+                    finish_measurement();
+                }
+            }
+            break;
+        }
+    }
+}
+
+void SmartUnit::finish_measurement() {
+    state_ = UnitState::Done;
+    channel_data_[static_cast<std::size_t>(channel_)] = data_;
+    channel_valid_[static_cast<std::size_t>(channel_)] = 1;
+    ++measurements_done_;
+    // OscWindow codes grow with the period, i.e. with temperature: a
+    // code at/above the threshold is an over-temperature event.
+    if (threshold_ != 0 && data_ >= threshold_ && !alarm_) {
+        alarm_ = true;
+        alarm_channel_ = channel_;
+    }
+    if (scan_) {
+        channel_ = (channel_ + 1) % config_.num_channels;
+        start_measurement();
+    }
+}
+
+void SmartUnit::scan_all_blocking(std::uint64_t max_cycles) {
+    write(reg::kCtrl, kCtrlScan | (force_enable_ ? kCtrlForceEnable : 0u) |
+                          (static_cast<std::uint32_t>(channel_)
+                           << kCtrlChannelShift));
+    for (std::uint64_t i = 0; i < max_cycles; ++i) {
+        tick();
+        bool all = true;
+        for (char v : channel_valid_) all = all && v != 0;
+        if (all) return;
+    }
+    throw std::runtime_error("SmartUnit: scan timed out");
+}
+
+std::uint32_t SmartUnit::measure_blocking(int channel, std::uint64_t max_cycles) {
+    write(reg::kCtrl,
+          kCtrlStart | (force_enable_ ? kCtrlForceEnable : 0u) |
+              (static_cast<std::uint32_t>(channel) << kCtrlChannelShift));
+    for (std::uint64_t i = 0; i < max_cycles; ++i) {
+        tick();
+        if (done()) return data_;
+    }
+    throw std::runtime_error("SmartUnit: measurement timed out");
+}
+
+} // namespace stsense::digital

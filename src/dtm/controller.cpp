@@ -1,0 +1,36 @@
+#include "dtm/controller.hpp"
+
+#include <stdexcept>
+
+namespace stsense::dtm {
+
+void validate(const ThrottlePolicy& policy) {
+    if (policy.release_c >= policy.trip_c) {
+        throw std::invalid_argument(
+            "ThrottlePolicy: release_c must be below trip_c (hysteresis)");
+    }
+    if (policy.throttle_factor <= 0.0 || policy.throttle_factor > 1.0) {
+        throw std::invalid_argument("ThrottlePolicy: throttle_factor out of (0, 1]");
+    }
+}
+
+ThrottleController::ThrottleController(ThrottlePolicy policy) : policy_(policy) {
+    validate(policy_);
+}
+
+double ThrottleController::update(double measured_c) {
+    if (!throttled_ && measured_c >= policy_.trip_c) {
+        throttled_ = true;
+        ++transitions_;
+    } else if (throttled_ && measured_c <= policy_.release_c) {
+        throttled_ = false;
+        ++transitions_;
+    }
+    return power_factor();
+}
+
+double ThrottleController::power_factor() const {
+    return throttled_ ? policy_.throttle_factor : 1.0;
+}
+
+} // namespace stsense::dtm

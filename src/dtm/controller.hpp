@@ -1,0 +1,51 @@
+// Dynamic thermal management controller.
+//
+// The paper's introduction motivates the sensor with "design techniques
+// for thermal testability and thermal management have been incorporated
+// into several electronic products" (Pentium 4 thermal throttling,
+// PowerPC Thermal Assist Unit). This module implements the consumer of
+// the smart sensor's readings: a hysteretic throttle controller that
+// scales block power when the measured temperature trips a threshold.
+#pragma once
+
+namespace stsense::dtm {
+
+/// Throttling policy: trip/release thresholds with hysteresis and the
+/// power factor applied while throttled.
+struct ThrottlePolicy {
+    double trip_c = 110.0;        ///< Throttle when reading >= trip.
+    double release_c = 100.0;     ///< Un-throttle when reading <= release.
+    double throttle_factor = 0.5; ///< Power multiplier while throttled.
+};
+
+/// Validates a policy (release < trip, factor in (0, 1]); throws
+/// std::invalid_argument on violation.
+void validate(const ThrottlePolicy& policy);
+
+/// Hysteretic two-state controller. Feed it temperature readings; it
+/// returns the power factor the workload must run at.
+class ThrottleController {
+public:
+    explicit ThrottleController(ThrottlePolicy policy);
+
+    /// Processes one sensor reading [deg C]; returns the power factor to
+    /// apply until the next reading (1.0 = full speed).
+    double update(double measured_c);
+
+    /// Current factor without a new reading.
+    double power_factor() const;
+
+    bool throttled() const { return throttled_; }
+
+    /// Number of throttle-state changes so far (thrashing indicator).
+    int transitions() const { return transitions_; }
+
+    const ThrottlePolicy& policy() const { return policy_; }
+
+private:
+    ThrottlePolicy policy_;
+    bool throttled_ = false;
+    int transitions_ = 0;
+};
+
+} // namespace stsense::dtm

@@ -1,0 +1,138 @@
+#include "logic/counters.hpp"
+
+#include <stdexcept>
+
+namespace stsense::logic {
+
+RippleCounter build_ripple_counter(Circuit& circuit, NetId clk, NetId rst,
+                                   int bits, const std::string& prefix,
+                                   double gate_delay_ps, double clk_to_q_ps) {
+    if (bits < 1 || bits > 32) {
+        throw std::invalid_argument("build_ripple_counter: bits out of [1, 32]");
+    }
+    RippleCounter rc;
+    NetId stage_clk = clk;
+    for (int i = 0; i < bits; ++i) {
+        const NetId q = circuit.add_net(prefix + ".q" + std::to_string(i));
+        const NetId nq = circuit.add_net(prefix + ".nq" + std::to_string(i));
+        circuit.add_gate(GateKind::Inv, {q}, nq, gate_delay_ps);
+        // Toggle configuration: d = !q; the next stage clocks on this
+        // bit's falling edge, i.e. on nq's rising edge.
+        circuit.add_dff(stage_clk, nq, rst, q, clk_to_q_ps);
+        rc.q.push_back(q);
+        stage_clk = nq;
+    }
+    return rc;
+}
+
+OscWindowCounter build_osc_window_counter(Circuit& circuit, int divider_bits,
+                                          int count_bits, double gate_delay_ps,
+                                          double clk_to_q_ps) {
+    if (divider_bits < 1 || divider_bits > 20) {
+        throw std::invalid_argument("build_osc_window_counter: divider_bits out of [1, 20]");
+    }
+    if (count_bits < 1 || count_bits > 32) {
+        throw std::invalid_argument("build_osc_window_counter: count_bits out of [1, 32]");
+    }
+
+    OscWindowCounter c;
+    c.divider_bits = divider_bits;
+    c.osc = circuit.add_net("osc");
+    c.ref = circuit.add_net("ref");
+    c.rst = circuit.add_net("rst");
+    c.gate_open = circuit.add_net("gate_open");
+
+    // Oscillator gated by its own window: once the divider MSB (done)
+    // rises, gate_open falls and the divider freezes — the window cannot
+    // reopen until the next reset.
+    const NetId osc_gated = circuit.add_net("osc_gated");
+    circuit.add_gate(GateKind::And2, {c.osc, c.gate_open}, osc_gated,
+                     gate_delay_ps);
+
+    const RippleCounter divider = build_ripple_counter(
+        circuit, osc_gated, c.rst, divider_bits + 1, "div", gate_delay_ps,
+        clk_to_q_ps);
+    c.divider = divider.q;
+    c.done = divider.q.back();
+    circuit.add_gate(GateKind::Inv, {c.done}, c.gate_open, gate_delay_ps);
+
+    // Reference counter clocked only while the gate is open.
+    const NetId ref_gated = circuit.add_net("ref_gated");
+    circuit.add_gate(GateKind::And2, {c.ref, c.gate_open}, ref_gated,
+                     gate_delay_ps);
+    const RippleCounter result = build_ripple_counter(
+        circuit, ref_gated, c.rst, count_bits, "cnt", gate_delay_ps, clk_to_q_ps);
+    c.count = result.q;
+    return c;
+}
+
+NetId build_ge_comparator(Circuit& circuit, const std::vector<NetId>& a,
+                          const std::vector<NetId>& b,
+                          const std::string& prefix, double gate_delay_ps) {
+    if (a.empty() || a.size() != b.size()) {
+        throw std::invalid_argument("build_ge_comparator: bad widths");
+    }
+    // acc_i = (a_i > b_i) OR ((a_i == b_i) AND acc_{i-1}), LSB upward,
+    // with acc_{-1} = 1 folding into acc_0 = gt_0 OR eq_0.
+    NetId acc{};
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const std::string tag = prefix + ".b" + std::to_string(i);
+        const NetId nb = circuit.add_net(tag + ".nb");
+        circuit.add_gate(GateKind::Inv, {b[i]}, nb, gate_delay_ps);
+        const NetId gt = circuit.add_net(tag + ".gt");
+        circuit.add_gate(GateKind::And2, {a[i], nb}, gt, gate_delay_ps);
+        const NetId x = circuit.add_net(tag + ".x");
+        circuit.add_gate(GateKind::Xor2, {a[i], b[i]}, x, gate_delay_ps);
+        const NetId eq = circuit.add_net(tag + ".eq");
+        circuit.add_gate(GateKind::Inv, {x}, eq, gate_delay_ps);
+
+        if (i == 0) {
+            const NetId acc0 = circuit.add_net(tag + ".acc");
+            circuit.add_gate(GateKind::Or2, {gt, eq}, acc0, gate_delay_ps);
+            acc = acc0;
+        } else {
+            const NetId keep = circuit.add_net(tag + ".keep");
+            circuit.add_gate(GateKind::And2, {eq, acc}, keep, gate_delay_ps);
+            const NetId next = circuit.add_net(tag + ".acc");
+            circuit.add_gate(GateKind::Or2, {gt, keep}, next, gate_delay_ps);
+            acc = next;
+        }
+    }
+    return acc;
+}
+
+std::optional<std::uint32_t> run_gate_level_measurement(
+    const Circuit& circuit, const OscWindowCounter& counter,
+    double osc_period_ps, double ref_period_ps, double t_max_ps) {
+    if (osc_period_ps <= 0.0 || ref_period_ps <= 0.0 || t_max_ps <= 0.0) {
+        throw std::invalid_argument("run_gate_level_measurement: bad periods");
+    }
+
+    Simulator sim(circuit);
+
+    // Reset pulse with quiet clocks, then release and start both clocks.
+    const double t_release = 4.0 * ref_period_ps;
+    sim.set_input(counter.rst, Level::One, 0.0);
+    sim.set_input(counter.osc, Level::Zero, 0.0);
+    sim.set_input(counter.ref, Level::Zero, 0.0);
+    sim.set_input(counter.rst, Level::Zero, t_release - ref_period_ps);
+    sim.schedule_clock(counter.osc, osc_period_ps, t_release, t_max_ps);
+    sim.schedule_clock(counter.ref, ref_period_ps, t_release + 0.25 * ref_period_ps,
+                       t_max_ps);
+
+    // Run in chunks until done rises.
+    const double chunk = 16.0 * osc_period_ps;
+    double t = t_release;
+    while (t < t_max_ps) {
+        t += chunk;
+        sim.run_until(t);
+        if (sim.value(counter.done) == Level::One) {
+            // Flush any in-flight ripple before reading the code.
+            sim.run_until(t + 4.0 * ref_period_ps);
+            return read_bits(sim, counter.count);
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace stsense::logic

@@ -1,0 +1,73 @@
+// Gate-level building blocks of the smart unit's counter datapath, and
+// the full OscWindow period counter assembled from them.
+//
+// This is the "digital processing bloc" of the paper realized at gate
+// granularity: an oscillator-clocked divider opens a gate for 2^k ring
+// periods, a gated reference counter measures the window, and the whole
+// thing is nothing but the INV/NAND/NOR/DFF cells a standard-cell flow
+// provides. logic::Simulator runs it event by event; the tests check it
+// against the cycle-accurate digital::SmartUnit model.
+#pragma once
+
+#include "logic/simulator.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stsense::logic {
+
+/// Asynchronous (ripple) binary counter: bit i toggles on the falling
+/// edge of bit i-1.
+struct RippleCounter {
+    std::vector<NetId> q; ///< LSB first.
+};
+
+/// Builds an n-bit ripple counter clocked by `clk`, reset by `rst`
+/// (active high, asynchronous). Names are prefixed for debuggability.
+RippleCounter build_ripple_counter(Circuit& circuit, NetId clk, NetId rst,
+                                   int bits, const std::string& prefix,
+                                   double gate_delay_ps = 5.0,
+                                   double clk_to_q_ps = 15.0);
+
+/// The gate-level OscWindow period counter.
+struct OscWindowCounter {
+    NetId osc;  ///< Primary input: (divided) ring-oscillator clock.
+    NetId ref;  ///< Primary input: reference clock.
+    NetId rst;  ///< Primary input: active-high reset.
+    NetId gate_open; ///< High while the measurement window is open.
+    NetId done;      ///< High once the window closed.
+    std::vector<NetId> divider; ///< Oscillator divider bits (LSB first).
+    std::vector<NetId> count;   ///< Result bits (LSB first).
+    int divider_bits = 0;       ///< Window = 2^divider_bits osc periods.
+};
+
+/// Assembles the counter: the window self-closes after 2^divider_bits
+/// oscillator rising edges (the divider's own MSB gates the oscillator
+/// off, freezing the state), while the reference counter accumulates
+/// gated reference edges. count_bits must be wide enough for the
+/// expected code.
+OscWindowCounter build_osc_window_counter(Circuit& circuit, int divider_bits,
+                                          int count_bits,
+                                          double gate_delay_ps = 5.0,
+                                          double clk_to_q_ps = 15.0);
+
+/// Drives a built counter through one complete measurement: reset pulse,
+/// then free-running oscillator and reference clocks until `done` rises
+/// (or the event budget runs out -> nullopt). Returns the captured code.
+std::optional<std::uint32_t> run_gate_level_measurement(
+    const Circuit& circuit, const OscWindowCounter& counter,
+    double osc_period_ps, double ref_period_ps, double t_max_ps);
+
+/// Combinational unsigned magnitude comparator: output = (A >= B), MSB-
+/// first ripple of greater/equal terms built from INV/AND/OR/XOR cells.
+/// `a` and `b` are LSB-first bit vectors of equal, non-zero width. This
+/// is the gate-level half of the smart unit's over-temperature alarm
+/// (code >= THRESHOLD).
+NetId build_ge_comparator(Circuit& circuit, const std::vector<NetId>& a,
+                          const std::vector<NetId>& b,
+                          const std::string& prefix,
+                          double gate_delay_ps = 5.0);
+
+} // namespace stsense::logic

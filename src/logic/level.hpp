@@ -1,0 +1,43 @@
+// Three-valued logic levels (0, 1, X) with standard X-propagation.
+//
+// The gate-level model of the smart unit starts from an unknown power-on
+// state; X-propagation proves the reset actually initializes every
+// flip-flop before a measurement is trusted.
+#pragma once
+
+namespace stsense::logic {
+
+enum class Level : unsigned char {
+    Zero,
+    One,
+    X, ///< Unknown / uninitialized.
+};
+
+constexpr Level lnot(Level a) {
+    if (a == Level::Zero) return Level::One;
+    if (a == Level::One) return Level::Zero;
+    return Level::X;
+}
+
+constexpr Level land(Level a, Level b) {
+    if (a == Level::Zero || b == Level::Zero) return Level::Zero;
+    if (a == Level::One && b == Level::One) return Level::One;
+    return Level::X;
+}
+
+constexpr Level lor(Level a, Level b) {
+    if (a == Level::One || b == Level::One) return Level::One;
+    if (a == Level::Zero && b == Level::Zero) return Level::Zero;
+    return Level::X;
+}
+
+constexpr Level lxor(Level a, Level b) {
+    if (a == Level::X || b == Level::X) return Level::X;
+    return a == b ? Level::Zero : Level::One;
+}
+
+constexpr char to_char(Level a) {
+    return a == Level::Zero ? '0' : a == Level::One ? '1' : 'x';
+}
+
+} // namespace stsense::logic

@@ -1,0 +1,109 @@
+#include "logic/netlist.hpp"
+
+#include <stdexcept>
+
+namespace stsense::logic {
+
+int gate_input_count(GateKind kind) {
+    switch (kind) {
+        case GateKind::Buf:
+        case GateKind::Inv: return 1;
+        case GateKind::And2:
+        case GateKind::Or2:
+        case GateKind::Xor2:
+        case GateKind::Nand2:
+        case GateKind::Nor2: return 2;
+        case GateKind::Nand3:
+        case GateKind::Nor3: return 3;
+    }
+    throw std::invalid_argument("gate_input_count: bad kind");
+}
+
+Level evaluate_gate(GateKind kind, const std::vector<Level>& in) {
+    if (in.size() != static_cast<std::size_t>(gate_input_count(kind))) {
+        throw std::invalid_argument("evaluate_gate: input count mismatch");
+    }
+    switch (kind) {
+        case GateKind::Buf: return in[0];
+        case GateKind::Inv: return lnot(in[0]);
+        case GateKind::And2: return land(in[0], in[1]);
+        case GateKind::Or2: return lor(in[0], in[1]);
+        case GateKind::Xor2: return lxor(in[0], in[1]);
+        case GateKind::Nand2: return lnot(land(in[0], in[1]));
+        case GateKind::Nor2: return lnot(lor(in[0], in[1]));
+        case GateKind::Nand3: return lnot(land(land(in[0], in[1]), in[2]));
+        case GateKind::Nor3: return lnot(lor(lor(in[0], in[1]), in[2]));
+    }
+    throw std::invalid_argument("evaluate_gate: bad kind");
+}
+
+NetId Circuit::add_net(std::string name) {
+    names_.push_back(std::move(name));
+    driven_.push_back(false);
+    gate_fanout_.emplace_back();
+    dff_fanout_.emplace_back();
+    return NetId{static_cast<std::uint32_t>(names_.size() - 1)};
+}
+
+void Circuit::add_gate(GateKind kind, std::vector<NetId> inputs, NetId output,
+                       double delay_ps) {
+    for (NetId n : inputs) check_net(n, "gate input");
+    check_net(output, "gate output");
+    if (inputs.size() != static_cast<std::size_t>(gate_input_count(kind))) {
+        throw std::invalid_argument("add_gate: input count mismatch");
+    }
+    if (delay_ps <= 0.0) throw std::invalid_argument("add_gate: delay must be > 0");
+    if (driven_[output.index]) {
+        throw std::invalid_argument("add_gate: net '" + names_[output.index] +
+                                    "' already has a driver");
+    }
+    driven_[output.index] = true;
+
+    const auto gate_index = static_cast<std::uint32_t>(gates_.size());
+    for (NetId n : inputs) gate_fanout_[n.index].push_back(gate_index);
+    gates_.push_back({kind, std::move(inputs), output, delay_ps});
+}
+
+void Circuit::add_dff(NetId clk, NetId d, NetId rst, NetId q,
+                      double clk_to_q_ps) {
+    for (NetId n : {clk, d, rst, q}) check_net(n, "dff net");
+    if (clk_to_q_ps <= 0.0) throw std::invalid_argument("add_dff: delay must be > 0");
+    if (driven_[q.index]) {
+        throw std::invalid_argument("add_dff: net '" + names_[q.index] +
+                                    "' already has a driver");
+    }
+    driven_[q.index] = true;
+
+    const auto dff_index = static_cast<std::uint32_t>(dffs_.size());
+    dff_fanout_[clk.index].push_back(dff_index);
+    dff_fanout_[rst.index].push_back(dff_index);
+    dffs_.push_back({clk, d, rst, q, clk_to_q_ps});
+}
+
+const std::string& Circuit::net_name(NetId n) const {
+    check_net(n, "net_name");
+    return names_[n.index];
+}
+
+bool Circuit::has_driver(NetId n) const {
+    check_net(n, "has_driver");
+    return driven_[n.index];
+}
+
+const std::vector<std::uint32_t>& Circuit::gate_fanout(NetId n) const {
+    check_net(n, "gate_fanout");
+    return gate_fanout_[n.index];
+}
+
+const std::vector<std::uint32_t>& Circuit::dff_fanout(NetId n) const {
+    check_net(n, "dff_fanout");
+    return dff_fanout_[n.index];
+}
+
+void Circuit::check_net(NetId n, const char* what) const {
+    if (n.index >= names_.size()) {
+        throw std::invalid_argument(std::string(what) + ": net id out of range");
+    }
+}
+
+} // namespace stsense::logic

@@ -1,0 +1,92 @@
+// Gate-level netlist: nets, combinational gates (the same INV/NAND/NOR
+// family the ring uses, plus AND/OR/XOR/BUF conveniences) and D
+// flip-flops with asynchronous reset.
+#pragma once
+
+#include "logic/level.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stsense::logic {
+
+/// Opaque net handle.
+struct NetId {
+    std::uint32_t index = 0;
+    friend bool operator==(NetId, NetId) = default;
+};
+
+enum class GateKind {
+    Buf,
+    Inv,
+    And2,
+    Or2,
+    Xor2,
+    Nand2,
+    Nand3,
+    Nor2,
+    Nor3,
+};
+
+/// Number of inputs of a gate kind.
+int gate_input_count(GateKind kind);
+
+/// Evaluates a gate over its input levels (size must match the kind).
+Level evaluate_gate(GateKind kind, const std::vector<Level>& inputs);
+
+/// Combinational gate instance.
+struct Gate {
+    GateKind kind = GateKind::Inv;
+    std::vector<NetId> inputs;
+    NetId output;
+    double delay_ps = 10.0;
+};
+
+/// Rising-edge D flip-flop with active-high asynchronous reset.
+struct Dff {
+    NetId clk;
+    NetId d;
+    NetId rst;
+    NetId q;
+    double clk_to_q_ps = 20.0;
+};
+
+/// Netlist container.
+class Circuit {
+public:
+    NetId add_net(std::string name);
+
+    /// Adds a gate; input count must match the kind, delay must be > 0,
+    /// and the output net must not already have a driver.
+    void add_gate(GateKind kind, std::vector<NetId> inputs, NetId output,
+                  double delay_ps = 10.0);
+
+    /// Adds a flip-flop; q must not already have a driver.
+    void add_dff(NetId clk, NetId d, NetId rst, NetId q,
+                 double clk_to_q_ps = 20.0);
+
+    std::size_t net_count() const { return names_.size(); }
+    const std::string& net_name(NetId n) const;
+    bool has_driver(NetId n) const;
+
+    const std::vector<Gate>& gates() const { return gates_; }
+    const std::vector<Dff>& dffs() const { return dffs_; }
+
+    /// Gates whose inputs include `n` (indices into gates()).
+    const std::vector<std::uint32_t>& gate_fanout(NetId n) const;
+    /// Flip-flops with clk or rst on `n` (indices into dffs()).
+    const std::vector<std::uint32_t>& dff_fanout(NetId n) const;
+
+private:
+    void check_net(NetId n, const char* what) const;
+
+    std::vector<std::string> names_;
+    std::vector<bool> driven_;
+    std::vector<Gate> gates_;
+    std::vector<Dff> dffs_;
+    std::vector<std::vector<std::uint32_t>> gate_fanout_;
+    std::vector<std::vector<std::uint32_t>> dff_fanout_;
+};
+
+} // namespace stsense::logic

@@ -1,0 +1,129 @@
+#include "logic/simulator.hpp"
+
+#include <stdexcept>
+
+namespace stsense::logic {
+
+Simulator::Simulator(const Circuit& circuit)
+    : circuit_(circuit),
+      levels_(circuit.net_count(), Level::X),
+      recorded_(circuit.net_count(), 0),
+      histories_(circuit.net_count()) {}
+
+void Simulator::set_input(NetId net, Level level, double time_ps) {
+    if (circuit_.has_driver(net)) {
+        throw std::invalid_argument("set_input: net '" + circuit_.net_name(net) +
+                                    "' is driven by a gate");
+    }
+    if (time_ps < now_ps_) {
+        throw std::invalid_argument("set_input: time in the past");
+    }
+    schedule(net, level, time_ps);
+}
+
+void Simulator::schedule_clock(NetId net, double period_ps, double t_start_ps,
+                               double t_stop_ps, Level first) {
+    if (period_ps <= 0.0) throw std::invalid_argument("schedule_clock: bad period");
+    Level level = first;
+    for (double t = t_start_ps; t < t_stop_ps; t += 0.5 * period_ps) {
+        set_input(net, level, t);
+        level = lnot(level);
+    }
+}
+
+void Simulator::schedule(NetId net, Level level, double time_ps) {
+    queue_.push({time_ps, seq_++, net, level});
+}
+
+void Simulator::record(NetId net) {
+    if (net.index >= levels_.size()) throw std::invalid_argument("record: bad net");
+    recorded_[net.index] = 1;
+}
+
+const std::vector<Change>& Simulator::history(NetId net) const {
+    if (net.index >= levels_.size()) throw std::invalid_argument("history: bad net");
+    return histories_[net.index];
+}
+
+Level Simulator::value(NetId net) const {
+    if (net.index >= levels_.size()) throw std::invalid_argument("value: bad net");
+    return levels_[net.index];
+}
+
+void Simulator::run_until(double t_ps) {
+    while (!queue_.empty() && queue_.top().time_ps <= t_ps) {
+        const Event ev = queue_.top();
+        queue_.pop();
+        now_ps_ = ev.time_ps;
+        apply(ev);
+    }
+    now_ps_ = t_ps;
+}
+
+void Simulator::apply(const Event& ev) {
+    ++events_processed_;
+    const Level old = levels_[ev.net.index];
+    if (old == ev.level) return;
+    levels_[ev.net.index] = ev.level;
+    if (recorded_[ev.net.index]) {
+        histories_[ev.net.index].push_back({ev.time_ps, ev.level});
+    }
+
+    for (std::uint32_t g : circuit_.gate_fanout(ev.net)) {
+        evaluate_gate_instance(g);
+    }
+    for (std::uint32_t f : circuit_.dff_fanout(ev.net)) {
+        const Dff& dff = circuit_.dffs()[f];
+        const bool is_clk = dff.clk == ev.net;
+        const bool is_rst = dff.rst == ev.net;
+        const bool clk_rose = is_clk && old == Level::Zero && ev.level == Level::One;
+        const bool rst_active = is_rst && ev.level == Level::One;
+        if (clk_rose || rst_active) {
+            trigger_dff(f, clk_rose, rst_active);
+        }
+    }
+}
+
+void Simulator::evaluate_gate_instance(std::uint32_t gate_index) {
+    const Gate& gate = circuit_.gates()[gate_index];
+    std::vector<Level> in;
+    in.reserve(gate.inputs.size());
+    for (NetId n : gate.inputs) in.push_back(levels_[n.index]);
+    const Level out = evaluate_gate(gate.kind, in);
+    schedule(gate.output, out, now_ps_ + gate.delay_ps);
+}
+
+void Simulator::trigger_dff(std::uint32_t dff_index, bool clk_rose,
+                            bool rst_active) {
+    const Dff& dff = circuit_.dffs()[dff_index];
+    if (rst_active) {
+        schedule(dff.q, Level::Zero, now_ps_ + dff.clk_to_q_ps);
+        return;
+    }
+    if (!clk_rose) return;
+    // Clock edge with reset asserted keeps q low; X reset poisons q.
+    const Level rst_level = levels_[dff.rst.index];
+    if (rst_level == Level::One) {
+        schedule(dff.q, Level::Zero, now_ps_ + dff.clk_to_q_ps);
+    } else if (rst_level == Level::X) {
+        schedule(dff.q, Level::X, now_ps_ + dff.clk_to_q_ps);
+    } else {
+        schedule(dff.q, levels_[dff.d.index], now_ps_ + dff.clk_to_q_ps);
+    }
+}
+
+std::uint32_t read_bits(const Simulator& sim, const std::vector<NetId>& bits) {
+    if (bits.size() > 32) throw std::invalid_argument("read_bits: > 32 bits");
+    std::uint32_t value = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        const Level l = sim.value(bits[i]);
+        if (l == Level::X) {
+            throw std::runtime_error("read_bits: bit " + std::to_string(i) +
+                                     " is X (uninitialized)");
+        }
+        if (l == Level::One) value |= 1u << i;
+    }
+    return value;
+}
+
+} // namespace stsense::logic

@@ -1,0 +1,87 @@
+// Event-driven gate-level simulator (transport delays, 3-valued logic).
+//
+// Smaller sibling of the analog engine: where spice::Simulator solves
+// the ring's differential equations, this one propagates discrete events
+// through the smart unit's gates and flip-flops — at gate granularity,
+// so the counter datapath itself is "cell-based" like everything else
+// the paper builds.
+#pragma once
+
+#include "logic/netlist.hpp"
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace stsense::logic {
+
+/// A recorded value change.
+struct Change {
+    double time_ps = 0.0;
+    Level level = Level::X;
+};
+
+class Simulator {
+public:
+    /// The circuit must outlive the simulator. All nets start at X.
+    explicit Simulator(const Circuit& circuit);
+
+    /// Schedules an external drive of an undriven (primary input) net.
+    /// Times must be >= the current simulation time.
+    void set_input(NetId net, Level level, double time_ps);
+
+    /// Convenience: schedules a 50%-duty clock on a primary input from
+    /// t_start to t_stop (events are pre-scheduled; idle-rich clocks are
+    /// fine at this scale).
+    void schedule_clock(NetId net, double period_ps, double t_start_ps,
+                        double t_stop_ps, Level first = Level::One);
+
+    /// Runs all events with time <= t_ps; advances current time to t_ps.
+    void run_until(double t_ps);
+
+    /// Current level of a net.
+    Level value(NetId net) const;
+
+    /// Enables waveform recording for a net (from now on).
+    void record(NetId net);
+    /// Recorded changes of a net (empty when not recorded).
+    const std::vector<Change>& history(NetId net) const;
+
+    double now_ps() const { return now_ps_; }
+    std::uint64_t events_processed() const { return events_processed_; }
+
+private:
+    struct Event {
+        double time_ps;
+        std::uint64_t seq; ///< FIFO tie-break for equal times.
+        NetId net;
+        Level level;
+    };
+    struct EventOrder {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.time_ps != b.time_ps) return a.time_ps > b.time_ps;
+            return a.seq > b.seq;
+        }
+    };
+
+    void schedule(NetId net, Level level, double time_ps);
+    void apply(const Event& ev);
+    void evaluate_gate_instance(std::uint32_t gate_index);
+    void trigger_dff(std::uint32_t dff_index, bool clk_rose, bool rst_active);
+
+    const Circuit& circuit_;
+    std::vector<Level> levels_;
+    std::vector<char> recorded_;
+    std::vector<std::vector<Change>> histories_;
+    std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+    double now_ps_ = 0.0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t events_processed_ = 0;
+};
+
+/// Reads a bit-vector (LSB first) as an unsigned integer; throws
+/// std::runtime_error if any bit is X.
+std::uint32_t read_bits(const Simulator& sim, const std::vector<NetId>& bits);
+
+} // namespace stsense::logic

@@ -1,0 +1,58 @@
+#include "logic/vcd_export.hpp"
+
+#include "util/vcd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace stsense::logic {
+
+void export_vcd(const std::string& path, const Circuit& circuit,
+                const Simulator& sim, std::span<const NetId> nets,
+                double ps_per_tick) {
+    if (nets.empty()) throw std::invalid_argument("export_vcd: no nets");
+    if (ps_per_tick <= 0.0) {
+        throw std::invalid_argument("export_vcd: non-positive timescale");
+    }
+
+    util::VcdWriter vcd(path, "1ps");
+    std::vector<int> ids;
+    ids.reserve(nets.size());
+    for (NetId n : nets) ids.push_back(vcd.add_wire(circuit.net_name(n)));
+
+    // Merge all recorded changes into one time-ordered stream.
+    struct Entry {
+        double time_ps;
+        std::size_t net_idx;
+        Level level;
+    };
+    std::vector<Entry> entries;
+    for (std::size_t k = 0; k < nets.size(); ++k) {
+        for (const Change& ch : sim.history(nets[k])) {
+            entries.push_back({ch.time_ps, k, ch.level});
+        }
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+                         return a.time_ps < b.time_ps;
+                     });
+
+    // Initial snapshot: everything unknown at t = 0.
+    vcd.time(0);
+    for (int id : ids) vcd.change_wire_unknown(id);
+
+    for (const Entry& e : entries) {
+        vcd.time(static_cast<std::uint64_t>(
+            std::llround(e.time_ps / ps_per_tick)));
+        if (e.level == Level::X) {
+            vcd.change_wire_unknown(ids[e.net_idx]);
+        } else {
+            vcd.change_wire(ids[e.net_idx], e.level == Level::One);
+        }
+    }
+    vcd.finish();
+}
+
+} // namespace stsense::logic

@@ -1,0 +1,22 @@
+// Exports recorded gate-level waveforms as VCD wires (with 'x' for the
+// unknown level), so the smart unit's digital activity can be inspected
+// in a standard viewer alongside the analog ring traces.
+#pragma once
+
+#include "logic/simulator.hpp"
+
+#include <span>
+#include <string>
+
+namespace stsense::logic {
+
+/// Writes the recorded histories of `nets` into a VCD file. The nets
+/// must have been record()-ed on `sim` before the events of interest;
+/// nets without history simply show as 'x'. Times are quantized to
+/// `ps_per_tick` picoseconds per VCD tick (default 1 ps). Throws on I/O
+/// failure or empty net list.
+void export_vcd(const std::string& path, const Circuit& circuit,
+                const Simulator& sim, std::span<const NetId> nets,
+                double ps_per_tick = 1.0);
+
+} // namespace stsense::logic

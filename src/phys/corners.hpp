@@ -1,0 +1,54 @@
+// Process corners and Monte-Carlo variation.
+//
+// The paper raises "sensor calibration" as a design concern: a ring
+// oscillator's absolute period shifts with process, so the smart unit
+// calibrates it. The calibration bench exercises exactly that, using
+// these corner/variation transforms.
+#pragma once
+
+#include "phys/technology.hpp"
+#include "util/rng.hpp"
+
+#include <string>
+
+namespace stsense::phys {
+
+/// Classic five-corner set (NMOS/PMOS speed).
+enum class Corner {
+    TT, ///< Typical / typical.
+    FF, ///< Fast / fast.
+    SS, ///< Slow / slow.
+    FS, ///< Fast NMOS / slow PMOS.
+    SF, ///< Slow NMOS / fast PMOS.
+};
+
+/// Human-readable corner name ("TT", "FF", ...).
+std::string to_string(Corner corner);
+
+/// All corners in declaration order, for sweeps.
+inline constexpr Corner kAllCorners[] = {Corner::TT, Corner::FF, Corner::SS,
+                                         Corner::FS, Corner::SF};
+
+/// Relative strength of the corner shifts.
+struct CornerSpec {
+    double vth_shift = 0.04;  ///< |Vth| shift per corner step [V] (fast = lower Vth).
+    double kp_rel = 0.10;     ///< Relative current-factor shift (fast = higher kp).
+};
+
+/// Returns a copy of `tech` moved to the given corner.
+Technology apply_corner(const Technology& tech, Corner corner,
+                        const CornerSpec& spec = {});
+
+/// Gaussian die-to-die variation magnitudes (1-sigma).
+struct VariationSpec {
+    double vth_sigma = 0.015;      ///< Vth sigma [V], per device type.
+    double kp_rel_sigma = 0.04;    ///< Relative kp sigma.
+    double vdd_rel_sigma = 0.0;    ///< Relative supply sigma (0 = ideal supply).
+    bool correlated_np = false;    ///< Draw one deviate for both device types.
+};
+
+/// Samples one varied die. Deterministic given the Rng state.
+Technology sample_variation(const Technology& tech, const VariationSpec& spec,
+                            util::Rng& rng);
+
+} // namespace stsense::phys

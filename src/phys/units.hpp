@@ -1,0 +1,38 @@
+// Unit helpers and physical constants. The library uses SI units
+// internally (volts, amperes, farads, meters, seconds, kelvin); these
+// helpers make intent explicit at call sites (Core Guidelines P.1).
+#pragma once
+
+namespace stsense::phys {
+
+/// Absolute zero offset between Celsius and Kelvin scales.
+inline constexpr double kCelsiusOffset = 273.15;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Converts degrees Celsius to kelvin.
+inline constexpr double celsius_to_kelvin(double celsius) {
+    return celsius + kCelsiusOffset;
+}
+
+/// Converts kelvin to degrees Celsius.
+inline constexpr double kelvin_to_celsius(double kelvin) {
+    return kelvin - kCelsiusOffset;
+}
+
+/// Thermal voltage kT/q [V] at temperature `kelvin`.
+inline constexpr double thermal_voltage(double kelvin) {
+    return kBoltzmann * kelvin / kElementaryCharge;
+}
+
+// Readable magnitude suffixes for literals in code and tests.
+inline constexpr double micro(double v) { return v * 1e-6; }
+inline constexpr double nano(double v) { return v * 1e-9; }
+inline constexpr double pico(double v) { return v * 1e-12; }
+inline constexpr double femto(double v) { return v * 1e-15; }
+
+} // namespace stsense::phys

@@ -1,0 +1,51 @@
+#include "ring/analytic.hpp"
+
+#include <stdexcept>
+
+namespace stsense::ring {
+
+AnalyticRingModel::AnalyticRingModel(const phys::Technology& tech,
+                                     RingConfig config)
+    : model_(tech), config_(std::move(config)) {
+    validate(config_);
+    const std::size_t n = config_.stages.size();
+    loads_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& next = config_.stages[(i + 1) % n];
+        loads_[i] = model_.input_capacitance(next) + tech.wire_cap_per_stage;
+    }
+}
+
+double AnalyticRingModel::period(double temp_k) const {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < config_.stages.size(); ++i) {
+        sum += model_.delays(config_.stages[i], loads_[i], temp_k).pair_delay();
+    }
+    return sum;
+}
+
+double AnalyticRingModel::frequency(double temp_k) const {
+    const double p = period(temp_k);
+    if (p <= 0.0) throw std::logic_error("AnalyticRingModel: non-positive period");
+    return 1.0 / p;
+}
+
+std::vector<double> AnalyticRingModel::periods(
+    std::span<const double> temps_k) const {
+    std::vector<double> out;
+    out.reserve(temps_k.size());
+    for (double t : temps_k) out.push_back(period(t));
+    return out;
+}
+
+double AnalyticRingModel::stage_load(std::size_t i) const {
+    if (i >= loads_.size()) throw std::out_of_range("stage_load: bad index");
+    return loads_[i];
+}
+
+double AnalyticRingModel::sensitivity(double temp_k, double dt_k) const {
+    if (dt_k <= 0.0) throw std::invalid_argument("sensitivity: dt_k must be > 0");
+    return (period(temp_k + dt_k) - period(temp_k - dt_k)) / (2.0 * dt_k);
+}
+
+} // namespace stsense::ring

@@ -1,0 +1,112 @@
+#include "ring/config.hpp"
+
+#include "util/sequence.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace stsense::ring {
+
+RingConfig RingConfig::uniform(cells::CellKind kind, int n, double ratio,
+                               double drive) {
+    if (n < 1) throw std::invalid_argument("RingConfig::uniform: n must be >= 1");
+    RingConfig c;
+    cells::CellSpec spec;
+    spec.kind = kind;
+    spec.ratio = ratio;
+    spec.drive = drive;
+    c.stages.assign(static_cast<std::size_t>(n), spec);
+    return c;
+}
+
+RingConfig RingConfig::mix(
+    std::initializer_list<std::pair<cells::CellKind, int>> groups, double ratio,
+    double drive) {
+    std::vector<std::pair<cells::CellKind, int>> remaining(groups);
+    for (const auto& [kind, count] : remaining) {
+        (void)kind;
+        if (count < 0) throw std::invalid_argument("RingConfig::mix: negative count");
+    }
+    RingConfig c;
+    // Round-robin draw from the groups until all are exhausted.
+    bool any = true;
+    while (any) {
+        any = false;
+        for (auto& [kind, count] : remaining) {
+            if (count <= 0) continue;
+            cells::CellSpec spec;
+            spec.kind = kind;
+            spec.ratio = ratio;
+            spec.drive = drive;
+            c.stages.push_back(spec);
+            --count;
+            any = true;
+        }
+    }
+    return c;
+}
+
+std::string describe(const RingConfig& config) {
+    // Count by kind, preserving first-appearance order.
+    std::vector<std::pair<cells::CellKind, int>> counts;
+    for (const auto& s : config.stages) {
+        bool found = false;
+        for (auto& [kind, n] : counts) {
+            if (kind == s.kind) {
+                ++n;
+                found = true;
+                break;
+            }
+        }
+        if (!found) counts.emplace_back(s.kind, 1);
+    }
+    std::string out;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i) out += " + ";
+        out += std::to_string(counts[i].second) + "x" + cells::to_string(counts[i].first);
+    }
+    if (!config.stages.empty()) {
+        const double r = config.stages.front().ratio;
+        char buf[32];
+        if (r > 0.0) {
+            std::snprintf(buf, sizeof buf, " (r=%.2f)", r);
+        } else {
+            std::snprintf(buf, sizeof buf, " (r=lib)");
+        }
+        out += buf;
+    }
+    return out;
+}
+
+void validate(const RingConfig& config) {
+    if (config.stages.size() < 3) {
+        throw std::invalid_argument("RingConfig: need >= 3 stages to oscillate");
+    }
+    if (config.stages.size() % 2 == 0) {
+        throw std::invalid_argument(
+            "RingConfig: stage count must be odd (all stages invert)");
+    }
+    for (const auto& s : config.stages) cells::validate(s);
+}
+
+RingConfig sample_stage_mismatch(const RingConfig& config,
+                                 const MismatchSpec& spec, util::Rng& rng) {
+    if (spec.drive_sigma < 0.0 || spec.vth_sigma_v < 0.0) {
+        throw std::invalid_argument("sample_stage_mismatch: negative sigma");
+    }
+    RingConfig out = config;
+    for (auto& stage : out.stages) {
+        const double factor = std::max(0.2, rng.normal(1.0, spec.drive_sigma));
+        stage.drive *= factor;
+        stage.vth_shift_v = std::clamp(
+            stage.vth_shift_v + rng.normal(0.0, spec.vth_sigma_v), -0.2, 0.2);
+    }
+    return out;
+}
+
+std::vector<double> paper_temperature_grid_c() {
+    return util::arange(kPaperTempMinC, kPaperTempMaxC, 12.5);
+}
+
+} // namespace stsense::ring

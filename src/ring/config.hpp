@@ -1,0 +1,67 @@
+// Ring-oscillator configuration: an ordered list of inverting standard
+// cells closed into a loop. This is the design vector the paper
+// optimizes — Fig. 2 varies the stages' Wp/Wn ratio, Fig. 3 their kind.
+#pragma once
+
+#include "cells/cell.hpp"
+#include "util/rng.hpp"
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stsense::ring {
+
+/// A ring oscillator as a sequence of inverting stages.
+struct RingConfig {
+    std::vector<cells::CellSpec> stages;
+
+    std::size_t stage_count() const { return stages.size(); }
+
+    /// N identical stages. `ratio` 0 keeps the library Wp/Wn.
+    static RingConfig uniform(cells::CellKind kind, int n, double ratio = 0.0,
+                              double drive = 1.0);
+
+    /// Composition from (kind, count) groups, interleaved round-robin so
+    /// the mix is spread evenly around the loop, e.g. {{INV,3},{NAND3,2}}
+    /// -> INV NAND3 INV NAND3 INV.
+    static RingConfig mix(std::initializer_list<std::pair<cells::CellKind, int>> groups,
+                          double ratio = 0.0, double drive = 1.0);
+};
+
+/// Compact description, e.g. "3xINV + 2xNAND3 (r=lib)".
+std::string describe(const RingConfig& config);
+
+/// Within-die mismatch magnitudes (1-sigma, per stage).
+struct MismatchSpec {
+    /// Width/drive mismatch. Note: cancels to *first order* around a
+    /// ring (current and input capacitance scale together), leaving a
+    /// quadratic residual — verified by the mismatch tests.
+    double drive_sigma = 0.02;
+    /// Threshold-voltage mismatch [V]; shifts the period linearly and
+    /// dominates the sensor-to-sensor spread on one die.
+    double vth_sigma_v = 0.008;
+};
+
+/// Within-die mismatch: returns a copy of `config` with every stage's
+/// drive and threshold independently perturbed per `spec`. Models the
+/// local variation between nominally identical rings on one die — the
+/// reason shared calibration across distributed sensors leaves residual
+/// error.
+RingConfig sample_stage_mismatch(const RingConfig& config,
+                                 const MismatchSpec& spec, util::Rng& rng);
+
+/// Validates oscillation preconditions: >= 3 stages, odd stage count
+/// (every cell here is inverting), each stage valid. Throws
+/// std::invalid_argument with a message on violation.
+void validate(const RingConfig& config);
+
+/// The paper's temperature range of interest: -50 degC ... 150 degC.
+inline constexpr double kPaperTempMinC = -50.0;
+inline constexpr double kPaperTempMaxC = 150.0;
+
+/// The paper's sweep grid (Figs. 2 and 3 plot every 12.5 degC).
+std::vector<double> paper_temperature_grid_c();
+
+} // namespace stsense::ring

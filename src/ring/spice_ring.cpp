@@ -1,0 +1,122 @@
+#include "ring/spice_ring.hpp"
+
+#include "cells/cell_netlist.hpp"
+#include "ring/analytic.hpp"
+#include "spice/simulator.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace stsense::ring {
+
+SpiceRingModel::SpiceRingModel(const phys::Technology& tech, RingConfig config)
+    : tech_(tech), config_(std::move(config)) {
+    phys::validate(tech_);
+    validate(config_);
+}
+
+std::vector<spice::NodeId> SpiceRingModel::build(
+    spice::Circuit& ckt, const std::optional<spice::Source>& enable) const {
+    const std::size_t n = config_.stages.size();
+
+    const spice::NodeId vdd = ckt.add_driven_node("vdd", spice::Source::dc(tech_.vdd));
+    std::vector<spice::NodeId> nodes;
+    nodes.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        nodes.push_back(ckt.add_node("n" + std::to_string(i)));
+    }
+
+    std::optional<spice::NodeId> en;
+    if (enable) {
+        const auto kind0 = config_.stages[0].kind;
+        if (kind0 != cells::CellKind::Nand2 && kind0 != cells::CellKind::Nand3) {
+            throw std::invalid_argument(
+                "SpiceRingModel: enable gating needs a NAND stage 0");
+        }
+        if (config_.stages[0].tie != cells::SideInputTie::Supply) {
+            throw std::invalid_argument(
+                "SpiceRingModel: enable gating needs Supply tie on stage 0");
+        }
+        en = ckt.add_driven_node("en", *enable);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i == 0 && en) {
+            // Side inputs: EN first, remaining ones tied high.
+            std::vector<spice::NodeId> sides(
+                static_cast<std::size_t>(cells::input_count(config_.stages[0].kind)) - 1,
+                vdd);
+            sides[0] = *en;
+            emit_cell(ckt, tech_, config_.stages[i], vdd, nodes[i],
+                      nodes[(i + 1) % n], "s" + std::to_string(i), sides);
+        } else {
+            emit_cell(ckt, tech_, config_.stages[i], vdd, nodes[i],
+                      nodes[(i + 1) % n], "s" + std::to_string(i));
+        }
+        if (tech_.wire_cap_per_stage > 0.0) {
+            ckt.add_capacitor(nodes[(i + 1) % n], ckt.ground(),
+                              tech_.wire_cap_per_stage);
+        }
+    }
+    return nodes;
+}
+
+RingSimResult SpiceRingModel::simulate(double temp_k,
+                                       const SpiceRingOptions& opt) const {
+    if (opt.skip_cycles < 0 || opt.measure_cycles < 1 || opt.steps_per_period < 20) {
+        throw std::invalid_argument("SpiceRingOptions: bad values");
+    }
+
+    const std::size_t n = config_.stages.size();
+
+    spice::Circuit ckt;
+    const std::vector<spice::NodeId> nodes = build(ckt);
+
+    // Pace the run off the analytic estimate.
+    const AnalyticRingModel analytic(tech_, config_);
+    const double est = analytic.period(temp_k);
+
+    spice::SimOptions sim_opt;
+    sim_opt.temp_k = temp_k;
+    spice::Simulator sim(ckt, sim_opt);
+
+    spice::TransientSpec tspec;
+    tspec.dt = est / opt.steps_per_period;
+    tspec.t_stop = est * opt.estimate_margin *
+                   static_cast<double>(opt.skip_cycles + opt.measure_cycles + 2);
+    tspec.start_from_dc = false;
+    // Alternating kick-start: with an odd stage count the pattern has one
+    // frustrated edge, which seeds the travelling transition.
+    for (std::size_t i = 0; i < n; ++i) {
+        tspec.initial_conditions.emplace_back(nodes[i],
+                                              i % 2 == 0 ? 0.0 : tech_.vdd);
+    }
+    tspec.probes = {nodes[0]};
+    tspec.measure_power = true;
+
+    const spice::TransientResult res = sim.transient(tspec);
+    const spice::Trace& trace = res.traces.front();
+    const double mid = 0.5 * tech_.vdd;
+
+    const auto meas = spice::measure_period(trace, mid, opt.skip_cycles);
+    if (!meas || meas->cycles < 1 || meas->period <= 0.0) {
+        throw std::runtime_error("SpiceRingModel: no oscillation for " +
+                                 describe(config_));
+    }
+
+    RingSimResult out;
+    out.period = meas->period;
+    out.period_stddev = meas->period_stddev;
+    out.frequency = 1.0 / meas->period;
+    out.cycles_measured = meas->cycles;
+    if (auto duty = spice::measure_duty_cycle(trace, mid, opt.skip_cycles)) {
+        out.duty_cycle = *duty;
+    }
+    out.avg_supply_power_w =
+        res.average_source_power_w(ckt.node_by_name("vdd"), tspec.t_stop);
+    if (opt.record_waveform) out.waveform = trace;
+    return out;
+}
+
+} // namespace stsense::ring

@@ -1,0 +1,67 @@
+// Transistor-level ring-oscillator simulation (the paper's Fig. 1).
+//
+// Builds the full MOSFET netlist of a RingConfig, kick-starts it with an
+// alternating initial condition, runs the transient engine, and extracts
+// period/frequency/duty-cycle from the settled waveform.
+#pragma once
+
+#include "phys/technology.hpp"
+#include "ring/config.hpp"
+#include "spice/netlist.hpp"
+#include "spice/waveform.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace stsense::ring {
+
+/// Simulation knobs. The defaults target the accuracy/runtime balance
+/// used by the benches; tests tighten or loosen them deliberately.
+struct SpiceRingOptions {
+    int skip_cycles = 3;       ///< Startup cycles excluded from measurement.
+    int measure_cycles = 8;    ///< Cycles used to average the period.
+    int steps_per_period = 300;///< Time resolution (dt = estimate / this).
+    double estimate_margin = 1.6; ///< Extra sim time vs the analytic estimate.
+    bool record_waveform = true;  ///< Keep the probe trace in the result.
+};
+
+/// Result of one transistor-level ring run.
+struct RingSimResult {
+    double period = 0.0;        ///< Mean settled period [s].
+    double period_stddev = 0.0; ///< Cycle-to-cycle spread [s].
+    double frequency = 0.0;     ///< 1 / period [Hz].
+    double duty_cycle = 0.0;    ///< High fraction at Vdd/2 (0 if unmeasured).
+    int cycles_measured = 0;
+    double avg_supply_power_w = 0.0; ///< Vdd-source power averaged over the run
+                                     ///< (supply metering; cross-checks the
+                                     ///< analytic self-heating power model).
+    spice::Trace waveform;      ///< Probe-node trace (empty if not recorded).
+};
+
+class SpiceRingModel {
+public:
+    /// Validates both arguments; copies them in.
+    SpiceRingModel(const phys::Technology& tech, RingConfig config);
+
+    /// Simulates at junction temperature `temp_k`. Throws
+    /// std::runtime_error if no stable oscillation is observed.
+    RingSimResult simulate(double temp_k, const SpiceRingOptions& opt = {}) const;
+
+    /// Emits the full transistor netlist into `ckt` and returns the ring
+    /// node ids (stage i's input is node i). When `enable` is given,
+    /// stage 0 must be a NAND-family cell with Supply tie: its first
+    /// side input becomes an "en" node driven by that source — the
+    /// standard-cell implementation of the paper's oscillator disable.
+    /// Exposed for custom experiments; simulate() uses it internally.
+    std::vector<spice::NodeId> build(
+        spice::Circuit& ckt,
+        const std::optional<spice::Source>& enable = std::nullopt) const;
+
+    const RingConfig& config() const { return config_; }
+
+private:
+    phys::Technology tech_;
+    RingConfig config_;
+};
+
+} // namespace stsense::ring

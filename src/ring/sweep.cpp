@@ -1,0 +1,52 @@
+#include "ring/sweep.hpp"
+
+#include "phys/units.hpp"
+#include "ring/analytic.hpp"
+
+#include <stdexcept>
+
+namespace stsense::ring {
+
+SweepResult temperature_sweep(const phys::Technology& tech,
+                              const RingConfig& config,
+                              std::span<const double> temps_c, Engine engine,
+                              const SpiceRingOptions& spice_opt) {
+    if (temps_c.empty()) throw std::invalid_argument("temperature_sweep: empty grid");
+    for (std::size_t i = 1; i < temps_c.size(); ++i) {
+        if (temps_c[i] <= temps_c[i - 1]) {
+            throw std::invalid_argument("temperature_sweep: grid must be increasing");
+        }
+    }
+
+    SweepResult out;
+    out.temps_c.assign(temps_c.begin(), temps_c.end());
+    out.period_s.reserve(temps_c.size());
+    out.frequency_hz.reserve(temps_c.size());
+
+    if (engine == Engine::Analytic) {
+        const AnalyticRingModel model(tech, config);
+        for (double tc : temps_c) {
+            const double p = model.period(phys::celsius_to_kelvin(tc));
+            out.period_s.push_back(p);
+            out.frequency_hz.push_back(1.0 / p);
+        }
+    } else {
+        const SpiceRingModel model(tech, config);
+        SpiceRingOptions opt = spice_opt;
+        opt.record_waveform = false; // Sweeps only need the scalar period.
+        for (double tc : temps_c) {
+            const RingSimResult r = model.simulate(phys::celsius_to_kelvin(tc), opt);
+            out.period_s.push_back(r.period);
+            out.frequency_hz.push_back(r.frequency);
+        }
+    }
+    return out;
+}
+
+SweepResult paper_sweep(const phys::Technology& tech, const RingConfig& config,
+                        Engine engine, const SpiceRingOptions& spice_opt) {
+    const auto grid = paper_temperature_grid_c();
+    return temperature_sweep(tech, config, grid, engine, spice_opt);
+}
+
+} // namespace stsense::ring

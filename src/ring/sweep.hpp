@@ -1,0 +1,41 @@
+// Temperature sweeps: run a ring configuration across a temperature
+// grid with either engine and collect the period/frequency series that
+// Figs. 2 and 3 are computed from.
+#pragma once
+
+#include "phys/technology.hpp"
+#include "ring/config.hpp"
+#include "ring/spice_ring.hpp"
+
+#include <span>
+#include <vector>
+
+namespace stsense::ring {
+
+/// Which period engine runs the sweep.
+enum class Engine {
+    Analytic, ///< Closed-form delay model (fast; default for sweeps).
+    Spice,    ///< Transistor-level transient simulation.
+};
+
+/// Period-vs-temperature series of one configuration.
+struct SweepResult {
+    std::vector<double> temps_c;      ///< Sweep grid [deg C].
+    std::vector<double> period_s;     ///< Oscillation period at each point [s].
+    std::vector<double> frequency_hz; ///< 1 / period [Hz].
+};
+
+/// Runs the sweep. Grid must be non-empty and strictly increasing;
+/// throws std::invalid_argument otherwise.
+SweepResult temperature_sweep(const phys::Technology& tech,
+                              const RingConfig& config,
+                              std::span<const double> temps_c,
+                              Engine engine = Engine::Analytic,
+                              const SpiceRingOptions& spice_opt = {});
+
+/// Convenience: the paper grid (-50 ... 150 degC, step 12.5).
+SweepResult paper_sweep(const phys::Technology& tech, const RingConfig& config,
+                        Engine engine = Engine::Analytic,
+                        const SpiceRingOptions& spice_opt = {});
+
+} // namespace stsense::ring

@@ -1,0 +1,130 @@
+#include "sensor/monitor.hpp"
+
+#include "phys/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::sensor {
+
+ThermalMonitor::ThermalMonitor(const phys::Technology& tech,
+                               ring::RingConfig ring_config,
+                               thermal::Floorplan floorplan,
+                               std::vector<SensorSite> sites,
+                               MonitorConfig config)
+    : tech_(tech),
+      ring_config_(std::move(ring_config)),
+      floorplan_(std::move(floorplan)),
+      sites_(std::move(sites)),
+      config_(config),
+      grid_(config.grid_nx, config.grid_ny, floorplan_.die_width(),
+            floorplan_.die_height(), config.grid_params),
+      sensor_(tech, ring_config_, config.sensor_options) {
+    if (sites_.empty()) throw std::invalid_argument("ThermalMonitor: no sites");
+    if (sites_.size() > 256) throw std::invalid_argument("ThermalMonitor: > 256 sites");
+    for (const auto& s : sites_) {
+        if (s.x < 0.0 || s.x > floorplan_.die_width() || s.y < 0.0 ||
+            s.y > floorplan_.die_height()) {
+            throw std::invalid_argument("ThermalMonitor: site '" + s.name +
+                                        "' off die");
+        }
+    }
+    sensor_.calibrate_two_point(config_.cal_low_c, config_.cal_high_c);
+
+    if (config_.enable_mismatch) {
+        util::Rng rng(config_.mismatch_seed);
+        site_sensors_.reserve(sites_.size());
+        for (std::size_t i = 0; i < sites_.size(); ++i) {
+            auto varied = ring::sample_stage_mismatch(ring_config_,
+                                                      config_.mismatch, rng);
+            site_sensors_.emplace_back(tech_, std::move(varied),
+                                       config_.sensor_options);
+            if (config_.individual_calibration) {
+                site_sensors_.back().calibrate_two_point(config_.cal_low_c,
+                                                         config_.cal_high_c);
+            }
+        }
+    }
+}
+
+MapResult ThermalMonitor::scan() const {
+    MapResult out;
+
+    const auto power = floorplan_.power_map(config_.grid_nx, config_.grid_ny);
+    out.true_map_c = grid_.steady_state(power);
+    out.die_peak_c = *std::max_element(out.true_map_c.begin(), out.true_map_c.end());
+
+    std::vector<double> site_true(sites_.size());
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+        site_true[i] = grid_.sample(out.true_map_c, sites_[i].x, sites_[i].y);
+    }
+
+    // One smart unit, one channel per distributed ring oscillator.
+    digital::SmartUnitConfig unit_cfg;
+    unit_cfg.gate = config_.sensor_options.gate;
+    unit_cfg.num_channels = static_cast<int>(sites_.size());
+    unit_cfg.settle_cycles = config_.sensor_options.settle_cycles;
+    // Each channel transduces through its own (possibly mismatched) ring.
+    auto site_sensor = [&](std::size_t i) -> const SmartTemperatureSensor& {
+        return site_sensors_.empty() ? sensor_ : site_sensors_[i];
+    };
+    digital::SmartUnit unit(unit_cfg, [&](int channel) {
+        const std::size_t i = static_cast<std::size_t>(channel);
+        const auto& s = site_sensor(i);
+        return s.period_at(s.junction_at(site_true[i]));
+    });
+
+    // Program the over-temperature alarm with the nominal ring's code at
+    // the trip temperature, then let the hardware auto-scan visit every
+    // channel.
+    if (config_.alarm_threshold_c > -phys::kCelsiusOffset) {
+        unit.write(digital::reg::kThreshold,
+                   sensor_.raw_code(config_.alarm_threshold_c));
+    }
+    unit.scan_all_blocking();
+
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+        SiteReading r;
+        r.name = sites_[i].name;
+        r.x = sites_[i].x;
+        r.y = sites_[i].y;
+        r.true_c = site_true[i];
+        r.code = unit.channel_data(static_cast<int>(i));
+        // Conversion constants: the site's own trim, or the shared ones.
+        r.measured_c = config_.individual_calibration && !site_sensors_.empty()
+                           ? site_sensors_[i].convert(r.code)
+                           : sensor_.convert(r.code);
+        r.error_c = r.measured_c - r.true_c;
+        out.max_abs_error_c = std::max(out.max_abs_error_c, std::abs(r.error_c));
+        sum_sq += r.error_c * r.error_c;
+        out.sites.push_back(std::move(r));
+    }
+    out.rms_error_c = std::sqrt(sum_sq / static_cast<double>(sites_.size()));
+    out.scan_time_s = static_cast<double>(unit.cycles_total()) /
+                      config_.sensor_options.gate.ref_freq_hz;
+    out.alarm = unit.alarm();
+    if (out.alarm) {
+        out.alarm_site = sites_[static_cast<std::size_t>(unit.alarm_channel())].name;
+    }
+    return out;
+}
+
+std::vector<SensorSite> uniform_sites(const thermal::Floorplan& fp, int nx,
+                                      int ny) {
+    if (nx < 1 || ny < 1) throw std::invalid_argument("uniform_sites: nx, ny >= 1");
+    std::vector<SensorSite> sites;
+    for (int iy = 0; iy < ny; ++iy) {
+        for (int ix = 0; ix < nx; ++ix) {
+            SensorSite s;
+            s.name = "s" + std::to_string(iy) + std::to_string(ix);
+            s.x = (ix + 0.5) * fp.die_width() / nx;
+            s.y = (iy + 0.5) * fp.die_height() / ny;
+            sites.push_back(std::move(s));
+        }
+    }
+    return sites;
+}
+
+} // namespace stsense::sensor

@@ -1,0 +1,105 @@
+// ThermalMonitor — the paper's full thermal-mapping application:
+// several identical ring-oscillator sensors distributed over the die,
+// read out through the smart unit's channel multiplexer, against the
+// ground-truth temperature field of the RC thermal model.
+#pragma once
+
+#include "digital/smart_unit.hpp"
+#include "phys/technology.hpp"
+#include "ring/config.hpp"
+#include "sensor/smart_sensor.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/grid.hpp"
+
+#include <string>
+#include <vector>
+
+namespace stsense::sensor {
+
+/// Placement of one sensor on the die.
+struct SensorSite {
+    std::string name;
+    double x = 0.0; ///< [m] from the die's left edge.
+    double y = 0.0; ///< [m] from the die's bottom edge.
+};
+
+/// Monitor configuration.
+struct MonitorConfig {
+    int grid_nx = 48;
+    int grid_ny = 48;
+    thermal::GridParams grid_params;
+    SensorOptions sensor_options;
+    double cal_low_c = 0.0;   ///< Factory calibration insertions.
+    double cal_high_c = 100.0;
+
+    /// Within-die mismatch between the nominally identical rings (see
+    /// ring::sample_stage_mismatch). Active when enable_mismatch is set.
+    bool enable_mismatch = false;
+    ring::MismatchSpec mismatch;
+    std::uint64_t mismatch_seed = 1;
+    /// false: one shared calibration (taken on the nominal ring) serves
+    /// every site — the cheap production flow. true: each site is
+    /// calibrated individually, absorbing its own mismatch.
+    bool individual_calibration = false;
+
+    /// Over-temperature alarm threshold [deg C]; <= -273.15 disables.
+    /// Programmed into the smart unit's THRESHOLD register (as the
+    /// nominal ring's code at that temperature) before the scan.
+    double alarm_threshold_c = -300.0;
+};
+
+/// One multiplexed readout.
+struct SiteReading {
+    std::string name;
+    double x = 0.0;
+    double y = 0.0;
+    double true_c = 0.0;     ///< Ground-truth die temperature at the site.
+    double measured_c = 0.0; ///< Smart-unit output.
+    double error_c = 0.0;    ///< measured - true.
+    std::uint32_t code = 0;
+};
+
+/// Full thermal-map scan result.
+struct MapResult {
+    std::vector<SiteReading> sites;
+    double max_abs_error_c = 0.0;
+    double rms_error_c = 0.0;
+    std::vector<double> true_map_c; ///< Grid temperatures (row-major).
+    double die_peak_c = 0.0;
+    double scan_time_s = 0.0; ///< Total mux'd measurement wall time.
+    bool alarm = false;       ///< Smart-unit alarm latched during the scan.
+    std::string alarm_site;   ///< Name of the first alarming site.
+};
+
+class ThermalMonitor {
+public:
+    /// All sensors share `ring_config` (identical layout macros) and the
+    /// factory calibration from `config`. Sites must be on the die.
+    ThermalMonitor(const phys::Technology& tech, ring::RingConfig ring_config,
+                   thermal::Floorplan floorplan, std::vector<SensorSite> sites,
+                   MonitorConfig config = {});
+
+    /// Solves the steady-state thermal field of the floorplan and scans
+    /// every site through the multiplexed smart unit.
+    MapResult scan() const;
+
+    const std::vector<SensorSite>& sites() const { return sites_; }
+    const thermal::Floorplan& floorplan() const { return floorplan_; }
+
+private:
+    phys::Technology tech_;
+    ring::RingConfig ring_config_;
+    thermal::Floorplan floorplan_;
+    std::vector<SensorSite> sites_;
+    MonitorConfig config_;
+    thermal::ThermalGrid grid_;
+    SmartTemperatureSensor sensor_; ///< Nominal ring; holds the shared calibration.
+    /// Per-site sensors (mismatched rings); empty when mismatch is off.
+    std::vector<SmartTemperatureSensor> site_sensors_;
+};
+
+/// A 3x3 uniform sensor placement over a floorplan's die.
+std::vector<SensorSite> uniform_sites(const thermal::Floorplan& fp, int nx,
+                                      int ny);
+
+} // namespace stsense::sensor

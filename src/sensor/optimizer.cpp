@@ -1,0 +1,135 @@
+#include "sensor/optimizer.hpp"
+
+#include "analysis/nonlinearity.hpp"
+#include "phys/units.hpp"
+#include "ring/analytic.hpp"
+#include "ring/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::sensor {
+
+namespace {
+
+double nl_of_config(const phys::Technology& tech, const ring::RingConfig& cfg) {
+    const auto sweep = ring::paper_sweep(tech, cfg);
+    return analysis::max_nonlinearity_percent(sweep.temps_c, sweep.period_s);
+}
+
+double period_27c(const phys::Technology& tech, const ring::RingConfig& cfg) {
+    return ring::AnalyticRingModel(tech, cfg).period(phys::celsius_to_kelvin(27.0));
+}
+
+} // namespace
+
+std::vector<RatioPoint> ratio_sweep(const phys::Technology& tech,
+                                    cells::CellKind kind, int n_stages,
+                                    std::span<const double> ratios) {
+    std::vector<RatioPoint> out;
+    out.reserve(ratios.size());
+    for (double r : ratios) {
+        if (r <= 0.0) throw std::invalid_argument("ratio_sweep: ratio must be > 0");
+        const auto cfg = ring::RingConfig::uniform(kind, n_stages, r);
+        out.push_back({r, nl_of_config(tech, cfg), period_27c(tech, cfg)});
+    }
+    return out;
+}
+
+RatioOptimum optimize_ratio(const phys::Technology& tech, cells::CellKind kind,
+                            int n_stages, double lo, double hi, double tol) {
+    if (!(0.0 < lo && lo < hi)) {
+        throw std::invalid_argument("optimize_ratio: need 0 < lo < hi");
+    }
+    if (tol <= 0.0) throw std::invalid_argument("optimize_ratio: tol must be > 0");
+
+    int evals = 0;
+    auto f = [&](double r) {
+        ++evals;
+        return nl_of_config(tech, ring::RingConfig::uniform(kind, n_stages, r));
+    };
+
+    // Golden-section search.
+    const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double a = lo;
+    double b = hi;
+    double c = b - inv_phi * (b - a);
+    double d = a + inv_phi * (b - a);
+    double fc = f(c);
+    double fd = f(d);
+    while (b - a > tol) {
+        if (fc < fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    RatioOptimum opt;
+    opt.ratio = 0.5 * (a + b);
+    opt.max_nl_percent = f(opt.ratio);
+    opt.evaluations = evals;
+    return opt;
+}
+
+namespace {
+
+/// Recursively builds all multisets of size `remaining` from kinds[from...].
+void enumerate_rec(const phys::Technology& tech,
+                   std::span<const cells::CellKind> kinds, std::size_t from,
+                   int remaining,
+                   std::vector<std::pair<cells::CellKind, int>>& current,
+                   std::vector<MixCandidate>& out) {
+    if (remaining == 0) {
+        ring::RingConfig cfg;
+        for (const auto& [kind, count] : current) {
+            for (int i = 0; i < count; ++i) {
+                cells::CellSpec spec;
+                spec.kind = kind;
+                cfg.stages.push_back(spec);
+            }
+        }
+        MixCandidate cand;
+        cand.name = describe(cfg);
+        cand.max_nl_percent = nl_of_config(tech, cfg);
+        cand.period_27c_s = period_27c(tech, cfg);
+        cand.config = std::move(cfg);
+        out.push_back(std::move(cand));
+        return;
+    }
+    if (from >= kinds.size()) return;
+    // Use 0..remaining of kinds[from].
+    for (int take = remaining; take >= 0; --take) {
+        if (take > 0) current.emplace_back(kinds[from], take);
+        enumerate_rec(tech, kinds, from + 1, remaining - take, current, out);
+        if (take > 0) current.pop_back();
+    }
+}
+
+} // namespace
+
+std::vector<MixCandidate> enumerate_mixes(const phys::Technology& tech,
+                                          std::span<const cells::CellKind> kinds,
+                                          int n_stages) {
+    if (kinds.empty()) throw std::invalid_argument("enumerate_mixes: no kinds");
+    if (n_stages < 3 || n_stages % 2 == 0) {
+        throw std::invalid_argument("enumerate_mixes: n_stages must be odd and >= 3");
+    }
+    std::vector<MixCandidate> out;
+    std::vector<std::pair<cells::CellKind, int>> current;
+    enumerate_rec(tech, kinds, 0, n_stages, current, out);
+    std::sort(out.begin(), out.end(), [](const MixCandidate& a, const MixCandidate& b) {
+        return a.max_nl_percent < b.max_nl_percent;
+    });
+    return out;
+}
+
+} // namespace stsense::sensor

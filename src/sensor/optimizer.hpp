@@ -1,0 +1,60 @@
+// Design-space optimization of the ring sensor's linearity — the
+// paper's two optimization axes, automated:
+//   * transistor-level: sweep / minimize over the Wp/Wn ratio (Fig. 2);
+//   * cell-based: enumerate stock-cell mixes and rank them (Fig. 3).
+#pragma once
+
+#include "phys/technology.hpp"
+#include "ring/config.hpp"
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stsense::sensor {
+
+/// One point of a ratio sweep.
+struct RatioPoint {
+    double ratio = 0.0;
+    double max_nl_percent = 0.0;
+    double period_27c_s = 0.0;
+};
+
+/// Non-linearity (max |NL| % over the paper grid) of an n-stage ring of
+/// `kind` cells at each Wp/Wn ratio.
+std::vector<RatioPoint> ratio_sweep(const phys::Technology& tech,
+                                    cells::CellKind kind, int n_stages,
+                                    std::span<const double> ratios);
+
+/// Continuous optimum found by golden-section search on max |NL|(ratio).
+struct RatioOptimum {
+    double ratio = 0.0;
+    double max_nl_percent = 0.0;
+    int evaluations = 0;
+};
+
+/// Minimizes the non-linearity over ratio in [lo, hi]. Preconditions:
+/// 0 < lo < hi, tol > 0. The NL-vs-ratio curve is unimodal for this
+/// physics (one curvature-cancellation point), which golden-section
+/// requires.
+RatioOptimum optimize_ratio(const phys::Technology& tech, cells::CellKind kind,
+                            int n_stages, double lo, double hi,
+                            double tol = 1e-3);
+
+/// One candidate from the cell-mix enumeration.
+struct MixCandidate {
+    ring::RingConfig config;
+    std::string name;
+    double max_nl_percent = 0.0;
+    double period_27c_s = 0.0;
+};
+
+/// Enumerates every multiset of `n_stages` cells drawn from `kinds`
+/// (at the library ratio), evaluates each ring, and returns candidates
+/// sorted by ascending non-linearity. This is the "select an adequate
+/// set of standard logic gates" search of the paper's abstract.
+std::vector<MixCandidate> enumerate_mixes(const phys::Technology& tech,
+                                          std::span<const cells::CellKind> kinds,
+                                          int n_stages);
+
+} // namespace stsense::sensor

@@ -1,0 +1,22 @@
+#include "sensor/presets.hpp"
+
+namespace stsense::sensor::presets {
+
+std::vector<std::pair<std::string, ring::RingConfig>> fig3_configurations() {
+    using K = cells::CellKind;
+    using ring::RingConfig;
+    return {
+        {"5xINV", RingConfig::uniform(K::Inv, 5)},
+        {"3xINV + 2xNAND3", RingConfig::mix({{K::Inv, 3}, {K::Nand3, 2}})},
+        {"2xINV + 3xNAND3", RingConfig::mix({{K::Inv, 2}, {K::Nand3, 3}})},
+        {"5xNAND2", RingConfig::uniform(K::Nand2, 5)},
+        {"2xINV + 3xNAND2", RingConfig::mix({{K::Inv, 2}, {K::Nand2, 3}})},
+        {"2xINV + 3xNOR2", RingConfig::mix({{K::Inv, 2}, {K::Nor2, 3}})},
+    };
+}
+
+ring::RingConfig paper_ring() {
+    return ring::RingConfig::uniform(cells::CellKind::Inv, kPaperStages);
+}
+
+} // namespace stsense::sensor::presets

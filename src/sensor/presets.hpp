@@ -1,0 +1,31 @@
+// Paper configurations: the exact design points Figs. 2 and 3 sweep.
+#pragma once
+
+#include "ring/config.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stsense::sensor::presets {
+
+/// Fig. 2's Wp/Wn family for the 5-inverter ring.
+inline constexpr double kFig2Ratios[] = {1.75, 2.25, 3.0, 4.0};
+
+/// Number of stages used throughout the paper's figures.
+inline constexpr int kPaperStages = 5;
+
+/// The Fig. 3 cell-mix family (5-stage rings of stock cells at the
+/// library ratio). The printed legend is partially garbled in the
+/// source; this is the reconstruction documented in DESIGN.md: pure
+/// INV/NAND2 rings plus INV+NAND3, INV+NAND2 and INV+NOR2 mixes.
+std::vector<std::pair<std::string, ring::RingConfig>> fig3_configurations();
+
+/// The baseline sensor ring: 5 inverters at the library ratio.
+ring::RingConfig paper_ring();
+
+/// Stage counts for the "5, 9 or 21 stages have similar characteristics"
+/// claim.
+inline constexpr int kStageCountFamily[] = {5, 9, 21};
+
+} // namespace stsense::sensor::presets

@@ -1,0 +1,169 @@
+#include "sensor/smart_sensor.hpp"
+
+#include "analysis/nonlinearity.hpp"
+#include "phys/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::sensor {
+
+namespace {
+
+/// Dividend constant of the hardware reciprocal unit (RefWindow path).
+constexpr std::uint64_t kRecipScale = std::uint64_t{1} << 30;
+
+} // namespace
+
+digital::GateConfig default_gate() {
+    digital::GateConfig g;
+    g.scheme = digital::GatingScheme::OscWindow;
+    g.osc_cycles = 1u << 17;
+    g.ref_cycles = 4096;
+    g.ref_freq_hz = 100e6;
+    return g;
+}
+
+SmartTemperatureSensor::SmartTemperatureSensor(const phys::Technology& tech,
+                                               ring::RingConfig config,
+                                               SensorOptions opt)
+    : tech_(tech),
+      config_(std::move(config)),
+      opt_(opt),
+      model_(tech_, config_) {
+    digital::validate(opt_.gate);
+    if (opt_.settle_cycles < 0) {
+        throw std::invalid_argument("SmartTemperatureSensor: settle_cycles < 0");
+    }
+}
+
+double SmartTemperatureSensor::period_at(double junction_c) const {
+    return model_.period(phys::celsius_to_kelvin(junction_c));
+}
+
+double SmartTemperatureSensor::junction_at(double die_temp_c) const {
+    if (!opt_.model_self_heating) return die_temp_c;
+    return thermal::solve_self_heating(tech_, config_, die_temp_c,
+                                       opt_.self_heating)
+        .junction_c;
+}
+
+std::uint32_t SmartTemperatureSensor::raw_code(double die_temp_c) const {
+    const double period = period_at(junction_at(die_temp_c));
+
+    digital::SmartUnitConfig cfg;
+    cfg.gate = opt_.gate;
+    cfg.num_channels = 1;
+    cfg.settle_cycles = opt_.settle_cycles;
+    digital::SmartUnit unit(cfg, [&](int) { return period; });
+    return unit.measure_blocking(0);
+}
+
+std::uint32_t SmartTemperatureSensor::raw_code(double die_temp_c,
+                                               util::Rng& rng) const {
+    const double period = period_at(junction_at(die_temp_c));
+
+    double p_eff = period;
+    if (opt_.cycle_jitter_rel > 0.0) {
+        // White cycle jitter averages over the cycles inside the gate.
+        const double cycles =
+            opt_.gate.scheme == digital::GatingScheme::OscWindow
+                ? static_cast<double>(opt_.gate.osc_cycles)
+                : opt_.gate.ref_cycles / opt_.gate.ref_freq_hz / period;
+        const double sigma = opt_.cycle_jitter_rel / std::sqrt(std::max(1.0, cycles));
+        p_eff = period * (1.0 + rng.normal(0.0, sigma));
+    }
+    // Random gate phase models the +/-1-count gating uncertainty.
+    return digital::quantized_code(opt_.gate, p_eff, rng.uniform01());
+}
+
+Measurement SmartTemperatureSensor::measure(double die_temp_c,
+                                            util::Rng& rng) const {
+    Measurement m;
+    m.junction_c = junction_at(die_temp_c);
+    m.code = raw_code(die_temp_c, rng);
+    m.temperature_c = convert_code(m.code);
+    m.measurement_time_s =
+        digital::measurement_time(opt_.gate, period_at(m.junction_c));
+    return m;
+}
+
+void SmartTemperatureSensor::calibrate_two_point(double t_low_c,
+                                                 double t_high_c) {
+    if (t_high_c <= t_low_c) {
+        throw std::invalid_argument("calibrate_two_point: t_high must be > t_low");
+    }
+    const std::uint32_t code_lo = raw_code(t_low_c);
+    const std::uint32_t code_hi = raw_code(t_high_c);
+    if (opt_.gate.scheme == digital::GatingScheme::OscWindow) {
+        const analysis::CalibrationPoint a{t_low_c, static_cast<double>(code_lo)};
+        const analysis::CalibrationPoint b{t_high_c, static_cast<double>(code_hi)};
+        lin_ = digital::LinearConverter(analysis::LinearCalibration::two_point(a, b));
+        rec_.reset();
+    } else {
+        rec_ = digital::ReciprocalConverter::from_two_point(
+            code_lo, t_low_c, code_hi, t_high_c, kRecipScale);
+        lin_.reset();
+    }
+}
+
+void SmartTemperatureSensor::calibrate_one_point(double t_c,
+                                                 double nominal_gain_c_per_code) {
+    if (opt_.gate.scheme != digital::GatingScheme::OscWindow) {
+        throw std::logic_error(
+            "calibrate_one_point: supported for the OscWindow scheme only");
+    }
+    const std::uint32_t code = raw_code(t_c);
+    const analysis::CalibrationPoint p{t_c, static_cast<double>(code)};
+    lin_ = digital::LinearConverter(
+        analysis::LinearCalibration::one_point(p, nominal_gain_c_per_code));
+    rec_.reset();
+}
+
+double SmartTemperatureSensor::nominal_gain_c_per_code(double t_low_c,
+                                                       double t_high_c) const {
+    const std::uint32_t code_lo = raw_code(t_low_c);
+    const std::uint32_t code_hi = raw_code(t_high_c);
+    if (code_lo == code_hi) {
+        throw std::runtime_error("nominal_gain: degenerate codes");
+    }
+    return (t_high_c - t_low_c) /
+           (static_cast<double>(code_hi) - static_cast<double>(code_lo));
+}
+
+double SmartTemperatureSensor::convert_code(std::uint32_t code) const {
+    if (lin_) return lin_->convert_c(code);
+    if (rec_) return rec_->convert_c(code);
+    throw std::logic_error("SmartTemperatureSensor: measure before calibrate");
+}
+
+Measurement SmartTemperatureSensor::measure(double die_temp_c) const {
+    Measurement m;
+    m.junction_c = junction_at(die_temp_c);
+    m.code = raw_code(die_temp_c);
+    m.temperature_c = convert_code(m.code);
+    m.measurement_time_s =
+        digital::measurement_time(opt_.gate, period_at(m.junction_c));
+    return m;
+}
+
+double SmartTemperatureSensor::nonlinearity_percent() const {
+    const auto grid_c = ring::paper_temperature_grid_c();
+    std::vector<double> periods;
+    periods.reserve(grid_c.size());
+    for (double tc : grid_c) {
+        periods.push_back(period_at(tc));
+    }
+    return analysis::max_nonlinearity_percent(grid_c, periods);
+}
+
+double SmartTemperatureSensor::resolution_c(double die_temp_c) const {
+    const double junction_c = junction_at(die_temp_c);
+    const double period = period_at(junction_c);
+    const double sens =
+        model_.sensitivity(phys::celsius_to_kelvin(junction_c));
+    return digital::lsb_temperature_c(opt_.gate, period, sens);
+}
+
+} // namespace stsense::sensor

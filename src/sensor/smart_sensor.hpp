@@ -1,0 +1,121 @@
+// SmartTemperatureSensor — the paper's complete smart unit for one ring:
+// ring-oscillator transducer + period counter + fixed-point converter +
+// calibration, with optional self-heating modelling.
+//
+// This is the primary public entry point of the library; see
+// examples/quickstart.cpp.
+#pragma once
+
+#include "analysis/calibration.hpp"
+#include "digital/converter.hpp"
+#include "digital/smart_unit.hpp"
+#include "phys/technology.hpp"
+#include "ring/analytic.hpp"
+#include "ring/config.hpp"
+#include "thermal/self_heating.hpp"
+#include "util/rng.hpp"
+
+#include <optional>
+
+namespace stsense::sensor {
+
+/// Default gate: count reference cycles over 2^17 oscillator periods —
+/// ~0.06 degC/LSB for the paper ring against a 100 MHz reference.
+digital::GateConfig default_gate();
+
+/// Sensor-level options.
+struct SensorOptions {
+    digital::GateConfig gate = default_gate();
+    int settle_cycles = 16;       ///< Warm-up ref cycles per measurement.
+    bool model_self_heating = false;
+    thermal::SelfHeatingParams self_heating; ///< Used when modelling is on.
+    /// RMS cycle-to-cycle period jitter, relative to the period (thermal
+    /// and supply noise in the ring). White jitter averages down as
+    /// 1/sqrt(cycles in the gate); 0 disables the noise model.
+    double cycle_jitter_rel = 0.0;
+};
+
+/// One digitized measurement.
+struct Measurement {
+    std::uint32_t code = 0;       ///< Raw counter output.
+    double temperature_c = 0.0;   ///< Fixed-point converted estimate [deg C].
+    double junction_c = 0.0;      ///< Actual ring junction temperature [deg C]
+                                  ///< (die + self-heating when modelled).
+    double measurement_time_s = 0.0; ///< Gate-open wall time.
+};
+
+class SmartTemperatureSensor {
+public:
+    /// Validates all parts. The analytic ring engine backs the period
+    /// transducer (the SPICE engine is exposed via ring::SpiceRingModel
+    /// for cross-checks).
+    SmartTemperatureSensor(const phys::Technology& tech,
+                           ring::RingConfig config, SensorOptions opt = {});
+
+    /// Oscillation period at a junction temperature [s].
+    double period_at(double junction_c) const;
+
+    /// Junction temperature for a die temperature, including the
+    /// self-heating rise when enabled.
+    double junction_at(double die_temp_c) const;
+
+    /// Two-point calibration at the given die temperatures (factory
+    /// trim: runs two noise-free measurements and fits the converter).
+    void calibrate_two_point(double t_low_c, double t_high_c);
+
+    /// One-point calibration: offset trim at `t_c` with the gain taken
+    /// from a nominal (typically golden-die) characterization
+    /// [degC per code].
+    void calibrate_one_point(double t_c, double nominal_gain_c_per_code);
+
+    /// Nominal per-code gain of *this* device between two temperatures —
+    /// what a golden-die characterization would publish for one-point
+    /// calibration of production parts.
+    double nominal_gain_c_per_code(double t_low_c, double t_high_c) const;
+
+    bool calibrated() const { return lin_.has_value() || rec_.has_value(); }
+
+    /// Full measurement at a die temperature. Throws std::logic_error if
+    /// not calibrated.
+    Measurement measure(double die_temp_c) const;
+
+    /// Raw code without conversion (available before calibration).
+    std::uint32_t raw_code(double die_temp_c) const;
+
+    /// Noisy raw code: applies the configured cycle jitter (averaged
+    /// over the gate) and a random gate phase (the +/-1-count
+    /// quantization). Deterministic given the Rng state.
+    std::uint32_t raw_code(double die_temp_c, util::Rng& rng) const;
+
+    /// Noisy measurement; requires calibration like measure().
+    Measurement measure(double die_temp_c, util::Rng& rng) const;
+
+    /// Converts a raw code through the calibrated fixed-point datapath
+    /// [deg C]. Throws std::logic_error if not calibrated. Exposed so a
+    /// multiplexed readout (ThermalMonitor) can convert codes gathered
+    /// by a shared SmartUnit.
+    double convert(std::uint32_t code) const { return convert_code(code); }
+
+    /// Max |non-linearity| of the period response over the paper range
+    /// [-50, 150] degC, in % of full scale (the Fig. 2/3 metric).
+    double nonlinearity_percent() const;
+
+    /// Temperature represented by one counter LSB at `die_temp_c`.
+    double resolution_c(double die_temp_c) const;
+
+    const ring::RingConfig& config() const { return config_; }
+    const phys::Technology& technology() const { return tech_; }
+    const SensorOptions& options() const { return opt_; }
+
+private:
+    double convert_code(std::uint32_t code) const;
+
+    phys::Technology tech_;
+    ring::RingConfig config_;
+    SensorOptions opt_;
+    ring::AnalyticRingModel model_;
+    std::optional<digital::LinearConverter> lin_;
+    std::optional<digital::ReciprocalConverter> rec_;
+};
+
+} // namespace stsense::sensor

@@ -1,0 +1,49 @@
+#include "sensor/supply.hpp"
+
+#include "phys/units.hpp"
+#include "ring/analytic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::sensor {
+
+SupplySensitivity supply_sensitivity(const phys::Technology& tech,
+                                     const ring::RingConfig& config,
+                                     double temp_c, double dv, double dt_k) {
+    if (dv <= 0.0 || dt_k <= 0.0) {
+        throw std::invalid_argument("supply_sensitivity: steps must be > 0");
+    }
+    const double temp_k = phys::celsius_to_kelvin(temp_c);
+
+    const ring::AnalyticRingModel nominal(tech, config);
+    const double p0 = nominal.period(temp_k);
+
+    phys::Technology hi = tech;
+    hi.vdd += dv;
+    phys::Technology lo = tech;
+    lo.vdd -= dv;
+    const double p_hi = ring::AnalyticRingModel(hi, config).period(temp_k);
+    const double p_lo = ring::AnalyticRingModel(lo, config).period(temp_k);
+
+    SupplySensitivity s;
+    s.dperiod_dvdd_rel = (p_hi - p_lo) / (2.0 * dv) / p0;
+    s.dperiod_dtemp_rel = nominal.sensitivity(temp_k, dt_k) / p0;
+    if (s.dperiod_dtemp_rel == 0.0) {
+        throw std::runtime_error("supply_sensitivity: zero temperature sensitivity");
+    }
+    s.temp_error_per_10mv_c =
+        std::abs(s.dperiod_dvdd_rel * 0.010 / s.dperiod_dtemp_rel);
+    return s;
+}
+
+double required_supply_regulation(const SupplySensitivity& s,
+                                  double max_error_c) {
+    if (max_error_c <= 0.0) {
+        throw std::invalid_argument("required_supply_regulation: max_error_c <= 0");
+    }
+    if (s.dperiod_dvdd_rel == 0.0) return 1e9; // No supply dependence at all.
+    return std::abs(max_error_c * s.dperiod_dtemp_rel / s.dperiod_dvdd_rel);
+}
+
+} // namespace stsense::sensor

@@ -1,0 +1,38 @@
+// Supply-voltage sensitivity of the ring sensor.
+//
+// A ring oscillator transduces *delay*, and delay depends on Vdd as well
+// as temperature — supply noise therefore aliases into temperature
+// error. This is the classic systematic weakness of delay-based sensors
+// (the diode baseline is first-order supply-independent); quantifying it
+// is essential for anyone deploying the paper's sensor, and the
+// SUPPLY bench ablates it across ratios and nodes.
+#pragma once
+
+#include "phys/technology.hpp"
+#include "ring/config.hpp"
+
+namespace stsense::sensor {
+
+/// Sensitivity figures at one operating point.
+struct SupplySensitivity {
+    double dperiod_dvdd_rel = 0.0;  ///< (1/P) dP/dVdd [1/V] (negative: more
+                                    ///< supply -> faster ring).
+    double dperiod_dtemp_rel = 0.0; ///< (1/P) dP/dT [1/K].
+    /// Temperature error induced by +10 mV of supply shift [deg C]:
+    /// the figure of merit for required supply regulation.
+    double temp_error_per_10mv_c = 0.0;
+};
+
+/// Computes the sensitivities by central differences around
+/// (temp_c, tech.vdd). Preconditions: valid tech/config.
+SupplySensitivity supply_sensitivity(const phys::Technology& tech,
+                                     const ring::RingConfig& config,
+                                     double temp_c, double dv = 0.01,
+                                     double dt_k = 1.0);
+
+/// Supply regulation needed [V] to keep the supply-induced error below
+/// `max_error_c` degrees.
+double required_supply_regulation(const SupplySensitivity& s,
+                                  double max_error_c);
+
+} // namespace stsense::sensor

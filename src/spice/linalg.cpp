@@ -1,0 +1,78 @@
+#include "spice/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::spice {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void Matrix::clear() {
+    std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+bool lu_solve(Matrix& a, std::vector<double>& b, std::vector<double>& x,
+              double pivot_tol) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n) {
+        throw std::invalid_argument("lu_solve: dimension mismatch");
+    }
+    x.assign(n, 0.0);
+    if (n == 0) return true;
+
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+    // Doolittle LU with partial pivoting, factoring in place.
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t pivot = k;
+        double best = std::abs(a.at(perm[k], k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double cand = std::abs(a.at(perm[r], k));
+            if (cand > best) {
+                best = cand;
+                pivot = r;
+            }
+        }
+        if (best < pivot_tol || !std::isfinite(best)) return false;
+        std::swap(perm[k], perm[pivot]);
+
+        const double pivval = a.at(perm[k], k);
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double factor = a.at(perm[r], k) / pivval;
+            a.at(perm[r], k) = factor;
+            if (factor == 0.0) continue;
+            for (std::size_t c = k + 1; c < n; ++c) {
+                a.at(perm[r], c) -= factor * a.at(perm[k], c);
+            }
+        }
+    }
+
+    // Forward substitution (L has unit diagonal).
+    std::vector<double> y(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        double sum = b[perm[r]];
+        for (std::size_t c = 0; c < r; ++c) sum -= a.at(perm[r], c) * y[c];
+        y[r] = sum;
+    }
+    // Back substitution.
+    for (std::size_t ri = n; ri-- > 0;) {
+        double sum = y[ri];
+        for (std::size_t c = ri + 1; c < n; ++c) sum -= a.at(perm[ri], c) * x[c];
+        x[ri] = sum / a.at(perm[ri], ri);
+    }
+    for (double v : x) {
+        if (!std::isfinite(v)) return false;
+    }
+    return true;
+}
+
+double max_abs(std::span<const double> v) {
+    double m = 0.0;
+    for (double e : v) m = std::max(m, std::abs(e));
+    return m;
+}
+
+} // namespace stsense::spice

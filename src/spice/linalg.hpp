@@ -1,0 +1,48 @@
+// Dense linear algebra for the circuit simulator.
+//
+// Ring-oscillator netlists have a handful of nodes (a 21-stage ring is
+// ~22 unknowns), so a dense LU with partial pivoting is the right tool:
+// no sparse bookkeeping, cache-friendly, and exactly as accurate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stsense::spice {
+
+/// Row-major dense square-capable matrix of doubles.
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+    /// Sets every entry to zero without reallocating.
+    void clear();
+
+    /// Raw storage (row-major), e.g. for tests.
+    std::span<const double> data() const { return data_; }
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// In-place LU factorization with partial pivoting; solves A x = b.
+///
+/// Returns false if the matrix is numerically singular (pivot below
+/// `pivot_tol`); in that case x is unspecified. A and b are destroyed.
+bool lu_solve(Matrix& a, std::vector<double>& b, std::vector<double>& x,
+              double pivot_tol = 1e-14);
+
+/// Maximum absolute entry of v (0 for empty v).
+double max_abs(std::span<const double> v);
+
+} // namespace stsense::spice

@@ -1,0 +1,149 @@
+#include "spice/netlist.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::spice {
+
+Source Source::dc(double volts) {
+    Source s;
+    s.kind = Kind::Dc;
+    s.level0 = volts;
+    s.level1 = volts;
+    return s;
+}
+
+Source Source::step(double v0, double v1, double t_delay, double t_rise) {
+    Source s;
+    s.kind = Kind::Step;
+    s.level0 = v0;
+    s.level1 = v1;
+    s.t_delay = t_delay;
+    s.t_rise = t_rise;
+    return s;
+}
+
+Source Source::pulse(double v0, double v1, double t_delay, double width,
+                     double period, double t_rise) {
+    if (width < 0.0 || period < 0.0) {
+        throw std::invalid_argument("Source::pulse: negative width/period");
+    }
+    Source s;
+    s.kind = Kind::Pulse;
+    s.level0 = v0;
+    s.level1 = v1;
+    s.t_delay = t_delay;
+    s.width = width;
+    s.period = period;
+    s.t_rise = t_rise;
+    return s;
+}
+
+double Source::value(double t) const {
+    switch (kind) {
+        case Kind::Dc:
+            return level0;
+        case Kind::Step: {
+            if (t <= t_delay) return level0;
+            if (t_rise <= 0.0 || t >= t_delay + t_rise) return level1;
+            const double f = (t - t_delay) / t_rise;
+            return level0 + f * (level1 - level0);
+        }
+        case Kind::Pulse: {
+            if (t < t_delay) return level0;
+            double local = t - t_delay;
+            if (period > 0.0) local = std::fmod(local, period);
+            const double rise = t_rise;
+            if (rise > 0.0 && local < rise) {
+                return level0 + (local / rise) * (level1 - level0);
+            }
+            if (local < rise + width) return level1;
+            if (rise > 0.0 && local < 2.0 * rise + width) {
+                const double f = (local - rise - width) / rise;
+                return level1 + f * (level0 - level1);
+            }
+            return level0;
+        }
+    }
+    throw std::logic_error("Source::value: bad kind");
+}
+
+Circuit::Circuit() {
+    names_.push_back("0");
+    driven_.push_back(Source::dc(0.0)); // Ground is a driven node at 0 V.
+}
+
+NodeId Circuit::add_node(std::string name) {
+    names_.push_back(std::move(name));
+    driven_.push_back(std::nullopt);
+    return NodeId{static_cast<std::uint32_t>(names_.size() - 1)};
+}
+
+NodeId Circuit::add_driven_node(std::string name, Source source) {
+    NodeId n = add_node(std::move(name));
+    driven_.back() = source;
+    return n;
+}
+
+void Circuit::drive_node(NodeId node, Source source) {
+    check_node(node, "drive_node");
+    if (node.index == 0) throw std::invalid_argument("drive_node: cannot re-drive ground");
+    driven_[node.index] = source;
+}
+
+void Circuit::add_resistor(NodeId a, NodeId b, double ohms) {
+    check_node(a, "resistor");
+    check_node(b, "resistor");
+    if (ohms <= 0.0) throw std::invalid_argument("resistor: ohms must be > 0");
+    resistors_.push_back({a, b, ohms});
+}
+
+void Circuit::add_capacitor(NodeId a, NodeId b, double farads) {
+    check_node(a, "capacitor");
+    check_node(b, "capacitor");
+    if (farads <= 0.0) throw std::invalid_argument("capacitor: farads must be > 0");
+    capacitors_.push_back({a, b, farads});
+}
+
+void Circuit::add_mosfet(const Mosfet& m) {
+    check_node(m.drain, "mosfet drain");
+    check_node(m.gate, "mosfet gate");
+    check_node(m.source, "mosfet source");
+    if (m.geometry.w <= 0.0 || m.geometry.l <= 0.0) {
+        throw std::invalid_argument("mosfet: W and L must be > 0");
+    }
+    mosfets_.push_back(m);
+}
+
+const std::string& Circuit::node_name(NodeId n) const {
+    check_node(n, "node_name");
+    return names_[n.index];
+}
+
+NodeId Circuit::node_by_name(const std::string& name) const {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name) return NodeId{static_cast<std::uint32_t>(i)};
+    }
+    throw std::invalid_argument("node_by_name: no node named '" + name + "'");
+}
+
+bool Circuit::is_driven(NodeId n) const {
+    check_node(n, "is_driven");
+    return driven_[n.index].has_value();
+}
+
+const Source& Circuit::source_of(NodeId n) const {
+    check_node(n, "source_of");
+    if (!driven_[n.index]) {
+        throw std::invalid_argument("source_of: node '" + names_[n.index] + "' is not driven");
+    }
+    return *driven_[n.index];
+}
+
+void Circuit::check_node(NodeId n, const char* what) const {
+    if (n.index >= names_.size()) {
+        throw std::invalid_argument(std::string(what) + ": node id out of range");
+    }
+}
+
+} // namespace stsense::spice

@@ -1,0 +1,114 @@
+// Circuit netlist representation.
+//
+// A Circuit is a flat bag of two-terminal elements (R, C) and MOSFETs
+// plus "driven" nodes whose potential is imposed by a source (ground,
+// supplies, stimulus inputs). Driven nodes are eliminated from the
+// unknown vector instead of adding MNA branch currents — every source in
+// this library is node-to-ground, which keeps the solver minimal.
+#pragma once
+
+#include "phys/mosfet.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stsense::spice {
+
+/// Opaque node handle. Node 0 is always ground.
+struct NodeId {
+    std::uint32_t index = 0;
+    friend bool operator==(NodeId, NodeId) = default;
+};
+
+/// Time-dependent node stimulus: DC level, step, or pulse train.
+struct Source {
+    enum class Kind { Dc, Step, Pulse };
+
+    Kind kind = Kind::Dc;
+    double level0 = 0.0; ///< Initial / low level [V].
+    double level1 = 0.0; ///< Final / high level [V] (Step, Pulse).
+    double t_delay = 0.0;///< Step time / pulse start [s].
+    double t_rise = 0.0; ///< Linear ramp duration for Step edges [s].
+    double width = 0.0;  ///< Pulse high time [s].
+    double period = 0.0; ///< Pulse repetition period [s] (0 = single pulse).
+
+    static Source dc(double volts);
+    static Source step(double v0, double v1, double t_delay, double t_rise = 0.0);
+    static Source pulse(double v0, double v1, double t_delay, double width,
+                        double period, double t_rise = 0.0);
+
+    /// Source voltage at time t.
+    double value(double t) const;
+};
+
+/// Two-terminal linear resistor.
+struct Resistor {
+    NodeId a;
+    NodeId b;
+    double ohms = 0.0;
+};
+
+/// Two-terminal linear capacitor.
+struct Capacitor {
+    NodeId a;
+    NodeId b;
+    double farads = 0.0;
+};
+
+/// MOSFET instance (bulk tied to source; polarity from params.type).
+struct Mosfet {
+    NodeId drain;
+    NodeId gate;
+    NodeId source;
+    phys::MosfetParams params;
+    phys::MosGeometry geometry;
+};
+
+/// Netlist builder and container.
+class Circuit {
+public:
+    Circuit();
+
+    /// Ground node (always index 0, fixed at 0 V).
+    NodeId ground() const { return NodeId{0}; }
+
+    /// Creates a named floating node.
+    NodeId add_node(std::string name);
+
+    /// Creates a node whose voltage is imposed by `source`.
+    NodeId add_driven_node(std::string name, Source source);
+
+    /// Converts an existing floating node into a driven one.
+    void drive_node(NodeId node, Source source);
+
+    void add_resistor(NodeId a, NodeId b, double ohms);
+    void add_capacitor(NodeId a, NodeId b, double farads);
+    void add_mosfet(const Mosfet& m);
+
+    std::size_t node_count() const { return names_.size(); }
+    const std::string& node_name(NodeId n) const;
+    /// Returns the node with the given name; throws if absent.
+    NodeId node_by_name(const std::string& name) const;
+
+    bool is_driven(NodeId n) const;
+    /// Source of a driven node; throws if the node is not driven.
+    const Source& source_of(NodeId n) const;
+
+    const std::vector<Resistor>& resistors() const { return resistors_; }
+    const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+    const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+
+private:
+    void check_node(NodeId n, const char* what) const;
+
+    std::vector<std::string> names_;
+    std::vector<std::optional<Source>> driven_;
+    std::vector<Resistor> resistors_;
+    std::vector<Capacitor> capacitors_;
+    std::vector<Mosfet> mosfets_;
+};
+
+} // namespace stsense::spice

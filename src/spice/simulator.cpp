@@ -1,0 +1,356 @@
+#include "spice/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::spice {
+
+double TransientResult::average_source_power_w(NodeId node,
+                                               double duration_s) const {
+    if (node.index >= source_energy_j.size()) {
+        throw std::invalid_argument("average_source_power_w: bad node");
+    }
+    if (duration_s <= 0.0) {
+        throw std::invalid_argument("average_source_power_w: bad duration");
+    }
+    return source_energy_j[node.index] / duration_s;
+}
+
+const Trace& TransientResult::trace(const std::string& node_name) const {
+    for (const auto& t : traces) {
+        if (t.name == node_name) return t;
+    }
+    throw std::invalid_argument("TransientResult: no trace for node '" + node_name + "'");
+}
+
+Simulator::Simulator(const Circuit& circuit, SimOptions options)
+    : circuit_(circuit), options_(options) {
+    if (options_.temp_k <= 0.0) throw std::invalid_argument("Simulator: temp_k must be > 0");
+    if (options_.gmin < 0.0) throw std::invalid_argument("Simulator: gmin must be >= 0");
+
+    unknown_index_.assign(circuit_.node_count(), -1);
+    for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+        NodeId n{static_cast<std::uint32_t>(i)};
+        if (!circuit_.is_driven(n)) {
+            unknown_index_[i] = static_cast<int>(n_unknowns_++);
+        }
+    }
+}
+
+void Simulator::set_driven(std::vector<double>& volts, double t) const {
+    for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+        NodeId n{static_cast<std::uint32_t>(i)};
+        if (circuit_.is_driven(n)) volts[i] = circuit_.source_of(n).value(t);
+    }
+}
+
+void Simulator::assemble(const std::vector<double>& volts, double h,
+                         const std::vector<CapState>* caps, Integrator integ,
+                         Matrix& jac, std::vector<double>& residual) const {
+    jac.clear();
+    std::fill(residual.begin(), residual.end(), 0.0);
+
+    auto idx = [&](NodeId n) { return unknown_index_[n.index]; };
+
+    // current `i` flows a -> b with conductances (di/dva, di/dvb).
+    auto stamp_branch = [&](NodeId a, NodeId b, double i, double di_dva,
+                            double di_dvb) {
+        const int ia = idx(a);
+        const int ib = idx(b);
+        if (ia >= 0) {
+            residual[static_cast<std::size_t>(ia)] += i;
+            jac.at(static_cast<std::size_t>(ia), static_cast<std::size_t>(ia)) += di_dva;
+            if (ib >= 0) jac.at(static_cast<std::size_t>(ia), static_cast<std::size_t>(ib)) += di_dvb;
+        }
+        if (ib >= 0) {
+            residual[static_cast<std::size_t>(ib)] -= i;
+            jac.at(static_cast<std::size_t>(ib), static_cast<std::size_t>(ib)) -= di_dvb;
+            if (ia >= 0) jac.at(static_cast<std::size_t>(ib), static_cast<std::size_t>(ia)) -= di_dva;
+        }
+    };
+
+    for (const auto& r : circuit_.resistors()) {
+        const double g = 1.0 / r.ohms;
+        const double i = g * (volts[r.a.index] - volts[r.b.index]);
+        stamp_branch(r.a, r.b, i, g, -g);
+    }
+
+    if (caps != nullptr) {
+        const bool trap = integ == Integrator::Trapezoidal;
+        const auto& cs = *caps;
+        for (std::size_t k = 0; k < circuit_.capacitors().size(); ++k) {
+            const auto& c = circuit_.capacitors()[k];
+            const double geq = (trap ? 2.0 : 1.0) * c.farads / h;
+            const double vab = volts[c.a.index] - volts[c.b.index];
+            const double hist = geq * cs[k].v_old + (trap ? cs[k].i_old : 0.0);
+            const double i = geq * vab - hist;
+            stamp_branch(c.a, c.b, i, geq, -geq);
+        }
+    }
+
+    for (const auto& m : circuit_.mosfets()) {
+        const double vd = volts[m.drain.index];
+        const double vg = volts[m.gate.index];
+        const double vs = volts[m.source.index];
+        if (m.params.type == phys::MosType::Nmos) {
+            const phys::MosEval e =
+                phys::evaluate(m.params, m.geometry, vg - vs, vd - vs, options_.temp_k);
+            // Current e.id flows drain -> source.
+            // di/dvd = gds, di/dvg = gm, di/dvs = -(gm + gds).
+            const int id_ = idx(m.drain);
+            const int is_ = idx(m.source);
+            const int ig_ = idx(m.gate);
+            if (id_ >= 0) {
+                residual[static_cast<std::size_t>(id_)] += e.id;
+                jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(id_)) += e.gds;
+                if (ig_ >= 0) jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(ig_)) += e.gm;
+                if (is_ >= 0) jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(is_)) -= e.gm + e.gds;
+            }
+            if (is_ >= 0) {
+                residual[static_cast<std::size_t>(is_)] -= e.id;
+                jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(is_)) += e.gm + e.gds;
+                if (ig_ >= 0) jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(ig_)) -= e.gm;
+                if (id_ >= 0) jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(id_)) -= e.gds;
+            }
+        } else {
+            // PMOS: magnitudes vsg = vs - vg, vsd = vs - vd; current flows
+            // source -> drain while conducting.
+            const phys::MosEval e =
+                phys::evaluate(m.params, m.geometry, vs - vg, vs - vd, options_.temp_k);
+            // i (source->drain): di/dvs = gm + gds, di/dvg = -gm, di/dvd = -gds.
+            const int id_ = idx(m.drain);
+            const int is_ = idx(m.source);
+            const int ig_ = idx(m.gate);
+            if (is_ >= 0) {
+                residual[static_cast<std::size_t>(is_)] += e.id;
+                jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(is_)) += e.gm + e.gds;
+                if (ig_ >= 0) jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(ig_)) -= e.gm;
+                if (id_ >= 0) jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(id_)) -= e.gds;
+            }
+            if (id_ >= 0) {
+                residual[static_cast<std::size_t>(id_)] -= e.id;
+                jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(id_)) += e.gds;
+                if (ig_ >= 0) jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(ig_)) += e.gm;
+                if (is_ >= 0) jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(is_)) -= e.gm + e.gds;
+            }
+        }
+    }
+
+    // gmin shunts keep otherwise floating nodes well-conditioned.
+    for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+        const int u = unknown_index_[i];
+        if (u < 0) continue;
+        residual[static_cast<std::size_t>(u)] += options_.gmin * volts[i];
+        jac.at(static_cast<std::size_t>(u), static_cast<std::size_t>(u)) += options_.gmin;
+    }
+}
+
+bool Simulator::solve_newton(std::vector<double>& volts, double h,
+                             const std::vector<CapState>* caps, Integrator integ,
+                             long& iters) const {
+    Matrix jac(n_unknowns_, n_unknowns_);
+    std::vector<double> residual(n_unknowns_);
+    std::vector<double> delta;
+
+    for (int it = 0; it < options_.max_newton_iters; ++it) {
+        ++iters;
+        assemble(volts, h, caps, integ, jac, residual);
+        // Solve J * delta = -F.
+        for (double& r : residual) r = -r;
+        if (!lu_solve(jac, residual, delta)) return false;
+
+        double max_dv = 0.0;
+        for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+            const int u = unknown_index_[i];
+            if (u < 0) continue;
+            double dv = delta[static_cast<std::size_t>(u)];
+            dv = std::clamp(dv, -options_.v_step_limit, options_.v_step_limit);
+            volts[i] += dv;
+            max_dv = std::max(max_dv, std::abs(dv));
+        }
+        if (max_dv < options_.abstol_v) return true;
+    }
+    return false;
+}
+
+std::vector<double> Simulator::dc_operating_point() {
+    std::vector<double> volts(circuit_.node_count(), 0.0);
+    set_driven(volts, 0.0);
+    long iters = 0;
+    if (solve_newton(volts, 0.0, nullptr, options_.integrator, iters)) return volts;
+
+    // Retry from a mid-rail guess: helps bistable/metastable circuits.
+    double vmax = 0.0;
+    for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+        NodeId n{static_cast<std::uint32_t>(i)};
+        if (circuit_.is_driven(n)) vmax = std::max(vmax, circuit_.source_of(n).value(0.0));
+    }
+    for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+        if (unknown_index_[i] >= 0) volts[i] = 0.5 * vmax;
+    }
+    if (solve_newton(volts, 0.0, nullptr, options_.integrator, iters)) return volts;
+    throw ConvergenceError("dc_operating_point: Newton failed to converge");
+}
+
+void Simulator::update_cap_state(const std::vector<double>& volts, double h,
+                                 Integrator integ,
+                                 std::vector<CapState>& caps) const {
+    const bool trap = integ == Integrator::Trapezoidal;
+    for (std::size_t k = 0; k < circuit_.capacitors().size(); ++k) {
+        const auto& c = circuit_.capacitors()[k];
+        const double geq = (trap ? 2.0 : 1.0) * c.farads / h;
+        const double vab = volts[c.a.index] - volts[c.b.index];
+        const double hist = geq * caps[k].v_old + (trap ? caps[k].i_old : 0.0);
+        const double i_new = geq * vab - hist;
+        caps[k].v_old = vab;
+        caps[k].i_old = i_new;
+    }
+}
+
+void Simulator::advance(std::vector<double>& volts, std::vector<CapState>& caps,
+                        double t, double h, int depth, Integrator integ,
+                        TransientResult& result) const {
+    if (depth > options_.max_step_halvings) {
+        throw ConvergenceError("transient: Newton failed at t = " + std::to_string(t));
+    }
+    std::vector<double> trial = volts;
+    std::vector<CapState> trial_caps = caps;
+    set_driven(trial, t + h);
+    if (solve_newton(trial, h, &trial_caps, integ, result.total_newton_iters)) {
+        if (!result.source_energy_j.empty()) {
+            // Supply metering: energy = v * i_delivered * h per source,
+            // with the end-of-step current (rectangle rule).
+            for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+                const NodeId n{static_cast<std::uint32_t>(i)};
+                if (!circuit_.is_driven(n)) continue;
+                const double cur =
+                    injected_current(n, trial, h, &trial_caps, integ);
+                result.source_energy_j[i] += trial[i] * cur * h;
+            }
+        }
+        update_cap_state(trial, h, integ, trial_caps);
+        volts = std::move(trial);
+        caps = std::move(trial_caps);
+        ++result.steps_taken;
+        return;
+    }
+    // Halve the step: two sub-steps.
+    advance(volts, caps, t, 0.5 * h, depth + 1, integ, result);
+    advance(volts, caps, t + 0.5 * h, 0.5 * h, depth + 1, integ, result);
+}
+
+double Simulator::injected_current(NodeId node, const std::vector<double>& volts,
+                                   double h, const std::vector<CapState>* caps,
+                                   Integrator integ) const {
+    double out = 0.0;
+
+    for (const auto& r : circuit_.resistors()) {
+        const double g = 1.0 / r.ohms;
+        const double i = g * (volts[r.a.index] - volts[r.b.index]);
+        if (r.a == node) out += i;
+        if (r.b == node) out -= i;
+    }
+    if (caps != nullptr && h > 0.0) {
+        const bool trap = integ == Integrator::Trapezoidal;
+        for (std::size_t k = 0; k < circuit_.capacitors().size(); ++k) {
+            const auto& c = circuit_.capacitors()[k];
+            const double geq = (trap ? 2.0 : 1.0) * c.farads / h;
+            const double vab = volts[c.a.index] - volts[c.b.index];
+            const double hist = geq * (*caps)[k].v_old + (trap ? (*caps)[k].i_old : 0.0);
+            const double i = geq * vab - hist;
+            if (c.a == node) out += i;
+            if (c.b == node) out -= i;
+        }
+    }
+    for (const auto& m : circuit_.mosfets()) {
+        const double vd = volts[m.drain.index];
+        const double vg = volts[m.gate.index];
+        const double vs = volts[m.source.index];
+        if (m.params.type == phys::MosType::Nmos) {
+            const phys::MosEval e =
+                phys::evaluate(m.params, m.geometry, vg - vs, vd - vs, options_.temp_k);
+            if (m.drain == node) out += e.id;   // Current leaves drain node.
+            if (m.source == node) out -= e.id;  // And enters the source node.
+        } else {
+            const phys::MosEval e =
+                phys::evaluate(m.params, m.geometry, vs - vg, vs - vd, options_.temp_k);
+            if (m.source == node) out += e.id;  // PMOS: leaves the source node.
+            if (m.drain == node) out -= e.id;
+        }
+    }
+    out += options_.gmin * volts[node.index];
+    return out;
+}
+
+TransientResult Simulator::transient(const TransientSpec& spec) {
+    if (spec.t_stop <= 0.0 || spec.dt <= 0.0) {
+        throw std::invalid_argument("transient: t_stop and dt must be > 0");
+    }
+    if (spec.record_stride < 1) {
+        throw std::invalid_argument("transient: record_stride must be >= 1");
+    }
+
+    std::vector<double> volts(circuit_.node_count(), 0.0);
+    if (spec.start_from_dc) {
+        volts = dc_operating_point();
+    } else {
+        set_driven(volts, 0.0);
+    }
+    for (const auto& [node, v] : spec.initial_conditions) {
+        if (node.index >= circuit_.node_count()) {
+            throw std::invalid_argument("transient: initial-condition node out of range");
+        }
+        if (circuit_.is_driven(node)) {
+            throw std::invalid_argument("transient: cannot set IC on driven node");
+        }
+        volts[node.index] = v;
+    }
+
+    std::vector<NodeId> probes = spec.probes;
+    if (probes.empty()) {
+        for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+            probes.push_back(NodeId{static_cast<std::uint32_t>(i)});
+        }
+    }
+
+    TransientResult result;
+    if (spec.measure_power) {
+        result.source_energy_j.assign(circuit_.node_count(), 0.0);
+    }
+    result.traces.resize(probes.size());
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+        result.traces[p].name = circuit_.node_name(probes[p]);
+    }
+    auto record = [&](double t) {
+        for (std::size_t p = 0; p < probes.size(); ++p) {
+            result.traces[p].time.push_back(t);
+            result.traces[p].value.push_back(volts[probes[p].index]);
+        }
+    };
+
+    std::vector<CapState> caps(circuit_.capacitors().size());
+    for (std::size_t k = 0; k < caps.size(); ++k) {
+        const auto& c = circuit_.capacitors()[k];
+        caps[k].v_old = volts[c.a.index] - volts[c.b.index];
+        caps[k].i_old = 0.0;
+    }
+
+    record(0.0);
+    const long n_steps = static_cast<long>(std::ceil(spec.t_stop / spec.dt - 1e-9));
+    for (long s = 0; s < n_steps; ++s) {
+        const double t = static_cast<double>(s) * spec.dt;
+        const double h = std::min(spec.dt, spec.t_stop - t);
+        // The first step always uses backward Euler: the capacitor
+        // history current at t = 0 is unknown (initial conditions are
+        // generally not an equilibrium), and trapezoidal would carry
+        // that wrong history forward as sustained ringing.
+        const Integrator integ =
+            s == 0 ? Integrator::BackwardEuler : options_.integrator;
+        advance(volts, caps, t, h, 0, integ, result);
+        if ((s + 1) % spec.record_stride == 0 || s + 1 == n_steps) record(t + h);
+    }
+    return result;
+}
+
+} // namespace stsense::spice

@@ -1,0 +1,40 @@
+#include "spice/vcd_export.hpp"
+
+#include "util/vcd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace stsense::spice {
+
+void export_vcd(const std::string& path, std::span<const Trace> traces,
+                double seconds_per_tick) {
+    if (traces.empty()) throw std::invalid_argument("export_vcd: no traces");
+    if (seconds_per_tick <= 0.0) {
+        throw std::invalid_argument("export_vcd: non-positive timescale");
+    }
+    for (const auto& t : traces) {
+        if (t.empty()) throw std::invalid_argument("export_vcd: empty trace");
+    }
+
+    util::VcdWriter vcd(path, "1fs");
+    std::vector<int> ids;
+    ids.reserve(traces.size());
+    for (const auto& t : traces) ids.push_back(vcd.add_real(t.name));
+
+    // All traces from one transient share the time base; walk the first.
+    const auto& time = traces[0].time;
+    for (std::size_t i = 0; i < time.size(); ++i) {
+        vcd.time(static_cast<std::uint64_t>(
+            std::llround(time[i] / seconds_per_tick)));
+        for (std::size_t k = 0; k < traces.size(); ++k) {
+            if (i < traces[k].size()) {
+                vcd.change_real(ids[k], traces[k].value[i]);
+            }
+        }
+    }
+    vcd.finish();
+}
+
+} // namespace stsense::spice

@@ -1,0 +1,20 @@
+// Exports transient traces as VCD real variables so ring waveforms open
+// in standard viewers next to the digital activity.
+#pragma once
+
+#include "spice/waveform.hpp"
+
+#include <span>
+#include <string>
+
+namespace stsense::spice {
+
+/// Writes all traces into one VCD file. Sample times are quantized to
+/// the given timescale (default 1 fs per VCD tick keeps ps-scale
+/// waveforms exact). Traces must share a common, increasing time base
+/// (they do when they come from one TransientResult). Throws on I/O
+/// errors or empty input.
+void export_vcd(const std::string& path, std::span<const Trace> traces,
+                double seconds_per_tick = 1e-15);
+
+} // namespace stsense::spice

@@ -1,0 +1,111 @@
+#include "spice/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::spice {
+
+double Trace::sample(double t) const {
+    if (empty()) throw std::logic_error("Trace::sample: empty trace");
+    if (t <= time.front()) return value.front();
+    if (t >= time.back()) return value.back();
+    auto it = std::upper_bound(time.begin(), time.end(), t);
+    const std::size_t hi = static_cast<std::size_t>(it - time.begin());
+    const std::size_t lo = hi - 1;
+    const double span = time[hi] - time[lo];
+    if (span <= 0.0) return value[lo];
+    const double f = (t - time[lo]) / span;
+    return value[lo] + f * (value[hi] - value[lo]);
+}
+
+std::vector<double> crossings(const Trace& trace, double level, EdgeDir dir) {
+    std::vector<double> out;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        const double v0 = trace.value[i - 1];
+        const double v1 = trace.value[i];
+        const bool rising = v0 < level && v1 >= level;
+        const bool falling = v0 > level && v1 <= level;
+        const bool want = (dir == EdgeDir::Rising && rising) ||
+                          (dir == EdgeDir::Falling && falling) ||
+                          (dir == EdgeDir::Either && (rising || falling));
+        if (!want) continue;
+        const double dv = v1 - v0;
+        const double f = dv == 0.0 ? 0.0 : (level - v0) / dv;
+        out.push_back(trace.time[i - 1] + f * (trace.time[i] - trace.time[i - 1]));
+    }
+    return out;
+}
+
+std::optional<PeriodMeasurement> measure_period(const Trace& trace, double level,
+                                                int skip_cycles) {
+    if (skip_cycles < 0) throw std::invalid_argument("measure_period: skip_cycles < 0");
+    const auto edges = crossings(trace, level, EdgeDir::Rising);
+    const std::size_t skip = static_cast<std::size_t>(skip_cycles);
+    if (edges.size() < skip + 2) return std::nullopt;
+
+    std::vector<double> periods;
+    for (std::size_t i = skip + 1; i < edges.size(); ++i) {
+        periods.push_back(edges[i] - edges[i - 1]);
+    }
+    double sum = 0.0;
+    for (double p : periods) sum += p;
+    const double mean = sum / static_cast<double>(periods.size());
+    double var = 0.0;
+    for (double p : periods) var += (p - mean) * (p - mean);
+    var /= static_cast<double>(periods.size());
+
+    PeriodMeasurement m;
+    m.period = mean;
+    m.period_stddev = std::sqrt(var);
+    m.cycles = static_cast<int>(periods.size());
+    return m;
+}
+
+std::optional<double> measure_frequency(const Trace& trace, double level,
+                                        int skip_cycles) {
+    auto m = measure_period(trace, level, skip_cycles);
+    if (!m || m->period <= 0.0) return std::nullopt;
+    return 1.0 / m->period;
+}
+
+std::optional<double> measure_duty_cycle(const Trace& trace, double level,
+                                         int skip_cycles) {
+    const auto rise = crossings(trace, level, EdgeDir::Rising);
+    const auto fall = crossings(trace, level, EdgeDir::Falling);
+    const std::size_t skip = static_cast<std::size_t>(std::max(skip_cycles, 0));
+    if (rise.size() < skip + 2) return std::nullopt;
+
+    const double t0 = rise[skip];
+    const double t1 = rise[skip + 1];
+    // Falling edge inside [t0, t1).
+    for (double tf : fall) {
+        if (tf > t0 && tf < t1) return (tf - t0) / (t1 - t0);
+    }
+    return std::nullopt;
+}
+
+std::optional<double> propagation_delay(const Trace& input, const Trace& output,
+                                        double mid_level, EdgeDir edge) {
+    if (edge == EdgeDir::Either) {
+        throw std::invalid_argument("propagation_delay: edge must be Rising or Falling");
+    }
+    // Output transition direction is `edge`; for an inverting stage the
+    // input moves the opposite way, but we trigger on *any* input edge
+    // and pick the first output edge after it.
+    const auto in_edges = crossings(input, mid_level, EdgeDir::Either);
+    const auto out_edges = crossings(output, mid_level, edge);
+    if (in_edges.empty() || out_edges.empty()) return std::nullopt;
+
+    for (double te : out_edges) {
+        // Latest input edge not after te.
+        double best_in = -1.0;
+        for (double ti : in_edges) {
+            if (ti <= te) best_in = ti; else break;
+        }
+        if (best_in >= 0.0) return te - best_in;
+    }
+    return std::nullopt;
+}
+
+} // namespace stsense::spice

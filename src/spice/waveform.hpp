@@ -1,0 +1,66 @@
+// Waveform traces and scalar measurements (period, frequency, duty
+// cycle, edge times). The ring-oscillator period extraction used by
+// Fig. 1 and by cell characterization lives here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stsense::spice {
+
+/// Edge direction selector for threshold crossings.
+enum class EdgeDir {
+    Rising,
+    Falling,
+    Either,
+};
+
+/// A sampled signal v(t) with strictly increasing time points.
+struct Trace {
+    std::string name;
+    std::vector<double> time;
+    std::vector<double> value;
+
+    std::size_t size() const { return time.size(); }
+    bool empty() const { return time.empty(); }
+
+    /// Linear interpolation at time t; clamps outside the record.
+    double sample(double t) const;
+};
+
+/// Times at which the trace crosses `level` in the given direction
+/// (linear interpolation between samples).
+std::vector<double> crossings(const Trace& trace, double level,
+                              EdgeDir dir = EdgeDir::Rising);
+
+/// Statistics of a periodic trace.
+struct PeriodMeasurement {
+    double period = 0.0;       ///< Mean period over the analyzed cycles [s].
+    double period_stddev = 0.0;///< Cycle-to-cycle standard deviation [s].
+    int cycles = 0;            ///< Number of full cycles analyzed.
+};
+
+/// Measures the oscillation period from rising crossings of `level`,
+/// discarding the first `skip_cycles` cycles (startup transient).
+/// Returns nullopt if fewer than 2 usable crossings exist.
+std::optional<PeriodMeasurement> measure_period(const Trace& trace, double level,
+                                                int skip_cycles = 2);
+
+/// Mean frequency implied by measure_period (nullopt when unmeasurable).
+std::optional<double> measure_frequency(const Trace& trace, double level,
+                                        int skip_cycles = 2);
+
+/// Fraction of one period spent above `level` (uses the cycle after the
+/// skip window). Returns nullopt when the trace has too few edges.
+std::optional<double> measure_duty_cycle(const Trace& trace, double level,
+                                         int skip_cycles = 2);
+
+/// Time from the trigger trace crossing 50% to the target trace crossing
+/// 50%, both measured at the given supply-relative mid level. This is
+/// the propagation-delay measurement used for cell characterization.
+/// `edge` selects the *output* transition of interest.
+std::optional<double> propagation_delay(const Trace& input, const Trace& output,
+                                        double mid_level, EdgeDir edge);
+
+} // namespace stsense::spice

@@ -1,0 +1,122 @@
+#include "thermal/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::thermal {
+
+ThermalGrid::ThermalGrid(int nx, int ny, double width, double height,
+                         GridParams params)
+    : nx_(nx), ny_(ny), params_(params) {
+    if (nx < 1 || ny < 1) throw std::invalid_argument("ThermalGrid: nx, ny must be >= 1");
+    if (width <= 0.0 || height <= 0.0) {
+        throw std::invalid_argument("ThermalGrid: extents must be > 0");
+    }
+    if (params.k_si <= 0.0 || params.die_thickness <= 0.0 || params.h_eff <= 0.0 ||
+        params.c_v <= 0.0) {
+        throw std::invalid_argument("ThermalGrid: material parameters must be > 0");
+    }
+    dx_ = width / nx;
+    dy_ = height / ny;
+    g_lat_x_ = params.k_si * params.die_thickness * dy_ / dx_;
+    g_lat_y_ = params.k_si * params.die_thickness * dx_ / dy_;
+    g_v_ = params.h_eff * dx_ * dy_;
+    cap_ = params.c_v * params.die_thickness * dx_ * dy_;
+}
+
+std::vector<double> ThermalGrid::solve(std::span<const double> source,
+                                       std::span<const double> extra_diag,
+                                       std::span<const double> initial,
+                                       const SolveOptions& opt) const {
+    const std::size_t n = static_cast<std::size_t>(nx_) * ny_;
+    if (source.size() != n || extra_diag.size() != n || initial.size() != n) {
+        throw std::invalid_argument("ThermalGrid::solve: size mismatch");
+    }
+    if (opt.sor_omega <= 0.0 || opt.sor_omega >= 2.0) {
+        throw std::invalid_argument("ThermalGrid::solve: sor_omega out of (0, 2)");
+    }
+
+    std::vector<double> t(initial.begin(), initial.end());
+    for (int iter = 0; iter < opt.max_iters; ++iter) {
+        double max_update = 0.0;
+        for (int iy = 0; iy < ny_; ++iy) {
+            for (int ix = 0; ix < nx_; ++ix) {
+                const std::size_t i = static_cast<std::size_t>(iy) * nx_ + ix;
+                double diag = g_v_ + extra_diag[i];
+                double neigh = 0.0;
+                if (ix > 0) { diag += g_lat_x_; neigh += g_lat_x_ * t[i - 1]; }
+                if (ix < nx_ - 1) { diag += g_lat_x_; neigh += g_lat_x_ * t[i + 1]; }
+                if (iy > 0) { diag += g_lat_y_; neigh += g_lat_y_ * t[i - nx_]; }
+                if (iy < ny_ - 1) {
+                    diag += g_lat_y_;
+                    neigh += g_lat_y_ * t[i + static_cast<std::size_t>(nx_)];
+                }
+                const double gs = (source[i] + g_v_ * params_.ambient_c + neigh) / diag;
+                const double updated = t[i] + opt.sor_omega * (gs - t[i]);
+                max_update = std::max(max_update, std::abs(updated - t[i]));
+                t[i] = updated;
+            }
+        }
+        if (max_update < opt.tolerance_c) return t;
+    }
+    throw std::runtime_error("ThermalGrid: SOR did not converge");
+}
+
+std::vector<double> ThermalGrid::steady_state(std::span<const double> power_w,
+                                              const SolveOptions& opt) const {
+    const std::size_t n = static_cast<std::size_t>(nx_) * ny_;
+    if (power_w.size() != n) {
+        throw std::invalid_argument("steady_state: power map size mismatch");
+    }
+    const std::vector<double> zero_diag(n, 0.0);
+    const std::vector<double> initial(n, params_.ambient_c);
+    return solve(power_w, zero_diag, initial, opt);
+}
+
+void ThermalGrid::transient_step(std::vector<double>& temps_c,
+                                 std::span<const double> power_w, double dt,
+                                 const SolveOptions& opt) const {
+    const std::size_t n = static_cast<std::size_t>(nx_) * ny_;
+    if (temps_c.size() != n || power_w.size() != n) {
+        throw std::invalid_argument("transient_step: size mismatch");
+    }
+    if (dt <= 0.0) throw std::invalid_argument("transient_step: dt must be > 0");
+
+    const double g_c = cap_ / dt;
+    std::vector<double> source(n);
+    std::vector<double> diag(n, g_c);
+    for (std::size_t i = 0; i < n; ++i) source[i] = power_w[i] + g_c * temps_c[i];
+    temps_c = solve(source, diag, temps_c, opt);
+}
+
+std::size_t ThermalGrid::cell_index(double x, double y) const {
+    const int ix = std::clamp(static_cast<int>(x / dx_), 0, nx_ - 1);
+    const int iy = std::clamp(static_cast<int>(y / dy_), 0, ny_ - 1);
+    return static_cast<std::size_t>(iy) * nx_ + ix;
+}
+
+double ThermalGrid::sample(std::span<const double> temps_c, double x,
+                           double y) const {
+    const std::size_t n = static_cast<std::size_t>(nx_) * ny_;
+    if (temps_c.size() != n) throw std::invalid_argument("sample: size mismatch");
+
+    // Cell-center coordinates: center of cell (ix, iy) is ((ix+0.5)dx, ...).
+    const double fx = std::clamp(x / dx_ - 0.5, 0.0, static_cast<double>(nx_ - 1));
+    const double fy = std::clamp(y / dy_ - 0.5, 0.0, static_cast<double>(ny_ - 1));
+    const int ix0 = static_cast<int>(fx);
+    const int iy0 = static_cast<int>(fy);
+    const int ix1 = std::min(ix0 + 1, nx_ - 1);
+    const int iy1 = std::min(iy0 + 1, ny_ - 1);
+    const double ax = fx - ix0;
+    const double ay = fy - iy0;
+
+    auto at = [&](int ix, int iy) {
+        return temps_c[static_cast<std::size_t>(iy) * nx_ + ix];
+    };
+    const double bottom = at(ix0, iy0) * (1.0 - ax) + at(ix1, iy0) * ax;
+    const double top = at(ix0, iy1) * (1.0 - ax) + at(ix1, iy1) * ax;
+    return bottom * (1.0 - ay) + top * ay;
+}
+
+} // namespace stsense::thermal

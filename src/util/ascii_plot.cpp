@@ -1,0 +1,102 @@
+#include "util/ascii_plot.hpp"
+
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace stsense::util {
+
+namespace {
+
+constexpr char kSeriesMarks[] = {'*', '+', 'o', 'x', '#', '@'};
+
+struct Range {
+    double lo;
+    double hi;
+};
+
+Range find_range(std::span<const double> v) {
+    auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+    double lo = *mn;
+    double hi = *mx;
+    if (hi - lo < 1e-300) { // Flat series: open a symmetric band.
+        lo -= 0.5;
+        hi += 0.5;
+    }
+    return {lo, hi};
+}
+
+} // namespace
+
+std::string ascii_plot_multi(std::span<const double> x,
+                             const std::vector<std::vector<double>>& series,
+                             const std::vector<std::string>& names,
+                             const PlotOptions& opt) {
+    if (x.empty() || series.empty()) {
+        throw std::invalid_argument("ascii_plot: empty data");
+    }
+    for (const auto& s : series) {
+        if (s.size() != x.size()) {
+            throw std::invalid_argument("ascii_plot: series size mismatch");
+        }
+    }
+    const int w = std::max(16, opt.width);
+    const int h = std::max(4, opt.height);
+
+    Range xr = find_range(x);
+    double ylo = series[0][0];
+    double yhi = series[0][0];
+    for (const auto& s : series) {
+        Range r = find_range(s);
+        ylo = std::min(ylo, r.lo);
+        yhi = std::max(yhi, r.hi);
+    }
+    if (yhi - ylo < 1e-300) {
+        ylo -= 0.5;
+        yhi += 0.5;
+    }
+
+    std::vector<std::string> canvas(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        const char mark = kSeriesMarks[si % std::size(kSeriesMarks)];
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            double fx = (x[i] - xr.lo) / (xr.hi - xr.lo);
+            double fy = (series[si][i] - ylo) / (yhi - ylo);
+            if (!std::isfinite(fx) || !std::isfinite(fy)) continue;
+            int cx = static_cast<int>(std::lround(fx * (w - 1)));
+            int cy = static_cast<int>(std::lround((1.0 - fy) * (h - 1)));
+            cx = std::clamp(cx, 0, w - 1);
+            cy = std::clamp(cy, 0, h - 1);
+            canvas[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = mark;
+        }
+    }
+
+    std::ostringstream os;
+    if (!opt.y_label.empty()) os << opt.y_label << '\n';
+    os << fixed(yhi, 4) << " +" << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+    for (const auto& line : canvas) {
+        os << std::string(fixed(yhi, 4).size(), ' ') << " |" << line << "|\n";
+    }
+    os << fixed(ylo, 4) << " +" << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+    os << std::string(fixed(ylo, 4).size(), ' ') << "  " << fixed(xr.lo, 2)
+       << std::string(static_cast<std::size_t>(std::max(1, w - 16)), ' ') << fixed(xr.hi, 2) << '\n';
+    if (!opt.x_label.empty()) os << std::string(fixed(ylo, 4).size() + 2, ' ') << opt.x_label << '\n';
+    if (!names.empty()) {
+        os << "  legend:";
+        for (std::size_t si = 0; si < names.size() && si < series.size(); ++si) {
+            os << "  (" << kSeriesMarks[si % std::size(kSeriesMarks)] << ") " << names[si];
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string ascii_plot(std::span<const double> x, std::span<const double> y,
+                       const PlotOptions& opt) {
+    return ascii_plot_multi(x, {std::vector<double>(y.begin(), y.end())}, {}, opt);
+}
+
+} // namespace stsense::util

@@ -1,0 +1,33 @@
+// Terminal line plots. Fig. 1 of the paper is a transient waveform; the
+// bench reproduces it as an ASCII plot so the artifact is visible
+// directly in the console log (and additionally as CSV).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stsense::util {
+
+/// Options controlling the character canvas.
+struct PlotOptions {
+    int width = 72;      ///< Canvas width in characters (>= 16).
+    int height = 16;     ///< Canvas height in characters (>= 4).
+    char mark = '*';     ///< Glyph used for data points.
+    std::string x_label; ///< Printed under the x axis.
+    std::string y_label; ///< Printed above the plot.
+};
+
+/// Renders y(x) as a scatter/line plot on a character canvas with simple
+/// axes and min/max annotations. x and y must be the same size and
+/// non-empty; otherwise throws std::invalid_argument.
+std::string ascii_plot(std::span<const double> x, std::span<const double> y,
+                       const PlotOptions& opt = {});
+
+/// Renders multiple series on one canvas; series i uses marks[i % marks.size()].
+std::string ascii_plot_multi(std::span<const double> x,
+                             const std::vector<std::vector<double>>& series,
+                             const std::vector<std::string>& names,
+                             const PlotOptions& opt = {});
+
+} // namespace stsense::util

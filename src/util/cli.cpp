@@ -1,0 +1,54 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace stsense::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+    if (argc > 0) program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            auto eq = arg.find('=');
+            if (eq == std::string::npos) {
+                options_[arg.substr(2)] = "true";
+            } else {
+                options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            }
+        } else {
+            positional_.push_back(std::move(arg));
+        }
+    }
+}
+
+bool Cli::has(const std::string& key) const {
+    return options_.count(key) > 0;
+}
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+    auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+}
+
+double Cli::get(const std::string& key, double fallback) const {
+    auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    try {
+        return std::stod(it->second);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("Cli: option --" + key + " expects a number, got '" + it->second + "'");
+    }
+}
+
+int Cli::get(const std::string& key, int fallback) const {
+    auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    try {
+        return std::stoi(it->second);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("Cli: option --" + key + " expects an integer, got '" + it->second + "'");
+    }
+}
+
+} // namespace stsense::util

@@ -1,0 +1,34 @@
+// Tiny command-line option parser for bench/example binaries
+// (--key=value / --flag style). Keeps the binaries dependency-free.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stsense::util {
+
+/// Parses `--key=value` and bare `--flag` arguments.
+///
+/// Unknown positional arguments are collected in `positional()`.
+/// Lookup helpers fall back to a caller-supplied default, so benches can
+/// run with zero arguments.
+class Cli {
+public:
+    Cli(int argc, const char* const* argv);
+
+    bool has(const std::string& key) const;
+    std::string get(const std::string& key, const std::string& fallback) const;
+    double get(const std::string& key, double fallback) const;
+    int get(const std::string& key, int fallback) const;
+
+    const std::vector<std::string>& positional() const { return positional_; }
+    const std::string& program() const { return program_; }
+
+private:
+    std::string program_;
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace stsense::util

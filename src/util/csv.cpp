@@ -1,0 +1,59 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace stsense::util {
+
+std::string format_double(double v) {
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    if (ec != std::errc{}) return "nan";
+    return std::string(buf, ptr);
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+    std::vector<std::string> fields;
+    fields.reserve(names.size());
+    for (auto n : names) fields.emplace_back(n);
+    header(fields);
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+    if (header_written_ || rows_ > 0) {
+        throw std::logic_error("CsvWriter: header must be first and unique");
+    }
+    write_fields(names);
+    header_written_ = true;
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+    row(std::vector<double>(values));
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+    std::vector<std::string> fields;
+    fields.reserve(values.size());
+    for (double v : values) fields.push_back(format_double(v));
+    write_fields(fields);
+    ++rows_;
+}
+
+void CsvWriter::row_text(const std::vector<std::string>& values) {
+    write_fields(values);
+    ++rows_;
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i) out_ << ',';
+        out_ << fields[i];
+    }
+    out_ << '\n';
+}
+
+} // namespace stsense::util

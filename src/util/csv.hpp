@@ -1,0 +1,46 @@
+// Minimal CSV writer used by benches and examples to dump series that
+// can be re-plotted externally (the console output remains the primary
+// artifact; CSV is a convenience).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stsense::util {
+
+/// Streams rows into a CSV file. Values are formatted with enough
+/// precision to round-trip doubles.
+class CsvWriter {
+public:
+    /// Opens `path` for writing; throws std::runtime_error on failure.
+    explicit CsvWriter(const std::string& path);
+
+    /// Writes the header row. Call at most once, before any data row.
+    void header(std::initializer_list<std::string_view> names);
+    void header(const std::vector<std::string>& names);
+
+    /// Writes one data row of doubles.
+    void row(std::initializer_list<double> values);
+    void row(const std::vector<double>& values);
+
+    /// Writes one data row of preformatted strings.
+    void row_text(const std::vector<std::string>& values);
+
+    /// Number of data rows written so far.
+    std::size_t rows_written() const { return rows_; }
+
+private:
+    void write_fields(const std::vector<std::string>& fields);
+
+    std::ofstream out_;
+    std::size_t rows_ = 0;
+    bool header_written_ = false;
+};
+
+/// Formats a double compactly but losslessly (shortest round-trip).
+std::string format_double(double v);
+
+} // namespace stsense::util

@@ -1,0 +1,84 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace stsense::util {
+
+namespace {
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform01() {
+    // 53 top bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+}
+
+double Rng::normal() {
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_;
+    }
+    // Box–Muller; u1 in (0,1] so log() is finite.
+    double u1 = 1.0 - uniform01();
+    double u2 = uniform01();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * std::numbers::pi * u2;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double sigma) {
+    return mean + sigma * normal();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::below: n must be > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t v = (*this)();
+    while (v >= limit) v = (*this)();
+    return v % n;
+}
+
+Rng Rng::split() {
+    return Rng((*this)());
+}
+
+} // namespace stsense::util

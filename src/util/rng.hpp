@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation for reproducible
+// Monte-Carlo experiments.
+//
+// All randomness in the library flows through util::Rng so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256** (Blackman & Vigna), which is small, fast, and has no
+// observable statistical defects at the scale used here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace stsense::util {
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// Satisfies the essentials of UniformRandomBitGenerator so it can also
+/// be handed to <random> distributions if ever needed.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the generator. Identical seeds yield identical streams.
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+    /// Next raw 64-bit value.
+    std::uint64_t operator()();
+
+    /// Uniform double in [0, 1).
+    double uniform01();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Standard normal via Box–Muller (cached spare for efficiency).
+    double normal();
+
+    /// Normal with the given mean and standard deviation.
+    double normal(double mean, double sigma);
+
+    /// Uniform integer in [0, n). Precondition: n > 0.
+    std::uint64_t below(std::uint64_t n);
+
+    /// Splits off an independent stream (useful for per-sensor RNGs).
+    Rng split();
+
+private:
+    std::array<std::uint64_t, 4> state_{};
+    double spare_ = 0.0;
+    bool has_spare_ = false;
+};
+
+} // namespace stsense::util

@@ -1,0 +1,28 @@
+// Small numeric sequence helpers shared by sweeps and benches.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+namespace stsense::util {
+
+/// n evenly spaced values from lo to hi inclusive. Precondition: n >= 2.
+inline std::vector<double> linspace(double lo, double hi, int n) {
+    if (n < 2) throw std::invalid_argument("linspace: n must be >= 2");
+    std::vector<double> v(static_cast<std::size_t>(n));
+    const double step = (hi - lo) / (n - 1);
+    for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = lo + step * i;
+    v.back() = hi; // Exact endpoint despite rounding.
+    return v;
+}
+
+/// Values lo, lo+step, ... not exceeding hi (inclusive within tolerance).
+inline std::vector<double> arange(double lo, double hi, double step) {
+    if (step <= 0) throw std::invalid_argument("arange: step must be > 0");
+    std::vector<double> v;
+    const double eps = step * 1e-9;
+    for (double x = lo; x <= hi + eps; x += step) v.push_back(x);
+    return v;
+}
+
+} // namespace stsense::util

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace stsense::util {
+
+std::string fixed(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string sci(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("Table: row width mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::vector<double>& values, int precision) {
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) cells.push_back(fixed(v, precision));
+    add_row(std::move(cells));
+}
+
+std::string Table::render() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c ? " | " : "");
+            os << cells[c];
+            os << std::string(width[c] - cells[c].size(), ' ');
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << (c ? "-+-" : "") << std::string(width[c], '-');
+    }
+    os << '\n';
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+} // namespace stsense::util

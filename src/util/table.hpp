@@ -1,0 +1,41 @@
+// Aligned console tables for bench output. Every bench prints the
+// paper-shaped series through this so the artifacts look uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stsense::util {
+
+/// Builds a fixed-column text table and renders it with aligned columns.
+///
+///     Table t({"ratio", "max |NL| (%)"});
+///     t.add_row({"1.75", "0.31"});
+///     std::cout << t.render();
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Appends a row; must have exactly as many cells as headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: formats doubles with the given precision.
+    void add_row_numeric(const std::vector<double>& values, int precision = 4);
+
+    std::size_t row_count() const { return rows_.size(); }
+
+    /// Renders with a header rule and one space of padding per side.
+    std::string render() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with fixed `precision` decimals.
+std::string fixed(double v, int precision = 4);
+
+/// Formats `v` in engineering-friendly scientific notation.
+std::string sci(double v, int precision = 3);
+
+} // namespace stsense::util

@@ -1,0 +1,94 @@
+#include "util/vcd.hpp"
+
+#include <stdexcept>
+
+namespace stsense::util {
+
+namespace {
+
+/// VCD identifier codes: printable ASCII 33..126, shortest-first.
+std::string code_for(std::size_t index) {
+    std::string code;
+    std::size_t n = index;
+    do {
+        code.push_back(static_cast<char>(33 + n % 94));
+        n /= 94;
+    } while (n > 0);
+    return code;
+}
+
+} // namespace
+
+VcdWriter::VcdWriter(const std::string& path, const std::string& timescale,
+                     const std::string& scope)
+    : out_(path) {
+    if (!out_) throw std::runtime_error("VcdWriter: cannot open " + path);
+    out_ << "$date stsense $end\n"
+         << "$version stsense VcdWriter $end\n"
+         << "$timescale " << timescale << " $end\n"
+         << "$scope module " << scope << " $end\n";
+}
+
+int VcdWriter::add_wire(const std::string& name) {
+    if (header_closed_) throw std::logic_error("VcdWriter: header already closed");
+    codes_.push_back(code_for(codes_.size()));
+    out_ << "$var wire 1 " << codes_.back() << " " << name << " $end\n";
+    return static_cast<int>(codes_.size()) - 1;
+}
+
+int VcdWriter::add_real(const std::string& name) {
+    if (header_closed_) throw std::logic_error("VcdWriter: header already closed");
+    codes_.push_back(code_for(codes_.size()));
+    out_ << "$var real 64 " << codes_.back() << " " << name << " $end\n";
+    return static_cast<int>(codes_.size()) - 1;
+}
+
+void VcdWriter::ensure_header_closed() {
+    if (!header_closed_) {
+        out_ << "$upscope $end\n$enddefinitions $end\n";
+        header_closed_ = true;
+    }
+}
+
+void VcdWriter::time(std::uint64_t t) {
+    ensure_header_closed();
+    if (has_time_ && t < current_time_) {
+        throw std::invalid_argument("VcdWriter: time must not decrease");
+    }
+    if (!has_time_ || t != current_time_) {
+        out_ << '#' << t << '\n';
+        current_time_ = t;
+        has_time_ = true;
+    }
+}
+
+void VcdWriter::check_id(int id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= codes_.size()) {
+        throw std::invalid_argument("VcdWriter: bad variable id");
+    }
+}
+
+void VcdWriter::change_wire(int id, bool value) {
+    check_id(id);
+    ensure_header_closed();
+    out_ << (value ? '1' : '0') << codes_[static_cast<std::size_t>(id)] << '\n';
+}
+
+void VcdWriter::change_wire_unknown(int id) {
+    check_id(id);
+    ensure_header_closed();
+    out_ << 'x' << codes_[static_cast<std::size_t>(id)] << '\n';
+}
+
+void VcdWriter::change_real(int id, double value) {
+    check_id(id);
+    ensure_header_closed();
+    out_ << 'r' << value << ' ' << codes_[static_cast<std::size_t>(id)] << '\n';
+}
+
+void VcdWriter::finish() {
+    ensure_header_closed();
+    out_.flush();
+}
+
+} // namespace stsense::util

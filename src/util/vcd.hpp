@@ -1,0 +1,54 @@
+// VCD (Value Change Dump) writer — the standard waveform interchange
+// format, so both the analog ring waveforms (as real variables) and the
+// smart unit's digital activity (as wires) can be inspected in any
+// off-the-shelf viewer.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace stsense::util {
+
+/// Streams a VCD file: declare variables, then emit time-ordered value
+/// changes. Times are integer multiples of the declared timescale.
+class VcdWriter {
+public:
+    /// `timescale` must be a valid VCD timescale string, e.g. "1ps".
+    VcdWriter(const std::string& path, const std::string& timescale,
+              const std::string& scope = "stsense");
+
+    /// Declares a 1-bit wire; returns its handle. Only valid before the
+    /// first time() call.
+    int add_wire(const std::string& name);
+
+    /// Declares a real-valued variable (analog trace).
+    int add_real(const std::string& name);
+
+    /// Advances time (monotonically non-decreasing; equal times merge).
+    void time(std::uint64_t t);
+
+    /// Emits value changes at the current time.
+    void change_wire(int id, bool value);
+    /// Marks a wire unknown ('x'), e.g. an uninitialized flip-flop.
+    void change_wire_unknown(int id);
+    void change_real(int id, double value);
+
+    /// Finishes the header if no time() was ever called, flushes.
+    void finish();
+
+    std::size_t variable_count() const { return codes_.size(); }
+
+private:
+    void ensure_header_closed();
+    void check_id(int id) const;
+
+    std::ofstream out_;
+    std::vector<std::string> codes_;
+    bool header_closed_ = false;
+    bool has_time_ = false;
+    std::uint64_t current_time_ = 0;
+};
+
+} // namespace stsense::util

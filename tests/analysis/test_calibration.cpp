@@ -1,0 +1,96 @@
+#include "analysis/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stsense::analysis {
+namespace {
+
+TEST(TwoPoint, ExactOnLinearSensor) {
+    // Reading = 100 + 2 * T, so T = (reading - 100) / 2.
+    const CalibrationPoint a{0.0, 100.0};
+    const CalibrationPoint b{100.0, 300.0};
+    const auto cal = LinearCalibration::two_point(a, b);
+    EXPECT_NEAR(cal.temperature(100.0), 0.0, 1e-12);
+    EXPECT_NEAR(cal.temperature(300.0), 100.0, 1e-12);
+    EXPECT_NEAR(cal.temperature(200.0), 50.0, 1e-12);
+    EXPECT_NEAR(cal.gain(), 0.5, 1e-12);
+    EXPECT_NEAR(cal.offset(), -50.0, 1e-12);
+}
+
+TEST(TwoPoint, IdenticalReadingsThrow) {
+    const CalibrationPoint a{0.0, 5.0};
+    const CalibrationPoint b{100.0, 5.0};
+    EXPECT_THROW(LinearCalibration::two_point(a, b), std::invalid_argument);
+}
+
+TEST(OnePoint, OffsetTrimmedGainNominal) {
+    const CalibrationPoint a{25.0, 350.0};
+    const auto cal = LinearCalibration::one_point(a, 0.5);
+    EXPECT_NEAR(cal.temperature(350.0), 25.0, 1e-12);
+    EXPECT_NEAR(cal.gain(), 0.5, 1e-12);
+}
+
+TEST(OnePoint, GainErrorGrowsAwayFromTrimPoint) {
+    // True sensor: T = reading / 2; nominal gain off by 5%.
+    auto reading_of = [](double t) { return 2.0 * t; };
+    const auto cal =
+        LinearCalibration::one_point({25.0, reading_of(25.0)}, 0.5 * 1.05);
+    const double e25 = std::abs(cal.temperature(reading_of(25.0)) - 25.0);
+    const double e50 = std::abs(cal.temperature(reading_of(50.0)) - 50.0);
+    const double e150 = std::abs(cal.temperature(reading_of(150.0)) - 150.0);
+    EXPECT_NEAR(e25, 0.0, 1e-12);
+    EXPECT_GT(e50, e25);
+    EXPECT_GT(e150, e50);
+}
+
+TEST(PolynomialCalibration, FitsCurvedSensor) {
+    // Reading has mild quadratic droop. The exact inverse of a quadratic
+    // is not polynomial, so degree 2 leaves a small residual and raising
+    // the degree shrinks it.
+    std::vector<CalibrationPoint> pts;
+    for (int i = 0; i <= 10; ++i) {
+        const double t = -50.0 + 20.0 * i;
+        const double reading = 1000.0 + 3.0 * t + 0.002 * t * t;
+        pts.push_back({t, reading});
+    }
+    const PolynomialCalibration quad(pts, 2);
+    const PolynomialCalibration cubic(pts, 3);
+    double max_quad = 0.0;
+    double max_cubic = 0.0;
+    for (const auto& p : pts) {
+        max_quad = std::max(max_quad,
+                            std::abs(quad.temperature(p.reading) - p.temperature_c));
+        max_cubic = std::max(
+            max_cubic, std::abs(cubic.temperature(p.reading) - p.temperature_c));
+    }
+    EXPECT_LT(max_quad, 0.5);    // Already well under a degree...
+    EXPECT_LT(max_cubic, max_quad); // ...and degree 3 tightens it further.
+}
+
+TEST(EvaluateCalibration, ReportsErrors) {
+    const auto cal =
+        LinearCalibration::two_point({0.0, 0.0}, {100.0, 100.0}); // Identity.
+    std::vector<double> truth{0.0, 50.0, 100.0};
+    std::vector<double> readings{0.0, 51.0, 99.0};
+    const auto rep = evaluate_calibration(cal, truth, readings);
+    ASSERT_EQ(rep.error_c.size(), 3u);
+    EXPECT_DOUBLE_EQ(rep.error_c[1], 1.0);
+    EXPECT_DOUBLE_EQ(rep.error_c[2], -1.0);
+    EXPECT_DOUBLE_EQ(rep.max_abs_error_c, 1.0);
+    EXPECT_NEAR(rep.rms_error_c, std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(EvaluateCalibration, BadSizesThrow) {
+    const auto cal = LinearCalibration::two_point({0.0, 0.0}, {1.0, 1.0});
+    std::vector<double> a{1.0};
+    std::vector<double> b{1.0, 2.0};
+    EXPECT_THROW(evaluate_calibration(cal, a, b), std::invalid_argument);
+    std::vector<double> empty;
+    EXPECT_THROW(evaluate_calibration(cal, empty, empty), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::analysis

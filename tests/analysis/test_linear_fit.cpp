@@ -1,0 +1,98 @@
+#include "analysis/linear_fit.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stsense::analysis {
+namespace {
+
+TEST(LeastSquares, ExactLineRecovered) {
+    std::vector<double> x{0, 1, 2, 3, 4};
+    std::vector<double> y;
+    for (double v : x) y.push_back(2.5 * v - 1.0);
+    const LinearFit f = least_squares(x, y);
+    EXPECT_NEAR(f.slope, 2.5, 1e-12);
+    EXPECT_NEAR(f.intercept, -1.0, 1e-12);
+    EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(LeastSquares, NoiseReducesRSquared) {
+    util::Rng rng(17);
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        x.push_back(i);
+        y.push_back(3.0 * i + rng.normal(0.0, 20.0));
+    }
+    const LinearFit f = least_squares(x, y);
+    EXPECT_NEAR(f.slope, 3.0, 0.1);
+    EXPECT_LT(f.r_squared, 1.0);
+    EXPECT_GT(f.r_squared, 0.95);
+}
+
+TEST(LeastSquares, CallableEvaluates) {
+    std::vector<double> x{0, 1};
+    std::vector<double> y{1, 3};
+    const LinearFit f = least_squares(x, y);
+    EXPECT_NEAR(f(2.0), 5.0, 1e-12);
+}
+
+TEST(LeastSquares, MinimizesSquaredResidualVsPerturbations) {
+    // Property: perturbing slope or intercept can't reduce the SSE.
+    util::Rng rng(23);
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 50; ++i) {
+        x.push_back(i * 0.3);
+        y.push_back(-1.2 * x.back() + 4.0 + rng.normal(0.0, 1.0));
+    }
+    const LinearFit f = least_squares(x, y);
+    auto sse = [&](double slope, double intercept) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double e = y[i] - (intercept + slope * x[i]);
+            s += e * e;
+        }
+        return s;
+    };
+    const double best = sse(f.slope, f.intercept);
+    for (double ds : {-0.01, 0.01}) {
+        EXPECT_GE(sse(f.slope + ds, f.intercept), best);
+        EXPECT_GE(sse(f.slope, f.intercept + ds), best);
+    }
+}
+
+TEST(LeastSquares, DegenerateInputsThrow) {
+    std::vector<double> one{1.0};
+    EXPECT_THROW(least_squares(one, one), std::invalid_argument);
+
+    std::vector<double> x{1.0, 1.0, 1.0};
+    std::vector<double> y{1.0, 2.0, 3.0};
+    EXPECT_THROW(least_squares(x, y), std::invalid_argument);
+
+    std::vector<double> x2{1.0, 2.0};
+    std::vector<double> y2{1.0};
+    EXPECT_THROW(least_squares(x2, y2), std::invalid_argument);
+}
+
+TEST(EndpointFit, PassesThroughEndpoints) {
+    std::vector<double> x{-50, 0, 150};
+    std::vector<double> y{10, 25, 50};
+    const LinearFit f = endpoint_fit(x, y);
+    EXPECT_NEAR(f(-50), 10.0, 1e-12);
+    EXPECT_NEAR(f(150), 50.0, 1e-12);
+    // Middle point generally off the endpoint line.
+    EXPECT_NE(f(0.0), 25.0);
+}
+
+TEST(EndpointFit, IdenticalEndpointsThrow) {
+    std::vector<double> x{1.0, 2.0, 1.0};
+    std::vector<double> y{0.0, 1.0, 2.0};
+    EXPECT_THROW(endpoint_fit(x, y), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::analysis

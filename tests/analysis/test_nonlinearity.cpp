@@ -1,0 +1,98 @@
+#include "analysis/nonlinearity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stsense::analysis {
+namespace {
+
+TEST(Nonlinearity, PerfectLineIsZero) {
+    std::vector<double> x{0, 1, 2, 3};
+    std::vector<double> y{1, 2, 3, 4};
+    const auto r = nonlinearity(x, y);
+    EXPECT_NEAR(r.max_abs_percent, 0.0, 1e-10);
+    EXPECT_NEAR(r.rms_percent, 0.0, 1e-10);
+}
+
+TEST(Nonlinearity, KnownParabolaMagnitude) {
+    // y = x^2 on [0, 1]: full scale 1; least-squares residual of x^2 has
+    // max |e| = 1/8 at the endpoints and center... computed numerically.
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i <= 100; ++i) {
+        x.push_back(i / 100.0);
+        y.push_back(x.back() * x.back());
+    }
+    const auto r = nonlinearity(x, y);
+    // LSQ line through x^2 over [0,1] is x - 1/6; residual x^2 - x + 1/6
+    // peaks at |1/6| at the endpoints -> 16.67 % of the unit full scale
+    // (discrete grid lands a hair below the continuous value).
+    EXPECT_NEAR(r.max_abs_percent, 100.0 / 6.0, 0.4);
+}
+
+TEST(Nonlinearity, ScaleInvariant) {
+    // NL in % of full scale must not change under y -> a*y + b.
+    std::vector<double> x;
+    std::vector<double> y1;
+    std::vector<double> y2;
+    for (int i = 0; i <= 20; ++i) {
+        x.push_back(i);
+        const double v = i + 0.01 * i * i;
+        y1.push_back(v);
+        y2.push_back(250.0 * v + 1000.0);
+    }
+    const auto r1 = nonlinearity(x, y1);
+    const auto r2 = nonlinearity(x, y2);
+    EXPECT_NEAR(r1.max_abs_percent, r2.max_abs_percent, 1e-9);
+    EXPECT_NEAR(r1.rms_percent, r2.rms_percent, 1e-9);
+}
+
+TEST(Nonlinearity, EndpointFitLargerOrEqualResidualThanLsq) {
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i <= 20; ++i) {
+        x.push_back(i);
+        y.push_back(i + 0.05 * i * i);
+    }
+    const auto lsq = nonlinearity(x, y, FitKind::LeastSquares);
+    const auto ep = nonlinearity(x, y, FitKind::Endpoint);
+    EXPECT_LE(lsq.max_abs_percent, ep.max_abs_percent + 1e-12);
+    // Endpoint residual is zero at both ends by construction.
+    EXPECT_NEAR(ep.error_percent.front(), 0.0, 1e-10);
+    EXPECT_NEAR(ep.error_percent.back(), 0.0, 1e-10);
+}
+
+TEST(Nonlinearity, ErrorVectorMatchesScalarSummary) {
+    std::vector<double> x{0, 1, 2, 3, 4};
+    std::vector<double> y{0, 1.2, 1.9, 3.1, 4.0};
+    const auto r = nonlinearity(x, y);
+    ASSERT_EQ(r.error_percent.size(), x.size());
+    double max_abs = 0.0;
+    for (double e : r.error_percent) max_abs = std::max(max_abs, std::abs(e));
+    EXPECT_DOUBLE_EQ(r.max_abs_percent, max_abs);
+}
+
+TEST(Nonlinearity, DegenerateInputsThrow) {
+    std::vector<double> x{0, 1};
+    std::vector<double> y{0, 1};
+    EXPECT_THROW(nonlinearity(x, y), std::invalid_argument); // < 3 points.
+
+    std::vector<double> x3{0, 1, 2};
+    std::vector<double> flat{5, 5, 5};
+    EXPECT_THROW(nonlinearity(x3, flat), std::invalid_argument); // Zero span.
+
+    std::vector<double> y3{0, 1};
+    EXPECT_THROW(nonlinearity(x3, y3), std::invalid_argument); // Size mismatch.
+}
+
+TEST(MaxNonlinearityPercent, MatchesFullAnalysis) {
+    std::vector<double> x{0, 1, 2, 3};
+    std::vector<double> y{0, 1.1, 1.9, 3.0};
+    EXPECT_DOUBLE_EQ(max_nonlinearity_percent(x, y),
+                     nonlinearity(x, y).max_abs_percent);
+}
+
+} // namespace
+} // namespace stsense::analysis

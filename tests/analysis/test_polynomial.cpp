@@ -1,0 +1,88 @@
+#include "analysis/polynomial.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stsense::analysis {
+namespace {
+
+TEST(Polynomial, HornerEvaluation) {
+    Polynomial p;
+    p.coeffs = {1.0, -2.0, 3.0}; // 1 - 2x + 3x^2.
+    EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(p(2.0), 9.0);
+    EXPECT_EQ(p.degree(), 2);
+}
+
+TEST(Polynomial, ZeroPolynomialEvaluatesToZero) {
+    Polynomial p;
+    EXPECT_DOUBLE_EQ(p(5.0), 0.0);
+}
+
+TEST(Polyfit, ExactQuadraticRecovered) {
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i <= 10; ++i) {
+        x.push_back(i * 0.5);
+        y.push_back(2.0 - 1.5 * x.back() + 0.25 * x.back() * x.back());
+    }
+    const Polynomial p = polyfit(x, y, 2);
+    ASSERT_EQ(p.coeffs.size(), 3u);
+    EXPECT_NEAR(p.coeffs[0], 2.0, 1e-9);
+    EXPECT_NEAR(p.coeffs[1], -1.5, 1e-9);
+    EXPECT_NEAR(p.coeffs[2], 0.25, 1e-9);
+}
+
+TEST(Polyfit, DegreeZeroIsMean) {
+    std::vector<double> x{0, 1, 2};
+    std::vector<double> y{1.0, 2.0, 6.0};
+    const Polynomial p = polyfit(x, y, 0);
+    EXPECT_NEAR(p.coeffs[0], 3.0, 1e-12);
+}
+
+TEST(Polyfit, HigherDegreeReducesResidual) {
+    util::Rng rng(31);
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i <= 30; ++i) {
+        x.push_back(i * 0.1);
+        y.push_back(std::sin(x.back()));
+    }
+    const double r1 = max_residual(polyfit(x, y, 1), x, y);
+    const double r3 = max_residual(polyfit(x, y, 3), x, y);
+    const double r5 = max_residual(polyfit(x, y, 5), x, y);
+    EXPECT_LT(r3, r1);
+    EXPECT_LT(r5, r3);
+}
+
+TEST(Polyfit, BadInputsThrow) {
+    std::vector<double> x{0, 1};
+    std::vector<double> y{0, 1};
+    EXPECT_THROW(polyfit(x, y, -1), std::invalid_argument);
+    EXPECT_THROW(polyfit(x, y, 2), std::invalid_argument); // Too few points.
+    std::vector<double> y1{0};
+    EXPECT_THROW(polyfit(x, y1, 1), std::invalid_argument);
+}
+
+TEST(MaxResidual, ZeroOnInterpolatingFit) {
+    std::vector<double> x{0, 1, 2};
+    std::vector<double> y{1, 0, 3};
+    const Polynomial p = polyfit(x, y, 2);
+    EXPECT_NEAR(max_residual(p, x, y), 0.0, 1e-9);
+}
+
+TEST(MaxResidual, SizeMismatchThrows) {
+    Polynomial p;
+    p.coeffs = {0.0};
+    std::vector<double> x{0, 1};
+    std::vector<double> y{0};
+    EXPECT_THROW(max_residual(p, x, y), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::analysis

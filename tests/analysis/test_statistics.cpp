@@ -1,0 +1,74 @@
+#include "analysis/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stsense::analysis {
+namespace {
+
+TEST(Summarize, KnownValues) {
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    const Summary s = summarize(v);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Summarize, SingleElement) {
+    std::vector<double> v{7.0};
+    const Summary s = summarize(v);
+    EXPECT_DOUBLE_EQ(s.mean, 7.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, EmptyThrows) {
+    EXPECT_THROW(summarize(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Percentile, OrderStatistics) {
+    std::vector<double> v{3.0, 1.0, 2.0, 4.0}; // Unsorted on purpose.
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Percentile, BadArgsThrow) {
+    std::vector<double> v{1.0};
+    EXPECT_THROW(percentile(v, -1.0), std::invalid_argument);
+    EXPECT_THROW(percentile(v, 101.0), std::invalid_argument);
+    EXPECT_THROW(percentile(std::vector<double>{}, 50.0), std::invalid_argument);
+}
+
+TEST(Rms, KnownValue) {
+    std::vector<double> v{3.0, 4.0};
+    EXPECT_NEAR(rms(v), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Rms, SignInsensitive) {
+    std::vector<double> a{1.0, -2.0, 3.0};
+    std::vector<double> b{-1.0, 2.0, -3.0};
+    EXPECT_DOUBLE_EQ(rms(a), rms(b));
+}
+
+TEST(MeanAbs, KnownValue) {
+    std::vector<double> v{-1.0, 2.0, -3.0};
+    EXPECT_DOUBLE_EQ(mean_abs(v), 2.0);
+}
+
+TEST(RmsAndMeanAbs, EmptyThrow) {
+    std::vector<double> empty;
+    EXPECT_THROW(rms(empty), std::invalid_argument);
+    EXPECT_THROW(mean_abs(empty), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::analysis

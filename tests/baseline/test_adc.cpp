@@ -1,0 +1,79 @@
+#include "baseline/adc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::baseline {
+namespace {
+
+TEST(Adc, ConstructionValidation) {
+    EXPECT_THROW(Adc(0, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(Adc(25, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(Adc(8, 1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(Adc(8, 0.0, 1.0, -0.1), std::invalid_argument);
+}
+
+TEST(Adc, CodesSpanRange) {
+    const Adc adc(8, 0.0, 1.0);
+    EXPECT_EQ(adc.convert(-0.5), 0u);          // Clips low.
+    EXPECT_EQ(adc.convert(2.0), adc.max_code()); // Clips high.
+    EXPECT_EQ(adc.max_code(), 255u);
+    EXPECT_DOUBLE_EQ(adc.lsb(), 1.0 / 256.0);
+}
+
+TEST(Adc, MidScaleCode) {
+    const Adc adc(8, 0.0, 1.0);
+    EXPECT_EQ(adc.convert(0.5), 128u);
+}
+
+TEST(Adc, MonotoneInInput) {
+    const Adc adc(10, -1.0, 1.0);
+    std::uint32_t prev = adc.convert(-1.0);
+    for (double v = -0.99; v <= 1.0; v += 0.01) {
+        const std::uint32_t code = adc.convert(v);
+        EXPECT_GE(code, prev);
+        prev = code;
+    }
+}
+
+TEST(Adc, QuantizationErrorWithinOneLsb) {
+    const Adc adc(12, 0.0, 0.15);
+    for (double v = 0.001; v < 0.15; v += 0.0013) {
+        const double back = adc.code_to_voltage(adc.convert(v));
+        EXPECT_NEAR(back, v, adc.lsb());
+    }
+}
+
+TEST(Adc, CodeToVoltageClampsCode) {
+    const Adc adc(4, 0.0, 1.6);
+    EXPECT_DOUBLE_EQ(adc.code_to_voltage(999), adc.code_to_voltage(adc.max_code()));
+}
+
+TEST(Adc, NoiseMovesCodesButStaysCentered) {
+    const Adc adc(12, 0.0, 1.0, 0.01);
+    util::Rng rng(77);
+    const double v = 0.5;
+    double sum = 0.0;
+    bool varied = false;
+    std::uint32_t first = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        const std::uint32_t code = adc.convert(v, rng);
+        if (i == 0) {
+            first = code;
+        } else if (code != first) {
+            varied = true;
+        }
+        sum += adc.code_to_voltage(code);
+    }
+    EXPECT_TRUE(varied);
+    EXPECT_NEAR(sum / n, v, 0.002);
+}
+
+TEST(Adc, ZeroNoisePathDeterministic) {
+    const Adc adc(12, 0.0, 1.0, 0.0);
+    util::Rng rng(1);
+    EXPECT_EQ(adc.convert(0.3, rng), adc.convert(0.3));
+}
+
+} // namespace
+} // namespace stsense::baseline

@@ -1,0 +1,93 @@
+#include "baseline/diode.hpp"
+
+#include "analysis/nonlinearity.hpp"
+#include "phys/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stsense::baseline {
+namespace {
+
+TEST(Diode, SaturationCurrentGrowsSteeplyWithTemperature) {
+    const DiodeParams p;
+    const double i300 = saturation_current(p, 300.0);
+    const double i350 = saturation_current(p, 350.0);
+    // Roughly a decade per ~20 K for silicon.
+    EXPECT_GT(i350 / i300, 50.0);
+}
+
+TEST(Diode, ForwardVoltageInSiliconRange) {
+    const DiodeParams p;
+    const double v = forward_voltage(p, 10e-6, 300.0);
+    EXPECT_GT(v, 0.4);
+    EXPECT_LT(v, 0.8);
+}
+
+TEST(Diode, ForwardVoltageFallsWithTemperature) {
+    const DiodeParams p;
+    // The canonical ~-1.5 to -2 mV/K CTAT slope.
+    const double v300 = forward_voltage(p, 10e-6, 300.0);
+    const double v310 = forward_voltage(p, 10e-6, 310.0);
+    const double slope = (v310 - v300) / 10.0;
+    EXPECT_LT(slope, -1.0e-3);
+    EXPECT_GT(slope, -3.0e-3);
+}
+
+TEST(Diode, ForwardVoltageGrowsWithBias) {
+    const DiodeParams p;
+    EXPECT_GT(forward_voltage(p, 100e-6, 300.0), forward_voltage(p, 10e-6, 300.0));
+}
+
+TEST(Diode, InvalidInputsThrow) {
+    const DiodeParams p;
+    EXPECT_THROW(forward_voltage(p, 0.0, 300.0), std::invalid_argument);
+    EXPECT_THROW(forward_voltage(p, 1e-6, -1.0), std::invalid_argument);
+    EXPECT_THROW(ptat_voltage(p, 1e-6, 1e-6, 300.0), std::invalid_argument);
+    EXPECT_THROW(ptat_voltage(p, 1e-6, 10e-6, 300.0), std::invalid_argument);
+}
+
+TEST(Ptat, ExactlyProportionalToAbsoluteTemperature) {
+    const DiodeParams p;
+    const double v300 = ptat_voltage(p, 10e-6, 1e-6, 300.0);
+    const double v400 = ptat_voltage(p, 10e-6, 1e-6, 400.0);
+    EXPECT_NEAR(v400 / v300, 400.0 / 300.0, 1e-12);
+}
+
+TEST(Ptat, MatchesThermalVoltageFormula) {
+    const DiodeParams p;
+    const double expected =
+        p.eta * phys::thermal_voltage(300.0) * std::log(10.0);
+    EXPECT_NEAR(ptat_voltage(p, 10e-6, 1e-6, 300.0), expected, 1e-12);
+}
+
+TEST(Ptat, PerfectlyLinearOverPaperRange) {
+    const DiodeParams p;
+    std::vector<double> t_c;
+    std::vector<double> v;
+    for (double t = -50.0; t <= 150.0; t += 12.5) {
+        t_c.push_back(t);
+        v.push_back(ptat_voltage(p, 10e-6, 1e-6, phys::celsius_to_kelvin(t)));
+    }
+    EXPECT_LT(analysis::max_nonlinearity_percent(t_c, v), 1e-9);
+}
+
+TEST(ForwardVoltage, MildlyNonlinearOverPaperRange) {
+    // A single junction is *not* perfectly linear — the reason bandgap
+    // references use the PTAT difference.
+    const DiodeParams p;
+    std::vector<double> t_c;
+    std::vector<double> v;
+    for (double t = -50.0; t <= 150.0; t += 12.5) {
+        t_c.push_back(t);
+        v.push_back(forward_voltage(p, 10e-6, phys::celsius_to_kelvin(t)));
+    }
+    const double nl = analysis::max_nonlinearity_percent(t_c, v);
+    EXPECT_GT(nl, 0.05);
+    EXPECT_LT(nl, 5.0);
+}
+
+} // namespace
+} // namespace stsense::baseline

@@ -1,0 +1,85 @@
+#include "baseline/diode_sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stsense::baseline {
+namespace {
+
+TEST(DiodeSensor, RequiresCalibration) {
+    DiodeTemperatureSensor s;
+    EXPECT_FALSE(s.calibrated());
+    EXPECT_THROW(s.measure(25.0), std::logic_error);
+}
+
+TEST(DiodeSensor, AccurateAfterTwoPointCalibration) {
+    DiodeTemperatureSensor s;
+    s.calibrate(0.0, 100.0);
+    EXPECT_TRUE(s.calibrated());
+    for (double t = -50.0; t <= 150.0; t += 25.0) {
+        const auto m = s.measure(t);
+        EXPECT_NEAR(m.temperature_c, t, 0.5) << "T=" << t;
+    }
+}
+
+TEST(DiodeSensor, ExactAtCalibrationPoints) {
+    DiodeTemperatureSensor s;
+    s.calibrate(0.0, 100.0);
+    // Within one ADC LSB worth of temperature.
+    EXPECT_NEAR(s.measure(0.0).temperature_c, 0.0, 0.2);
+    EXPECT_NEAR(s.measure(100.0).temperature_c, 100.0, 0.2);
+}
+
+TEST(DiodeSensor, CodeGrowsWithTemperature) {
+    DiodeTemperatureSensor s;
+    s.calibrate(0.0, 100.0);
+    EXPECT_LT(s.measure(-50.0).code, s.measure(150.0).code);
+}
+
+TEST(DiodeSensor, BadCalibrationOrderThrows) {
+    DiodeTemperatureSensor s;
+    EXPECT_THROW(s.calibrate(100.0, 0.0), std::invalid_argument);
+}
+
+TEST(DiodeSensor, BadBiasConfigThrows) {
+    DiodeSensorConfig cfg;
+    cfg.i_high = 1e-6;
+    cfg.i_low = 10e-6;
+    EXPECT_THROW(DiodeTemperatureSensor{cfg}, std::invalid_argument);
+}
+
+TEST(DiodeSensor, CoarseAdcDegradesAccuracy) {
+    DiodeSensorConfig fine;
+    fine.adc_bits = 12;
+    DiodeSensorConfig coarse;
+    coarse.adc_bits = 6;
+
+    DiodeTemperatureSensor sf{fine};
+    DiodeTemperatureSensor sc{coarse};
+    sf.calibrate(0.0, 100.0);
+    sc.calibrate(0.0, 100.0);
+
+    double err_f = 0.0;
+    double err_c = 0.0;
+    for (double t = -40.0; t <= 140.0; t += 10.0) {
+        err_f = std::max(err_f, std::abs(sf.measure(t).temperature_c - t));
+        err_c = std::max(err_c, std::abs(sc.measure(t).temperature_c - t));
+    }
+    EXPECT_LT(err_f, err_c);
+}
+
+TEST(DiodeSensor, NoisyMeasurementsScatterAroundTruth) {
+    DiodeSensorConfig cfg;
+    cfg.adc_noise_v = 0.0005;
+    DiodeTemperatureSensor s{cfg};
+    s.calibrate(0.0, 100.0);
+    util::Rng rng(42);
+    double sum = 0.0;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) sum += s.measure(50.0, rng).temperature_c;
+    EXPECT_NEAR(sum / n, 50.0, 0.5);
+}
+
+} // namespace
+} // namespace stsense::baseline

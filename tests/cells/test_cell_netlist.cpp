@@ -1,0 +1,98 @@
+#include "cells/cell_netlist.hpp"
+
+#include "phys/technology.hpp"
+#include "spice/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::cells {
+namespace {
+
+struct Bench {
+    spice::Circuit ckt;
+    spice::NodeId vdd;
+    spice::NodeId in;
+    spice::NodeId out;
+};
+
+Bench emit(CellKind kind, double vin, SideInputTie tie = SideInputTie::Supply) {
+    const auto tech = phys::cmos350();
+    Bench b;
+    b.vdd = b.ckt.add_driven_node("vdd", spice::Source::dc(tech.vdd));
+    b.in = b.ckt.add_driven_node("in", spice::Source::dc(vin));
+    b.out = b.ckt.add_node("out");
+    CellSpec spec;
+    spec.kind = kind;
+    spec.tie = tie;
+    emit_cell(b.ckt, tech, spec, b.vdd, b.in, b.out, "dut");
+    return b;
+}
+
+TEST(EmitCell, InverterDeviceCount) {
+    Bench b = emit(CellKind::Inv, 0.0);
+    EXPECT_EQ(b.ckt.mosfets().size(), 2u);
+}
+
+TEST(EmitCell, DeviceCountsMatchTopology) {
+    for (CellKind k : kAllCellKinds) {
+        Bench b = emit(k, 0.0);
+        EXPECT_EQ(b.ckt.mosfets().size(),
+                  2u * static_cast<std::size_t>(input_count(k)))
+            << to_string(k);
+    }
+}
+
+TEST(EmitCell, InternalStackNodesCreated) {
+    Bench b = emit(CellKind::Nand3, 0.0);
+    // vdd, in, out + 2 internal stack nodes + ground.
+    EXPECT_EQ(b.ckt.node_count(), 6u);
+    EXPECT_NO_THROW(b.ckt.node_by_name("dut.x1"));
+    EXPECT_NO_THROW(b.ckt.node_by_name("dut.x2"));
+}
+
+TEST(EmitCell, UndrivenVddRejected) {
+    const auto tech = phys::cmos350();
+    spice::Circuit ckt;
+    const auto fake_vdd = ckt.add_node("vdd"); // Not driven.
+    const auto in = ckt.add_node("in");
+    const auto out = ckt.add_node("out");
+    CellSpec spec;
+    EXPECT_THROW(emit_cell(ckt, tech, spec, fake_vdd, in, out, "x"),
+                 std::invalid_argument);
+}
+
+// Every cell used as an inverting stage must invert at DC: input low ->
+// output high, input high -> output low, regardless of topology and tie.
+using LogicParam = std::tuple<CellKind, bool, bool>; // kind, input_high, bridge
+
+class CellLogicTest : public ::testing::TestWithParam<LogicParam> {};
+
+TEST_P(CellLogicTest, DcLevelsInvert) {
+    const auto [kind, input_high, bridge] = GetParam();
+    const auto tech = phys::cmos350();
+    Bench b = emit(kind, input_high ? tech.vdd : 0.0,
+                   bridge ? SideInputTie::Bridge : SideInputTie::Supply);
+    spice::Simulator sim(b.ckt);
+    const auto v = sim.dc_operating_point();
+    const double vout = v[b.out.index];
+    if (input_high) {
+        EXPECT_LT(vout, 0.1 * tech.vdd) << to_string(kind);
+    } else {
+        EXPECT_GT(vout, 0.9 * tech.vdd) << to_string(kind);
+    }
+}
+
+std::string logic_param_name(const ::testing::TestParamInfo<LogicParam>& info) {
+    const auto [kind, input_high, bridge] = info.param;
+    return to_string(kind) + (input_high ? "_high" : "_low") +
+           (bridge ? "_bridge" : "_supply");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, CellLogicTest,
+    ::testing::Combine(::testing::ValuesIn(kAllCellKinds), ::testing::Bool(),
+                       ::testing::Bool()),
+    logic_param_name);
+
+} // namespace
+} // namespace stsense::cells

@@ -1,0 +1,93 @@
+#include "cells/characterize.hpp"
+
+#include "cells/delay_model.hpp"
+#include "phys/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::cells {
+namespace {
+
+TEST(Characterize, InverterDelaysMeasurable) {
+    const auto tech = phys::cmos350();
+    CellSpec spec;
+    const auto r = characterize_cell(tech, spec, phys::femto(10.0), 300.0);
+    EXPECT_GT(r.tphl, 1.0e-12);
+    EXPECT_GT(r.tplh, 1.0e-12);
+    EXPECT_LT(r.tphl, 1.0e-9);
+    EXPECT_LT(r.tplh, 1.0e-9);
+}
+
+TEST(Characterize, DelayGrowsWithLoad) {
+    const auto tech = phys::cmos350();
+    CellSpec spec;
+    const auto light = characterize_cell(tech, spec, phys::femto(5.0), 300.0);
+    const auto heavy = characterize_cell(tech, spec, phys::femto(40.0), 300.0);
+    EXPECT_GT(heavy.tphl, light.tphl);
+    EXPECT_GT(heavy.tplh, light.tplh);
+}
+
+TEST(Characterize, DelayGrowsWithTemperature) {
+    const auto tech = phys::cmos350();
+    CellSpec spec;
+    const auto cold = characterize_cell(tech, spec, phys::femto(10.0), 250.0);
+    const auto hot = characterize_cell(tech, spec, phys::femto(10.0), 400.0);
+    EXPECT_GT(hot.tphl, cold.tphl);
+    EXPECT_GT(hot.tplh, cold.tplh);
+}
+
+TEST(Characterize, NegativeLoadThrows) {
+    EXPECT_THROW(characterize_cell(phys::cmos350(), CellSpec{}, -1e-15, 300.0),
+                 std::invalid_argument);
+}
+
+// Cross-validation: the analytic DelayModel must agree with the
+// transistor-level measurement within a modest factor for every cell
+// (the netlist carries junction parasitics the analytic model folds into
+// a single output cap, so exact agreement is not expected) — and the
+// *trend* across cells must match.
+class AnalyticVsSpiceTest : public ::testing::TestWithParam<CellKind> {};
+
+TEST_P(AnalyticVsSpiceTest, WithinFactorTwo) {
+    const auto tech = phys::cmos350();
+    const DelayModel model(tech);
+    CellSpec spec;
+    spec.kind = GetParam();
+    const double load = phys::femto(20.0);
+
+    const auto meas = characterize_cell(tech, spec, load, 300.0);
+    const CellDelays pred = model.delays(spec, load, 300.0);
+
+    EXPECT_GT(meas.tphl / pred.tphl, 0.5) << to_string(spec.kind);
+    EXPECT_LT(meas.tphl / pred.tphl, 2.0) << to_string(spec.kind);
+    EXPECT_GT(meas.tplh / pred.tplh, 0.5) << to_string(spec.kind);
+    EXPECT_LT(meas.tplh / pred.tplh, 2.0) << to_string(spec.kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, AnalyticVsSpiceTest,
+                         ::testing::ValuesIn(kAllCellKinds),
+                         [](const ::testing::TestParamInfo<CellKind>& info) {
+                             return to_string(info.param);
+                         });
+
+TEST(AnalyticVsSpice, NandPulldownPenaltyReproduced) {
+    // The stacked-NMOS penalty (NAND2 tpHL / INV tpHL) must appear in
+    // both engines with similar magnitude.
+    const auto tech = phys::cmos350();
+    const DelayModel model(tech);
+    const double load = phys::femto(20.0);
+
+    CellSpec inv;
+    CellSpec nand2;
+    nand2.kind = CellKind::Nand2;
+
+    const double spice_penalty = characterize_cell(tech, nand2, load, 300.0).tphl /
+                                 characterize_cell(tech, inv, load, 300.0).tphl;
+    const double model_penalty = model.delays(nand2, load, 300.0).tphl /
+                                 model.delays(inv, load, 300.0).tphl;
+    EXPECT_GT(spice_penalty, 1.3);
+    EXPECT_NEAR(spice_penalty, model_penalty, 0.8);
+}
+
+} // namespace
+} // namespace stsense::cells

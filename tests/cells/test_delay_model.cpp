@@ -1,0 +1,153 @@
+#include "cells/delay_model.hpp"
+
+#include "phys/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::cells {
+namespace {
+
+constexpr double kRoomK = 300.0;
+
+DelayModel model() { return DelayModel(phys::cmos350()); }
+
+TEST(DelayModel, SizesFollowDriveAndRatio) {
+    const auto m = model();
+    CellSpec spec;
+    spec.drive = 2.0;
+    spec.ratio = 3.0;
+    const CellSizes s = m.sizes(spec);
+    EXPECT_DOUBLE_EQ(s.wn, 2.0e-6);
+    EXPECT_DOUBLE_EQ(s.wp, 6.0e-6);
+}
+
+TEST(DelayModel, ZeroRatioUsesLibraryDefault) {
+    const auto m = model();
+    CellSpec spec; // ratio = 0.
+    const CellSizes s = m.sizes(spec);
+    EXPECT_DOUBLE_EQ(s.wp / s.wn, m.technology().library_ratio);
+}
+
+TEST(DelayModel, InputCapScalesWithPins) {
+    const auto m = model();
+    CellSpec supply;
+    supply.kind = CellKind::Nand3;
+    CellSpec bridge = supply;
+    bridge.tie = SideInputTie::Bridge;
+    EXPECT_NEAR(m.input_capacitance(bridge) / m.input_capacitance(supply), 3.0,
+                1e-12);
+}
+
+TEST(DelayModel, DelaysPositiveAndFinite) {
+    const auto m = model();
+    for (CellKind k : kAllCellKinds) {
+        CellSpec spec;
+        spec.kind = k;
+        const CellDelays d = m.delays(spec, phys::femto(10.0), kRoomK);
+        EXPECT_GT(d.tphl, 0.0) << to_string(k);
+        EXPECT_GT(d.tplh, 0.0) << to_string(k);
+        EXPECT_LT(d.pair_delay(), 1e-9) << to_string(k); // Sub-ns at 10 fF.
+    }
+}
+
+TEST(DelayModel, DelayIncreasesWithLoad) {
+    const auto m = model();
+    CellSpec spec;
+    const CellDelays light = m.delays(spec, phys::femto(5.0), kRoomK);
+    const CellDelays heavy = m.delays(spec, phys::femto(50.0), kRoomK);
+    EXPECT_GT(heavy.tphl, light.tphl);
+    EXPECT_GT(heavy.tplh, light.tplh);
+}
+
+TEST(DelayModel, DelayIncreasesWithTemperature) {
+    const auto m = model();
+    CellSpec spec;
+    double prev = m.delays(spec, phys::femto(10.0), 223.15).pair_delay();
+    for (double t = 248.15; t <= 423.15; t += 25.0) {
+        const double cur = m.delays(spec, phys::femto(10.0), t).pair_delay();
+        EXPECT_GT(cur, prev) << "T=" << t;
+        prev = cur;
+    }
+}
+
+TEST(DelayModel, NandStackSlowsPulldownOnly) {
+    const auto m = model();
+    CellSpec inv;
+    CellSpec nand2;
+    nand2.kind = CellKind::Nand2;
+    const double load = phys::femto(10.0);
+    const CellDelays di = m.delays(inv, load, kRoomK);
+    const CellDelays dn = m.delays(nand2, load, kRoomK);
+    // Same external load: NAND2's stacked pull-down roughly doubles tpHL...
+    EXPECT_GT(dn.tphl, 1.6 * di.tphl);
+    // ...while its pull-up current matches the inverter's (single PMOS).
+    EXPECT_NEAR(m.pullup_current(nand2, kRoomK), m.pullup_current(inv, kRoomK),
+                1e-12);
+}
+
+TEST(DelayModel, NorStackSlowsPullupOnly) {
+    const auto m = model();
+    CellSpec inv;
+    CellSpec nor2;
+    nor2.kind = CellKind::Nor2;
+    EXPECT_NEAR(m.pulldown_current(nor2, kRoomK), m.pulldown_current(inv, kRoomK),
+                1e-12);
+    EXPECT_NEAR(m.pullup_current(nor2, kRoomK),
+                0.5 * m.pullup_current(inv, kRoomK), 1e-9);
+}
+
+TEST(DelayModel, BridgeTieRestoresParallelDrive) {
+    const auto m = model();
+    CellSpec nand2;
+    nand2.kind = CellKind::Nand2;
+    CellSpec bridged = nand2;
+    bridged.tie = SideInputTie::Bridge;
+    // Bridged NAND2: both PMOS switch -> 2x the pull-up current.
+    EXPECT_NEAR(m.pullup_current(bridged, kRoomK),
+                2.0 * m.pullup_current(nand2, kRoomK), 1e-12);
+    // Pull-down stack unchanged.
+    EXPECT_NEAR(m.pulldown_current(bridged, kRoomK),
+                m.pulldown_current(nand2, kRoomK), 1e-12);
+}
+
+TEST(DelayModel, RaisingRatioSpeedsPullupSlowsNothing) {
+    const auto m = model();
+    CellSpec lo;
+    lo.ratio = 1.5;
+    CellSpec hi;
+    hi.ratio = 3.0;
+    EXPECT_GT(m.pullup_current(hi, kRoomK), m.pullup_current(lo, kRoomK));
+    EXPECT_DOUBLE_EQ(m.pulldown_current(hi, kRoomK), m.pulldown_current(lo, kRoomK));
+}
+
+TEST(DelayModel, NegativeLoadThrows) {
+    const auto m = model();
+    CellSpec spec;
+    EXPECT_THROW(m.delays(spec, -1e-15, kRoomK), std::invalid_argument);
+}
+
+// tpHL/tpLH ratio sweep: at the "balanced" ratio (mobility ratio ~2.5)
+// the inverter edges are symmetric; away from it they skew.
+class RatioSymmetryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RatioSymmetryTest, EdgeSkewFollowsRatio) {
+    const auto m = model();
+    CellSpec spec;
+    spec.ratio = GetParam();
+    const CellDelays d = m.delays(spec, phys::femto(10.0), kRoomK);
+    const double skew = d.tplh / d.tphl;
+    if (spec.ratio < 2.0) {
+        EXPECT_GT(skew, 1.0); // Weak PMOS: slow rising edge.
+    } else if (spec.ratio > 3.2) {
+        EXPECT_LT(skew, 1.0); // Strong PMOS: fast rising edge.
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RatioSymmetryTest,
+                         ::testing::Values(1.0, 1.5, 1.75, 2.25, 3.0, 3.5, 4.0, 5.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                             return "r" + std::to_string(static_cast<int>(info.param * 100));
+                         });
+
+} // namespace
+} // namespace stsense::cells

@@ -1,0 +1,120 @@
+#include "cells/nldm.hpp"
+
+#include "phys/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stsense::cells {
+namespace {
+
+DelayTable table_for(CellKind kind) {
+    CellSpec spec;
+    spec.kind = kind;
+    return DelayTable(phys::cmos350(), spec, default_load_axis(),
+                      default_temp_axis_k());
+}
+
+TEST(DelayTable, ExactAtGridPoints) {
+    const auto tech = phys::cmos350();
+    CellSpec spec;
+    const DelayModel model(tech);
+    const DelayTable table(tech, spec, default_load_axis(), default_temp_axis_k());
+    for (double load : table.loads()) {
+        for (double temp : table.temps()) {
+            const CellDelays direct = model.delays(spec, load, temp);
+            const CellDelays looked = table.lookup(load, temp);
+            EXPECT_NEAR(looked.tphl, direct.tphl, 1e-18);
+            EXPECT_NEAR(looked.tplh, direct.tplh, 1e-18);
+        }
+    }
+}
+
+TEST(DelayTable, InterpolationErrorSmallBetweenPoints) {
+    const auto tech = phys::cmos350();
+    CellSpec spec;
+    const DelayModel model(tech);
+    const DelayTable table(tech, spec, default_load_axis(), default_temp_axis_k());
+    // Off-grid queries across the sensor's operating space.
+    for (double load = phys::femto(3.0); load < phys::femto(70.0);
+         load += phys::femto(5.3)) {
+        for (double t = 225.0; t < 430.0; t += 17.0) {
+            const CellDelays direct = model.delays(spec, load, t);
+            const CellDelays looked = table.lookup(load, t);
+            EXPECT_NEAR(looked.tphl, direct.tphl, 0.03 * direct.tphl)
+                << "load=" << load << " T=" << t;
+            EXPECT_NEAR(looked.tplh, direct.tplh, 0.03 * direct.tplh);
+        }
+    }
+}
+
+TEST(DelayTable, ClampsOutsideGrid) {
+    const auto table = table_for(CellKind::Inv);
+    const double lo_load = table.loads().front();
+    const double lo_temp = table.temps().front();
+    const auto at_corner = table.lookup(lo_load, lo_temp);
+    const auto below = table.lookup(lo_load * 0.01, lo_temp - 100.0);
+    EXPECT_DOUBLE_EQ(below.tphl, at_corner.tphl);
+    EXPECT_DOUBLE_EQ(below.tplh, at_corner.tplh);
+}
+
+TEST(DelayTable, MonotoneAlongBothAxes) {
+    const auto table = table_for(CellKind::Nand2);
+    double prev = 0.0;
+    for (double load = phys::femto(2.0); load <= phys::femto(80.0);
+         load += phys::femto(6.0)) {
+        const double d = table.lookup(load, 300.0).tphl;
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+    prev = 0.0;
+    for (double t = 220.0; t <= 430.0; t += 10.0) {
+        const double d = table.lookup(phys::femto(10.0), t).pair_delay();
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(DelayTable, SpiceSourceAgreesWithAnalyticWithinFactorTwo) {
+    const auto tech = phys::cmos350();
+    CellSpec spec;
+    // Tiny grid: SPICE characterization is the slow path.
+    const std::vector<double> loads{phys::femto(5.0), phys::femto(20.0)};
+    const std::vector<double> temps{260.0, 400.0};
+    const DelayTable spice(tech, spec, loads, temps, CharacterizationSource::Spice);
+    const DelayTable analytic(tech, spec, loads, temps,
+                              CharacterizationSource::AnalyticModel);
+    for (double load : loads) {
+        for (double t : temps) {
+            const double ratio =
+                spice.lookup(load, t).tphl / analytic.lookup(load, t).tphl;
+            EXPECT_GT(ratio, 0.5);
+            EXPECT_LT(ratio, 2.0);
+        }
+    }
+}
+
+TEST(DelayTable, AxisValidation) {
+    const auto tech = phys::cmos350();
+    CellSpec spec;
+    EXPECT_THROW(DelayTable(tech, spec, {phys::femto(1.0)}, default_temp_axis_k()),
+                 std::invalid_argument);
+    EXPECT_THROW(DelayTable(tech, spec, {phys::femto(2.0), phys::femto(2.0)},
+                            default_temp_axis_k()),
+                 std::invalid_argument);
+    EXPECT_THROW(DelayTable(tech, spec, default_load_axis(), {400.0, 300.0}),
+                 std::invalid_argument);
+}
+
+TEST(DefaultAxes, CoverSensorOperatingSpace) {
+    const auto loads = default_load_axis();
+    const auto temps = default_temp_axis_k();
+    EXPECT_GE(loads.size(), 4u);
+    EXPECT_GE(temps.size(), 8u);
+    EXPECT_LT(temps.front(), phys::celsius_to_kelvin(-50.0));
+    EXPECT_GT(temps.back(), phys::celsius_to_kelvin(150.0));
+}
+
+} // namespace
+} // namespace stsense::cells

@@ -1,0 +1,77 @@
+// Voltage-transfer-characteristic measurements of the cells via DC
+// sweeps of the transistor-level netlists.
+#include "cells/characterize.hpp"
+
+#include "phys/technology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::cells {
+namespace {
+
+VtcResult vtc_of(double ratio, CellKind kind = CellKind::Inv,
+                 double temp_k = 300.0) {
+    CellSpec spec;
+    spec.kind = kind;
+    spec.ratio = ratio;
+    return measure_vtc(phys::cmos350(), spec, 41, temp_k);
+}
+
+TEST(Vtc, EndpointsAreLogicLevels) {
+    const auto tech = phys::cmos350();
+    const auto v = vtc_of(2.5);
+    EXPECT_GT(v.vout.front(), 0.95 * tech.vdd); // Vin = 0 -> high out.
+    EXPECT_LT(v.vout.back(), 0.05 * tech.vdd);  // Vin = Vdd -> low out.
+}
+
+TEST(Vtc, MonotonicallyFalling) {
+    const auto v = vtc_of(2.5);
+    for (std::size_t i = 1; i < v.vout.size(); ++i) {
+        EXPECT_LE(v.vout[i], v.vout[i - 1] + 1e-6) << "i=" << i;
+    }
+}
+
+TEST(Vtc, SwitchingThresholdNearMidRail) {
+    const auto tech = phys::cmos350();
+    const auto v = vtc_of(2.5);
+    EXPECT_GT(v.switching_threshold_v, 0.3 * tech.vdd);
+    EXPECT_LT(v.switching_threshold_v, 0.7 * tech.vdd);
+}
+
+TEST(Vtc, ThresholdRisesWithRatio) {
+    // A stronger PMOS (larger Wp/Wn) pulls the crossover up — the same
+    // knob that skews the ring waveform's duty cycle.
+    const double lo = vtc_of(1.5).switching_threshold_v;
+    const double hi = vtc_of(4.0).switching_threshold_v;
+    EXPECT_GT(hi, lo + 0.05);
+}
+
+TEST(Vtc, RegenerativeGain) {
+    const auto v = vtc_of(2.5);
+    EXPECT_GT(v.max_gain, 2.0); // Must regenerate for the ring to oscillate.
+}
+
+TEST(Vtc, NandGateAlsoInverts) {
+    const auto tech = phys::cmos350();
+    const auto v = vtc_of(0.0, CellKind::Nand2);
+    EXPECT_GT(v.vout.front(), 0.9 * tech.vdd);
+    EXPECT_LT(v.vout.back(), 0.1 * tech.vdd);
+    EXPECT_GT(v.switching_threshold_v, 0.0);
+}
+
+TEST(Vtc, ThresholdTemperatureDriftSmall) {
+    // The crossover drifts ~1 mV/K (under 5 % of Vdd over the whole
+    // range) while the delay moves ~50 % — which is why delay, not the
+    // VTC, is the transducer.
+    const double cold = vtc_of(2.5, CellKind::Inv, 250.0).switching_threshold_v;
+    const double hot = vtc_of(2.5, CellKind::Inv, 400.0).switching_threshold_v;
+    EXPECT_NEAR(hot, cold, 0.06 * phys::cmos350().vdd);
+}
+
+TEST(Vtc, ValidatesPointCount) {
+    EXPECT_THROW(measure_vtc(phys::cmos350(), CellSpec{}, 4, 300.0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::cells

@@ -1,0 +1,95 @@
+#include "digital/converter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stsense::digital {
+namespace {
+
+TEST(LinearConverter, ReproducesCalibrationLine) {
+    // T = -50 + 0.05 * code.
+    const analysis::LinearCalibration cal(-50.0, 0.05);
+    const LinearConverter conv(cal);
+    EXPECT_NEAR(conv.convert_c(0), -50.0, 0.01);
+    EXPECT_NEAR(conv.convert_c(1000), 0.0, 0.01);
+    EXPECT_NEAR(conv.convert_c(4000), 150.0, 0.01);
+}
+
+TEST(LinearConverter, SmallGainKeptAccurateByShift) {
+    // Per-code gains around 1e-3 degC would lose most mantissa bits in
+    // raw Q16.16; the pre-shift must keep conversion errors < 0.05 degC
+    // over realistic code ranges.
+    const analysis::LinearCalibration cal(-120.0, 0.0007);
+    const LinearConverter conv(cal, 10);
+    for (std::uint32_t code = 100000; code <= 380000; code += 40000) {
+        const double expected = cal.temperature(static_cast<double>(code));
+        EXPECT_NEAR(conv.convert_c(code), expected, 0.05) << "code=" << code;
+    }
+}
+
+TEST(LinearConverter, NegativeGainSupported) {
+    // Frequency-style readout: temperature falls with the code.
+    const analysis::LinearCalibration cal(200.0, -0.01);
+    const LinearConverter conv(cal);
+    EXPECT_NEAR(conv.convert_c(5000), 150.0, 0.01);
+    EXPECT_NEAR(conv.convert_c(25000), -50.0, 0.02);
+}
+
+TEST(LinearConverter, BadShiftThrows) {
+    const analysis::LinearCalibration cal(0.0, 1.0);
+    EXPECT_THROW(LinearConverter(cal, -1), std::invalid_argument);
+    EXPECT_THROW(LinearConverter(cal, 25), std::invalid_argument);
+}
+
+TEST(LinearConverter, OutOfRangeCalibrationThrows) {
+    const analysis::LinearCalibration cal(1e6, 1.0); // Offset unrepresentable.
+    EXPECT_THROW(LinearConverter(cal, 6), std::invalid_argument);
+}
+
+TEST(ReciprocalConverter, TwoPointExactAtCalPoints) {
+    // Simulated RefWindow codes: code = K / T_period with T linear in
+    // temperature; pick simple numbers.
+    const std::uint32_t code_a = 40000; // At 0 degC.
+    const std::uint32_t code_b = 30000; // At 100 degC (slower -> fewer counts).
+    const auto conv = ReciprocalConverter::from_two_point(code_a, 0.0, code_b,
+                                                          100.0, 1u << 26);
+    EXPECT_NEAR(conv.convert_c(code_a), 0.0, 0.05);
+    EXPECT_NEAR(conv.convert_c(code_b), 100.0, 0.05);
+}
+
+TEST(ReciprocalConverter, MonotoneBetweenCalPoints) {
+    const auto conv = ReciprocalConverter::from_two_point(40000, 0.0, 30000,
+                                                          100.0, 1u << 26);
+    double prev = conv.convert_c(40000);
+    for (std::uint32_t code = 39000; code >= 30000; code -= 1000) {
+        const double cur = conv.convert_c(code);
+        EXPECT_GT(cur, prev) << "code=" << code;
+        prev = cur;
+    }
+}
+
+TEST(ReciprocalConverter, ZeroCodeThrows) {
+    const auto conv = ReciprocalConverter::from_two_point(40000, 0.0, 30000,
+                                                          100.0, 1u << 26);
+    EXPECT_THROW(conv.convert(0), std::domain_error);
+}
+
+TEST(ReciprocalConverter, DegenerateCalibrationThrows) {
+    EXPECT_THROW(
+        ReciprocalConverter::from_two_point(100, 0.0, 100, 100.0, 1u << 26),
+        std::invalid_argument);
+    EXPECT_THROW(ReciprocalConverter::from_two_point(0, 0.0, 100, 100.0, 1u << 26),
+                 std::invalid_argument);
+}
+
+TEST(ReciprocalConverter, ScaleValidation) {
+    const Fx z = Fx::from_int(0);
+    EXPECT_THROW(ReciprocalConverter(z, z, 0), std::invalid_argument);
+    EXPECT_THROW(ReciprocalConverter(z, z, std::uint64_t{1} << 31),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(ReciprocalConverter(z, z, std::uint64_t{1} << 30));
+}
+
+} // namespace
+} // namespace stsense::digital

@@ -1,0 +1,118 @@
+#include "digital/fixed_point.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stsense::digital {
+namespace {
+
+TEST(Fx, FromIntRoundTrips) {
+    EXPECT_DOUBLE_EQ(Fx::from_int(5).to_double(), 5.0);
+    EXPECT_DOUBLE_EQ(Fx::from_int(-3).to_double(), -3.0);
+    EXPECT_EQ(Fx::from_int(7).floor(), 7);
+}
+
+TEST(Fx, FromDoubleQuantizesToLsb) {
+    const Fx v = Fx::from_double(1.5);
+    EXPECT_DOUBLE_EQ(v.to_double(), 1.5);
+    // Quantization error bounded by half an LSB.
+    const double x = 0.1234567;
+    EXPECT_NEAR(Fx::from_double(x).to_double(), x, 0.5 / Fx::kOne);
+}
+
+TEST(Fx, AddSubtract) {
+    const Fx a = Fx::from_double(1.25);
+    const Fx b = Fx::from_double(0.75);
+    EXPECT_DOUBLE_EQ((a + b).to_double(), 2.0);
+    EXPECT_DOUBLE_EQ((a - b).to_double(), 0.5);
+    EXPECT_DOUBLE_EQ((-a).to_double(), -1.25);
+}
+
+TEST(Fx, MultiplyExactOnRepresentableValues) {
+    const Fx a = Fx::from_double(2.5);
+    const Fx b = Fx::from_double(-4.0);
+    EXPECT_DOUBLE_EQ((a * b).to_double(), -10.0);
+}
+
+TEST(Fx, MultiplyRoundsToNearest) {
+    // Smallest positive value squared rounds to zero (0.5 LSB rounds up
+    // exactly at half: (1 * 1 + 32768) >> 16 = 0 remainder... verify).
+    const Fx eps = Fx::from_raw(1);
+    EXPECT_NEAR((eps * eps).to_double(), 0.0, 1.0 / Fx::kOne);
+}
+
+TEST(Fx, Divide) {
+    const Fx a = Fx::from_double(10.0);
+    const Fx b = Fx::from_double(4.0);
+    EXPECT_DOUBLE_EQ((a / b).to_double(), 2.5);
+    EXPECT_THROW(a / Fx::from_int(0), std::domain_error);
+}
+
+TEST(Fx, FloorTruncatesTowardNegativeInfinity) {
+    EXPECT_EQ(Fx::from_double(2.75).floor(), 2);
+    EXPECT_EQ(Fx::from_double(-2.25).floor(), -3);
+}
+
+TEST(Fx, SaturatesOnOverflow) {
+    const Fx big = Fx::from_double(30000.0);
+    const Fx sum = big + big;
+    EXPECT_TRUE(sum.is_saturated());
+    EXPECT_EQ(sum.raw(), static_cast<std::int32_t>(Fx::kRawMax));
+
+    const Fx neg = Fx::from_double(-30000.0);
+    EXPECT_TRUE((neg + neg).is_saturated());
+    EXPECT_TRUE((big * big).is_saturated());
+}
+
+TEST(Fx, FromDoubleSaturatesRange) {
+    EXPECT_TRUE(Fx::from_double(1e9).is_saturated());
+    EXPECT_TRUE(Fx::from_double(-1e9).is_saturated());
+    EXPECT_THROW(Fx::from_double(std::nan("")), std::domain_error);
+}
+
+TEST(Fx, ComparisonOperators) {
+    EXPECT_EQ(Fx::from_double(1.0), Fx::from_int(1));
+    EXPECT_LT(Fx::from_double(0.5), Fx::from_double(0.75));
+}
+
+// Property sweep: Fx arithmetic tracks double arithmetic to within the
+// expected quantization bounds across random operand pairs.
+class FxReferenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FxReferenceTest, ArithmeticTracksDoubles) {
+    stsense::util::Rng rng(GetParam());
+    constexpr double kLsb = 1.0 / Fx::kOne;
+    for (int i = 0; i < 500; ++i) {
+        const double a = rng.uniform(-150.0, 150.0);
+        const double b = rng.uniform(-150.0, 150.0);
+        const Fx fa = Fx::from_double(a);
+        const Fx fb = Fx::from_double(b);
+        EXPECT_NEAR((fa + fb).to_double(), a + b, 2.0 * kLsb);
+        EXPECT_NEAR((fa - fb).to_double(), a - b, 2.0 * kLsb);
+        // Product magnitude < 150*150 = 22500, inside Q16.16 range.
+        EXPECT_NEAR((fa * fb).to_double(), a * b,
+                    (std::abs(a) + std::abs(b) + 1.0) * kLsb);
+        if (std::abs(b) > 1.0) {
+            EXPECT_NEAR((fa / fb).to_double(), a / b,
+                        (std::abs(a / b) + std::abs(1.0 / b) + 1.0) * kLsb);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FxReferenceTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Fx, TemperatureRangeRepresentable) {
+    // The sensor range (-50 .. 150 degC) is far inside Q16.16.
+    for (double t : {-50.0, -0.0625, 0.0, 27.0, 150.0}) {
+        const Fx v = Fx::from_double(t);
+        EXPECT_FALSE(v.is_saturated());
+        EXPECT_NEAR(v.to_double(), t, 1.0 / Fx::kOne);
+    }
+}
+
+} // namespace
+} // namespace stsense::digital

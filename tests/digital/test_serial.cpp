@@ -1,0 +1,115 @@
+#include "digital/serial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::digital {
+namespace {
+
+SmartUnitConfig unit_config() {
+    SmartUnitConfig c;
+    c.gate.scheme = GatingScheme::OscWindow;
+    c.gate.osc_cycles = 1000;
+    c.gate.ref_freq_hz = 100e6;
+    c.num_channels = 4;
+    c.settle_cycles = 2;
+    return c;
+}
+
+TEST(SpiSlave, ReadsStatusRegister) {
+    SmartUnit unit(unit_config(), [](int) { return 1e-9; });
+    SpiSlave spi(unit);
+    EXPECT_EQ(spi.read_register(reg::kStatus), unit.read(reg::kStatus));
+}
+
+TEST(SpiSlave, WriteStartsMeasurement) {
+    SmartUnit unit(unit_config(), [](int) { return 1e-9; });
+    SpiSlave spi(unit);
+    spi.write_register(reg::kCtrl, kCtrlStart);
+    EXPECT_TRUE(unit.busy());
+    while (unit.busy()) unit.tick();
+    EXPECT_EQ(spi.read_register(reg::kData), unit.data());
+    EXPECT_NEAR(static_cast<double>(unit.data()), 100.0, 1.0);
+}
+
+TEST(SpiSlave, ChannelSelectThroughSerial) {
+    SmartUnit unit(unit_config(), [](int ch) { return (1.0 + ch) * 1e-9; });
+    SpiSlave spi(unit);
+    spi.write_register(reg::kCtrl, kCtrlStart | (2u << kCtrlChannelShift));
+    EXPECT_EQ(unit.selected_channel(), 2);
+    while (unit.busy()) unit.tick();
+    // Channel 2 runs at 3 ns -> ~300 ref cycles.
+    EXPECT_NEAR(static_cast<double>(spi.read_register(reg::kData)), 300.0, 2.0);
+}
+
+TEST(SpiSlave, BitLevelReadMatchesConvenience) {
+    SmartUnit unit(unit_config(), [](int) { return 1e-9; });
+    // Park a known value in DATA.
+    unit.measure_blocking(0);
+    const std::uint32_t expected = unit.read(reg::kData);
+
+    SpiSlave spi(unit);
+    spi.select(true);
+    // Command byte: read (bit 7 clear), address = kData.
+    const std::uint8_t cmd = static_cast<std::uint8_t>(reg::kData);
+    for (int b = 7; b >= 0; --b) spi.clock_bit((cmd >> b) & 1);
+    std::uint32_t value = 0;
+    for (int b = 0; b < SpiSlave::kDataBits; ++b) {
+        value = (value << 1) | (spi.clock_bit(false) ? 1u : 0u);
+    }
+    spi.select(false);
+    EXPECT_EQ(value, expected);
+}
+
+TEST(SpiSlave, DeselectAbortsTransaction) {
+    SmartUnit unit(unit_config(), [](int) { return 1e-9; });
+    SpiSlave spi(unit);
+    spi.select(true);
+    // Half a write command...
+    for (int i = 0; i < 4; ++i) spi.clock_bit(true);
+    EXPECT_EQ(spi.bit_count(), 4);
+    spi.select(false);
+    EXPECT_EQ(spi.bit_count(), 0);
+    // ...must not have touched the unit.
+    EXPECT_FALSE(unit.busy());
+}
+
+TEST(SpiSlave, ClockWithoutSelectThrows) {
+    SmartUnit unit(unit_config(), [](int) { return 1e-9; });
+    SpiSlave spi(unit);
+    EXPECT_THROW(spi.clock_bit(true), std::logic_error);
+}
+
+TEST(SpiSlave, OverlongTransactionThrows) {
+    SmartUnit unit(unit_config(), [](int) { return 1e-9; });
+    SpiSlave spi(unit);
+    spi.select(true);
+    for (int i = 0; i < SpiSlave::kCommandBits + SpiSlave::kDataBits; ++i) {
+        spi.clock_bit(false);
+    }
+    EXPECT_THROW(spi.clock_bit(false), std::logic_error);
+}
+
+TEST(SpiSlave, WriteToReadOnlyRegisterSurfaces) {
+    SmartUnit unit(unit_config(), [](int) { return 1e-9; });
+    SpiSlave spi(unit);
+    EXPECT_THROW(spi.write_register(reg::kData, 1), std::invalid_argument);
+}
+
+TEST(SpiSlave, AddressRangeChecked) {
+    SmartUnit unit(unit_config(), [](int) { return 1e-9; });
+    SpiSlave spi(unit);
+    EXPECT_THROW(spi.read_register(7), std::invalid_argument);
+    EXPECT_THROW(spi.write_register(9, 0), std::invalid_argument);
+}
+
+TEST(SpiSlave, ForceEnableBitWorksOverSerial) {
+    SmartUnit unit(unit_config(), [](int) { return 1e-9; });
+    SpiSlave spi(unit);
+    spi.write_register(reg::kCtrl, kCtrlForceEnable);
+    EXPECT_TRUE(unit.oscillator_enabled());
+    spi.write_register(reg::kCtrl, 0);
+    EXPECT_FALSE(unit.oscillator_enabled());
+}
+
+} // namespace
+} // namespace stsense::digital

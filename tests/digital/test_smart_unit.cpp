@@ -1,0 +1,256 @@
+#include "digital/smart_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stsense::digital {
+namespace {
+
+SmartUnitConfig config(GatingScheme scheme = GatingScheme::OscWindow,
+                       int channels = 1, int settle = 4) {
+    SmartUnitConfig c;
+    c.gate.scheme = scheme;
+    c.gate.osc_cycles = 1000;
+    c.gate.ref_cycles = 500;
+    c.gate.ref_freq_hz = 100e6;
+    c.num_channels = channels;
+    c.settle_cycles = settle;
+    return c;
+}
+
+TEST(SmartUnit, ConstructionValidation) {
+    auto provider = [](int) { return 1e-9; };
+    SmartUnitConfig c = config();
+    c.num_channels = 0;
+    EXPECT_THROW(SmartUnit(c, provider), std::invalid_argument);
+    c = config();
+    c.settle_cycles = -1;
+    EXPECT_THROW(SmartUnit(c, provider), std::invalid_argument);
+    EXPECT_THROW(SmartUnit(config(), nullptr), std::invalid_argument);
+}
+
+TEST(SmartUnit, IdleUntilStart) {
+    SmartUnit u(config(), [](int) { return 1e-9; });
+    EXPECT_EQ(u.state(), UnitState::Idle);
+    EXPECT_FALSE(u.busy());
+    EXPECT_FALSE(u.oscillator_enabled());
+    for (int i = 0; i < 10; ++i) u.tick();
+    EXPECT_EQ(u.state(), UnitState::Idle);
+    EXPECT_EQ(u.cycles_osc_enabled(), 0u);
+}
+
+TEST(SmartUnit, MeasurementWalksThroughFsm) {
+    SmartUnit u(config(), [](int) { return 1e-9; });
+    u.write(reg::kCtrl, kCtrlStart);
+    EXPECT_EQ(u.state(), UnitState::Settle);
+    EXPECT_TRUE(u.busy());
+    EXPECT_TRUE(u.oscillator_enabled());
+    // 4 settle ticks.
+    for (int i = 0; i < 4; ++i) u.tick();
+    EXPECT_EQ(u.state(), UnitState::Count);
+    while (u.busy()) u.tick();
+    EXPECT_EQ(u.state(), UnitState::Done);
+    EXPECT_TRUE(u.done());
+    EXPECT_FALSE(u.oscillator_enabled()); // Ring gated off after DONE.
+}
+
+TEST(SmartUnit, OscWindowCodeMatchesExpectation) {
+    // 1000 oscillator periods of 1 ns = 1 us gate = 100 ref cycles.
+    SmartUnit u(config(), [](int) { return 1e-9; });
+    const std::uint32_t code = u.measure_blocking(0);
+    EXPECT_NEAR(static_cast<double>(code), 100.0, 1.0);
+}
+
+TEST(SmartUnit, RefWindowCodeMatchesExpectation) {
+    // Gate of 500 ref cycles (5 us) counts 5 us / 1 ns = 5000 osc edges.
+    SmartUnit u(config(GatingScheme::RefWindow), [](int) { return 1e-9; });
+    const std::uint32_t code = u.measure_blocking(0);
+    EXPECT_NEAR(static_cast<double>(code), 5000.0, 1.0);
+}
+
+TEST(SmartUnit, SlowerOscillatorBiggerOscWindowCode) {
+    SmartUnit fast(config(), [](int) { return 0.8e-9; });
+    SmartUnit slow(config(), [](int) { return 1.2e-9; });
+    EXPECT_LT(fast.measure_blocking(0), slow.measure_blocking(0));
+}
+
+TEST(SmartUnit, MuxSelectsChannel) {
+    // Channel i oscillates with period (1 + i) ns.
+    SmartUnit u(config(GatingScheme::OscWindow, 4),
+                [](int ch) { return (1.0 + ch) * 1e-9; });
+    const std::uint32_t c0 = u.measure_blocking(0);
+    const std::uint32_t c2 = u.measure_blocking(2);
+    EXPECT_NEAR(static_cast<double>(c2) / c0, 3.0, 0.1);
+    EXPECT_EQ(u.selected_channel(), 2);
+}
+
+TEST(SmartUnit, ChannelOutOfRangeThrows) {
+    SmartUnit u(config(GatingScheme::OscWindow, 2), [](int) { return 1e-9; });
+    EXPECT_THROW(u.write(reg::kCtrl, 5u << kCtrlChannelShift),
+                 std::invalid_argument);
+}
+
+TEST(SmartUnit, StatusRegisterBits) {
+    SmartUnit u(config(), [](int) { return 1e-9; });
+    EXPECT_EQ(u.read(reg::kStatus) & kStatusBusy, 0u);
+    u.write(reg::kCtrl, kCtrlStart);
+    EXPECT_NE(u.read(reg::kStatus) & kStatusBusy, 0u);
+    EXPECT_NE(u.read(reg::kStatus) & kStatusOscOn, 0u);
+    while (u.busy()) u.tick();
+    EXPECT_NE(u.read(reg::kStatus) & kStatusDone, 0u);
+    EXPECT_EQ(u.read(reg::kData), u.data());
+}
+
+TEST(SmartUnit, ForceEnableKeepsOscillatorRunning) {
+    SmartUnit u(config(), [](int) { return 1e-9; });
+    u.write(reg::kCtrl, kCtrlForceEnable);
+    EXPECT_TRUE(u.oscillator_enabled());
+    for (int i = 0; i < 10; ++i) u.tick();
+    EXPECT_EQ(u.cycles_osc_enabled(), 10u);
+    EXPECT_DOUBLE_EQ(u.oscillator_duty(), 1.0);
+}
+
+TEST(SmartUnit, DutyTracksMeasurementActivity) {
+    SmartUnit u(config(), [](int) { return 1e-9; });
+    // Idle ticks then one measurement: duty strictly between 0 and 1.
+    for (int i = 0; i < 500; ++i) u.tick();
+    u.measure_blocking(0);
+    EXPECT_GT(u.oscillator_duty(), 0.0);
+    EXPECT_LT(u.oscillator_duty(), 0.5);
+}
+
+TEST(SmartUnit, StartIgnoredWhileBusy) {
+    SmartUnit u(config(), [](int) { return 1e-9; });
+    u.write(reg::kCtrl, kCtrlStart);
+    for (int i = 0; i < 10; ++i) u.tick(); // In COUNT by now.
+    const UnitState st = u.state();
+    u.write(reg::kCtrl, kCtrlStart); // Must not restart.
+    EXPECT_EQ(u.state(), st);
+}
+
+TEST(SmartUnit, WriteToReadOnlyThrows) {
+    SmartUnit u(config(), [](int) { return 1e-9; });
+    EXPECT_THROW(u.write(reg::kData, 1), std::invalid_argument);
+    EXPECT_THROW(u.read(99), std::invalid_argument);
+}
+
+TEST(SmartUnit, BadProviderPeriodThrows) {
+    SmartUnit u(config(), [](int) { return -1.0; });
+    u.write(reg::kCtrl, kCtrlStart);
+    for (int i = 0; i < 4; ++i) u.tick(); // Settle.
+    EXPECT_THROW(u.tick(), std::runtime_error);
+}
+
+TEST(SmartUnit, ZeroSettleGoesStraightToCount) {
+    SmartUnit u(config(GatingScheme::OscWindow, 1, 0), [](int) { return 1e-9; });
+    u.write(reg::kCtrl, kCtrlStart);
+    EXPECT_EQ(u.state(), UnitState::Count);
+}
+
+TEST(SmartUnit, MeasureBlockingTimesOut) {
+    // Absurdly slow oscillator: the gate can't close within the budget.
+    SmartUnit u(config(), [](int) { return 1.0; });
+    EXPECT_THROW(u.measure_blocking(0, 100), std::runtime_error);
+}
+
+TEST(SmartUnit, CyclesCounterReadable) {
+    SmartUnit u(config(), [](int) { return 1e-9; });
+    for (int i = 0; i < 7; ++i) u.tick();
+    EXPECT_EQ(u.read(reg::kCycles), 7u);
+}
+
+TEST(SmartUnit, ThresholdRegisterReadsBack) {
+    SmartUnit u(config(), [](int) { return 1e-9; });
+    EXPECT_EQ(u.read(reg::kThreshold), 0u);
+    u.write(reg::kThreshold, 123);
+    EXPECT_EQ(u.read(reg::kThreshold), 123u);
+}
+
+TEST(SmartUnit, AlarmLatchesOnHotCode) {
+    SmartUnit u(config(), [](int) { return 1e-9; }); // Code ~100.
+    u.write(reg::kThreshold, 90);
+    u.measure_blocking(0);
+    EXPECT_TRUE(u.alarm());
+    EXPECT_NE(u.read(reg::kStatus) & kStatusAlarm, 0u);
+}
+
+TEST(SmartUnit, NoAlarmBelowThreshold) {
+    SmartUnit u(config(), [](int) { return 1e-9; });
+    u.write(reg::kThreshold, 200);
+    u.measure_blocking(0);
+    EXPECT_FALSE(u.alarm());
+}
+
+TEST(SmartUnit, ZeroThresholdDisablesAlarm) {
+    SmartUnit u(config(), [](int) { return 1e-9; });
+    u.measure_blocking(0);
+    EXPECT_FALSE(u.alarm());
+}
+
+TEST(SmartUnit, AlarmStickyUntilThresholdRewrite) {
+    // Channel 1 is hot (3 ns), channel 0 cool (1 ns).
+    SmartUnit u(config(GatingScheme::OscWindow, 2),
+                [](int ch) { return ch == 1 ? 3e-9 : 1e-9; });
+    u.write(reg::kThreshold, 200);
+    u.measure_blocking(1); // Code ~300 -> alarm from channel 1.
+    ASSERT_TRUE(u.alarm());
+    EXPECT_EQ(u.alarm_channel(), 1);
+    EXPECT_EQ((u.read(reg::kStatus) >> kStatusAlarmChShift) & 0xFFu, 1u);
+    // A cool measurement does not clear it.
+    u.measure_blocking(0);
+    EXPECT_TRUE(u.alarm());
+    // Rewriting the threshold re-arms.
+    u.write(reg::kThreshold, 200);
+    EXPECT_FALSE(u.alarm());
+}
+
+TEST(SmartUnit, AutoScanVisitsEveryChannel) {
+    SmartUnit u(config(GatingScheme::OscWindow, 4),
+                [](int ch) { return (1.0 + ch) * 1e-9; });
+    u.scan_all_blocking();
+    // Per-channel codes proportional to (1 + ch).
+    const double c0 = static_cast<double>(u.channel_data(0));
+    for (int ch = 1; ch < 4; ++ch) {
+        EXPECT_NEAR(static_cast<double>(u.channel_data(ch)) / c0, 1.0 + ch, 0.1)
+            << "ch " << ch;
+        EXPECT_EQ(u.read(reg::kChanBase + static_cast<std::uint32_t>(ch)),
+                  u.channel_data(ch));
+    }
+    EXPECT_GE(u.measurements_done(), 4u);
+    EXPECT_TRUE(u.scanning());
+}
+
+TEST(SmartUnit, ScanKeepsCyclingUntilStopped) {
+    SmartUnit u(config(GatingScheme::OscWindow, 2), [](int) { return 1e-9; });
+    u.scan_all_blocking();
+    const std::uint64_t after_first = u.measurements_done();
+    for (int i = 0; i < 2000; ++i) u.tick();
+    EXPECT_GT(u.measurements_done(), after_first);
+    // Clearing the scan bit stops after the in-flight measurement.
+    u.write(reg::kCtrl, 0);
+    while (u.busy()) u.tick();
+    const std::uint64_t frozen = u.measurements_done();
+    for (int i = 0; i < 2000; ++i) u.tick();
+    EXPECT_EQ(u.measurements_done(), frozen);
+}
+
+TEST(SmartUnit, ScanWithAlarmFlagsHotChannel) {
+    // Channel 2 of 4 runs hot.
+    SmartUnit u(config(GatingScheme::OscWindow, 4),
+                [](int ch) { return ch == 2 ? 4e-9 : 1e-9; });
+    u.write(reg::kThreshold, 250);
+    u.scan_all_blocking();
+    EXPECT_TRUE(u.alarm());
+    EXPECT_EQ(u.alarm_channel(), 2);
+}
+
+TEST(SmartUnit, ChannelDataRangeChecked) {
+    SmartUnit u(config(GatingScheme::OscWindow, 2), [](int) { return 1e-9; });
+    EXPECT_THROW(u.channel_data(2), std::invalid_argument);
+    EXPECT_THROW(u.channel_data(-1), std::invalid_argument);
+    EXPECT_THROW(u.read(reg::kChanBase + 2), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::digital

@@ -1,0 +1,72 @@
+#include "dtm/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::dtm {
+namespace {
+
+ThrottlePolicy policy(double trip = 110.0, double release = 100.0,
+                      double factor = 0.5) {
+    ThrottlePolicy p;
+    p.trip_c = trip;
+    p.release_c = release;
+    p.throttle_factor = factor;
+    return p;
+}
+
+TEST(ThrottlePolicy, Validation) {
+    EXPECT_NO_THROW(validate(policy()));
+    EXPECT_THROW(validate(policy(100.0, 100.0)), std::invalid_argument);
+    EXPECT_THROW(validate(policy(100.0, 110.0)), std::invalid_argument);
+    EXPECT_THROW(validate(policy(110.0, 100.0, 0.0)), std::invalid_argument);
+    EXPECT_THROW(validate(policy(110.0, 100.0, 1.5)), std::invalid_argument);
+}
+
+TEST(ThrottleController, StartsAtFullSpeed) {
+    ThrottleController c(policy());
+    EXPECT_FALSE(c.throttled());
+    EXPECT_DOUBLE_EQ(c.power_factor(), 1.0);
+    EXPECT_EQ(c.transitions(), 0);
+}
+
+TEST(ThrottleController, TripsAtThreshold) {
+    ThrottleController c(policy());
+    EXPECT_DOUBLE_EQ(c.update(109.9), 1.0);
+    EXPECT_DOUBLE_EQ(c.update(110.0), 0.5);
+    EXPECT_TRUE(c.throttled());
+    EXPECT_EQ(c.transitions(), 1);
+}
+
+TEST(ThrottleController, HysteresisHoldsBetweenThresholds) {
+    ThrottleController c(policy());
+    c.update(115.0); // Trip.
+    // Inside the hysteresis band: stays throttled.
+    EXPECT_DOUBLE_EQ(c.update(105.0), 0.5);
+    EXPECT_DOUBLE_EQ(c.update(101.0), 0.5);
+    // Below release: recovers.
+    EXPECT_DOUBLE_EQ(c.update(100.0), 1.0);
+    EXPECT_FALSE(c.throttled());
+    EXPECT_EQ(c.transitions(), 2);
+}
+
+TEST(ThrottleController, NoThrashingInsideBand) {
+    ThrottleController c(policy());
+    c.update(112.0);
+    for (int i = 0; i < 100; ++i) {
+        c.update(105.0 + (i % 2)); // Oscillating reading inside the band.
+    }
+    EXPECT_EQ(c.transitions(), 1); // Only the initial trip.
+}
+
+TEST(ThrottleController, RepeatedCycles) {
+    ThrottleController c(policy());
+    for (int i = 0; i < 5; ++i) {
+        c.update(111.0);
+        c.update(99.0);
+    }
+    EXPECT_EQ(c.transitions(), 10);
+    EXPECT_FALSE(c.throttled());
+}
+
+} // namespace
+} // namespace stsense::dtm

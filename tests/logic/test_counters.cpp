@@ -1,0 +1,237 @@
+#include "logic/counters.hpp"
+
+#include "digital/period_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stsense::logic {
+namespace {
+
+struct CounterBench {
+    Circuit circuit;
+    NetId clk;
+    NetId rst;
+    RippleCounter counter;
+};
+
+CounterBench make_counter(int bits) {
+    CounterBench b;
+    b.clk = b.circuit.add_net("clk");
+    b.rst = b.circuit.add_net("rst");
+    b.counter = build_ripple_counter(b.circuit, b.clk, b.rst, bits, "c");
+    return b;
+}
+
+std::uint32_t count_after_edges(int bits, int edges) {
+    CounterBench b = make_counter(bits);
+    Simulator sim(b.circuit);
+    sim.set_input(b.rst, Level::One, 0.0);
+    sim.set_input(b.clk, Level::Zero, 0.0);
+    sim.set_input(b.rst, Level::Zero, 50.0);
+    const double period = 500.0;
+    sim.schedule_clock(b.clk, period, 100.0, 100.0 + edges * period);
+    sim.run_until(100.0 + (edges + 2) * period);
+    return read_bits(sim, b.counter.q);
+}
+
+TEST(RippleCounter, ResetClearsAllBits) {
+    CounterBench b = make_counter(4);
+    Simulator sim(b.circuit);
+    sim.set_input(b.rst, Level::One, 0.0);
+    sim.run_until(100.0);
+    EXPECT_EQ(read_bits(sim, b.counter.q), 0u);
+}
+
+TEST(RippleCounter, WithoutResetStateIsX) {
+    CounterBench b = make_counter(2);
+    Simulator sim(b.circuit);
+    sim.set_input(b.clk, Level::Zero, 0.0);
+    sim.set_input(b.clk, Level::One, 10.0);
+    sim.run_until(100.0);
+    EXPECT_THROW(read_bits(sim, b.counter.q), std::runtime_error);
+}
+
+class RippleCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RippleCountTest, CountsEdgesExactly) {
+    const int edges = GetParam();
+    EXPECT_EQ(count_after_edges(6, edges), static_cast<std::uint32_t>(edges % 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgeCounts, RippleCountTest,
+                         ::testing::Values(0, 1, 2, 3, 7, 8, 15, 31, 40, 63, 64,
+                                           70));
+
+TEST(RippleCounter, BitValidation) {
+    Circuit c;
+    const NetId clk = c.add_net("clk");
+    const NetId rst = c.add_net("rst");
+    EXPECT_THROW(build_ripple_counter(c, clk, rst, 0, "x"), std::invalid_argument);
+    EXPECT_THROW(build_ripple_counter(c, clk, rst, 40, "x"), std::invalid_argument);
+}
+
+// ---- Gate-level OscWindow counter vs the behavioural model -----------
+
+struct WindowParam {
+    double osc_period_ps;
+    double ref_period_ps;
+    int divider_bits;
+};
+
+class OscWindowGateLevelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OscWindowGateLevelTest, MatchesBehaviouralCode) {
+    const int divider_bits = 6;
+    const double ref_period = 8000.0;
+    // Parameterized oscillator period [ps].
+    const double osc_period = 400.0 + 130.0 * GetParam();
+
+    Circuit circuit;
+    const OscWindowCounter counter =
+        build_osc_window_counter(circuit, divider_bits, 12);
+    const auto code = run_gate_level_measurement(circuit, counter, osc_period,
+                                                 ref_period, 5e6);
+    ASSERT_TRUE(code.has_value());
+
+    // Behavioural expectation: ref edges inside 2^div osc periods.
+    const double expected = (1 << divider_bits) * osc_period / ref_period;
+    EXPECT_NEAR(static_cast<double>(*code), expected, 2.0)
+        << "osc period " << osc_period;
+}
+
+INSTANTIATE_TEST_SUITE_P(OscPeriods, OscWindowGateLevelTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(OscWindowGateLevel, TracksTemperatureLikeTheModel) {
+    // Feed the gate-level counter the analytic ring periods at two
+    // temperatures: the code ratio must match the period ratio.
+    const int divider_bits = 7;
+    const double ref_period = 4000.0;
+
+    auto code_for = [&](double osc_period_ps) {
+        Circuit circuit;
+        const OscWindowCounter counter =
+            build_osc_window_counter(circuit, divider_bits, 12);
+        const auto code = run_gate_level_measurement(circuit, counter,
+                                                     osc_period_ps, ref_period,
+                                                     5e6);
+        EXPECT_TRUE(code.has_value());
+        return static_cast<double>(code.value_or(0));
+    };
+
+    const double cold = code_for(500.0);  // Fast ring.
+    const double hot = code_for(650.0);   // 30 % slower ring.
+    EXPECT_NEAR(hot / cold, 650.0 / 500.0, 0.12);
+}
+
+TEST(OscWindowGateLevel, DoneFreezesTheState) {
+    Circuit circuit;
+    const OscWindowCounter counter = build_osc_window_counter(circuit, 4, 10);
+    Simulator sim(circuit);
+    sim.set_input(counter.rst, Level::One, 0.0);
+    sim.set_input(counter.osc, Level::Zero, 0.0);
+    sim.set_input(counter.ref, Level::Zero, 0.0);
+    sim.set_input(counter.rst, Level::Zero, 100.0);
+    sim.schedule_clock(counter.osc, 500.0, 200.0, 100000.0);
+    sim.schedule_clock(counter.ref, 3000.0, 250.0, 100000.0);
+
+    sim.run_until(30000.0);
+    ASSERT_EQ(sim.value(counter.done), Level::One);
+    const std::uint32_t frozen = read_bits(sim, counter.count);
+    // Keep clocking for a long time: the code must not move.
+    sim.run_until(90000.0);
+    EXPECT_EQ(read_bits(sim, counter.count), frozen);
+    EXPECT_EQ(sim.value(counter.gate_open), Level::Zero);
+}
+
+TEST(OscWindowGateLevel, BuilderValidation) {
+    Circuit c;
+    EXPECT_THROW(build_osc_window_counter(c, 0, 8), std::invalid_argument);
+    Circuit c2;
+    EXPECT_THROW(build_osc_window_counter(c2, 4, 0), std::invalid_argument);
+}
+
+// Exhaustive check of the gate-level comparator over all 4-bit pairs —
+// 256 combinations against the arithmetic truth.
+TEST(GeComparator, ExhaustiveFourBit) {
+    Circuit circuit;
+    std::vector<NetId> a;
+    std::vector<NetId> b;
+    for (int i = 0; i < 4; ++i) {
+        a.push_back(circuit.add_net("a" + std::to_string(i)));
+        b.push_back(circuit.add_net("b" + std::to_string(i)));
+    }
+    const NetId ge = build_ge_comparator(circuit, a, b, "cmp");
+
+    Simulator sim(circuit);
+    double t = 0.0;
+    for (unsigned va = 0; va < 16; ++va) {
+        for (unsigned vb = 0; vb < 16; ++vb) {
+            t += 1000.0;
+            for (int i = 0; i < 4; ++i) {
+                sim.set_input(a[static_cast<std::size_t>(i)],
+                              (va >> i) & 1 ? Level::One : Level::Zero, t);
+                sim.set_input(b[static_cast<std::size_t>(i)],
+                              (vb >> i) & 1 ? Level::One : Level::Zero, t);
+            }
+            sim.run_until(t + 900.0);
+            const Level expect = va >= vb ? Level::One : Level::Zero;
+            EXPECT_EQ(sim.value(ge), expect) << va << " >= " << vb;
+        }
+    }
+}
+
+TEST(GeComparator, AlarmOnCounterOutput) {
+    // The full gate-level alarm path: counter bits vs a threshold held
+    // on primary inputs. Count 5 clock edges against threshold 4 and 6.
+    Circuit circuit;
+    const NetId clk = circuit.add_net("clk");
+    const NetId rst = circuit.add_net("rst");
+    const RippleCounter counter = build_ripple_counter(circuit, clk, rst, 4, "c");
+    std::vector<NetId> thresh;
+    for (int i = 0; i < 4; ++i) {
+        thresh.push_back(circuit.add_net("t" + std::to_string(i)));
+    }
+    const NetId alarm = build_ge_comparator(circuit, counter.q, thresh, "alarm");
+
+    Simulator sim(circuit);
+    auto set_thresh = [&](unsigned v, double t) {
+        for (int i = 0; i < 4; ++i) {
+            sim.set_input(thresh[static_cast<std::size_t>(i)],
+                          (v >> i) & 1 ? Level::One : Level::Zero, t);
+        }
+    };
+    sim.set_input(rst, Level::One, 0.0);
+    sim.set_input(clk, Level::Zero, 0.0);
+    set_thresh(4, 0.0);
+    sim.set_input(rst, Level::Zero, 100.0);
+    sim.schedule_clock(clk, 500.0, 200.0, 200.0 + 5 * 500.0); // 5 edges.
+    sim.run_until(4000.0);
+    EXPECT_EQ(read_bits(sim, counter.q), 5u);
+    EXPECT_EQ(sim.value(alarm), Level::One); // 5 >= 4.
+    set_thresh(6, 4100.0);
+    sim.run_until(4500.0);
+    EXPECT_EQ(sim.value(alarm), Level::Zero); // 5 < 6.
+}
+
+TEST(GeComparator, WidthValidation) {
+    Circuit c;
+    std::vector<NetId> a{c.add_net("a0")};
+    std::vector<NetId> b{c.add_net("b0"), c.add_net("b1")};
+    EXPECT_THROW(build_ge_comparator(c, a, b, "x"), std::invalid_argument);
+    EXPECT_THROW(build_ge_comparator(c, {}, {}, "x"), std::invalid_argument);
+}
+
+TEST(OscWindowGateLevel, TimeoutReturnsNullopt) {
+    Circuit circuit;
+    const OscWindowCounter counter = build_osc_window_counter(circuit, 10, 12);
+    // Budget far too small for 1024 oscillator periods.
+    const auto code =
+        run_gate_level_measurement(circuit, counter, 1000.0, 8000.0, 5e4);
+    EXPECT_FALSE(code.has_value());
+}
+
+} // namespace
+} // namespace stsense::logic

@@ -1,0 +1,53 @@
+#include "logic/level.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::logic {
+namespace {
+
+TEST(Level, NotTruthTable) {
+    EXPECT_EQ(lnot(Level::Zero), Level::One);
+    EXPECT_EQ(lnot(Level::One), Level::Zero);
+    EXPECT_EQ(lnot(Level::X), Level::X);
+}
+
+TEST(Level, AndControllingZero) {
+    // 0 dominates even against X.
+    EXPECT_EQ(land(Level::Zero, Level::X), Level::Zero);
+    EXPECT_EQ(land(Level::X, Level::Zero), Level::Zero);
+    EXPECT_EQ(land(Level::One, Level::One), Level::One);
+    EXPECT_EQ(land(Level::One, Level::X), Level::X);
+}
+
+TEST(Level, OrControllingOne) {
+    EXPECT_EQ(lor(Level::One, Level::X), Level::One);
+    EXPECT_EQ(lor(Level::X, Level::One), Level::One);
+    EXPECT_EQ(lor(Level::Zero, Level::Zero), Level::Zero);
+    EXPECT_EQ(lor(Level::Zero, Level::X), Level::X);
+}
+
+TEST(Level, XorPropagatesX) {
+    EXPECT_EQ(lxor(Level::One, Level::Zero), Level::One);
+    EXPECT_EQ(lxor(Level::One, Level::One), Level::Zero);
+    EXPECT_EQ(lxor(Level::One, Level::X), Level::X);
+    EXPECT_EQ(lxor(Level::X, Level::Zero), Level::X);
+}
+
+TEST(Level, ToChar) {
+    EXPECT_EQ(to_char(Level::Zero), '0');
+    EXPECT_EQ(to_char(Level::One), '1');
+    EXPECT_EQ(to_char(Level::X), 'x');
+}
+
+// De Morgan over all 9 input pairs (property check).
+TEST(Level, DeMorganHoldsWithX) {
+    for (Level a : {Level::Zero, Level::One, Level::X}) {
+        for (Level b : {Level::Zero, Level::One, Level::X}) {
+            EXPECT_EQ(lnot(land(a, b)), lor(lnot(a), lnot(b)));
+            EXPECT_EQ(lnot(lor(a, b)), land(lnot(a), lnot(b)));
+        }
+    }
+}
+
+} // namespace
+} // namespace stsense::logic

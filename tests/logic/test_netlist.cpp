@@ -1,0 +1,78 @@
+#include "logic/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::logic {
+namespace {
+
+TEST(GateEval, AllKindsAgainstTruthTables) {
+    using L = Level;
+    EXPECT_EQ(evaluate_gate(GateKind::Buf, {L::One}), L::One);
+    EXPECT_EQ(evaluate_gate(GateKind::Inv, {L::One}), L::Zero);
+    EXPECT_EQ(evaluate_gate(GateKind::And2, {L::One, L::Zero}), L::Zero);
+    EXPECT_EQ(evaluate_gate(GateKind::Or2, {L::One, L::Zero}), L::One);
+    EXPECT_EQ(evaluate_gate(GateKind::Xor2, {L::One, L::One}), L::Zero);
+    EXPECT_EQ(evaluate_gate(GateKind::Nand2, {L::One, L::One}), L::Zero);
+    EXPECT_EQ(evaluate_gate(GateKind::Nor2, {L::Zero, L::Zero}), L::One);
+    EXPECT_EQ(evaluate_gate(GateKind::Nand3, {L::One, L::One, L::Zero}), L::One);
+    EXPECT_EQ(evaluate_gate(GateKind::Nor3, {L::Zero, L::Zero, L::One}), L::Zero);
+}
+
+TEST(GateEval, InputCountChecked) {
+    EXPECT_THROW(evaluate_gate(GateKind::Nand2, {Level::One}),
+                 std::invalid_argument);
+}
+
+TEST(GateInputCount, MatchesKinds) {
+    EXPECT_EQ(gate_input_count(GateKind::Inv), 1);
+    EXPECT_EQ(gate_input_count(GateKind::Nand2), 2);
+    EXPECT_EQ(gate_input_count(GateKind::Nor3), 3);
+}
+
+TEST(LogicCircuit, NetBookkeeping) {
+    Circuit c;
+    const NetId a = c.add_net("a");
+    const NetId y = c.add_net("y");
+    EXPECT_EQ(c.net_count(), 2u);
+    EXPECT_EQ(c.net_name(a), "a");
+    EXPECT_FALSE(c.has_driver(y));
+    c.add_gate(GateKind::Inv, {a}, y);
+    EXPECT_TRUE(c.has_driver(y));
+    EXPECT_EQ(c.gate_fanout(a).size(), 1u);
+}
+
+TEST(LogicCircuit, RejectsDoubleDriver) {
+    Circuit c;
+    const NetId a = c.add_net("a");
+    const NetId y = c.add_net("y");
+    c.add_gate(GateKind::Inv, {a}, y);
+    EXPECT_THROW(c.add_gate(GateKind::Buf, {a}, y), std::invalid_argument);
+
+    const NetId q = c.add_net("q");
+    c.add_dff(a, y, a, q);
+    EXPECT_THROW(c.add_dff(a, y, a, q), std::invalid_argument);
+}
+
+TEST(LogicCircuit, RejectsBadGate) {
+    Circuit c;
+    const NetId a = c.add_net("a");
+    const NetId y = c.add_net("y");
+    EXPECT_THROW(c.add_gate(GateKind::Nand2, {a}, y), std::invalid_argument);
+    EXPECT_THROW(c.add_gate(GateKind::Inv, {a}, y, 0.0), std::invalid_argument);
+    EXPECT_THROW(c.add_gate(GateKind::Inv, {NetId{99}}, y), std::invalid_argument);
+}
+
+TEST(LogicCircuit, DffFanoutTracksClkAndRst) {
+    Circuit c;
+    const NetId clk = c.add_net("clk");
+    const NetId d = c.add_net("d");
+    const NetId rst = c.add_net("rst");
+    const NetId q = c.add_net("q");
+    c.add_dff(clk, d, rst, q);
+    EXPECT_EQ(c.dff_fanout(clk).size(), 1u);
+    EXPECT_EQ(c.dff_fanout(rst).size(), 1u);
+    EXPECT_TRUE(c.dff_fanout(d).empty()); // D is sampled, not a trigger.
+}
+
+} // namespace
+} // namespace stsense::logic

@@ -1,0 +1,166 @@
+#include "logic/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::logic {
+namespace {
+
+TEST(LogicSim, AllNetsStartAtX) {
+    Circuit c;
+    const NetId a = c.add_net("a");
+    Simulator sim(c);
+    EXPECT_EQ(sim.value(a), Level::X);
+}
+
+TEST(LogicSim, InverterPropagatesAfterDelay) {
+    Circuit c;
+    const NetId a = c.add_net("a");
+    const NetId y = c.add_net("y");
+    c.add_gate(GateKind::Inv, {a}, y, 10.0);
+
+    Simulator sim(c);
+    sim.set_input(a, Level::Zero, 0.0);
+    sim.run_until(5.0);
+    EXPECT_EQ(sim.value(a), Level::Zero);
+    EXPECT_EQ(sim.value(y), Level::X); // Change still in flight.
+    sim.run_until(15.0);
+    EXPECT_EQ(sim.value(y), Level::One);
+}
+
+TEST(LogicSim, ChainAccumulatesDelay) {
+    Circuit c;
+    const NetId a = c.add_net("a");
+    const NetId b = c.add_net("b");
+    const NetId y = c.add_net("y");
+    c.add_gate(GateKind::Inv, {a}, b, 10.0);
+    c.add_gate(GateKind::Inv, {b}, y, 10.0);
+
+    Simulator sim(c);
+    sim.record(y);
+    sim.set_input(a, Level::Zero, 0.0);
+    sim.set_input(a, Level::One, 100.0);
+    sim.run_until(200.0);
+    const auto& h = sim.history(y);
+    ASSERT_EQ(h.size(), 2u);           // X->0 then 0->1... wait: a=0 -> y=0.
+    EXPECT_DOUBLE_EQ(h[0].time_ps, 20.0);
+    EXPECT_EQ(h[0].level, Level::Zero);
+    EXPECT_DOUBLE_EQ(h[1].time_ps, 120.0);
+    EXPECT_EQ(h[1].level, Level::One);
+}
+
+TEST(LogicSim, SetInputOnDrivenNetRejected) {
+    Circuit c;
+    const NetId a = c.add_net("a");
+    const NetId y = c.add_net("y");
+    c.add_gate(GateKind::Inv, {a}, y);
+    Simulator sim(c);
+    EXPECT_THROW(sim.set_input(y, Level::One, 0.0), std::invalid_argument);
+}
+
+TEST(LogicSim, PastEventRejected) {
+    Circuit c;
+    const NetId a = c.add_net("a");
+    Simulator sim(c);
+    sim.run_until(100.0);
+    EXPECT_THROW(sim.set_input(a, Level::One, 50.0), std::invalid_argument);
+}
+
+TEST(LogicSim, DffSamplesOnRisingEdgeOnly) {
+    Circuit c;
+    const NetId clk = c.add_net("clk");
+    const NetId d = c.add_net("d");
+    const NetId rst = c.add_net("rst");
+    const NetId q = c.add_net("q");
+    c.add_dff(clk, d, rst, q, 20.0);
+
+    Simulator sim(c);
+    sim.set_input(rst, Level::Zero, 0.0);
+    sim.set_input(d, Level::One, 0.0);
+    sim.set_input(clk, Level::Zero, 0.0);
+    sim.run_until(50.0);
+    EXPECT_EQ(sim.value(q), Level::X); // No edge yet.
+
+    sim.set_input(clk, Level::One, 100.0); // Rising edge.
+    sim.run_until(130.0);
+    EXPECT_EQ(sim.value(q), Level::One);
+
+    sim.set_input(d, Level::Zero, 150.0);
+    sim.set_input(clk, Level::Zero, 200.0); // Falling edge: no sample.
+    sim.run_until(250.0);
+    EXPECT_EQ(sim.value(q), Level::One);
+}
+
+TEST(LogicSim, AsyncResetForcesLow) {
+    Circuit c;
+    const NetId clk = c.add_net("clk");
+    const NetId d = c.add_net("d");
+    const NetId rst = c.add_net("rst");
+    const NetId q = c.add_net("q");
+    c.add_dff(clk, d, rst, q, 20.0);
+
+    Simulator sim(c);
+    sim.set_input(d, Level::One, 0.0);
+    sim.set_input(clk, Level::Zero, 0.0);
+    sim.set_input(rst, Level::One, 10.0); // No clock needed.
+    sim.run_until(50.0);
+    EXPECT_EQ(sim.value(q), Level::Zero);
+
+    // Clock edges while reset held: q stays low.
+    sim.set_input(clk, Level::One, 60.0);
+    sim.run_until(100.0);
+    EXPECT_EQ(sim.value(q), Level::Zero);
+}
+
+TEST(LogicSim, ScheduleClockGeneratesEdges) {
+    Circuit c;
+    const NetId clk = c.add_net("clk");
+    Simulator sim(c);
+    sim.record(clk);
+    sim.schedule_clock(clk, 100.0, 0.0, 500.0);
+    sim.run_until(500.0);
+    // Edges at 0, 50, 100, ... 450 -> 10 changes (X->1 counts).
+    EXPECT_EQ(sim.history(clk).size(), 10u);
+}
+
+TEST(LogicSim, RingOfInvertersOscillates) {
+    // The logic-level analogue of the paper's ring: 3 inverters in a
+    // loop, kicked by an initial value, oscillate with period
+    // 2 * sum(delays).
+    Circuit c;
+    const NetId n0 = c.add_net("n0");
+    const NetId n1 = c.add_net("n1");
+    const NetId n2 = c.add_net("n2");
+    // n0 is externally kickable: drive it through a BUF from a seed net
+    // merged via... simplest: or-gate with a seed input.
+    const NetId seed = c.add_net("seed");
+    const NetId loop_in = c.add_net("loop_in");
+    c.add_gate(GateKind::Or2, {n2, seed}, loop_in, 5.0);
+    c.add_gate(GateKind::Inv, {loop_in}, n0, 10.0);
+    c.add_gate(GateKind::Inv, {n0}, n1, 10.0);
+    c.add_gate(GateKind::Inv, {n1}, n2, 10.0);
+
+    Simulator sim(c);
+    sim.record(n2);
+    sim.set_input(seed, Level::One, 0.0);
+    sim.set_input(seed, Level::Zero, 40.0);
+    sim.run_until(1000.0);
+    // Period = 2 * (5 + 10 + 10 + 10) = 70 ps -> ~13 full cycles after
+    // startup; expect > 20 recorded changes.
+    EXPECT_GT(sim.history(n2).size(), 20u);
+}
+
+TEST(ReadBits, ConvertsAndRejectsX) {
+    Circuit c;
+    const NetId b0 = c.add_net("b0");
+    const NetId b1 = c.add_net("b1");
+    Simulator sim(c);
+    sim.set_input(b0, Level::One, 0.0);
+    sim.run_until(1.0);
+    EXPECT_THROW(read_bits(sim, {b0, b1}), std::runtime_error); // b1 is X.
+    sim.set_input(b1, Level::One, 2.0);
+    sim.run_until(3.0);
+    EXPECT_EQ(read_bits(sim, {b0, b1}), 3u);
+}
+
+} // namespace
+} // namespace stsense::logic

@@ -1,0 +1,71 @@
+#include "phys/technology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::phys {
+namespace {
+
+TEST(Technology, PresetsAreValid) {
+    EXPECT_NO_THROW(validate(cmos350()));
+    EXPECT_NO_THROW(validate(cmos180()));
+    EXPECT_NO_THROW(validate(cmos130()));
+}
+
+TEST(Technology, LookupByName) {
+    EXPECT_EQ(technology_by_name("cmos350").name, "cmos350");
+    EXPECT_EQ(technology_by_name("cmos180").name, "cmos180");
+    EXPECT_EQ(technology_by_name("cmos130").name, "cmos130");
+    EXPECT_THROW(technology_by_name("cmos65"), std::invalid_argument);
+}
+
+TEST(Technology, ScalingTrendsAcrossNodes) {
+    const Technology t350 = cmos350();
+    const Technology t180 = cmos180();
+    const Technology t130 = cmos130();
+    // Supply, geometry and threshold all shrink with the node.
+    EXPECT_GT(t350.vdd, t180.vdd);
+    EXPECT_GT(t180.vdd, t130.vdd);
+    EXPECT_GT(t350.lmin, t180.lmin);
+    EXPECT_GT(t180.lmin, t130.lmin);
+    EXPECT_GT(t350.nmos.vth0, t130.nmos.vth0);
+}
+
+TEST(Technology, PolaritiesAssigned) {
+    const Technology t = cmos350();
+    EXPECT_EQ(t.nmos.type, MosType::Nmos);
+    EXPECT_EQ(t.pmos.type, MosType::Pmos);
+}
+
+TEST(Technology, PmosWeakerThanNmos) {
+    const Technology t = cmos350();
+    EXPECT_LT(t.pmos.kp, t.nmos.kp);
+}
+
+TEST(TechnologyValidate, RejectsBadValues) {
+    Technology t = cmos350();
+    t.vdd = -1.0;
+    EXPECT_THROW(validate(t), std::invalid_argument);
+
+    t = cmos350();
+    t.nmos.vth0 = 5.0; // Above vdd.
+    EXPECT_THROW(validate(t), std::invalid_argument);
+
+    t = cmos350();
+    t.pmos.kp = 0.0;
+    EXPECT_THROW(validate(t), std::invalid_argument);
+
+    t = cmos350();
+    t.unit_nmos_width = 0.1e-6; // Below wmin.
+    EXPECT_THROW(validate(t), std::invalid_argument);
+
+    t = cmos350();
+    t.library_ratio = 0.0;
+    EXPECT_THROW(validate(t), std::invalid_argument);
+
+    t = cmos350();
+    t.nmos.type = MosType::Pmos; // Wrong card polarity.
+    EXPECT_THROW(validate(t), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::phys

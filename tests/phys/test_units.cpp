@@ -1,0 +1,32 @@
+#include "phys/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::phys {
+namespace {
+
+TEST(Units, CelsiusKelvinRoundTrip) {
+    EXPECT_DOUBLE_EQ(celsius_to_kelvin(0.0), 273.15);
+    EXPECT_DOUBLE_EQ(celsius_to_kelvin(27.0), 300.15);
+    EXPECT_DOUBLE_EQ(kelvin_to_celsius(celsius_to_kelvin(-50.0)), -50.0);
+    EXPECT_DOUBLE_EQ(kelvin_to_celsius(celsius_to_kelvin(150.0)), 150.0);
+}
+
+TEST(Units, ThermalVoltageAtRoomTemp) {
+    // kT/q at 300 K is the textbook 25.85 mV.
+    EXPECT_NEAR(thermal_voltage(300.0), 0.02585, 1e-4);
+}
+
+TEST(Units, ThermalVoltageScalesLinearly) {
+    EXPECT_NEAR(thermal_voltage(600.0), 2.0 * thermal_voltage(300.0), 1e-15);
+}
+
+TEST(Units, MagnitudeHelpers) {
+    EXPECT_DOUBLE_EQ(micro(3.0), 3e-6);
+    EXPECT_DOUBLE_EQ(nano(3.0), 3e-9);
+    EXPECT_DOUBLE_EQ(pico(3.0), 3e-12);
+    EXPECT_DOUBLE_EQ(femto(3.0), 3e-15);
+}
+
+} // namespace
+} // namespace stsense::phys

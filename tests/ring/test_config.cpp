@@ -1,0 +1,78 @@
+#include "ring/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::ring {
+namespace {
+
+using cells::CellKind;
+
+TEST(RingConfig, UniformBuildsIdenticalStages) {
+    const auto c = RingConfig::uniform(CellKind::Inv, 5, 2.5);
+    ASSERT_EQ(c.stage_count(), 5u);
+    for (const auto& s : c.stages) {
+        EXPECT_EQ(s.kind, CellKind::Inv);
+        EXPECT_DOUBLE_EQ(s.ratio, 2.5);
+    }
+}
+
+TEST(RingConfig, UniformRejectsNonPositiveCount) {
+    EXPECT_THROW(RingConfig::uniform(CellKind::Inv, 0), std::invalid_argument);
+}
+
+TEST(RingConfig, MixInterleavesRoundRobin) {
+    const auto c = RingConfig::mix({{CellKind::Inv, 3}, {CellKind::Nand3, 2}});
+    ASSERT_EQ(c.stage_count(), 5u);
+    // Round-robin: INV NAND3 INV NAND3 INV.
+    EXPECT_EQ(c.stages[0].kind, CellKind::Inv);
+    EXPECT_EQ(c.stages[1].kind, CellKind::Nand3);
+    EXPECT_EQ(c.stages[2].kind, CellKind::Inv);
+    EXPECT_EQ(c.stages[3].kind, CellKind::Nand3);
+    EXPECT_EQ(c.stages[4].kind, CellKind::Inv);
+}
+
+TEST(RingConfig, MixNegativeCountThrows) {
+    EXPECT_THROW(RingConfig::mix({{CellKind::Inv, -1}}), std::invalid_argument);
+}
+
+TEST(RingValidate, AcceptsOddRings) {
+    EXPECT_NO_THROW(validate(RingConfig::uniform(CellKind::Inv, 3)));
+    EXPECT_NO_THROW(validate(RingConfig::uniform(CellKind::Nand2, 21)));
+}
+
+TEST(RingValidate, RejectsEvenOrShortRings) {
+    EXPECT_THROW(validate(RingConfig::uniform(CellKind::Inv, 4)),
+                 std::invalid_argument);
+    EXPECT_THROW(validate(RingConfig::uniform(CellKind::Inv, 1)),
+                 std::invalid_argument);
+}
+
+TEST(RingValidate, RejectsBadStage) {
+    auto c = RingConfig::uniform(CellKind::Inv, 5);
+    c.stages[2].drive = -1.0;
+    EXPECT_THROW(validate(c), std::invalid_argument);
+}
+
+TEST(RingDescribe, CountsByKind) {
+    const auto c = RingConfig::mix({{CellKind::Inv, 2}, {CellKind::Nand2, 3}});
+    const std::string d = describe(c);
+    EXPECT_NE(d.find("2xINV"), std::string::npos);
+    EXPECT_NE(d.find("3xNAND2"), std::string::npos);
+    EXPECT_NE(d.find("r=lib"), std::string::npos);
+}
+
+TEST(RingDescribe, ShowsExplicitRatio) {
+    const auto c = RingConfig::uniform(CellKind::Inv, 5, 2.25);
+    EXPECT_NE(describe(c).find("r=2.25"), std::string::npos);
+}
+
+TEST(PaperGrid, MatchesFigureAxis) {
+    const auto g = paper_temperature_grid_c();
+    ASSERT_EQ(g.size(), 17u);
+    EXPECT_DOUBLE_EQ(g.front(), -50.0);
+    EXPECT_NEAR(g.back(), 150.0, 1e-9);
+    EXPECT_NEAR(g[1] - g[0], 12.5, 1e-12);
+}
+
+} // namespace
+} // namespace stsense::ring

@@ -1,0 +1,158 @@
+#include "ring/analytic.hpp"
+#include "ring/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace stsense::ring {
+namespace {
+
+using cells::CellKind;
+
+MismatchSpec drive_only(double sigma) {
+    MismatchSpec s;
+    s.drive_sigma = sigma;
+    s.vth_sigma_v = 0.0;
+    return s;
+}
+
+MismatchSpec vth_only(double sigma_v) {
+    MismatchSpec s;
+    s.drive_sigma = 0.0;
+    s.vth_sigma_v = sigma_v;
+    return s;
+}
+
+double period_spread_rel(const phys::Technology& tech, const RingConfig& base,
+                         const MismatchSpec& spec, std::uint64_t seed,
+                         int n = 100) {
+    const double p0 = AnalyticRingModel(tech, base).period(300.0);
+    util::Rng rng(seed);
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const auto varied = sample_stage_mismatch(base, spec, rng);
+        const double p = AnalyticRingModel(tech, varied).period(300.0);
+        sum_sq += (p - p0) * (p - p0);
+    }
+    return std::sqrt(sum_sq / n) / p0;
+}
+
+TEST(StageMismatch, ZeroSigmaIsIdentity) {
+    const auto base = RingConfig::uniform(CellKind::Inv, 5, 2.5);
+    util::Rng rng(1);
+    MismatchSpec zero;
+    zero.drive_sigma = 0.0;
+    zero.vth_sigma_v = 0.0;
+    const auto varied = sample_stage_mismatch(base, zero, rng);
+    for (std::size_t i = 0; i < base.stages.size(); ++i) {
+        EXPECT_DOUBLE_EQ(varied.stages[i].drive, base.stages[i].drive);
+        EXPECT_DOUBLE_EQ(varied.stages[i].vth_shift_v, 0.0);
+    }
+}
+
+TEST(StageMismatch, PerturbsEveryStageIndependently) {
+    const auto base = RingConfig::uniform(CellKind::Inv, 5, 2.5);
+    util::Rng rng(2);
+    const auto varied = sample_stage_mismatch(base, MismatchSpec{}, rng);
+    int drive_changed = 0;
+    int vth_changed = 0;
+    for (std::size_t i = 0; i < base.stages.size(); ++i) {
+        if (varied.stages[i].drive != base.stages[i].drive) ++drive_changed;
+        if (varied.stages[i].vth_shift_v != 0.0) ++vth_changed;
+    }
+    EXPECT_EQ(drive_changed, 5);
+    EXPECT_EQ(vth_changed, 5);
+    EXPECT_NE(varied.stages[0].vth_shift_v, varied.stages[1].vth_shift_v);
+}
+
+TEST(StageMismatch, DrivesStayPositiveAndShiftsBounded) {
+    const auto base = RingConfig::uniform(CellKind::Inv, 5);
+    util::Rng rng(3);
+    MismatchSpec huge;
+    huge.drive_sigma = 0.5;
+    huge.vth_sigma_v = 0.1;
+    for (int i = 0; i < 200; ++i) {
+        const auto varied = sample_stage_mismatch(base, huge, rng);
+        for (const auto& s : varied.stages) {
+            EXPECT_GT(s.drive, 0.0);
+            EXPECT_NO_THROW(cells::validate(s));
+        }
+    }
+}
+
+TEST(StageMismatch, NegativeSigmaThrows) {
+    const auto base = RingConfig::uniform(CellKind::Inv, 5);
+    util::Rng rng(4);
+    EXPECT_THROW(sample_stage_mismatch(base, drive_only(-0.1), rng),
+                 std::invalid_argument);
+    EXPECT_THROW(sample_stage_mismatch(base, vth_only(-0.1), rng),
+                 std::invalid_argument);
+}
+
+TEST(StageMismatch, DriveMismatchCancelsToFirstOrderAroundTheRing) {
+    // Width mismatch scales a stage's current and its input capacitance
+    // together, and the per-stage ratios telescope around the loop: the
+    // linear term vanishes and the spread grows ~ sigma^2.
+    const auto tech = phys::cmos350();
+    const auto base = RingConfig::uniform(CellKind::Inv, 5, 2.5);
+    const double s2 = period_spread_rel(tech, base, drive_only(0.02), 7);
+    const double s8 = period_spread_rel(tech, base, drive_only(0.08), 7);
+    // Quadratic: 4x sigma -> ~16x spread.
+    EXPECT_GT(s8 / s2, 8.0);
+    // And the absolute effect is tiny at realistic sigma.
+    EXPECT_LT(s2, 1e-3);
+}
+
+TEST(StageMismatch, VthMismatchIsFirstOrder) {
+    const auto tech = phys::cmos350();
+    const auto base = RingConfig::uniform(CellKind::Inv, 5, 2.5);
+    const double s1 = period_spread_rel(tech, base, vth_only(0.004), 9);
+    const double s4 = period_spread_rel(tech, base, vth_only(0.016), 9);
+    // Linear: 4x sigma -> ~4x spread.
+    EXPECT_NEAR(s4 / s1, 4.0, 1.2);
+    // And it dominates drive mismatch at realistic magnitudes.
+    EXPECT_GT(s1, period_spread_rel(tech, base, drive_only(0.02), 9));
+}
+
+TEST(StageMismatch, VthShiftSlowsOrSpeedsTheRing) {
+    const auto tech = phys::cmos350();
+    auto cfg = RingConfig::uniform(CellKind::Inv, 5, 2.5);
+    const double p0 = AnalyticRingModel(tech, cfg).period(300.0);
+    for (auto& s : cfg.stages) s.vth_shift_v = 0.02; // Higher Vth everywhere.
+    const double p_slow = AnalyticRingModel(tech, cfg).period(300.0);
+    EXPECT_GT(p_slow, p0 * 1.005);
+    for (auto& s : cfg.stages) s.vth_shift_v = -0.02;
+    const double p_fast = AnalyticRingModel(tech, cfg).period(300.0);
+    EXPECT_LT(p_fast, p0 * 0.995);
+}
+
+TEST(StageMismatch, MismatchBarelyMovesNonlinearity) {
+    // Mismatch is a gain/offset error, not a curvature change: NL stays
+    // close to nominal, which is why it is a *calibration* problem.
+    const auto tech = phys::cmos350();
+    const auto base = RingConfig::uniform(CellKind::Inv, 5, 2.75);
+    const auto grid = paper_temperature_grid_c();
+
+    auto midpoint_dev = [&](const RingConfig& cfg) {
+        const AnalyticRingModel m(tech, cfg);
+        std::vector<double> periods;
+        for (double tc : grid) periods.push_back(m.period(273.15 + tc));
+        const double full = periods.back() - periods.front();
+        const double mid_fit = 0.5 * (periods.front() + periods.back());
+        return std::abs(periods[periods.size() / 2] - mid_fit) / full;
+    };
+
+    util::Rng rng(11);
+    const double nominal = midpoint_dev(base);
+    for (int i = 0; i < 20; ++i) {
+        const double varied =
+            midpoint_dev(sample_stage_mismatch(base, MismatchSpec{}, rng));
+        EXPECT_NEAR(varied, nominal, 0.01);
+    }
+}
+
+} // namespace
+} // namespace stsense::ring

@@ -1,0 +1,117 @@
+#include "ring/spice_ring.hpp"
+
+#include "ring/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace stsense::ring {
+namespace {
+
+using cells::CellKind;
+
+SpiceRingOptions fast_options() {
+    SpiceRingOptions opt;
+    opt.skip_cycles = 2;
+    opt.measure_cycles = 4;
+    opt.steps_per_period = 200;
+    return opt;
+}
+
+TEST(SpiceRing, OscillatesAndMeasuresStablePeriod) {
+    const SpiceRingModel m(phys::cmos350(), RingConfig::uniform(CellKind::Inv, 5, 2.5));
+    const auto r = m.simulate(300.0, fast_options());
+    EXPECT_GT(r.period, 50e-12);
+    EXPECT_LT(r.period, 2e-9);
+    EXPECT_GT(r.cycles_measured, 2);
+    // Cycle-to-cycle jitter of a noiseless simulation is numerical only.
+    EXPECT_LT(r.period_stddev / r.period, 0.02);
+    EXPECT_NEAR(r.frequency * r.period, 1.0, 1e-9);
+}
+
+TEST(SpiceRing, DutyCycleNearHalfForBalancedInverters) {
+    const SpiceRingModel m(phys::cmos350(), RingConfig::uniform(CellKind::Inv, 5, 2.5));
+    const auto r = m.simulate(300.0, fast_options());
+    EXPECT_GT(r.duty_cycle, 0.35);
+    EXPECT_LT(r.duty_cycle, 0.65);
+}
+
+TEST(SpiceRing, AgreesWithAnalyticWithinFactorTwo) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5, 2.5);
+    const double analytic = AnalyticRingModel(tech, cfg).period(300.0);
+    const double spice = SpiceRingModel(tech, cfg).simulate(300.0, fast_options()).period;
+    EXPECT_GT(spice / analytic, 0.6);
+    EXPECT_LT(spice / analytic, 2.0);
+}
+
+TEST(SpiceRing, PeriodIncreasesWithTemperature) {
+    const SpiceRingModel m(phys::cmos350(), RingConfig::uniform(CellKind::Inv, 5, 2.5));
+    const auto opt = fast_options();
+    const double cold = m.simulate(250.0, opt).period;
+    const double room = m.simulate(300.0, opt).period;
+    const double hot = m.simulate(400.0, opt).period;
+    EXPECT_LT(cold, room);
+    EXPECT_LT(room, hot);
+}
+
+TEST(SpiceRing, WaveformRecordingOptional) {
+    const SpiceRingModel m(phys::cmos350(), RingConfig::uniform(CellKind::Inv, 5, 2.5));
+    SpiceRingOptions opt = fast_options();
+    opt.record_waveform = true;
+    EXPECT_FALSE(m.simulate(300.0, opt).waveform.empty());
+    opt.record_waveform = false;
+    EXPECT_TRUE(m.simulate(300.0, opt).waveform.empty());
+}
+
+TEST(SpiceRing, WaveformSwingsRailToRail) {
+    const auto tech = phys::cmos350();
+    const SpiceRingModel m(tech, RingConfig::uniform(CellKind::Inv, 5, 2.5));
+    const auto r = m.simulate(300.0, fast_options());
+    double vmin = tech.vdd;
+    double vmax = 0.0;
+    // Look after startup (second half of the record).
+    for (std::size_t i = r.waveform.size() / 2; i < r.waveform.size(); ++i) {
+        vmin = std::min(vmin, r.waveform.value[i]);
+        vmax = std::max(vmax, r.waveform.value[i]);
+    }
+    EXPECT_LT(vmin, 0.15 * tech.vdd);
+    EXPECT_GT(vmax, 0.85 * tech.vdd);
+}
+
+TEST(SpiceRing, MixedCellRingOscillates) {
+    const auto cfg = RingConfig::mix({{CellKind::Inv, 2}, {CellKind::Nand2, 3}});
+    const SpiceRingModel m(phys::cmos350(), cfg);
+    const auto r = m.simulate(300.0, fast_options());
+    EXPECT_GT(r.period, 0.0);
+}
+
+TEST(SpiceRing, NorRingOscillates) {
+    const SpiceRingModel m(phys::cmos350(), RingConfig::uniform(CellKind::Nor2, 5));
+    EXPECT_GT(m.simulate(300.0, fast_options()).period, 0.0);
+}
+
+TEST(SpiceRing, SupplyPowerCrossChecksAnalyticModel) {
+    // The metered Vdd power of the oscillating ring must agree with the
+    // C*Vdd^2*f estimate the self-heating model uses.
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5, 2.5);
+    const SpiceRingModel m(tech, cfg);
+    const auto r = m.simulate(300.0, fast_options());
+    EXPECT_GT(r.avg_supply_power_w, 1e-4);
+    EXPECT_LT(r.avg_supply_power_w, 1e-2);
+}
+
+TEST(SpiceRing, BadOptionsThrow) {
+    const SpiceRingModel m(phys::cmos350(), RingConfig::uniform(CellKind::Inv, 5));
+    SpiceRingOptions opt;
+    opt.measure_cycles = 0;
+    EXPECT_THROW(m.simulate(300.0, opt), std::invalid_argument);
+    opt = SpiceRingOptions{};
+    opt.steps_per_period = 5;
+    EXPECT_THROW(m.simulate(300.0, opt), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::ring

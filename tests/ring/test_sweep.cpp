@@ -1,0 +1,77 @@
+#include "ring/sweep.hpp"
+
+#include "analysis/nonlinearity.hpp"
+#include "util/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::ring {
+namespace {
+
+using cells::CellKind;
+
+TEST(TemperatureSweep, AnalyticSeriesShapes) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
+    const auto grid = paper_temperature_grid_c();
+    const auto sw = temperature_sweep(tech, cfg, grid);
+    ASSERT_EQ(sw.temps_c.size(), grid.size());
+    ASSERT_EQ(sw.period_s.size(), grid.size());
+    ASSERT_EQ(sw.frequency_hz.size(), grid.size());
+    for (std::size_t i = 1; i < sw.period_s.size(); ++i) {
+        EXPECT_GT(sw.period_s[i], sw.period_s[i - 1]);
+        EXPECT_LT(sw.frequency_hz[i], sw.frequency_hz[i - 1]);
+    }
+}
+
+TEST(TemperatureSweep, PeriodNearlyLinearInTemperature) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5, 2.75);
+    const auto sw = paper_sweep(tech, cfg);
+    const double nl = analysis::max_nonlinearity_percent(sw.temps_c, sw.period_s);
+    EXPECT_LT(nl, 0.5);
+}
+
+TEST(TemperatureSweep, SpiceEngineTracksAnalyticShape) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5, 2.5);
+    const std::vector<double> grid{-50.0, 50.0, 150.0};
+
+    SpiceRingOptions opt;
+    opt.skip_cycles = 2;
+    opt.measure_cycles = 4;
+    opt.steps_per_period = 150;
+
+    const auto spice = temperature_sweep(tech, cfg, grid, Engine::Spice, opt);
+    const auto analytic = temperature_sweep(tech, cfg, grid, Engine::Analytic);
+
+    // Same relative span (sensitivity), within a few percent.
+    const double span_spice = spice.period_s.back() / spice.period_s.front();
+    const double span_analytic = analytic.period_s.back() / analytic.period_s.front();
+    EXPECT_NEAR(span_spice, span_analytic, 0.15 * span_analytic);
+}
+
+TEST(TemperatureSweep, EmptyGridThrows) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
+    EXPECT_THROW(temperature_sweep(tech, cfg, std::vector<double>{}),
+                 std::invalid_argument);
+}
+
+TEST(TemperatureSweep, NonIncreasingGridThrows) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
+    const std::vector<double> bad{0.0, 0.0, 10.0};
+    EXPECT_THROW(temperature_sweep(tech, cfg, bad), std::invalid_argument);
+}
+
+TEST(PaperSweep, UsesPaperGrid) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
+    const auto sw = paper_sweep(tech, cfg);
+    EXPECT_EQ(sw.temps_c.size(), 17u);
+    EXPECT_DOUBLE_EQ(sw.temps_c.front(), -50.0);
+}
+
+} // namespace
+} // namespace stsense::ring

@@ -1,0 +1,107 @@
+// Measurement-noise model: cycle jitter averaged over the gate plus the
+// +/-1-count gate-phase quantization.
+#include "sensor/smart_sensor.hpp"
+
+#include "analysis/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stsense::sensor {
+namespace {
+
+using cells::CellKind;
+
+SmartTemperatureSensor noisy_sensor(double jitter_rel, std::uint32_t gate_cycles) {
+    SensorOptions opt;
+    opt.gate = default_gate();
+    opt.gate.osc_cycles = gate_cycles;
+    opt.cycle_jitter_rel = jitter_rel;
+    return SmartTemperatureSensor(
+        phys::cmos350(), ring::RingConfig::uniform(CellKind::Inv, 5, 2.75), opt);
+}
+
+std::vector<double> repeated_readings(SmartTemperatureSensor& s, double t_c,
+                                      int n, std::uint64_t seed) {
+    s.calibrate_two_point(0.0, 100.0);
+    util::Rng rng(seed);
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) out.push_back(s.measure(t_c, rng).temperature_c);
+    return out;
+}
+
+TEST(SensorNoise, ZeroJitterStillHasQuantizationScatter) {
+    auto s = noisy_sensor(0.0, 1u << 17);
+    const auto readings = repeated_readings(s, 50.0, 200, 7);
+    const auto sum = analysis::summarize(readings);
+    // Phase randomization toggles +-1 LSB around the truth.
+    EXPECT_NEAR(sum.mean, 50.0, 0.2);
+    EXPECT_LT(sum.max - sum.min, 3.0 * s.resolution_c(50.0));
+}
+
+TEST(SensorNoise, ReadingsUnbiased) {
+    auto s = noisy_sensor(2e-3, 1u << 17);
+    const auto readings = repeated_readings(s, 85.0, 400, 11);
+    EXPECT_NEAR(analysis::summarize(readings).mean, 85.0, 0.2);
+}
+
+TEST(SensorNoise, LongerGateAveragesJitterDown) {
+    // White cycle jitter: sigma ~ 1/sqrt(gate cycles). A 16x longer gate
+    // should shrink the scatter by ~4x (quantization floor aside).
+    auto s_short = noisy_sensor(5e-3, 1u << 13);
+    auto s_long = noisy_sensor(5e-3, 1u << 17);
+    const double sd_short =
+        analysis::summarize(repeated_readings(s_short, 60.0, 300, 3)).stddev;
+    const double sd_long =
+        analysis::summarize(repeated_readings(s_long, 60.0, 300, 3)).stddev;
+    EXPECT_LT(sd_long, 0.6 * sd_short);
+}
+
+TEST(SensorNoise, RealisticJitterIsQuantizationLimited) {
+    // With ~10^5 cycles in the gate, realistic (sub-percent) cycle
+    // jitter averages far below one LSB: repeatability is set by the
+    // counter quantization, not the ring noise. This is the design
+    // insight the averaging gate buys.
+    auto s_quiet = noisy_sensor(0.0, 1u << 15);
+    auto s_ring_noise = noisy_sensor(5e-3, 1u << 15);
+    const double sd_quiet =
+        analysis::summarize(repeated_readings(s_quiet, 60.0, 300, 5)).stddev;
+    const double sd_noise =
+        analysis::summarize(repeated_readings(s_ring_noise, 60.0, 300, 5)).stddev;
+    EXPECT_LT(sd_noise, 2.0 * sd_quiet + 0.05);
+}
+
+TEST(SensorNoise, MoreJitterMoreScatter) {
+    // Exaggerated jitter (far above physical ring noise) makes the
+    // jitter term dominate the quantization floor, exposing the
+    // averaging mechanism itself.
+    auto s_quiet = noisy_sensor(0.02, 1u << 20);
+    auto s_loud = noisy_sensor(0.3, 1u << 20);
+    const double sd_quiet =
+        analysis::summarize(repeated_readings(s_quiet, 60.0, 300, 5)).stddev;
+    const double sd_loud =
+        analysis::summarize(repeated_readings(s_loud, 60.0, 300, 5)).stddev;
+    EXPECT_GT(sd_loud, 2.0 * sd_quiet);
+}
+
+TEST(SensorNoise, DeterministicGivenSeed) {
+    auto s1 = noisy_sensor(3e-3, 1u << 15);
+    auto s2 = noisy_sensor(3e-3, 1u << 15);
+    const auto a = repeated_readings(s1, 40.0, 50, 99);
+    const auto b = repeated_readings(s2, 40.0, 50, 99);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(SensorNoise, NoiselessPathUnchangedByOption) {
+    // The deterministic raw_code must not depend on the jitter option.
+    auto clean = noisy_sensor(0.0, 1u << 15);
+    auto jittery = noisy_sensor(5e-3, 1u << 15);
+    EXPECT_EQ(clean.raw_code(33.0), jittery.raw_code(33.0));
+}
+
+} // namespace
+} // namespace stsense::sensor

@@ -1,0 +1,133 @@
+#include "sensor/optimizer.hpp"
+
+#include "analysis/nonlinearity.hpp"
+#include "ring/sweep.hpp"
+#include "sensor/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace stsense::sensor {
+namespace {
+
+using cells::CellKind;
+
+TEST(RatioSweep, ReturnsOnePointPerRatio) {
+    const auto tech = phys::cmos350();
+    const std::vector<double> ratios{1.75, 2.25, 3.0, 4.0};
+    const auto pts = ratio_sweep(tech, CellKind::Inv, 5, ratios);
+    ASSERT_EQ(pts.size(), 4u);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        EXPECT_DOUBLE_EQ(pts[i].ratio, ratios[i]);
+        EXPECT_GT(pts[i].max_nl_percent, 0.0);
+        EXPECT_GT(pts[i].period_27c_s, 0.0);
+    }
+}
+
+TEST(RatioSweep, Fig2OrderingHolds) {
+    // In the paper family the middle ratios are the most linear; the
+    // extremes (1.75, 4) are visibly worse.
+    const auto tech = phys::cmos350();
+    const std::vector<double> ratios{1.75, 2.25, 3.0, 4.0};
+    const auto pts = ratio_sweep(tech, CellKind::Inv, 5, ratios);
+    const double nl175 = pts[0].max_nl_percent;
+    const double nl225 = pts[1].max_nl_percent;
+    const double nl300 = pts[2].max_nl_percent;
+    EXPECT_LT(nl300, nl225);
+    EXPECT_LT(nl225, nl175);
+    EXPECT_LT(nl300, pts[3].max_nl_percent); // r=4 worse than r=3.
+}
+
+TEST(RatioSweep, InvalidRatioThrows) {
+    const auto tech = phys::cmos350();
+    EXPECT_THROW(ratio_sweep(tech, CellKind::Inv, 5, std::vector<double>{0.0}),
+                 std::invalid_argument);
+}
+
+TEST(OptimizeRatio, FindsSub02PercentOptimum) {
+    const auto tech = phys::cmos350();
+    const auto opt = optimize_ratio(tech, CellKind::Inv, 5, 1.0, 5.0);
+    // The paper's claim: an adequate ratio brings NL below 0.2 %.
+    EXPECT_LT(opt.max_nl_percent, 0.2);
+    EXPECT_GT(opt.ratio, 1.75);
+    EXPECT_LT(opt.ratio, 4.0);
+    EXPECT_GT(opt.evaluations, 5);
+}
+
+TEST(OptimizeRatio, OptimumBeatsSweepFamily) {
+    const auto tech = phys::cmos350();
+    const auto opt = optimize_ratio(tech, CellKind::Inv, 5, 1.0, 5.0);
+    const std::vector<double> family(std::begin(presets::kFig2Ratios),
+                                     std::end(presets::kFig2Ratios));
+    for (const auto& pt : ratio_sweep(tech, CellKind::Inv, 5, family)) {
+        EXPECT_LE(opt.max_nl_percent, pt.max_nl_percent + 1e-9);
+    }
+}
+
+TEST(OptimizeRatio, ArgumentValidation) {
+    const auto tech = phys::cmos350();
+    EXPECT_THROW(optimize_ratio(tech, CellKind::Inv, 5, 2.0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(optimize_ratio(tech, CellKind::Inv, 5, 0.0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(optimize_ratio(tech, CellKind::Inv, 5, 1.0, 5.0, 0.0),
+                 std::invalid_argument);
+}
+
+TEST(EnumerateMixes, CountsMultisets) {
+    const auto tech = phys::cmos350();
+    const CellKind kinds[] = {CellKind::Inv, CellKind::Nand2};
+    // Multisets of size 3 from 2 kinds: C(4,1) = 4.
+    const auto mixes = enumerate_mixes(tech, kinds, 3);
+    EXPECT_EQ(mixes.size(), 4u);
+}
+
+TEST(EnumerateMixes, SortedByNonlinearity) {
+    const auto tech = phys::cmos350();
+    const CellKind kinds[] = {CellKind::Inv, CellKind::Nand2, CellKind::Nor2};
+    const auto mixes = enumerate_mixes(tech, kinds, 5);
+    // Multisets of size 5 from 3 kinds: C(7,2) = 21.
+    EXPECT_EQ(mixes.size(), 21u);
+    EXPECT_TRUE(std::is_sorted(mixes.begin(), mixes.end(),
+                               [](const MixCandidate& a, const MixCandidate& b) {
+                                   return a.max_nl_percent < b.max_nl_percent;
+                               }));
+}
+
+TEST(EnumerateMixes, BestMixBeatsPureLibraryInverterRing) {
+    // The paper's core claim (Fig. 3): picking an adequate set of stock
+    // cells reduces the error vs the naive all-inverter ring at the
+    // library ratio.
+    const auto tech = phys::cmos350();
+    const auto mixes =
+        enumerate_mixes(tech, cells::kAllCellKinds, presets::kPaperStages);
+    const auto pure_inv = ring::paper_sweep(tech, presets::paper_ring());
+    const double nl_inv = analysis::max_nonlinearity_percent(pure_inv.temps_c,
+                                                             pure_inv.period_s);
+    EXPECT_LT(mixes.front().max_nl_percent, nl_inv);
+    // And the best mix is genuinely mixed or at least not the pure INV ring.
+    EXPECT_NE(mixes.front().name, describe(presets::paper_ring()));
+}
+
+TEST(EnumerateMixes, ArgumentValidation) {
+    const auto tech = phys::cmos350();
+    EXPECT_THROW(enumerate_mixes(tech, std::span<const CellKind>{}, 5),
+                 std::invalid_argument);
+    const CellKind kinds[] = {CellKind::Inv};
+    EXPECT_THROW(enumerate_mixes(tech, kinds, 4), std::invalid_argument);
+    EXPECT_THROW(enumerate_mixes(tech, kinds, 1), std::invalid_argument);
+}
+
+TEST(EnumerateMixes, CandidatesCarryValidConfigs) {
+    const auto tech = phys::cmos350();
+    const CellKind kinds[] = {CellKind::Inv, CellKind::Nand3};
+    for (const auto& mix : enumerate_mixes(tech, kinds, 3)) {
+        EXPECT_NO_THROW(ring::validate(mix.config));
+        EXPECT_FALSE(mix.name.empty());
+    }
+}
+
+} // namespace
+} // namespace stsense::sensor

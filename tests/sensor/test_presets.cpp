@@ -1,0 +1,67 @@
+#include "sensor/presets.hpp"
+
+#include "ring/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::sensor {
+namespace {
+
+TEST(Presets, Fig2RatiosMatchPaper) {
+    ASSERT_EQ(std::size(presets::kFig2Ratios), 4u);
+    EXPECT_DOUBLE_EQ(presets::kFig2Ratios[0], 1.75);
+    EXPECT_DOUBLE_EQ(presets::kFig2Ratios[1], 2.25);
+    EXPECT_DOUBLE_EQ(presets::kFig2Ratios[2], 3.0);
+    EXPECT_DOUBLE_EQ(presets::kFig2Ratios[3], 4.0);
+}
+
+TEST(Presets, PaperRingIsFiveInverters) {
+    const auto cfg = presets::paper_ring();
+    EXPECT_EQ(cfg.stage_count(), 5u);
+    for (const auto& s : cfg.stages) {
+        EXPECT_EQ(s.kind, cells::CellKind::Inv);
+        EXPECT_DOUBLE_EQ(s.ratio, 0.0); // Library ratio.
+    }
+    EXPECT_NO_THROW(ring::validate(cfg));
+}
+
+TEST(Presets, Fig3ConfigurationsAllValidFiveStageRings) {
+    const auto configs = presets::fig3_configurations();
+    EXPECT_GE(configs.size(), 5u);
+    for (const auto& [name, cfg] : configs) {
+        EXPECT_FALSE(name.empty());
+        EXPECT_EQ(cfg.stage_count(), 5u) << name;
+        EXPECT_NO_THROW(ring::validate(cfg)) << name;
+    }
+}
+
+TEST(Presets, Fig3IncludesPureInvReference) {
+    const auto configs = presets::fig3_configurations();
+    bool has_pure_inv = false;
+    for (const auto& [name, cfg] : configs) {
+        bool all_inv = true;
+        for (const auto& s : cfg.stages) {
+            all_inv = all_inv && s.kind == cells::CellKind::Inv;
+        }
+        has_pure_inv = has_pure_inv || all_inv;
+    }
+    EXPECT_TRUE(has_pure_inv);
+}
+
+TEST(Presets, Fig3ConfigsAllOscillateAnalytically) {
+    const auto tech = phys::cmos350();
+    for (const auto& [name, cfg] : presets::fig3_configurations()) {
+        const auto sw = ring::paper_sweep(tech, cfg);
+        for (double p : sw.period_s) EXPECT_GT(p, 0.0) << name;
+    }
+}
+
+TEST(Presets, StageCountFamilyMatchesPaper) {
+    ASSERT_EQ(std::size(presets::kStageCountFamily), 3u);
+    EXPECT_EQ(presets::kStageCountFamily[0], 5);
+    EXPECT_EQ(presets::kStageCountFamily[1], 9);
+    EXPECT_EQ(presets::kStageCountFamily[2], 21);
+}
+
+} // namespace
+} // namespace stsense::sensor

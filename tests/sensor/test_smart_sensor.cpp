@@ -1,0 +1,149 @@
+#include "sensor/smart_sensor.hpp"
+
+#include "sensor/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stsense::sensor {
+namespace {
+
+using cells::CellKind;
+
+SmartTemperatureSensor make_sensor(SensorOptions opt = {}) {
+    return SmartTemperatureSensor(phys::cmos350(),
+                                  ring::RingConfig::uniform(CellKind::Inv, 5, 2.75),
+                                  opt);
+}
+
+TEST(SmartSensor, RequiresCalibrationToMeasure) {
+    auto s = make_sensor();
+    EXPECT_FALSE(s.calibrated());
+    EXPECT_THROW(s.measure(25.0), std::logic_error);
+    EXPECT_NO_THROW(s.raw_code(25.0)); // Raw path available.
+}
+
+TEST(SmartSensor, TwoPointCalibrationAccurateOverFullRange) {
+    auto s = make_sensor();
+    s.calibrate_two_point(0.0, 100.0);
+    for (double t = -50.0; t <= 150.0; t += 12.5) {
+        const auto m = s.measure(t);
+        EXPECT_NEAR(m.temperature_c, t, 0.6) << "T=" << t;
+    }
+}
+
+TEST(SmartSensor, ExactNearCalibrationPoints) {
+    auto s = make_sensor();
+    s.calibrate_two_point(0.0, 100.0);
+    EXPECT_NEAR(s.measure(0.0).temperature_c, 0.0, 2.0 * s.resolution_c(0.0));
+    EXPECT_NEAR(s.measure(100.0).temperature_c, 100.0,
+                2.0 * s.resolution_c(100.0));
+}
+
+TEST(SmartSensor, CodeMonotoneInTemperature) {
+    auto s = make_sensor();
+    std::uint32_t prev = s.raw_code(-50.0);
+    for (double t = -40.0; t <= 150.0; t += 10.0) {
+        const std::uint32_t code = s.raw_code(t);
+        EXPECT_GT(code, prev) << "T=" << t;
+        prev = code;
+    }
+}
+
+TEST(SmartSensor, RefWindowSchemeAlsoWorks) {
+    SensorOptions opt;
+    opt.gate.scheme = digital::GatingScheme::RefWindow;
+    opt.gate.ref_cycles = 1u << 14;
+    opt.gate.ref_freq_hz = 100e6;
+    auto s = make_sensor(opt);
+    s.calibrate_two_point(0.0, 100.0);
+    for (double t = -50.0; t <= 150.0; t += 25.0) {
+        EXPECT_NEAR(s.measure(t).temperature_c, t, 1.0) << "T=" << t;
+    }
+}
+
+TEST(SmartSensor, OnePointCalibrationUsesNominalGain) {
+    // Golden-die characterization on one sensor, offset trim on another
+    // at a single insertion temperature.
+    auto golden = make_sensor();
+    const double gain = golden.nominal_gain_c_per_code(0.0, 100.0);
+
+    auto device = make_sensor();
+    device.calibrate_one_point(30.0, gain);
+    EXPECT_NEAR(device.measure(30.0).temperature_c, 30.0, 0.2);
+    EXPECT_NEAR(device.measure(100.0).temperature_c, 100.0, 1.0);
+}
+
+TEST(SmartSensor, OnePointRefWindowUnsupported) {
+    SensorOptions opt;
+    opt.gate.scheme = digital::GatingScheme::RefWindow;
+    auto s = make_sensor(opt);
+    EXPECT_THROW(s.calibrate_one_point(25.0, 0.1), std::logic_error);
+}
+
+TEST(SmartSensor, NonlinearityMatchesOptimizedRing) {
+    auto s = make_sensor(); // Ratio 2.75 is near the optimum.
+    EXPECT_LT(s.nonlinearity_percent(), 0.2);
+
+    SmartTemperatureSensor bad(phys::cmos350(),
+                               ring::RingConfig::uniform(CellKind::Inv, 5, 1.0));
+    EXPECT_GT(bad.nonlinearity_percent(), 0.5);
+}
+
+TEST(SmartSensor, ResolutionSubTenthDegreeWithDefaultGate) {
+    auto s = make_sensor();
+    const double r = s.resolution_c(27.0);
+    EXPECT_LT(r, 0.1);
+    EXPECT_GT(r, 0.001);
+}
+
+TEST(SmartSensor, MeasurementTimeMatchesGate) {
+    auto s = make_sensor();
+    s.calibrate_two_point(0.0, 100.0);
+    const auto m = s.measure(27.0);
+    const double expected =
+        static_cast<double>(s.options().gate.osc_cycles) * s.period_at(27.0);
+    EXPECT_NEAR(m.measurement_time_s, expected, 1e-12);
+}
+
+TEST(SmartSensor, SelfHeatingRaisesJunction) {
+    SensorOptions opt;
+    opt.model_self_heating = true;
+    auto s = make_sensor(opt);
+    EXPECT_GT(s.junction_at(85.0), 85.0);
+
+    auto ideal = make_sensor();
+    EXPECT_DOUBLE_EQ(ideal.junction_at(85.0), 85.0);
+}
+
+TEST(SmartSensor, SelfHeatingBiasesUncompensatedReading) {
+    // Calibrate an ideal (no self-heating) sensor, then measure with
+    // self-heating enabled: readings shift upward.
+    auto ideal = make_sensor();
+    ideal.calibrate_two_point(0.0, 100.0);
+    const double clean = ideal.measure(85.0).temperature_c;
+
+    SensorOptions opt;
+    opt.model_self_heating = true;
+    auto heated = make_sensor(opt);
+    EXPECT_GT(heated.raw_code(85.0), ideal.raw_code(85.0));
+    EXPECT_NEAR(clean, 85.0, 0.5);
+}
+
+TEST(SmartSensor, InvalidConstructionThrows) {
+    SensorOptions opt;
+    opt.settle_cycles = -1;
+    EXPECT_THROW(make_sensor(opt), std::invalid_argument);
+    EXPECT_THROW(SmartTemperatureSensor(
+                     phys::cmos350(), ring::RingConfig::uniform(CellKind::Inv, 4)),
+                 std::invalid_argument);
+}
+
+TEST(SmartSensor, CalibrationOrderValidated) {
+    auto s = make_sensor();
+    EXPECT_THROW(s.calibrate_two_point(100.0, 0.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::sensor

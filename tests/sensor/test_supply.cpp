@@ -1,0 +1,77 @@
+#include "sensor/supply.hpp"
+
+#include "ring/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stsense::sensor {
+namespace {
+
+using cells::CellKind;
+
+ring::RingConfig paper5(double ratio = 2.75) {
+    return ring::RingConfig::uniform(CellKind::Inv, 5, ratio);
+}
+
+TEST(SupplySensitivity, SignsAreRight) {
+    const auto s = supply_sensitivity(phys::cmos350(), paper5(), 27.0);
+    // More supply -> faster ring -> shorter period.
+    EXPECT_LT(s.dperiod_dvdd_rel, 0.0);
+    // Hotter -> slower ring -> longer period.
+    EXPECT_GT(s.dperiod_dtemp_rel, 0.0);
+    EXPECT_GT(s.temp_error_per_10mv_c, 0.0);
+}
+
+TEST(SupplySensitivity, MagnitudesPlausible) {
+    const auto s = supply_sensitivity(phys::cmos350(), paper5(), 27.0);
+    // Delay-based sensors alias supply noise at the degree-per-10mV
+    // scale — the known weakness this module quantifies.
+    EXPECT_GT(s.temp_error_per_10mv_c, 0.05);
+    EXPECT_LT(s.temp_error_per_10mv_c, 20.0);
+    // Temperature sensitivity ~0.2-0.6 %/K.
+    EXPECT_GT(s.dperiod_dtemp_rel, 1e-3);
+    EXPECT_LT(s.dperiod_dtemp_rel, 1e-2);
+}
+
+TEST(SupplySensitivity, MatchesDirectRecomputation) {
+    const auto tech = phys::cmos350();
+    const auto cfg = paper5();
+    const auto s = supply_sensitivity(tech, cfg, 27.0);
+
+    phys::Technology bumped = tech;
+    bumped.vdd += 0.010;
+    const double p0 = ring::AnalyticRingModel(tech, cfg).period(300.15);
+    const double p1 = ring::AnalyticRingModel(bumped, cfg).period(300.15);
+    const double dp_rel = (p1 - p0) / p0;
+    // Relative period change for +10 mV follows the central-difference
+    // sensitivity to first order.
+    EXPECT_NEAR(dp_rel, s.dperiod_dvdd_rel * 0.010, std::abs(dp_rel) * 0.05);
+}
+
+TEST(SupplySensitivity, LowerVddNodesMoreSensitive) {
+    const auto s350 = supply_sensitivity(phys::cmos350(), paper5(0.0), 27.0);
+    const auto s130 = supply_sensitivity(phys::cmos130(), paper5(0.0), 27.0);
+    // Less headroom -> stronger relative supply dependence.
+    EXPECT_GT(std::abs(s130.dperiod_dvdd_rel), std::abs(s350.dperiod_dvdd_rel));
+}
+
+TEST(SupplySensitivity, BadStepsThrow) {
+    EXPECT_THROW(supply_sensitivity(phys::cmos350(), paper5(), 27.0, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(supply_sensitivity(phys::cmos350(), paper5(), 27.0, 0.01, 0.0),
+                 std::invalid_argument);
+}
+
+TEST(RequiredRegulation, ScalesWithErrorBudget) {
+    const auto s = supply_sensitivity(phys::cmos350(), paper5(), 27.0);
+    const double tight = required_supply_regulation(s, 0.1);
+    const double loose = required_supply_regulation(s, 1.0);
+    EXPECT_NEAR(loose / tight, 10.0, 1e-6);
+    EXPECT_GT(tight, 0.0);
+    EXPECT_THROW(required_supply_regulation(s, 0.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::sensor

@@ -1,0 +1,127 @@
+#include "spice/linalg.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stsense::spice {
+namespace {
+
+TEST(Matrix, StoresAndClears) {
+    Matrix m(2, 3);
+    m.at(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m.clear();
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+}
+
+TEST(LuSolve, Identity) {
+    Matrix a(3, 3);
+    for (int i = 0; i < 3; ++i) a.at(i, i) = 1.0;
+    std::vector<double> b{1.0, 2.0, 3.0};
+    std::vector<double> x;
+    ASSERT_TRUE(lu_solve(a, b, x));
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+    EXPECT_DOUBLE_EQ(x[1], 2.0);
+    EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(LuSolve, KnownSystem) {
+    // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+    Matrix a(2, 2);
+    a.at(0, 0) = 2.0;
+    a.at(0, 1) = 1.0;
+    a.at(1, 0) = 1.0;
+    a.at(1, 1) = 3.0;
+    std::vector<double> b{5.0, 10.0};
+    std::vector<double> x;
+    ASSERT_TRUE(lu_solve(a, b, x));
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolve, RequiresPivoting) {
+    // Zero on the leading diagonal forces a row swap.
+    Matrix a(2, 2);
+    a.at(0, 0) = 0.0;
+    a.at(0, 1) = 1.0;
+    a.at(1, 0) = 1.0;
+    a.at(1, 1) = 0.0;
+    std::vector<double> b{2.0, 3.0};
+    std::vector<double> x;
+    ASSERT_TRUE(lu_solve(a, b, x));
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuSolve, SingularReturnsFalse) {
+    Matrix a(2, 2);
+    a.at(0, 0) = 1.0;
+    a.at(0, 1) = 2.0;
+    a.at(1, 0) = 2.0;
+    a.at(1, 1) = 4.0;
+    std::vector<double> b{1.0, 2.0};
+    std::vector<double> x;
+    EXPECT_FALSE(lu_solve(a, b, x));
+}
+
+TEST(LuSolve, DimensionMismatchThrows) {
+    Matrix a(2, 3);
+    std::vector<double> b{1.0, 2.0};
+    std::vector<double> x;
+    EXPECT_THROW(lu_solve(a, b, x), std::invalid_argument);
+}
+
+TEST(LuSolve, EmptySystemIsTrivial) {
+    Matrix a(0, 0);
+    std::vector<double> b;
+    std::vector<double> x;
+    EXPECT_TRUE(lu_solve(a, b, x));
+    EXPECT_TRUE(x.empty());
+}
+
+class LuRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomTest, ResidualSmallForRandomSystems) {
+    const int n = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(n) * 7919);
+    Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    Matrix a_copy(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) {
+            const double v = rng.uniform(-1.0, 1.0) + (r == c ? 4.0 : 0.0);
+            a.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = v;
+            a_copy.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = v;
+        }
+        b[static_cast<std::size_t>(r)] = rng.uniform(-2.0, 2.0);
+    }
+    std::vector<double> b_copy = b;
+    std::vector<double> x;
+    ASSERT_TRUE(lu_solve(a, b, x));
+    // Check A x = b with the untouched copies.
+    for (int r = 0; r < n; ++r) {
+        double sum = 0.0;
+        for (int c = 0; c < n; ++c) {
+            sum += a_copy.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) *
+                   x[static_cast<std::size_t>(c)];
+        }
+        EXPECT_NEAR(sum, b_copy[static_cast<std::size_t>(r)], 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomTest, ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+TEST(MaxAbs, Basics) {
+    std::vector<double> v{-3.0, 2.0, 1.0};
+    EXPECT_DOUBLE_EQ(max_abs(v), 3.0);
+    EXPECT_DOUBLE_EQ(max_abs(std::vector<double>{}), 0.0);
+}
+
+} // namespace
+} // namespace stsense::spice

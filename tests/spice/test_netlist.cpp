@@ -1,0 +1,119 @@
+#include "spice/netlist.hpp"
+
+#include "phys/technology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::spice {
+namespace {
+
+TEST(Source, DcIsConstant) {
+    const Source s = Source::dc(3.3);
+    EXPECT_DOUBLE_EQ(s.value(0.0), 3.3);
+    EXPECT_DOUBLE_EQ(s.value(1.0), 3.3);
+}
+
+TEST(Source, StepInstantaneous) {
+    const Source s = Source::step(0.0, 1.0, 2.0);
+    EXPECT_DOUBLE_EQ(s.value(1.9), 0.0);
+    EXPECT_DOUBLE_EQ(s.value(2.1), 1.0);
+}
+
+TEST(Source, StepWithRamp) {
+    const Source s = Source::step(0.0, 2.0, 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(s.value(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.value(1.5), 1.0);
+    EXPECT_DOUBLE_EQ(s.value(2.0), 2.0);
+    EXPECT_DOUBLE_EQ(s.value(3.0), 2.0);
+}
+
+TEST(Source, SinglePulse) {
+    const Source s = Source::pulse(0.0, 1.0, 1.0, 2.0, /*period=*/0.0);
+    EXPECT_DOUBLE_EQ(s.value(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.value(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.value(3.5), 0.0);
+}
+
+TEST(Source, PeriodicPulseRepeats) {
+    const Source s = Source::pulse(0.0, 1.0, 0.0, 1.0, 4.0);
+    EXPECT_DOUBLE_EQ(s.value(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(s.value(2.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.value(4.5), 1.0);
+    EXPECT_DOUBLE_EQ(s.value(6.0), 0.0);
+}
+
+TEST(Source, PulseWithEdges) {
+    const Source s = Source::pulse(0.0, 1.0, 0.0, 1.0, 0.0, 0.5);
+    EXPECT_DOUBLE_EQ(s.value(0.25), 0.5);  // Rising ramp.
+    EXPECT_DOUBLE_EQ(s.value(1.0), 1.0);   // High.
+    EXPECT_DOUBLE_EQ(s.value(1.75), 0.5);  // Falling ramp.
+    EXPECT_DOUBLE_EQ(s.value(3.0), 0.0);
+}
+
+TEST(Source, NegativePulseParamsThrow) {
+    EXPECT_THROW(Source::pulse(0.0, 1.0, 0.0, -1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Circuit, GroundIsNodeZeroAndDriven) {
+    Circuit c;
+    EXPECT_EQ(c.ground().index, 0u);
+    EXPECT_TRUE(c.is_driven(c.ground()));
+    EXPECT_DOUBLE_EQ(c.source_of(c.ground()).value(0.0), 0.0);
+}
+
+TEST(Circuit, AddsNodesWithNames) {
+    Circuit c;
+    const NodeId a = c.add_node("a");
+    const NodeId vdd = c.add_driven_node("vdd", Source::dc(3.3));
+    EXPECT_EQ(c.node_count(), 3u);
+    EXPECT_EQ(c.node_name(a), "a");
+    EXPECT_FALSE(c.is_driven(a));
+    EXPECT_TRUE(c.is_driven(vdd));
+    EXPECT_EQ(c.node_by_name("vdd").index, vdd.index);
+    EXPECT_THROW(c.node_by_name("nope"), std::invalid_argument);
+}
+
+TEST(Circuit, DriveExistingNode) {
+    Circuit c;
+    const NodeId a = c.add_node("a");
+    c.drive_node(a, Source::dc(1.0));
+    EXPECT_TRUE(c.is_driven(a));
+    EXPECT_THROW(c.drive_node(c.ground(), Source::dc(1.0)), std::invalid_argument);
+}
+
+TEST(Circuit, ElementValidation) {
+    Circuit c;
+    const NodeId a = c.add_node("a");
+    EXPECT_THROW(c.add_resistor(a, c.ground(), 0.0), std::invalid_argument);
+    EXPECT_THROW(c.add_capacitor(a, c.ground(), -1e-12), std::invalid_argument);
+    EXPECT_NO_THROW(c.add_resistor(a, c.ground(), 1e3));
+    EXPECT_NO_THROW(c.add_capacitor(a, c.ground(), 1e-12));
+    EXPECT_EQ(c.resistors().size(), 1u);
+    EXPECT_EQ(c.capacitors().size(), 1u);
+}
+
+TEST(Circuit, MosfetValidation) {
+    Circuit c;
+    const NodeId a = c.add_node("a");
+    Mosfet m;
+    m.drain = a;
+    m.gate = a;
+    m.source = c.ground();
+    m.params = phys::cmos350().nmos;
+    m.geometry = {1e-6, 0.35e-6};
+    EXPECT_NO_THROW(c.add_mosfet(m));
+    m.geometry.w = 0.0;
+    EXPECT_THROW(c.add_mosfet(m), std::invalid_argument);
+    m.geometry.w = 1e-6;
+    m.drain = NodeId{99};
+    EXPECT_THROW(c.add_mosfet(m), std::invalid_argument);
+}
+
+TEST(Circuit, SourceOfUndrivenThrows) {
+    Circuit c;
+    const NodeId a = c.add_node("a");
+    EXPECT_THROW(c.source_of(a), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::spice

@@ -1,0 +1,121 @@
+#include "spice/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace stsense::spice {
+namespace {
+
+Trace sine(double freq, double t_stop, double dt, double amp = 1.0,
+           double offset = 0.0) {
+    Trace t;
+    t.name = "sine";
+    for (double x = 0.0; x <= t_stop; x += dt) {
+        t.time.push_back(x);
+        t.value.push_back(offset + amp * std::sin(2.0 * std::numbers::pi * freq * x));
+    }
+    return t;
+}
+
+TEST(Trace, SampleInterpolates) {
+    Trace t;
+    t.time = {0.0, 1.0, 2.0};
+    t.value = {0.0, 10.0, 0.0};
+    EXPECT_DOUBLE_EQ(t.sample(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(t.sample(1.5), 5.0);
+    EXPECT_DOUBLE_EQ(t.sample(-1.0), 0.0); // Clamp low.
+    EXPECT_DOUBLE_EQ(t.sample(5.0), 0.0);  // Clamp high.
+}
+
+TEST(Trace, SampleEmptyThrows) {
+    Trace t;
+    EXPECT_THROW(t.sample(0.0), std::logic_error);
+}
+
+TEST(Crossings, CountsAndInterpolates) {
+    Trace t;
+    t.time = {0.0, 1.0, 2.0, 3.0};
+    t.value = {0.0, 2.0, 0.0, 2.0};
+    const auto rising = crossings(t, 1.0, EdgeDir::Rising);
+    ASSERT_EQ(rising.size(), 2u);
+    EXPECT_DOUBLE_EQ(rising[0], 0.5);
+    EXPECT_DOUBLE_EQ(rising[1], 2.5);
+    const auto falling = crossings(t, 1.0, EdgeDir::Falling);
+    ASSERT_EQ(falling.size(), 1u);
+    EXPECT_DOUBLE_EQ(falling[0], 1.5);
+    EXPECT_EQ(crossings(t, 1.0, EdgeDir::Either).size(), 3u);
+}
+
+TEST(MeasurePeriod, RecoversSinePeriod) {
+    const double freq = 3.0e9;
+    const Trace t = sine(freq, 10.0 / freq, 1.0 / freq / 200.0);
+    const auto m = measure_period(t, 0.0, 2);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_NEAR(m->period, 1.0 / freq, 1e-4 / freq);
+    EXPECT_GE(m->cycles, 5);
+    EXPECT_LT(m->period_stddev, 1e-3 / freq);
+}
+
+TEST(MeasurePeriod, TooFewCyclesReturnsNullopt) {
+    const Trace t = sine(1.0, 1.2, 0.01);
+    EXPECT_FALSE(measure_period(t, 0.0, 2).has_value());
+}
+
+TEST(MeasurePeriod, NegativeSkipThrows) {
+    const Trace t = sine(1.0, 5.0, 0.01);
+    EXPECT_THROW(measure_period(t, 0.0, -1), std::invalid_argument);
+}
+
+TEST(MeasureFrequency, InverseOfPeriod) {
+    const Trace t = sine(2.0, 6.0, 0.001);
+    const auto f = measure_frequency(t, 0.0, 1);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_NEAR(*f, 2.0, 1e-3);
+}
+
+TEST(MeasureDutyCycle, SymmetricSineIsHalf) {
+    const Trace t = sine(1.0, 8.0, 0.001);
+    const auto d = measure_duty_cycle(t, 0.0, 1);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_NEAR(*d, 0.5, 1e-3);
+}
+
+TEST(MeasureDutyCycle, AsymmetricThreshold) {
+    // Measuring a sine at +0.5 amplitude shrinks the high fraction.
+    const Trace t = sine(1.0, 8.0, 0.0005);
+    const auto d = measure_duty_cycle(t, 0.5, 1);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_LT(*d, 0.4);
+    EXPECT_GT(*d, 0.2);
+}
+
+TEST(PropagationDelay, MeasuresShiftBetweenEdges) {
+    Trace in;
+    Trace out;
+    // Input steps up at t=1; output (inverter-like) falls at t=1.3.
+    in.time = {0.0, 0.9, 1.1, 5.0};
+    in.value = {0.0, 0.0, 3.3, 3.3};
+    out.time = {0.0, 1.2, 1.4, 5.0};
+    out.value = {3.3, 3.3, 0.0, 5.0 * 0.0};
+    const auto d = propagation_delay(in, out, 1.65, EdgeDir::Falling);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_NEAR(*d, 0.3, 1e-9);
+}
+
+TEST(PropagationDelay, EitherEdgeRejected) {
+    Trace t = sine(1.0, 3.0, 0.01);
+    EXPECT_THROW(propagation_delay(t, t, 0.0, EdgeDir::Either),
+                 std::invalid_argument);
+}
+
+TEST(PropagationDelay, NoEdgesGivesNullopt) {
+    Trace flat;
+    flat.time = {0.0, 1.0};
+    flat.value = {0.0, 0.0};
+    EXPECT_FALSE(propagation_delay(flat, flat, 0.5, EdgeDir::Rising).has_value());
+}
+
+} // namespace
+} // namespace stsense::spice

@@ -1,0 +1,201 @@
+// End-to-end tests of the paper's headline claims, crossing every module
+// boundary: physics -> cells -> ring -> analysis -> digital -> sensor.
+#include "analysis/nonlinearity.hpp"
+#include "phys/corners.hpp"
+#include "ring/spice_ring.hpp"
+#include "ring/sweep.hpp"
+#include "sensor/monitor.hpp"
+#include "sensor/optimizer.hpp"
+#include "sensor/presets.hpp"
+#include "sensor/smart_sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace stsense {
+namespace {
+
+using cells::CellKind;
+
+// Paper claim (Section 2): "by optimizing the circuit at transistor
+// level, it is possible to reduce the non-linearity error in the range
+// of temperatures of interest (-50 C to 150 C) below 0.2%".
+TEST(PaperClaims, RatioOptimizationReachesBelowPoint2Percent) {
+    const auto opt = sensor::optimize_ratio(phys::cmos350(), CellKind::Inv,
+                                            sensor::presets::kPaperStages, 1.0, 5.0);
+    EXPECT_LT(opt.max_nl_percent, 0.2);
+}
+
+// Paper claim (Section 3): "the error of the ring-oscillator can be
+// reduced [by cell selection] ... similar to the error when changing the
+// transistor sizes" — stock cells only, library ratio.
+TEST(PaperClaims, CellMixRecoversSizingQuality) {
+    const auto tech = phys::cmos350();
+    const auto mixes = sensor::enumerate_mixes(tech, cells::kAllCellKinds,
+                                               sensor::presets::kPaperStages);
+    ASSERT_FALSE(mixes.empty());
+    EXPECT_LT(mixes.front().max_nl_percent, 0.2);
+
+    // The best stock-cell mix comes close to the best custom sizing.
+    const auto sized = sensor::optimize_ratio(tech, CellKind::Inv,
+                                              sensor::presets::kPaperStages, 1.0, 5.0);
+    EXPECT_LT(mixes.front().max_nl_percent, 4.0 * (sized.max_nl_percent + 0.02));
+}
+
+// Paper claim (Section 2): "ring-oscillators with 5, 9 or 21 stages have
+// similar characteristics in terms of linearity".
+TEST(PaperClaims, StageCountBarelyAffectsLinearity) {
+    const auto tech = phys::cmos350();
+    std::vector<double> nls;
+    for (int n : sensor::presets::kStageCountFamily) {
+        const auto sw = ring::paper_sweep(
+            tech, ring::RingConfig::uniform(CellKind::Inv, n, 2.5));
+        nls.push_back(analysis::max_nonlinearity_percent(sw.temps_c, sw.period_s));
+    }
+    const double lo = *std::min_element(nls.begin(), nls.end());
+    const double hi = *std::max_element(nls.begin(), nls.end());
+    EXPECT_LT(hi - lo, 0.02); // Essentially identical.
+}
+
+// Fig. 2 family ordering survives the full SPICE engine, not just the
+// analytic model (coarse grid to keep runtime in check).
+TEST(PaperClaims, SpiceConfirmsRatioOrdering) {
+    const auto tech = phys::cmos350();
+    const std::vector<double> grid{-50.0, -25.0, 0.0, 25.0, 50.0,
+                                   75.0,  100.0, 125.0, 150.0};
+    ring::SpiceRingOptions opt;
+    opt.skip_cycles = 2;
+    opt.measure_cycles = 4;
+    opt.steps_per_period = 150;
+
+    auto nl_of = [&](double ratio) {
+        const auto sw = ring::temperature_sweep(
+            tech, ring::RingConfig::uniform(CellKind::Inv, 5, ratio), grid,
+            ring::Engine::Spice, opt);
+        return analysis::max_nonlinearity_percent(sw.temps_c, sw.period_s);
+    };
+    const double nl_10 = nl_of(1.0);
+    const double nl_27 = nl_of(2.75);
+    const double nl_50 = nl_of(5.0);
+    // The optimum region beats both extremes in SPICE too.
+    EXPECT_LT(nl_27, nl_10);
+    EXPECT_LT(nl_27, nl_50);
+}
+
+// The complete smart sensor (ring + counter + fixed-point converter)
+// stays within a degree over the paper range after a 0/100 two-point
+// factory calibration.
+TEST(EndToEnd, SmartSensorWithinOneDegreeOverPaperRange) {
+    sensor::SmartTemperatureSensor s(
+        phys::cmos350(), ring::RingConfig::uniform(CellKind::Inv, 5, 2.75));
+    s.calibrate_two_point(0.0, 100.0);
+    for (double t = -50.0; t <= 150.0; t += 10.0) {
+        EXPECT_NEAR(s.measure(t).temperature_c, t, 1.0) << "T=" << t;
+    }
+}
+
+// Per-die two-point calibration absorbs process corners: the same sensor
+// design, recalibrated on each corner die, stays accurate everywhere.
+TEST(EndToEnd, TwoPointCalibrationAbsorbsCorners) {
+    for (phys::Corner corner : phys::kAllCorners) {
+        const auto tech = phys::apply_corner(phys::cmos350(), corner);
+        sensor::SmartTemperatureSensor s(
+            tech, ring::RingConfig::uniform(CellKind::Inv, 5, 2.75));
+        s.calibrate_two_point(0.0, 100.0);
+        for (double t : {-50.0, 27.0, 85.0, 150.0}) {
+            EXPECT_NEAR(s.measure(t).temperature_c, t, 1.5)
+                << phys::to_string(corner) << " T=" << t;
+        }
+    }
+}
+
+// ...while an uncalibrated (golden-gain, no offset trim) readout shifts
+// visibly across corners — the reason the smart unit calibrates at all.
+TEST(EndToEnd, CornersShiftRawCodes) {
+    const auto cfg = ring::RingConfig::uniform(CellKind::Inv, 5, 2.75);
+    sensor::SmartTemperatureSensor tt(phys::cmos350(), cfg);
+    sensor::SmartTemperatureSensor ss(
+        phys::apply_corner(phys::cmos350(), phys::Corner::SS), cfg);
+    const auto code_tt = tt.raw_code(27.0);
+    const auto code_ss = ss.raw_code(27.0);
+    // Slow corner -> longer period -> materially larger code.
+    EXPECT_GT(static_cast<double>(code_ss),
+              1.05 * static_cast<double>(code_tt));
+}
+
+// Thermal mapping end-to-end on the demo floorplan, through the mux.
+TEST(EndToEnd, ThermalMappingResolvesHotspots) {
+    const auto fp = thermal::demo_floorplan();
+    const auto sites = sensor::uniform_sites(fp, 3, 3);
+    sensor::MonitorConfig cfg;
+    cfg.grid_nx = 32;
+    cfg.grid_ny = 32;
+    const sensor::ThermalMonitor mon(
+        phys::cmos350(), ring::RingConfig::uniform(CellKind::Inv, 5, 2.75), fp,
+        sites, cfg);
+    const auto map = mon.scan();
+    EXPECT_LT(map.max_abs_error_c, 0.5);
+    // The measured field reproduces the spatial ordering of the truth.
+    for (const auto& a : map.sites) {
+        for (const auto& b : map.sites) {
+            if (a.true_c > b.true_c + 2.0) {
+                EXPECT_GT(a.measured_c, b.measured_c)
+                    << a.name << " vs " << b.name;
+            }
+        }
+    }
+}
+
+// The analytic C*Vdd^2*f power model that drives self-heating is
+// validated by the transistor-level engine's supply metering.
+TEST(EndToEnd, SpicePowerValidatesAnalyticSelfHeatingModel) {
+    const auto tech = phys::cmos350();
+    const auto cfg = ring::RingConfig::uniform(CellKind::Inv, 5, 2.5);
+
+    ring::SpiceRingOptions opt;
+    opt.skip_cycles = 2;
+    opt.measure_cycles = 4;
+    opt.steps_per_period = 200;
+    opt.record_waveform = false;
+    const auto r = ring::SpiceRingModel(tech, cfg).simulate(300.0, opt);
+
+    const double analytic = thermal::ring_dynamic_power(tech, cfg, 300.0);
+    EXPECT_GT(r.avg_supply_power_w / analytic, 0.5);
+    EXPECT_LT(r.avg_supply_power_w / analytic, 2.0);
+}
+
+// Monte-Carlo: one-point calibration leaves a gain-error tail; two-point
+// calibration collapses it — quantifying the calibration design choice.
+TEST(EndToEnd, TwoPointBeatsOnePointUnderVariation) {
+    const auto base = phys::cmos350();
+    const auto cfg = ring::RingConfig::uniform(CellKind::Inv, 5, 2.75);
+
+    // Golden-die gain for the one-point scheme.
+    sensor::SmartTemperatureSensor golden(base, cfg);
+    const double nominal_gain = golden.nominal_gain_c_per_code(0.0, 100.0);
+
+    phys::VariationSpec spec;
+    util::Rng rng(2024);
+    double worst_one = 0.0;
+    double worst_two = 0.0;
+    for (int die = 0; die < 20; ++die) {
+        const auto tech = phys::sample_variation(base, spec, rng);
+        sensor::SmartTemperatureSensor one(tech, cfg);
+        sensor::SmartTemperatureSensor two(tech, cfg);
+        one.calibrate_one_point(27.0, nominal_gain);
+        two.calibrate_two_point(0.0, 100.0);
+        for (double t : {-50.0, 150.0}) {
+            worst_one = std::max(worst_one,
+                                 std::abs(one.measure(t).temperature_c - t));
+            worst_two = std::max(worst_two,
+                                 std::abs(two.measure(t).temperature_c - t));
+        }
+    }
+    EXPECT_LT(worst_two, worst_one);
+    EXPECT_LT(worst_two, 1.5);
+}
+
+} // namespace
+} // namespace stsense

@@ -1,0 +1,158 @@
+#include "thermal/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace stsense::thermal {
+namespace {
+
+TEST(ThermalGrid, RejectsBadConstruction) {
+    EXPECT_THROW(ThermalGrid(0, 4, 1e-3, 1e-3), std::invalid_argument);
+    EXPECT_THROW(ThermalGrid(4, 4, -1.0, 1e-3), std::invalid_argument);
+    GridParams p;
+    p.k_si = 0.0;
+    EXPECT_THROW(ThermalGrid(4, 4, 1e-3, 1e-3, p), std::invalid_argument);
+}
+
+TEST(SteadyState, ZeroPowerIsAmbientEverywhere) {
+    GridParams params;
+    params.ambient_c = 45.0;
+    const ThermalGrid grid(8, 8, 10e-3, 10e-3, params);
+    const std::vector<double> power(64, 0.0);
+    const auto t = grid.steady_state(power);
+    for (double v : t) EXPECT_NEAR(v, 45.0, 1e-6);
+}
+
+TEST(SteadyState, UniformPowerGivesUniformRisePlusAmbient) {
+    // With uniform power and adiabatic edges, every cell sees the same
+    // vertical path: dT = P_cell / G_v.
+    GridParams params;
+    params.ambient_c = 40.0;
+    const int n = 8;
+    const ThermalGrid grid(n, n, 10e-3, 10e-3, params);
+    const double p_cell = 0.1;
+    const std::vector<double> power(static_cast<std::size_t>(n) * n, p_cell);
+    const auto t = grid.steady_state(power);
+    const double dx = 10e-3 / n;
+    const double g_v = params.h_eff * dx * dx;
+    const double expected = params.ambient_c + p_cell / g_v;
+    for (double v : t) EXPECT_NEAR(v, expected, 1e-5);
+}
+
+TEST(SteadyState, GlobalEnergyBalance) {
+    // Total power in == total vertical heat out: sum(G_v (T - Tamb)) = P.
+    GridParams params;
+    const int n = 16;
+    const ThermalGrid grid(n, n, 10e-3, 10e-3, params);
+    std::vector<double> power(static_cast<std::size_t>(n) * n, 0.0);
+    power[3 * n + 4] = 5.0;
+    power[10 * n + 12] = 3.0;
+    SolveOptions opt;
+    opt.tolerance_c = 1e-10;
+    const auto t = grid.steady_state(power, opt);
+    const double dx = 10e-3 / n;
+    const double g_v = params.h_eff * dx * dx;
+    double out = 0.0;
+    for (double v : t) out += g_v * (v - params.ambient_c);
+    EXPECT_NEAR(out, 8.0, 8.0 * 1e-5);
+}
+
+TEST(SteadyState, HotspotPeaksAtSource) {
+    GridParams params;
+    const int n = 16;
+    const ThermalGrid grid(n, n, 10e-3, 10e-3, params);
+    std::vector<double> power(static_cast<std::size_t>(n) * n, 0.0);
+    const std::size_t src = 5 * n + 7;
+    power[src] = 10.0;
+    const auto t = grid.steady_state(power);
+    const auto peak = std::max_element(t.begin(), t.end());
+    EXPECT_EQ(static_cast<std::size_t>(peak - t.begin()), src);
+    // Temperature decays away from the source.
+    EXPECT_GT(t[src], t[src + 1]);
+    EXPECT_GT(t[src + 1], t[src + 3]);
+}
+
+TEST(SteadyState, SizeMismatchThrows) {
+    const ThermalGrid grid(4, 4, 1e-3, 1e-3);
+    EXPECT_THROW(grid.steady_state(std::vector<double>(15, 0.0)),
+                 std::invalid_argument);
+}
+
+TEST(TransientStep, ConvergesToSteadyState) {
+    GridParams params;
+    const int n = 8;
+    const ThermalGrid grid(n, n, 10e-3, 10e-3, params);
+    std::vector<double> power(static_cast<std::size_t>(n) * n, 0.0);
+    power[3 * n + 3] = 4.0;
+
+    const auto target = grid.steady_state(power);
+    std::vector<double> t(static_cast<std::size_t>(n) * n, params.ambient_c);
+    for (int step = 0; step < 400; ++step) {
+        grid.transient_step(t, power, 1e-3);
+    }
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_NEAR(t[i], target[i], 0.05) << "cell " << i;
+    }
+}
+
+TEST(TransientStep, HeatsMonotonicallyFromAmbient) {
+    GridParams params;
+    const int n = 6;
+    const ThermalGrid grid(n, n, 5e-3, 5e-3, params);
+    std::vector<double> power(static_cast<std::size_t>(n) * n, 0.05);
+    std::vector<double> t(power.size(), params.ambient_c);
+    double prev_mean = params.ambient_c;
+    for (int step = 0; step < 10; ++step) {
+        grid.transient_step(t, power, 1e-4);
+        const double mean = std::accumulate(t.begin(), t.end(), 0.0) /
+                            static_cast<double>(t.size());
+        EXPECT_GT(mean, prev_mean);
+        prev_mean = mean;
+    }
+}
+
+TEST(TransientStep, BadArgsThrow) {
+    const ThermalGrid grid(4, 4, 1e-3, 1e-3);
+    std::vector<double> t(16, 45.0);
+    std::vector<double> p(16, 0.0);
+    EXPECT_THROW(grid.transient_step(t, p, 0.0), std::invalid_argument);
+    std::vector<double> bad(15, 0.0);
+    EXPECT_THROW(grid.transient_step(t, bad, 1e-3), std::invalid_argument);
+}
+
+TEST(Sample, BilinearInterpolatesBetweenCells) {
+    const ThermalGrid grid(2, 1, 2e-3, 1e-3);
+    // Cell centers at x = 0.5 mm and 1.5 mm.
+    const std::vector<double> t{10.0, 20.0};
+    EXPECT_NEAR(grid.sample(t, 0.5e-3, 0.5e-3), 10.0, 1e-9);
+    EXPECT_NEAR(grid.sample(t, 1.5e-3, 0.5e-3), 20.0, 1e-9);
+    EXPECT_NEAR(grid.sample(t, 1.0e-3, 0.5e-3), 15.0, 1e-9);
+}
+
+TEST(Sample, ClampsOutsideDie) {
+    const ThermalGrid grid(2, 1, 2e-3, 1e-3);
+    const std::vector<double> t{10.0, 20.0};
+    EXPECT_NEAR(grid.sample(t, -1e-3, 0.0), 10.0, 1e-9);
+    EXPECT_NEAR(grid.sample(t, 5e-3, 2e-3), 20.0, 1e-9);
+}
+
+TEST(CellIndex, MapsCoordinates) {
+    const ThermalGrid grid(4, 4, 4e-3, 4e-3);
+    EXPECT_EQ(grid.cell_index(0.5e-3, 0.5e-3), 0u);
+    EXPECT_EQ(grid.cell_index(3.5e-3, 0.5e-3), 3u);
+    EXPECT_EQ(grid.cell_index(0.5e-3, 3.5e-3), 12u);
+}
+
+TEST(SolveOptions, BadOmegaThrows) {
+    const ThermalGrid grid(4, 4, 1e-3, 1e-3);
+    std::vector<double> p(16, 0.0);
+    SolveOptions opt;
+    opt.sor_omega = 2.5;
+    EXPECT_THROW(grid.steady_state(p, opt), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::thermal

@@ -1,0 +1,83 @@
+#include "thermal/self_heating.hpp"
+
+#include "cells/cell.hpp"
+#include "phys/technology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::thermal {
+namespace {
+
+using cells::CellKind;
+using ring::RingConfig;
+
+TEST(RingDynamicPower, MilliwattScaleAndTemperatureTrend) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
+    const double p300 = ring_dynamic_power(tech, cfg, 300.0);
+    EXPECT_GT(p300, 1e-4);
+    EXPECT_LT(p300, 1e-2);
+    // Hotter ring runs slower -> less dynamic power.
+    EXPECT_LT(ring_dynamic_power(tech, cfg, 400.0), p300);
+}
+
+TEST(RingDynamicPower, MoreStagesMorePower) {
+    const auto tech = phys::cmos350();
+    const double p5 = ring_dynamic_power(tech, RingConfig::uniform(CellKind::Inv, 5), 300.0);
+    const double p21 = ring_dynamic_power(tech, RingConfig::uniform(CellKind::Inv, 21), 300.0);
+    // f drops ~21/5 while C rises ~21/5: power is roughly constant,
+    // certainly within 2x.
+    EXPECT_NEAR(p21 / p5, 1.0, 0.6);
+}
+
+TEST(SelfHeating, FixpointSettlesAboveDieTemperature) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
+    const auto r = solve_self_heating(tech, cfg, 85.0);
+    EXPECT_GT(r.junction_c, 85.0);
+    EXPECT_NEAR(r.junction_c, 85.0 + r.delta_c, 1e-9);
+    EXPECT_GT(r.avg_power_w, 0.0);
+    // With r_local = 2000 K/W and ~1.5 mW: a few degrees.
+    EXPECT_GT(r.delta_c, 0.5);
+    EXPECT_LT(r.delta_c, 10.0);
+}
+
+TEST(SelfHeating, DutyCyclingShrinksError) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
+    SelfHeatingParams p;
+    p.duty = 1.0;
+    const double full = solve_self_heating(tech, cfg, 85.0, p).delta_c;
+    p.duty = 0.1;
+    const double tenth = solve_self_heating(tech, cfg, 85.0, p).delta_c;
+    p.duty = 0.0;
+    const double off = solve_self_heating(tech, cfg, 85.0, p).delta_c;
+    EXPECT_LT(tenth, full);
+    EXPECT_NEAR(tenth / full, 0.1, 0.03);
+    EXPECT_NEAR(off, 0.0, 1e-9);
+}
+
+TEST(SelfHeating, ConsistentAcrossDieTemperatures) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
+    // The rise shrinks slightly at hot die temperatures (slower ring,
+    // less power) but stays the same order.
+    const double cold = solve_self_heating(tech, cfg, -50.0).delta_c;
+    const double hot = solve_self_heating(tech, cfg, 150.0).delta_c;
+    EXPECT_GT(cold, hot);
+    EXPECT_GT(hot, 0.2);
+}
+
+TEST(SelfHeating, InvalidParamsThrow) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
+    SelfHeatingParams p;
+    p.duty = 1.5;
+    EXPECT_THROW(solve_self_heating(tech, cfg, 85.0, p), std::invalid_argument);
+    p = SelfHeatingParams{};
+    p.r_local = -1.0;
+    EXPECT_THROW(solve_self_heating(tech, cfg, 85.0, p), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::thermal

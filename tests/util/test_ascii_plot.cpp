@@ -1,0 +1,76 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stsense::util {
+namespace {
+
+TEST(AsciiPlot, ProducesCanvasWithMarks) {
+    std::vector<double> x{0, 1, 2, 3};
+    std::vector<double> y{0, 1, 0, -1};
+    const std::string out = ascii_plot(x, y);
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyThrows) {
+    std::vector<double> empty;
+    EXPECT_THROW(ascii_plot(empty, empty), std::invalid_argument);
+}
+
+TEST(AsciiPlot, SizeMismatchThrows) {
+    std::vector<double> x{0, 1};
+    std::vector<double> y{0};
+    EXPECT_THROW(ascii_plot(x, y), std::invalid_argument);
+}
+
+TEST(AsciiPlot, FlatSeriesDoesNotDivideByZero) {
+    std::vector<double> x{0, 1, 2};
+    std::vector<double> y{5, 5, 5};
+    EXPECT_NO_THROW(ascii_plot(x, y));
+}
+
+TEST(AsciiPlot, LabelsAppear) {
+    std::vector<double> x{0, 1};
+    std::vector<double> y{0, 1};
+    PlotOptions opt;
+    opt.x_label = "time (ps)";
+    opt.y_label = "volts";
+    const std::string out = ascii_plot(x, y, opt);
+    EXPECT_NE(out.find("time (ps)"), std::string::npos);
+    EXPECT_NE(out.find("volts"), std::string::npos);
+}
+
+TEST(AsciiPlotMulti, LegendListsSeries) {
+    std::vector<double> x{0, 1, 2};
+    std::vector<std::vector<double>> series{{0, 1, 2}, {2, 1, 0}};
+    const std::string out = ascii_plot_multi(x, series, {"up", "down"});
+    EXPECT_NE(out.find("up"), std::string::npos);
+    EXPECT_NE(out.find("down"), std::string::npos);
+    EXPECT_NE(out.find('+'), std::string::npos); // Second series mark.
+}
+
+TEST(AsciiPlotMulti, MismatchedSeriesThrows) {
+    std::vector<double> x{0, 1, 2};
+    std::vector<std::vector<double>> series{{0, 1}};
+    EXPECT_THROW(ascii_plot_multi(x, series, {}), std::invalid_argument);
+}
+
+TEST(AsciiPlot, SineWaveTouchesBothExtremes) {
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        x.push_back(i * 0.05);
+        y.push_back(std::sin(i * 0.05));
+    }
+    const std::string out = ascii_plot(x, y);
+    // Annotated min/max should be close to -1 / 1.
+    EXPECT_NE(out.find("0.99"), std::string::npos);
+    EXPECT_NE(out.find("-0.99"), std::string::npos);
+}
+
+} // namespace
+} // namespace stsense::util

@@ -1,0 +1,57 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+    std::vector<const char*> argv(args);
+    return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesKeyValueOptions) {
+    Cli cli = make({"prog", "--temp=27.5", "--name=ring"});
+    EXPECT_DOUBLE_EQ(cli.get("temp", 0.0), 27.5);
+    EXPECT_EQ(cli.get("name", std::string("x")), "ring");
+}
+
+TEST(Cli, ParsesBareFlags) {
+    Cli cli = make({"prog", "--verbose"});
+    EXPECT_TRUE(cli.has("verbose"));
+    EXPECT_FALSE(cli.has("quiet"));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+    Cli cli = make({"prog"});
+    EXPECT_DOUBLE_EQ(cli.get("x", 1.5), 1.5);
+    EXPECT_EQ(cli.get("n", 7), 7);
+    EXPECT_EQ(cli.get("s", std::string("d")), "d");
+}
+
+TEST(Cli, CollectsPositionals) {
+    Cli cli = make({"prog", "file1", "--k=v", "file2"});
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "file1");
+    EXPECT_EQ(cli.positional()[1], "file2");
+    EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, IntegerParsing) {
+    Cli cli = make({"prog", "--n=42"});
+    EXPECT_EQ(cli.get("n", 0), 42);
+}
+
+TEST(Cli, BadNumberThrows) {
+    Cli cli = make({"prog", "--n=abc"});
+    EXPECT_THROW(cli.get("n", 0), std::invalid_argument);
+    EXPECT_THROW(cli.get("n", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, EmptyValueAllowed) {
+    Cli cli = make({"prog", "--k="});
+    EXPECT_EQ(cli.get("k", std::string("d")), "");
+}
+
+} // namespace
+} // namespace stsense::util

@@ -1,0 +1,111 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace stsense::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.uniform01();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespected) {
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    Rng rng(11);
+    const int n = 200000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaledMoments) {
+    Rng rng(13);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BelowStaysBelow) {
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+    Rng rng(5);
+    EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng a(9);
+    Rng b = a.split();
+    // The split stream shouldn't mirror the parent.
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGeneratorBounds) {
+    EXPECT_EQ(Rng::min(), 0u);
+    EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+}
+
+} // namespace
+} // namespace stsense::util

@@ -1,0 +1,44 @@
+#include "util/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::util {
+namespace {
+
+TEST(Linspace, EndpointsExact) {
+    const auto v = linspace(-50.0, 150.0, 17);
+    ASSERT_EQ(v.size(), 17u);
+    EXPECT_DOUBLE_EQ(v.front(), -50.0);
+    EXPECT_DOUBLE_EQ(v.back(), 150.0);
+}
+
+TEST(Linspace, UniformSpacing) {
+    const auto v = linspace(0.0, 1.0, 5);
+    for (std::size_t i = 1; i < v.size(); ++i) {
+        EXPECT_NEAR(v[i] - v[i - 1], 0.25, 1e-12);
+    }
+}
+
+TEST(Linspace, TooFewPointsThrows) {
+    EXPECT_THROW(linspace(0.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Arange, PaperGridHas17Points) {
+    const auto v = arange(-50.0, 150.0, 12.5);
+    EXPECT_EQ(v.size(), 17u);
+    EXPECT_DOUBLE_EQ(v.front(), -50.0);
+    EXPECT_NEAR(v.back(), 150.0, 1e-9);
+}
+
+TEST(Arange, IncludesEndpointWithinTolerance) {
+    const auto v = arange(0.0, 1.0, 0.1);
+    EXPECT_EQ(v.size(), 11u);
+}
+
+TEST(Arange, NonPositiveStepThrows) {
+    EXPECT_THROW(arange(0.0, 1.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(arange(0.0, 1.0, -1.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::util

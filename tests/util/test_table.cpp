@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+    Table t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer", "2.5"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, AllLinesSameWidth) {
+    Table t({"a", "bb", "ccc"});
+    t.add_row({"1", "22", "333"});
+    t.add_row({"4444", "5", "6"});
+    const std::string out = t.render();
+    std::size_t width = std::string::npos;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t nl = out.find('\n', pos);
+        const std::size_t len = nl - pos;
+        if (width == std::string::npos) width = len;
+        EXPECT_EQ(len, width);
+        pos = nl + 1;
+    }
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumericRowsFormatted) {
+    Table t({"v"});
+    t.add_row_numeric({1.23456}, 2);
+    EXPECT_NE(t.render().find("1.23"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Fixed, FormatsWithPrecision) {
+    EXPECT_EQ(fixed(1.25, 1), "1.2");
+    EXPECT_EQ(fixed(-0.5, 3), "-0.500");
+}
+
+TEST(Sci, FormatsScientific) {
+    EXPECT_EQ(sci(1234.5, 2), "1.23e+03");
+}
+
+} // namespace
+} // namespace stsense::util
