@@ -5,6 +5,7 @@
 #include "bench_common.hpp"
 
 #include "analysis/nonlinearity.hpp"
+#include "exec/exec.hpp"
 #include "ring/analytic.hpp"
 #include "ring/sweep.hpp"
 #include "sensor/optimizer.hpp"
@@ -13,6 +14,7 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 
+#include <chrono>
 #include <iostream>
 
 using namespace stsense;
@@ -59,9 +61,24 @@ int main(int argc, char** argv) {
     std::cout << table.render();
 
     // Exhaustive stock-cell mix search (abstract: "an adequate set of
-    // standard logic gates").
+    // standard logic gates"). Runs once serially and once through the
+    // pool to report the runtime-layer speedup on the paper's largest
+    // enumeration; both orderings must be identical.
+    const auto t_serial = std::chrono::steady_clock::now();
+    const auto mixes_serial = sensor::enumerate_mixes(tech, cells::kAllCellKinds,
+                                                      sensor::presets::kPaperStages);
+    const auto t_parallel = std::chrono::steady_clock::now();
     const auto mixes = sensor::enumerate_mixes(tech, cells::kAllCellKinds,
-                                               sensor::presets::kPaperStages);
+                                               sensor::presets::kPaperStages,
+                                               &exec::ThreadPool::global());
+    const auto t_done = std::chrono::steady_clock::now();
+    const double serial_s = std::chrono::duration<double>(t_parallel - t_serial).count();
+    const double parallel_s = std::chrono::duration<double>(t_done - t_parallel).count();
+    bool enum_identical = mixes.size() == mixes_serial.size();
+    for (std::size_t i = 0; enum_identical && i < mixes.size(); ++i) {
+        enum_identical = mixes[i].name == mixes_serial[i].name &&
+                         mixes[i].max_nl_percent == mixes_serial[i].max_nl_percent;
+    }
     std::cout << "\nexhaustive mix enumeration over {INV, NAND2, NAND3, NOR2, NOR3} "
               << "(" << mixes.size() << " multisets), top 8:\n";
     util::Table best({"rank", "configuration", "max |NL| (%)"});
@@ -83,7 +100,17 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nerror-series csv: " << csv_path << "\n";
 
+    const auto cache_stats = exec::ResultCache::global().stats();
+    std::cout << "runtime: enumeration serial " << util::fixed(serial_s * 1e3, 1)
+              << " ms, pool+warm-cache " << util::fixed(parallel_s * 1e3, 1)
+              << " ms (" << util::fixed(parallel_s > 0.0 ? serial_s / parallel_s : 0.0, 1)
+              << "x); sweep cache " << cache_stats.hits << " hits / "
+              << cache_stats.misses << " misses (hit rate "
+              << util::fixed(100.0 * cache_stats.hit_rate(), 1) << " %)\n";
+
     bench::ShapeChecks checks;
+    checks.expect("pooled enumeration ranking identical to serial", enum_identical);
+    checks.expect("repeated sweeps hit the result cache", cache_stats.hits > 0);
     checks.expect("cell mixes span a wide NL range (selection is a real knob)",
                   [&] {
                       double lo = max_nls[0];

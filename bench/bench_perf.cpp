@@ -1,10 +1,12 @@
 // PERF — google-benchmark microbenchmarks of the simulation kernels:
 // MOSFET evaluation, Newton DC solves, transient steps, full ring
-// simulations vs stage count, analytic sweeps, and the thermal solver.
+// simulations vs stage count, analytic sweeps (serial vs pool vs
+// cached), and the thermal solver.
 #include <benchmark/benchmark.h>
 
 #include "analysis/nonlinearity.hpp"
 #include "cells/cell_netlist.hpp"
+#include "exec/exec.hpp"
 #include "phys/technology.hpp"
 #include "ring/analytic.hpp"
 #include "ring/spice_ring.hpp"
@@ -78,12 +80,70 @@ void BM_PaperSweepAnalytic(benchmark::State& state) {
     const auto tech = phys::cmos350();
     const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.5);
     for (auto _ : state) {
-        const auto sw = ring::paper_sweep(tech, cfg);
+        const auto sw = ring::paper_sweep(tech, cfg, ring::Engine::Analytic, {},
+                                          ring::SweepRuntime::serial());
         benchmark::DoNotOptimize(
             analysis::max_nonlinearity_percent(sw.temps_c, sw.period_s));
     }
 }
 BENCHMARK(BM_PaperSweepAnalytic);
+
+void BM_PaperSweepAnalyticCached(benchmark::State& state) {
+    // Same sweep through a memoizing runtime: after the first iteration
+    // every call is a cache hit — the speedup over BM_PaperSweepAnalytic
+    // is the cache's win on repeated sweeps.
+    const auto tech = phys::cmos350();
+    const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.5);
+    exec::ResultCache cache;
+    ring::SweepRuntime rt;
+    rt.cache = &cache;
+    rt.parallel = false;
+    for (auto _ : state) {
+        const auto sw = ring::paper_sweep(tech, cfg, ring::Engine::Analytic, {}, rt);
+        benchmark::DoNotOptimize(sw.period_s.data());
+    }
+    state.SetLabel("hit rate " +
+                   std::to_string(100.0 * cache.stats().hit_rate()).substr(0, 5) + "%");
+}
+BENCHMARK(BM_PaperSweepAnalyticCached);
+
+void BM_SpiceSweepSerial(benchmark::State& state) {
+    const auto tech = phys::cmos350();
+    const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 3, 2.5);
+    const std::vector<double> grid{-50.0, 0.0, 50.0, 100.0, 150.0};
+    ring::SpiceRingOptions opt;
+    opt.skip_cycles = 1;
+    opt.measure_cycles = 2;
+    opt.steps_per_period = 80;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ring::temperature_sweep(
+            tech, cfg, grid, ring::Engine::Spice, opt, ring::SweepRuntime::serial()));
+    }
+}
+BENCHMARK(BM_SpiceSweepSerial);
+
+void BM_SpiceSweepParallel(benchmark::State& state) {
+    // Identical work fanned out point-per-task; compare against
+    // BM_SpiceSweepSerial for the pool's speedup at this thread count.
+    const auto threads = static_cast<int>(state.range(0));
+    const auto tech = phys::cmos350();
+    const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 3, 2.5);
+    const std::vector<double> grid{-50.0, 0.0, 50.0, 100.0, 150.0};
+    ring::SpiceRingOptions opt;
+    opt.skip_cycles = 1;
+    opt.measure_cycles = 2;
+    opt.steps_per_period = 80;
+    exec::ThreadPool pool(threads);
+    ring::SweepRuntime rt;
+    rt.pool = &pool;
+    rt.use_cache = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ring::temperature_sweep(
+            tech, cfg, grid, ring::Engine::Spice, opt, rt));
+    }
+    state.SetLabel(std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_SpiceSweepParallel)->Arg(2)->Arg(4);
 
 void BM_ThermalSteadyState(benchmark::State& state) {
     const auto n = static_cast<int>(state.range(0));

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + test suite, then the concurrency-sensitive
+# exec/ring tests again under ThreadSanitizer. Run from anywhere; builds
+# live in <repo>/build and <repo>/build-tsan.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="${JOBS:-$(nproc)}"
+
+echo "== tier 1: build + full test suite =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+echo "== tier 1: exec/ring concurrency tests under ThreadSanitizer =="
+cmake -B "$repo/build-tsan" -S "$repo" -DSTSENSE_SANITIZE=thread
+cmake --build "$repo/build-tsan" --target stsense_tests -j "$jobs"
+# The filter covers the pool, cache, metrics, determinism suite, and the
+# sweep driver (the code paths that actually run concurrently).
+"$repo/build-tsan/tests/stsense_tests" \
+    --gtest_filter='ThreadPool*:TaskGroup*:ResultCache*:Metrics*:Fingerprint*:ExecDeterminism*:TemperatureSweep*:PaperSweep*:Variation*'
+
+echo "tier 1: all gates passed"

@@ -1,0 +1,28 @@
+// stsense::exec — the parallel execution runtime.
+//
+// Sits between util and every simulation layer in the dependency order
+// (util -> exec -> phys -> ...). Three pieces:
+//
+//   * ThreadPool / TaskGroup (thread_pool.hpp): fixed-size work-stealing
+//     pool with a chunked, deterministic parallel_for. The process-wide
+//     pool is ThreadPool::global(), sized by the STSENSE_THREADS
+//     environment variable (default: hardware concurrency).
+//   * Fingerprint (fingerprint.hpp) + ResultCache (result_cache.hpp):
+//     content-addressed memoization of simulation results with an LRU
+//     byte budget, hit/miss statistics, and CSV persistence.
+//   * MetricsRegistry (metrics.hpp): counters/gauges/scoped wall-clock
+//     timers the pool, the cache, and the benches publish into;
+//     dumpable as JSON.
+//
+// The contract the consumers rely on: running a workload through the
+// pool with ANY thread count produces bitwise identical results to the
+// serial loop. Chunk boundaries are a pure function of (n, grain),
+// results are committed by index, and per-trial randomness is derived
+// by seed-splitting (util::Rng::split(stream_id)) — never from
+// scheduling order.
+#pragma once
+
+#include "exec/fingerprint.hpp"   // IWYU pragma: export
+#include "exec/metrics.hpp"       // IWYU pragma: export
+#include "exec/result_cache.hpp"  // IWYU pragma: export
+#include "exec/thread_pool.hpp"   // IWYU pragma: export

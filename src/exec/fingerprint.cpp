@@ -1,0 +1,14 @@
+#include "exec/fingerprint.hpp"
+
+namespace stsense::exec {
+
+Fingerprint& Fingerprint::bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h_ ^= p[i];
+        h_ *= 0x00000100000001b3ULL; // FNV prime.
+    }
+    return *this;
+}
+
+} // namespace stsense::exec

@@ -1,0 +1,57 @@
+// 64-bit FNV-1a content fingerprinting — the key function of the
+// result cache. Callers feed every input that influences a computation
+// (technology parameters, ring configuration, engine, options, grid)
+// and use the digest as the cache key: identical inputs hash equal, and
+// 64 bits make accidental collisions negligible at cache scale.
+//
+// Doubles are hashed by bit pattern (after normalizing -0.0 to +0.0 so
+// numerically equal keys match); this makes the fingerprint exact — no
+// epsilon semantics — which is what a bitwise-deterministic result
+// store requires.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace stsense::exec {
+
+/// Incremental FNV-1a hasher. Feed order matters (by design: a field's
+/// position is part of the content).
+class Fingerprint {
+public:
+    /// Hashes a raw byte range.
+    Fingerprint& bytes(const void* data, std::size_t n);
+
+    Fingerprint& add(std::uint64_t v) { return bytes(&v, sizeof v); }
+    Fingerprint& add(std::int64_t v) { return add(static_cast<std::uint64_t>(v)); }
+    Fingerprint& add(int v) { return add(static_cast<std::int64_t>(v)); }
+    Fingerprint& add(bool v) { return add(static_cast<std::int64_t>(v ? 1 : 0)); }
+
+    Fingerprint& add(double v) {
+        if (v == 0.0) v = 0.0; // Collapse -0.0 onto +0.0.
+        return add(std::bit_cast<std::uint64_t>(v));
+    }
+
+    /// Length-prefixed so "ab"+"c" != "a"+"bc".
+    Fingerprint& add(std::string_view s) {
+        add(static_cast<std::uint64_t>(s.size()));
+        return bytes(s.data(), s.size());
+    }
+
+    Fingerprint& add(std::span<const double> values) {
+        add(static_cast<std::uint64_t>(values.size()));
+        for (double v : values) add(v);
+        return *this;
+    }
+
+    /// The 64-bit digest of everything fed so far.
+    std::uint64_t value() const { return h_; }
+
+private:
+    std::uint64_t h_ = 0xcbf29ce484222325ULL; // FNV offset basis.
+};
+
+} // namespace stsense::exec

@@ -1,0 +1,66 @@
+#include "exec/metrics.hpp"
+
+#include <sstream>
+
+namespace stsense::exec {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    std::lock_guard lock(m_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    std::lock_guard lock(m_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Timer& MetricsRegistry::timer(const std::string& name) {
+    std::lock_guard lock(m_);
+    auto& slot = timers_[name];
+    if (!slot) slot = std::make_unique<Timer>();
+    return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+    std::lock_guard lock(m_);
+    std::ostringstream out;
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        out << (first ? "" : ",") << '"' << name << "\":" << c->value();
+        first = false;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+        out << (first ? "" : ",") << '"' << name << "\":" << g->value();
+        first = false;
+    }
+    out << "},\"timers\":{";
+    first = true;
+    for (const auto& [name, t] : timers_) {
+        out << (first ? "" : ",") << '"' << name << "\":{\"total_ms\":"
+            << t->total_ms() << ",\"count\":" << t->count() << '}';
+        first = false;
+    }
+    out << "}}";
+    return out.str();
+}
+
+void MetricsRegistry::reset() {
+    std::lock_guard lock(m_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, t] : timers_) t->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace stsense::exec

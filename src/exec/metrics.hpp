@@ -1,0 +1,104 @@
+// Lightweight runtime metrics: named counters, gauges, and wall-clock
+// timers that the execution layer (thread pool, result cache) and the
+// benches publish into. Cheap enough to leave enabled everywhere —
+// recording is an atomic add — and dumpable as JSON so bench snapshots
+// (BENCH_exec.json) can archive a run's runtime behaviour.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace stsense::exec {
+
+/// Monotonic event count (tasks executed, cache hits, ...).
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+    std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written instantaneous value (bytes resident, pool size, ...).
+class Gauge {
+public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> v_{0.0};
+};
+
+/// Accumulated wall-clock time over any number of recorded intervals.
+class Timer {
+public:
+    void record_ns(std::uint64_t ns) {
+        ns_.fetch_add(ns, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::uint64_t total_ns() const { return ns_.load(std::memory_order_relaxed); }
+    double total_ms() const { return static_cast<double>(total_ns()) * 1e-6; }
+    std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    void reset() {
+        ns_.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> ns_{0};
+    std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII guard: records the guarded scope's wall time into a Timer.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(Timer& timer)
+        : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer() {
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_);
+        timer_.record_ns(static_cast<std::uint64_t>(ns.count()));
+    }
+
+private:
+    Timer& timer_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Name -> instrument registry. Instruments are created on first use and
+/// live for the registry's lifetime, so returned references stay valid
+/// (hot paths can cache them). Thread-safe.
+class MetricsRegistry {
+public:
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Timer& timer(const std::string& name);
+
+    /// Serializes every instrument, sorted by name:
+    ///   {"counters":{...},"gauges":{...},"timers":{"x":{"total_ms":..,"count":..}}}
+    std::string to_json() const;
+
+    /// Zeroes all values. Instruments (and references) stay valid.
+    void reset();
+
+    /// The process-wide registry the pool and cache publish into.
+    static MetricsRegistry& global();
+
+private:
+    mutable std::mutex m_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+} // namespace stsense::exec

@@ -1,0 +1,166 @@
+#include "exec/result_cache.hpp"
+
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stsense::exec {
+
+std::size_t Series::byte_size() const {
+    std::size_t bytes = sizeof(Series);
+    for (const auto& n : names) bytes += n.capacity() + sizeof(std::string);
+    for (const auto& c : columns) {
+        bytes += c.capacity() * sizeof(double) + sizeof(std::vector<double>);
+    }
+    return bytes;
+}
+
+ResultCache::ResultCache(std::size_t byte_budget, MetricsRegistry* metrics,
+                         std::string metric_prefix)
+    : budget_(byte_budget) {
+    if (metrics != nullptr) {
+        metric_hits_ = &metrics->counter(metric_prefix + ".hits");
+        metric_misses_ = &metrics->counter(metric_prefix + ".misses");
+        metric_evictions_ = &metrics->counter(metric_prefix + ".evictions");
+        metric_bytes_ = &metrics->gauge(metric_prefix + ".bytes");
+    }
+}
+
+std::shared_ptr<const Series> ResultCache::find(std::uint64_t key) {
+    std::lock_guard lock(m_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        if (metric_misses_ != nullptr) metric_misses_->add();
+        return nullptr;
+    }
+    ++hits_;
+    if (metric_hits_ != nullptr) metric_hits_->add();
+    lru_.splice(lru_.begin(), lru_, it->second); // Refresh recency.
+    return it->second->value;
+}
+
+std::shared_ptr<const Series> ResultCache::insert(std::uint64_t key, Series value) {
+    auto stored = std::make_shared<const Series>(std::move(value));
+    const std::size_t bytes = stored->byte_size();
+    std::lock_guard lock(m_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->value; // Keep the first-computed object.
+    }
+    lru_.push_front(Entry{key, std::move(stored), bytes});
+    index_[key] = lru_.begin();
+    bytes_ += bytes;
+    evict_to_budget();
+    if (metric_bytes_ != nullptr) metric_bytes_->set(static_cast<double>(bytes_));
+    return lru_.empty() ? nullptr : lru_.front().value;
+}
+
+void ResultCache::evict_to_budget() {
+    while (bytes_ > budget_ && !lru_.empty()) {
+        // Never evict the most recent entry: the value just inserted must
+        // survive long enough to be returned even if it alone exceeds the
+        // budget.
+        if (lru_.size() == 1) break;
+        const Entry& victim = lru_.back();
+        bytes_ -= victim.bytes;
+        index_.erase(victim.key);
+        lru_.pop_back();
+        ++evictions_;
+        if (metric_evictions_ != nullptr) metric_evictions_->add();
+    }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+    std::lock_guard lock(m_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.entries = lru_.size();
+    s.bytes = bytes_;
+    return s;
+}
+
+void ResultCache::clear() {
+    std::lock_guard lock(m_);
+    lru_.clear();
+    index_.clear();
+    bytes_ = 0;
+    if (metric_bytes_ != nullptr) metric_bytes_->set(0.0);
+}
+
+// Persistence format: one line per entry,
+//   key,ncols,nrows,name0,...,nameK,v(col0,row0),...,v(colK,rowN)
+// written least-recently-used first so a reload replays into the same
+// recency order.
+std::size_t ResultCache::save_csv(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("ResultCache::save_csv: cannot open " + path);
+    std::lock_guard lock(m_);
+    std::size_t written = 0;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        const Series& s = *it->value;
+        const std::size_t rows = s.columns.empty() ? 0 : s.columns.front().size();
+        out << it->key << ',' << s.columns.size() << ',' << rows;
+        for (const auto& name : s.names) out << ',' << name;
+        for (const auto& col : s.columns) {
+            for (double v : col) out << ',' << util::format_double(v);
+        }
+        out << '\n';
+        ++written;
+    }
+    return written;
+}
+
+std::size_t ResultCache::load_csv(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return 0; // Cold start: no persisted cache yet.
+    std::size_t loaded = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream row(line);
+        std::string field;
+        auto next = [&](std::string& dst) {
+            return static_cast<bool>(std::getline(row, dst, ','));
+        };
+        std::string key_s, ncols_s, nrows_s;
+        if (!next(key_s) || !next(ncols_s) || !next(nrows_s)) continue;
+        Series s;
+        try {
+            const std::uint64_t key = std::stoull(key_s);
+            const std::size_t ncols = std::stoul(ncols_s);
+            const std::size_t nrows = std::stoul(nrows_s);
+            if (ncols > 64 || nrows > (1u << 24)) continue; // Sanity bound.
+            bool ok = true;
+            for (std::size_t c = 0; c < ncols && ok; ++c) {
+                ok = next(field);
+                if (ok) s.names.push_back(field);
+            }
+            for (std::size_t c = 0; c < ncols && ok; ++c) {
+                std::vector<double> col;
+                col.reserve(nrows);
+                for (std::size_t r = 0; r < nrows && ok; ++r) {
+                    ok = next(field);
+                    if (ok) col.push_back(std::stod(field));
+                }
+                s.columns.push_back(std::move(col));
+            }
+            if (!ok) continue;
+            insert(key, std::move(s));
+            ++loaded;
+        } catch (const std::exception&) {
+            continue; // Malformed row; skip.
+        }
+    }
+    return loaded;
+}
+
+ResultCache& ResultCache::global() {
+    static ResultCache cache(kDefaultByteBudget, &MetricsRegistry::global());
+    return cache;
+}
+
+} // namespace stsense::exec

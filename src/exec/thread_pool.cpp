@@ -1,0 +1,235 @@
+#include "exec/thread_pool.hpp"
+
+#include "exec/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+namespace stsense::exec {
+
+namespace {
+
+/// Thread-local worker index inside its owning pool (npos elsewhere).
+/// Lets submit() target the local deque and try_pop() prefer it.
+constexpr std::size_t kNoWorker = ~std::size_t{0};
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker = kNoWorker;
+
+} // namespace
+
+// ---------------------------------------------------------------- TaskGroup
+
+TaskGroup::~TaskGroup() {
+    try {
+        wait();
+    } catch (...) {
+        // Destructor join: the exception was already delivered to an
+        // earlier wait() or there is no live waiter to rethrow to.
+    }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+    {
+        std::lock_guard lock(state_->m);
+        ++state_->pending;
+    }
+    ThreadPool::Task task;
+    task.fn = std::move(fn);
+    task.group = state_;
+    task.ticket = next_ticket_++;
+    pool_.submit(std::move(task));
+}
+
+void TaskGroup::wait() {
+    for (;;) {
+        {
+            std::unique_lock lock(state_->m);
+            if (state_->pending == 0) break;
+        }
+        // Help drain the pool instead of blocking: this makes nested
+        // parallel sections deadlock-free (a worker waiting on an inner
+        // group keeps executing tasks) and lets the calling thread
+        // contribute throughput.
+        if (pool_.help_one()) continue;
+        std::unique_lock lock(state_->m);
+        // Bounded wait: a task submitted concurrently with the last
+        // help_one() scan could otherwise be missed until the next
+        // notification.
+        state_->cv.wait_for(lock, std::chrono::milliseconds(1),
+                            [&] { return state_->pending == 0; });
+    }
+    std::lock_guard lock(state_->m);
+    if (state_->error) {
+        auto err = state_->error;
+        state_->error = nullptr; // Deliver once.
+        std::rethrow_exception(err);
+    }
+}
+
+// ---------------------------------------------------------------- ThreadPool
+
+ThreadPool::ThreadPool(int n_threads) {
+    const int n = std::max(1, n_threads);
+    queues_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(sleep_m_);
+        stop_ = true;
+    }
+    sleep_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(Task task) {
+    // A worker submits to its own deque (LIFO locality); outside threads
+    // round-robin across workers.
+    std::size_t target = (tl_pool == this) ? tl_worker : kNoWorker;
+    if (target == kNoWorker) {
+        target = round_robin_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+    }
+    {
+        std::lock_guard lock(queues_[target]->m);
+        queues_[target]->q.push_back(std::move(task));
+    }
+    {
+        // Increment under sleep_m_ so a worker that just evaluated the
+        // sleep predicate cannot miss this task's notification.
+        std::lock_guard lock(sleep_m_);
+        pending_.fetch_add(1, std::memory_order_release);
+    }
+    sleep_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, Task& out) {
+    const std::size_t n = queues_.size();
+    // Own deque, newest first.
+    if (self != kNoWorker) {
+        Queue& mine = *queues_[self];
+        std::lock_guard lock(mine.m);
+        if (!mine.q.empty()) {
+            out = std::move(mine.q.back());
+            mine.q.pop_back();
+            pending_.fetch_sub(1, std::memory_order_acquire);
+            return true;
+        }
+    }
+    // Steal oldest-first from the other deques.
+    const std::size_t start = (self != kNoWorker)
+                                  ? self + 1
+                                  : round_robin_.load(std::memory_order_relaxed);
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t victim = (start + k) % n;
+        if (victim == self) continue;
+        Queue& q = *queues_[victim];
+        std::lock_guard lock(q.m);
+        if (!q.q.empty()) {
+            out = std::move(q.q.front());
+            q.q.pop_front();
+            pending_.fetch_sub(1, std::memory_order_acquire);
+            if (self != kNoWorker) stolen_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+void ThreadPool::execute(Task& task) {
+    std::exception_ptr error;
+    try {
+        task.fn();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    if (task.group) {
+        std::lock_guard lock(task.group->m);
+        if (error && task.ticket < task.group->error_ticket) {
+            task.group->error = error;
+            task.group->error_ticket = task.ticket;
+        }
+        if (--task.group->pending == 0) task.group->cv.notify_all();
+    }
+}
+
+bool ThreadPool::help_one() {
+    Task task;
+    const std::size_t self = (tl_pool == this) ? tl_worker : kNoWorker;
+    if (!try_pop(self, task)) return false;
+    execute(task);
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+    tl_pool = this;
+    tl_worker = self;
+    for (;;) {
+        Task task;
+        if (try_pop(self, task)) {
+            execute(task);
+            executed_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        std::unique_lock lock(sleep_m_);
+        sleep_cv_.wait(lock, [&] {
+            return stop_ || pending_.load(std::memory_order_acquire) > 0;
+        });
+        if (stop_) return;
+    }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+    if (n == 0) return;
+    grain = std::max<std::size_t>(1, grain);
+    const std::size_t chunks = (n + grain - 1) / grain;
+    if (chunks == 1) {
+        body(0, n); // No parallelism to extract; skip the scheduling cost.
+        return;
+    }
+    MetricsRegistry::global().counter("exec.pool.parallel_for").add();
+    TaskGroup group(*this);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t begin = c * grain;
+        const std::size_t end = std::min(n, begin + grain);
+        group.run([&body, begin, end] { body(begin, end); });
+    }
+    group.wait();
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool(default_thread_count());
+    return pool;
+}
+
+int ThreadPool::parse_thread_env(const char* value, int fallback) {
+    if (value == nullptr || *value == '\0') return fallback;
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed < 1 || parsed > 4096) return fallback;
+    return static_cast<int>(parsed);
+}
+
+int ThreadPool::default_thread_count() {
+    const int hw = std::max(1u, std::thread::hardware_concurrency());
+    return parse_thread_env(std::getenv("STSENSE_THREADS"), hw);
+}
+
+std::uint64_t ThreadPool::tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadPool::tasks_stolen() const {
+    return stolen_.load(std::memory_order_relaxed);
+}
+
+} // namespace stsense::exec

@@ -1,0 +1,141 @@
+// Fixed-size work-stealing thread pool — the execution backbone of the
+// library's embarrassingly parallel workloads (temperature sweeps,
+// design-space enumeration, distributed-sensor scans, Monte-Carlo
+// trials).
+//
+// Design goals, in order:
+//   1. *Determinism*: parallel_for chunks the index space with a fixed
+//      chunk -> index mapping and callers commit results by index, so a
+//      parallel run is bitwise identical to a serial one regardless of
+//      the thread count or scheduling. Nothing about ordering is left to
+//      the scheduler.
+//   2. *Nestability*: a task may itself call parallel_for (the optimizer
+//      parallelizes candidates whose sweeps could parallelize points).
+//      Waiters help execute pending tasks instead of blocking, so nested
+//      use cannot deadlock even on a single-thread pool.
+//   3. *Exception safety*: a task that throws does not take a worker
+//      down. The first exception (lowest chunk index for parallel_for)
+//      is captured and rethrown to the caller after the batch drains.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stsense::exec {
+
+class ThreadPool;
+
+/// A batch of heterogeneous jobs submitted to one pool. wait() blocks —
+/// helping to execute pending pool tasks meanwhile — until every job of
+/// *this group* finished, then rethrows the first captured exception.
+class TaskGroup {
+public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+    /// Joins outstanding tasks (exceptions swallowed — call wait()).
+    ~TaskGroup();
+
+    /// Schedules one job on the group's pool.
+    void run(std::function<void()> fn);
+
+    /// Blocks until all scheduled jobs completed; rethrows the first
+    /// exception any of them threw (first = earliest submission order).
+    void wait();
+
+private:
+    friend class ThreadPool;
+    struct State {
+        std::mutex m;
+        std::condition_variable cv;
+        std::size_t pending = 0;
+        /// Exception of the lowest submission ticket that threw.
+        std::exception_ptr error;
+        std::size_t error_ticket = ~std::size_t{0};
+    };
+    ThreadPool& pool_;
+    std::shared_ptr<State> state_ = std::make_shared<State>();
+    std::size_t next_ticket_ = 0;
+};
+
+/// Fixed-size pool with per-worker deques and work stealing: workers pop
+/// their own deque LIFO (cache-friendly) and steal FIFO from victims.
+class ThreadPool {
+public:
+    /// Spawns `n_threads` workers (clamped to >= 1).
+    explicit ThreadPool(int n_threads);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Worker count.
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /// Chunked deterministic parallel loop over [0, n): `body(begin, end)`
+    /// is invoked for consecutive chunks of at most `grain` indices
+    /// (chunk c covers [c*grain, min(n, (c+1)*grain))). The caller helps
+    /// execute chunks, so the call also makes progress on a busy pool.
+    /// Rethrows the exception of the lowest-index failing chunk.
+    void parallel_for(std::size_t n, std::size_t grain,
+                      const std::function<void(std::size_t, std::size_t)>& body);
+
+    /// The process-wide pool, sized by the STSENSE_THREADS environment
+    /// variable when set (>= 1), else std::thread::hardware_concurrency.
+    static ThreadPool& global();
+
+    /// Thread count global() would use: STSENSE_THREADS override or
+    /// hardware concurrency. Exposed (with the raw string parser below)
+    /// so the override is testable without mutating the environment.
+    static int default_thread_count();
+
+    /// Parses a STSENSE_THREADS value; returns `fallback` for null,
+    /// empty, non-numeric, or < 1 values.
+    static int parse_thread_env(const char* value, int fallback);
+
+    /// Total tasks executed (all queues, lifetime). For tests/metrics.
+    std::uint64_t tasks_executed() const;
+    /// Tasks a worker stole from another worker's deque.
+    std::uint64_t tasks_stolen() const;
+
+private:
+    friend class TaskGroup;
+    struct Task {
+        std::function<void()> fn;
+        std::shared_ptr<TaskGroup::State> group;
+        std::size_t ticket = 0;
+    };
+    struct Queue {
+        std::mutex m;
+        std::deque<Task> q;
+    };
+
+    void submit(Task task);
+    void worker_loop(std::size_t self);
+    /// Pops one task (own deque back first, then steals front of others,
+    /// then the overflow queue). `self` == npos for non-worker threads.
+    bool try_pop(std::size_t self, Task& out);
+    static void execute(Task& task);
+    /// Runs one pending task if any; used by waiters to help.
+    bool help_one();
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+    std::mutex sleep_m_;
+    std::condition_variable sleep_cv_;
+    bool stop_ = false; ///< Guarded by sleep_m_.
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<std::size_t> round_robin_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> stolen_{0};
+};
+
+} // namespace stsense::exec

@@ -65,4 +65,22 @@ Technology sample_variation(const Technology& tech, const VariationSpec& spec,
     return out;
 }
 
+std::vector<Technology> sample_variation_batch(const Technology& tech,
+                                               const VariationSpec& spec,
+                                               const util::Rng& base,
+                                               std::size_t n,
+                                               exec::ThreadPool* pool) {
+    std::vector<Technology> out(n, tech);
+    auto& p = pool != nullptr ? *pool : exec::ThreadPool::global();
+    p.parallel_for(n, 4, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            // Per-trial stream: trial i's deviates never depend on which
+            // thread ran it or on the other trials.
+            util::Rng trial = base.split(static_cast<std::uint64_t>(i));
+            out[i] = sample_variation(tech, spec, trial);
+        }
+    });
+    return out;
+}
+
 } // namespace stsense::phys

@@ -6,10 +6,13 @@
 // these corner/variation transforms.
 #pragma once
 
+#include "exec/thread_pool.hpp"
 #include "phys/technology.hpp"
 #include "util/rng.hpp"
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 namespace stsense::phys {
 
@@ -50,5 +53,17 @@ struct VariationSpec {
 /// Samples one varied die. Deterministic given the Rng state.
 Technology sample_variation(const Technology& tech, const VariationSpec& spec,
                             util::Rng& rng);
+
+/// Samples `n` varied dies concurrently on `pool` (nullptr: the global
+/// pool). Trial i draws from the independent stream `base.split(i)`
+/// (see util::Rng::split(stream_id)), so the returned vector is
+/// deterministic for a given `base` state regardless of thread count or
+/// scheduling — the parallel Monte-Carlo contract. `base` is not
+/// advanced.
+std::vector<Technology> sample_variation_batch(const Technology& tech,
+                                               const VariationSpec& spec,
+                                               const util::Rng& base,
+                                               std::size_t n,
+                                               exec::ThreadPool* pool = nullptr);
 
 } // namespace stsense::phys

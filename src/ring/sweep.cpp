@@ -1,52 +1,187 @@
 #include "ring/sweep.hpp"
 
+#include "exec/fingerprint.hpp"
+#include "exec/metrics.hpp"
 #include "phys/units.hpp"
 #include "ring/analytic.hpp"
 
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace stsense::ring {
 
-SweepResult temperature_sweep(const phys::Technology& tech,
-                              const RingConfig& config,
-                              std::span<const double> temps_c, Engine engine,
-                              const SpiceRingOptions& spice_opt) {
+namespace {
+
+/// Chunk sizes for the pool: SPICE points cost milliseconds each, so
+/// they dispatch one per task; analytic points cost microseconds, so
+/// they are chunked to amortize scheduling.
+constexpr std::size_t kSpiceGrain = 1;
+constexpr std::size_t kAnalyticGrain = 8;
+
+void validate_grid(std::span<const double> temps_c) {
     if (temps_c.empty()) throw std::invalid_argument("temperature_sweep: empty grid");
+    // Single pass: finiteness and strict monotonicity together. NaN/Inf
+    // would otherwise flow through the delay model and silently poison
+    // every derived period/non-linearity figure.
+    double prev = temps_c.front();
+    if (!std::isfinite(prev)) {
+        throw std::invalid_argument("temperature_sweep: grid contains NaN/Inf");
+    }
     for (std::size_t i = 1; i < temps_c.size(); ++i) {
-        if (temps_c[i] <= temps_c[i - 1]) {
+        const double t = temps_c[i];
+        if (!std::isfinite(t)) {
+            throw std::invalid_argument("temperature_sweep: grid contains NaN/Inf");
+        }
+        if (t <= prev) {
             throw std::invalid_argument("temperature_sweep: grid must be increasing");
         }
+        prev = t;
     }
+}
 
+void add_mosfet(exec::Fingerprint& fp, const phys::MosfetParams& p) {
+    fp.add(static_cast<int>(p.type))
+        .add(p.vth0)
+        .add(p.alpha)
+        .add(p.kp)
+        .add(p.mobility_exp)
+        .add(p.vth_tc)
+        .add(p.lambda)
+        .add(p.vdsat_coeff)
+        .add(p.t0)
+        .add(p.smoothing)
+        .add(p.cgate_per_w)
+        .add(p.cdrain_per_w);
+}
+
+/// Computes period_s[i]/frequency_hz[i] for every grid point, serially
+/// or chunked onto the pool. Either way each index is computed by the
+/// same pure function and written to its own slot, so the output is
+/// bitwise identical regardless of thread count.
+template <typename PointFn>
+void compute_points(SweepResult& out, const SweepRuntime& runtime,
+                    std::size_t grain, const PointFn& point) {
+    const std::size_t n = out.temps_c.size();
+    out.period_s.resize(n);
+    out.frequency_hz.resize(n);
+    const auto body = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const double p = point(out.temps_c[i]);
+            out.period_s[i] = p;
+            out.frequency_hz[i] = 1.0 / p;
+        }
+    };
+    if (runtime.parallel) {
+        auto& pool = runtime.pool != nullptr ? *runtime.pool
+                                             : exec::ThreadPool::global();
+        pool.parallel_for(n, grain, body);
+    } else {
+        body(0, n);
+    }
+}
+
+SweepResult compute_sweep(const phys::Technology& tech, const RingConfig& config,
+                          std::span<const double> temps_c, Engine engine,
+                          const SpiceRingOptions& spice_opt,
+                          const SweepRuntime& runtime) {
     SweepResult out;
     out.temps_c.assign(temps_c.begin(), temps_c.end());
-    out.period_s.reserve(temps_c.size());
-    out.frequency_hz.reserve(temps_c.size());
-
     if (engine == Engine::Analytic) {
         const AnalyticRingModel model(tech, config);
-        for (double tc : temps_c) {
-            const double p = model.period(phys::celsius_to_kelvin(tc));
-            out.period_s.push_back(p);
-            out.frequency_hz.push_back(1.0 / p);
-        }
+        compute_points(out, runtime, kAnalyticGrain, [&](double tc) {
+            return model.period(phys::celsius_to_kelvin(tc));
+        });
     } else {
         const SpiceRingModel model(tech, config);
         SpiceRingOptions opt = spice_opt;
         opt.record_waveform = false; // Sweeps only need the scalar period.
-        for (double tc : temps_c) {
-            const RingSimResult r = model.simulate(phys::celsius_to_kelvin(tc), opt);
-            out.period_s.push_back(r.period);
-            out.frequency_hz.push_back(r.frequency);
-        }
+        compute_points(out, runtime, kSpiceGrain, [&](double tc) {
+            return model.simulate(phys::celsius_to_kelvin(tc), opt).period;
+        });
     }
     return out;
 }
 
+} // namespace
+
+std::uint64_t sweep_fingerprint(const phys::Technology& tech,
+                                const RingConfig& config,
+                                std::span<const double> temps_c, Engine engine,
+                                const SpiceRingOptions& spice_opt) {
+    exec::Fingerprint fp;
+    fp.add(std::uint64_t{0x73747331}); // Key-format version salt.
+    fp.add(tech.vdd)
+        .add(tech.lmin)
+        .add(tech.wmin)
+        .add(tech.unit_nmos_width)
+        .add(tech.library_ratio)
+        .add(tech.wire_cap_per_stage);
+    add_mosfet(fp, tech.nmos);
+    add_mosfet(fp, tech.pmos);
+    fp.add(static_cast<std::uint64_t>(config.stages.size()));
+    for (const auto& s : config.stages) {
+        fp.add(static_cast<int>(s.kind))
+            .add(s.drive)
+            .add(s.ratio)
+            .add(static_cast<int>(s.tie))
+            .add(s.vth_shift_v);
+    }
+    fp.add(static_cast<int>(engine));
+    if (engine == Engine::Spice) {
+        // Only the options that shape the result; record_waveform is
+        // forced off for sweeps and estimate-identical runs match.
+        fp.add(spice_opt.skip_cycles)
+            .add(spice_opt.measure_cycles)
+            .add(spice_opt.steps_per_period)
+            .add(spice_opt.estimate_margin);
+    }
+    fp.add(temps_c);
+    return fp.value();
+}
+
+SweepResult temperature_sweep(const phys::Technology& tech,
+                              const RingConfig& config,
+                              std::span<const double> temps_c, Engine engine,
+                              const SpiceRingOptions& spice_opt,
+                              const SweepRuntime& runtime) {
+    validate_grid(temps_c);
+
+    auto& metrics = exec::MetricsRegistry::global();
+    const exec::ScopedTimer timer(metrics.timer(
+        engine == Engine::Analytic ? "ring.sweep.analytic" : "ring.sweep.spice"));
+
+    if (!runtime.use_cache) {
+        return compute_sweep(tech, config, temps_c, engine, spice_opt, runtime);
+    }
+
+    auto& cache = runtime.cache != nullptr ? *runtime.cache
+                                           : exec::ResultCache::global();
+    const std::uint64_t key =
+        sweep_fingerprint(tech, config, temps_c, engine, spice_opt);
+    const auto series = cache.get_or_compute(key, [&] {
+        auto sweep = compute_sweep(tech, config, temps_c, engine, spice_opt, runtime);
+        exec::Series s;
+        s.names = {"temps_c", "period_s", "frequency_hz"};
+        s.columns.resize(3);
+        s.columns[0] = std::move(sweep.temps_c);
+        s.columns[1] = std::move(sweep.period_s);
+        s.columns[2] = std::move(sweep.frequency_hz);
+        return s;
+    });
+
+    SweepResult out;
+    out.temps_c = series->columns[0];
+    out.period_s = series->columns[1];
+    out.frequency_hz = series->columns[2];
+    return out;
+}
+
 SweepResult paper_sweep(const phys::Technology& tech, const RingConfig& config,
-                        Engine engine, const SpiceRingOptions& spice_opt) {
+                        Engine engine, const SpiceRingOptions& spice_opt,
+                        const SweepRuntime& runtime) {
     const auto grid = paper_temperature_grid_c();
-    return temperature_sweep(tech, config, grid, engine, spice_opt);
+    return temperature_sweep(tech, config, grid, engine, spice_opt, runtime);
 }
 
 } // namespace stsense::ring

@@ -1,12 +1,23 @@
 // Temperature sweeps: run a ring configuration across a temperature
 // grid with either engine and collect the period/frequency series that
 // Figs. 2 and 3 are computed from.
+//
+// Sweeps are the library's hot loop, and every point is independent, so
+// the driver runs them through the stsense::exec runtime: points are
+// dispatched to the work-stealing pool (deterministic chunk -> index
+// mapping, results committed by index — bitwise identical to the serial
+// loop at any thread count) and whole sweeps are memoized in the
+// content-addressed result cache keyed by a fingerprint over
+// (technology, ring config, engine, options, grid).
 #pragma once
 
+#include "exec/result_cache.hpp"
+#include "exec/thread_pool.hpp"
 #include "phys/technology.hpp"
 #include "ring/config.hpp"
 #include "ring/spice_ring.hpp"
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -25,17 +36,55 @@ struct SweepResult {
     std::vector<double> frequency_hz; ///< 1 / period [Hz].
 };
 
-/// Runs the sweep. Grid must be non-empty and strictly increasing;
-/// throws std::invalid_argument otherwise.
+/// How a sweep executes. The defaults give the fast path: points run on
+/// the global pool and whole results are memoized in the global cache.
+/// Every combination produces bitwise identical SweepResults — these
+/// knobs trade time and memory, never values.
+struct SweepRuntime {
+    /// Pool for the parallel path; nullptr selects
+    /// exec::ThreadPool::global() (honors STSENSE_THREADS).
+    exec::ThreadPool* pool = nullptr;
+    /// false forces the serial reference loop on the calling thread.
+    bool parallel = true;
+    /// Cache for whole-sweep memoization; nullptr selects
+    /// exec::ResultCache::global().
+    exec::ResultCache* cache = nullptr;
+    /// false recomputes even when an identical sweep is cached.
+    bool use_cache = true;
+
+    /// A runtime that bypasses both the pool and the cache — the serial
+    /// reference the determinism tests compare against.
+    static SweepRuntime serial() {
+        SweepRuntime rt;
+        rt.parallel = false;
+        rt.use_cache = false;
+        return rt;
+    }
+};
+
+/// Runs the sweep. The grid must be non-empty, finite (no NaN/Inf), and
+/// strictly increasing; throws std::invalid_argument otherwise.
 SweepResult temperature_sweep(const phys::Technology& tech,
                               const RingConfig& config,
                               std::span<const double> temps_c,
                               Engine engine = Engine::Analytic,
-                              const SpiceRingOptions& spice_opt = {});
+                              const SpiceRingOptions& spice_opt = {},
+                              const SweepRuntime& runtime = {});
 
 /// Convenience: the paper grid (-50 ... 150 degC, step 12.5).
 SweepResult paper_sweep(const phys::Technology& tech, const RingConfig& config,
                         Engine engine = Engine::Analytic,
-                        const SpiceRingOptions& spice_opt = {});
+                        const SpiceRingOptions& spice_opt = {},
+                        const SweepRuntime& runtime = {});
+
+/// Content fingerprint of a sweep: hashes every input that influences
+/// the result (all technology and per-stage parameters, the engine, the
+/// SPICE options when the engine is Spice, and the grid values). Equal
+/// fingerprints imply bitwise equal SweepResults. This is the cache key
+/// temperature_sweep memoizes under.
+std::uint64_t sweep_fingerprint(const phys::Technology& tech,
+                                const RingConfig& config,
+                                std::span<const double> temps_c, Engine engine,
+                                const SpiceRingOptions& spice_opt = {});
 
 } // namespace stsense::ring

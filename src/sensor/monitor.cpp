@@ -1,5 +1,7 @@
 #include "sensor/monitor.hpp"
 
+#include "exec/metrics.hpp"
+#include "exec/thread_pool.hpp"
 #include "phys/units.hpp"
 
 #include <algorithm>
@@ -33,6 +35,9 @@ ThermalMonitor::ThermalMonitor(const phys::Technology& tech,
     sensor_.calibrate_two_point(config_.cal_low_c, config_.cal_high_c);
 
     if (config_.enable_mismatch) {
+        // Mismatch sampling consumes the shared Rng in site order and
+        // stays serial so the drawn configurations are independent of
+        // any parallelism below.
         util::Rng rng(config_.mismatch_seed);
         site_sensors_.reserve(sites_.size());
         for (std::size_t i = 0; i < sites_.size(); ++i) {
@@ -40,10 +45,17 @@ ThermalMonitor::ThermalMonitor(const phys::Technology& tech,
                                                       config_.mismatch, rng);
             site_sensors_.emplace_back(tech_, std::move(varied),
                                        config_.sensor_options);
-            if (config_.individual_calibration) {
-                site_sensors_.back().calibrate_two_point(config_.cal_low_c,
-                                                         config_.cal_high_c);
-            }
+        }
+        if (config_.individual_calibration) {
+            // Per-site factory trims are independent of each other: fan
+            // them out (each mutates only its own sensor).
+            exec::ThreadPool::global().parallel_for(
+                site_sensors_.size(), 1, [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                        site_sensors_[i].calibrate_two_point(config_.cal_low_c,
+                                                             config_.cal_high_c);
+                    }
+                });
         }
     }
 }
@@ -69,10 +81,25 @@ MapResult ThermalMonitor::scan() const {
     auto site_sensor = [&](std::size_t i) -> const SmartTemperatureSensor& {
         return site_sensors_.empty() ? sensor_ : site_sensors_[i];
     };
+    // The physical rings oscillate simultaneously on the die; only the
+    // readout is multiplexed. Model that by evaluating every site's
+    // period transducer in parallel up front (committed by site index —
+    // identical values at any thread count), then let the cycle-accurate
+    // unit scan the precomputed periods channel by channel.
+    std::vector<double> site_period(sites_.size());
+    {
+        const exec::ScopedTimer timer(
+            exec::MetricsRegistry::global().timer("sensor.monitor.site_sample"));
+        exec::ThreadPool::global().parallel_for(
+            sites_.size(), 1, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    const auto& s = site_sensor(i);
+                    site_period[i] = s.period_at(s.junction_at(site_true[i]));
+                }
+            });
+    }
     digital::SmartUnit unit(unit_cfg, [&](int channel) {
-        const std::size_t i = static_cast<std::size_t>(channel);
-        const auto& s = site_sensor(i);
-        return s.period_at(s.junction_at(site_true[i]));
+        return site_period[static_cast<std::size_t>(channel)];
     });
 
     // Program the over-temperature alarm with the nominal ring's code at

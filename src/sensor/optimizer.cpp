@@ -13,8 +13,19 @@ namespace stsense::sensor {
 
 namespace {
 
+// Candidate evaluations parallelize across configurations, so each
+// inner sweep runs serially (no nested fan-out) but still memoizes into
+// the global cache — re-evaluated configurations (golden-section
+// revisits, bench re-runs) become cache hits.
+ring::SweepRuntime candidate_runtime() {
+    ring::SweepRuntime rt;
+    rt.parallel = false;
+    return rt;
+}
+
 double nl_of_config(const phys::Technology& tech, const ring::RingConfig& cfg) {
-    const auto sweep = ring::paper_sweep(tech, cfg);
+    const auto sweep = ring::paper_sweep(tech, cfg, ring::Engine::Analytic, {},
+                                         candidate_runtime());
     return analysis::max_nonlinearity_percent(sweep.temps_c, sweep.period_s);
 }
 
@@ -22,18 +33,28 @@ double period_27c(const phys::Technology& tech, const ring::RingConfig& cfg) {
     return ring::AnalyticRingModel(tech, cfg).period(phys::celsius_to_kelvin(27.0));
 }
 
+exec::ThreadPool& pool_or_global(exec::ThreadPool* pool) {
+    return pool != nullptr ? *pool : exec::ThreadPool::global();
+}
+
 } // namespace
 
 std::vector<RatioPoint> ratio_sweep(const phys::Technology& tech,
                                     cells::CellKind kind, int n_stages,
-                                    std::span<const double> ratios) {
-    std::vector<RatioPoint> out;
-    out.reserve(ratios.size());
+                                    std::span<const double> ratios,
+                                    exec::ThreadPool* pool) {
     for (double r : ratios) {
         if (r <= 0.0) throw std::invalid_argument("ratio_sweep: ratio must be > 0");
-        const auto cfg = ring::RingConfig::uniform(kind, n_stages, r);
-        out.push_back({r, nl_of_config(tech, cfg), period_27c(tech, cfg)});
     }
+    std::vector<RatioPoint> out(ratios.size());
+    pool_or_global(pool).parallel_for(
+        ratios.size(), 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const double r = ratios[i];
+                const auto cfg = ring::RingConfig::uniform(kind, n_stages, r);
+                out[i] = {r, nl_of_config(tech, cfg), period_27c(tech, cfg)};
+            }
+        });
     return out;
 }
 
@@ -50,7 +71,9 @@ RatioOptimum optimize_ratio(const phys::Technology& tech, cells::CellKind kind,
         return nl_of_config(tech, ring::RingConfig::uniform(kind, n_stages, r));
     };
 
-    // Golden-section search.
+    // Golden-section search. Inherently sequential (each bracket depends
+    // on the last evaluation), but every evaluation memoizes through the
+    // sweep cache, so revisited ratios cost a lookup.
     const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
     double a = lo;
     double b = hi;
@@ -82,12 +105,12 @@ RatioOptimum optimize_ratio(const phys::Technology& tech, cells::CellKind kind,
 
 namespace {
 
-/// Recursively builds all multisets of size `remaining` from kinds[from...].
-void enumerate_rec(const phys::Technology& tech,
-                   std::span<const cells::CellKind> kinds, std::size_t from,
+/// Recursively builds all multisets of size `remaining` from kinds[from...]
+/// (configurations only — evaluation is fanned out afterwards).
+void enumerate_rec(std::span<const cells::CellKind> kinds, std::size_t from,
                    int remaining,
                    std::vector<std::pair<cells::CellKind, int>>& current,
-                   std::vector<MixCandidate>& out) {
+                   std::vector<ring::RingConfig>& out) {
     if (remaining == 0) {
         ring::RingConfig cfg;
         for (const auto& [kind, count] : current) {
@@ -97,19 +120,14 @@ void enumerate_rec(const phys::Technology& tech,
                 cfg.stages.push_back(spec);
             }
         }
-        MixCandidate cand;
-        cand.name = describe(cfg);
-        cand.max_nl_percent = nl_of_config(tech, cfg);
-        cand.period_27c_s = period_27c(tech, cfg);
-        cand.config = std::move(cfg);
-        out.push_back(std::move(cand));
+        out.push_back(std::move(cfg));
         return;
     }
     if (from >= kinds.size()) return;
     // Use 0..remaining of kinds[from].
     for (int take = remaining; take >= 0; --take) {
         if (take > 0) current.emplace_back(kinds[from], take);
-        enumerate_rec(tech, kinds, from + 1, remaining - take, current, out);
+        enumerate_rec(kinds, from + 1, remaining - take, current, out);
         if (take > 0) current.pop_back();
     }
 }
@@ -118,17 +136,36 @@ void enumerate_rec(const phys::Technology& tech,
 
 std::vector<MixCandidate> enumerate_mixes(const phys::Technology& tech,
                                           std::span<const cells::CellKind> kinds,
-                                          int n_stages) {
+                                          int n_stages, exec::ThreadPool* pool) {
     if (kinds.empty()) throw std::invalid_argument("enumerate_mixes: no kinds");
     if (n_stages < 3 || n_stages % 2 == 0) {
         throw std::invalid_argument("enumerate_mixes: n_stages must be odd and >= 3");
     }
-    std::vector<MixCandidate> out;
+    // Phase 1 (serial, cheap): enumerate configurations in a fixed order.
+    std::vector<ring::RingConfig> configs;
     std::vector<std::pair<cells::CellKind, int>> current;
-    enumerate_rec(tech, kinds, 0, n_stages, current, out);
-    std::sort(out.begin(), out.end(), [](const MixCandidate& a, const MixCandidate& b) {
-        return a.max_nl_percent < b.max_nl_percent;
-    });
+    enumerate_rec(kinds, 0, n_stages, current, configs);
+
+    // Phase 2 (parallel): evaluate each candidate ring, committing by
+    // enumeration index.
+    std::vector<MixCandidate> out(configs.size());
+    pool_or_global(pool).parallel_for(
+        configs.size(), 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                MixCandidate cand;
+                cand.name = describe(configs[i]);
+                cand.max_nl_percent = nl_of_config(tech, configs[i]);
+                cand.period_27c_s = period_27c(tech, configs[i]);
+                cand.config = std::move(configs[i]);
+                out[i] = std::move(cand);
+            }
+        });
+
+    // stable_sort keeps the deterministic enumeration order among ties.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const MixCandidate& a, const MixCandidate& b) {
+                         return a.max_nl_percent < b.max_nl_percent;
+                     });
     return out;
 }
 

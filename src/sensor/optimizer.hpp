@@ -4,6 +4,7 @@
 //   * cell-based: enumerate stock-cell mixes and rank them (Fig. 3).
 #pragma once
 
+#include "exec/thread_pool.hpp"
 #include "phys/technology.hpp"
 #include "ring/config.hpp"
 
@@ -21,10 +22,13 @@ struct RatioPoint {
 };
 
 /// Non-linearity (max |NL| % over the paper grid) of an n-stage ring of
-/// `kind` cells at each Wp/Wn ratio.
+/// `kind` cells at each Wp/Wn ratio. Candidates evaluate concurrently on
+/// `pool` (nullptr: the global pool); results are committed by candidate
+/// index, so the output is identical at any thread count.
 std::vector<RatioPoint> ratio_sweep(const phys::Technology& tech,
                                     cells::CellKind kind, int n_stages,
-                                    std::span<const double> ratios);
+                                    std::span<const double> ratios,
+                                    exec::ThreadPool* pool = nullptr);
 
 /// Continuous optimum found by golden-section search on max |NL|(ratio).
 struct RatioOptimum {
@@ -53,8 +57,11 @@ struct MixCandidate {
 /// (at the library ratio), evaluates each ring, and returns candidates
 /// sorted by ascending non-linearity. This is the "select an adequate
 /// set of standard logic gates" search of the paper's abstract.
+/// Enumeration order and the (stable) sort are deterministic; candidate
+/// rings evaluate concurrently on `pool` (nullptr: the global pool).
 std::vector<MixCandidate> enumerate_mixes(const phys::Technology& tech,
                                           std::span<const cells::CellKind> kinds,
-                                          int n_stages);
+                                          int n_stages,
+                                          exec::ThreadPool* pool = nullptr);
 
 } // namespace stsense::sensor

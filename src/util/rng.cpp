@@ -81,4 +81,17 @@ Rng Rng::split() {
     return Rng((*this)());
 }
 
+Rng Rng::split(std::uint64_t stream_id) const {
+    // Fold the state snapshot and the stream id through splitmix64; the
+    // derived seed (and thus the stream) is a pure function of both, and
+    // the parent state is left untouched.
+    std::uint64_t sm = stream_id ^ 0xa0761d6478bd642fULL;
+    std::uint64_t seed = splitmix64(sm);
+    for (const std::uint64_t word : state_) {
+        sm ^= word;
+        seed ^= splitmix64(sm);
+    }
+    return Rng(seed);
+}
+
 } // namespace stsense::util

@@ -45,7 +45,21 @@ public:
     std::uint64_t below(std::uint64_t n);
 
     /// Splits off an independent stream (useful for per-sensor RNGs).
+    /// Stateful: advances this generator, so the derived stream depends
+    /// on how many values were drawn before the call.
     Rng split();
+
+    /// Derives the independent stream number `stream_id` from this
+    /// generator's *current state* without advancing it.
+    ///
+    /// Guarantee (the basis of deterministic parallel Monte-Carlo): for
+    /// a fixed parent state, split(i) is a pure function of i — the same
+    /// (seed, stream_id) pair always yields the same stream, regardless
+    /// of thread count, scheduling, or the order trials execute in. Give
+    /// trial i the stream split(i) and a parallel run draws exactly the
+    /// numbers the serial run draws. Distinct stream_ids yield streams
+    /// decorrelated by splitmix64 mixing of (state, stream_id).
+    Rng split(std::uint64_t stream_id) const;
 
 private:
     std::array<std::uint64_t, 4> state_{};

@@ -1,0 +1,82 @@
+#include "exec/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace stsense::exec {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+    MetricsRegistry reg;
+    auto& c = reg.counter("events");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(4);
+    EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Metrics, SameNameReturnsSameInstrument) {
+    MetricsRegistry reg;
+    auto& a = reg.counter("x");
+    auto& b = reg.counter("x");
+    EXPECT_EQ(&a, &b);
+    a.add();
+    EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Metrics, GaugeHoldsLastValue) {
+    MetricsRegistry reg;
+    auto& g = reg.gauge("bytes");
+    g.set(12.5);
+    g.set(7.0);
+    EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Metrics, ScopedTimerRecordsElapsedWallTime) {
+    MetricsRegistry reg;
+    auto& t = reg.timer("work");
+    {
+        const ScopedTimer guard(t);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    {
+        const ScopedTimer guard(t);
+    }
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_GE(t.total_ms(), 2.0);
+}
+
+TEST(Metrics, JsonDumpListsEveryInstrument) {
+    MetricsRegistry reg;
+    reg.counter("exec.pool.tasks").add(3);
+    reg.gauge("exec.cache.bytes").set(128.0);
+    reg.timer("ring.sweep").record_ns(1500000); // 1.5 ms
+    const std::string json = reg.to_json();
+    EXPECT_NE(json.find("\"exec.pool.tasks\":3"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"exec.cache.bytes\":128"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ring.sweep\":{\"total_ms\":1.5,\"count\":1}"),
+              std::string::npos)
+        << json;
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsInstrumentsValid) {
+    MetricsRegistry reg;
+    auto& c = reg.counter("n");
+    auto& t = reg.timer("t");
+    c.add(9);
+    t.record_ns(100);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(t.count(), 0u);
+    c.add(); // The reference from before reset() must stay usable.
+    EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Metrics, GlobalRegistryIsSingleton) {
+    EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+} // namespace
+} // namespace stsense::exec

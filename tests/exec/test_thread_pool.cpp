@@ -1,0 +1,190 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace stsense::exec {
+namespace {
+
+TEST(ThreadPool, SizeClampedToAtLeastOne) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1);
+    ThreadPool pool4(4);
+    EXPECT_EQ(pool4.size(), 4);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{100}}) {
+        for (const std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{64}}) {
+            std::vector<std::atomic<int>> touched(n);
+            pool.parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+            });
+            for (std::size_t i = 0; i < n; ++i) {
+                EXPECT_EQ(touched[i].load(), 1) << "n=" << n << " grain=" << grain
+                                                << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(ThreadPool, ParallelForZeroIterationsIsANoop) {
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallel_for(0, 1, [&](std::size_t, std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ChunkBoundariesAreAPureFunctionOfNAndGrain) {
+    // The determinism contract: chunk c covers
+    // [c*grain, min(n, (c+1)*grain)) no matter how many workers run.
+    for (const int threads : {1, 2, 5}) {
+        ThreadPool pool(threads);
+        std::mutex m;
+        std::set<std::pair<std::size_t, std::size_t>> chunks;
+        pool.parallel_for(23, 5, [&](std::size_t begin, std::size_t end) {
+            std::lock_guard lock(m);
+            chunks.insert({begin, end});
+        });
+        const std::set<std::pair<std::size_t, std::size_t>> expected{
+            {0, 5}, {5, 10}, {10, 15}, {15, 20}, {20, 23}};
+        EXPECT_EQ(chunks, expected) << "threads=" << threads;
+    }
+}
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+    ThreadPool pool(4);
+    const std::size_t n = 10000;
+    std::vector<double> out(n);
+    pool.parallel_for(n, 100, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            out[i] = static_cast<double>(i);
+        }
+    });
+    const double sum = std::accumulate(out.begin(), out.end(), 0.0);
+    EXPECT_DOUBLE_EQ(sum, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndWorkersSurvive) {
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.parallel_for(16, 1,
+                                   [](std::size_t begin, std::size_t) {
+                                       if (begin == 7) {
+                                           throw std::runtime_error("chunk 7 failed");
+                                       }
+                                   }),
+                 std::runtime_error);
+    // The pool must remain fully operational after a throwing batch.
+    std::atomic<int> count{0};
+    pool.parallel_for(50, 1, [&](std::size_t begin, std::size_t end) {
+        count += static_cast<int>(end - begin);
+    });
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, LowestChunkExceptionWins) {
+    ThreadPool pool(4);
+    try {
+        pool.parallel_for(32, 1, [](std::size_t begin, std::size_t) {
+            if (begin == 5 || begin == 20) {
+                throw std::runtime_error("chunk " + std::to_string(begin));
+            }
+        });
+        FAIL() << "expected throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "chunk 5");
+    }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+    // Waiters help-execute, so an inner loop inside a task makes
+    // progress even when every worker is occupied by outer tasks.
+    for (const int threads : {1, 2}) {
+        ThreadPool pool(threads);
+        std::atomic<int> total{0};
+        pool.parallel_for(4, 1, [&](std::size_t, std::size_t) {
+            pool.parallel_for(8, 1, [&](std::size_t begin, std::size_t end) {
+                total += static_cast<int>(end - begin);
+            });
+        });
+        EXPECT_EQ(total.load(), 32) << "threads=" << threads;
+    }
+}
+
+TEST(TaskGroup, RunsHeterogeneousJobs) {
+    ThreadPool pool(2);
+    std::atomic<int> a{0};
+    std::atomic<double> b{0.0};
+    TaskGroup group(pool);
+    group.run([&] { a = 41; });
+    group.run([&] { b = 2.5; });
+    group.run([&] { a.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(a.load(), 42);
+    EXPECT_DOUBLE_EQ(b.load(), 2.5);
+}
+
+TEST(TaskGroup, FirstSubmittedExceptionIsRethrown) {
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    group.run([] { throw std::runtime_error("first"); });
+    group.run([] { throw std::logic_error("second"); });
+    try {
+        group.wait();
+        FAIL() << "expected throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+    // A second wait() after delivery is clean.
+    EXPECT_NO_THROW(group.wait());
+}
+
+TEST(TaskGroup, WaitOnEmptyGroupReturnsImmediately) {
+    ThreadPool pool(1);
+    TaskGroup group(pool);
+    EXPECT_NO_THROW(group.wait());
+}
+
+TEST(ThreadPool, CountsExecutedTasks) {
+    ThreadPool pool(2);
+    const auto before = pool.tasks_executed();
+    pool.parallel_for(10, 1, [](std::size_t, std::size_t) {});
+    EXPECT_GE(pool.tasks_executed() - before, 10u);
+}
+
+TEST(ThreadPool, ParseThreadEnvAcceptsPositiveIntegers) {
+    EXPECT_EQ(ThreadPool::parse_thread_env("4", 8), 4);
+    EXPECT_EQ(ThreadPool::parse_thread_env("1", 8), 1);
+    EXPECT_EQ(ThreadPool::parse_thread_env("64", 8), 64);
+}
+
+TEST(ThreadPool, ParseThreadEnvFallsBackOnGarbage) {
+    EXPECT_EQ(ThreadPool::parse_thread_env(nullptr, 8), 8);
+    EXPECT_EQ(ThreadPool::parse_thread_env("", 8), 8);
+    EXPECT_EQ(ThreadPool::parse_thread_env("abc", 8), 8);
+    EXPECT_EQ(ThreadPool::parse_thread_env("4x", 8), 8);
+    EXPECT_EQ(ThreadPool::parse_thread_env("0", 8), 8);
+    EXPECT_EQ(ThreadPool::parse_thread_env("-2", 8), 8);
+    EXPECT_EQ(ThreadPool::parse_thread_env("1000000", 8), 8);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+    auto& pool = ThreadPool::global();
+    EXPECT_GE(pool.size(), 1);
+    std::atomic<int> count{0};
+    pool.parallel_for(10, 1, [&](std::size_t begin, std::size_t end) {
+        count += static_cast<int>(end - begin);
+    });
+    EXPECT_EQ(count.load(), 10);
+}
+
+} // namespace
+} // namespace stsense::exec

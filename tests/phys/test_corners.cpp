@@ -96,6 +96,27 @@ TEST(Variation, CorrelatedModeTiesPolarities) {
     }
 }
 
+TEST(Variation, BatchSamplesMatchPerTrialStreams) {
+    const Technology base = cmos350();
+    VariationSpec spec;
+    const util::Rng rng(77);
+    const auto batch = sample_variation_batch(base, spec, rng, 5);
+    ASSERT_EQ(batch.size(), 5u);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        util::Rng trial = rng.split(static_cast<std::uint64_t>(i));
+        const auto expected = sample_variation(base, spec, trial);
+        EXPECT_DOUBLE_EQ(batch[i].nmos.vth0, expected.nmos.vth0);
+        EXPECT_DOUBLE_EQ(batch[i].nmos.kp, expected.nmos.kp);
+        EXPECT_DOUBLE_EQ(batch[i].pmos.vth0, expected.pmos.vth0);
+    }
+}
+
+TEST(Variation, BatchOfZeroTrialsIsEmpty) {
+    const Technology base = cmos350();
+    const util::Rng rng(77);
+    EXPECT_TRUE(sample_variation_batch(base, VariationSpec{}, rng, 0).empty());
+}
+
 TEST(Variation, VddVariationOptIn) {
     const Technology base = cmos350();
     VariationSpec spec; // vdd_rel_sigma = 0 by default.

@@ -1,9 +1,12 @@
 #include "ring/sweep.hpp"
 
 #include "analysis/nonlinearity.hpp"
+#include "exec/result_cache.hpp"
 #include "util/sequence.hpp"
 
 #include <gtest/gtest.h>
+
+#include <limits>
 
 namespace stsense::ring {
 namespace {
@@ -63,6 +66,45 @@ TEST(TemperatureSweep, NonIncreasingGridThrows) {
     const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
     const std::vector<double> bad{0.0, 0.0, 10.0};
     EXPECT_THROW(temperature_sweep(tech, cfg, bad), std::invalid_argument);
+}
+
+TEST(TemperatureSweep, NanInGridThrows) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    // NaN both mid-grid and first (a NaN front would defeat a
+    // comparison-only monotonicity check, since NaN compares false).
+    const std::vector<double> mid{0.0, nan, 10.0};
+    const std::vector<double> front{nan, 0.0, 10.0};
+    EXPECT_THROW(temperature_sweep(tech, cfg, mid), std::invalid_argument);
+    EXPECT_THROW(temperature_sweep(tech, cfg, front), std::invalid_argument);
+}
+
+TEST(TemperatureSweep, InfInGridThrows) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::vector<double> pos{0.0, 10.0, inf};
+    const std::vector<double> neg{-inf, 0.0, 10.0};
+    EXPECT_THROW(temperature_sweep(tech, cfg, pos), std::invalid_argument);
+    EXPECT_THROW(temperature_sweep(tech, cfg, neg), std::invalid_argument);
+}
+
+TEST(TemperatureSweep, CachedRunMatchesUncachedRun) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5, 2.75);
+    const auto uncached = paper_sweep(tech, cfg, Engine::Analytic, {},
+                                      SweepRuntime::serial());
+    exec::ResultCache cache;
+    SweepRuntime rt;
+    rt.cache = &cache;
+    const auto cold = paper_sweep(tech, cfg, Engine::Analytic, {}, rt);
+    const auto warm = paper_sweep(tech, cfg, Engine::Analytic, {}, rt);
+    for (std::size_t i = 0; i < uncached.period_s.size(); ++i) {
+        EXPECT_EQ(uncached.period_s[i], cold.period_s[i]);
+        EXPECT_EQ(uncached.period_s[i], warm.period_s[i]);
+    }
+    EXPECT_EQ(cache.stats().hits, 1u);
 }
 
 TEST(PaperSweep, UsesPaperGrid) {

@@ -102,6 +102,40 @@ TEST(Rng, SplitProducesIndependentStream) {
     EXPECT_LT(same, 2);
 }
 
+TEST(Rng, SplitByStreamIdIsPureFunctionOfParentStateAndId) {
+    const Rng parent(21);
+    Rng a = parent.split(3);
+    Rng b = parent.split(3);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitByStreamIdDoesNotAdvanceParent) {
+    Rng parent(21);
+    Rng reference(21);
+    (void)parent.split(0);
+    (void)parent.split(1);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(parent(), reference());
+}
+
+TEST(Rng, SplitByStreamIdDistinctIdsDecorrelated) {
+    const Rng parent(21);
+    Rng a = parent.split(0);
+    Rng b = parent.split(1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitByStreamIdDependsOnParentState) {
+    Rng early(21);
+    Rng late(21);
+    (void)late(); // Advance: a different parent state must derive
+                  // a different stream for the same id.
+    EXPECT_NE(early.split(5)(), late.split(5)());
+}
+
 TEST(Rng, SatisfiesUniformRandomBitGeneratorBounds) {
     EXPECT_EQ(Rng::min(), 0u);
     EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
