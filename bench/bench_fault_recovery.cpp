@@ -1,0 +1,220 @@
+// FAULT — the fault-tolerant runtime on the paper's heaviest workload:
+// the Fig. 2 ratio family swept with the SPICE engine under
+// deterministic fault injection. Reports, per fault policy, the
+// completion/recovery rates and the wall-clock overhead versus the
+// fault-free run, then drives seeded known-hard solves (every base
+// Newton attempt sabotaged, progressively deeper rungs) that the
+// recovery ladder MUST rescue — any miss fails the bench.
+//
+// The injection seed honors STSENSE_FAULT_SEED (or --seed), so a
+// failing run is replayable bit for bit.
+#include "bench_common.hpp"
+
+#include "exec/exec.hpp"
+#include "ring/sweep.hpp"
+#include "sensor/presets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace stsense;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct PolicyRun {
+    std::string name;
+    double wall_s = 0.0;
+    std::size_t points = 0;
+    std::size_t ok = 0;
+    std::size_t recovered = 0;
+    std::size_t skipped = 0;
+    std::size_t failed = 0;
+    bool threw = false;
+
+    std::size_t completed() const { return ok + recovered; }
+    double completion_rate() const {
+        return points == 0 ? 0.0
+                           : static_cast<double>(completed()) /
+                                 static_cast<double>(points);
+    }
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    bench::banner("FAULT",
+                  "fault-tolerant runtime: Fig. 2 SPICE sweep under injected "
+                  "point faults + recovery-ladder hard solves");
+
+    const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
+    const std::uint64_t seed = exec::FaultInjector::seed_from_env(
+        static_cast<std::uint64_t>(cli.get("seed", 1)));
+    const double p_point = cli.get("p", 0.1);
+    const auto grid = ring::paper_temperature_grid_c();
+
+    // Coarser transients than the figure benches: this bench measures
+    // the fault machinery, not the physics.
+    ring::SpiceRingOptions opt;
+    opt.skip_cycles = 2;
+    opt.measure_cycles = 4;
+    opt.steps_per_period = cli.get("steps", 150);
+
+    std::vector<ring::RingConfig> configs;
+    for (double r : sensor::presets::kFig2Ratios) {
+        configs.push_back(ring::RingConfig::uniform(cells::CellKind::Inv, 5, r));
+    }
+    const std::size_t total_points = configs.size() * grid.size();
+
+    auto run_policy = [&](const std::string& name, ring::FaultPolicy policy,
+                          bool inject) {
+        PolicyRun run;
+        run.name = name;
+        ring::SweepRuntime rt;
+        rt.use_cache = false;
+        rt.fault.policy = policy;
+        exec::FaultInjector::Config cfg;
+        cfg.seed = seed;
+        cfg.p_point = inject ? p_point : 0.0;
+        exec::FaultInjector injector(cfg);
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            exec::FaultInjector::Scope scope(injector);
+            for (const auto& c : configs) {
+                const auto sweep =
+                    ring::temperature_sweep(tech, c, grid, ring::Engine::Spice,
+                                            opt, rt);
+                run.points += sweep.temps_c.size();
+                run.ok += sweep.count(ring::PointStatus::Ok);
+                run.recovered += sweep.recovered_points();
+                run.skipped += sweep.count(ring::PointStatus::Skipped);
+                run.failed += sweep.count(ring::PointStatus::Failed);
+            }
+        } catch (const spice::SimException&) {
+            run.threw = true;
+        }
+        run.wall_s = seconds_since(t0);
+        return run;
+    };
+
+    std::cout << "workload: " << configs.size() << " ratios x " << grid.size()
+              << " temperatures = " << total_points
+              << " SPICE points, p(point fault) = " << p_point
+              << ", seed = " << seed << " (STSENSE_FAULT_SEED overrides)\n\n";
+
+    const PolicyRun clean = run_policy("fault-free", ring::FaultPolicy::Propagate,
+                                       /*inject=*/false);
+    const PolicyRun propagate =
+        run_policy("propagate", ring::FaultPolicy::Propagate, true);
+    const PolicyRun skip = run_policy("skip", ring::FaultPolicy::Skip, true);
+    const PolicyRun retry = run_policy("retry", ring::FaultPolicy::Retry, true);
+    const PolicyRun fallback =
+        run_policy("fallback", ring::FaultPolicy::FallbackToAnalytic, true);
+
+    util::Table table({"policy", "wall (s)", "overhead", "completed", "recovered",
+                       "skipped", "failed", "recovery rate"});
+    auto add_run = [&](const PolicyRun& r) {
+        const double overhead =
+            clean.wall_s > 0.0 ? r.wall_s / clean.wall_s - 1.0 : 0.0;
+        table.add_row({r.name, util::fixed(r.wall_s, 3),
+                       r.threw ? "-" : util::fixed(100.0 * overhead, 1) + " %",
+                       r.threw ? "aborted"
+                               : std::to_string(r.completed()) + "/" +
+                                     std::to_string(r.points),
+                       std::to_string(r.recovered), std::to_string(r.skipped),
+                       std::to_string(r.failed),
+                       r.threw ? "-"
+                               : util::fixed(100.0 * r.completion_rate(), 1) + " %"});
+    };
+    add_run(clean);
+    add_run(propagate);
+    add_run(skip);
+    add_run(retry);
+    add_run(fallback);
+    std::cout << table.render() << "\n";
+
+    // --- seeded known-hard solves ------------------------------------------
+    // Every base Newton attempt of every point is sabotaged down to the
+    // given rung; the ladder must rescue 100% of the points. These are
+    // the solves the pre-ladder engine could never complete.
+    const auto& hard_config = configs.front();
+    struct HardCase {
+        std::string name;
+        int rungs;
+        std::size_t rescued = 0;
+        std::size_t points = 0;
+    };
+    std::vector<HardCase> hard_cases{
+        {"damped-newton rescue (rungs=1)", 1},
+        {"gmin-stepping rescue (rungs=2)", 2},
+    };
+    for (auto& hc : hard_cases) {
+        exec::FaultInjector::Config cfg;
+        cfg.seed = seed;
+        cfg.p_newton_fail = 1.0;
+        cfg.newton_fail_rungs = hc.rungs;
+        exec::FaultInjector injector(cfg);
+        exec::FaultInjector::Scope scope(injector);
+        ring::SweepRuntime rt = ring::SweepRuntime::serial();
+        rt.fault.policy = ring::FaultPolicy::Skip; // Count, don't abort.
+        const auto sweep = ring::temperature_sweep(tech, hard_config, grid,
+                                                   ring::Engine::Spice, opt, rt);
+        hc.points = sweep.temps_c.size();
+        hc.rescued = sweep.recovered_points();
+        std::cout << hc.name << ": " << hc.rescued << "/" << hc.points
+                  << " points rescued\n";
+    }
+
+    // --- JSON snapshot ------------------------------------------------------
+    const std::string json_path =
+        cli.get("json", std::string("BENCH_fault_recovery.json"));
+    {
+        std::ofstream json(json_path);
+        json << "{\n"
+             << "  \"workload\": \"fig2_spice_ratio_sweep\",\n"
+             << "  \"points\": " << total_points << ",\n"
+             << "  \"seed\": " << seed << ",\n"
+             << "  \"p_point\": " << p_point << ",\n"
+             << "  \"clean_s\": " << clean.wall_s << ",\n"
+             << "  \"skip_s\": " << skip.wall_s << ",\n"
+             << "  \"retry_s\": " << retry.wall_s << ",\n"
+             << "  \"fallback_s\": " << fallback.wall_s << ",\n"
+             << "  \"retry_completion_rate\": " << retry.completion_rate() << ",\n"
+             << "  \"fallback_completion_rate\": " << fallback.completion_rate()
+             << ",\n"
+             << "  \"metrics\": " << exec::MetricsRegistry::global().to_json() << "\n"
+             << "}\n";
+    }
+    std::cout << "fault snapshot: " << json_path << "\n";
+
+    bench::ShapeChecks checks;
+    checks.expect("fault-free reference completes every point",
+                  !clean.threw && clean.completed() == total_points &&
+                      clean.recovered == 0);
+    checks.expect("propagate reproduces legacy abort-on-first-failure",
+                  propagate.threw);
+    checks.expect("skip yields a partial series (some points skipped, none fake)",
+                  !skip.threw && skip.skipped > 0 &&
+                      skip.completed() + skip.skipped == skip.points);
+    checks.expect("retry completes the full sweep despite injected faults",
+                  !retry.threw && retry.completed() == retry.points &&
+                      retry.recovered > 0);
+    checks.expect("fallback completes the full sweep despite injected faults",
+                  !fallback.threw && fallback.completed() == fallback.points);
+    for (const auto& hc : hard_cases) {
+        checks.expect("ladder rescues all seeded hard solves: " + hc.name,
+                      hc.points > 0 && hc.rescued == hc.points);
+    }
+    return checks.report();
+}

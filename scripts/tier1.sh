@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + test suite, then the concurrency-sensitive
-# exec/ring tests again under ThreadSanitizer. Run from anywhere; builds
-# live in <repo>/build and <repo>/build-tsan.
+# exec/ring tests again under ThreadSanitizer, then the fault-injection
+# suite under AddressSanitizer (error recovery paths unwind through
+# partially-built state — exactly where leaks and UAFs hide). Run from
+# anywhere; builds live in <repo>/build, <repo>/build-tsan, and
+# <repo>/build-asan.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -15,9 +18,19 @@ ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 echo "== tier 1: exec/ring concurrency tests under ThreadSanitizer =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSTSENSE_SANITIZE=thread
 cmake --build "$repo/build-tsan" --target stsense_tests -j "$jobs"
-# The filter covers the pool, cache, metrics, determinism suite, and the
-# sweep driver (the code paths that actually run concurrently).
+# The filter covers the pool, cache, metrics, determinism suite, the
+# sweep driver, and the fault-injection machinery (the code paths that
+# actually run concurrently — including worker exception propagation and
+# per-point fault policies under the pool).
 "$repo/build-tsan/tests/stsense_tests" \
-    --gtest_filter='ThreadPool*:TaskGroup*:ResultCache*:Metrics*:Fingerprint*:ExecDeterminism*:TemperatureSweep*:PaperSweep*:Variation*'
+    --gtest_filter='ThreadPool*:TaskGroup*:ResultCache*:Metrics*:Fingerprint*:ExecDeterminism*:TemperatureSweep*:PaperSweep*:Variation*:FaultInjector*:SweepFaultPolicy*'
+
+echo "== tier 1: fault-injection suite under AddressSanitizer =="
+cmake -B "$repo/build-asan" -S "$repo" -DSTSENSE_SANITIZE=address
+cmake --build "$repo/build-asan" --target stsense_tests -j "$jobs"
+# Recovery and policy code paths unwind through exceptions and partial
+# results; ASan gates them for leaks, overflows, and use-after-free.
+"$repo/build-asan/tests/stsense_tests" \
+    --gtest_filter='FaultInjector*:RecoveryLadder*:SweepFaultPolicy*:CacheChecksum*:ThreadPoolFault*:TaskGroupFault*'
 
 echo "tier 1: all gates passed"

@@ -13,6 +13,9 @@
 //   * MetricsRegistry (metrics.hpp): counters/gauges/scoped wall-clock
 //     timers the pool, the cache, and the benches publish into;
 //     dumpable as JSON.
+//   * FaultInjector (fault_injector.hpp): deterministic, seed-split
+//     fault injection (forced solver failures, NaN states, cache
+//     corruption, slow tasks) behind every robustness test and bench.
 //
 // The contract the consumers rely on: running a workload through the
 // pool with ANY thread count produces bitwise identical results to the
@@ -22,6 +25,7 @@
 // scheduling order.
 #pragma once
 
+#include "exec/fault_injector.hpp" // IWYU pragma: export
 #include "exec/fingerprint.hpp"   // IWYU pragma: export
 #include "exec/metrics.hpp"       // IWYU pragma: export
 #include "exec/result_cache.hpp"  // IWYU pragma: export

@@ -1,0 +1,77 @@
+#include "exec/fault_injector.hpp"
+
+#include "exec/metrics.hpp"
+#include "util/rng.hpp"
+
+#include <cstdlib>
+
+namespace stsense::exec {
+
+std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
+thread_local std::uint64_t FaultContext::current_ = 0;
+
+FaultContext::FaultContext(std::uint64_t index) : previous_(current_) {
+    current_ = index;
+}
+
+FaultContext::~FaultContext() { current_ = previous_; }
+
+std::uint64_t FaultContext::current() { return current_; }
+
+namespace {
+
+const char* site_name(FaultInjector::Site site) {
+    switch (site) {
+        case FaultInjector::Site::NewtonFail: return "exec.fault.newton_fail";
+        case FaultInjector::Site::NanState: return "exec.fault.nan_state";
+        case FaultInjector::Site::Point: return "exec.fault.point";
+        case FaultInjector::Site::CacheRow: return "exec.fault.cache_row";
+        case FaultInjector::Site::SlowTask: return "exec.fault.slow_task";
+    }
+    return "exec.fault.unknown";
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(Config config) : config_(config) {}
+
+double FaultInjector::probability(Site site) const {
+    switch (site) {
+        case Site::NewtonFail: return config_.p_newton_fail;
+        case Site::NanState: return config_.p_nan_state;
+        case Site::Point: return config_.p_point;
+        case Site::CacheRow: return config_.p_cache_row;
+        case Site::SlowTask: return config_.p_slow_task;
+    }
+    return 0.0;
+}
+
+bool FaultInjector::trip(Site site, std::uint64_t index) const {
+    const double p = probability(site);
+    if (p <= 0.0) return false;
+    // Stream id = (site, index): a pure function of the decision point,
+    // so the verdict is identical at any thread count and replayable
+    // from the seed alone.
+    const std::uint64_t stream =
+        (static_cast<std::uint64_t>(site) << 56) ^ index;
+    util::Rng decision = util::Rng(config_.seed).split(stream);
+    if (p < 1.0 && decision.uniform01() >= p) return false;
+    trips_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().counter(site_name(site)).add();
+    return true;
+}
+
+std::uint64_t FaultInjector::parse_seed(const char* value,
+                                        std::uint64_t fallback) {
+    if (value == nullptr || *value == '\0') return fallback;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0') return fallback;
+    return static_cast<std::uint64_t>(parsed);
+}
+
+std::uint64_t FaultInjector::seed_from_env(std::uint64_t fallback) {
+    return parse_seed(std::getenv("STSENSE_FAULT_SEED"), fallback);
+}
+
+} // namespace stsense::exec

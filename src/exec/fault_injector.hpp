@@ -1,0 +1,143 @@
+// exec::FaultInjector — deterministic fault injection for the runtime.
+//
+// Robustness claims ("the sweep survives a failed point", "the recovery
+// ladder rescues a non-converging solve", "the cache drops a corrupted
+// row") are only testable if failures can be produced on demand, and
+// only *debuggable* if the same seed produces the same failures every
+// run at every thread count. The injector is therefore a pure function:
+// whether site S trips at work index i depends only on
+// (seed, site, index) via util::Rng::split — never on scheduling,
+// wall-clock, or call order.
+//
+// Sites are the hook points wired through the stack:
+//   * NewtonFail — spice::Simulator: the base (undamped) Newton attempt
+//     reports non-convergence, forcing the recovery ladder to engage.
+//     `newton_fail_rungs` widens the sabotage to the first N ladder
+//     rungs, so tests can prove each deeper rung individually.
+//   * NanState  — spice::Simulator: a NaN is planted in the converged
+//     solution of a sabotaged attempt (caught by the finiteness check).
+//   * Point     — ring::temperature_sweep / sensor::ThermalMonitor: the
+//     whole unit of work fails with a SimError before evaluation
+//     (exercises the per-point FaultPolicy machinery for both engines).
+//   * CacheRow  — exec::ResultCache::save_csv: one character of the
+//     persisted row is corrupted (caught by the load-time checksum).
+//   * SlowTask  — exec::ThreadPool: the task sleeps `slow_task_us`
+//     before running (exercises deadline budgets and stragglers).
+//
+// Installation is process-global and test-scoped: construct a
+// FaultInjector::Scope with a Config and every hook consults it until
+// the scope dies. No injector installed (the default) costs one relaxed
+// atomic load per hook.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace stsense::exec {
+
+class FaultInjector {
+public:
+    enum class Site : int {
+        NewtonFail = 0,
+        NanState = 1,
+        Point = 2,
+        CacheRow = 3,
+        SlowTask = 4,
+    };
+    static constexpr int kSiteCount = 5;
+
+    struct Config {
+        std::uint64_t seed = 1;       ///< Root of every trip decision.
+        double p_newton_fail = 0.0;   ///< P(base Newton attempt sabotaged).
+        double p_nan_state = 0.0;     ///< P(NaN planted in a solution).
+        double p_point = 0.0;         ///< P(sweep/monitor point fails).
+        double p_cache_row = 0.0;     ///< P(persisted cache row corrupted).
+        double p_slow_task = 0.0;     ///< P(pool task delayed).
+        /// How deep the Newton/NaN sabotage reaches: 1 = base attempt
+        /// only (damped rung rescues), 2 = base + damped (gmin rescues),
+        /// 3 = + gmin (source stepping rescues), >= 4 = unrescuable.
+        int newton_fail_rungs = 1;
+        int slow_task_us = 200;       ///< SlowTask delay.
+    };
+
+    explicit FaultInjector(Config config);
+
+    /// Pure trip decision for (site, index): same seed, same answer,
+    /// regardless of threads or call order. Counts trips into the
+    /// metrics registry ("exec.fault.<site>").
+    bool trip(Site site, std::uint64_t index) const;
+
+    const Config& config() const { return config_; }
+
+    /// Trips recorded so far, all sites (for recovery-rate reporting).
+    std::uint64_t total_trips() const { return trips_.load(std::memory_order_relaxed); }
+
+    /// The installed injector, or nullptr when fault injection is off.
+    static FaultInjector* active() {
+        return active_.load(std::memory_order_acquire);
+    }
+
+    /// RAII install/uninstall of the process-global injector. Nesting
+    /// restores the previous injector on destruction.
+    class Scope {
+    public:
+        explicit Scope(FaultInjector& injector)
+            : previous_(active_.exchange(&injector, std::memory_order_acq_rel)) {}
+        ~Scope() { active_.store(previous_, std::memory_order_release); }
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+    private:
+        FaultInjector* previous_;
+    };
+
+    /// Stream index for Site::Point decisions: distinct retry attempts
+    /// of the same work unit get distinct streams (a retry is a fresh
+    /// draw, so injected faults are transient unless p = 1), while the
+    /// same (unit, attempt) pair always reproduces the same verdict.
+    static std::uint64_t point_stream(std::uint64_t unit_index,
+                                      std::uint64_t attempt = 0) {
+        return unit_index * 16 + (attempt & 15);
+    }
+
+    /// Parses the STSENSE_FAULT_SEED environment variable; returns
+    /// `fallback` when unset/empty/non-numeric. The benches seed their
+    /// injector with this so a failing run is replayable.
+    static std::uint64_t seed_from_env(std::uint64_t fallback);
+    /// Raw-string form of the above, exposed for tests.
+    static std::uint64_t parse_seed(const char* value, std::uint64_t fallback);
+
+private:
+    double probability(Site site) const;
+
+    Config config_;
+    mutable std::atomic<std::uint64_t> trips_{0};
+    static std::atomic<FaultInjector*> active_;
+};
+
+/// Scoped work-index context: layers that own a meaningful index (the
+/// sweep's point index, the monitor's site index) publish it here so
+/// deeper hooks (the simulator's Newton sabotage) derive their trip
+/// streams from it — keeping decisions deterministic per unit of work
+/// instead of per wall-clock call. Thread-local, so concurrent points
+/// do not interfere.
+class FaultContext {
+public:
+    // Defined out of line: every touch of the thread-local slot stays in
+    // fault_injector.cpp, where the TLS model is local and sanitizer
+    // instrumentation of cross-TU accesses cannot misfire.
+    explicit FaultContext(std::uint64_t index);
+    ~FaultContext();
+    FaultContext(const FaultContext&) = delete;
+    FaultContext& operator=(const FaultContext&) = delete;
+
+    /// The innermost published index (0 outside any context).
+    static std::uint64_t current();
+
+private:
+    std::uint64_t previous_;
+    static thread_local std::uint64_t current_;
+};
+
+} // namespace stsense::exec

@@ -15,6 +15,7 @@
 
 #include "exec/metrics.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -43,6 +44,9 @@ public:
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
+        /// Persisted rows dropped by load_csv: checksum mismatch,
+        /// truncation, or malformed fields.
+        std::uint64_t corrupt_rows = 0;
         std::size_t entries = 0;
         std::size_t bytes = 0;
         double hit_rate() const {
@@ -81,12 +85,18 @@ public:
     void clear();
 
     /// Persists every resident entry; returns the entry count written.
-    /// Throws std::runtime_error if the file cannot be opened.
+    /// Every row carries a trailing FNV-1a content checksum so on-disk
+    /// corruption is detectable at load time. Throws std::runtime_error
+    /// if the file cannot be opened.
     std::size_t save_csv(const std::string& path) const;
 
-    /// Loads entries from a save_csv file (malformed rows are skipped,
-    /// existing keys kept); returns the entry count inserted. A missing
-    /// file is not an error — returns 0, so cold starts need no check.
+    /// Loads entries from a save_csv file; returns the entry count
+    /// inserted. Rows whose checksum does not match their content —
+    /// bit rot, truncation, a missing checksum field, or malformed
+    /// numerics — are silently dropped and counted (Stats::corrupt_rows
+    /// and the "<prefix>.corrupt_rows" metric) instead of ingesting
+    /// garbage values; existing keys are kept. A missing file is not an
+    /// error — returns 0, so cold starts need no check.
     std::size_t load_csv(const std::string& path);
 
     /// The process-wide cache (default budget, publishing into
@@ -113,9 +123,11 @@ private:
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
+    std::atomic<std::uint64_t> corrupt_rows_{0}; ///< load_csv rejects.
     Counter* metric_hits_ = nullptr;
     Counter* metric_misses_ = nullptr;
     Counter* metric_evictions_ = nullptr;
+    Counter* metric_corrupt_ = nullptr;
     Gauge* metric_bytes_ = nullptr;
 };
 

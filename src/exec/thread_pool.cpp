@@ -1,5 +1,6 @@
 #include "exec/thread_pool.hpp"
 
+#include "exec/fault_injector.hpp"
 #include "exec/metrics.hpp"
 
 #include <algorithm>
@@ -143,6 +144,15 @@ bool ThreadPool::try_pop(std::size_t self, Task& out) {
 }
 
 void ThreadPool::execute(Task& task) {
+    // Injected straggler: delay the task before running it (exercises
+    // deadline budgets and waiter/helping paths under slow workers).
+    if (auto* injector = FaultInjector::active();
+        injector != nullptr &&
+        injector->trip(FaultInjector::Site::SlowTask,
+                       static_cast<std::uint64_t>(task.ticket))) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(injector->config().slow_task_us));
+    }
     std::exception_ptr error;
     try {
         task.fn();

@@ -62,8 +62,8 @@ std::vector<spice::NodeId> SpiceRingModel::build(
     return nodes;
 }
 
-RingSimResult SpiceRingModel::simulate(double temp_k,
-                                       const SpiceRingOptions& opt) const {
+spice::Result<RingSimResult> SpiceRingModel::try_simulate(
+    double temp_k, const SpiceRingOptions& opt) const {
     if (opt.skip_cycles < 0 || opt.measure_cycles < 1 || opt.steps_per_period < 20) {
         throw std::invalid_argument("SpiceRingOptions: bad values");
     }
@@ -79,6 +79,9 @@ RingSimResult SpiceRingModel::simulate(double temp_k,
 
     spice::SimOptions sim_opt;
     sim_opt.temp_k = temp_k;
+    sim_opt.enable_recovery = opt.enable_recovery;
+    sim_opt.max_wall_ms = opt.max_wall_ms;
+    sim_opt.max_total_newton_iters = opt.max_total_newton_iters;
     spice::Simulator sim(ckt, sim_opt);
 
     spice::TransientSpec tspec;
@@ -95,14 +98,29 @@ RingSimResult SpiceRingModel::simulate(double temp_k,
     tspec.probes = {nodes[0]};
     tspec.measure_power = true;
 
-    const spice::TransientResult res = sim.transient(tspec);
-    const spice::Trace& trace = res.traces.front();
+    auto sim_result = sim.try_transient(tspec);
+    if (!sim_result.ok()) return sim_result.error();
+    const spice::TransientResult& res = sim_result.value();
+
+    // Non-throwing probe lookup: a malformed netlist/probe wiring shows
+    // up as a structured error, not an uncaught std::invalid_argument.
+    const std::string probe_name = ckt.node_name(nodes[0]);
+    const spice::Trace* trace = res.find_trace(probe_name);
+    if (trace == nullptr) {
+        spice::SimError e;
+        e.kind = spice::SimErrorKind::MissingSignal;
+        e.message = "SpiceRingModel: probe trace '" + probe_name +
+                    "' missing for " + describe(config_);
+        return e;
+    }
     const double mid = 0.5 * tech_.vdd;
 
-    const auto meas = spice::measure_period(trace, mid, opt.skip_cycles);
+    const auto meas = spice::measure_period(*trace, mid, opt.skip_cycles);
     if (!meas || meas->cycles < 1 || meas->period <= 0.0) {
-        throw std::runtime_error("SpiceRingModel: no oscillation for " +
-                                 describe(config_));
+        spice::SimError e;
+        e.kind = spice::SimErrorKind::NonConvergence;
+        e.message = "SpiceRingModel: no oscillation for " + describe(config_);
+        return e;
     }
 
     RingSimResult out;
@@ -110,13 +128,22 @@ RingSimResult SpiceRingModel::simulate(double temp_k,
     out.period_stddev = meas->period_stddev;
     out.frequency = 1.0 / meas->period;
     out.cycles_measured = meas->cycles;
-    if (auto duty = spice::measure_duty_cycle(trace, mid, opt.skip_cycles)) {
+    if (auto duty = spice::measure_duty_cycle(*trace, mid, opt.skip_cycles)) {
         out.duty_cycle = *duty;
     }
     out.avg_supply_power_w =
         res.average_source_power_w(ckt.node_by_name("vdd"), tspec.t_stop);
-    if (opt.record_waveform) out.waveform = trace;
+    out.recovery_rung = res.deepest_rung;
+    out.rescued_steps = res.rescued_steps;
+    if (opt.record_waveform) out.waveform = *trace;
     return out;
+}
+
+RingSimResult SpiceRingModel::simulate(double temp_k,
+                                       const SpiceRingOptions& opt) const {
+    auto r = try_simulate(temp_k, opt);
+    if (!r.ok()) throw spice::SimException(r.error());
+    return std::move(r.value());
 }
 
 } // namespace stsense::ring

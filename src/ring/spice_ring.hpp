@@ -8,6 +8,7 @@
 #include "phys/technology.hpp"
 #include "ring/config.hpp"
 #include "spice/netlist.hpp"
+#include "spice/sim_error.hpp"
 #include "spice/waveform.hpp"
 
 #include <optional>
@@ -23,6 +24,13 @@ struct SpiceRingOptions {
     int steps_per_period = 300;///< Time resolution (dt = estimate / this).
     double estimate_margin = 1.6; ///< Extra sim time vs the analytic estimate.
     bool record_waveform = true;  ///< Keep the probe trace in the result.
+    /// Solver fault tolerance (forwarded into spice::SimOptions): the
+    /// recovery ladder engages only after a plain solve fails, and the
+    /// budgets (0 = unlimited) turn pathological points into
+    /// StepLimit/DeadlineExceeded errors instead of hangs.
+    bool enable_recovery = true;
+    double max_wall_ms = 0.0;
+    long max_total_newton_iters = 0;
 };
 
 /// Result of one transistor-level ring run.
@@ -35,6 +43,10 @@ struct RingSimResult {
     double avg_supply_power_w = 0.0; ///< Vdd-source power averaged over the run
                                      ///< (supply metering; cross-checks the
                                      ///< analytic self-heating power model).
+    /// Deepest solver recovery-ladder rung the transient needed (None on
+    /// the fault-free fast path) and how many steps were rescued.
+    spice::RecoveryRung recovery_rung = spice::RecoveryRung::None;
+    long rescued_steps = 0;
     spice::Trace waveform;      ///< Probe-node trace (empty if not recorded).
 };
 
@@ -43,8 +55,15 @@ public:
     /// Validates both arguments; copies them in.
     SpiceRingModel(const phys::Technology& tech, RingConfig config);
 
-    /// Simulates at junction temperature `temp_k`. Throws
-    /// std::runtime_error if no stable oscillation is observed.
+    /// Simulates at junction temperature `temp_k`. Solver failures
+    /// (after the recovery ladder), a missing probe trace, or an
+    /// unmeasurable waveform come back as a structured SimError instead
+    /// of an exception — the sweep FaultPolicy machinery consumes this.
+    spice::Result<RingSimResult> try_simulate(
+        double temp_k, const SpiceRingOptions& opt = {}) const;
+
+    /// Throwing wrapper around try_simulate (spice::SimException),
+    /// preserved for existing call sites.
     RingSimResult simulate(double temp_k, const SpiceRingOptions& opt = {}) const;
 
     /// Emits the full transistor netlist into `ckt` and returns the ring

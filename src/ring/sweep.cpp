@@ -1,15 +1,60 @@
 #include "ring/sweep.hpp"
 
+#include "exec/fault_injector.hpp"
 #include "exec/fingerprint.hpp"
 #include "exec/metrics.hpp"
 #include "phys/units.hpp"
 #include "ring/analytic.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace stsense::ring {
+
+const char* to_string(PointStatus status) {
+    switch (status) {
+        case PointStatus::Ok: return "ok";
+        case PointStatus::RecoveredDamped: return "recovered-damped";
+        case PointStatus::RecoveredGmin: return "recovered-gmin";
+        case PointStatus::RecoveredSource: return "recovered-source";
+        case PointStatus::RecoveredRetry: return "recovered-retry";
+        case PointStatus::FallbackAnalytic: return "fallback-analytic";
+        case PointStatus::Skipped: return "skipped";
+        case PointStatus::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+std::size_t SweepResult::count(PointStatus s) const {
+    std::size_t n = 0;
+    for (PointStatus p : status) n += p == s ? 1 : 0;
+    return n;
+}
+
+std::size_t SweepResult::valid_points() const {
+    return temps_c.size() - count(PointStatus::Skipped) - count(PointStatus::Failed);
+}
+
+std::size_t SweepResult::recovered_points() const {
+    std::size_t n = 0;
+    for (PointStatus p : status) {
+        switch (p) {
+            case PointStatus::RecoveredDamped:
+            case PointStatus::RecoveredGmin:
+            case PointStatus::RecoveredSource:
+            case PointStatus::RecoveredRetry:
+            case PointStatus::FallbackAnalytic:
+                ++n;
+                break;
+            default:
+                break;
+        }
+    }
+    return n;
+}
 
 namespace {
 
@@ -23,18 +68,28 @@ void validate_grid(std::span<const double> temps_c) {
     if (temps_c.empty()) throw std::invalid_argument("temperature_sweep: empty grid");
     // Single pass: finiteness and strict monotonicity together. NaN/Inf
     // would otherwise flow through the delay model and silently poison
-    // every derived period/non-linearity figure.
+    // every derived period/non-linearity figure. Messages carry the
+    // offending index and value so a bad grid is diagnosable from the
+    // what() string alone.
     double prev = temps_c.front();
     if (!std::isfinite(prev)) {
-        throw std::invalid_argument("temperature_sweep: grid contains NaN/Inf");
+        throw std::invalid_argument(
+            "temperature_sweep: grid contains NaN/Inf at index 0 (value " +
+            std::to_string(prev) + ")");
     }
     for (std::size_t i = 1; i < temps_c.size(); ++i) {
         const double t = temps_c[i];
         if (!std::isfinite(t)) {
-            throw std::invalid_argument("temperature_sweep: grid contains NaN/Inf");
+            throw std::invalid_argument(
+                "temperature_sweep: grid contains NaN/Inf at index " +
+                std::to_string(i) + " (value " + std::to_string(t) + ")");
         }
         if (t <= prev) {
-            throw std::invalid_argument("temperature_sweep: grid must be increasing");
+            throw std::invalid_argument(
+                "temperature_sweep: grid must be strictly increasing, but "
+                "temps_c[" + std::to_string(i) + "] = " + std::to_string(t) +
+                " <= temps_c[" + std::to_string(i - 1) + "] = " +
+                std::to_string(prev));
         }
         prev = t;
     }
@@ -55,21 +110,39 @@ void add_mosfet(exec::Fingerprint& fp, const phys::MosfetParams& p) {
         .add(p.cdrain_per_w);
 }
 
-/// Computes period_s[i]/frequency_hz[i] for every grid point, serially
-/// or chunked onto the pool. Either way each index is computed by the
-/// same pure function and written to its own slot, so the output is
-/// bitwise identical regardless of thread count.
+/// One evaluated grid point.
+struct PointEval {
+    double period = 0.0;
+    PointStatus status = PointStatus::Ok;
+};
+
+PointStatus status_of_rung(spice::RecoveryRung rung) {
+    switch (rung) {
+        case spice::RecoveryRung::None: return PointStatus::Ok;
+        case spice::RecoveryRung::DampedNewton: return PointStatus::RecoveredDamped;
+        case spice::RecoveryRung::GminStepping: return PointStatus::RecoveredGmin;
+        case spice::RecoveryRung::SourceStepping: return PointStatus::RecoveredSource;
+    }
+    return PointStatus::Ok;
+}
+
+/// Computes period_s[i]/frequency_hz[i]/status[i] for every grid point,
+/// serially or chunked onto the pool. Either way each index is computed
+/// by the same pure function and written to its own slot, so the output
+/// is bitwise identical regardless of thread count.
 template <typename PointFn>
 void compute_points(SweepResult& out, const SweepRuntime& runtime,
                     std::size_t grain, const PointFn& point) {
     const std::size_t n = out.temps_c.size();
     out.period_s.resize(n);
     out.frequency_hz.resize(n);
+    out.status.resize(n);
     const auto body = [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-            const double p = point(out.temps_c[i]);
-            out.period_s[i] = p;
-            out.frequency_hz[i] = 1.0 / p;
+            const PointEval e = point(i, out.temps_c[i]);
+            out.period_s[i] = e.period;
+            out.frequency_hz[i] = 1.0 / e.period;
+            out.status[i] = e.status;
         }
     };
     if (runtime.parallel) {
@@ -81,26 +154,113 @@ void compute_points(SweepResult& out, const SweepRuntime& runtime,
     }
 }
 
+/// Wraps one engine attempt with the per-point FaultPolicy: injected
+/// point faults are drawn per (point, attempt); failures are retried /
+/// skipped / substituted per the spec; outcomes become PointStatus.
+template <typename AttemptFn>
+PointEval apply_policy(std::size_t i, double temp_c,
+                       const AnalyticRingModel& analytic,
+                       const FaultPolicySpec& spec,
+                       const AttemptFn& attempt) {
+    // The simulator's own injection sites (NewtonFail/NanState) derive
+    // their streams from this point index via the FaultContext.
+    exec::FaultContext ctx(i);
+
+    auto run_attempt = [&](int a) -> spice::Result<PointEval> {
+        if (auto* injector = exec::FaultInjector::active();
+            injector != nullptr &&
+            injector->trip(exec::FaultInjector::Site::Point,
+                           exec::FaultInjector::point_stream(i, static_cast<std::uint64_t>(a)))) {
+            spice::SimError e;
+            e.kind = spice::SimErrorKind::NonConvergence;
+            e.message = "injected point fault at grid index " + std::to_string(i);
+            return e;
+        }
+        return attempt(a);
+    };
+
+    auto first = run_attempt(0);
+    if (first.ok()) return first.value();
+
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    switch (spec.policy) {
+        case FaultPolicy::Propagate:
+            throw spice::SimException(first.error());
+        case FaultPolicy::Skip:
+            return PointEval{nan, PointStatus::Skipped};
+        case FaultPolicy::Retry: {
+            for (int a = 1; a <= spec.max_retries; ++a) {
+                auto retry = run_attempt(a);
+                if (retry.ok()) {
+                    return PointEval{retry.value().period, PointStatus::RecoveredRetry};
+                }
+            }
+            return PointEval{nan, PointStatus::Failed};
+        }
+        case FaultPolicy::FallbackToAnalytic:
+            return PointEval{analytic.period(phys::celsius_to_kelvin(temp_c)),
+                             PointStatus::FallbackAnalytic};
+    }
+    return PointEval{nan, PointStatus::Failed};
+}
+
 SweepResult compute_sweep(const phys::Technology& tech, const RingConfig& config,
                           std::span<const double> temps_c, Engine engine,
                           const SpiceRingOptions& spice_opt,
                           const SweepRuntime& runtime) {
     SweepResult out;
     out.temps_c.assign(temps_c.begin(), temps_c.end());
+    const AnalyticRingModel analytic(tech, config);
+    const FaultPolicySpec& fault = runtime.fault;
     if (engine == Engine::Analytic) {
-        const AnalyticRingModel model(tech, config);
-        compute_points(out, runtime, kAnalyticGrain, [&](double tc) {
-            return model.period(phys::celsius_to_kelvin(tc));
+        compute_points(out, runtime, kAnalyticGrain,
+                       [&](std::size_t i, double tc) {
+            return apply_policy(i, tc, analytic, fault,
+                                [&](int) -> spice::Result<PointEval> {
+                return PointEval{analytic.period(phys::celsius_to_kelvin(tc)),
+                                 PointStatus::Ok};
+            });
         });
     } else {
         const SpiceRingModel model(tech, config);
         SpiceRingOptions opt = spice_opt;
         opt.record_waveform = false; // Sweeps only need the scalar period.
-        compute_points(out, runtime, kSpiceGrain, [&](double tc) {
-            return model.simulate(phys::celsius_to_kelvin(tc), opt).period;
+        compute_points(out, runtime, kSpiceGrain,
+                       [&](std::size_t i, double tc) {
+            return apply_policy(i, tc, analytic, fault,
+                                [&](int attempt) -> spice::Result<PointEval> {
+                SpiceRingOptions o = opt;
+                // Tightened time resolution per retry: marginal
+                // transients usually converge with a smaller dt.
+                for (int a = 0; a < attempt; ++a) {
+                    o.steps_per_period = static_cast<int>(
+                        static_cast<double>(o.steps_per_period) *
+                        fault.retry_steps_factor);
+                }
+                auto r = model.try_simulate(phys::celsius_to_kelvin(tc), o);
+                if (!r.ok()) return r.error();
+                return PointEval{r.value().period,
+                                 status_of_rung(r.value().recovery_rung)};
+            });
         });
     }
     return out;
+}
+
+/// Publishes a finished sweep's per-point outcome tallies (done once per
+/// sweep, off the hot per-point path, so parallel runs count the same).
+void record_outcomes(const SweepResult& sweep) {
+    auto& metrics = exec::MetricsRegistry::global();
+    const std::size_t ok = sweep.count(PointStatus::Ok);
+    const std::size_t recovered = sweep.recovered_points();
+    const std::size_t fallback = sweep.count(PointStatus::FallbackAnalytic);
+    const std::size_t skipped = sweep.count(PointStatus::Skipped);
+    const std::size_t failed = sweep.count(PointStatus::Failed);
+    if (ok > 0) metrics.counter("ring.sweep.points.ok").add(ok);
+    if (recovered > 0) metrics.counter("ring.sweep.points.recovered").add(recovered);
+    if (fallback > 0) metrics.counter("ring.sweep.points.fallback").add(fallback);
+    if (skipped > 0) metrics.counter("ring.sweep.points.skipped").add(skipped);
+    if (failed > 0) metrics.counter("ring.sweep.points.failed").add(failed);
 }
 
 } // namespace
@@ -108,9 +268,10 @@ SweepResult compute_sweep(const phys::Technology& tech, const RingConfig& config
 std::uint64_t sweep_fingerprint(const phys::Technology& tech,
                                 const RingConfig& config,
                                 std::span<const double> temps_c, Engine engine,
-                                const SpiceRingOptions& spice_opt) {
+                                const SpiceRingOptions& spice_opt,
+                                const FaultPolicySpec& fault) {
     exec::Fingerprint fp;
-    fp.add(std::uint64_t{0x73747331}); // Key-format version salt.
+    fp.add(std::uint64_t{0x73747332}); // Key-format version salt.
     fp.add(tech.vdd)
         .add(tech.lmin)
         .add(tech.wmin)
@@ -134,7 +295,17 @@ std::uint64_t sweep_fingerprint(const phys::Technology& tech,
         fp.add(spice_opt.skip_cycles)
             .add(spice_opt.measure_cycles)
             .add(spice_opt.steps_per_period)
-            .add(spice_opt.estimate_margin);
+            .add(spice_opt.estimate_margin)
+            .add(spice_opt.enable_recovery)
+            .add(spice_opt.max_wall_ms)
+            .add(static_cast<std::int64_t>(spice_opt.max_total_newton_iters));
+    }
+    // The fault policy shapes the values of points that fail, so it is
+    // part of the key (a Skip series and a Fallback series of the same
+    // circuit must not alias).
+    fp.add(static_cast<int>(fault.policy));
+    if (fault.policy == FaultPolicy::Retry) {
+        fp.add(fault.max_retries).add(fault.retry_steps_factor);
     }
     fp.add(temps_c);
     return fp.value();
@@ -151,22 +322,33 @@ SweepResult temperature_sweep(const phys::Technology& tech,
     const exec::ScopedTimer timer(metrics.timer(
         engine == Engine::Analytic ? "ring.sweep.analytic" : "ring.sweep.spice"));
 
-    if (!runtime.use_cache) {
-        return compute_sweep(tech, config, temps_c, engine, spice_opt, runtime);
+    // An installed fault injector makes outcomes depend on the injector
+    // state, which the fingerprint cannot see — never memoize those.
+    const bool cacheable =
+        runtime.use_cache && exec::FaultInjector::active() == nullptr;
+    if (!cacheable) {
+        auto sweep = compute_sweep(tech, config, temps_c, engine, spice_opt, runtime);
+        record_outcomes(sweep);
+        return sweep;
     }
 
     auto& cache = runtime.cache != nullptr ? *runtime.cache
                                            : exec::ResultCache::global();
     const std::uint64_t key =
-        sweep_fingerprint(tech, config, temps_c, engine, spice_opt);
+        sweep_fingerprint(tech, config, temps_c, engine, spice_opt, runtime.fault);
     const auto series = cache.get_or_compute(key, [&] {
         auto sweep = compute_sweep(tech, config, temps_c, engine, spice_opt, runtime);
+        record_outcomes(sweep);
         exec::Series s;
-        s.names = {"temps_c", "period_s", "frequency_hz"};
-        s.columns.resize(3);
+        s.names = {"temps_c", "period_s", "frequency_hz", "status"};
+        s.columns.resize(4);
         s.columns[0] = std::move(sweep.temps_c);
         s.columns[1] = std::move(sweep.period_s);
         s.columns[2] = std::move(sweep.frequency_hz);
+        s.columns[3].reserve(sweep.status.size());
+        for (PointStatus p : sweep.status) {
+            s.columns[3].push_back(static_cast<double>(p));
+        }
         return s;
     });
 
@@ -174,6 +356,14 @@ SweepResult temperature_sweep(const phys::Technology& tech,
     out.temps_c = series->columns[0];
     out.period_s = series->columns[1];
     out.frequency_hz = series->columns[2];
+    if (series->columns.size() > 3) {
+        out.status.reserve(series->columns[3].size());
+        for (double v : series->columns[3]) {
+            out.status.push_back(static_cast<PointStatus>(static_cast<int>(v)));
+        }
+    } else {
+        out.status.assign(out.temps_c.size(), PointStatus::Ok);
+    }
     return out;
 }
 

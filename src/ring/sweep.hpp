@@ -8,7 +8,17 @@
 // mapping, results committed by index — bitwise identical to the serial
 // loop at any thread count) and whole sweeps are memoized in the
 // content-addressed result cache keyed by a fingerprint over
-// (technology, ring config, engine, options, grid).
+// (technology, ring config, engine, options, fault policy, grid).
+//
+// Fault tolerance: a sweep over hundreds of Newton solves must not die
+// because one (config, T) point misbehaves. Each point's failure (a
+// spice::SimError after the solver's own recovery ladder, or an
+// injected fault) is handled by the runtime's per-point FaultPolicy —
+// propagate, skip, retry with tightened resolution, or fall back to the
+// analytic model — and every point's outcome is recorded in
+// SweepResult::status, so consumers can rank partial series and benches
+// can report recovery rates. Fault-free runs take the historical path
+// bit for bit.
 #pragma once
 
 #include "exec/result_cache.hpp"
@@ -29,17 +39,60 @@ enum class Engine {
     Spice,    ///< Transistor-level transient simulation.
 };
 
+/// What the sweep does with a point whose evaluation fails.
+enum class FaultPolicy {
+    Propagate,          ///< Rethrow — the whole sweep fails (legacy).
+    Skip,               ///< Record the point as skipped; series gets NaN.
+    Retry,              ///< Re-run with tightened resolution, then fail the point.
+    FallbackToAnalytic, ///< Substitute the analytic model's period.
+};
+
+/// Retry shaping for FaultPolicy::Retry.
+struct FaultPolicySpec {
+    FaultPolicy policy = FaultPolicy::Propagate;
+    int max_retries = 2;            ///< Extra attempts after the first failure.
+    /// Each retry multiplies steps_per_period by this (tightened time
+    /// resolution is the lever that actually fixes marginal transients).
+    double retry_steps_factor = 2.0;
+};
+
+/// Per-point outcome of a sweep. Ok and the Recovered* values carry a
+/// valid period; Skipped/Failed points hold NaN in the series.
+enum class PointStatus : std::uint8_t {
+    Ok = 0,               ///< Plain solve, no assistance.
+    RecoveredDamped = 1,  ///< Solver ladder: damped Newton.
+    RecoveredGmin = 2,    ///< Solver ladder: gmin stepping.
+    RecoveredSource = 3,  ///< Solver ladder: source stepping.
+    RecoveredRetry = 4,   ///< Sweep-level retry succeeded.
+    FallbackAnalytic = 5, ///< Analytic substitute recorded.
+    Skipped = 6,          ///< Policy skipped the point.
+    Failed = 7,           ///< Retries exhausted; point unusable.
+};
+
+const char* to_string(PointStatus status);
+
 /// Period-vs-temperature series of one configuration.
 struct SweepResult {
     std::vector<double> temps_c;      ///< Sweep grid [deg C].
     std::vector<double> period_s;     ///< Oscillation period at each point [s].
     std::vector<double> frequency_hz; ///< 1 / period [Hz].
+    /// Outcome per point (same length as the grid; all Ok on the
+    /// fault-free fast path).
+    std::vector<PointStatus> status;
+
+    std::size_t count(PointStatus s) const;
+    /// Points whose period is usable (everything but Skipped/Failed).
+    std::size_t valid_points() const;
+    /// Points rescued by any mechanism (solver ladder, retry, fallback).
+    std::size_t recovered_points() const;
+    bool complete() const { return valid_points() == temps_c.size(); }
 };
 
 /// How a sweep executes. The defaults give the fast path: points run on
-/// the global pool and whole results are memoized in the global cache.
-/// Every combination produces bitwise identical SweepResults — these
-/// knobs trade time and memory, never values.
+/// the global pool, whole results are memoized in the global cache, and
+/// a failed point propagates (legacy behavior). Pool/cache knobs trade
+/// time and memory, never values; the fault policy changes values only
+/// for points that would otherwise have killed the sweep.
 struct SweepRuntime {
     /// Pool for the parallel path; nullptr selects
     /// exec::ThreadPool::global() (honors STSENSE_THREADS).
@@ -49,8 +102,12 @@ struct SweepRuntime {
     /// Cache for whole-sweep memoization; nullptr selects
     /// exec::ResultCache::global().
     exec::ResultCache* cache = nullptr;
-    /// false recomputes even when an identical sweep is cached.
+    /// false recomputes even when an identical sweep is cached. (The
+    /// cache is also bypassed automatically while a FaultInjector is
+    /// installed: injected outcomes must not be memoized.)
     bool use_cache = true;
+    /// Per-point failure handling.
+    FaultPolicySpec fault;
 
     /// A runtime that bypasses both the pool and the cache — the serial
     /// reference the determinism tests compare against.
@@ -63,7 +120,8 @@ struct SweepRuntime {
 };
 
 /// Runs the sweep. The grid must be non-empty, finite (no NaN/Inf), and
-/// strictly increasing; throws std::invalid_argument otherwise.
+/// strictly increasing; throws std::invalid_argument (naming the
+/// offending index and value) otherwise.
 SweepResult temperature_sweep(const phys::Technology& tech,
                               const RingConfig& config,
                               std::span<const double> temps_c,
@@ -79,12 +137,13 @@ SweepResult paper_sweep(const phys::Technology& tech, const RingConfig& config,
 
 /// Content fingerprint of a sweep: hashes every input that influences
 /// the result (all technology and per-stage parameters, the engine, the
-/// SPICE options when the engine is Spice, and the grid values). Equal
-/// fingerprints imply bitwise equal SweepResults. This is the cache key
-/// temperature_sweep memoizes under.
+/// SPICE options when the engine is Spice, the fault policy, and the
+/// grid values). Equal fingerprints imply bitwise equal SweepResults.
+/// This is the cache key temperature_sweep memoizes under.
 std::uint64_t sweep_fingerprint(const phys::Technology& tech,
                                 const RingConfig& config,
                                 std::span<const double> temps_c, Engine engine,
-                                const SpiceRingOptions& spice_opt = {});
+                                const SpiceRingOptions& spice_opt = {},
+                                const FaultPolicySpec& fault = {});
 
 } // namespace stsense::ring

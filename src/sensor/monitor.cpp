@@ -1,8 +1,11 @@
 #include "sensor/monitor.hpp"
 
+#include "exec/fault_injector.hpp"
 #include "exec/metrics.hpp"
 #include "exec/thread_pool.hpp"
 #include "phys/units.hpp"
+
+#include <limits>
 
 #include <algorithm>
 #include <cmath>
@@ -86,15 +89,34 @@ MapResult ThermalMonitor::scan() const {
     // period transducer in parallel up front (committed by site index —
     // identical values at any thread count), then let the cycle-accurate
     // unit scan the precomputed periods channel by channel.
+    // A site is invalid when its transducer misbehaves (non-finite or
+    // non-positive period — e.g. an extreme mismatch draw) or when the
+    // fault injector kills it. The smart unit still needs a physical
+    // period on every channel, so invalid channels scan the nominal
+    // ring's period; their readings are flagged and excluded from the
+    // error statistics below.
     std::vector<double> site_period(sites_.size());
+    std::vector<std::uint8_t> site_valid(sites_.size(), 1);
     {
         const exec::ScopedTimer timer(
             exec::MetricsRegistry::global().timer("sensor.monitor.site_sample"));
         exec::ThreadPool::global().parallel_for(
             sites_.size(), 1, [&](std::size_t begin, std::size_t end) {
                 for (std::size_t i = begin; i < end; ++i) {
+                    exec::FaultContext ctx(i);
                     const auto& s = site_sensor(i);
-                    site_period[i] = s.period_at(s.junction_at(site_true[i]));
+                    double period = s.period_at(s.junction_at(site_true[i]));
+                    auto* injector = exec::FaultInjector::active();
+                    const bool injected =
+                        injector != nullptr &&
+                        injector->trip(exec::FaultInjector::Site::Point,
+                                       exec::FaultInjector::point_stream(i));
+                    if (injected || !std::isfinite(period) || period <= 0.0) {
+                        site_valid[i] = 0;
+                        period = sensor_.period_at(
+                            sensor_.junction_at(site_true[i]));
+                    }
+                    site_period[i] = period;
                 }
             });
     }
@@ -112,6 +134,7 @@ MapResult ThermalMonitor::scan() const {
     unit.scan_all_blocking();
 
     double sum_sq = 0.0;
+    std::size_t valid_count = 0;
     for (std::size_t i = 0; i < sites_.size(); ++i) {
         SiteReading r;
         r.name = sites_[i].name;
@@ -119,16 +142,31 @@ MapResult ThermalMonitor::scan() const {
         r.y = sites_[i].y;
         r.true_c = site_true[i];
         r.code = unit.channel_data(static_cast<int>(i));
-        // Conversion constants: the site's own trim, or the shared ones.
-        r.measured_c = config_.individual_calibration && !site_sensors_.empty()
-                           ? site_sensors_[i].convert(r.code)
-                           : sensor_.convert(r.code);
-        r.error_c = r.measured_c - r.true_c;
-        out.max_abs_error_c = std::max(out.max_abs_error_c, std::abs(r.error_c));
-        sum_sq += r.error_c * r.error_c;
+        r.valid = site_valid[i] != 0;
+        if (r.valid) {
+            // Conversion constants: the site's own trim, or the shared ones.
+            r.measured_c = config_.individual_calibration && !site_sensors_.empty()
+                               ? site_sensors_[i].convert(r.code)
+                               : sensor_.convert(r.code);
+            r.error_c = r.measured_c - r.true_c;
+            out.max_abs_error_c = std::max(out.max_abs_error_c, std::abs(r.error_c));
+            sum_sq += r.error_c * r.error_c;
+            ++valid_count;
+        } else {
+            r.measured_c = std::numeric_limits<double>::quiet_NaN();
+            r.error_c = std::numeric_limits<double>::quiet_NaN();
+        }
         out.sites.push_back(std::move(r));
     }
-    out.rms_error_c = std::sqrt(sum_sq / static_cast<double>(sites_.size()));
+    out.invalid_sites = sites_.size() - valid_count;
+    if (out.invalid_sites > 0) {
+        exec::MetricsRegistry::global()
+            .counter("sensor.monitor.sites.invalid")
+            .add(out.invalid_sites);
+    }
+    out.rms_error_c = valid_count > 0
+                          ? std::sqrt(sum_sq / static_cast<double>(valid_count))
+                          : 0.0;
     out.scan_time_s = static_cast<double>(unit.cycles_total()) /
                       config_.sensor_options.gate.ref_freq_hz;
     out.alarm = unit.alarm();

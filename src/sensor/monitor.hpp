@@ -57,11 +57,17 @@ struct SiteReading {
     double measured_c = 0.0; ///< Smart-unit output.
     double error_c = 0.0;    ///< measured - true.
     std::uint32_t code = 0;
+    /// false: this ring's readout failed (non-finite period, or an
+    /// injected Site::Point fault). The reading is excluded from the
+    /// map's error statistics; measured_c/error_c are NaN.
+    bool valid = true;
 };
 
-/// Full thermal-map scan result.
+/// Full thermal-map scan result. Error statistics cover the valid sites
+/// only — a map with dead sensors still reports on the live ones.
 struct MapResult {
     std::vector<SiteReading> sites;
+    std::size_t invalid_sites = 0; ///< Sites excluded from the statistics.
     double max_abs_error_c = 0.0;
     double rms_error_c = 0.0;
     std::vector<double> true_map_c; ///< Grid temperatures (row-major).

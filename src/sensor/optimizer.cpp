@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace stsense::sensor {
@@ -17,16 +18,35 @@ namespace {
 // inner sweep runs serially (no nested fan-out) but still memoizes into
 // the global cache — re-evaluated configurations (golden-section
 // revisits, bench re-runs) become cache hits.
-ring::SweepRuntime candidate_runtime() {
+ring::SweepRuntime candidate_runtime(const ring::FaultPolicySpec& fault) {
     ring::SweepRuntime rt;
     rt.parallel = false;
+    rt.fault = fault;
     return rt;
 }
 
-double nl_of_config(const phys::Technology& tech, const ring::RingConfig& cfg) {
+double nl_of_config(const phys::Technology& tech, const ring::RingConfig& cfg,
+                    const ring::FaultPolicySpec& fault) {
     const auto sweep = ring::paper_sweep(tech, cfg, ring::Engine::Analytic, {},
-                                         candidate_runtime());
-    return analysis::max_nonlinearity_percent(sweep.temps_c, sweep.period_s);
+                                         candidate_runtime(fault));
+    if (sweep.complete()) {
+        return analysis::max_nonlinearity_percent(sweep.temps_c, sweep.period_s);
+    }
+    // Partial sweep (Skip policy, or Retry exhausted): rank on the valid
+    // points only. The NL fit needs >= 3 of them; a candidate too broken
+    // to measure sorts to the bottom rather than aborting the search.
+    std::vector<double> xs;
+    std::vector<double> ys;
+    xs.reserve(sweep.temps_c.size());
+    ys.reserve(sweep.temps_c.size());
+    for (std::size_t i = 0; i < sweep.temps_c.size(); ++i) {
+        if (std::isfinite(sweep.period_s[i])) {
+            xs.push_back(sweep.temps_c[i]);
+            ys.push_back(sweep.period_s[i]);
+        }
+    }
+    if (xs.size() < 3) return std::numeric_limits<double>::infinity();
+    return analysis::max_nonlinearity_percent(xs, ys);
 }
 
 double period_27c(const phys::Technology& tech, const ring::RingConfig& cfg) {
@@ -42,7 +62,8 @@ exec::ThreadPool& pool_or_global(exec::ThreadPool* pool) {
 std::vector<RatioPoint> ratio_sweep(const phys::Technology& tech,
                                     cells::CellKind kind, int n_stages,
                                     std::span<const double> ratios,
-                                    exec::ThreadPool* pool) {
+                                    exec::ThreadPool* pool,
+                                    const ring::FaultPolicySpec& fault) {
     for (double r : ratios) {
         if (r <= 0.0) throw std::invalid_argument("ratio_sweep: ratio must be > 0");
     }
@@ -52,14 +73,15 @@ std::vector<RatioPoint> ratio_sweep(const phys::Technology& tech,
             for (std::size_t i = begin; i < end; ++i) {
                 const double r = ratios[i];
                 const auto cfg = ring::RingConfig::uniform(kind, n_stages, r);
-                out[i] = {r, nl_of_config(tech, cfg), period_27c(tech, cfg)};
+                out[i] = {r, nl_of_config(tech, cfg, fault), period_27c(tech, cfg)};
             }
         });
     return out;
 }
 
 RatioOptimum optimize_ratio(const phys::Technology& tech, cells::CellKind kind,
-                            int n_stages, double lo, double hi, double tol) {
+                            int n_stages, double lo, double hi, double tol,
+                            const ring::FaultPolicySpec& fault) {
     if (!(0.0 < lo && lo < hi)) {
         throw std::invalid_argument("optimize_ratio: need 0 < lo < hi");
     }
@@ -68,7 +90,8 @@ RatioOptimum optimize_ratio(const phys::Technology& tech, cells::CellKind kind,
     int evals = 0;
     auto f = [&](double r) {
         ++evals;
-        return nl_of_config(tech, ring::RingConfig::uniform(kind, n_stages, r));
+        return nl_of_config(tech, ring::RingConfig::uniform(kind, n_stages, r),
+                            fault);
     };
 
     // Golden-section search. Inherently sequential (each bracket depends
@@ -136,7 +159,8 @@ void enumerate_rec(std::span<const cells::CellKind> kinds, std::size_t from,
 
 std::vector<MixCandidate> enumerate_mixes(const phys::Technology& tech,
                                           std::span<const cells::CellKind> kinds,
-                                          int n_stages, exec::ThreadPool* pool) {
+                                          int n_stages, exec::ThreadPool* pool,
+                                          const ring::FaultPolicySpec& fault) {
     if (kinds.empty()) throw std::invalid_argument("enumerate_mixes: no kinds");
     if (n_stages < 3 || n_stages % 2 == 0) {
         throw std::invalid_argument("enumerate_mixes: n_stages must be odd and >= 3");
@@ -154,7 +178,7 @@ std::vector<MixCandidate> enumerate_mixes(const phys::Technology& tech,
             for (std::size_t i = begin; i < end; ++i) {
                 MixCandidate cand;
                 cand.name = describe(configs[i]);
-                cand.max_nl_percent = nl_of_config(tech, configs[i]);
+                cand.max_nl_percent = nl_of_config(tech, configs[i], fault);
                 cand.period_27c_s = period_27c(tech, configs[i]);
                 cand.config = std::move(configs[i]);
                 out[i] = std::move(cand);

@@ -7,6 +7,7 @@
 #include "exec/thread_pool.hpp"
 #include "phys/technology.hpp"
 #include "ring/config.hpp"
+#include "ring/sweep.hpp"
 
 #include <span>
 #include <string>
@@ -25,10 +26,17 @@ struct RatioPoint {
 /// `kind` cells at each Wp/Wn ratio. Candidates evaluate concurrently on
 /// `pool` (nullptr: the global pool); results are committed by candidate
 /// index, so the output is identical at any thread count.
+///
+/// `fault` is the per-point policy of each candidate's inner temperature
+/// sweep. Partial sweeps (Skip / exhausted Retry) are consumed
+/// gracefully: the NL figure is computed over the valid points, and a
+/// candidate with fewer than 3 valid points ranks as +infinity instead
+/// of aborting the search.
 std::vector<RatioPoint> ratio_sweep(const phys::Technology& tech,
                                     cells::CellKind kind, int n_stages,
                                     std::span<const double> ratios,
-                                    exec::ThreadPool* pool = nullptr);
+                                    exec::ThreadPool* pool = nullptr,
+                                    const ring::FaultPolicySpec& fault = {});
 
 /// Continuous optimum found by golden-section search on max |NL|(ratio).
 struct RatioOptimum {
@@ -43,7 +51,8 @@ struct RatioOptimum {
 /// requires.
 RatioOptimum optimize_ratio(const phys::Technology& tech, cells::CellKind kind,
                             int n_stages, double lo, double hi,
-                            double tol = 1e-3);
+                            double tol = 1e-3,
+                            const ring::FaultPolicySpec& fault = {});
 
 /// One candidate from the cell-mix enumeration.
 struct MixCandidate {
@@ -62,6 +71,7 @@ struct MixCandidate {
 std::vector<MixCandidate> enumerate_mixes(const phys::Technology& tech,
                                           std::span<const cells::CellKind> kinds,
                                           int n_stages,
-                                          exec::ThreadPool* pool = nullptr);
+                                          exec::ThreadPool* pool = nullptr,
+                                          const ring::FaultPolicySpec& fault = {});
 
 } // namespace stsense::sensor

@@ -1,0 +1,110 @@
+// Structured solver-failure taxonomy and an expected-style Result<T>.
+//
+// The simulation engine historically threw on any failure, which meant a
+// single bad (config, T) point aborted a whole sweep with no diagnosis
+// and no partial result. The fault-tolerant API instead *returns* a
+// SimError carried in a Result<T>: callers (the ring driver, the sweep
+// FaultPolicy machinery, the benches) can classify the failure, retry
+// with a different rung of the recovery ladder, substitute an analytic
+// fallback, or record-and-skip the point. The throwing entry points
+// survive as thin wrappers for existing callers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace stsense::spice {
+
+/// What went wrong inside a solve. The first five kinds mirror the
+/// classic SPICE failure modes; MissingSignal covers malformed
+/// netlist/probe requests surfaced by the measurement layer.
+enum class SimErrorKind {
+    NonConvergence,   ///< Newton exhausted its iterations on every rung.
+    SingularMatrix,   ///< LU factorization hit a zero pivot.
+    NonFiniteState,   ///< NaN/Inf appeared in the solution vector.
+    StepLimit,        ///< Iteration/step budget exceeded.
+    DeadlineExceeded, ///< Per-solve wall-clock budget exceeded.
+    MissingSignal,    ///< Requested probe/trace does not exist.
+};
+
+inline const char* to_string(SimErrorKind kind) {
+    switch (kind) {
+        case SimErrorKind::NonConvergence: return "non-convergence";
+        case SimErrorKind::SingularMatrix: return "singular-matrix";
+        case SimErrorKind::NonFiniteState: return "non-finite-state";
+        case SimErrorKind::StepLimit: return "step-limit";
+        case SimErrorKind::DeadlineExceeded: return "deadline-exceeded";
+        case SimErrorKind::MissingSignal: return "missing-signal";
+    }
+    return "unknown";
+}
+
+/// Which rung of the recovery ladder produced the returned solution.
+/// None means the plain solve converged (the fault-free fast path).
+enum class RecoveryRung {
+    None,           ///< Plain Newton, no assistance.
+    DampedNewton,   ///< Tightened per-iteration voltage clamp.
+    GminStepping,   ///< Homotopy on the node shunt conductance.
+    SourceStepping, ///< Homotopy on the source amplitudes.
+};
+
+inline const char* to_string(RecoveryRung rung) {
+    switch (rung) {
+        case RecoveryRung::None: return "none";
+        case RecoveryRung::DampedNewton: return "damped-newton";
+        case RecoveryRung::GminStepping: return "gmin-stepping";
+        case RecoveryRung::SourceStepping: return "source-stepping";
+    }
+    return "unknown";
+}
+
+/// One classified solver failure.
+struct SimError {
+    SimErrorKind kind = SimErrorKind::NonConvergence;
+    std::string message;
+    double time_s = -1.0;    ///< Transient time of the failure; -1 for DC.
+    long newton_iters = 0;   ///< Iterations burned before giving up.
+
+    std::string to_string() const {
+        std::string out = spice::to_string(kind);
+        out += ": ";
+        out += message;
+        if (time_s >= 0.0) out += " (t = " + std::to_string(time_s) + " s)";
+        return out;
+    }
+};
+
+/// Exception form of a SimError, thrown by the compatibility wrappers.
+struct SimException : std::runtime_error {
+    explicit SimException(SimError e)
+        : std::runtime_error(e.to_string()), error(std::move(e)) {}
+    SimError error;
+};
+
+/// Minimal expected-style carrier: either a value or a SimError.
+template <typename T>
+class Result {
+public:
+    Result(T value) : v_(std::move(value)) {}              // NOLINT(google-explicit-constructor)
+    Result(SimError error) : v_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+    bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    T& value() { return std::get<T>(v_); }
+    const T& value() const { return std::get<T>(v_); }
+    const SimError& error() const { return std::get<SimError>(v_); }
+
+    /// Unwraps, throwing SimException on error (compatibility bridge).
+    T take_or_throw() && {
+        if (!ok()) throw SimException(std::get<SimError>(std::move(v_)));
+        return std::get<T>(std::move(v_));
+    }
+
+private:
+    std::variant<T, SimError> v_;
+};
+
+} // namespace stsense::spice

@@ -1,10 +1,22 @@
 #include "spice/simulator.hpp"
 
+#include "exec/fault_injector.hpp"
+
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace stsense::spice {
+
+namespace {
+
+/// Later rung beats earlier rung for the "deepest rung used" statistic.
+RecoveryRung deeper(RecoveryRung a, RecoveryRung b) {
+    return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+} // namespace
 
 double TransientResult::average_source_power_w(NodeId node,
                                                double duration_s) const {
@@ -17,10 +29,15 @@ double TransientResult::average_source_power_w(NodeId node,
     return source_energy_j[node.index] / duration_s;
 }
 
-const Trace& TransientResult::trace(const std::string& node_name) const {
+const Trace* TransientResult::find_trace(const std::string& node_name) const {
     for (const auto& t : traces) {
-        if (t.name == node_name) return t;
+        if (t.name == node_name) return &t;
     }
+    return nullptr;
+}
+
+const Trace& TransientResult::trace(const std::string& node_name) const {
+    if (const Trace* t = find_trace(node_name)) return *t;
     throw std::invalid_argument("TransientResult: no trace for node '" + node_name + "'");
 }
 
@@ -38,16 +55,18 @@ Simulator::Simulator(const Circuit& circuit, SimOptions options)
     }
 }
 
-void Simulator::set_driven(std::vector<double>& volts, double t) const {
+void Simulator::set_driven(std::vector<double>& volts, double t,
+                           double scale) const {
     for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
         NodeId n{static_cast<std::uint32_t>(i)};
-        if (circuit_.is_driven(n)) volts[i] = circuit_.source_of(n).value(t);
+        if (circuit_.is_driven(n)) volts[i] = scale * circuit_.source_of(n).value(t);
     }
 }
 
 void Simulator::assemble(const std::vector<double>& volts, double h,
                          const std::vector<CapState>* caps, Integrator integ,
-                         Matrix& jac, std::vector<double>& residual) const {
+                         double gmin, Matrix& jac,
+                         std::vector<double>& residual) const {
     jac.clear();
     std::fill(residual.begin(), residual.end(), 0.0);
 
@@ -141,56 +160,232 @@ void Simulator::assemble(const std::vector<double>& volts, double h,
     for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
         const int u = unknown_index_[i];
         if (u < 0) continue;
-        residual[static_cast<std::size_t>(u)] += options_.gmin * volts[i];
-        jac.at(static_cast<std::size_t>(u), static_cast<std::size_t>(u)) += options_.gmin;
+        residual[static_cast<std::size_t>(u)] += gmin * volts[i];
+        jac.at(static_cast<std::size_t>(u), static_cast<std::size_t>(u)) += gmin;
     }
 }
 
-bool Simulator::solve_newton(std::vector<double>& volts, double h,
-                             const std::vector<CapState>* caps, Integrator integ,
-                             long& iters) const {
+Simulator::NewtonStatus Simulator::solve_newton(
+    std::vector<double>& volts, double h, const std::vector<CapState>* caps,
+    Integrator integ, const NewtonParams& params, Budget& budget,
+    const Sabotage& sab, long& iters) const {
+    if (sab.newton && params.rung_index < sab.rungs) {
+        return NewtonStatus::NoConverge; // Injected convergence failure.
+    }
+
     Matrix jac(n_unknowns_, n_unknowns_);
     std::vector<double> residual(n_unknowns_);
     std::vector<double> delta;
 
-    for (int it = 0; it < options_.max_newton_iters; ++it) {
+    for (int it = 0; it < params.max_iters; ++it) {
+        if (budget.iters_left == 0) return NewtonStatus::IterBudget;
+        if (budget.iters_left > 0) --budget.iters_left;
+        if (budget.has_deadline &&
+            std::chrono::steady_clock::now() > budget.deadline) {
+            return NewtonStatus::Deadline;
+        }
         ++iters;
-        assemble(volts, h, caps, integ, jac, residual);
+        assemble(volts, h, caps, integ, params.gmin, jac, residual);
         // Solve J * delta = -F.
         for (double& r : residual) r = -r;
-        if (!lu_solve(jac, residual, delta)) return false;
+        if (!lu_solve(jac, residual, delta)) return NewtonStatus::Singular;
 
         double max_dv = 0.0;
         for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
             const int u = unknown_index_[i];
             if (u < 0) continue;
             double dv = delta[static_cast<std::size_t>(u)];
-            dv = std::clamp(dv, -options_.v_step_limit, options_.v_step_limit);
+            dv = std::clamp(dv, -params.v_step_limit, params.v_step_limit);
             volts[i] += dv;
             max_dv = std::max(max_dv, std::abs(dv));
         }
-        if (max_dv < options_.abstol_v) return true;
+        if (!std::isfinite(max_dv)) return NewtonStatus::NonFinite;
+        if (max_dv < options_.abstol_v) {
+            if (sab.nan && params.rung_index < sab.rungs) {
+                // Injected NaN state: plant one into the first unknown so
+                // the finiteness gate below classifies it.
+                for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+                    if (unknown_index_[i] >= 0) {
+                        volts[i] = std::numeric_limits<double>::quiet_NaN();
+                        break;
+                    }
+                }
+            }
+            for (double v : volts) {
+                if (!std::isfinite(v)) return NewtonStatus::NonFinite;
+            }
+            return NewtonStatus::Converged;
+        }
     }
-    return false;
+    return NewtonStatus::NoConverge;
 }
 
-std::vector<double> Simulator::dc_operating_point() {
+namespace {
+
+SimErrorKind kind_of_status(int status) {
+    switch (status) {
+        case 1: return SimErrorKind::NonConvergence; // NoConverge
+        case 2: return SimErrorKind::SingularMatrix; // Singular
+        case 3: return SimErrorKind::NonFiniteState; // NonFinite
+        case 4: return SimErrorKind::StepLimit;      // IterBudget
+        case 5: return SimErrorKind::DeadlineExceeded; // Deadline
+        default: return SimErrorKind::NonConvergence;
+    }
+}
+
+} // namespace
+
+Simulator::Sabotage Simulator::next_sabotage() {
+    const long event = fault_event_seq_++;
+    Sabotage sab;
+    auto* injector = exec::FaultInjector::active();
+    if (injector == nullptr) return sab;
+    const std::uint64_t index =
+        exec::FaultContext::current() * 0x9E3779B97F4A7C15ULL +
+        static_cast<std::uint64_t>(event);
+    sab.newton = injector->trip(exec::FaultInjector::Site::NewtonFail, index);
+    sab.nan = injector->trip(exec::FaultInjector::Site::NanState, index);
+    sab.rungs = injector->config().newton_fail_rungs;
+    return sab;
+}
+
+Simulator::Budget Simulator::make_budget() const {
+    Budget b;
+    if (options_.max_total_newton_iters > 0) {
+        b.iters_left = options_.max_total_newton_iters;
+    }
+    if (options_.max_wall_ms > 0.0) {
+        b.has_deadline = true;
+        b.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(options_.max_wall_ms));
+    }
+    if (options_.max_transient_steps > 0) b.steps_left = options_.max_transient_steps;
+    return b;
+}
+
+Result<std::vector<double>> Simulator::dc_ladder(Budget& budget) {
+    const Sabotage sab = next_sabotage();
+    long iters = 0;
+
+    auto fail = [&](NewtonStatus status) -> SimError {
+        SimError e;
+        e.kind = kind_of_status(static_cast<int>(status));
+        e.message = "dc_operating_point: Newton failed to converge";
+        e.newton_iters = iters;
+        return e;
+    };
+    auto is_budget = [](NewtonStatus s) {
+        return s == NewtonStatus::IterBudget || s == NewtonStatus::Deadline;
+    };
+
+    const NewtonParams base{options_.max_newton_iters, options_.v_step_limit,
+                            options_.gmin, 0};
+
+    // Rung 0a: plain Newton from the flat start.
     std::vector<double> volts(circuit_.node_count(), 0.0);
     set_driven(volts, 0.0);
-    long iters = 0;
-    if (solve_newton(volts, 0.0, nullptr, options_.integrator, iters)) return volts;
+    NewtonStatus status =
+        solve_newton(volts, 0.0, nullptr, options_.integrator, base, budget, sab, iters);
+    if (status == NewtonStatus::Converged) {
+        last_dc_rung_ = RecoveryRung::None;
+        return volts;
+    }
+    if (is_budget(status)) return fail(status);
 
-    // Retry from a mid-rail guess: helps bistable/metastable circuits.
+    // Rung 0b: retry from a mid-rail guess — helps bistable/metastable
+    // circuits (legacy behavior, still the plain rung).
     double vmax = 0.0;
     for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
         NodeId n{static_cast<std::uint32_t>(i)};
         if (circuit_.is_driven(n)) vmax = std::max(vmax, circuit_.source_of(n).value(0.0));
     }
-    for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
-        if (unknown_index_[i] >= 0) volts[i] = 0.5 * vmax;
+    auto mid_rail_start = [&] {
+        set_driven(volts, 0.0);
+        for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+            if (unknown_index_[i] >= 0) volts[i] = 0.5 * vmax;
+        }
+    };
+    mid_rail_start();
+    status = solve_newton(volts, 0.0, nullptr, options_.integrator, base, budget, sab, iters);
+    if (status == NewtonStatus::Converged) {
+        last_dc_rung_ = RecoveryRung::None;
+        return volts;
     }
-    if (solve_newton(volts, 0.0, nullptr, options_.integrator, iters)) return volts;
-    throw ConvergenceError("dc_operating_point: Newton failed to converge");
+    if (is_budget(status)) return fail(status);
+    const NewtonStatus base_status = status;
+
+    if (!options_.enable_recovery) return fail(base_status);
+
+    // Rung 1: damped Newton — a much tighter per-iteration voltage clamp
+    // trades iteration count for stability on stiff/oscillatory updates.
+    const NewtonParams damped{2 * options_.max_newton_iters,
+                              options_.damped_step_limit, options_.gmin, 1};
+    mid_rail_start();
+    status = solve_newton(volts, 0.0, nullptr, options_.integrator, damped, budget, sab, iters);
+    if (status == NewtonStatus::Converged) {
+        last_dc_rung_ = RecoveryRung::DampedNewton;
+        return volts;
+    }
+    if (is_budget(status)) return fail(status);
+
+    // Rung 2: gmin stepping — solve a heavily shunted (well-conditioned)
+    // circuit first, then ride the solution as the shunt relaxes back to
+    // the nominal gmin (a conductance homotopy).
+    mid_rail_start();
+    double g = std::max(options_.gmin_start, options_.gmin);
+    bool ramp_ok = true;
+    for (;;) {
+        const NewtonParams step{options_.max_newton_iters, options_.v_step_limit, g, 2};
+        status = solve_newton(volts, 0.0, nullptr, options_.integrator, step, budget, sab, iters);
+        if (status != NewtonStatus::Converged) {
+            ramp_ok = false;
+            break;
+        }
+        if (g <= options_.gmin) break;
+        const double next = g * 0.1;
+        g = (next <= options_.gmin || next < 1e-12) ? options_.gmin : next;
+    }
+    if (ramp_ok) {
+        last_dc_rung_ = RecoveryRung::GminStepping;
+        return volts;
+    }
+    if (is_budget(status)) return fail(status);
+
+    // Rung 3: source stepping — ramp every source from 0 to full scale,
+    // tracking the solution branch from the trivial all-zero circuit.
+    volts.assign(circuit_.node_count(), 0.0);
+    const int n_steps = std::max(1, options_.source_steps);
+    bool source_ok = true;
+    for (int k = 1; k <= n_steps; ++k) {
+        const double alpha = static_cast<double>(k) / static_cast<double>(n_steps);
+        set_driven(volts, 0.0, alpha);
+        const NewtonParams step{2 * options_.max_newton_iters,
+                                options_.v_step_limit, options_.gmin, 3};
+        status = solve_newton(volts, 0.0, nullptr, options_.integrator, step, budget, sab, iters);
+        if (status != NewtonStatus::Converged) {
+            source_ok = false;
+            break;
+        }
+    }
+    if (source_ok) {
+        last_dc_rung_ = RecoveryRung::SourceStepping;
+        return volts;
+    }
+    if (is_budget(status)) return fail(status);
+
+    return fail(base_status);
+}
+
+Result<std::vector<double>> Simulator::try_dc_operating_point() {
+    Budget budget = make_budget();
+    return dc_ladder(budget);
+}
+
+std::vector<double> Simulator::dc_operating_point() {
+    auto r = try_dc_operating_point();
+    if (!r.ok()) throw SimException(r.error());
+    return std::move(r.value());
 }
 
 void Simulator::update_cap_state(const std::vector<double>& volts, double h,
@@ -208,36 +403,111 @@ void Simulator::update_cap_state(const std::vector<double>& volts, double h,
     }
 }
 
-void Simulator::advance(std::vector<double>& volts, std::vector<CapState>& caps,
-                        double t, double h, int depth, Integrator integ,
-                        TransientResult& result) const {
-    if (depth > options_.max_step_halvings) {
-        throw ConvergenceError("transient: Newton failed at t = " + std::to_string(t));
+void Simulator::commit_step(std::vector<double>& volts,
+                            std::vector<CapState>& caps,
+                            std::vector<double>&& trial,
+                            std::vector<CapState>&& trial_caps, double h,
+                            Integrator integ, TransientResult& result) const {
+    if (!result.source_energy_j.empty()) {
+        // Supply metering: energy = v * i_delivered * h per source,
+        // with the end-of-step current (rectangle rule).
+        for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+            const NodeId n{static_cast<std::uint32_t>(i)};
+            if (!circuit_.is_driven(n)) continue;
+            const double cur = injected_current(n, trial, h, &trial_caps, integ);
+            result.source_energy_j[i] += trial[i] * cur * h;
+        }
     }
+    update_cap_state(trial, h, integ, trial_caps);
+    volts = std::move(trial);
+    caps = std::move(trial_caps);
+    ++result.steps_taken;
+}
+
+Simulator::NewtonStatus Simulator::advance(std::vector<double>& volts,
+                                           std::vector<CapState>& caps,
+                                           double t, double h, int depth,
+                                           Integrator integ,
+                                           const Sabotage& sab, Budget& budget,
+                                           TransientResult& result) const {
+    if (budget.steps_left == 0) return NewtonStatus::IterBudget;
+    if (budget.steps_left > 0) --budget.steps_left;
+
     std::vector<double> trial = volts;
     std::vector<CapState> trial_caps = caps;
     set_driven(trial, t + h);
-    if (solve_newton(trial, h, &trial_caps, integ, result.total_newton_iters)) {
-        if (!result.source_energy_j.empty()) {
-            // Supply metering: energy = v * i_delivered * h per source,
-            // with the end-of-step current (rectangle rule).
-            for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
-                const NodeId n{static_cast<std::uint32_t>(i)};
-                if (!circuit_.is_driven(n)) continue;
-                const double cur =
-                    injected_current(n, trial, h, &trial_caps, integ);
-                result.source_energy_j[i] += trial[i] * cur * h;
-            }
-        }
-        update_cap_state(trial, h, integ, trial_caps);
-        volts = std::move(trial);
-        caps = std::move(trial_caps);
-        ++result.steps_taken;
-        return;
+    const NewtonParams base{options_.max_newton_iters, options_.v_step_limit,
+                            options_.gmin, 0};
+    NewtonStatus status = solve_newton(trial, h, &trial_caps, integ, base,
+                                       budget, sab, result.total_newton_iters);
+    if (status == NewtonStatus::Converged) {
+        commit_step(volts, caps, std::move(trial), std::move(trial_caps), h,
+                    integ, result);
+        return NewtonStatus::Converged;
     }
-    // Halve the step: two sub-steps.
-    advance(volts, caps, t, 0.5 * h, depth + 1, integ, result);
-    advance(volts, caps, t + 0.5 * h, 0.5 * h, depth + 1, integ, result);
+    if (status == NewtonStatus::IterBudget || status == NewtonStatus::Deadline) {
+        return status;
+    }
+
+    // Legacy rescue: halve the step into two sub-steps. An injected
+    // failure skips this (it models a failure halving cannot fix, and
+    // re-solving the sabotaged problem 2^depth times would only burn
+    // budget) and goes straight to the ladder.
+    if (!sab.active() && depth < options_.max_step_halvings) {
+        const NewtonStatus first =
+            advance(volts, caps, t, 0.5 * h, depth + 1, integ, sab, budget, result);
+        if (first != NewtonStatus::Converged) return first;
+        return advance(volts, caps, t + 0.5 * h, 0.5 * h, depth + 1, integ, sab,
+                       budget, result);
+    }
+
+    if (!options_.enable_recovery) return status;
+
+    // Rung 1: damped Newton at this step width.
+    trial = volts;
+    trial_caps = caps;
+    set_driven(trial, t + h);
+    const NewtonParams damped{2 * options_.max_newton_iters,
+                              options_.damped_step_limit, options_.gmin, 1};
+    NewtonStatus rescue = solve_newton(trial, h, &trial_caps, integ, damped,
+                                       budget, sab, result.total_newton_iters);
+    if (rescue == NewtonStatus::Converged) {
+        commit_step(volts, caps, std::move(trial), std::move(trial_caps), h,
+                    integ, result);
+        result.deepest_rung = deeper(result.deepest_rung, RecoveryRung::DampedNewton);
+        ++result.rescued_steps;
+        return NewtonStatus::Converged;
+    }
+    if (rescue == NewtonStatus::IterBudget || rescue == NewtonStatus::Deadline) {
+        return rescue;
+    }
+
+    // Rung 2: gmin stepping at this step width (conductance homotopy on
+    // the companion-model circuit).
+    trial = volts;
+    trial_caps = caps;
+    set_driven(trial, t + h);
+    double g = std::max(options_.gmin_start, options_.gmin);
+    for (;;) {
+        const NewtonParams step{options_.max_newton_iters, options_.v_step_limit, g, 2};
+        rescue = solve_newton(trial, h, &trial_caps, integ, step, budget, sab,
+                              result.total_newton_iters);
+        if (rescue != NewtonStatus::Converged) break;
+        if (g <= options_.gmin) {
+            commit_step(volts, caps, std::move(trial), std::move(trial_caps), h,
+                        integ, result);
+            result.deepest_rung = deeper(result.deepest_rung, RecoveryRung::GminStepping);
+            ++result.rescued_steps;
+            return NewtonStatus::Converged;
+        }
+        const double next = g * 0.1;
+        g = (next <= options_.gmin || next < 1e-12) ? options_.gmin : next;
+    }
+    if (rescue == NewtonStatus::IterBudget || rescue == NewtonStatus::Deadline) {
+        return rescue;
+    }
+
+    return status; // The base attempt's classification.
 }
 
 double Simulator::injected_current(NodeId node, const std::vector<double>& volts,
@@ -283,7 +553,7 @@ double Simulator::injected_current(NodeId node, const std::vector<double>& volts
     return out;
 }
 
-TransientResult Simulator::transient(const TransientSpec& spec) {
+Result<TransientResult> Simulator::try_transient(const TransientSpec& spec) {
     if (spec.t_stop <= 0.0 || spec.dt <= 0.0) {
         throw std::invalid_argument("transient: t_stop and dt must be > 0");
     }
@@ -291,9 +561,13 @@ TransientResult Simulator::transient(const TransientSpec& spec) {
         throw std::invalid_argument("transient: record_stride must be >= 1");
     }
 
+    Budget budget = make_budget();
+
     std::vector<double> volts(circuit_.node_count(), 0.0);
     if (spec.start_from_dc) {
-        volts = dc_operating_point();
+        auto dc = dc_ladder(budget);
+        if (!dc.ok()) return dc.error();
+        volts = std::move(dc.value());
     } else {
         set_driven(volts, 0.0);
     }
@@ -315,6 +589,10 @@ TransientResult Simulator::transient(const TransientSpec& spec) {
     }
 
     TransientResult result;
+    if (spec.start_from_dc) {
+        result.deepest_rung = last_dc_rung_;
+        if (last_dc_rung_ != RecoveryRung::None) ++result.rescued_steps;
+    }
     if (spec.measure_power) {
         result.source_energy_j.assign(circuit_.node_count(), 0.0);
     }
@@ -347,10 +625,26 @@ TransientResult Simulator::transient(const TransientSpec& spec) {
         // that wrong history forward as sustained ringing.
         const Integrator integ =
             s == 0 ? Integrator::BackwardEuler : options_.integrator;
-        advance(volts, caps, t, h, 0, integ, result);
+        const Sabotage sab = next_sabotage();
+        const NewtonStatus status =
+            advance(volts, caps, t, h, 0, integ, sab, budget, result);
+        if (status != NewtonStatus::Converged) {
+            SimError e;
+            e.kind = kind_of_status(static_cast<int>(status));
+            e.message = "transient: Newton failed at t = " + std::to_string(t);
+            e.time_s = t;
+            e.newton_iters = result.total_newton_iters;
+            return e;
+        }
         if ((s + 1) % spec.record_stride == 0 || s + 1 == n_steps) record(t + h);
     }
     return result;
+}
+
+TransientResult Simulator::transient(const TransientSpec& spec) {
+    auto r = try_transient(spec);
+    if (!r.ok()) throw SimException(r.error());
+    return std::move(r.value());
 }
 
 } // namespace stsense::spice

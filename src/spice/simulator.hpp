@@ -7,12 +7,31 @@
 // the engine eliminates driven nodes instead of adding branch unknowns,
 // assembles a dense Jacobian, and retries failed Newton solves by
 // recursive step halving. That is all Fig. 1-class simulation needs.
+//
+// Fault tolerance: the try_* entry points return spice::Result<T>
+// carrying a structured SimError instead of throwing, and failed solves
+// climb a recovery ladder before giving up:
+//
+//   DC:        plain Newton (+ mid-rail restart) -> damped Newton ->
+//              gmin stepping -> source stepping
+//   transient: plain Newton -> step halving (the legacy path, preserved
+//              bit-for-bit) -> damped Newton -> gmin stepping
+//
+// The ladder only engages after the plain solve fails, so any run the
+// pre-ladder engine completed produces bitwise identical results.
+// Per-solve iteration and wall-clock budgets (SimOptions) turn
+// pathological points into StepLimit/DeadlineExceeded errors instead of
+// hangs. Under an installed exec::FaultInjector, sabotaged steps skip
+// the halving descent (an injected Newton failure models one that
+// halving cannot fix) and exercise the ladder rungs directly.
 #pragma once
 
 #include "spice/linalg.hpp"
 #include "spice/netlist.hpp"
+#include "spice/sim_error.hpp"
 #include "spice/waveform.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -35,6 +54,17 @@ struct SimOptions {
     double v_step_limit = 0.4;   ///< Per-iteration voltage damping [V].
     Integrator integrator = Integrator::Trapezoidal;
     int max_step_halvings = 12;  ///< Transient retry depth on Newton failure.
+
+    // --- Recovery ladder (engages only after a plain solve fails) ---
+    bool enable_recovery = true;    ///< false: legacy fail-fast behavior.
+    double damped_step_limit = 0.05;///< Rung-1 per-iteration voltage clamp [V].
+    double gmin_start = 1e-3;       ///< Rung-2 initial shunt conductance [S].
+    int source_steps = 10;          ///< Rung-3 homotopy steps on source scale.
+
+    // --- Per-solve budgets (0 = unlimited) ---
+    long max_total_newton_iters = 0; ///< Whole-call budget -> StepLimit.
+    long max_transient_steps = 0;    ///< Accepted+halved steps -> StepLimit.
+    double max_wall_ms = 0.0;        ///< Whole-call budget -> DeadlineExceeded.
 };
 
 /// Transient run description.
@@ -57,6 +87,11 @@ struct TransientResult {
     long total_newton_iters = 0;
     long steps_taken = 0; ///< Including halved sub-steps.
 
+    /// Deepest recovery-ladder rung any step needed (None on the
+    /// fault-free fast path) and how many steps needed rescuing.
+    RecoveryRung deepest_rung = RecoveryRung::None;
+    long rescued_steps = 0;
+
     /// Energy delivered by each driven node's source over the run [J],
     /// indexed by NodeId::index (zero for undriven nodes). Filled when
     /// TransientSpec::measure_power is set. Ground's entry is the energy
@@ -71,9 +106,15 @@ struct TransientResult {
 
     /// Trace lookup by node name; throws std::invalid_argument if absent.
     const Trace& trace(const std::string& node_name) const;
+
+    /// Non-throwing trace lookup: nullptr when the node was not probed
+    /// (lets measurement layers turn a malformed netlist into a SimError
+    /// instead of an uncaught exception).
+    const Trace* find_trace(const std::string& node_name) const;
 };
 
-/// Error thrown when the nonlinear solver cannot converge.
+/// Error thrown when the nonlinear solver cannot converge (legacy
+/// compatibility type; new code should consume SimError via try_*).
 struct ConvergenceError : std::runtime_error {
     using std::runtime_error::runtime_error;
 };
@@ -83,12 +124,22 @@ public:
     /// The circuit must outlive the simulator.
     Simulator(const Circuit& circuit, SimOptions options = {});
 
-    /// Solves the DC operating point (capacitors open). Returns the full
-    /// node-voltage vector indexed by NodeId::index.
-    std::vector<double> dc_operating_point();
+    /// Solves the DC operating point (capacitors open), climbing the
+    /// recovery ladder on failure. Returns the full node-voltage vector
+    /// indexed by NodeId::index, or a classified SimError.
+    Result<std::vector<double>> try_dc_operating_point();
 
-    /// Runs a transient analysis.
+    /// Runs a transient analysis; solver failures come back as SimError
+    /// (argument errors still throw std::invalid_argument).
+    Result<TransientResult> try_transient(const TransientSpec& spec);
+
+    /// Throwing wrappers around the try_* forms (SimException on solver
+    /// failure), preserved for existing call sites.
+    std::vector<double> dc_operating_point();
     TransientResult transient(const TransientSpec& spec);
+
+    /// Ladder rung the last successful try_dc_operating_point needed.
+    RecoveryRung last_dc_rung() const { return last_dc_rung_; }
 
     const SimOptions& options() const { return options_; }
 
@@ -98,30 +149,89 @@ private:
         double i_old = 0.0; ///< Branch current at the last accepted time.
     };
 
+    /// Outcome of one Newton solve attempt.
+    enum class NewtonStatus {
+        Converged,
+        NoConverge,
+        Singular,
+        NonFinite,
+        IterBudget,
+        Deadline,
+    };
+
+    /// Knobs of one solve attempt (the ladder varies these per rung).
+    struct NewtonParams {
+        int max_iters = 0;
+        double v_step_limit = 0.0;
+        double gmin = 0.0;
+        /// Ladder rung this attempt belongs to, as an injection depth:
+        /// the fault injector sabotages attempts with
+        /// rung_index < newton_fail_rungs of a tripped solve event.
+        int rung_index = 0;
+    };
+
+    /// Whole-call budgets, shared by every attempt of one public call.
+    struct Budget {
+        long iters_left = -1; ///< < 0 = unlimited.
+        bool has_deadline = false;
+        std::chrono::steady_clock::time_point deadline{};
+        long steps_left = -1; ///< < 0 = unlimited (transient only).
+    };
+
+    /// Per-solve-event injected sabotage (inactive without an injector).
+    struct Sabotage {
+        bool newton = false; ///< Attempts under `rungs` report NoConverge.
+        bool nan = false;    ///< Attempts under `rungs` get a planted NaN.
+        int rungs = 0;
+        bool active() const { return newton || nan; }
+    };
+
     /// Assembles Jacobian and residual at `volts`; when `caps` is
     /// non-null, capacitor companion models for step `h` under the given
     /// integration rule are stamped. (The rule is per-step because the
     /// first transient step always uses backward Euler: the capacitor
     /// history current at t = 0 is unknown, and trapezoidal would carry a
-    /// wrong history forward as ringing.)
+    /// wrong history forward as ringing.) `gmin` is a parameter so the
+    /// gmin-stepping rung can ramp it per attempt.
     void assemble(const std::vector<double>& volts, double h,
                   const std::vector<CapState>* caps, Integrator integ,
-                  Matrix& jac, std::vector<double>& residual) const;
+                  double gmin, Matrix& jac, std::vector<double>& residual) const;
 
     /// Newton-iterates `volts` (full node vector; driven entries are
-    /// preset by the caller). Returns false on non-convergence.
-    bool solve_newton(std::vector<double>& volts, double h,
-                      const std::vector<CapState>* caps, Integrator integ,
-                      long& iters) const;
+    /// preset by the caller) under the attempt's params, budget, and
+    /// sabotage verdict.
+    NewtonStatus solve_newton(std::vector<double>& volts, double h,
+                              const std::vector<CapState>* caps,
+                              Integrator integ, const NewtonParams& params,
+                              Budget& budget, const Sabotage& sab,
+                              long& iters) const;
+
+    /// DC ladder shared by try_dc_operating_point and the transient DC
+    /// start. On success records the rung into last_dc_rung_.
+    Result<std::vector<double>> dc_ladder(Budget& budget);
 
     /// Advances one step of width h from t to t+h; recursively halves on
-    /// Newton failure. Updates volts and caps. Throws ConvergenceError
-    /// when the halving budget is exhausted.
-    void advance(std::vector<double>& volts, std::vector<CapState>& caps,
-                 double t, double h, int depth, Integrator integ,
-                 TransientResult& result) const;
+    /// Newton failure (legacy path) and climbs the damped/gmin rungs
+    /// where the legacy engine would have thrown. Updates volts and caps.
+    /// Returns Converged or the terminal failure status.
+    NewtonStatus advance(std::vector<double>& volts,
+                         std::vector<CapState>& caps, double t, double h,
+                         int depth, Integrator integ, const Sabotage& sab,
+                         Budget& budget, TransientResult& result) const;
 
-    void set_driven(std::vector<double>& volts, double t) const;
+    /// Commits an accepted step solution (metering + cap history).
+    void commit_step(std::vector<double>& volts, std::vector<CapState>& caps,
+                     std::vector<double>&& trial,
+                     std::vector<CapState>&& trial_caps, double h,
+                     Integrator integ, TransientResult& result) const;
+
+    /// Draws the injected-sabotage verdict for the next solve event.
+    Sabotage next_sabotage();
+
+    Budget make_budget() const;
+
+    void set_driven(std::vector<double>& volts, double t,
+                    double scale = 1.0) const;
     void update_cap_state(const std::vector<double>& volts, double h,
                           Integrator integ, std::vector<CapState>& caps) const;
 
@@ -135,6 +245,8 @@ private:
     SimOptions options_;
     std::vector<int> unknown_index_; ///< NodeId -> unknown slot, -1 if driven.
     std::size_t n_unknowns_ = 0;
+    RecoveryRung last_dc_rung_ = RecoveryRung::None;
+    long fault_event_seq_ = 0; ///< Solve-event counter for injection streams.
 };
 
 } // namespace stsense::spice

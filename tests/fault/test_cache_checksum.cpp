@@ -1,0 +1,190 @@
+// ResultCache CSV persistence under corruption: every row carries an
+// FNV-1a checksum at save time; load_csv drops (and counts) rows that
+// fail it instead of ingesting garbage values.
+#include "exec/result_cache.hpp"
+
+#include "exec/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace stsense::exec {
+namespace {
+
+Series make_series(double scale, std::size_t rows = 4) {
+    Series s;
+    s.names = {"x", "y"};
+    s.columns.resize(2);
+    for (std::size_t i = 0; i < rows; ++i) {
+        s.columns[0].push_back(static_cast<double>(i));
+        s.columns[1].push_back(scale * static_cast<double>(i) + 0.125);
+    }
+    return s;
+}
+
+struct TempFile {
+    std::string path;
+    explicit TempFile(const std::string& name)
+        : path(testing::TempDir() + name) {}
+    ~TempFile() { std::remove(path.c_str()); }
+
+    std::vector<std::string> lines() const {
+        std::ifstream in(path);
+        std::vector<std::string> out;
+        std::string line;
+        while (std::getline(in, line)) out.push_back(line);
+        return out;
+    }
+
+    void write_lines(const std::vector<std::string>& lines) const {
+        std::ofstream out(path);
+        for (const auto& l : lines) out << l << '\n';
+    }
+};
+
+TEST(CacheChecksum, CleanRoundTripLoadsEveryRow) {
+    TempFile file("cache_checksum_clean.csv");
+    ResultCache cache;
+    (void)cache.insert(1, make_series(1.0));
+    (void)cache.insert(2, make_series(2.0));
+    EXPECT_EQ(cache.save_csv(file.path), 2u);
+
+    ResultCache loaded;
+    EXPECT_EQ(loaded.load_csv(file.path), 2u);
+    EXPECT_EQ(loaded.stats().corrupt_rows, 0u);
+    const auto hit = loaded.find(2);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->columns[1][3], make_series(2.0).columns[1][3]);
+}
+
+TEST(CacheChecksum, EveryRowEndsWithAChecksumField) {
+    TempFile file("cache_checksum_format.csv");
+    ResultCache cache;
+    (void)cache.insert(1, make_series(1.0));
+    (void)cache.save_csv(file.path);
+    const auto lines = file.lines();
+    ASSERT_EQ(lines.size(), 1u);
+    const std::size_t tail = lines[0].rfind(',');
+    ASSERT_NE(tail, std::string::npos);
+    // Trailing field: 'c' + 16 hex digits.
+    EXPECT_EQ(lines[0].size() - tail, 18u);
+    EXPECT_EQ(lines[0][tail + 1], 'c');
+}
+
+TEST(CacheChecksum, FlippedValueCharacterDropsOnlyThatRow) {
+    TempFile file("cache_checksum_bitrot.csv");
+    ResultCache cache;
+    (void)cache.insert(1, make_series(1.0));
+    (void)cache.insert(2, make_series(2.0));
+    (void)cache.save_csv(file.path);
+
+    auto lines = file.lines();
+    ASSERT_EQ(lines.size(), 2u);
+    // Corrupt a numeric digit in the first row's payload (well before
+    // the checksum field).
+    const std::size_t pos = lines[0].find("0.125");
+    ASSERT_NE(pos, std::string::npos);
+    lines[0][pos + 2] = lines[0][pos + 2] == '1' ? '7' : '1';
+    file.write_lines(lines);
+
+    ResultCache loaded;
+    EXPECT_EQ(loaded.load_csv(file.path), 1u);
+    EXPECT_EQ(loaded.stats().corrupt_rows, 1u);
+    EXPECT_EQ(loaded.stats().entries, 1u);
+}
+
+TEST(CacheChecksum, TruncatedRowIsDroppedAndCounted) {
+    TempFile file("cache_checksum_truncated.csv");
+    ResultCache cache;
+    (void)cache.insert(1, make_series(1.0));
+    (void)cache.insert(2, make_series(2.0));
+    (void)cache.save_csv(file.path);
+
+    auto lines = file.lines();
+    ASSERT_EQ(lines.size(), 2u);
+    // A partial write: the second row lost its tail (checksum included).
+    lines[1] = lines[1].substr(0, lines[1].size() / 2);
+    file.write_lines(lines);
+
+    ResultCache loaded;
+    EXPECT_EQ(loaded.load_csv(file.path), 1u);
+    EXPECT_EQ(loaded.stats().corrupt_rows, 1u);
+}
+
+TEST(CacheChecksum, LegacyRowWithoutChecksumIsRejected) {
+    TempFile file("cache_checksum_legacy.csv");
+    // Pre-checksum format: no trailing ",c<hex>" field.
+    file.write_lines({"1,2,2,x,y,0,1,0.125,1.125"});
+    ResultCache loaded;
+    EXPECT_EQ(loaded.load_csv(file.path), 0u);
+    EXPECT_EQ(loaded.stats().corrupt_rows, 1u);
+    EXPECT_EQ(loaded.stats().entries, 0u);
+}
+
+TEST(CacheChecksum, ForgedChecksumDoesNotAuthenticateGarbage) {
+    TempFile file("cache_checksum_forged.csv");
+    // Correct-shape tail but a checksum that cannot match the payload.
+    file.write_lines({"1,2,2,x,y,0,1,0.125,1.125,c0123456789abcdef"});
+    ResultCache loaded;
+    EXPECT_EQ(loaded.load_csv(file.path), 0u);
+    EXPECT_EQ(loaded.stats().corrupt_rows, 1u);
+}
+
+TEST(CacheChecksum, MissingFileIsACleanColdStart) {
+    ResultCache loaded;
+    EXPECT_EQ(loaded.load_csv(testing::TempDir() + "does_not_exist.csv"), 0u);
+    EXPECT_EQ(loaded.stats().corrupt_rows, 0u);
+}
+
+TEST(CacheChecksum, InjectedRowCorruptionIsCaughtOnLoad) {
+    TempFile file("cache_checksum_injected.csv");
+    ResultCache cache;
+    for (std::uint64_t k = 1; k <= 4; ++k) {
+        (void)cache.insert(k, make_series(static_cast<double>(k)));
+    }
+    {
+        FaultInjector::Config cfg;
+        cfg.seed = 5;
+        cfg.p_cache_row = 1.0; // Corrupt every persisted row.
+        FaultInjector inj(cfg);
+        FaultInjector::Scope scope(inj);
+        EXPECT_EQ(cache.save_csv(file.path), 4u);
+        EXPECT_EQ(inj.total_trips(), 4u);
+    }
+    ResultCache loaded;
+    EXPECT_EQ(loaded.load_csv(file.path), 0u);
+    EXPECT_EQ(loaded.stats().corrupt_rows, 4u);
+    EXPECT_EQ(loaded.stats().entries, 0u);
+}
+
+TEST(CacheChecksum, PartialInjectedCorruptionKeepsTheHealthyRows) {
+    TempFile file("cache_checksum_partial.csv");
+    ResultCache cache;
+    constexpr std::uint64_t kRows = 20;
+    for (std::uint64_t k = 1; k <= kRows; ++k) {
+        (void)cache.insert(k, make_series(static_cast<double>(k)));
+    }
+    std::uint64_t corrupted = 0;
+    {
+        FaultInjector::Config cfg;
+        cfg.seed = 5;
+        cfg.p_cache_row = 0.3;
+        FaultInjector inj(cfg);
+        FaultInjector::Scope scope(inj);
+        EXPECT_EQ(cache.save_csv(file.path), kRows);
+        corrupted = inj.total_trips();
+    }
+    ASSERT_GT(corrupted, 0u);
+    ASSERT_LT(corrupted, kRows);
+    ResultCache loaded;
+    EXPECT_EQ(loaded.load_csv(file.path), kRows - corrupted);
+    EXPECT_EQ(loaded.stats().corrupt_rows, corrupted);
+}
+
+} // namespace
+} // namespace stsense::exec

@@ -1,0 +1,161 @@
+#include "exec/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace stsense::exec {
+namespace {
+
+FaultInjector::Config with_point(double p, std::uint64_t seed = 7) {
+    FaultInjector::Config cfg;
+    cfg.seed = seed;
+    cfg.p_point = p;
+    return cfg;
+}
+
+TEST(FaultInjector, NoInjectorInstalledByDefault) {
+    EXPECT_EQ(FaultInjector::active(), nullptr);
+}
+
+TEST(FaultInjector, ScopeInstallsAndRestores) {
+    FaultInjector outer(with_point(1.0));
+    {
+        FaultInjector::Scope s_outer(outer);
+        EXPECT_EQ(FaultInjector::active(), &outer);
+        FaultInjector inner(with_point(0.0));
+        {
+            FaultInjector::Scope s_inner(inner);
+            EXPECT_EQ(FaultInjector::active(), &inner);
+        }
+        EXPECT_EQ(FaultInjector::active(), &outer);
+    }
+    EXPECT_EQ(FaultInjector::active(), nullptr);
+}
+
+TEST(FaultInjector, ZeroProbabilityNeverTrips) {
+    FaultInjector inj(with_point(0.0));
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(inj.trip(FaultInjector::Site::Point, i));
+    }
+    EXPECT_EQ(inj.total_trips(), 0u);
+}
+
+TEST(FaultInjector, UnitProbabilityAlwaysTrips) {
+    FaultInjector inj(with_point(1.0));
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        EXPECT_TRUE(inj.trip(FaultInjector::Site::Point, i));
+    }
+    EXPECT_EQ(inj.total_trips(), 100u);
+}
+
+TEST(FaultInjector, TripRateTracksProbability) {
+    FaultInjector inj(with_point(0.1));
+    int trips = 0;
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        trips += inj.trip(FaultInjector::Site::Point, i) ? 1 : 0;
+    }
+    // 10000 draws at p = 0.1: mean 1000, sigma ~ 30. A +-30% band is
+    // ~10 sigma — deterministic draws, so this can only fail if the
+    // stream is broken, not by luck.
+    EXPECT_GT(trips, 700);
+    EXPECT_LT(trips, 1300);
+}
+
+TEST(FaultInjector, VerdictIsPureFunctionOfSeedSiteIndex) {
+    FaultInjector a(with_point(0.5, 42));
+    FaultInjector b(with_point(0.5, 42));
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        // Same config: identical verdicts, call order irrelevant.
+        EXPECT_EQ(a.trip(FaultInjector::Site::Point, 499 - i),
+                  b.trip(FaultInjector::Site::Point, 499 - i));
+    }
+}
+
+TEST(FaultInjector, DifferentSeedsGiveDifferentPatterns) {
+    FaultInjector a(with_point(0.5, 1));
+    FaultInjector b(with_point(0.5, 2));
+    int differ = 0;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        differ += a.trip(FaultInjector::Site::Point, i) !=
+                          b.trip(FaultInjector::Site::Point, i)
+                      ? 1
+                      : 0;
+    }
+    EXPECT_GT(differ, 0);
+}
+
+TEST(FaultInjector, SitesDrawIndependentStreams) {
+    FaultInjector::Config cfg;
+    cfg.seed = 9;
+    cfg.p_newton_fail = 0.5;
+    cfg.p_nan_state = 0.5;
+    FaultInjector inj(cfg);
+    int differ = 0;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        differ += inj.trip(FaultInjector::Site::NewtonFail, i) !=
+                          inj.trip(FaultInjector::Site::NanState, i)
+                      ? 1
+                      : 0;
+    }
+    EXPECT_GT(differ, 0);
+}
+
+TEST(FaultInjector, VerdictsAreThreadCountIndependent) {
+    FaultInjector inj(with_point(0.3, 5));
+    constexpr std::size_t kN = 256;
+    std::vector<char> serial(kN);
+    for (std::uint64_t i = 0; i < kN; ++i) {
+        serial[i] = inj.trip(FaultInjector::Site::Point, i) ? 1 : 0;
+    }
+    std::vector<char> parallel(kN);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::uint64_t i = static_cast<std::uint64_t>(t); i < kN; i += 4) {
+                parallel[i] = inj.trip(FaultInjector::Site::Point, i) ? 1 : 0;
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(FaultInjector, PointStreamSeparatesAttempts) {
+    // Distinct attempts of the same unit are distinct streams, while
+    // (unit, attempt) is stable.
+    EXPECT_NE(FaultInjector::point_stream(3, 0), FaultInjector::point_stream(3, 1));
+    EXPECT_NE(FaultInjector::point_stream(3, 0), FaultInjector::point_stream(4, 0));
+    EXPECT_EQ(FaultInjector::point_stream(3, 1), FaultInjector::point_stream(3, 1));
+}
+
+TEST(FaultInjector, ParseSeedAcceptsNumbersRejectsGarbage) {
+    EXPECT_EQ(FaultInjector::parse_seed("123", 7u), 123u);
+    EXPECT_EQ(FaultInjector::parse_seed("0", 7u), 0u);
+    EXPECT_EQ(FaultInjector::parse_seed(nullptr, 7u), 7u);
+    EXPECT_EQ(FaultInjector::parse_seed("", 7u), 7u);
+    EXPECT_EQ(FaultInjector::parse_seed("banana", 7u), 7u);
+    EXPECT_EQ(FaultInjector::parse_seed("12x", 7u), 7u);
+}
+
+TEST(FaultInjector, FaultContextNestsPerThread) {
+    EXPECT_EQ(FaultContext::current(), 0u);
+    {
+        FaultContext outer(11);
+        EXPECT_EQ(FaultContext::current(), 11u);
+        {
+            FaultContext inner(22);
+            EXPECT_EQ(FaultContext::current(), 22u);
+        }
+        EXPECT_EQ(FaultContext::current(), 11u);
+        std::thread other([] { EXPECT_EQ(FaultContext::current(), 0u); });
+        other.join();
+    }
+    EXPECT_EQ(FaultContext::current(), 0u);
+}
+
+} // namespace
+} // namespace stsense::exec

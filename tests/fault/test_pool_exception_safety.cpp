@@ -1,0 +1,166 @@
+// Exception safety of the execution backbone: a throwing task must not
+// take a worker down, exactly one exception (the lowest-ticket one)
+// must surface, and the pool must stay fully usable afterwards — at 1,
+// 2, and hardware-width thread counts. Also covers the SlowTask
+// injection site (straggler tasks still complete).
+#include "exec/thread_pool.hpp"
+
+#include "exec/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stsense::exec {
+namespace {
+
+int hardware_threads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+class ThreadPoolFault : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadPoolFault, ParallelForRethrowsLowestFailingChunk) {
+    ThreadPool pool(GetParam());
+    std::atomic<int> executed{0};
+    try {
+        pool.parallel_for(16, 1, [&](std::size_t begin, std::size_t) {
+            executed.fetch_add(1, std::memory_order_relaxed);
+            // Chunks 3, 7, and 11 all throw; the caller must see chunk 3.
+            if (begin == 3 || begin == 7 || begin == 11) {
+                throw std::runtime_error("chunk " + std::to_string(begin));
+            }
+        });
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "chunk 3");
+    }
+    // Every chunk ran exactly once despite the failures (no retry, no
+    // abandonment).
+    EXPECT_EQ(executed.load(), 16);
+}
+
+TEST_P(ThreadPoolFault, PoolIsReusableAfterAWorkerThrew) {
+    ThreadPool pool(GetParam());
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_THROW(
+            pool.parallel_for(8, 1,
+                              [](std::size_t, std::size_t) {
+                                  throw std::runtime_error("boom");
+                              }),
+            std::runtime_error);
+        // The same pool immediately runs a clean batch to completion.
+        std::vector<int> out(64, 0);
+        pool.parallel_for(out.size(), 4, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                out[i] = static_cast<int>(i);
+            }
+        });
+        EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 63 * 64 / 2);
+    }
+}
+
+TEST_P(ThreadPoolFault, NonExceptionStateIsUnaffectedByThrowingNeighbors) {
+    ThreadPool pool(GetParam());
+    std::vector<int> out(32, -1);
+    EXPECT_THROW(pool.parallel_for(out.size(), 1,
+                                   [&](std::size_t begin, std::size_t end) {
+                                       if (begin == 5) {
+                                           throw std::runtime_error("one bad chunk");
+                                       }
+                                       for (std::size_t i = begin; i < end; ++i) {
+                                           out[i] = static_cast<int>(i);
+                                       }
+                                   }),
+                 std::runtime_error);
+    // Every chunk except the thrower committed its slice.
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (i == 5) {
+            EXPECT_EQ(out[i], -1);
+        } else {
+            EXPECT_EQ(out[i], static_cast<int>(i));
+        }
+    }
+}
+
+class TaskGroupFault : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaskGroupFault, WaitRethrowsExactlyTheFirstSubmittedFailure) {
+    ThreadPool pool(GetParam());
+    TaskGroup group(pool);
+    std::atomic<int> ran{0};
+    for (int t = 0; t < 12; ++t) {
+        group.run([t, &ran] {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            // Tasks 2, 5, 9 throw; submission order picks task 2.
+            if (t == 2 || t == 5 || t == 9) {
+                throw std::runtime_error("task " + std::to_string(t));
+            }
+        });
+    }
+    try {
+        group.wait();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "task 2");
+    }
+    EXPECT_EQ(ran.load(), 12);
+    // A drained group waits cleanly (second wait is a no-op, does not
+    // rethrow the already-delivered exception).
+    group.wait();
+}
+
+TEST_P(TaskGroupFault, PoolOutlivesAFailedGroup) {
+    ThreadPool pool(GetParam());
+    {
+        TaskGroup group(pool);
+        group.run([] { throw std::runtime_error("dead group"); });
+        EXPECT_THROW(group.wait(), std::runtime_error);
+    }
+    TaskGroup next(pool);
+    std::atomic<int> sum{0};
+    for (int t = 1; t <= 10; ++t) {
+        next.run([t, &sum] { sum.fetch_add(t, std::memory_order_relaxed); });
+    }
+    next.wait();
+    EXPECT_EQ(sum.load(), 55);
+}
+
+TEST_P(TaskGroupFault, InjectedSlowTasksStillComplete) {
+    FaultInjector::Config cfg;
+    cfg.seed = 13;
+    cfg.p_slow_task = 1.0;
+    cfg.slow_task_us = 100;
+    FaultInjector inj(cfg);
+    FaultInjector::Scope scope(inj);
+
+    ThreadPool pool(GetParam());
+    TaskGroup group(pool);
+    std::atomic<int> ran{0};
+    for (int t = 0; t < 8; ++t) {
+        group.run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+    EXPECT_EQ(ran.load(), 8);
+    EXPECT_GT(inj.total_trips(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ThreadPoolFault,
+                         ::testing::Values(1, 2, hardware_threads()),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                             return "threads_" + std::to_string(info.index);
+                         });
+INSTANTIATE_TEST_SUITE_P(Widths, TaskGroupFault,
+                         ::testing::Values(1, 2, hardware_threads()),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                             return "threads_" + std::to_string(info.index);
+                         });
+
+} // namespace
+} // namespace stsense::exec

@@ -1,0 +1,277 @@
+// Proves each rung of the spice::Simulator recovery ladder individually
+// by sabotaging the shallower rungs with the deterministic fault
+// injector, and that the per-solve budgets classify runaway solves.
+#include "exec/fault_injector.hpp"
+#include "phys/technology.hpp"
+#include "spice/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stsense::spice {
+namespace {
+
+exec::FaultInjector::Config newton_fail(int rungs) {
+    exec::FaultInjector::Config cfg;
+    cfg.seed = 3;
+    cfg.p_newton_fail = 1.0;
+    cfg.newton_fail_rungs = rungs;
+    return cfg;
+}
+
+/// CMOS inverter with the input at mid-rail — a genuinely nonlinear DC
+/// problem (both devices saturated) rather than a trivially linear one.
+Circuit inverter_midrail(const phys::Technology& tech) {
+    Circuit c;
+    const NodeId vdd = c.add_driven_node("vdd", Source::dc(tech.vdd));
+    const NodeId in = c.add_driven_node("in", Source::dc(0.5 * tech.vdd));
+    const NodeId out = c.add_node("out");
+    Mosfet mn;
+    mn.drain = out;
+    mn.gate = in;
+    mn.source = c.ground();
+    mn.params = tech.nmos;
+    mn.geometry = {1e-6, tech.lmin};
+    c.add_mosfet(mn);
+    Mosfet mp;
+    mp.drain = out;
+    mp.gate = in;
+    mp.source = vdd;
+    mp.params = tech.pmos;
+    mp.geometry = {2e-6, tech.lmin};
+    c.add_mosfet(mp);
+    return c;
+}
+
+class RecoveryLadderDc : public ::testing::Test {
+protected:
+    RecoveryLadderDc() : tech_(phys::cmos350()), ckt_(inverter_midrail(tech_)) {}
+
+    /// The fault-free reference solution for value comparisons.
+    double clean_out() {
+        Simulator sim(ckt_);
+        return sim.dc_operating_point()[ckt_.node_by_name("out").index];
+    }
+
+    phys::Technology tech_;
+    Circuit ckt_;
+};
+
+TEST_F(RecoveryLadderDc, FaultFreeSolveUsesNoRung) {
+    Simulator sim(ckt_);
+    const auto r = sim.try_dc_operating_point();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(sim.last_dc_rung(), RecoveryRung::None);
+}
+
+TEST_F(RecoveryLadderDc, DampedNewtonRescuesBaseFailure) {
+    const double ref = clean_out();
+    exec::FaultInjector inj(newton_fail(1));
+    exec::FaultInjector::Scope scope(inj);
+    Simulator sim(ckt_);
+    const auto r = sim.try_dc_operating_point();
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_EQ(sim.last_dc_rung(), RecoveryRung::DampedNewton);
+    EXPECT_NEAR(r.value()[ckt_.node_by_name("out").index], ref, 1e-4);
+}
+
+TEST_F(RecoveryLadderDc, GminSteppingRescuesWhenDampingIsSabotaged) {
+    const double ref = clean_out();
+    exec::FaultInjector inj(newton_fail(2));
+    exec::FaultInjector::Scope scope(inj);
+    Simulator sim(ckt_);
+    const auto r = sim.try_dc_operating_point();
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_EQ(sim.last_dc_rung(), RecoveryRung::GminStepping);
+    EXPECT_NEAR(r.value()[ckt_.node_by_name("out").index], ref, 1e-4);
+}
+
+TEST_F(RecoveryLadderDc, SourceSteppingIsTheLastResort) {
+    const double ref = clean_out();
+    exec::FaultInjector inj(newton_fail(3));
+    exec::FaultInjector::Scope scope(inj);
+    Simulator sim(ckt_);
+    const auto r = sim.try_dc_operating_point();
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_EQ(sim.last_dc_rung(), RecoveryRung::SourceStepping);
+    EXPECT_NEAR(r.value()[ckt_.node_by_name("out").index], ref, 1e-4);
+}
+
+TEST_F(RecoveryLadderDc, UnrescuableFailureReturnsNonConvergence) {
+    exec::FaultInjector inj(newton_fail(4));
+    exec::FaultInjector::Scope scope(inj);
+    Simulator sim(ckt_);
+    const auto r = sim.try_dc_operating_point();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, SimErrorKind::NonConvergence);
+}
+
+TEST_F(RecoveryLadderDc, RecoveryDisabledFailsFast) {
+    exec::FaultInjector inj(newton_fail(1));
+    exec::FaultInjector::Scope scope(inj);
+    SimOptions opt;
+    opt.enable_recovery = false;
+    Simulator sim(ckt_, opt);
+    const auto r = sim.try_dc_operating_point();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, SimErrorKind::NonConvergence);
+}
+
+TEST_F(RecoveryLadderDc, PlantedNanIsCaughtAndRescued) {
+    const double ref = clean_out();
+    exec::FaultInjector::Config cfg;
+    cfg.seed = 3;
+    cfg.p_nan_state = 1.0;
+    cfg.newton_fail_rungs = 1;
+    exec::FaultInjector inj(cfg);
+    exec::FaultInjector::Scope scope(inj);
+    Simulator sim(ckt_);
+    const auto r = sim.try_dc_operating_point();
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_NE(sim.last_dc_rung(), RecoveryRung::None);
+    EXPECT_NEAR(r.value()[ckt_.node_by_name("out").index], ref, 1e-4);
+    for (double v : r.value()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_F(RecoveryLadderDc, UnrescuableNanClassifiesAsNonFiniteState) {
+    exec::FaultInjector::Config cfg;
+    cfg.seed = 3;
+    cfg.p_nan_state = 1.0;
+    cfg.newton_fail_rungs = 4;
+    exec::FaultInjector inj(cfg);
+    exec::FaultInjector::Scope scope(inj);
+    Simulator sim(ckt_);
+    const auto r = sim.try_dc_operating_point();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, SimErrorKind::NonFiniteState);
+}
+
+TEST_F(RecoveryLadderDc, ThrowingWrapperCarriesTheSimError) {
+    exec::FaultInjector inj(newton_fail(4));
+    exec::FaultInjector::Scope scope(inj);
+    Simulator sim(ckt_);
+    try {
+        (void)sim.dc_operating_point();
+        FAIL() << "expected SimException";
+    } catch (const SimException& e) {
+        EXPECT_EQ(e.error.kind, SimErrorKind::NonConvergence);
+        EXPECT_NE(std::string(e.what()).find("non-convergence"), std::string::npos);
+    }
+}
+
+/// RC step response used by the transient ladder tests: cheap, smooth,
+/// and with a closed form to check rescued steps still land on.
+struct RcFixture {
+    static constexpr double kR = 1e3;
+    static constexpr double kC = 1e-12;
+    static constexpr double kTau = kR * kC;
+    static constexpr double kVstep = 2.0;
+
+    Circuit ckt;
+    NodeId out;
+
+    RcFixture() {
+        const NodeId src = ckt.add_driven_node("src", Source::step(0.0, kVstep, 0.0));
+        out = ckt.add_node("out");
+        ckt.add_resistor(src, out, kR);
+        ckt.add_capacitor(out, ckt.ground(), kC);
+    }
+
+    TransientSpec spec() const {
+        TransientSpec s;
+        s.t_stop = 5.0 * kTau;
+        s.dt = kTau / 50.0;
+        s.start_from_dc = true;
+        s.probes = {out};
+        return s;
+    }
+};
+
+TEST(RecoveryLadderTransient, SabotagedStepsClimbToGminAndStayAccurate) {
+    RcFixture rc;
+    exec::FaultInjector::Config cfg;
+    cfg.seed = 3;
+    cfg.p_newton_fail = 0.2; // A fifth of the steps need rescuing.
+    cfg.newton_fail_rungs = 2;
+    exec::FaultInjector inj(cfg);
+    exec::FaultInjector::Scope scope(inj);
+
+    Simulator sim(rc.ckt);
+    const auto r = sim.try_transient(rc.spec());
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_EQ(r.value().deepest_rung, RecoveryRung::GminStepping);
+    EXPECT_GT(r.value().rescued_steps, 0);
+
+    const Trace* tr = r.value().find_trace("out");
+    ASSERT_NE(tr, nullptr);
+    for (std::size_t i = 0; i < tr->size(); i += 10) {
+        const double expected =
+            RcFixture::kVstep * (1.0 - std::exp(-tr->time[i] / RcFixture::kTau));
+        EXPECT_NEAR(tr->value[i], expected, 0.02 * RcFixture::kVstep);
+    }
+}
+
+TEST(RecoveryLadderTransient, UnrescuableStepReportsFailureTime) {
+    RcFixture rc;
+    exec::FaultInjector::Config cfg;
+    cfg.seed = 3;
+    cfg.p_newton_fail = 1.0;
+    cfg.newton_fail_rungs = 4;
+    exec::FaultInjector inj(cfg);
+    exec::FaultInjector::Scope scope(inj);
+
+    Simulator sim(rc.ckt);
+    // Skip the DC start so the failure is a *step* failure and carries
+    // its transient time (a DC failure reports time_s = -1).
+    TransientSpec spec = rc.spec();
+    spec.start_from_dc = false;
+    spec.initial_conditions.emplace_back(rc.out, 0.0);
+    const auto r = sim.try_transient(spec);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, SimErrorKind::NonConvergence);
+    EXPECT_GE(r.error().time_s, 0.0);
+}
+
+TEST(RecoveryLadderTransient, IterationBudgetClassifiesAsStepLimit) {
+    RcFixture rc;
+    SimOptions opt;
+    opt.max_total_newton_iters = 3; // Far below what the run needs.
+    Simulator sim(rc.ckt, opt);
+    const auto r = sim.try_transient(rc.spec());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, SimErrorKind::StepLimit);
+}
+
+TEST(RecoveryLadderTransient, StepBudgetClassifiesAsStepLimit) {
+    RcFixture rc;
+    SimOptions opt;
+    opt.max_transient_steps = 5;
+    Simulator sim(rc.ckt, opt);
+    const auto r = sim.try_transient(rc.spec());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, SimErrorKind::StepLimit);
+}
+
+TEST(RecoveryLadderTransient, WallClockBudgetClassifiesAsDeadline) {
+    RcFixture rc;
+    SimOptions opt;
+    opt.max_wall_ms = 1e-6; // Expires before the first iteration ends.
+    Simulator sim(rc.ckt, opt);
+    const auto r = sim.try_transient(rc.spec());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, SimErrorKind::DeadlineExceeded);
+}
+
+TEST(RecoveryLadderTransient, FindTraceReturnsNullForUnknownNode) {
+    RcFixture rc;
+    Simulator sim(rc.ckt);
+    const auto r = sim.try_transient(rc.spec());
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.value().find_trace("out"), nullptr);
+    EXPECT_EQ(r.value().find_trace("no_such_node"), nullptr);
+    EXPECT_THROW((void)r.value().trace("no_such_node"), std::invalid_argument);
+}
+
+} // namespace
+} // namespace stsense::spice

@@ -80,6 +80,29 @@ TEST(TemperatureSweep, NanInGridThrows) {
     EXPECT_THROW(temperature_sweep(tech, cfg, front), std::invalid_argument);
 }
 
+TEST(TemperatureSweep, GridErrorNamesOffendingIndexAndValue) {
+    const auto tech = phys::cmos350();
+    const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    try {
+        temperature_sweep(tech, cfg, std::vector<double>{0.0, nan, 10.0});
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("index 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("NaN/Inf"), std::string::npos) << what;
+    }
+    try {
+        temperature_sweep(tech, cfg, std::vector<double>{0.0, 10.0, 5.0});
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("temps_c[2]"), std::string::npos) << what;
+        EXPECT_NE(what.find("5.0"), std::string::npos) << what;
+        EXPECT_NE(what.find("10.0"), std::string::npos) << what;
+    }
+}
+
 TEST(TemperatureSweep, InfInGridThrows) {
     const auto tech = phys::cmos350();
     const auto cfg = RingConfig::uniform(CellKind::Inv, 5);
