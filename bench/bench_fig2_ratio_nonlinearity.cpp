@@ -6,7 +6,9 @@
 
 #include "analysis/nonlinearity.hpp"
 #include "exec/exec.hpp"
+#include "exec/metrics.hpp"
 #include "ring/analytic.hpp"
+#include "ring/spice_ring.hpp"
 #include "ring/sweep.hpp"
 #include "sensor/optimizer.hpp"
 #include "sensor/presets.hpp"
@@ -15,6 +17,7 @@
 #include "util/csv.hpp"
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <map>
 
@@ -96,6 +99,26 @@ int main(int argc, char** argv) {
               << cache_stats.misses << " misses (hit rate "
               << util::fixed(100.0 * cache_stats.hit_rate(), 1) << " %)\n";
 
+    // Transistor-level spot check with the fast transient kernel: the
+    // analytic curves above must agree with full SPICE at the family's
+    // best ratio, and the run populates the kernel counters
+    // (spice.eval.bypass_hits, spice.newton.refactor,
+    // ring.transient.early_exit_cycles) dumped into the JSON below.
+    const auto spice_cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 3.0);
+    const ring::SpiceRingModel spice_model(tech, spice_cfg);
+    ring::SpiceRingOptions spice_opt = ring::SpiceRingOptions::fast();
+    spice_opt.record_waveform = false;
+    double max_spice_dev_pct = 0.0;
+    const ring::AnalyticRingModel analytic_r3(tech, spice_cfg);
+    for (double tc : {-50.0, 27.0, 150.0}) {
+        const auto r = spice_model.simulate(tc + 273.15, spice_opt);
+        const double ana = analytic_r3.period(tc + 273.15);
+        max_spice_dev_pct = std::max(
+            max_spice_dev_pct, 100.0 * std::abs(r.period - ana) / ana);
+    }
+    std::cout << "\nSPICE spot check (fast kernel, Wp/Wn=3): max deviation vs "
+              << "analytic " << util::fixed(max_spice_dev_pct, 2) << " %\n";
+
     const std::string csv_path = cli.get("csv", std::string("fig2_ratio_nl.csv"));
     util::CsvWriter csv(csv_path);
     csv.header({"temp_c", "err_r175", "err_r225", "err_r300", "err_r400"});
@@ -104,6 +127,29 @@ int main(int argc, char** argv) {
                  error_series[3][i]});
     }
     std::cout << "error-series csv: " << csv_path << "\n";
+
+    // JSON snapshot: figure-level results plus the full metrics registry
+    // (pool/cache/fault counters and the fast-kernel counters from the
+    // SPICE spot check above).
+    const std::string json_path = cli.get("json", std::string("BENCH_fig2.json"));
+    {
+        std::ofstream json(json_path);
+        json << "{\n  \"figure\": \"fig2_ratio_nonlinearity\",\n"
+             << "  \"tech\": \"" << tech.name << "\",\n"
+             << "  \"max_nl_percent\": {";
+        bool first = true;
+        for (const auto& [r, nl] : max_nl) {
+            json << (first ? "" : ", ") << "\"" << util::fixed(r, 2) << "\": " << nl;
+            first = false;
+        }
+        json << "},\n"
+             << "  \"optimum_ratio\": " << opt.ratio << ",\n"
+             << "  \"optimum_max_nl_percent\": " << opt.max_nl_percent << ",\n"
+             << "  \"spice_spot_check_max_dev_pct\": " << max_spice_dev_pct << ",\n"
+             << "  \"metrics\": " << exec::MetricsRegistry::global().to_json() << "\n"
+             << "}\n";
+    }
+    std::cout << "figure snapshot: " << json_path << "\n";
 
     bench::ShapeChecks checks;
     checks.expect("optimum ratio achieves max |NL| < 0.2 % (paper Sec. 2 claim)",
@@ -117,6 +163,15 @@ int main(int argc, char** argv) {
                   sweep_identical);
     checks.expect("repeated sweeps hit the result cache",
                   cache_stats.hits > 0);
+    checks.expect("SPICE spot check stays within factor two of the analytic model",
+                  max_spice_dev_pct < 100.0);
+    checks.expect("fast-kernel counters populated by the spot check",
+                  exec::MetricsRegistry::global()
+                          .counter("spice.eval.bypass_hits")
+                          .value() > 0 &&
+                      exec::MetricsRegistry::global()
+                              .counter("ring.transient.early_exit_cycles")
+                              .value() > 0);
     checks.expect("errors stay within the figure's +-1 % band",
                   [&] {
                       for (const auto& s : error_series) {

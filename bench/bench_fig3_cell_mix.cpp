@@ -6,7 +6,9 @@
 
 #include "analysis/nonlinearity.hpp"
 #include "exec/exec.hpp"
+#include "exec/metrics.hpp"
 #include "ring/analytic.hpp"
+#include "ring/spice_ring.hpp"
 #include "ring/sweep.hpp"
 #include "sensor/optimizer.hpp"
 #include "sensor/presets.hpp"
@@ -15,6 +17,7 @@
 #include "util/csv.hpp"
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 
 using namespace stsense;
@@ -88,6 +91,26 @@ int main(int argc, char** argv) {
     }
     std::cout << best.render();
 
+    // Transistor-level spot check with the fast transient kernel on the
+    // pure-inverter library ring: cross-checks the analytic series and
+    // populates the kernel counters for the JSON dump below.
+    const ring::SpiceRingModel spice_model(
+        tech, ring::RingConfig::uniform(cells::CellKind::Inv, 5));
+    ring::SpiceRingOptions spice_opt = ring::SpiceRingOptions::fast();
+    spice_opt.record_waveform = false;
+    const ring::AnalyticRingModel analytic_inv(
+        tech, ring::RingConfig::uniform(cells::CellKind::Inv, 5));
+    double max_spice_dev_pct = 0.0;
+    for (double tc : {-50.0, 27.0, 150.0}) {
+        const auto r = spice_model.simulate(tc + 273.15, spice_opt);
+        const double ana = analytic_inv.period(tc + 273.15);
+        max_spice_dev_pct = std::max(
+            max_spice_dev_pct, 100.0 * std::abs(r.period - ana) / ana);
+    }
+    std::cout << "\nSPICE spot check (fast kernel, 5xINV library ratio): max "
+              << "deviation vs analytic " << util::fixed(max_spice_dev_pct, 2)
+              << " %\n";
+
     const std::string csv_path = cli.get("csv", std::string("fig3_cell_mix.csv"));
     util::CsvWriter csv(csv_path);
     std::vector<std::string> hdr{"temp_c"};
@@ -108,9 +131,40 @@ int main(int argc, char** argv) {
               << cache_stats.misses << " misses (hit rate "
               << util::fixed(100.0 * cache_stats.hit_rate(), 1) << " %)\n";
 
+    // JSON snapshot: named-configuration results, the enumeration
+    // winner, and the full metrics registry (including the fast-kernel
+    // counters populated by the SPICE spot check).
+    const std::string json_path = cli.get("json", std::string("BENCH_fig3.json"));
+    {
+        std::ofstream json(json_path);
+        json << "{\n  \"figure\": \"fig3_cell_mix\",\n"
+             << "  \"tech\": \"" << tech.name << "\",\n"
+             << "  \"max_nl_percent\": {";
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            json << (i ? ", " : "") << "\"" << names[i] << "\": " << max_nls[i];
+        }
+        json << "},\n"
+             << "  \"best_mix\": \"" << mixes.front().name << "\",\n"
+             << "  \"best_mix_max_nl_percent\": " << mixes.front().max_nl_percent
+             << ",\n"
+             << "  \"spice_spot_check_max_dev_pct\": " << max_spice_dev_pct << ",\n"
+             << "  \"metrics\": " << exec::MetricsRegistry::global().to_json() << "\n"
+             << "}\n";
+    }
+    std::cout << "figure snapshot: " << json_path << "\n";
+
     bench::ShapeChecks checks;
     checks.expect("pooled enumeration ranking identical to serial", enum_identical);
     checks.expect("repeated sweeps hit the result cache", cache_stats.hits > 0);
+    checks.expect("SPICE spot check stays within factor two of the analytic model",
+                  max_spice_dev_pct < 100.0);
+    checks.expect("fast-kernel counters populated by the spot check",
+                  exec::MetricsRegistry::global()
+                          .counter("spice.eval.bypass_hits")
+                          .value() > 0 &&
+                      exec::MetricsRegistry::global()
+                              .counter("ring.transient.early_exit_cycles")
+                              .value() > 0);
     checks.expect("cell mixes span a wide NL range (selection is a real knob)",
                   [&] {
                       double lo = max_nls[0];

@@ -45,7 +45,12 @@ int main(int argc, char** argv) {
                   "+ sweep cache");
 
     const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
-    const int threads = cli.get("threads", 4);
+    // threads=0 means auto; either way the pool is clamped to the
+    // hardware thread count (oversubscription only measured scheduler
+    // overhead — BENCH_exec.json once recorded 4 threads on 1 core at
+    // 0.92x "speedup").
+    const int threads_configured = cli.get("threads", 0);
+    const int threads = exec::ThreadPool::clamp_to_hardware(threads_configured);
     const auto grid = ring::paper_temperature_grid_c();
 
     // Coarser transient settings than the figure benches: this bench
@@ -127,7 +132,10 @@ int main(int argc, char** argv) {
     table.add_row({"cache warm", util::fixed(warm_s, 3),
                    util::fixed(warm_s > 0.0 ? serial_s / warm_s : 0.0, 2) + "x"});
     std::cout << table.render();
-    std::cout << "\nhardware threads: " << hw << ", pool size: " << pool.size()
+    std::cout << "\nhardware threads: " << hw << ", threads configured: "
+              << (threads_configured < 1 ? std::string("auto")
+                                         : std::to_string(threads_configured))
+              << ", pool size (effective): " << pool.size()
               << ", tasks executed: " << pool.tasks_executed()
               << ", stolen: " << pool.tasks_stolen() << "\n";
     std::cout << "cache: " << cache_stats.hits << " hits / " << cache_stats.misses
@@ -142,7 +150,8 @@ int main(int argc, char** argv) {
              << "  \"workload\": \"fig2_spice_ratio_sweep\",\n"
              << "  \"points\": " << configs.size() * grid.size() << ",\n"
              << "  \"hardware_threads\": " << hw << ",\n"
-             << "  \"pool_threads\": " << pool.size() << ",\n"
+             << "  \"pool_threads_configured\": " << threads_configured << ",\n"
+             << "  \"pool_threads_effective\": " << pool.size() << ",\n"
              << "  \"serial_s\": " << serial_s << ",\n"
              << "  \"parallel_s\": " << parallel_s << ",\n"
              << "  \"speedup\": " << speedup << ",\n"

@@ -1,0 +1,226 @@
+// PERF — the fast transient kernel on the paper's heaviest workload:
+// the Fig. 2 ratio family simulated point by point with the SPICE
+// engine, seed kernel (fixed-step full Newton) vs fast kernel (LU
+// reuse + device bypass + adaptive stepping + settled-period early
+// exit). Single-threaded by design: the speedup measured here is
+// algorithmic, not parallel, and composes with the PR 1 pool.
+//
+// Accuracy is gated, not assumed: every point's period must agree with
+// the seed kernel within 0.05 % and the per-ratio non-linearity error
+// curves within 0.01 percentage points. `--quick 1` runs a reduced grid
+// (the tier-1 perf-smoke stage) with a 1.5x speedup gate; the full run
+// gates at 2x and writes BENCH_transient.json.
+#include "bench_common.hpp"
+
+#include "analysis/nonlinearity.hpp"
+#include "exec/metrics.hpp"
+#include "ring/config.hpp"
+#include "ring/spice_ring.hpp"
+#include "sensor/presets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace stsense;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct PassResult {
+    double wall_s = 0.0;
+    /// periods[ratio][temp] in seconds.
+    std::vector<std::vector<double>> periods;
+    long early_exits = 0;
+    long total_newton_iters = 0;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    const bool quick = cli.has("quick");
+    bench::banner("PERF",
+                  std::string("fast transient kernel vs seed kernel, Fig. 2 "
+                              "SPICE ratio sweep") +
+                      (quick ? " (quick)" : ""));
+
+    const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
+
+    // The Fig. 2 workload: the Wp/Wn family over the paper temperature
+    // grid. Quick mode trims both axes (2 ratios x 5 temperatures) and
+    // the time resolution so the smoke stage stays in CI budget.
+    std::vector<double> ratios;
+    for (double r : sensor::presets::kFig2Ratios) ratios.push_back(r);
+    std::vector<double> temps_c = ring::paper_temperature_grid_c();
+    if (quick) {
+        ratios = {1.75, 3.0};
+        std::vector<double> coarse;
+        for (std::size_t i = 0; i < temps_c.size(); i += 4) coarse.push_back(temps_c[i]);
+        temps_c = coarse;
+    }
+
+    ring::SpiceRingOptions seed_opt;
+    seed_opt.record_waveform = false;
+    ring::SpiceRingOptions fast_opt = ring::SpiceRingOptions::fast();
+    fast_opt.record_waveform = false;
+    // Ablation switches (e.g. --no-bypass) isolate each feature's
+    // contribution when tuning the fast() preset.
+    if (cli.has("no-reuse")) fast_opt.kernel.reuse_lu = false;
+    if (cli.has("no-bypass")) fast_opt.kernel.bypass_tol_v = 0.0;
+    if (cli.has("no-adaptive")) fast_opt.kernel.adaptive = false;
+    if (cli.has("no-exit")) fast_opt.early_exit = false;
+    if (quick) {
+        seed_opt.steps_per_period = 150;
+        fast_opt.steps_per_period = 150;
+        seed_opt.skip_cycles = fast_opt.skip_cycles = 2;
+        seed_opt.measure_cycles = fast_opt.measure_cycles = 5;
+    }
+
+    auto run_pass = [&](const ring::SpiceRingOptions& opt) {
+        PassResult out;
+        out.periods.resize(ratios.size());
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+            const auto cfg =
+                ring::RingConfig::uniform(cells::CellKind::Inv, 5, ratios[ri]);
+            const ring::SpiceRingModel model(tech, cfg);
+            for (double tc : temps_c) {
+                const auto res = model.simulate(tc + 273.15, opt);
+                out.periods[ri].push_back(res.period);
+                if (res.early_exit) ++out.early_exits;
+            }
+        }
+        out.wall_s = seconds_since(t0);
+        return out;
+    };
+
+    auto& metrics = exec::MetricsRegistry::global();
+    const std::uint64_t refactor0 = metrics.counter("spice.newton.refactor").value();
+    const std::uint64_t reuse0 = metrics.counter("spice.newton.reuse").value();
+    const std::uint64_t bypass0 = metrics.counter("spice.eval.bypass_hits").value();
+    const std::uint64_t exit0 =
+        metrics.counter("ring.transient.early_exit_cycles").value();
+
+    const PassResult seed = run_pass(seed_opt);
+    const std::uint64_t seed_refactors =
+        metrics.counter("spice.newton.refactor").value() - refactor0;
+
+    const PassResult fast = run_pass(fast_opt);
+    const std::uint64_t fast_refactors =
+        metrics.counter("spice.newton.refactor").value() - refactor0 - seed_refactors;
+    const std::uint64_t fast_reuses =
+        metrics.counter("spice.newton.reuse").value() - reuse0;
+    const std::uint64_t fast_bypass =
+        metrics.counter("spice.eval.bypass_hits").value() - bypass0;
+    const std::uint64_t exit_cycles =
+        metrics.counter("ring.transient.early_exit_cycles").value() - exit0;
+
+    const double speedup = fast.wall_s > 0.0 ? seed.wall_s / fast.wall_s : 0.0;
+
+    // --- accuracy: periods point by point, NL curves ratio by ratio -------
+    double max_period_dev_pct = 0.0;
+    for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+        for (std::size_t ti = 0; ti < temps_c.size(); ++ti) {
+            const double ref = seed.periods[ri][ti];
+            const double dev =
+                ref != 0.0
+                    ? 100.0 * std::abs(fast.periods[ri][ti] - ref) / std::abs(ref)
+                    : 0.0;
+            max_period_dev_pct = std::max(max_period_dev_pct, dev);
+        }
+    }
+    double max_nl_dev_pp = 0.0;
+    for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+        const auto nl_seed = analysis::nonlinearity(temps_c, seed.periods[ri]);
+        const auto nl_fast = analysis::nonlinearity(temps_c, fast.periods[ri]);
+        for (std::size_t ti = 0; ti < temps_c.size(); ++ti) {
+            max_nl_dev_pp = std::max(
+                max_nl_dev_pp, std::abs(nl_fast.error_percent[ti] -
+                                        nl_seed.error_percent[ti]));
+        }
+    }
+
+    const std::size_t points = ratios.size() * temps_c.size();
+    std::string fast_label = "fast (";
+    if (fast_opt.kernel.bypass_tol_v > 0.0) fast_label += "bypass+";
+    if (fast_opt.kernel.reuse_lu) fast_label += "reuse+";
+    if (fast_opt.kernel.adaptive) fast_label += "adaptive+";
+    if (fast_opt.early_exit) fast_label += "exit+";
+    fast_label.back() = ')';
+    util::Table table({"kernel", "wall (s)", "ms/point", "vs seed"});
+    table.add_row({"seed (fixed, full Newton)", util::fixed(seed.wall_s, 3),
+                   util::fixed(1e3 * seed.wall_s / static_cast<double>(points), 2),
+                   "1.00x"});
+    table.add_row({fast_label, util::fixed(fast.wall_s, 3),
+                   util::fixed(1e3 * fast.wall_s / static_cast<double>(points), 2),
+                   util::fixed(speedup, 2) + "x"});
+    std::cout << table.render();
+    std::cout << "\npoints: " << points << " (" << ratios.size() << " ratios x "
+              << temps_c.size() << " temps)\n"
+              << "accuracy: max period deviation "
+              << util::fixed(max_period_dev_pct, 4) << " % (gate 0.05), max NL "
+              << "deviation " << util::fixed(max_nl_dev_pp, 4)
+              << " pp (gate 0.01)\n"
+              << "fast kernel: " << fast_refactors << " refactors, " << fast_reuses
+              << " LU reuses, " << fast_bypass << " bypass hits, " << exit_cycles
+              << " cycles saved by early exit (" << fast.early_exits << "/"
+              << points << " runs exited early)\n"
+              << "seed kernel: " << seed_refactors << " factorizations\n";
+
+    // --- JSON snapshot ----------------------------------------------------
+    const std::string json_path = cli.get("json", std::string("BENCH_transient.json"));
+    {
+        std::ofstream json(json_path);
+        json << "{\n"
+             << "  \"workload\": \"fig2_spice_ratio_sweep\",\n"
+             << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+             << "  \"points\": " << points << ",\n"
+             << "  \"seed_wall_s\": " << seed.wall_s << ",\n"
+             << "  \"fast_wall_s\": " << fast.wall_s << ",\n"
+             << "  \"speedup\": " << speedup << ",\n"
+             << "  \"max_period_dev_pct\": " << max_period_dev_pct << ",\n"
+             << "  \"max_nl_dev_pp\": " << max_nl_dev_pp << ",\n"
+             << "  \"seed_refactors\": " << seed_refactors << ",\n"
+             << "  \"fast_refactors\": " << fast_refactors << ",\n"
+             << "  \"fast_lu_reuses\": " << fast_reuses << ",\n"
+             << "  \"fast_bypass_hits\": " << fast_bypass << ",\n"
+             << "  \"early_exit_cycles_saved\": " << exit_cycles << ",\n"
+             << "  \"early_exit_runs\": " << fast.early_exits << ",\n"
+             << "  \"metrics\": " << metrics.to_json() << "\n"
+             << "}\n";
+    }
+    std::cout << "kernel snapshot: " << json_path << "\n";
+
+    const double speedup_gate = quick ? 1.5 : 2.0;
+    bench::ShapeChecks checks;
+    checks.expect("fast kernel speedup >= " + util::fixed(speedup_gate, 1) +
+                      "x over seed kernel (acceptance criterion)",
+                  speedup >= speedup_gate);
+    checks.expect("max period deviation <= 0.05 % (accuracy gate)",
+                  max_period_dev_pct <= 0.05);
+    checks.expect("max NL-curve deviation <= 0.01 pp (accuracy gate)",
+                  max_nl_dev_pp <= 0.01);
+    if (fast_opt.early_exit) {
+        checks.expect("every fast run banked its cycles and exited early",
+                      fast.early_exits == static_cast<long>(points));
+    }
+    if (fast_opt.kernel.bypass_tol_v > 0.0) {
+        checks.expect("the fast pass served device evaluations from the bypass cache",
+                      fast_bypass > 0);
+    }
+    if (fast_opt.kernel.reuse_lu) {
+        checks.expect("the fast pass actually reused factorizations",
+                      fast_reuses > 0);
+    }
+    return checks.report();
+}

@@ -15,6 +15,22 @@ cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
+echo "== tier 1: perf smoke — fast transient kernel vs seed kernel =="
+# bench_transient_kernel exits non-zero when the quick-grid gates fail:
+# < 1.5x speedup over the seed kernel, period deviation > 0.05 %, or
+# NL-curve deviation > 0.01 pp. The top-level CMakeLists defaults to
+# RelWithDebInfo, so the stage-1 build is already optimized; a Debug
+# build would fail the speedup gate for the wrong reason (the bench
+# CMakeLists warns when benches are configured without optimization).
+build_type="$(grep -E '^CMAKE_BUILD_TYPE:' "$repo/build/CMakeCache.txt" | cut -d= -f2)"
+case "$build_type" in
+  Debug|"") echo "perf smoke needs an optimized build, got '${build_type:-none}'" >&2
+            exit 1 ;;
+esac
+cmake --build "$repo/build" --target bench_transient_kernel -j "$jobs"
+"$repo/build/bench/bench_transient_kernel" --quick \
+    --json="$repo/build/BENCH_transient_quick.json"
+
 echo "== tier 1: exec/ring concurrency tests under ThreadSanitizer =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSTSENSE_SANITIZE=thread
 cmake --build "$repo/build-tsan" --target stsense_tests -j "$jobs"

@@ -231,7 +231,14 @@ int ThreadPool::parse_thread_env(const char* value, int fallback) {
 
 int ThreadPool::default_thread_count() {
     const int hw = std::max(1u, std::thread::hardware_concurrency());
-    return parse_thread_env(std::getenv("STSENSE_THREADS"), hw);
+    return clamp_to_hardware(parse_thread_env(std::getenv("STSENSE_THREADS"), hw));
+}
+
+int ThreadPool::clamp_to_hardware(int requested) {
+    const int hw =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    if (requested < 1) return hw;
+    return std::min(requested, hw);
 }
 
 std::uint64_t ThreadPool::tasks_executed() const {

@@ -93,9 +93,17 @@ public:
     static ThreadPool& global();
 
     /// Thread count global() would use: STSENSE_THREADS override or
-    /// hardware concurrency. Exposed (with the raw string parser below)
-    /// so the override is testable without mutating the environment.
+    /// hardware concurrency, clamped to the hardware thread count either
+    /// way — oversubscribing a CPU-bound pool only adds context-switch
+    /// overhead. Exposed (with the raw string parser below) so the
+    /// override is testable without mutating the environment.
     static int default_thread_count();
+
+    /// Clamps a requested worker count to the hardware: a request < 1
+    /// means "auto" (hardware_concurrency); anything larger is reduced
+    /// to the hardware thread count. Explicit ThreadPool(n) construction
+    /// stays unclamped (tests deliberately build odd-shaped pools).
+    static int clamp_to_hardware(int requested);
 
     /// Parses a STSENSE_THREADS value; returns `fallback` for null,
     /// empty, non-numeric, or < 1 values.

@@ -1,9 +1,11 @@
 #include "ring/spice_ring.hpp"
 
 #include "cells/cell_netlist.hpp"
+#include "exec/metrics.hpp"
 #include "ring/analytic.hpp"
 #include "spice/simulator.hpp"
 
+#include <cmath>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -82,6 +84,7 @@ spice::Result<RingSimResult> SpiceRingModel::try_simulate(
     sim_opt.enable_recovery = opt.enable_recovery;
     sim_opt.max_wall_ms = opt.max_wall_ms;
     sim_opt.max_total_newton_iters = opt.max_total_newton_iters;
+    sim_opt.kernel = opt.kernel;
     spice::Simulator sim(ckt, sim_opt);
 
     spice::TransientSpec tspec;
@@ -97,6 +100,23 @@ spice::Result<RingSimResult> SpiceRingModel::try_simulate(
     }
     tspec.probes = {nodes[0]};
     tspec.measure_power = true;
+
+    if (opt.early_exit) {
+        // Stop once enough settled cycles are banked: measure_period
+        // needs skip + measure + 1 rising crossings of Vdd/2; one more
+        // guarantees the final cycle is fully recorded. The kick-start
+        // holds the probe node at 0, so the first crossing is genuine.
+        const int needed = opt.skip_cycles + opt.measure_cycles + 2;
+        const double mid = 0.5 * tech_.vdd;
+        tspec.stop_when = [mid, needed, idx = nodes[0].index, crossings = 0,
+                           prev = 0.0](double,
+                                       const std::vector<double>& v) mutable {
+            const double cur = v[idx];
+            if (prev < mid && cur >= mid) ++crossings;
+            prev = cur;
+            return crossings >= needed;
+        };
+    }
 
     auto sim_result = sim.try_transient(tspec);
     if (!sim_result.ok()) return sim_result.error();
@@ -131,10 +151,24 @@ spice::Result<RingSimResult> SpiceRingModel::try_simulate(
     if (auto duty = spice::measure_duty_cycle(*trace, mid, opt.skip_cycles)) {
         out.duty_cycle = *duty;
     }
-    out.avg_supply_power_w =
-        res.average_source_power_w(ckt.node_by_name("vdd"), tspec.t_stop);
+    // Power averages over the time actually integrated. The early-exit
+    // branch uses t_end; the full run keeps the historical t_stop
+    // denominator bit for bit.
+    out.avg_supply_power_w = res.average_source_power_w(
+        ckt.node_by_name("vdd"), res.early_exit ? res.t_end : tspec.t_stop);
     out.recovery_rung = res.deepest_rung;
     out.rescued_steps = res.rescued_steps;
+    out.early_exit = res.early_exit;
+    out.sim_time_s = res.early_exit ? res.t_end : tspec.t_stop;
+    if (res.early_exit && est > 0.0) {
+        // Account the simulated cycles the exit saved.
+        const double saved = (tspec.t_stop - res.t_end) / est;
+        if (saved > 0.0) {
+            exec::MetricsRegistry::global()
+                .counter("ring.transient.early_exit_cycles")
+                .add(static_cast<std::uint64_t>(std::llround(saved)));
+        }
+    }
     if (opt.record_waveform) out.waveform = *trace;
     return out;
 }

@@ -9,6 +9,7 @@
 #include "ring/config.hpp"
 #include "spice/netlist.hpp"
 #include "spice/sim_error.hpp"
+#include "spice/simulator.hpp"
 #include "spice/waveform.hpp"
 
 #include <optional>
@@ -31,6 +32,22 @@ struct SpiceRingOptions {
     bool enable_recovery = true;
     double max_wall_ms = 0.0;
     long max_total_newton_iters = 0;
+    /// Fast-transient-kernel knobs, forwarded into
+    /// spice::SimOptions::kernel (defaults off = seed-identical engine).
+    spice::TransientOptions kernel;
+    /// Stop the transient once skip_cycles + measure_cycles + 2 rising
+    /// crossings of Vdd/2 are banked on the probe node, instead of
+    /// integrating out the full estimate_margin * t_stop window. The
+    /// truncated trace still contains every cycle the measurement uses.
+    bool early_exit = false;
+
+    /// The tuned fast preset the benches use: fast kernel + early exit.
+    static SpiceRingOptions fast() {
+        SpiceRingOptions o;
+        o.kernel = spice::TransientOptions::fast();
+        o.early_exit = true;
+        return o;
+    }
 };
 
 /// Result of one transistor-level ring run.
@@ -47,6 +64,8 @@ struct RingSimResult {
     /// the fault-free fast path) and how many steps were rescued.
     spice::RecoveryRung recovery_rung = spice::RecoveryRung::None;
     long rescued_steps = 0;
+    bool early_exit = false;    ///< The settled-period early exit fired.
+    double sim_time_s = 0.0;    ///< Transient time actually integrated [s].
     spice::Trace waveform;      ///< Probe-node trace (empty if not recorded).
 };
 

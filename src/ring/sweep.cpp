@@ -271,7 +271,7 @@ std::uint64_t sweep_fingerprint(const phys::Technology& tech,
                                 const SpiceRingOptions& spice_opt,
                                 const FaultPolicySpec& fault) {
     exec::Fingerprint fp;
-    fp.add(std::uint64_t{0x73747332}); // Key-format version salt.
+    fp.add(std::uint64_t{0x73747333}); // Key-format version salt.
     fp.add(tech.vdd)
         .add(tech.lmin)
         .add(tech.wmin)
@@ -299,6 +299,19 @@ std::uint64_t sweep_fingerprint(const phys::Technology& tech,
             .add(spice_opt.enable_recovery)
             .add(spice_opt.max_wall_ms)
             .add(static_cast<std::int64_t>(spice_opt.max_total_newton_iters));
+        // Fast-kernel knobs change the computed values, so a fast sweep
+        // and a seed-identical sweep must not alias in the cache.
+        const spice::TransientOptions& k = spice_opt.kernel;
+        fp.add(k.reuse_lu)
+            .add(k.reuse_iter_limit)
+            .add(k.bypass_tol_v)
+            .add(k.adaptive)
+            .add(k.lte_rel_tol)
+            .add(k.dt_min_factor)
+            .add(k.dt_max_factor)
+            .add(k.dt_grow)
+            .add(k.dt_shrink)
+            .add(spice_opt.early_exit);
     }
     // The fault policy shapes the values of points that fail, so it is
     // part of the key (a Skip series and a Fallback series of the same

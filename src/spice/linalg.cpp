@@ -13,19 +13,24 @@ void Matrix::clear() {
     std::fill(data_.begin(), data_.end(), 0.0);
 }
 
-bool lu_solve(Matrix& a, std::vector<double>& b, std::vector<double>& x,
-              double pivot_tol) {
-    const std::size_t n = a.rows();
-    if (a.cols() != n || b.size() != n) {
-        throw std::invalid_argument("lu_solve: dimension mismatch");
-    }
-    x.assign(n, 0.0);
-    if (n == 0) return true;
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+}
 
-    std::vector<std::size_t> perm(n);
+namespace {
+
+/// Doolittle LU with partial pivoting, factoring `a` in place. Rows are
+/// permuted logically through `perm` (no physical swaps). Returns false
+/// on a pivot below `pivot_tol` or a non-finite pivot. This is the one
+/// factorization core behind lu_solve and LuFactors — keep the
+/// arithmetic identical in both paths.
+bool factor_core(Matrix& a, std::vector<std::size_t>& perm, double pivot_tol) {
+    const std::size_t n = a.rows();
+    perm.resize(n);
     for (std::size_t i = 0; i < n; ++i) perm[i] = i;
 
-    // Doolittle LU with partial pivoting, factoring in place.
     for (std::size_t k = 0; k < n; ++k) {
         std::size_t pivot = k;
         double best = std::abs(a.at(perm[k], k));
@@ -49,9 +54,17 @@ bool lu_solve(Matrix& a, std::vector<double>& b, std::vector<double>& x,
             }
         }
     }
+    return true;
+}
 
+/// Forward/back substitution against factors produced by factor_core.
+/// Returns false when the solution is non-finite.
+bool solve_core(const Matrix& a, const std::vector<std::size_t>& perm,
+                std::span<const double> b, std::vector<double>& y,
+                std::vector<double>& x) {
+    const std::size_t n = a.rows();
     // Forward substitution (L has unit diagonal).
-    std::vector<double> y(n);
+    y.resize(n);
     for (std::size_t r = 0; r < n; ++r) {
         double sum = b[perm[r]];
         for (std::size_t c = 0; c < r; ++c) sum -= a.at(perm[r], c) * y[c];
@@ -67,6 +80,52 @@ bool lu_solve(Matrix& a, std::vector<double>& b, std::vector<double>& x,
         if (!std::isfinite(v)) return false;
     }
     return true;
+}
+
+} // namespace
+
+bool lu_solve(Matrix& a, std::vector<double>& b, std::vector<double>& x,
+              double pivot_tol) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n) {
+        throw std::invalid_argument("lu_solve: dimension mismatch");
+    }
+    x.assign(n, 0.0);
+    if (n == 0) return true;
+
+    std::vector<std::size_t> perm;
+    if (!factor_core(a, perm, pivot_tol)) return false;
+    std::vector<double> y;
+    return solve_core(a, perm, b, y, x);
+}
+
+bool LuFactors::factor(const Matrix& a, double pivot_tol) {
+    valid_ = false;
+    const std::size_t n = a.rows();
+    if (a.cols() != n) {
+        throw std::invalid_argument("LuFactors::factor: matrix not square");
+    }
+    // Copy into the retained buffer (no allocation when the size is
+    // unchanged), then factor in place.
+    if (lu_.rows() != n || lu_.cols() != n) {
+        lu_.resize(n, n);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+        auto dst = lu_.row_span(r);
+        const auto src = a.row_span(r);
+        std::copy(src.begin(), src.end(), dst.begin());
+    }
+    if (!factor_core(lu_, perm_, pivot_tol)) return false;
+    valid_ = true;
+    return true;
+}
+
+bool LuFactors::solve(std::span<const double> b, std::vector<double>& x) const {
+    const std::size_t n = lu_.rows();
+    if (!valid_ || b.size() != n) return false;
+    x.assign(n, 0.0);
+    if (n == 0) return true;
+    return solve_core(lu_, perm_, b, y_, x);
 }
 
 double max_abs(std::span<const double> v) {

@@ -1,6 +1,7 @@
 #include "spice/simulator.hpp"
 
 #include "exec/fault_injector.hpp"
+#include "exec/metrics.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -46,6 +47,32 @@ Simulator::Simulator(const Circuit& circuit, SimOptions options)
     if (options_.temp_k <= 0.0) throw std::invalid_argument("Simulator: temp_k must be > 0");
     if (options_.gmin < 0.0) throw std::invalid_argument("Simulator: gmin must be >= 0");
 
+    const TransientOptions& k = options_.kernel;
+    if (k.reuse_iter_limit < 1) {
+        throw std::invalid_argument("Simulator: kernel.reuse_iter_limit must be >= 1");
+    }
+    if (k.bypass_tol_v < 0.0) {
+        throw std::invalid_argument("Simulator: kernel.bypass_tol_v must be >= 0");
+    }
+    if (k.adaptive) {
+        if (k.lte_rel_tol <= 0.0) {
+            throw std::invalid_argument("Simulator: kernel.lte_rel_tol must be > 0");
+        }
+        if (k.dt_min_factor <= 0.0 || k.dt_min_factor > 1.0) {
+            throw std::invalid_argument(
+                "Simulator: kernel.dt_min_factor must be in (0, 1]");
+        }
+        if (k.dt_max_factor < 1.0) {
+            throw std::invalid_argument("Simulator: kernel.dt_max_factor must be >= 1");
+        }
+        if (k.dt_grow < 1.0) {
+            throw std::invalid_argument("Simulator: kernel.dt_grow must be >= 1");
+        }
+        if (k.dt_shrink <= 0.0 || k.dt_shrink >= 1.0) {
+            throw std::invalid_argument("Simulator: kernel.dt_shrink must be in (0, 1)");
+        }
+    }
+
     unknown_index_.assign(circuit_.node_count(), -1);
     for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
         NodeId n{static_cast<std::uint32_t>(i)};
@@ -53,6 +80,19 @@ Simulator::Simulator(const Circuit& circuit, SimOptions options)
             unknown_index_[i] = static_cast<int>(n_unknowns_++);
         }
     }
+
+    // Size the workspace once: the solver's steady state reuses these
+    // buffers and never touches the heap again.
+    ws_.jac.resize(n_unknowns_, n_unknowns_);
+    ws_.residual.assign(n_unknowns_, 0.0);
+    ws_.delta.reserve(n_unknowns_);
+    ws_.trial_volts.reserve(circuit_.node_count());
+    ws_.save_volts.reserve(circuit_.node_count());
+    ws_.prev_volts.reserve(circuit_.node_count());
+    ws_.save_energy.reserve(circuit_.node_count());
+    ws_.trial_caps.reserve(circuit_.capacitors().size());
+    ws_.save_caps.reserve(circuit_.capacitors().size());
+    ws_.mos.assign(circuit_.mosfets().size(), MosBypass{});
 }
 
 void Simulator::set_driven(std::vector<double>& volts, double t,
@@ -63,11 +103,38 @@ void Simulator::set_driven(std::vector<double>& volts, double t,
     }
 }
 
+phys::MosEval Simulator::eval_mosfet(std::size_t k, const Mosfet& m, double vgs,
+                                     double vds, bool use_bypass) const {
+    if (use_bypass) {
+        MosBypass& c = ws_.mos[k];
+        const double tol = options_.kernel.bypass_tol_v;
+        if (c.valid && std::abs(vgs - c.vgs) <= tol && std::abs(vds - c.vds) <= tol) {
+            // Restamp the cached linearization: first-order extrapolation
+            // of the current, conductances held. Error is O(tol^2) times
+            // the I-V curvature — far below the period accuracy gates.
+            ++ws_.bypass_hits;
+            phys::MosEval e = c.eval;
+            e.id = c.eval.id + c.eval.gm * (vgs - c.vgs) + c.eval.gds * (vds - c.vds);
+            return e;
+        }
+        const phys::MosEval e =
+            phys::evaluate(m.params, m.geometry, vgs, vds, options_.temp_k);
+        ++ws_.device_evals;
+        c.valid = true;
+        c.vgs = vgs;
+        c.vds = vds;
+        c.eval = e;
+        return e;
+    }
+    ++ws_.device_evals;
+    return phys::evaluate(m.params, m.geometry, vgs, vds, options_.temp_k);
+}
+
 void Simulator::assemble(const std::vector<double>& volts, double h,
                          const std::vector<CapState>* caps, Integrator integ,
-                         double gmin, Matrix& jac,
-                         std::vector<double>& residual) const {
-    jac.clear();
+                         double gmin, bool want_jac, bool use_bypass,
+                         Matrix& jac, std::vector<double>& residual) const {
+    if (want_jac) jac.clear();
     std::fill(residual.begin(), residual.end(), 0.0);
 
     auto idx = [&](NodeId n) { return unknown_index_[n.index]; };
@@ -79,13 +146,17 @@ void Simulator::assemble(const std::vector<double>& volts, double h,
         const int ib = idx(b);
         if (ia >= 0) {
             residual[static_cast<std::size_t>(ia)] += i;
-            jac.at(static_cast<std::size_t>(ia), static_cast<std::size_t>(ia)) += di_dva;
-            if (ib >= 0) jac.at(static_cast<std::size_t>(ia), static_cast<std::size_t>(ib)) += di_dvb;
+            if (want_jac) {
+                jac.at(static_cast<std::size_t>(ia), static_cast<std::size_t>(ia)) += di_dva;
+                if (ib >= 0) jac.at(static_cast<std::size_t>(ia), static_cast<std::size_t>(ib)) += di_dvb;
+            }
         }
         if (ib >= 0) {
             residual[static_cast<std::size_t>(ib)] -= i;
-            jac.at(static_cast<std::size_t>(ib), static_cast<std::size_t>(ib)) -= di_dvb;
-            if (ia >= 0) jac.at(static_cast<std::size_t>(ib), static_cast<std::size_t>(ia)) -= di_dva;
+            if (want_jac) {
+                jac.at(static_cast<std::size_t>(ib), static_cast<std::size_t>(ib)) -= di_dvb;
+                if (ia >= 0) jac.at(static_cast<std::size_t>(ib), static_cast<std::size_t>(ia)) -= di_dva;
+            }
         }
     };
 
@@ -108,13 +179,14 @@ void Simulator::assemble(const std::vector<double>& volts, double h,
         }
     }
 
-    for (const auto& m : circuit_.mosfets()) {
+    for (std::size_t k = 0; k < circuit_.mosfets().size(); ++k) {
+        const auto& m = circuit_.mosfets()[k];
         const double vd = volts[m.drain.index];
         const double vg = volts[m.gate.index];
         const double vs = volts[m.source.index];
         if (m.params.type == phys::MosType::Nmos) {
             const phys::MosEval e =
-                phys::evaluate(m.params, m.geometry, vg - vs, vd - vs, options_.temp_k);
+                eval_mosfet(k, m, vg - vs, vd - vs, use_bypass);
             // Current e.id flows drain -> source.
             // di/dvd = gds, di/dvg = gm, di/dvs = -(gm + gds).
             const int id_ = idx(m.drain);
@@ -122,36 +194,44 @@ void Simulator::assemble(const std::vector<double>& volts, double h,
             const int ig_ = idx(m.gate);
             if (id_ >= 0) {
                 residual[static_cast<std::size_t>(id_)] += e.id;
-                jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(id_)) += e.gds;
-                if (ig_ >= 0) jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(ig_)) += e.gm;
-                if (is_ >= 0) jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(is_)) -= e.gm + e.gds;
+                if (want_jac) {
+                    jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(id_)) += e.gds;
+                    if (ig_ >= 0) jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(ig_)) += e.gm;
+                    if (is_ >= 0) jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(is_)) -= e.gm + e.gds;
+                }
             }
             if (is_ >= 0) {
                 residual[static_cast<std::size_t>(is_)] -= e.id;
-                jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(is_)) += e.gm + e.gds;
-                if (ig_ >= 0) jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(ig_)) -= e.gm;
-                if (id_ >= 0) jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(id_)) -= e.gds;
+                if (want_jac) {
+                    jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(is_)) += e.gm + e.gds;
+                    if (ig_ >= 0) jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(ig_)) -= e.gm;
+                    if (id_ >= 0) jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(id_)) -= e.gds;
+                }
             }
         } else {
             // PMOS: magnitudes vsg = vs - vg, vsd = vs - vd; current flows
             // source -> drain while conducting.
             const phys::MosEval e =
-                phys::evaluate(m.params, m.geometry, vs - vg, vs - vd, options_.temp_k);
+                eval_mosfet(k, m, vs - vg, vs - vd, use_bypass);
             // i (source->drain): di/dvs = gm + gds, di/dvg = -gm, di/dvd = -gds.
             const int id_ = idx(m.drain);
             const int is_ = idx(m.source);
             const int ig_ = idx(m.gate);
             if (is_ >= 0) {
                 residual[static_cast<std::size_t>(is_)] += e.id;
-                jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(is_)) += e.gm + e.gds;
-                if (ig_ >= 0) jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(ig_)) -= e.gm;
-                if (id_ >= 0) jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(id_)) -= e.gds;
+                if (want_jac) {
+                    jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(is_)) += e.gm + e.gds;
+                    if (ig_ >= 0) jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(ig_)) -= e.gm;
+                    if (id_ >= 0) jac.at(static_cast<std::size_t>(is_), static_cast<std::size_t>(id_)) -= e.gds;
+                }
             }
             if (id_ >= 0) {
                 residual[static_cast<std::size_t>(id_)] -= e.id;
-                jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(id_)) += e.gds;
-                if (ig_ >= 0) jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(ig_)) += e.gm;
-                if (is_ >= 0) jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(is_)) -= e.gm + e.gds;
+                if (want_jac) {
+                    jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(id_)) += e.gds;
+                    if (ig_ >= 0) jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(ig_)) += e.gm;
+                    if (is_ >= 0) jac.at(static_cast<std::size_t>(id_), static_cast<std::size_t>(is_)) -= e.gm + e.gds;
+                }
             }
         }
     }
@@ -161,7 +241,9 @@ void Simulator::assemble(const std::vector<double>& volts, double h,
         const int u = unknown_index_[i];
         if (u < 0) continue;
         residual[static_cast<std::size_t>(u)] += gmin * volts[i];
-        jac.at(static_cast<std::size_t>(u), static_cast<std::size_t>(u)) += gmin;
+        if (want_jac) {
+            jac.at(static_cast<std::size_t>(u), static_cast<std::size_t>(u)) += gmin;
+        }
     }
 }
 
@@ -173,9 +255,21 @@ Simulator::NewtonStatus Simulator::solve_newton(
         return NewtonStatus::NoConverge; // Injected convergence failure.
     }
 
-    Matrix jac(n_unknowns_, n_unknowns_);
-    std::vector<double> residual(n_unknowns_);
-    std::vector<double> delta;
+    // The fast shortcuts apply only to rung-0 transient attempts: DC
+    // solves and the recovery-ladder rungs always run the classic
+    // factor-every-iteration, evaluate-every-device path.
+    const bool fast_reuse =
+        params.allow_fast && options_.kernel.reuse_lu && caps != nullptr;
+    const bool use_bypass = params.allow_fast && caps != nullptr &&
+                            options_.kernel.bypass_tol_v > 0.0;
+
+    Matrix& jac = ws_.jac;
+    std::vector<double>& residual = ws_.residual;
+    std::vector<double>& delta = ws_.delta;
+
+    int reuse_run = 0;
+    bool force_factor = false;
+    double prev_max_dv = std::numeric_limits<double>::infinity();
 
     for (int it = 0; it < params.max_iters; ++it) {
         if (budget.iters_left == 0) return NewtonStatus::IterBudget;
@@ -185,10 +279,41 @@ Simulator::NewtonStatus Simulator::solve_newton(
             return NewtonStatus::Deadline;
         }
         ++iters;
-        assemble(volts, h, caps, integ, params.gmin, jac, residual);
-        // Solve J * delta = -F.
-        for (double& r : residual) r = -r;
-        if (!lu_solve(jac, residual, delta)) return NewtonStatus::Singular;
+
+        bool just_factored = false;
+        const bool lu_reusable = fast_reuse && !force_factor &&
+                                 reuse_run < options_.kernel.reuse_iter_limit &&
+                                 ws_.lu.valid() && ws_.lu_h == h &&
+                                 ws_.lu_integ == integ &&
+                                 ws_.lu_gmin == params.gmin;
+        if (lu_reusable) {
+            // Modified Newton: residual-only assembly, re-solve against
+            // the kept factorization.
+            assemble(volts, h, caps, integ, params.gmin, /*want_jac=*/false,
+                     use_bypass, jac, residual);
+            for (double& r : residual) r = -r;
+            if (!ws_.lu.solve(residual, delta)) return NewtonStatus::Singular;
+            ++ws_.lu_reuses;
+            ++reuse_run;
+        } else {
+            assemble(volts, h, caps, integ, params.gmin, /*want_jac=*/true,
+                     use_bypass, jac, residual);
+            // Solve J * delta = -F.
+            for (double& r : residual) r = -r;
+            if (fast_reuse) {
+                if (!ws_.lu.factor(jac)) return NewtonStatus::Singular;
+                ws_.lu_h = h;
+                ws_.lu_integ = integ;
+                ws_.lu_gmin = params.gmin;
+                if (!ws_.lu.solve(residual, delta)) return NewtonStatus::Singular;
+            } else {
+                if (!lu_solve(jac, residual, delta)) return NewtonStatus::Singular;
+            }
+            ++ws_.lu_refactors;
+            just_factored = true;
+            reuse_run = 0;
+            force_factor = false;
+        }
 
         double max_dv = 0.0;
         for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
@@ -216,6 +341,10 @@ Simulator::NewtonStatus Simulator::solve_newton(
             }
             return NewtonStatus::Converged;
         }
+        // Stall detection: a reused-Jacobian iteration that failed to
+        // shrink the update meaningfully forces a fresh factorization.
+        if (!just_factored && max_dv > 0.5 * prev_max_dv) force_factor = true;
+        prev_max_dv = max_dv;
     }
     return NewtonStatus::NoConverge;
 }
@@ -280,7 +409,7 @@ Result<std::vector<double>> Simulator::dc_ladder(Budget& budget) {
     };
 
     const NewtonParams base{options_.max_newton_iters, options_.v_step_limit,
-                            options_.gmin, 0};
+                            options_.gmin, 0, false};
 
     // Rung 0a: plain Newton from the flat start.
     std::vector<double> volts(circuit_.node_count(), 0.0);
@@ -320,7 +449,7 @@ Result<std::vector<double>> Simulator::dc_ladder(Budget& budget) {
     // Rung 1: damped Newton — a much tighter per-iteration voltage clamp
     // trades iteration count for stability on stiff/oscillatory updates.
     const NewtonParams damped{2 * options_.max_newton_iters,
-                              options_.damped_step_limit, options_.gmin, 1};
+                              options_.damped_step_limit, options_.gmin, 1, false};
     mid_rail_start();
     status = solve_newton(volts, 0.0, nullptr, options_.integrator, damped, budget, sab, iters);
     if (status == NewtonStatus::Converged) {
@@ -336,7 +465,7 @@ Result<std::vector<double>> Simulator::dc_ladder(Budget& budget) {
     double g = std::max(options_.gmin_start, options_.gmin);
     bool ramp_ok = true;
     for (;;) {
-        const NewtonParams step{options_.max_newton_iters, options_.v_step_limit, g, 2};
+        const NewtonParams step{options_.max_newton_iters, options_.v_step_limit, g, 2, false};
         status = solve_newton(volts, 0.0, nullptr, options_.integrator, step, budget, sab, iters);
         if (status != NewtonStatus::Converged) {
             ramp_ok = false;
@@ -361,7 +490,7 @@ Result<std::vector<double>> Simulator::dc_ladder(Budget& budget) {
         const double alpha = static_cast<double>(k) / static_cast<double>(n_steps);
         set_driven(volts, 0.0, alpha);
         const NewtonParams step{2 * options_.max_newton_iters,
-                                options_.v_step_limit, options_.gmin, 3};
+                                options_.v_step_limit, options_.gmin, 3, false};
         status = solve_newton(volts, 0.0, nullptr, options_.integrator, step, budget, sab, iters);
         if (status != NewtonStatus::Converged) {
             source_ok = false;
@@ -405,22 +534,23 @@ void Simulator::update_cap_state(const std::vector<double>& volts, double h,
 
 void Simulator::commit_step(std::vector<double>& volts,
                             std::vector<CapState>& caps,
-                            std::vector<double>&& trial,
-                            std::vector<CapState>&& trial_caps, double h,
+                            std::vector<double>& trial,
+                            std::vector<CapState>& trial_caps, double h,
                             Integrator integ, TransientResult& result) const {
     if (!result.source_energy_j.empty()) {
         // Supply metering: energy = v * i_delivered * h per source,
         // with the end-of-step current (rectangle rule).
+        const bool bypass = options_.kernel.bypass_tol_v > 0.0;
         for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
             const NodeId n{static_cast<std::uint32_t>(i)};
             if (!circuit_.is_driven(n)) continue;
-            const double cur = injected_current(n, trial, h, &trial_caps, integ);
+            const double cur = injected_current(n, trial, h, &trial_caps, integ, bypass);
             result.source_energy_j[i] += trial[i] * cur * h;
         }
     }
     update_cap_state(trial, h, integ, trial_caps);
-    volts = std::move(trial);
-    caps = std::move(trial_caps);
+    volts.swap(trial);
+    caps.swap(trial_caps);
     ++result.steps_taken;
 }
 
@@ -433,21 +563,29 @@ Simulator::NewtonStatus Simulator::advance(std::vector<double>& volts,
     if (budget.steps_left == 0) return NewtonStatus::IterBudget;
     if (budget.steps_left > 0) --budget.steps_left;
 
-    std::vector<double> trial = volts;
-    std::vector<CapState> trial_caps = caps;
+    // The workspace trial buffers are shared across the recursion: every
+    // use (base attempt, halved sub-steps, ladder rungs) re-copies the
+    // committed state first, so reuse is safe and allocation-free.
+    std::vector<double>& trial = ws_.trial_volts;
+    std::vector<CapState>& trial_caps = ws_.trial_caps;
+    trial = volts;
+    trial_caps = caps;
     set_driven(trial, t + h);
     const NewtonParams base{options_.max_newton_iters, options_.v_step_limit,
-                            options_.gmin, 0};
+                            options_.gmin, 0, true};
     NewtonStatus status = solve_newton(trial, h, &trial_caps, integ, base,
                                        budget, sab, result.total_newton_iters);
     if (status == NewtonStatus::Converged) {
-        commit_step(volts, caps, std::move(trial), std::move(trial_caps), h,
-                    integ, result);
+        commit_step(volts, caps, trial, trial_caps, h, integ, result);
         return NewtonStatus::Converged;
     }
     if (status == NewtonStatus::IterBudget || status == NewtonStatus::Deadline) {
         return status;
     }
+
+    // A failed fast solve may hold a factorization from the divergent
+    // trajectory; the halving/ladder rescue starts clean.
+    ws_.lu.invalidate();
 
     // Legacy rescue: halve the step into two sub-steps. An injected
     // failure skips this (it models a failure halving cannot fix, and
@@ -468,12 +606,11 @@ Simulator::NewtonStatus Simulator::advance(std::vector<double>& volts,
     trial_caps = caps;
     set_driven(trial, t + h);
     const NewtonParams damped{2 * options_.max_newton_iters,
-                              options_.damped_step_limit, options_.gmin, 1};
+                              options_.damped_step_limit, options_.gmin, 1, false};
     NewtonStatus rescue = solve_newton(trial, h, &trial_caps, integ, damped,
                                        budget, sab, result.total_newton_iters);
     if (rescue == NewtonStatus::Converged) {
-        commit_step(volts, caps, std::move(trial), std::move(trial_caps), h,
-                    integ, result);
+        commit_step(volts, caps, trial, trial_caps, h, integ, result);
         result.deepest_rung = deeper(result.deepest_rung, RecoveryRung::DampedNewton);
         ++result.rescued_steps;
         return NewtonStatus::Converged;
@@ -489,13 +626,12 @@ Simulator::NewtonStatus Simulator::advance(std::vector<double>& volts,
     set_driven(trial, t + h);
     double g = std::max(options_.gmin_start, options_.gmin);
     for (;;) {
-        const NewtonParams step{options_.max_newton_iters, options_.v_step_limit, g, 2};
+        const NewtonParams step{options_.max_newton_iters, options_.v_step_limit, g, 2, false};
         rescue = solve_newton(trial, h, &trial_caps, integ, step, budget, sab,
                               result.total_newton_iters);
         if (rescue != NewtonStatus::Converged) break;
         if (g <= options_.gmin) {
-            commit_step(volts, caps, std::move(trial), std::move(trial_caps), h,
-                        integ, result);
+            commit_step(volts, caps, trial, trial_caps, h, integ, result);
             result.deepest_rung = deeper(result.deepest_rung, RecoveryRung::GminStepping);
             ++result.rescued_steps;
             return NewtonStatus::Converged;
@@ -512,7 +648,7 @@ Simulator::NewtonStatus Simulator::advance(std::vector<double>& volts,
 
 double Simulator::injected_current(NodeId node, const std::vector<double>& volts,
                                    double h, const std::vector<CapState>* caps,
-                                   Integrator integ) const {
+                                   Integrator integ, bool use_bypass) const {
     double out = 0.0;
 
     for (const auto& r : circuit_.resistors()) {
@@ -533,24 +669,160 @@ double Simulator::injected_current(NodeId node, const std::vector<double>& volts
             if (c.b == node) out -= i;
         }
     }
-    for (const auto& m : circuit_.mosfets()) {
+    for (std::size_t k = 0; k < circuit_.mosfets().size(); ++k) {
+        const auto& m = circuit_.mosfets()[k];
         const double vd = volts[m.drain.index];
         const double vg = volts[m.gate.index];
         const double vs = volts[m.source.index];
         if (m.params.type == phys::MosType::Nmos) {
             const phys::MosEval e =
-                phys::evaluate(m.params, m.geometry, vg - vs, vd - vs, options_.temp_k);
+                eval_mosfet(k, m, vg - vs, vd - vs, use_bypass);
             if (m.drain == node) out += e.id;   // Current leaves drain node.
             if (m.source == node) out -= e.id;  // And enters the source node.
         } else {
             const phys::MosEval e =
-                phys::evaluate(m.params, m.geometry, vs - vg, vs - vd, options_.temp_k);
+                eval_mosfet(k, m, vs - vg, vs - vd, use_bypass);
             if (m.source == node) out += e.id;  // PMOS: leaves the source node.
             if (m.drain == node) out -= e.id;
         }
     }
     out += options_.gmin * volts[node.index];
     return out;
+}
+
+std::optional<SimError> Simulator::run_fixed(
+    const TransientSpec& spec, std::vector<double>& volts,
+    std::vector<CapState>& caps, Budget& budget, TransientResult& result,
+    const std::function<void(double)>& record) {
+    const long n_steps = static_cast<long>(std::ceil(spec.t_stop / spec.dt - 1e-9));
+    for (long s = 0; s < n_steps; ++s) {
+        const double t = static_cast<double>(s) * spec.dt;
+        const double h = std::min(spec.dt, spec.t_stop - t);
+        // The first step always uses backward Euler: the capacitor
+        // history current at t = 0 is unknown (initial conditions are
+        // generally not an equilibrium), and trapezoidal would carry
+        // that wrong history forward as sustained ringing.
+        const Integrator integ =
+            s == 0 ? Integrator::BackwardEuler : options_.integrator;
+        const Sabotage sab = next_sabotage();
+        const NewtonStatus status =
+            advance(volts, caps, t, h, 0, integ, sab, budget, result);
+        if (status != NewtonStatus::Converged) {
+            SimError e;
+            e.kind = kind_of_status(static_cast<int>(status));
+            e.message = "transient: Newton failed at t = " + std::to_string(t);
+            e.time_s = t;
+            e.newton_iters = result.total_newton_iters;
+            return e;
+        }
+        result.t_end = t + h;
+        const bool stop = spec.stop_when && spec.stop_when(t + h, volts);
+        if ((s + 1) % spec.record_stride == 0 || s + 1 == n_steps || stop) {
+            record(t + h);
+        }
+        if (stop) {
+            result.early_exit = true;
+            break;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<SimError> Simulator::run_adaptive(
+    const TransientSpec& spec, std::vector<double>& volts,
+    std::vector<CapState>& caps, Budget& budget, TransientResult& result,
+    const std::function<void(double)>& record) {
+    const TransientOptions& k = options_.kernel;
+    const double dt_min = spec.dt * k.dt_min_factor;
+    const double dt_max = spec.dt * k.dt_max_factor;
+    const double t_eps = 1e-12 * spec.t_stop;
+    const bool meter = !result.source_energy_j.empty();
+
+    double t = 0.0;
+    double h = spec.dt;
+    double h_prev = 0.0;    ///< Width of the last accepted step.
+    bool have_prev = false; ///< ws_.prev_volts holds the state at t - h_prev.
+    bool first = true;
+    long accepted = 0;
+
+    while (t < spec.t_stop - t_eps) {
+        const double step = std::min(h, spec.t_stop - t);
+        const Integrator integ =
+            first ? Integrator::BackwardEuler : options_.integrator;
+        const Sabotage sab = next_sabotage();
+
+        // Snapshot the committed state so a too-coarse step can be
+        // rolled back (advance commits, including halved sub-steps and
+        // supply-energy metering).
+        ws_.save_volts = volts;
+        ws_.save_caps = caps;
+        if (meter) ws_.save_energy = result.source_energy_j;
+
+        const NewtonStatus status =
+            advance(volts, caps, t, step, 0, integ, sab, budget, result);
+        if (status != NewtonStatus::Converged) {
+            SimError e;
+            e.kind = kind_of_status(static_cast<int>(status));
+            e.message = "transient: Newton failed at t = " + std::to_string(t);
+            e.time_s = t;
+            e.newton_iters = result.total_newton_iters;
+            return e;
+        }
+
+        // LTE estimate: the divided-difference predictor extrapolates
+        // the previous two accepted solutions to t + step; the distance
+        // between prediction and corrected solution tracks the local
+        // truncation error of the Trapezoidal/BE corrector.
+        double rel = -1.0;
+        if (have_prev && h_prev > 0.0) {
+            const double ratio = step / h_prev;
+            double err_v = 0.0;
+            double vmax = 0.0;
+            for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+                if (unknown_index_[i] < 0) continue;
+                const double pred =
+                    ws_.save_volts[i] + ratio * (ws_.save_volts[i] - ws_.prev_volts[i]);
+                err_v = std::max(err_v, std::abs(volts[i] - pred));
+                vmax = std::max(vmax, std::abs(volts[i]));
+            }
+            rel = err_v / std::max(vmax, 1.0);
+            if (rel > k.lte_rel_tol && step > dt_min * (1.0 + 1e-9)) {
+                // Reject: roll back and retry smaller. At dt_min the
+                // step is always accepted — the floor bounds the cost.
+                volts = ws_.save_volts;
+                caps = ws_.save_caps;
+                if (meter) result.source_energy_j = ws_.save_energy;
+                ++ws_.steps_rejected;
+                h = std::max(dt_min, step * k.dt_shrink);
+                continue;
+            }
+        }
+
+        // Accept.
+        ws_.prev_volts.swap(ws_.save_volts);
+        h_prev = step;
+        have_prev = true;
+        first = false;
+        t += step;
+        ++accepted;
+        result.t_end = t;
+
+        const bool done = t >= spec.t_stop - t_eps;
+        const bool stop = spec.stop_when && spec.stop_when(t, volts);
+        if (accepted % spec.record_stride == 0 || done || stop) record(t);
+        if (stop) {
+            result.early_exit = true;
+            break;
+        }
+
+        // Grow only on a comfortably small LTE; otherwise hold.
+        if (rel >= 0.0 && rel < 0.25 * k.lte_rel_tol) {
+            h = std::min(dt_max, step * k.dt_grow);
+        } else {
+            h = step;
+        }
+    }
+    return std::nullopt;
 }
 
 Result<TransientResult> Simulator::try_transient(const TransientSpec& spec) {
@@ -615,28 +887,40 @@ Result<TransientResult> Simulator::try_transient(const TransientSpec& spec) {
     }
 
     record(0.0);
-    const long n_steps = static_cast<long>(std::ceil(spec.t_stop / spec.dt - 1e-9));
-    for (long s = 0; s < n_steps; ++s) {
-        const double t = static_cast<double>(s) * spec.dt;
-        const double h = std::min(spec.dt, spec.t_stop - t);
-        // The first step always uses backward Euler: the capacitor
-        // history current at t = 0 is unknown (initial conditions are
-        // generally not an equilibrium), and trapezoidal would carry
-        // that wrong history forward as sustained ringing.
-        const Integrator integ =
-            s == 0 ? Integrator::BackwardEuler : options_.integrator;
-        const Sabotage sab = next_sabotage();
-        const NewtonStatus status =
-            advance(volts, caps, t, h, 0, integ, sab, budget, result);
-        if (status != NewtonStatus::Converged) {
-            SimError e;
-            e.kind = kind_of_status(static_cast<int>(status));
-            e.message = "transient: Newton failed at t = " + std::to_string(t);
-            e.time_s = t;
-            e.newton_iters = result.total_newton_iters;
-            return e;
-        }
-        if ((s + 1) % spec.record_stride == 0 || s + 1 == n_steps) record(t + h);
+
+    // The kernel counters measure the transient only (the DC start above
+    // ran on the classic path); a kept factorization or bypass cache
+    // from a previous run must not leak across calls either.
+    ws_.reset_stats();
+    ws_.lu.invalidate();
+    for (auto& c : ws_.mos) c.valid = false;
+
+    const std::optional<SimError> err =
+        options_.kernel.adaptive
+            ? run_adaptive(spec, volts, caps, budget, result, record)
+            : run_fixed(spec, volts, caps, budget, result, record);
+
+    result.lu_refactors = ws_.lu_refactors;
+    result.lu_reuses = ws_.lu_reuses;
+    result.bypass_hits = ws_.bypass_hits;
+    result.device_evals = ws_.device_evals;
+    result.steps_rejected = ws_.steps_rejected;
+    if (err) return *err;
+
+    // Publish the kernel statistics once per run, off the per-step hot
+    // path (parallel sweeps then count identically at any thread count).
+    auto& metrics = exec::MetricsRegistry::global();
+    if (result.lu_refactors > 0) {
+        metrics.counter("spice.newton.refactor")
+            .add(static_cast<std::uint64_t>(result.lu_refactors));
+    }
+    if (result.lu_reuses > 0) {
+        metrics.counter("spice.newton.reuse")
+            .add(static_cast<std::uint64_t>(result.lu_reuses));
+    }
+    if (result.bypass_hits > 0) {
+        metrics.counter("spice.eval.bypass_hits")
+            .add(static_cast<std::uint64_t>(result.bypass_hits));
     }
     return result;
 }

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace stsense::exec {
@@ -174,6 +175,19 @@ TEST(ThreadPool, ParseThreadEnvFallsBackOnGarbage) {
     EXPECT_EQ(ThreadPool::parse_thread_env("0", 8), 8);
     EXPECT_EQ(ThreadPool::parse_thread_env("-2", 8), 8);
     EXPECT_EQ(ThreadPool::parse_thread_env("1000000", 8), 8);
+}
+
+TEST(ThreadPool, ClampToHardwareBoundsRequests) {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    const int cap = std::max(hw, 1);
+    // Non-positive requests mean "auto": use every hardware thread.
+    EXPECT_EQ(ThreadPool::clamp_to_hardware(0), cap);
+    EXPECT_EQ(ThreadPool::clamp_to_hardware(-3), cap);
+    // In-range requests pass through; oversubscription is clamped.
+    EXPECT_EQ(ThreadPool::clamp_to_hardware(1), 1);
+    EXPECT_EQ(ThreadPool::clamp_to_hardware(cap), cap);
+    EXPECT_EQ(ThreadPool::clamp_to_hardware(cap + 1), cap);
+    EXPECT_EQ(ThreadPool::clamp_to_hardware(4096), cap);
 }
 
 TEST(ThreadPool, GlobalPoolIsUsable) {

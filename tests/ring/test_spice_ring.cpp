@@ -103,6 +103,39 @@ TEST(SpiceRing, SupplyPowerCrossChecksAnalyticModel) {
     EXPECT_LT(r.avg_supply_power_w, 1e-2);
 }
 
+TEST(SpiceRing, EarlyExitMatchesFullRunPeriod) {
+    const SpiceRingModel m(phys::cmos350(), RingConfig::uniform(CellKind::Inv, 5, 2.5));
+    const SpiceRingOptions full = fast_options();
+    SpiceRingOptions exits = fast_options();
+    exits.early_exit = true;
+
+    const auto r_full = m.simulate(300.0, full);
+    const auto r_exit = m.simulate(300.0, exits);
+
+    EXPECT_FALSE(r_full.early_exit);
+    ASSERT_TRUE(r_exit.early_exit);
+    // The truncated run integrates strictly less simulated time but
+    // still banks skip + measure clean cycles...
+    EXPECT_LT(r_exit.sim_time_s, r_full.sim_time_s);
+    EXPECT_GE(r_exit.cycles_measured, exits.measure_cycles);
+    // ...and measures the same period to the 0.05 % kernel gate.
+    EXPECT_NEAR(r_exit.period, r_full.period, 5e-4 * r_full.period);
+}
+
+TEST(SpiceRing, FastPresetMatchesSeedKernelPeriod) {
+    const SpiceRingModel m(phys::cmos350(), RingConfig::uniform(CellKind::Inv, 5, 2.5));
+    const SpiceRingOptions seed = fast_options();
+    SpiceRingOptions fast = fast_options();
+    fast.kernel = spice::TransientOptions::fast();
+    fast.early_exit = true;
+
+    const auto r_seed = m.simulate(300.0, seed);
+    const auto r_fast = m.simulate(300.0, fast);
+    EXPECT_TRUE(r_fast.early_exit);
+    EXPECT_NEAR(r_fast.period, r_seed.period, 5e-4 * r_seed.period);
+    EXPECT_NEAR(r_fast.duty_cycle, r_seed.duty_cycle, 0.02);
+}
+
 TEST(SpiceRing, BadOptionsThrow) {
     const SpiceRingModel m(phys::cmos350(), RingConfig::uniform(CellKind::Inv, 5));
     SpiceRingOptions opt;

@@ -117,6 +117,132 @@ TEST_P(LuRandomTest, ResidualSmallForRandomSystems) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomTest, ::testing::Values(1, 2, 3, 5, 8, 16, 32));
 
+TEST(Matrix, ResizeZeroesAndReshapes) {
+    Matrix m(2, 2);
+    m.at(1, 1) = 7.0;
+    m.resize(3, 3);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            EXPECT_DOUBLE_EQ(m.at(r, c), 0.0);
+        }
+    }
+}
+
+TEST(Matrix, RowSpanViewsStorage) {
+    Matrix m(2, 3);
+    m.at(1, 0) = 4.0;
+    m.at(1, 2) = 6.0;
+    const auto row = m.row_span(1);
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_DOUBLE_EQ(row[0], 4.0);
+    EXPECT_DOUBLE_EQ(row[2], 6.0);
+    // The mutable overload writes through to the matrix.
+    m.row_span(0)[1] = 9.0;
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 9.0);
+    // It is a view, not a copy.
+    EXPECT_EQ(m.row_span(1).data(), m.data().data() + 3);
+}
+
+TEST(LuFactors, MatchesOneShotLuSolveBitwise) {
+    // The contract the modified-Newton path relies on: factor()+solve()
+    // runs the identical arithmetic as lu_solve, so the results are
+    // bitwise equal, not merely close.
+    util::Rng rng(1234);
+    for (int n : {1, 2, 3, 7, 12}) {
+        Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+        std::vector<double> b(static_cast<std::size_t>(n));
+        for (int r = 0; r < n; ++r) {
+            for (int c = 0; c < n; ++c) {
+                a.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+                    rng.uniform(-1.0, 1.0) + (r == c ? 3.0 : 0.0);
+            }
+            b[static_cast<std::size_t>(r)] = rng.uniform(-2.0, 2.0);
+        }
+
+        LuFactors lu;
+        ASSERT_TRUE(lu.factor(a));
+        EXPECT_EQ(lu.size(), static_cast<std::size_t>(n));
+        std::vector<double> x_reuse;
+        ASSERT_TRUE(lu.solve(b, x_reuse));
+
+        std::vector<double> b_scratch = b; // lu_solve destroys A and b.
+        std::vector<double> x_oneshot;
+        ASSERT_TRUE(lu_solve(a, b_scratch, x_oneshot));
+
+        ASSERT_EQ(x_reuse.size(), x_oneshot.size());
+        for (std::size_t i = 0; i < x_reuse.size(); ++i) {
+            EXPECT_EQ(x_reuse[i], x_oneshot[i]) << "n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(LuFactors, SolvesManyRhsAgainstOneFactorization) {
+    Matrix a(2, 2);
+    a.at(0, 0) = 2.0;
+    a.at(0, 1) = 1.0;
+    a.at(1, 0) = 1.0;
+    a.at(1, 1) = 3.0;
+    LuFactors lu;
+    ASSERT_TRUE(lu.factor(a));
+    std::vector<double> x;
+    ASSERT_TRUE(lu.solve(std::vector<double>{5.0, 10.0}, x));
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+    ASSERT_TRUE(lu.solve(std::vector<double>{2.0, 1.0}, x));
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 0.0, 1e-12);
+}
+
+TEST(LuFactors, SingularMatrixInvalidates) {
+    Matrix a(2, 2);
+    a.at(0, 0) = 1.0;
+    a.at(0, 1) = 2.0;
+    a.at(1, 0) = 2.0;
+    a.at(1, 1) = 4.0;
+    LuFactors lu;
+    EXPECT_FALSE(lu.factor(a));
+    EXPECT_FALSE(lu.valid());
+    EXPECT_EQ(lu.size(), 0u);
+    std::vector<double> x;
+    EXPECT_FALSE(lu.solve(std::vector<double>{1.0, 2.0}, x));
+}
+
+TEST(LuFactors, SolveGuardsStateAndDimensions) {
+    LuFactors lu;
+    std::vector<double> x;
+    EXPECT_FALSE(lu.solve(std::vector<double>{1.0}, x)); // Never factored.
+
+    Matrix a(2, 2);
+    a.at(0, 0) = 1.0;
+    a.at(1, 1) = 1.0;
+    ASSERT_TRUE(lu.factor(a));
+    EXPECT_FALSE(lu.solve(std::vector<double>{1.0, 2.0, 3.0}, x)); // Bad size.
+    ASSERT_TRUE(lu.solve(std::vector<double>{1.0, 2.0}, x));
+    EXPECT_DOUBLE_EQ(x[1], 2.0);
+
+    lu.invalidate();
+    EXPECT_FALSE(lu.valid());
+    EXPECT_FALSE(lu.solve(std::vector<double>{1.0, 2.0}, x));
+
+    EXPECT_THROW(lu.factor(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(LuFactors, RefactorReplacesOldFactors) {
+    Matrix a(1, 1);
+    a.at(0, 0) = 2.0;
+    LuFactors lu;
+    ASSERT_TRUE(lu.factor(a));
+    std::vector<double> x;
+    ASSERT_TRUE(lu.solve(std::vector<double>{4.0}, x));
+    EXPECT_DOUBLE_EQ(x[0], 2.0);
+    a.at(0, 0) = 8.0;
+    ASSERT_TRUE(lu.factor(a));
+    ASSERT_TRUE(lu.solve(std::vector<double>{4.0}, x));
+    EXPECT_DOUBLE_EQ(x[0], 0.5);
+}
+
 TEST(MaxAbs, Basics) {
     std::vector<double> v{-3.0, 2.0, 1.0};
     EXPECT_DOUBLE_EQ(max_abs(v), 3.0);

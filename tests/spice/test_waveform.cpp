@@ -63,6 +63,83 @@ TEST(MeasurePeriod, TooFewCyclesReturnsNullopt) {
     EXPECT_FALSE(measure_period(t, 0.0, 2).has_value());
 }
 
+TEST(MeasurePeriod, ZeroCrossingsReturnsNullopt) {
+    // A flat trace never crosses the threshold.
+    Trace flat;
+    for (int i = 0; i < 100; ++i) {
+        flat.time.push_back(0.01 * i);
+        flat.value.push_back(0.2);
+    }
+    EXPECT_FALSE(measure_period(flat, 0.5, 0).has_value());
+    EXPECT_FALSE(measure_period(flat, 0.5, 3).has_value());
+}
+
+TEST(MeasurePeriod, SingleCrossingReturnsNullopt) {
+    // One rising edge bounds no complete cycle.
+    Trace step;
+    step.time = {0.0, 1.0, 2.0, 3.0};
+    step.value = {0.0, 0.0, 1.0, 1.0};
+    EXPECT_FALSE(measure_period(step, 0.5, 0).has_value());
+}
+
+TEST(MeasurePeriod, SkipDropsNonSettledStartup) {
+    // First two cycles run at twice the period of the settled tail —
+    // the startup transient of a kicked oscillator. Measuring from the
+    // start mixes the populations; skipping them recovers the settled
+    // period with near-zero spread.
+    Trace t;
+    double now = 0.0;
+    auto add_cycle = [&](double period) {
+        const double dt = period / 100.0;
+        for (int i = 0; i < 100; ++i) {
+            t.time.push_back(now);
+            t.value.push_back(std::sin(2.0 * std::numbers::pi * i / 100.0));
+            now += dt;
+        }
+    };
+    add_cycle(2.0);
+    add_cycle(2.0);
+    for (int i = 0; i < 8; ++i) add_cycle(1.0);
+
+    const auto settled = measure_period(t, 0.0, 2);
+    ASSERT_TRUE(settled.has_value());
+    EXPECT_NEAR(settled->period, 1.0, 1e-3);
+    EXPECT_LT(settled->period_stddev, 1e-3);
+
+    const auto mixed = measure_period(t, 0.0, 0);
+    ASSERT_TRUE(mixed.has_value());
+    EXPECT_GT(mixed->period, settled->period);
+    EXPECT_GT(mixed->period_stddev, 0.1);
+}
+
+TEST(MeasurePeriod, TruncatedTraceMatchesFullTrace) {
+    // The early-exit contract: a trace truncated right after the banked
+    // crossings measures the same period as the full-length trace.
+    const double freq = 3.0e9;
+    const int skip = 3;
+    const int measure = 8;
+    const Trace full = sine(freq, 20.0 / freq, 1.0 / freq / 300.0);
+
+    const auto cross = crossings(full, 0.0, EdgeDir::Rising);
+    ASSERT_GT(cross.size(), static_cast<std::size_t>(skip + measure + 2));
+    const double t_cut = cross[static_cast<std::size_t>(skip + measure + 1)];
+    Trace truncated;
+    truncated.name = full.name;
+    for (std::size_t i = 0; i < full.time.size(); ++i) {
+        if (full.time[i] > t_cut) break;
+        truncated.time.push_back(full.time[i]);
+        truncated.value.push_back(full.value[i]);
+    }
+
+    const auto m_full = measure_period(full, 0.0, skip);
+    const auto m_trunc = measure_period(truncated, 0.0, skip);
+    ASSERT_TRUE(m_full.has_value());
+    ASSERT_TRUE(m_trunc.has_value());
+    EXPECT_GE(m_trunc->cycles, measure);
+    // Same tolerance as the fast-kernel acceptance gate: 0.05 %.
+    EXPECT_NEAR(m_trunc->period, m_full->period, 5e-4 * m_full->period);
+}
+
 TEST(MeasurePeriod, NegativeSkipThrows) {
     const Trace t = sine(1.0, 5.0, 0.01);
     EXPECT_THROW(measure_period(t, 0.0, -1), std::invalid_argument);
