@@ -31,6 +31,16 @@ cmake --build "$repo/build" --target bench_transient_kernel -j "$jobs"
 "$repo/build/bench/bench_transient_kernel" --quick \
     --json="$repo/build/BENCH_transient_quick.json"
 
+echo "== tier 1: degraded-mode thermal map under injected faults =="
+# A fleet with deterministically injected hardware faults (stuck
+# oscillators, drifted rings; fixed seed so the run is replayable) must
+# still produce a complete, flagged, bounded-error map — and the
+# fault-free resilient path must stay bitwise the legacy scan. The
+# bench exits non-zero when any of its shape gates fail.
+cmake --build "$repo/build" --target bench_thermal_map -j "$jobs"
+STSENSE_FAULT_SEED=20260806 "$repo/build/bench/bench_thermal_map" --degraded --quick \
+    --json="$repo/build/BENCH_thermal_map.json"
+
 echo "== tier 1: exec/ring concurrency tests under ThreadSanitizer =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSTSENSE_SANITIZE=thread
 cmake --build "$repo/build-tsan" --target stsense_tests -j "$jobs"

@@ -10,7 +10,9 @@ SmartUnit::SmartUnit(SmartUnitConfig config, PeriodProvider provider)
     : config_(config),
       provider_(std::move(provider)),
       channel_data_(static_cast<std::size_t>(std::max(config.num_channels, 1)), 0),
-      channel_valid_(static_cast<std::size_t>(std::max(config.num_channels, 1)), 0) {
+      channel_valid_(static_cast<std::size_t>(std::max(config.num_channels, 1)), 0),
+      channel_attempted_(static_cast<std::size_t>(std::max(config.num_channels, 1)), 0),
+      channel_timed_out_(static_cast<std::size_t>(std::max(config.num_channels, 1)), 0) {
     validate(config_.gate);
     if (config_.num_channels < 1 || config_.num_channels > 256) {
         throw std::invalid_argument("SmartUnit: num_channels out of [1, 256]");
@@ -57,6 +59,7 @@ void SmartUnit::start_measurement() {
     if (busy()) return; // Hardware ignores START while a measurement runs.
     osc_phase_ = 0.0;
     ref_count_ = 0;
+    meas_cycles_ = 0;
     settle_left_ = config_.settle_cycles;
     state_ = settle_left_ > 0 ? UnitState::Settle : UnitState::Count;
 }
@@ -83,6 +86,7 @@ std::uint32_t SmartUnit::read(std::uint32_t addr) const {
             if (busy()) s |= kStatusBusy;
             if (done()) s |= kStatusDone;
             if (oscillator_enabled()) s |= kStatusOscOn;
+            if (watchdog_latched_) s |= kStatusWatchdog;
             if (alarm_) {
                 s |= kStatusAlarm;
                 s |= static_cast<std::uint32_t>(alarm_channel_) << kStatusAlarmChShift;
@@ -104,6 +108,15 @@ std::uint32_t SmartUnit::read(std::uint32_t addr) const {
 void SmartUnit::tick() {
     ++cycles_total_;
     if (oscillator_enabled()) ++cycles_osc_on_;
+
+    // Per-measurement watchdog: a stuck-slow oscillator (or an absurd
+    // gate) must drop the busy flag after the deadline, not wedge the
+    // unit in COUNT forever.
+    if (config_.watchdog_cycles > 0 && busy() &&
+        ++meas_cycles_ > config_.watchdog_cycles) {
+        abort_measurement();
+        return;
+    }
 
     switch (state_) {
         case UnitState::Idle:
@@ -141,6 +154,8 @@ void SmartUnit::finish_measurement() {
     state_ = UnitState::Done;
     channel_data_[static_cast<std::size_t>(channel_)] = data_;
     channel_valid_[static_cast<std::size_t>(channel_)] = 1;
+    channel_attempted_[static_cast<std::size_t>(channel_)] = 1;
+    channel_timed_out_[static_cast<std::size_t>(channel_)] = 0;
     ++measurements_done_;
     // OscWindow codes grow with the period, i.e. with temperature: a
     // code at/above the threshold is an over-temperature event.
@@ -154,17 +169,60 @@ void SmartUnit::finish_measurement() {
     }
 }
 
+void SmartUnit::abort_measurement() {
+    const auto ch = static_cast<std::size_t>(channel_);
+    channel_timed_out_[ch] = 1;
+    channel_attempted_[ch] = 1;
+    ++watchdog_trips_;
+    watchdog_latched_ = true;
+    // Busy deasserts instead of the FSM hanging in COUNT; in scan mode
+    // the mux steps past the stuck channel so the rest of the die still
+    // gets read.
+    state_ = UnitState::Idle;
+    if (scan_) {
+        channel_ = (channel_ + 1) % config_.num_channels;
+        start_measurement();
+    }
+}
+
+bool SmartUnit::channel_timed_out(int channel) const {
+    if (channel < 0 || channel >= config_.num_channels) {
+        throw std::invalid_argument("SmartUnit: channel out of range");
+    }
+    return channel_timed_out_[static_cast<std::size_t>(channel)] != 0;
+}
+
 void SmartUnit::scan_all_blocking(std::uint64_t max_cycles) {
     write(reg::kCtrl, kCtrlScan | (force_enable_ ? kCtrlForceEnable : 0u) |
                           (static_cast<std::uint32_t>(channel_)
                            << kCtrlChannelShift));
     for (std::uint64_t i = 0; i < max_cycles; ++i) {
         tick();
+        // Attempted (completed or watchdog-aborted), not valid: a scan
+        // with a stuck channel must still terminate once every channel
+        // has been visited.
         bool all = true;
-        for (char v : channel_valid_) all = all && v != 0;
+        for (char v : channel_attempted_) all = all && v != 0;
         if (all) return;
     }
     throw std::runtime_error("SmartUnit: scan timed out");
+}
+
+bool SmartUnit::measure_with_watchdog(int channel, std::uint32_t& code,
+                                      std::uint64_t max_cycles) {
+    const std::uint64_t trips_before = watchdog_trips_;
+    write(reg::kCtrl,
+          kCtrlStart | (force_enable_ ? kCtrlForceEnable : 0u) |
+              (static_cast<std::uint32_t>(channel) << kCtrlChannelShift));
+    for (std::uint64_t i = 0; i < max_cycles; ++i) {
+        tick();
+        if (done()) {
+            code = data_;
+            return true;
+        }
+        if (watchdog_trips_ > trips_before) return false;
+    }
+    throw std::runtime_error("SmartUnit: measurement timed out");
 }
 
 std::uint32_t SmartUnit::measure_blocking(int channel, std::uint64_t max_cycles) {

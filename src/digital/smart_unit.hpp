@@ -35,6 +35,12 @@ struct SmartUnitConfig {
     GateConfig gate;
     int num_channels = 1;     ///< Ring oscillators behind the mux.
     int settle_cycles = 16;   ///< Ref cycles of oscillator warm-up before COUNT.
+    /// Per-measurement watchdog deadline in ref cycles; 0 disables. A
+    /// measurement (SETTLE + COUNT) that exceeds it is aborted: the busy
+    /// flag drops, the channel is flagged timed-out, and — in scan mode —
+    /// the mux moves on to the next channel instead of wedging the whole
+    /// scan behind one stuck oscillator.
+    std::uint64_t watchdog_cycles = 0;
 };
 
 /// Register map offsets (word addresses).
@@ -59,6 +65,7 @@ inline constexpr std::uint32_t kStatusBusy = 1u << 0;
 inline constexpr std::uint32_t kStatusDone = 1u << 1;
 inline constexpr std::uint32_t kStatusOscOn = 1u << 2;
 inline constexpr std::uint32_t kStatusAlarm = 1u << 3; ///< Latched: code >= threshold.
+inline constexpr std::uint32_t kStatusWatchdog = 1u << 6; ///< Latched: a measurement was aborted.
 inline constexpr std::uint32_t kStatusStateShift = 4; ///< Bits 5:4 = UnitState.
 inline constexpr std::uint32_t kStatusAlarmChShift = 8; ///< Bits 15:8: first alarming channel.
 
@@ -98,6 +105,22 @@ public:
     /// finish within `max_cycles`.
     std::uint32_t measure_blocking(int channel, std::uint64_t max_cycles = 1u << 26);
 
+    // --- Watchdog ------------------------------------------------------
+    /// Starts a measurement on `channel` and ticks until it completes or
+    /// the configured watchdog aborts it. Returns true with the code on
+    /// completion; false when the watchdog tripped (the unit is back in
+    /// IDLE with busy deasserted — the caller can retry or quarantine
+    /// the channel). With the watchdog disabled this is measure_blocking
+    /// with a success/failure return instead of a throw.
+    bool measure_with_watchdog(int channel, std::uint32_t& code,
+                               std::uint64_t max_cycles = 1u << 26);
+    /// Measurements aborted by the watchdog since construction.
+    std::uint64_t watchdog_trips() const { return watchdog_trips_; }
+    /// Sticky flag: some measurement was watchdog-aborted (STATUS bit 6).
+    bool watchdog_latched() const { return watchdog_latched_; }
+    /// true when the channel's most recent measurement was aborted.
+    bool channel_timed_out(int channel) const;
+
     // --- Alarm (Thermal-Assist-Unit style) ----------------------------
     /// With an OscWindow gate, larger code = hotter; a completed
     /// measurement whose code reaches the THRESHOLD register latches the
@@ -122,6 +145,7 @@ public:
 private:
     void start_measurement();
     void finish_measurement();
+    void abort_measurement();
 
     SmartUnitConfig config_;
     PeriodProvider provider_;
@@ -141,7 +165,15 @@ private:
 
     std::vector<std::uint32_t> channel_data_;
     std::vector<char> channel_valid_;
+    /// Channel visited this scan epoch (completed *or* watchdog-aborted);
+    /// the scan terminates on all-attempted so one stuck channel cannot
+    /// hang scan_all_blocking.
+    std::vector<char> channel_attempted_;
+    std::vector<char> channel_timed_out_;
     std::uint64_t measurements_done_ = 0;
+    std::uint64_t meas_cycles_ = 0; ///< Ref cycles in the current measurement.
+    std::uint64_t watchdog_trips_ = 0;
+    bool watchdog_latched_ = false;
 
     std::uint64_t cycles_total_ = 0;
     std::uint64_t cycles_osc_on_ = 0;

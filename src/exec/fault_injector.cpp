@@ -27,8 +27,29 @@ const char* site_name(FaultInjector::Site site) {
         case FaultInjector::Site::Point: return "exec.fault.point";
         case FaultInjector::Site::CacheRow: return "exec.fault.cache_row";
         case FaultInjector::Site::SlowTask: return "exec.fault.slow_task";
+        case FaultInjector::Site::StuckOscillator: return "exec.fault.stuck_osc";
+        case FaultInjector::Site::DriftSite: return "exec.fault.drift_site";
+        case FaultInjector::Site::CheckpointTruncate:
+            return "exec.fault.ckpt_truncate";
+        case FaultInjector::Site::SweepKill: return "exec.fault.sweep_kill";
     }
     return "exec.fault.unknown";
+}
+
+/// Unit index a trip stream addresses, for Config::only_units targeting:
+/// point_stream-indexed sites carry unit * 16 + attempt; SweepKill is
+/// indexed by the raw point index. -1 = site is not unit-addressable.
+std::int64_t stream_unit(FaultInjector::Site site, std::uint64_t index) {
+    switch (site) {
+        case FaultInjector::Site::Point:
+        case FaultInjector::Site::StuckOscillator:
+        case FaultInjector::Site::DriftSite:
+            return static_cast<std::int64_t>(index / 16);
+        case FaultInjector::Site::SweepKill:
+            return static_cast<std::int64_t>(index);
+        default:
+            return -1;
+    }
 }
 
 } // namespace
@@ -42,6 +63,10 @@ double FaultInjector::probability(Site site) const {
         case Site::Point: return config_.p_point;
         case Site::CacheRow: return config_.p_cache_row;
         case Site::SlowTask: return config_.p_slow_task;
+        case Site::StuckOscillator: return config_.p_stuck_osc;
+        case Site::DriftSite: return config_.p_drift_site;
+        case Site::CheckpointTruncate: return config_.p_ckpt_truncate;
+        case Site::SweepKill: return config_.p_sweep_kill;
     }
     return 0.0;
 }
@@ -49,6 +74,15 @@ double FaultInjector::probability(Site site) const {
 bool FaultInjector::trip(Site site, std::uint64_t index) const {
     const double p = probability(site);
     if (p <= 0.0) return false;
+    if (!config_.only_units.empty()) {
+        if (const std::int64_t unit = stream_unit(site, index); unit >= 0) {
+            bool targeted = false;
+            for (std::uint64_t u : config_.only_units) {
+                targeted = targeted || static_cast<std::int64_t>(u) == unit;
+            }
+            if (!targeted) return false;
+        }
+    }
     // Stream id = (site, index): a pure function of the decision point,
     // so the verdict is identical at any thread count and replayable
     // from the seed alone.

@@ -23,6 +23,20 @@
 //     persisted row is corrupted (caught by the load-time checksum).
 //   * SlowTask  — exec::ThreadPool: the task sleeps `slow_task_us`
 //     before running (exercises deadline budgets and stragglers).
+//   * StuckOscillator — sensor::ThermalMonitor: the ring's period is
+//     stuck at `stuck_period_s` regardless of temperature, a persistent
+//     hardware fault (caught by the per-measurement watchdog or the
+//     supervisor's stuck-at self-test).
+//   * DriftSite — sensor::ThermalMonitor: the ring reads the field
+//     `drift_offset_c` degrees off, a persistent calibration-drift
+//     fault (caught by the supervisor's spatial MAD outlier test;
+//     a NaN offset plants a non-finite readout).
+//   * CheckpointTruncate — exec::Checkpoint::flush: the persisted
+//     checkpoint is sheared in half (caught by the per-row checksums
+//     at resume time).
+//   * SweepKill — ring::temperature_sweep: the process "dies" right
+//     after completing point i (modelled as an InjectedKill exception),
+//     exercising checkpoint/resume at every kill index.
 //
 // Installation is process-global and test-scoped: construct a
 // FaultInjector::Scope with a Config and every hook consults it until
@@ -32,9 +46,22 @@
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace stsense::exec {
+
+/// Thrown by the SweepKill site: stands in for a process kill in tests
+/// and benches (a real kill cannot be unwound from; the exception lets
+/// one process "die" mid-sweep and then resume from the checkpoint).
+struct InjectedKill : std::runtime_error {
+    explicit InjectedKill(std::uint64_t index)
+        : std::runtime_error("injected kill after work index " +
+                             std::to_string(index)),
+          index(index) {}
+    std::uint64_t index;
+};
 
 class FaultInjector {
 public:
@@ -44,8 +71,12 @@ public:
         Point = 2,
         CacheRow = 3,
         SlowTask = 4,
+        StuckOscillator = 5,
+        DriftSite = 6,
+        CheckpointTruncate = 7,
+        SweepKill = 8,
     };
-    static constexpr int kSiteCount = 5;
+    static constexpr int kSiteCount = 9;
 
     struct Config {
         std::uint64_t seed = 1;       ///< Root of every trip decision.
@@ -54,11 +85,28 @@ public:
         double p_point = 0.0;         ///< P(sweep/monitor point fails).
         double p_cache_row = 0.0;     ///< P(persisted cache row corrupted).
         double p_slow_task = 0.0;     ///< P(pool task delayed).
+        double p_stuck_osc = 0.0;     ///< P(ring period stuck, per ring).
+        double p_drift_site = 0.0;    ///< P(ring drifted, per ring).
+        double p_ckpt_truncate = 0.0; ///< P(checkpoint flush torn).
+        double p_sweep_kill = 0.0;    ///< P(run killed after a point).
         /// How deep the Newton/NaN sabotage reaches: 1 = base attempt
         /// only (damped rung rescues), 2 = base + damped (gmin rescues),
         /// 3 = + gmin (source stepping rescues), >= 4 = unrescuable.
         int newton_fail_rungs = 1;
         int slow_task_us = 200;       ///< SlowTask delay.
+        /// Period a stuck oscillator outputs [s]. The default is slow
+        /// enough that a gated measurement blows its watchdog budget.
+        double stuck_period_s = 1.5e-3;
+        /// Field offset a drifted ring reads [degC]. NaN plants a
+        /// non-finite readout instead of a plausible-but-wrong one.
+        double drift_offset_c = 25.0;
+        /// When non-empty, unit-addressed sites trip only for these unit
+        /// indices — lets a test pin a fault onto one specific ring,
+        /// zone, or sweep point deterministically. Point, StuckOscillator
+        /// and DriftSite address units through point_stream (index / 16);
+        /// SweepKill addresses the raw point index. Other sites ignore
+        /// the filter.
+        std::vector<std::uint64_t> only_units;
     };
 
     explicit FaultInjector(Config config);

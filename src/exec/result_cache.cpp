@@ -1,5 +1,6 @@
 #include "exec/result_cache.hpp"
 
+#include "exec/checkpoint.hpp"
 #include "exec/fault_injector.hpp"
 #include "exec/fingerprint.hpp"
 #include "util/csv.hpp"
@@ -124,31 +125,43 @@ void ResultCache::clear() {
 // fail it, so on-disk corruption degrades to a smaller cache instead of
 // poisoned values.
 std::size_t ResultCache::save_csv(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) throw std::runtime_error("ResultCache::save_csv: cannot open " + path);
-    std::lock_guard lock(m_);
+    // Compose everything in memory and land it with a tmp-file + atomic
+    // rename (shared with exec::Checkpoint): a kill mid-save leaves the
+    // previous complete file on disk instead of a truncated cache.
+    std::string content;
     std::size_t written = 0;
-    auto* injector = FaultInjector::active();
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-        const Series& s = *it->value;
-        const std::size_t rows = s.columns.empty() ? 0 : s.columns.front().size();
-        std::ostringstream row;
-        row << it->key << ',' << s.columns.size() << ',' << rows;
-        for (const auto& name : s.names) row << ',' << name;
-        for (const auto& col : s.columns) {
-            for (double v : col) row << ',' << util::format_double(v);
+    {
+        std::lock_guard lock(m_);
+        auto* injector = FaultInjector::active();
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+            const Series& s = *it->value;
+            const std::size_t rows = s.columns.empty() ? 0 : s.columns.front().size();
+            std::ostringstream row;
+            row << it->key << ',' << s.columns.size() << ',' << rows;
+            for (const auto& name : s.names) row << ',' << name;
+            for (const auto& col : s.columns) {
+                for (double v : col) row << ',' << util::format_double(v);
+            }
+            std::string text = row.str();
+            const std::uint64_t sum = row_checksum(text);
+            if (injector != nullptr &&
+                injector->trip(FaultInjector::Site::CacheRow,
+                               static_cast<std::uint64_t>(written))) {
+                // Injected disk corruption: flip one payload character after
+                // the checksum was computed, so the row fails validation.
+                text.back() = text.back() == '0' ? '1' : '0';
+            }
+            content += text;
+            content += ",c";
+            content += checksum_hex(sum);
+            content += '\n';
+            ++written;
         }
-        std::string text = row.str();
-        const std::uint64_t sum = row_checksum(text);
-        if (injector != nullptr &&
-            injector->trip(FaultInjector::Site::CacheRow,
-                           static_cast<std::uint64_t>(written))) {
-            // Injected disk corruption: flip one payload character after
-            // the checksum was computed, so the row fails validation.
-            text.back() = text.back() == '0' ? '1' : '0';
-        }
-        out << text << ",c" << checksum_hex(sum) << '\n';
-        ++written;
+    }
+    try {
+        atomic_write_file(path, content);
+    } catch (const std::runtime_error&) {
+        throw std::runtime_error("ResultCache::save_csv: cannot write " + path);
     }
     return written;
 }

@@ -1,5 +1,6 @@
 #include "ring/sweep.hpp"
 
+#include "exec/checkpoint.hpp"
 #include "exec/fault_injector.hpp"
 #include "exec/fingerprint.hpp"
 #include "exec/metrics.hpp"
@@ -8,6 +9,7 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -204,10 +206,36 @@ PointEval apply_policy(std::size_t i, double temp_c,
     return PointEval{nan, PointStatus::Failed};
 }
 
+/// Wraps a point function with checkpoint resume/record: a completed
+/// point is restored bitwise from the checkpoint (no recomputation, no
+/// fresh fault draws); a newly computed point is recorded and — under
+/// the SweepKill fault site — may "kill the process" right after, which
+/// the tests model as an InjectedKill unwinding out of the sweep.
+template <typename PointFn>
+PointEval checkpointed_point(exec::Checkpoint* ckpt, std::size_t i, double tc,
+                             const PointFn& point) {
+    if (ckpt == nullptr) return point(i, tc);
+    if (ckpt->completed(i)) {
+        const auto v = ckpt->values(i);
+        return PointEval{v[0], static_cast<PointStatus>(static_cast<int>(v[1]))};
+    }
+    const PointEval e = point(i, tc);
+    const double vals[2] = {e.period, static_cast<double>(e.status)};
+    ckpt->record(i, vals);
+    if (auto* injector = exec::FaultInjector::active();
+        injector != nullptr &&
+        injector->trip(exec::FaultInjector::Site::SweepKill,
+                       static_cast<std::uint64_t>(i))) {
+        throw exec::InjectedKill(i);
+    }
+    return e;
+}
+
 SweepResult compute_sweep(const phys::Technology& tech, const RingConfig& config,
                           std::span<const double> temps_c, Engine engine,
                           const SpiceRingOptions& spice_opt,
-                          const SweepRuntime& runtime) {
+                          const SweepRuntime& runtime,
+                          exec::Checkpoint* ckpt = nullptr) {
     SweepResult out;
     out.temps_c.assign(temps_c.begin(), temps_c.end());
     const AnalyticRingModel analytic(tech, config);
@@ -215,10 +243,12 @@ SweepResult compute_sweep(const phys::Technology& tech, const RingConfig& config
     if (engine == Engine::Analytic) {
         compute_points(out, runtime, kAnalyticGrain,
                        [&](std::size_t i, double tc) {
-            return apply_policy(i, tc, analytic, fault,
-                                [&](int) -> spice::Result<PointEval> {
-                return PointEval{analytic.period(phys::celsius_to_kelvin(tc)),
-                                 PointStatus::Ok};
+            return checkpointed_point(ckpt, i, tc, [&](std::size_t pi, double ptc) {
+                return apply_policy(pi, ptc, analytic, fault,
+                                    [&](int) -> spice::Result<PointEval> {
+                    return PointEval{analytic.period(phys::celsius_to_kelvin(ptc)),
+                                     PointStatus::Ok};
+                });
             });
         });
     } else {
@@ -227,20 +257,22 @@ SweepResult compute_sweep(const phys::Technology& tech, const RingConfig& config
         opt.record_waveform = false; // Sweeps only need the scalar period.
         compute_points(out, runtime, kSpiceGrain,
                        [&](std::size_t i, double tc) {
-            return apply_policy(i, tc, analytic, fault,
-                                [&](int attempt) -> spice::Result<PointEval> {
-                SpiceRingOptions o = opt;
-                // Tightened time resolution per retry: marginal
-                // transients usually converge with a smaller dt.
-                for (int a = 0; a < attempt; ++a) {
-                    o.steps_per_period = static_cast<int>(
-                        static_cast<double>(o.steps_per_period) *
-                        fault.retry_steps_factor);
-                }
-                auto r = model.try_simulate(phys::celsius_to_kelvin(tc), o);
-                if (!r.ok()) return r.error();
-                return PointEval{r.value().period,
-                                 status_of_rung(r.value().recovery_rung)};
+            return checkpointed_point(ckpt, i, tc, [&](std::size_t pi, double ptc) {
+                return apply_policy(pi, ptc, analytic, fault,
+                                    [&](int attempt) -> spice::Result<PointEval> {
+                    SpiceRingOptions o = opt;
+                    // Tightened time resolution per retry: marginal
+                    // transients usually converge with a smaller dt.
+                    for (int a = 0; a < attempt; ++a) {
+                        o.steps_per_period = static_cast<int>(
+                            static_cast<double>(o.steps_per_period) *
+                            fault.retry_steps_factor);
+                    }
+                    auto r = model.try_simulate(phys::celsius_to_kelvin(ptc), o);
+                    if (!r.ok()) return r.error();
+                    return PointEval{r.value().period,
+                                     status_of_rung(r.value().recovery_rung)};
+                });
             });
         });
     }
@@ -339,19 +371,48 @@ SweepResult temperature_sweep(const phys::Technology& tech,
     // state, which the fingerprint cannot see — never memoize those.
     const bool cacheable =
         runtime.use_cache && exec::FaultInjector::active() == nullptr;
-    if (!cacheable) {
-        auto sweep = compute_sweep(tech, config, temps_c, engine, spice_opt, runtime);
-        record_outcomes(sweep);
-        return sweep;
+
+    // Crash-safe resume: the checkpoint is keyed by the same fingerprint
+    // the cache uses, so a stale file from a different sweep can never
+    // contribute points. Completed points load here and are skipped —
+    // bitwise — by the point loop below.
+    std::optional<exec::Checkpoint> ckpt;
+    if (!runtime.checkpoint_path.empty()) {
+        ckpt.emplace(runtime.checkpoint_path,
+                     sweep_fingerprint(tech, config, temps_c, engine, spice_opt,
+                                       runtime.fault),
+                     temps_c.size(), 2);
+        if (runtime.checkpoint_every > 0) {
+            ckpt->set_flush_every(
+                static_cast<std::size_t>(runtime.checkpoint_every));
+        }
+        ckpt->load();
     }
+    exec::Checkpoint* ckpt_ptr = ckpt ? &*ckpt : nullptr;
+    auto run_checkpointed = [&] {
+        auto sweep = compute_sweep(tech, config, temps_c, engine, spice_opt,
+                                   runtime, ckpt_ptr);
+        record_outcomes(sweep);
+        if (ckpt_ptr != nullptr) {
+            // The sweep finished: either persist the complete state or
+            // clean up so no stale file lingers after success.
+            if (runtime.keep_checkpoint) {
+                ckpt_ptr->flush();
+            } else {
+                ckpt_ptr->remove_file();
+            }
+        }
+        return sweep;
+    };
+
+    if (!cacheable) return run_checkpointed();
 
     auto& cache = runtime.cache != nullptr ? *runtime.cache
                                            : exec::ResultCache::global();
     const std::uint64_t key =
         sweep_fingerprint(tech, config, temps_c, engine, spice_opt, runtime.fault);
     const auto series = cache.get_or_compute(key, [&] {
-        auto sweep = compute_sweep(tech, config, temps_c, engine, spice_opt, runtime);
-        record_outcomes(sweep);
+        auto sweep = run_checkpointed();
         exec::Series s;
         s.names = {"temps_c", "period_s", "frequency_hz", "status"};
         s.columns.resize(4);

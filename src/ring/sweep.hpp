@@ -109,6 +109,24 @@ struct SweepRuntime {
     /// Per-point failure handling.
     FaultPolicySpec fault;
 
+    /// Crash-safe checkpoint/resume. When non-empty, completed points
+    /// are persisted to this path (fingerprint-keyed, per-row FNV-1a
+    /// checksums, atomic tmp+rename writes) and a rerun of the *same*
+    /// sweep resumes: persisted points are restored bitwise instead of
+    /// recomputed, so a killed run plus a resumed run produce exactly
+    /// the series an uninterrupted run would. A checkpoint left by a
+    /// different sweep (or a corrupted row) is detected and ignored.
+    /// Checkpointing changes no values and is not part of the sweep
+    /// fingerprint.
+    std::string checkpoint_path;
+    /// Completed points between checkpoint flushes (1 = flush on every
+    /// point; <= 0 keeps the Checkpoint default).
+    int checkpoint_every = 8;
+    /// true keeps the checkpoint file after a completed sweep (tests /
+    /// debugging); the default removes it so finished runs leave no
+    /// stale state behind.
+    bool keep_checkpoint = false;
+
     /// A runtime that bypasses both the pool and the cache — the serial
     /// reference the determinism tests compare against.
     static SweepRuntime serial() {

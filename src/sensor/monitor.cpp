@@ -13,6 +13,16 @@
 
 namespace stsense::sensor {
 
+const char* to_string(SiteConfidence confidence) {
+    switch (confidence) {
+        case SiteConfidence::Measured: return "measured";
+        case SiteConfidence::Voted: return "voted";
+        case SiteConfidence::Interpolated: return "interpolated";
+        case SiteConfidence::Unavailable: return "unavailable";
+    }
+    return "unknown";
+}
+
 ThermalMonitor::ThermalMonitor(const phys::Technology& tech,
                                ring::RingConfig ring_config,
                                thermal::Floorplan floorplan,
@@ -28,6 +38,14 @@ ThermalMonitor::ThermalMonitor(const phys::Technology& tech,
       sensor_(tech, ring_config_, config.sensor_options) {
     if (sites_.empty()) throw std::invalid_argument("ThermalMonitor: no sites");
     if (sites_.size() > 256) throw std::invalid_argument("ThermalMonitor: > 256 sites");
+    if (config_.redundancy < 1) {
+        throw std::invalid_argument("ThermalMonitor: redundancy must be >= 1");
+    }
+    if (config_.enable_health &&
+        sites_.size() * static_cast<std::size_t>(config_.redundancy) > 256) {
+        throw std::invalid_argument(
+            "ThermalMonitor: sites * redundancy exceeds the 256-channel mux");
+    }
     for (const auto& s : sites_) {
         if (s.x < 0.0 || s.x > floorplan_.die_width() || s.y < 0.0 ||
             s.y > floorplan_.die_height()) {
@@ -61,9 +79,17 @@ ThermalMonitor::ThermalMonitor(const phys::Technology& tech,
                 });
         }
     }
+
+    if (config_.enable_health) {
+        supervisor_ = SiteHealthSupervisor(config_.health, sites_.size());
+    }
 }
 
 MapResult ThermalMonitor::scan() const {
+    return config_.enable_health ? scan_resilient() : scan_legacy();
+}
+
+MapResult ThermalMonitor::scan_legacy() const {
     MapResult out;
 
     const auto power = floorplan_.power_map(config_.grid_nx, config_.grid_ny);
@@ -172,6 +198,363 @@ MapResult ThermalMonitor::scan() const {
     out.alarm = unit.alarm();
     if (out.alarm) {
         out.alarm_site = sites_[static_cast<std::size_t>(unit.alarm_channel())].name;
+    }
+    return out;
+}
+
+MapResult ThermalMonitor::scan_resilient() const {
+    MapResult out;
+    auto& mx = exec::MetricsRegistry::global();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+
+    const auto power = floorplan_.power_map(config_.grid_nx, config_.grid_ny);
+    out.true_map_c = grid_.steady_state(power);
+    out.die_peak_c = *std::max_element(out.true_map_c.begin(), out.true_map_c.end());
+
+    const std::size_t n = sites_.size();
+    const std::size_t reps = static_cast<std::size_t>(config_.redundancy);
+    const std::size_t n_rings = n * reps;
+    const SiteHealthConfig& hc = config_.health;
+
+    std::vector<double> site_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        site_true[i] = grid_.sample(out.true_map_c, sites_[i].x, sites_[i].y);
+    }
+
+    supervisor_.begin_scan();
+    const std::uint64_t epoch = supervisor_.epoch();
+
+    auto site_sensor = [&](std::size_t i) -> const SmartTemperatureSensor& {
+        return site_sensors_.empty() ? sensor_ : site_sensors_[i];
+    };
+    auto conv_sensor = [&](std::size_t i) -> const SmartTemperatureSensor& {
+        return config_.individual_calibration && !site_sensors_.empty()
+                   ? site_sensors_[i]
+                   : sensor_;
+    };
+
+    // Transduce every redundant ring in parallel (committed by global
+    // ring index g = site * reps + replica — identical at any thread
+    // count), applying the persistent hardware faults: a stuck ring
+    // outputs the injector's stuck period regardless of temperature, a
+    // drifted ring transduces an offset field (NaN offset = the ring
+    // stopped oscillating). The draws are keyed by g only — NOT by the
+    // scan epoch — so a ring that is stuck this scan is stuck every
+    // scan, like real silicon.
+    std::vector<double> ring_period(n_rings);
+    {
+        const exec::ScopedTimer timer(mx.timer("sensor.monitor.site_sample"));
+        exec::ThreadPool::global().parallel_for(
+            n_rings, 1, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t g = begin; g < end; ++g) {
+                    const std::size_t i = g / reps;
+                    exec::FaultContext ctx(g);
+                    const auto& s = site_sensor(i);
+                    double period = s.period_at(s.junction_at(site_true[i]));
+                    if (auto* inj = exec::FaultInjector::active()) {
+                        const auto stream = exec::FaultInjector::point_stream(g);
+                        using Site = exec::FaultInjector::Site;
+                        if (inj->trip(Site::StuckOscillator, stream)) {
+                            period = inj->config().stuck_period_s;
+                        } else if (inj->trip(Site::DriftSite, stream)) {
+                            const double off = inj->config().drift_offset_c;
+                            period = std::isfinite(off)
+                                         ? s.period_at(s.junction_at(
+                                               site_true[i] + off))
+                                         : nan;
+                        }
+                    }
+                    ring_period[g] = period;
+                }
+            });
+    }
+
+    // The cycle-accurate unit demands a positive finite period from its
+    // provider; rings that fail that contract are failed in software
+    // (SiteFault::NonFinite) and their channel serves the nominal period
+    // so the hardware model stays well-formed.
+    std::vector<std::uint8_t> ring_finite(n_rings, 1);
+    std::vector<double> site_fallback(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        site_fallback[i] = sensor_.period_at(sensor_.junction_at(site_true[i]));
+    }
+    for (std::size_t g = 0; g < n_rings; ++g) {
+        if (!std::isfinite(ring_period[g]) || ring_period[g] <= 0.0) {
+            ring_finite[g] = 0;
+        }
+    }
+
+    // Watchdog deadline: by default a generous multiple of the nominal
+    // measurement length at the hot end of the plausible band — long
+    // enough that no healthy ring ever trips it, short enough that a
+    // stuck-slow ring is aborted ~10^4x sooner than its gated count
+    // would complete.
+    std::uint64_t watchdog = hc.watchdog_cycles;
+    if (watchdog == 0) {
+        const double t_meas = digital::measurement_time(
+            config_.sensor_options.gate,
+            sensor_.period_at(sensor_.junction_at(hc.temp_max_c)));
+        const double cycles =
+            t_meas * config_.sensor_options.gate.ref_freq_hz +
+            static_cast<double>(config_.sensor_options.settle_cycles);
+        watchdog =
+            static_cast<std::uint64_t>(hc.watchdog_margin * cycles) + 16;
+    }
+
+    digital::SmartUnitConfig unit_cfg;
+    unit_cfg.gate = config_.sensor_options.gate;
+    unit_cfg.num_channels = static_cast<int>(n_rings);
+    unit_cfg.settle_cycles = config_.sensor_options.settle_cycles;
+    unit_cfg.watchdog_cycles = watchdog;
+    digital::SmartUnit unit(unit_cfg, [&](int channel) {
+        const auto g = static_cast<std::size_t>(channel);
+        return ring_finite[g] != 0 ? ring_period[g] : site_fallback[g / reps];
+    });
+    if (config_.alarm_threshold_c > -phys::kCelsiusOffset) {
+        unit.write(digital::reg::kThreshold,
+                   sensor_.raw_code(config_.alarm_threshold_c));
+    }
+
+    // Per-ring readout with self-tests and bounded retry. Transient
+    // faults draw a fresh verdict per (ring, epoch, attempt) — a retry
+    // can succeed; persistent verdicts (watchdog, non-finite,
+    // out-of-range) end the ring's scan immediately.
+    std::vector<double> ring_temp(n_rings, nan);
+    std::vector<std::uint32_t> ring_code(n_rings, 0);
+    std::vector<SiteFault> ring_fault(n_rings, SiteFault::None);
+    std::vector<std::uint8_t> site_probed(n, 0);
+    std::uint64_t retries = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!supervisor_.should_probe(i)) continue;
+        site_probed[i] = 1;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+            const std::size_t g = i * reps + rep;
+            if (ring_finite[g] == 0) {
+                ring_fault[g] = SiteFault::NonFinite;
+                continue;
+            }
+            SiteFault fault = SiteFault::Readout; // If every attempt trips.
+            auto* inj = exec::FaultInjector::active();
+            for (int attempt = 0; attempt <= hc.max_retries; ++attempt) {
+                if (inj != nullptr &&
+                    inj->trip(exec::FaultInjector::Site::Point,
+                              exec::FaultInjector::point_stream(
+                                  g + n_rings * epoch,
+                                  static_cast<std::uint64_t>(attempt)))) {
+                    if (attempt < hc.max_retries) ++retries;
+                    continue;
+                }
+                std::uint32_t code = 0;
+                if (!unit.measure_with_watchdog(static_cast<int>(g), code)) {
+                    fault = SiteFault::Stuck;
+                    break;
+                }
+                auto t = conv_sensor(i).try_convert(code);
+                if (!t.ok()) {
+                    fault = SiteFault::NonFinite;
+                    break;
+                }
+                if (t.value() < hc.temp_min_c || t.value() > hc.temp_max_c) {
+                    fault = SiteFault::OutOfRange;
+                    break;
+                }
+                ring_temp[g] = t.value();
+                ring_code[g] = code;
+                fault = SiteFault::None;
+                break;
+            }
+            ring_fault[g] = fault;
+        }
+    }
+
+    // Per-site quorum vote across the replicas: the value is the median
+    // of the replicas agreeing with the overall median within
+    // quorum_tol_c; a site without a strict majority of agreeing
+    // replicas fails its quorum self-test.
+    std::vector<double> vote(n, nan);
+    std::vector<std::uint8_t> accepted(n, 0);
+    std::vector<int> agree(n, 0);
+    std::vector<SiteFault> site_fault(n, SiteFault::None);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (site_probed[i] == 0) continue;
+        std::vector<double> vals;
+        SiteFault first_fault = SiteFault::Readout;
+        bool saw_fault = false;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+            const std::size_t g = i * reps + rep;
+            if (std::isfinite(ring_temp[g])) {
+                vals.push_back(ring_temp[g]);
+            } else if (!saw_fault) {
+                first_fault = ring_fault[g];
+                saw_fault = true;
+            }
+        }
+        if (vals.empty()) {
+            site_fault[i] = first_fault;
+            continue;
+        }
+        const double med = median_of(vals);
+        std::vector<double> agreeing;
+        for (double v : vals) {
+            if (std::abs(v - med) <= hc.quorum_tol_c) agreeing.push_back(v);
+        }
+        agree[i] = static_cast<int>(agreeing.size());
+        if (agreeing.size() < vals.size() / 2 + 1) {
+            site_fault[i] = SiteFault::Quorum;
+            continue;
+        }
+        vote[i] = median_of(agreeing);
+        accepted[i] = 1;
+    }
+
+    // Spatial drift self-test: compare each voted site against the
+    // median of its nearest voted neighbors (robust — an IDW mean would
+    // let one drifted site drag its neighbors' residuals and inflate
+    // the MAD scale until the drift itself passes) and reject outliers
+    // by the MAD criterion. All residuals are computed against the same
+    // support set before any rejection (no cascade). Needs a fleet — the
+    // test is skipped below 5 voted sites.
+    {
+        std::vector<std::size_t> voted;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (accepted[i] != 0) voted.push_back(i);
+        }
+        if (voted.size() >= 5) {
+            std::vector<double> residual(voted.size());
+            for (std::size_t j = 0; j < voted.size(); ++j) {
+                std::vector<double> xs, ys, vs;
+                for (std::size_t k = 0; k < voted.size(); ++k) {
+                    if (k == j) continue;
+                    xs.push_back(sites_[voted[k]].x);
+                    ys.push_back(sites_[voted[k]].y);
+                    vs.push_back(vote[voted[k]]);
+                }
+                residual[j] = vote[voted[j]] -
+                              median_neighbor_predict(xs, ys, vs,
+                                                      sites_[voted[j]].x,
+                                                      sites_[voted[j]].y);
+            }
+            const double med_r = median_of(residual);
+            std::vector<double> dev(voted.size());
+            for (std::size_t j = 0; j < voted.size(); ++j) {
+                dev[j] = std::abs(residual[j] - med_r);
+            }
+            const double sigma =
+                std::max(1.4826 * median_of(dev), hc.mad_floor_c);
+            for (std::size_t j = 0; j < voted.size(); ++j) {
+                if (dev[j] > hc.mad_k * sigma) {
+                    accepted[voted[j]] = 0;
+                    site_fault[voted[j]] = SiteFault::Drift;
+                }
+            }
+        }
+    }
+
+    // Feed the verdicts back into the health ledger.
+    std::uint64_t faults_this_scan = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (site_probed[i] == 0) continue;
+        if (accepted[i] != 0) {
+            supervisor_.record_success(i);
+        } else {
+            supervisor_.record_fault(i, site_fault[i]);
+            ++faults_this_scan;
+        }
+    }
+
+    // Assemble the map. Sites without an accepted measurement are
+    // reconstructed from the accepted ones — the map never has holes
+    // unless the entire fleet is gone.
+    std::vector<double> sup_x, sup_y, sup_v;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (accepted[i] == 0) continue;
+        sup_x.push_back(sites_[i].x);
+        sup_y.push_back(sites_[i].y);
+        sup_v.push_back(vote[i]);
+    }
+    double sum_sq = 0.0;
+    std::size_t measured_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        SiteReading r;
+        r.name = sites_[i].name;
+        r.x = sites_[i].x;
+        r.y = sites_[i].y;
+        r.true_c = site_true[i];
+        r.health = supervisor_.state(i);
+        r.rings_total = static_cast<int>(reps);
+        r.rings_agreeing = agree[i];
+        if (accepted[i] != 0) {
+            for (std::size_t rep = 0; rep < reps; ++rep) {
+                const std::size_t g = i * reps + rep;
+                if (std::isfinite(ring_temp[g])) {
+                    r.code = ring_code[g];
+                    break;
+                }
+            }
+            r.measured_c = vote[i];
+            r.error_c = r.measured_c - r.true_c;
+            r.valid = true;
+            r.confidence =
+                reps > 1 ? SiteConfidence::Voted : SiteConfidence::Measured;
+            out.max_abs_error_c =
+                std::max(out.max_abs_error_c, std::abs(r.error_c));
+            sum_sq += r.error_c * r.error_c;
+            ++measured_count;
+        } else {
+            const double t =
+                idw_predict(sup_x, sup_y, sup_v, sites_[i].x, sites_[i].y);
+            if (std::isfinite(t)) {
+                r.measured_c = t;
+                r.error_c = t - r.true_c;
+                r.valid = true;
+                r.confidence = SiteConfidence::Interpolated;
+                ++out.interpolated_sites;
+                out.max_interp_error_c =
+                    std::max(out.max_interp_error_c, std::abs(r.error_c));
+            } else {
+                r.measured_c = nan;
+                r.error_c = nan;
+                r.valid = false;
+                r.confidence = SiteConfidence::Unavailable;
+            }
+        }
+        out.sites.push_back(std::move(r));
+    }
+    out.invalid_sites = n - measured_count;
+    out.rms_error_c =
+        measured_count > 0
+            ? std::sqrt(sum_sq / static_cast<double>(measured_count))
+            : 0.0;
+    out.scan_time_s = static_cast<double>(unit.cycles_total()) /
+                      config_.sensor_options.gate.ref_freq_hz;
+    out.alarm = unit.alarm();
+    if (out.alarm) {
+        out.alarm_site =
+            sites_[static_cast<std::size_t>(unit.alarm_channel()) / reps].name;
+    }
+    const auto counts = supervisor_.state_counts();
+    out.degraded_sites = counts[static_cast<std::size_t>(SiteState::Degraded)];
+    out.quarantined_sites =
+        counts[static_cast<std::size_t>(SiteState::Quarantined)];
+    out.dead_sites = counts[static_cast<std::size_t>(SiteState::Dead)];
+    out.watchdog_trips = unit.watchdog_trips();
+    out.readout_retries = retries;
+
+    mx.counter("sensor.site.scans").add();
+    mx.gauge("sensor.site.healthy")
+        .set(static_cast<double>(counts[static_cast<std::size_t>(SiteState::Healthy)]));
+    mx.gauge("sensor.site.degraded").set(static_cast<double>(out.degraded_sites));
+    mx.gauge("sensor.site.quarantined")
+        .set(static_cast<double>(out.quarantined_sites));
+    mx.gauge("sensor.site.dead").set(static_cast<double>(out.dead_sites));
+    if (faults_this_scan > 0) mx.counter("sensor.site.faults").add(faults_this_scan);
+    if (retries > 0) mx.counter("sensor.site.retries").add(retries);
+    if (out.watchdog_trips > 0) {
+        mx.counter("sensor.site.watchdog_trips").add(out.watchdog_trips);
+    }
+    if (out.interpolated_sites > 0) {
+        mx.counter("sensor.site.interpolated").add(out.interpolated_sites);
     }
     return out;
 }

@@ -7,6 +7,7 @@
 #include "digital/smart_unit.hpp"
 #include "phys/technology.hpp"
 #include "ring/config.hpp"
+#include "sensor/site_health.hpp"
 #include "sensor/smart_sensor.hpp"
 #include "thermal/floorplan.hpp"
 #include "thermal/grid.hpp"
@@ -46,7 +47,30 @@ struct MonitorConfig {
     /// Programmed into the smart unit's THRESHOLD register (as the
     /// nominal ring's code at that temperature) before the scan.
     double alarm_threshold_c = -300.0;
+
+    /// Resilient readout. false keeps the historical scan path (and its
+    /// outputs) bit-for-bit unchanged. true enables the SiteHealth
+    /// supervisor: per-site self-tests, replica quorum voting, the
+    /// per-measurement watchdog, and neighbor interpolation of
+    /// quarantined sites — a thermal map is always produced.
+    bool enable_health = false;
+    SiteHealthConfig health;
+    /// Redundant rings per site (replicated layout macros read through
+    /// consecutive mux channels). The per-site value is the quorum vote
+    /// across the replicas; 1 disables voting. Requires
+    /// sites * redundancy <= 256 mux channels.
+    int redundancy = 1;
 };
+
+/// How much to trust one site's reported temperature.
+enum class SiteConfidence : std::uint8_t {
+    Measured = 0,     ///< Direct single-ring measurement.
+    Voted = 1,        ///< Quorum vote across redundant rings.
+    Interpolated = 2, ///< Reconstructed from spatial neighbors.
+    Unavailable = 3,  ///< No measurement and no neighbors to borrow from.
+};
+
+const char* to_string(SiteConfidence confidence);
 
 /// One multiplexed readout.
 struct SiteReading {
@@ -61,6 +85,11 @@ struct SiteReading {
     /// injected Site::Point fault). The reading is excluded from the
     /// map's error statistics; measured_c/error_c are NaN.
     bool valid = true;
+    // --- Resilient-scan annotations (defaults = legacy path) ----------
+    SiteState health = SiteState::Healthy;
+    SiteConfidence confidence = SiteConfidence::Measured;
+    int rings_total = 1;    ///< Replica rings probed for this value.
+    int rings_agreeing = 1; ///< Replicas within quorum tolerance.
 };
 
 /// Full thermal-map scan result. Error statistics cover the valid sites
@@ -75,6 +104,16 @@ struct MapResult {
     double scan_time_s = 0.0; ///< Total mux'd measurement wall time.
     bool alarm = false;       ///< Smart-unit alarm latched during the scan.
     std::string alarm_site;   ///< Name of the first alarming site.
+    // --- Resilient-scan summary (zero on the legacy path) -------------
+    std::size_t degraded_sites = 0;
+    std::size_t quarantined_sites = 0; ///< Quarantined after this scan.
+    std::size_t dead_sites = 0;
+    std::size_t interpolated_sites = 0;
+    /// Max |measured - true| over the interpolated sites — how well the
+    /// degraded map papers over its holes (NaN-free; 0 when none).
+    double max_interp_error_c = 0.0;
+    std::uint64_t watchdog_trips = 0;  ///< Measurements aborted this scan.
+    std::uint64_t readout_retries = 0; ///< Transient-fault retries this scan.
 };
 
 class ThermalMonitor {
@@ -86,13 +125,22 @@ public:
                    MonitorConfig config = {});
 
     /// Solves the steady-state thermal field of the floorplan and scans
-    /// every site through the multiplexed smart unit.
+    /// every site through the multiplexed smart unit. With
+    /// MonitorConfig::enable_health the resilient path runs instead:
+    /// supervisor state carries over between scans (quarantine, backoff,
+    /// recovery), which is why scan() stays callable repeatedly.
     MapResult scan() const;
 
     const std::vector<SensorSite>& sites() const { return sites_; }
     const thermal::Floorplan& floorplan() const { return floorplan_; }
 
+    /// Supervisor view (resilient mode; empty supervisor otherwise).
+    const SiteHealthSupervisor& health() const { return supervisor_; }
+
 private:
+    MapResult scan_legacy() const;
+    MapResult scan_resilient() const;
+
     phys::Technology tech_;
     ring::RingConfig ring_config_;
     thermal::Floorplan floorplan_;
@@ -102,6 +150,9 @@ private:
     SmartTemperatureSensor sensor_; ///< Nominal ring; holds the shared calibration.
     /// Per-site sensors (mismatched rings); empty when mismatch is off.
     std::vector<SmartTemperatureSensor> site_sensors_;
+    /// Health ledger across scans (resilient mode); scan() is logically
+    /// const but advances the supervisor's epoch and site states.
+    mutable SiteHealthSupervisor supervisor_;
 };
 
 /// A 3x3 uniform sensor placement over a floorplan's die.

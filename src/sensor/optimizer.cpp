@@ -1,14 +1,19 @@
 #include "sensor/optimizer.hpp"
 
 #include "analysis/nonlinearity.hpp"
+#include "exec/checkpoint.hpp"
+#include "exec/fingerprint.hpp"
 #include "phys/units.hpp"
 #include "ring/analytic.hpp"
 #include "ring/sweep.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
+#include <string_view>
 
 namespace stsense::sensor {
 
@@ -57,6 +62,58 @@ exec::ThreadPool& pool_or_global(exec::ThreadPool* pool) {
     return pool != nullptr ? *pool : exec::ThreadPool::global();
 }
 
+/// Evaluates {max NL %, period at 27 C} for every candidate ring,
+/// fanned out on the runtime's pool and committed by candidate index.
+/// With a checkpoint path, completed candidates persist as they finish
+/// and a rerun of the same search restores them bitwise — the key is a
+/// fingerprint over every candidate's own sweep fingerprint plus a salt
+/// naming the search, so a checkpoint from a different candidate list
+/// (or a different search function) is rejected wholesale.
+std::vector<std::array<double, 2>> eval_candidates(
+    std::string_view salt, const phys::Technology& tech,
+    const std::vector<ring::RingConfig>& configs,
+    const OptimizerRuntime& rt) {
+    std::optional<exec::Checkpoint> ckpt;
+    if (!rt.checkpoint_path.empty()) {
+        exec::Fingerprint fp;
+        fp.add(salt);
+        const auto grid = ring::paper_temperature_grid_c();
+        for (const auto& cfg : configs) {
+            fp.add(ring::sweep_fingerprint(tech, cfg, grid,
+                                           ring::Engine::Analytic, {},
+                                           rt.fault));
+        }
+        ckpt.emplace(rt.checkpoint_path, fp.value(), configs.size(), 2);
+        if (rt.checkpoint_every > 0) {
+            ckpt->set_flush_every(static_cast<std::size_t>(rt.checkpoint_every));
+        }
+        ckpt->load();
+    }
+
+    std::vector<std::array<double, 2>> vals(configs.size());
+    pool_or_global(rt.pool).parallel_for(
+        configs.size(), 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                if (ckpt && ckpt->completed(i)) {
+                    const auto v = ckpt->values(i);
+                    vals[i] = {v[0], v[1]};
+                    continue;
+                }
+                vals[i] = {nl_of_config(tech, configs[i], rt.fault),
+                           period_27c(tech, configs[i])};
+                if (ckpt) ckpt->record(i, vals[i]);
+            }
+        });
+    if (ckpt) {
+        if (rt.keep_checkpoint) {
+            ckpt->flush();
+        } else {
+            ckpt->remove_file();
+        }
+    }
+    return vals;
+}
+
 } // namespace
 
 std::vector<RatioPoint> ratio_sweep(const phys::Technology& tech,
@@ -64,18 +121,31 @@ std::vector<RatioPoint> ratio_sweep(const phys::Technology& tech,
                                     std::span<const double> ratios,
                                     exec::ThreadPool* pool,
                                     const ring::FaultPolicySpec& fault) {
+    OptimizerRuntime rt;
+    rt.pool = pool;
+    rt.fault = fault;
+    return ratio_sweep(tech, kind, n_stages, ratios, rt);
+}
+
+std::vector<RatioPoint> ratio_sweep(const phys::Technology& tech,
+                                    cells::CellKind kind, int n_stages,
+                                    std::span<const double> ratios,
+                                    const OptimizerRuntime& runtime) {
     for (double r : ratios) {
         if (r <= 0.0) throw std::invalid_argument("ratio_sweep: ratio must be > 0");
     }
+    std::vector<ring::RingConfig> configs;
+    configs.reserve(ratios.size());
+    for (double r : ratios) {
+        configs.push_back(ring::RingConfig::uniform(kind, n_stages, r));
+    }
+    const auto vals =
+        eval_candidates("stsense.optimizer.ratio_sweep.v1", tech, configs,
+                        runtime);
     std::vector<RatioPoint> out(ratios.size());
-    pool_or_global(pool).parallel_for(
-        ratios.size(), 1, [&](std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-                const double r = ratios[i];
-                const auto cfg = ring::RingConfig::uniform(kind, n_stages, r);
-                out[i] = {r, nl_of_config(tech, cfg, fault), period_27c(tech, cfg)};
-            }
-        });
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+        out[i] = {ratios[i], vals[i][0], vals[i][1]};
+    }
     return out;
 }
 
@@ -161,6 +231,16 @@ std::vector<MixCandidate> enumerate_mixes(const phys::Technology& tech,
                                           std::span<const cells::CellKind> kinds,
                                           int n_stages, exec::ThreadPool* pool,
                                           const ring::FaultPolicySpec& fault) {
+    OptimizerRuntime rt;
+    rt.pool = pool;
+    rt.fault = fault;
+    return enumerate_mixes(tech, kinds, n_stages, rt);
+}
+
+std::vector<MixCandidate> enumerate_mixes(const phys::Technology& tech,
+                                          std::span<const cells::CellKind> kinds,
+                                          int n_stages,
+                                          const OptimizerRuntime& runtime) {
     if (kinds.empty()) throw std::invalid_argument("enumerate_mixes: no kinds");
     if (n_stages < 3 || n_stages % 2 == 0) {
         throw std::invalid_argument("enumerate_mixes: n_stages must be odd and >= 3");
@@ -171,19 +251,18 @@ std::vector<MixCandidate> enumerate_mixes(const phys::Technology& tech,
     enumerate_rec(kinds, 0, n_stages, current, configs);
 
     // Phase 2 (parallel): evaluate each candidate ring, committing by
-    // enumeration index.
+    // enumeration index (checkpoint-resumable).
+    const auto vals = eval_candidates("stsense.optimizer.enumerate_mixes.v1",
+                                      tech, configs, runtime);
     std::vector<MixCandidate> out(configs.size());
-    pool_or_global(pool).parallel_for(
-        configs.size(), 1, [&](std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-                MixCandidate cand;
-                cand.name = describe(configs[i]);
-                cand.max_nl_percent = nl_of_config(tech, configs[i], fault);
-                cand.period_27c_s = period_27c(tech, configs[i]);
-                cand.config = std::move(configs[i]);
-                out[i] = std::move(cand);
-            }
-        });
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        MixCandidate cand;
+        cand.name = describe(configs[i]);
+        cand.max_nl_percent = vals[i][0];
+        cand.period_27c_s = vals[i][1];
+        cand.config = std::move(configs[i]);
+        out[i] = std::move(cand);
+    }
 
     // stable_sort keeps the deterministic enumeration order among ties.
     std::stable_sort(out.begin(), out.end(),

@@ -15,6 +15,27 @@
 
 namespace stsense::sensor {
 
+/// How an optimization run executes. Like ring::SweepRuntime, the knobs
+/// trade time and robustness, never values: a checkpointed run produces
+/// bitwise the results of an uncheckpointed one.
+struct OptimizerRuntime {
+    /// Pool for the candidate fan-out; nullptr selects the global pool.
+    exec::ThreadPool* pool = nullptr;
+    /// Per-point policy of each candidate's inner temperature sweep.
+    ring::FaultPolicySpec fault;
+    /// Crash-safe checkpoint/resume of the candidate evaluations. When
+    /// non-empty, each candidate's figures are persisted here as they
+    /// complete (fingerprint-keyed over every candidate's sweep
+    /// fingerprint; atomic tmp+rename writes); a rerun of the same
+    /// search restores completed candidates bitwise instead of
+    /// re-evaluating them.
+    std::string checkpoint_path;
+    /// Completed candidates between checkpoint flushes (<= 0: default).
+    int checkpoint_every = 4;
+    /// Keep the checkpoint file after a completed run (tests/debugging).
+    bool keep_checkpoint = false;
+};
+
 /// One point of a ratio sweep.
 struct RatioPoint {
     double ratio = 0.0;
@@ -37,6 +58,13 @@ std::vector<RatioPoint> ratio_sweep(const phys::Technology& tech,
                                     std::span<const double> ratios,
                                     exec::ThreadPool* pool = nullptr,
                                     const ring::FaultPolicySpec& fault = {});
+
+/// Runtime-taking form: adds checkpoint/resume of the per-ratio
+/// evaluations on top of the signature above.
+std::vector<RatioPoint> ratio_sweep(const phys::Technology& tech,
+                                    cells::CellKind kind, int n_stages,
+                                    std::span<const double> ratios,
+                                    const OptimizerRuntime& runtime);
 
 /// Continuous optimum found by golden-section search on max |NL|(ratio).
 struct RatioOptimum {
@@ -73,5 +101,13 @@ std::vector<MixCandidate> enumerate_mixes(const phys::Technology& tech,
                                           int n_stages,
                                           exec::ThreadPool* pool = nullptr,
                                           const ring::FaultPolicySpec& fault = {});
+
+/// Runtime-taking form: adds checkpoint/resume of the per-candidate
+/// evaluations (the enumeration itself is cheap and deterministic, so
+/// only the expensive figures are persisted).
+std::vector<MixCandidate> enumerate_mixes(const phys::Technology& tech,
+                                          std::span<const cells::CellKind> kinds,
+                                          int n_stages,
+                                          const OptimizerRuntime& runtime);
 
 } // namespace stsense::sensor

@@ -1,0 +1,158 @@
+// sensor::SiteHealthSupervisor — per-site health state machine for a
+// distributed sensor fleet.
+//
+// A thermal monitor that trusts every ring forever is brittle: one
+// stuck oscillator wedges the scan, one drifted ring poisons the map.
+// The supervisor tracks each site through
+//
+//     Healthy -> Degraded -> Quarantined -> Dead
+//
+// driven by self-test verdicts the readout layer reports per scan:
+// failed readouts (injected or real), non-finite periods, out-of-range
+// conversions, watchdog-caught stuck oscillators, spatial-MAD drift
+// outliers, and replica-quorum disagreements. Strikes accumulate across
+// scans; consecutive clean scans walk a site back up one level at a
+// time. Quarantined sites are probed on an exponential backoff instead
+// of every scan, so a flapping ring cannot consume the scan budget;
+// Dead is terminal.
+//
+// The supervisor is deliberately ignorant of physics — it consumes
+// verdicts and answers "should this site be probed this scan?" — so it
+// is unit-testable without a thermal model and reusable by any fleet
+// reader (ThermalMonitor today, a supply-sweep fleet tomorrow).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stsense::sensor {
+
+/// Health ladder of one site. Ordering matters: transitions step one
+/// level down on recovery and jump on strike thresholds.
+enum class SiteState : std::uint8_t {
+    Healthy = 0,    ///< Full trust; read every scan.
+    Degraded = 1,   ///< Recent faults; still read, flagged low-confidence.
+    Quarantined = 2,///< Excluded from the map; probed on backoff only.
+    Dead = 3,       ///< Terminal: never probed again.
+};
+
+const char* to_string(SiteState state);
+
+/// What a self-test caught. None means "no fault" (internal sentinel).
+enum class SiteFault : std::uint8_t {
+    None = 0,
+    Readout = 1,    ///< Measurement failed outright (injected or real).
+    NonFinite = 2,  ///< Non-finite/non-positive period or conversion.
+    OutOfRange = 3, ///< Converted temperature outside the plausible band.
+    Stuck = 4,      ///< Watchdog aborted the measurement (stuck-slow ring).
+    Drift = 5,      ///< Spatial MAD outlier vs. its nearest neighbors.
+    Quorum = 6,     ///< Replica rings disagree beyond tolerance.
+};
+
+const char* to_string(SiteFault fault);
+
+/// Supervisor policy knobs. The defaults quarantine quickly (a thermal
+/// map with one poisoned site is worse than one interpolated site) but
+/// demand sustained good behaviour to earn trust back.
+struct SiteHealthConfig {
+    int degraded_after = 1;   ///< Strikes to drop Healthy -> Degraded.
+    int quarantine_after = 3; ///< Strikes to drop -> Quarantined.
+    int dead_after = 8;       ///< Strikes to drop -> Dead (terminal).
+    int recover_after = 2;    ///< Consecutive clean scans to climb one level.
+    int max_retries = 2;      ///< Extra readout attempts per ring per scan.
+    int backoff_base_scans = 2; ///< First quarantine probe interval.
+    int backoff_max_scans = 16; ///< Backoff ceiling (doubles until here).
+    /// Replica votes agree when within this many degC of the median.
+    double quorum_tol_c = 2.0;
+    /// Spatial drift test: a site is an outlier when its residual vs.
+    /// the neighbor prediction deviates from the fleet's median residual
+    /// by more than mad_k * max(1.4826 * MAD, mad_floor_c).
+    double mad_k = 4.0;
+    double mad_floor_c = 1.0;
+    /// Plausible conversion band; outside is an OutOfRange strike.
+    double temp_min_c = -55.0;
+    double temp_max_c = 175.0;
+    /// Per-measurement watchdog deadline in ref cycles; 0 derives it as
+    /// watchdog_margin x the nominal measurement length at temp_max_c.
+    std::uint64_t watchdog_cycles = 0;
+    double watchdog_margin = 4.0;
+};
+
+/// Per-site bookkeeping, exposed read-only for tests and reports.
+struct SiteRecord {
+    SiteState state = SiteState::Healthy;
+    SiteFault last_fault = SiteFault::None;
+    int strikes = 0;           ///< Faulted scans (not reset by recovery climbs).
+    int clean_scans = 0;       ///< Consecutive clean scans at this level.
+    int backoff_scans = 0;     ///< Current quarantine probe interval.
+    std::uint64_t next_probe_epoch = 0; ///< Quarantined: next probing scan.
+    std::uint64_t faults_total = 0;
+};
+
+class SiteHealthSupervisor {
+public:
+    SiteHealthSupervisor() = default;
+    SiteHealthSupervisor(SiteHealthConfig config, std::size_t n_sites);
+
+    /// Advances the scan epoch. Call once at the top of every scan.
+    void begin_scan();
+    std::uint64_t epoch() const { return epoch_; }
+
+    /// false when the site must be skipped this scan: Dead always,
+    /// Quarantined while its backoff interval has not yet elapsed.
+    bool should_probe(std::size_t site) const;
+
+    /// Reports a self-test failure. Accumulates a strike and applies the
+    /// threshold transitions; entering (or re-failing in) Quarantined
+    /// doubles the probe backoff up to the ceiling.
+    void record_fault(std::size_t site, SiteFault fault);
+
+    /// Reports a clean scan. recover_after consecutive clean scans climb
+    /// the site one level (Quarantined -> Degraded -> Healthy); climbing
+    /// resets the strike budget for the new level so an old site is not
+    /// one strike from death forever.
+    void record_success(std::size_t site);
+
+    SiteState state(std::size_t site) const { return rec(site).state; }
+    const SiteRecord& record(std::size_t site) const { return rec(site); }
+    std::size_t size() const { return records_.size(); }
+    const SiteHealthConfig& config() const { return config_; }
+
+    /// Site count per state, indexed by static_cast<int>(SiteState).
+    std::vector<std::size_t> state_counts() const;
+
+private:
+    const SiteRecord& rec(std::size_t site) const;
+    SiteRecord& rec(std::size_t site);
+
+    SiteHealthConfig config_;
+    std::vector<SiteRecord> records_;
+    std::uint64_t epoch_ = 0;
+};
+
+// --- Robust statistics for the degraded-mode readout -------------------
+
+/// Median of `values` (by value; averages the middle pair for even
+/// sizes). Returns NaN for an empty input.
+double median_of(std::vector<double> values);
+
+/// Inverse-distance-squared prediction of the field at (x, y) from up to
+/// `k` nearest support points. Returns NaN with no support points; a
+/// support point closer than ~1 um returns its value directly.
+double idw_predict(const std::vector<double>& xs,
+                   const std::vector<double>& ys,
+                   const std::vector<double>& values, double x, double y,
+                   int k = 4);
+
+/// Median of the `k` nearest support values — the robust counterpart of
+/// idw_predict for the drift self-test: one corrupted support point
+/// cannot drag the prediction (an IDW mean can, which lets an outlier
+/// poison its neighbors' residuals and inflate the MAD scale until the
+/// outlier itself passes). Returns NaN with no support points.
+double median_neighbor_predict(const std::vector<double>& xs,
+                               const std::vector<double>& ys,
+                               const std::vector<double>& values, double x,
+                               double y, int k = 4);
+
+} // namespace stsense::sensor

@@ -78,15 +78,25 @@ std::uint32_t SmartTemperatureSensor::raw_code(double die_temp_c,
     return digital::quantized_code(opt_.gate, p_eff, rng.uniform01());
 }
 
+namespace {
+
+/// Bridges try_measure's Result back to the throwing contract:
+/// NotCalibrated keeps its historical std::logic_error; everything else
+/// surfaces as a SimException carrying the classified error.
+[[noreturn]] void throw_measurement_error(const spice::SimError& e) {
+    if (e.kind == spice::SimErrorKind::NotCalibrated) {
+        throw std::logic_error(e.message);
+    }
+    throw spice::SimException(e);
+}
+
+} // namespace
+
 Measurement SmartTemperatureSensor::measure(double die_temp_c,
                                             util::Rng& rng) const {
-    Measurement m;
-    m.junction_c = junction_at(die_temp_c);
-    m.code = raw_code(die_temp_c, rng);
-    m.temperature_c = convert_code(m.code);
-    m.measurement_time_s =
-        digital::measurement_time(opt_.gate, period_at(m.junction_c));
-    return m;
+    auto r = try_measure(die_temp_c, rng);
+    if (!r.ok()) throw_measurement_error(r.error());
+    return r.value();
 }
 
 void SmartTemperatureSensor::calibrate_two_point(double t_low_c,
@@ -139,12 +149,56 @@ double SmartTemperatureSensor::convert_code(std::uint32_t code) const {
 }
 
 Measurement SmartTemperatureSensor::measure(double die_temp_c) const {
+    auto r = try_measure(die_temp_c);
+    if (!r.ok()) throw_measurement_error(r.error());
+    return r.value();
+}
+
+spice::Result<double> SmartTemperatureSensor::try_convert(
+    std::uint32_t code) const {
+    if (!calibrated()) {
+        return spice::SimError{spice::SimErrorKind::NotCalibrated,
+                               "SmartTemperatureSensor: measure before calibrate"};
+    }
+    const double t = lin_ ? lin_->convert_c(code) : rec_->convert_c(code);
+    if (!std::isfinite(t)) {
+        return spice::SimError{spice::SimErrorKind::NonFiniteState,
+                               "SmartTemperatureSensor: non-finite conversion"};
+    }
+    return t;
+}
+
+spice::Result<Measurement> SmartTemperatureSensor::try_measure(
+    double die_temp_c) const {
     Measurement m;
     m.junction_c = junction_at(die_temp_c);
+    const double period = period_at(m.junction_c);
+    if (!std::isfinite(period) || period <= 0.0) {
+        return spice::SimError{spice::SimErrorKind::NonFiniteState,
+                               "SmartTemperatureSensor: bad oscillation period"};
+    }
     m.code = raw_code(die_temp_c);
-    m.temperature_c = convert_code(m.code);
-    m.measurement_time_s =
-        digital::measurement_time(opt_.gate, period_at(m.junction_c));
+    auto t = try_convert(m.code);
+    if (!t.ok()) return t.error();
+    m.temperature_c = t.value();
+    m.measurement_time_s = digital::measurement_time(opt_.gate, period);
+    return m;
+}
+
+spice::Result<Measurement> SmartTemperatureSensor::try_measure(
+    double die_temp_c, util::Rng& rng) const {
+    Measurement m;
+    m.junction_c = junction_at(die_temp_c);
+    const double period = period_at(m.junction_c);
+    if (!std::isfinite(period) || period <= 0.0) {
+        return spice::SimError{spice::SimErrorKind::NonFiniteState,
+                               "SmartTemperatureSensor: bad oscillation period"};
+    }
+    m.code = raw_code(die_temp_c, rng);
+    auto t = try_convert(m.code);
+    if (!t.ok()) return t.error();
+    m.temperature_c = t.value();
+    m.measurement_time_s = digital::measurement_time(opt_.gate, period);
     return m;
 }
 

@@ -12,6 +12,7 @@
 #include "phys/technology.hpp"
 #include "ring/analytic.hpp"
 #include "ring/config.hpp"
+#include "spice/sim_error.hpp"
 #include "thermal/self_heating.hpp"
 #include "util/rng.hpp"
 
@@ -79,6 +80,17 @@ public:
     /// not calibrated.
     Measurement measure(double die_temp_c) const;
 
+    /// Non-throwing measurement: a SimError instead of an exception, so
+    /// fleet-level callers (ThermalMonitor scans, sweep drivers) can
+    /// route failures through their FaultPolicy machinery instead of
+    /// dying. NotCalibrated covers the untrimmed converter;
+    /// NonFiniteState covers a transducer returning NaN/Inf or a
+    /// non-positive period (e.g. an extreme mismatch draw).
+    spice::Result<Measurement> try_measure(double die_temp_c) const;
+    /// Noisy variant of try_measure.
+    spice::Result<Measurement> try_measure(double die_temp_c,
+                                           util::Rng& rng) const;
+
     /// Raw code without conversion (available before calibration).
     std::uint32_t raw_code(double die_temp_c) const;
 
@@ -95,6 +107,10 @@ public:
     /// multiplexed readout (ThermalMonitor) can convert codes gathered
     /// by a shared SmartUnit.
     double convert(std::uint32_t code) const { return convert_code(code); }
+
+    /// Non-throwing convert: NotCalibrated before the factory trim,
+    /// NonFiniteState when the datapath yields a non-finite temperature.
+    spice::Result<double> try_convert(std::uint32_t code) const;
 
     /// Max |non-linearity| of the period response over the paper range
     /// [-50, 150] degC, in % of full scale (the Fig. 2/3 metric).

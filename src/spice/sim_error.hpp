@@ -27,6 +27,7 @@ enum class SimErrorKind {
     StepLimit,        ///< Iteration/step budget exceeded.
     DeadlineExceeded, ///< Per-solve wall-clock budget exceeded.
     MissingSignal,    ///< Requested probe/trace does not exist.
+    NotCalibrated,    ///< Readout requested before the converter was trimmed.
 };
 
 inline const char* to_string(SimErrorKind kind) {
@@ -37,6 +38,7 @@ inline const char* to_string(SimErrorKind kind) {
         case SimErrorKind::StepLimit: return "step-limit";
         case SimErrorKind::DeadlineExceeded: return "deadline-exceeded";
         case SimErrorKind::MissingSignal: return "missing-signal";
+        case SimErrorKind::NotCalibrated: return "not-calibrated";
     }
     return "unknown";
 }

@@ -252,5 +252,66 @@ TEST(SmartUnit, ChannelDataRangeChecked) {
     EXPECT_THROW(u.read(reg::kChanBase + 2), std::invalid_argument);
 }
 
+TEST(SmartUnit, WatchdogDisabledMeasuresNormally) {
+    SmartUnit u(config(), [](int) { return 1e-9; });
+    std::uint32_t code = 0;
+    EXPECT_TRUE(u.measure_with_watchdog(0, code));
+    EXPECT_EQ(code, 100u); // Same as measure_blocking's code.
+    EXPECT_EQ(u.watchdog_trips(), 0u);
+    EXPECT_FALSE(u.watchdog_latched());
+}
+
+TEST(SmartUnit, WatchdogAbortsStuckChannelAndDropsBusy) {
+    // Channel 1 is stuck at 1 ms: its gate would need ~1e8 ref cycles.
+    SmartUnitConfig c = config(GatingScheme::OscWindow, 2);
+    c.watchdog_cycles = 500;
+    SmartUnit u(c, [](int ch) { return ch == 1 ? 1e-3 : 1e-9; });
+
+    std::uint32_t code = 0;
+    EXPECT_TRUE(u.measure_with_watchdog(0, code));
+    ASSERT_FALSE(u.measure_with_watchdog(1, code));
+    // The abort left the unit idle and responsive, not wedged in COUNT.
+    EXPECT_FALSE(u.busy());
+    EXPECT_EQ(u.state(), UnitState::Idle);
+    EXPECT_EQ(u.watchdog_trips(), 1u);
+    EXPECT_TRUE(u.watchdog_latched());
+    EXPECT_TRUE(u.channel_timed_out(1));
+    EXPECT_FALSE(u.channel_timed_out(0));
+    EXPECT_NE(u.read(reg::kStatus) & kStatusWatchdog, 0u);
+
+    // The healthy channel still measures after the abort.
+    EXPECT_TRUE(u.measure_with_watchdog(0, code));
+    EXPECT_EQ(code, 100u);
+}
+
+TEST(SmartUnit, WatchdogTimedOutFlagClearsOnRecovery) {
+    // The channel recovers between measurements (e.g. a transient).
+    double period = 1e-3;
+    SmartUnitConfig c = config();
+    c.watchdog_cycles = 500;
+    SmartUnit u(c, [&](int) { return period; });
+
+    std::uint32_t code = 0;
+    ASSERT_FALSE(u.measure_with_watchdog(0, code));
+    EXPECT_TRUE(u.channel_timed_out(0));
+    period = 1e-9;
+    ASSERT_TRUE(u.measure_with_watchdog(0, code));
+    EXPECT_FALSE(u.channel_timed_out(0));
+    EXPECT_TRUE(u.watchdog_latched()); // Sticky history bit stays.
+}
+
+TEST(SmartUnit, ScanStepsPastStuckChannel) {
+    // Auto-scan with a stuck middle channel must terminate with codes
+    // for the healthy channels instead of wedging behind channel 1.
+    SmartUnitConfig c = config(GatingScheme::OscWindow, 3);
+    c.watchdog_cycles = 500;
+    SmartUnit u(c, [](int ch) { return ch == 1 ? 1e-3 : 1e-9; });
+    EXPECT_NO_THROW(u.scan_all_blocking());
+    EXPECT_EQ(u.channel_data(0), 100u);
+    EXPECT_EQ(u.channel_data(2), 100u);
+    EXPECT_TRUE(u.channel_timed_out(1));
+    EXPECT_GE(u.watchdog_trips(), 1u);
+}
+
 } // namespace
 } // namespace stsense::digital

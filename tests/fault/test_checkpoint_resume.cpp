@@ -1,0 +1,207 @@
+// Checkpoint/resume under injected kills: a sweep "killed" right after
+// completing point k (for EVERY k) must, once resumed, finish with a
+// series bitwise identical to an uninterrupted run — the acceptance bar
+// for crash-safe long runs.
+#include "exec/checkpoint.hpp"
+#include "exec/fault_injector.hpp"
+#include "exec/metrics.hpp"
+#include "ring/analytic.hpp"
+#include "ring/sweep.hpp"
+#include "sensor/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace stsense::ring {
+namespace {
+
+using cells::CellKind;
+
+/// Temp-file path helper; removes the file on destruction.
+struct TempFile {
+    std::string path;
+    explicit TempFile(const std::string& name)
+        : path(testing::TempDir() + name) {}
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+bool file_exists(const std::string& path) {
+    return std::ifstream(path).good();
+}
+
+RingConfig test_ring() { return RingConfig::uniform(CellKind::Inv, 5, 2.75); }
+
+/// Serial, cache-free runtime with a checkpoint flushed on every point —
+/// the worst-case kill loses nothing that completed.
+SweepRuntime ckpt_runtime(const std::string& path) {
+    SweepRuntime rt = SweepRuntime::serial();
+    rt.checkpoint_path = path;
+    rt.checkpoint_every = 1;
+    return rt;
+}
+
+void expect_bitwise_equal(const SweepResult& a, const SweepResult& b) {
+    ASSERT_EQ(a.temps_c.size(), b.temps_c.size());
+    for (std::size_t i = 0; i < a.temps_c.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(a.period_s[i]),
+                  std::bit_cast<std::uint64_t>(b.period_s[i]))
+            << "period differs at point " << i;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(a.frequency_hz[i]),
+                  std::bit_cast<std::uint64_t>(b.frequency_hz[i]))
+            << "frequency differs at point " << i;
+        EXPECT_EQ(a.status[i], b.status[i]) << "status differs at point " << i;
+    }
+}
+
+TEST(CheckpointResume, KillAtEveryIndexResumesBitwiseIdentical) {
+    const auto tech = phys::cmos350();
+    const auto cfg = test_ring();
+    const auto grid = paper_temperature_grid_c();
+
+    // Ground truth: the uninterrupted, uncheckpointed serial sweep.
+    const auto baseline =
+        temperature_sweep(tech, cfg, grid, Engine::Analytic, {},
+                          SweepRuntime::serial());
+
+    auto& resumed =
+        exec::MetricsRegistry::global().counter("exec.checkpoint.resumed_points");
+
+    for (std::size_t k = 0; k < grid.size(); ++k) {
+        TempFile f("ckpt_kill_" + std::to_string(k) + ".csv");
+
+        // Run 1: die right after completing point k.
+        {
+            exec::FaultInjector::Config fc;
+            fc.p_sweep_kill = 1.0;
+            fc.only_units = {k};
+            exec::FaultInjector inj(fc);
+            exec::FaultInjector::Scope scope(inj);
+            EXPECT_THROW(temperature_sweep(tech, cfg, grid, Engine::Analytic,
+                                           {}, ckpt_runtime(f.path)),
+                         exec::InjectedKill)
+                << "kill index " << k;
+        }
+        ASSERT_TRUE(file_exists(f.path)) << "kill index " << k;
+
+        // Run 2: resume. Completed points restore from the file; the
+        // rest recompute. The union must equal the uninterrupted run
+        // exactly.
+        const auto before = resumed.value();
+        const auto rerun = temperature_sweep(tech, cfg, grid, Engine::Analytic,
+                                             {}, ckpt_runtime(f.path));
+        EXPECT_GT(resumed.value(), before) << "kill index " << k;
+        expect_bitwise_equal(baseline, rerun);
+
+        // A completed sweep cleans its checkpoint up.
+        EXPECT_FALSE(file_exists(f.path)) << "kill index " << k;
+    }
+}
+
+TEST(CheckpointResume, TornFlushRecoversThroughChecksums) {
+    const auto tech = phys::cmos350();
+    const auto cfg = test_ring();
+    const auto grid = paper_temperature_grid_c();
+    const auto baseline =
+        temperature_sweep(tech, cfg, grid, Engine::Analytic, {},
+                          SweepRuntime::serial());
+
+    TempFile f("ckpt_torn.csv");
+    {
+        // Every flush is sheared in half AND the run dies mid-sweep —
+        // the persisted file ends in a checksum-failing torn row.
+        exec::FaultInjector::Config fc;
+        fc.p_sweep_kill = 1.0;
+        fc.only_units = {10};
+        fc.p_ckpt_truncate = 1.0;
+        exec::FaultInjector inj(fc);
+        exec::FaultInjector::Scope scope(inj);
+        EXPECT_THROW(temperature_sweep(tech, cfg, grid, Engine::Analytic, {},
+                                       ckpt_runtime(f.path)),
+                     exec::InjectedKill);
+    }
+    const auto rerun = temperature_sweep(tech, cfg, grid, Engine::Analytic, {},
+                                         ckpt_runtime(f.path));
+    expect_bitwise_equal(baseline, rerun);
+}
+
+TEST(CheckpointResume, StaleCheckpointFromOtherSweepIsIgnored) {
+    const auto tech = phys::cmos350();
+    const auto grid = paper_temperature_grid_c();
+    const auto cfg_a = test_ring();
+    const auto cfg_b = RingConfig::uniform(CellKind::Nand2, 7, 2.75);
+
+    TempFile f("ckpt_foreign.csv");
+    {
+        SweepRuntime rt = ckpt_runtime(f.path);
+        rt.keep_checkpoint = true;
+        (void)temperature_sweep(tech, cfg_a, grid, Engine::Analytic, {}, rt);
+    }
+    ASSERT_TRUE(file_exists(f.path));
+
+    // Sweep B finds A's checkpoint at its path: the fingerprint check
+    // must reject it wholesale and recompute everything.
+    const auto baseline_b = temperature_sweep(tech, cfg_b, grid,
+                                              Engine::Analytic, {},
+                                              SweepRuntime::serial());
+    const auto b = temperature_sweep(tech, cfg_b, grid, Engine::Analytic, {},
+                                     ckpt_runtime(f.path));
+    expect_bitwise_equal(baseline_b, b);
+}
+
+TEST(CheckpointResume, KeptCheckpointRestoresWholeSweep) {
+    const auto tech = phys::cmos350();
+    const auto cfg = test_ring();
+    const auto grid = paper_temperature_grid_c();
+
+    TempFile f("ckpt_keep.csv");
+    SweepRuntime rt = ckpt_runtime(f.path);
+    rt.keep_checkpoint = true;
+    const auto first = temperature_sweep(tech, cfg, grid, Engine::Analytic, {}, rt);
+    ASSERT_TRUE(file_exists(f.path));
+
+    auto& resumed =
+        exec::MetricsRegistry::global().counter("exec.checkpoint.resumed_points");
+    const auto before = resumed.value();
+    const auto second = temperature_sweep(tech, cfg, grid, Engine::Analytic, {}, rt);
+    EXPECT_EQ(resumed.value(), before + grid.size());
+    expect_bitwise_equal(first, second);
+}
+
+TEST(CheckpointResume, OptimizerCandidatesResumeBitwise) {
+    const auto tech = phys::cmos350();
+    const std::vector<double> ratios = {1.5, 2.0, 2.5, 3.0, 3.5};
+
+    const auto baseline =
+        sensor::ratio_sweep(tech, CellKind::Inv, 5, ratios);
+
+    TempFile f("ckpt_optimizer.csv");
+    sensor::OptimizerRuntime rt;
+    rt.checkpoint_path = f.path;
+    rt.checkpoint_every = 1;
+    rt.keep_checkpoint = true;
+    const auto first = sensor::ratio_sweep(tech, CellKind::Inv, 5, ratios, rt);
+    ASSERT_TRUE(file_exists(f.path));
+
+    auto& resumed =
+        exec::MetricsRegistry::global().counter("exec.checkpoint.resumed_points");
+    const auto before = resumed.value();
+    const auto second = sensor::ratio_sweep(tech, CellKind::Inv, 5, ratios, rt);
+    EXPECT_EQ(resumed.value(), before + ratios.size());
+
+    ASSERT_EQ(first.size(), baseline.size());
+    ASSERT_EQ(second.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(second[i].max_nl_percent),
+                  std::bit_cast<std::uint64_t>(baseline[i].max_nl_percent));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(second[i].period_27c_s),
+                  std::bit_cast<std::uint64_t>(baseline[i].period_27c_s));
+    }
+}
+
+} // namespace
+} // namespace stsense::ring

@@ -145,5 +145,31 @@ TEST(SmartSensor, CalibrationOrderValidated) {
     EXPECT_THROW(s.calibrate_two_point(100.0, 0.0), std::invalid_argument);
 }
 
+TEST(SmartSensor, TryMeasureReportsNotCalibratedWithoutThrowing) {
+    auto s = make_sensor();
+    const auto r = s.try_measure(25.0);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, spice::SimErrorKind::NotCalibrated);
+    const auto c = s.try_convert(1000);
+    ASSERT_FALSE(c.ok());
+    EXPECT_EQ(c.error().kind, spice::SimErrorKind::NotCalibrated);
+}
+
+TEST(SmartSensor, TryMeasureMatchesThrowingMeasure) {
+    auto s = make_sensor();
+    s.calibrate_two_point(0.0, 100.0);
+    const auto m = s.measure(85.0);
+    const auto r = s.try_measure(85.0);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().code, m.code);
+    EXPECT_DOUBLE_EQ(r.value().temperature_c, m.temperature_c);
+    EXPECT_DOUBLE_EQ(r.value().junction_c, m.junction_c);
+    EXPECT_DOUBLE_EQ(r.value().measurement_time_s, m.measurement_time_s);
+
+    const auto conv = s.try_convert(m.code);
+    ASSERT_TRUE(conv.ok());
+    EXPECT_DOUBLE_EQ(conv.value(), m.temperature_c);
+}
+
 } // namespace
 } // namespace stsense::sensor
