@@ -7,6 +7,7 @@
 #include "analysis/nonlinearity.hpp"
 #include "exec/exec.hpp"
 #include "exec/metrics.hpp"
+#include "obs/export.hpp"
 #include "ring/analytic.hpp"
 #include "ring/spice_ring.hpp"
 #include "ring/sweep.hpp"
@@ -30,6 +31,12 @@ int main(int argc, char** argv) {
 
     const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
     const auto grid = ring::paper_temperature_grid_c();
+
+    // Tracing: armed by --trace=PATH or the STSENSE_TRACE environment
+    // variable, inert otherwise. The session covers every sweep below
+    // and flushes the Chrome JSON before the metrics dump so the spans
+    // aggregate lands in BENCH_fig2.json.
+    obs::TraceSession trace(cli.get("trace", std::string()));
 
     // Per-temperature error series for each ratio (the figure's curves).
     std::vector<std::vector<double>> error_series;
@@ -128,11 +135,29 @@ int main(int argc, char** argv) {
     }
     std::cout << "error-series csv: " << csv_path << "\n";
 
+    // Stop tracing before the dump so every span above is flushed; a
+    // traced run then merges the per-span-name aggregate table into the
+    // metrics JSON alongside the flat counters.
+    const bool traced = trace.active();
+    if (traced) {
+        if (!trace.finish()) {
+            std::cerr << "trace write failed: " << trace.path() << "\n";
+            return 1;
+        }
+        std::cout << "chrome trace: " << trace.path() << " ("
+                  << obs::aggregate_spans(obs::Tracer::global().merged()).size()
+                  << " span names)\n";
+    }
+
     // JSON snapshot: figure-level results plus the full metrics registry
     // (pool/cache/fault counters and the fast-kernel counters from the
-    // SPICE spot check above).
+    // SPICE spot check above; span aggregates when traced).
     const std::string json_path = cli.get("json", std::string("BENCH_fig2.json"));
     {
+        const std::string metrics =
+            traced ? exec::MetricsRegistry::global().to_json_with(
+                         "spans", obs::spans_json(obs::Tracer::global()))
+                   : exec::MetricsRegistry::global().to_json();
         std::ofstream json(json_path);
         json << "{\n  \"figure\": \"fig2_ratio_nonlinearity\",\n"
              << "  \"tech\": \"" << tech.name << "\",\n"
@@ -146,7 +171,7 @@ int main(int argc, char** argv) {
              << "  \"optimum_ratio\": " << opt.ratio << ",\n"
              << "  \"optimum_max_nl_percent\": " << opt.max_nl_percent << ",\n"
              << "  \"spice_spot_check_max_dev_pct\": " << max_spice_dev_pct << ",\n"
-             << "  \"metrics\": " << exec::MetricsRegistry::global().to_json() << "\n"
+             << "  \"metrics\": " << metrics << "\n"
              << "}\n";
     }
     std::cout << "figure snapshot: " << json_path << "\n";

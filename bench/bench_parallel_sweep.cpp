@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 
 #include "exec/exec.hpp"
+#include "obs/export.hpp"
 #include "ring/sweep.hpp"
 #include "sensor/presets.hpp"
 #include "util/cli.hpp"
@@ -50,6 +51,10 @@ int main(int argc, char** argv) {
     // overhead — BENCH_exec.json once recorded 4 threads on 1 core at
     // 0.92x "speedup").
     const int threads_configured = cli.get("threads", 0);
+
+    // Tracing: armed by --trace=PATH or STSENSE_TRACE, inert otherwise
+    // (same contract as the figure benches).
+    obs::TraceSession trace(cli.get("trace", std::string()));
     const int threads = exec::ThreadPool::clamp_to_hardware(threads_configured);
     const auto grid = ring::paper_temperature_grid_c();
 
@@ -143,8 +148,20 @@ int main(int argc, char** argv) {
               << " %), " << cache_stats.bytes << " bytes resident\n";
 
     // --- JSON snapshot ----------------------------------------------------
+    const bool traced = trace.active();
+    if (traced) {
+        if (!trace.finish()) {
+            std::cerr << "trace write failed: " << trace.path() << "\n";
+            return 1;
+        }
+        std::cout << "chrome trace: " << trace.path() << "\n";
+    }
     const std::string json_path = cli.get("json", std::string("BENCH_exec.json"));
     {
+        const std::string metrics =
+            traced ? exec::MetricsRegistry::global().to_json_with(
+                         "spans", obs::spans_json(obs::Tracer::global()))
+                   : exec::MetricsRegistry::global().to_json();
         std::ofstream json(json_path);
         json << "{\n"
              << "  \"workload\": \"fig2_spice_ratio_sweep\",\n"
@@ -161,7 +178,7 @@ int main(int argc, char** argv) {
              << "  \"cache_hits\": " << cache_stats.hits << ",\n"
              << "  \"cache_misses\": " << cache_stats.misses << ",\n"
              << "  \"cache_hit_rate\": " << cache_stats.hit_rate() << ",\n"
-             << "  \"metrics\": " << exec::MetricsRegistry::global().to_json() << "\n"
+             << "  \"metrics\": " << metrics << "\n"
              << "}\n";
     }
     std::cout << "runtime snapshot: " << json_path << "\n";

@@ -7,6 +7,7 @@
 #include "analysis/nonlinearity.hpp"
 #include "cells/cell_netlist.hpp"
 #include "exec/exec.hpp"
+#include "obs/trace.hpp"
 #include "phys/technology.hpp"
 #include "ring/analytic.hpp"
 #include "ring/spice_ring.hpp"
@@ -144,6 +145,80 @@ void BM_SpiceSweepParallel(benchmark::State& state) {
     state.SetLabel(std::to_string(threads) + " threads");
 }
 BENCHMARK(BM_SpiceSweepParallel)->Arg(2)->Arg(4);
+
+void BM_SpanDisabled(benchmark::State& state) {
+    // The cost the instrumentation adds to an untraced hot loop: one
+    // relaxed atomic load and a branch per span. This is the number
+    // behind the "< 2 % disabled overhead" claim — compare against
+    // BM_MosfetEvaluate, the cheapest real operation a span wraps.
+    obs::Tracer::global().disable();
+    for (auto _ : state) {
+        OBS_SPAN("bench.disabled");
+    }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+    // The traced cost: two clock reads plus a lock-free buffer push.
+    obs::Tracer::global().set_capacity_per_thread(1u << 20);
+    obs::Tracer::global().enable();
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        OBS_SPAN("bench.enabled");
+        // Keep the fixed-capacity buffer from saturating mid-run (a
+        // full buffer drops, which would benchmark the cheaper path).
+        if (++n % (1u << 19) == 0) {
+            obs::Tracer::global().disable();
+            obs::Tracer::global().enable();
+        }
+    }
+    obs::Tracer::global().disable();
+    obs::Tracer::global().reset();
+    obs::Tracer::global().set_capacity_per_thread(1u << 17);
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_PaperSweepAnalyticTracingOff(benchmark::State& state) {
+    // The full instrumented sweep with the gate closed. Compare against
+    // BM_PaperSweepAnalytic (identical workload, same binary): any gap
+    // beyond noise is the disabled-instrumentation overhead, gated
+    // < 2 % by the acceptance criteria.
+    obs::Tracer::global().disable();
+    const auto tech = phys::cmos350();
+    const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.5);
+    for (auto _ : state) {
+        const auto sw = ring::paper_sweep(tech, cfg, ring::Engine::Analytic, {},
+                                          ring::SweepRuntime::serial());
+        benchmark::DoNotOptimize(
+            analysis::max_nonlinearity_percent(sw.temps_c, sw.period_s));
+    }
+}
+BENCHMARK(BM_PaperSweepAnalyticTracingOff);
+
+void BM_PaperSweepAnalyticTracingOn(benchmark::State& state) {
+    // The same sweep recorded: 17 point spans + 1 sweep span + cache
+    // span per iteration. The gap vs BM_PaperSweepAnalyticTracingOff is
+    // the *enabled* tracing cost (diagnostics runs only).
+    obs::Tracer::global().set_capacity_per_thread(1u << 20);
+    const auto tech = phys::cmos350();
+    const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.5);
+    obs::Tracer::global().enable();
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        if (++n % 1024 == 0) { // drain the fixed-capacity buffer
+            obs::Tracer::global().disable();
+            obs::Tracer::global().enable();
+        }
+        const auto sw = ring::paper_sweep(tech, cfg, ring::Engine::Analytic, {},
+                                          ring::SweepRuntime::serial());
+        benchmark::DoNotOptimize(
+            analysis::max_nonlinearity_percent(sw.temps_c, sw.period_s));
+    }
+    obs::Tracer::global().disable();
+    obs::Tracer::global().reset();
+    obs::Tracer::global().set_capacity_per_thread(1u << 17);
+}
+BENCHMARK(BM_PaperSweepAnalyticTracingOn);
 
 void BM_ThermalSteadyState(benchmark::State& state) {
     const auto n = static_cast<int>(state.range(0));

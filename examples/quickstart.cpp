@@ -3,16 +3,21 @@
 // digital word — the complete happy path of the library in ~40 lines.
 //
 //   $ ./examples/quickstart
-#include "sensor/smart_sensor.hpp"
-
-#include "phys/technology.hpp"
-#include "ring/config.hpp"
-#include "util/table.hpp"
+//
+// Set STSENSE_TRACE=/tmp/quickstart_trace.json to record a Chrome
+// trace of the run (open in chrome://tracing or ui.perfetto.dev).
+#include "stsense.hpp"
 
 #include <iostream>
 
 int main() {
     using namespace stsense;
+
+    // 0. Runtime configuration lives in one builder. Everything here is
+    //    the default; tracing arms itself only when STSENSE_TRACE names
+    //    a path (the session writes the trace file when main returns).
+    const auto rt = RuntimeOptions().validate();
+    const auto trace = rt.trace_session();
 
     // 1. Pick a technology and a ring built from stock inverting cells.
     //    (Ratio 2.75 is near the linearity optimum for this node — see

@@ -4,10 +4,9 @@
 // by the RC thermal model.
 //
 //   $ ./examples/thermal_mapping [--sensors=4]   # 4x4 instead of 3x3
-#include "sensor/monitor.hpp"
-
-#include "util/cli.hpp"
-#include "util/table.hpp"
+//   $ ./examples/thermal_mapping --health --redundancy=3 \
+//         --trace=/tmp/map_trace.json   # resilient scan, traced
+#include "stsense.hpp"
 
 #include <algorithm>
 #include <iostream>
@@ -17,6 +16,15 @@ int main(int argc, char** argv) {
     using namespace stsense;
     const util::Cli cli(argc, argv);
     const int n = cli.get("sensors", 3);
+
+    // All runtime knobs live in one validated builder: the resilient
+    // readout (health supervision + replica voting) and the trace path
+    // (also honors STSENSE_TRACE when --trace is not given).
+    const auto rt = stsense::RuntimeOptions()
+                        .health(cli.has("health"))
+                        .redundancy(cli.get("redundancy", 1))
+                        .trace(cli.get("trace", std::string{}));
+    const auto trace = rt.trace_session();
 
     // A 10x10 mm die with a hot core, an FPU, a cache and an I/O column.
     const thermal::Floorplan fp = thermal::demo_floorplan();
@@ -28,7 +36,7 @@ int main(int argc, char** argv) {
     const auto sites = sensor::uniform_sites(fp, n, n);
     const sensor::ThermalMonitor monitor(
         phys::cmos350(), ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.75),
-        fp, sites, sensor::MonitorConfig{});
+        fp, sites, rt.monitor_config());
 
     const sensor::MapResult map = monitor.scan();
 

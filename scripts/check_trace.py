@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON emitted by stsense's obs layer.
+
+Checks, in order:
+  1. the file parses as JSON and has a non-empty "traceEvents" array;
+  2. every complete ("X") event carries name/pid/tid/ts/dur with ts and
+     dur >= 0;
+  3. per-tid span nesting is balanced: any two spans on one thread are
+     either disjoint or one strictly contains the other (partial overlap
+     means a corrupted or interleaved record);
+  4. every span name passed via --require appears at least once;
+  5. the exporter's drop counter is zero unless --allow-drops is given.
+
+Timestamps are microseconds carrying exact nanosecond precision as
+three decimals, so round(ts * 1000) recovers the integer nanosecond
+value the tracer recorded; the nesting check runs on those integers to
+dodge float fuzz.
+
+Exit status 0 when every check passes; 1 with a diagnostic otherwise.
+
+Usage:
+  check_trace.py TRACE.json --require ring.sweep --require spice.transient
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def ns(us: float) -> int:
+    return round(us * 1000)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="span name that must appear at least once (repeatable)",
+    )
+    parser.add_argument(
+        "--allow-drops",
+        action="store_true",
+        help="accept a trace whose per-thread buffers overflowed",
+    )
+    args = parser.parse_args()
+
+    def fail(message: str) -> int:
+        print(f"check_trace: FAIL: {message}", file=sys.stderr)
+        return 1
+
+    try:
+        with open(args.trace, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return fail(f"{args.trace}: {exc}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail("traceEvents missing or empty")
+
+    spans = [ev for ev in events if ev.get("ph") == "X"]
+    if not spans:
+        return fail("no complete ('X') span events")
+
+    by_tid = defaultdict(list)
+    for i, ev in enumerate(spans):
+        for key in ("name", "pid", "tid", "ts", "dur"):
+            if key not in ev:
+                return fail(f"span #{i} missing '{key}': {ev}")
+        if ev["ts"] < 0 or ev["dur"] < 0:
+            return fail(f"span #{i} has negative ts/dur: {ev}")
+        by_tid[ev["tid"]].append((ns(ev["ts"]), ns(ev["dur"]), ev["name"]))
+
+    # Balanced nesting per thread: sweep the spans in deterministic
+    # (start, -dur) order with a containment stack; a span that starts
+    # inside the stack top but ends outside it partially overlaps.
+    for tid, tid_spans in sorted(by_tid.items()):
+        tid_spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []  # (start, end, name)
+        for start, dur, name in tid_spans:
+            end = start + dur
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                return fail(
+                    f"tid {tid}: '{name}' [{start},{end}) partially overlaps "
+                    f"'{stack[-1][2]}' [{stack[-1][0]},{stack[-1][1]})"
+                )
+            stack.append((start, end, name))
+
+    names = {ev["name"] for ev in spans}
+    missing = [req for req in args.require if req not in names]
+    if missing:
+        return fail(f"required span names absent: {', '.join(missing)}")
+
+    dropped = doc.get("otherData", {}).get("dropped", 0)
+    if dropped and not args.allow_drops:
+        return fail(
+            f"{dropped} events dropped (raise STSENSE_TRACE_CAP or pass "
+            "--allow-drops)"
+        )
+
+    threads = len(doc.get("traceEvents", [])) - len(spans)  # "M" metadata rows
+    print(
+        f"check_trace: OK: {len(spans)} spans, {len(names)} names, "
+        f"{len(by_tid)} threads ({threads} labelled), dropped={dropped}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

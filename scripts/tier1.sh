@@ -41,15 +41,34 @@ cmake --build "$repo/build" --target bench_thermal_map -j "$jobs"
 STSENSE_FAULT_SEED=20260806 "$repo/build/bench/bench_thermal_map" --degraded --quick \
     --json="$repo/build/BENCH_thermal_map.json"
 
+echo "== tier 1: traced Fig. 2 sweep + trace validation =="
+# The Fig. 2 bench rerun with tracing armed (STSENSE_TRACE): the run
+# must still pass its own figure shape gates, and the emitted Chrome
+# trace JSON must be well-formed, with balanced per-thread span nesting
+# and spans from all four instrumented layers — spice (Newton/transient
+# kernel), ring (sweep + per-point tasks), sensor (optimizer
+# candidates), exec (cache lookups, pool fan-out).
+cmake --build "$repo/build" --target bench_fig2_ratio_nonlinearity -j "$jobs"
+STSENSE_TRACE="$repo/build/trace_fig2.json" \
+    "$repo/build/bench/bench_fig2_ratio_nonlinearity" \
+    --csv="$repo/build/fig2_ratio_nl_traced.csv" \
+    --json="$repo/build/BENCH_fig2_traced.json"
+python3 "$repo/scripts/check_trace.py" "$repo/build/trace_fig2.json" \
+    --require ring.sweep --require ring.sweep.point \
+    --require spice.transient --require spice.newton.solve \
+    --require sensor.optimize.candidate \
+    --require exec.cache.get --require exec.parallel_for
+
 echo "== tier 1: exec/ring concurrency tests under ThreadSanitizer =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSTSENSE_SANITIZE=thread
 cmake --build "$repo/build-tsan" --target stsense_tests -j "$jobs"
 # The filter covers the pool, cache, metrics, determinism suite, the
-# sweep driver, and the fault-injection machinery (the code paths that
+# sweep driver, the fault-injection machinery (the code paths that
 # actually run concurrently — including worker exception propagation and
-# per-point fault policies under the pool).
+# per-point fault policies under the pool), and the tracer's lock-free
+# multi-thread record/merge path.
 "$repo/build-tsan/tests/stsense_tests" \
-    --gtest_filter='ThreadPool*:TaskGroup*:ResultCache*:Metrics*:Fingerprint*:ExecDeterminism*:TemperatureSweep*:PaperSweep*:Variation*:FaultInjector*:SweepFaultPolicy*'
+    --gtest_filter='ThreadPool*:TaskGroup*:ResultCache*:Metrics*:Fingerprint*:ExecDeterminism*:TemperatureSweep*:PaperSweep*:Variation*:FaultInjector*:SweepFaultPolicy*:Tracer*:TraceParity*'
 
 echo "== tier 1: fault-injection suite under AddressSanitizer =="
 cmake -B "$repo/build-asan" -S "$repo" -DSTSENSE_SANITIZE=address

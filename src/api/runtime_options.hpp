@@ -1,0 +1,158 @@
+// stsense::RuntimeOptions — the one place execution knobs live.
+//
+// Four runtime-config structs grew up independently as the layers did:
+// ring::SweepRuntime (pool/cache/fault/checkpoint of one sweep),
+// sensor::OptimizerRuntime (the same knobs for candidate fan-out),
+// sensor::MonitorConfig (health supervision + redundancy of a scan),
+// and spice::TransientOptions (the fast-kernel toggles). Configuring a
+// whole experiment meant filling all four by hand and keeping their
+// overlapping fields (fault policy, checkpoint path, pool) agreeing.
+//
+// RuntimeOptions is the builder that owns every knob once, validates
+// them in one place, and projects the per-layer structs on demand:
+//
+//     auto rt = stsense::RuntimeOptions()
+//                   .threads(8)
+//                   .fault_policy(ring::FaultPolicy::Retry)
+//                   .fast_kernel(true)
+//                   .checkpoint("run.ckpt")
+//                   .trace("run_trace.json");
+//     auto session = rt.trace_session();          // arms obs tracing
+//     auto sweep = ring::paper_sweep(tech, cfg, engine, rt.spice_ring_options(),
+//                                    rt.sweep_runtime());
+//
+// The per-layer structs remain the real API of their layers; this
+// header only aggregates. A RuntimeOptions that created its own pool
+// (threads(n) with n > 0) must outlive every projected struct that
+// points at it.
+#pragma once
+
+#include "exec/thread_pool.hpp"
+#include "obs/export.hpp"
+#include "ring/spice_ring.hpp"
+#include "ring/sweep.hpp"
+#include "sensor/monitor.hpp"
+#include "sensor/optimizer.hpp"
+#include "spice/simulator.hpp"
+
+#include <memory>
+#include <string>
+
+namespace stsense {
+
+class RuntimeOptions {
+public:
+    RuntimeOptions() = default;
+
+    // ---- fluent knobs ---------------------------------------------------
+
+    /// Worker threads for the parallel paths. 0 (default) uses the
+    /// process-global pool (honors STSENSE_THREADS); n > 0 makes this
+    /// RuntimeOptions own a dedicated pool of n workers, created
+    /// lazily on first projection.
+    RuntimeOptions& threads(int n);
+
+    /// false forces every fan-out onto the calling thread (the serial
+    /// reference path the determinism tests compare against).
+    RuntimeOptions& parallel(bool on);
+
+    /// Whole-sweep memoization through exec::ResultCache.
+    RuntimeOptions& use_cache(bool on);
+
+    /// Crash-safe checkpoint/resume for sweeps and optimizer searches.
+    /// An empty path (default) disables checkpointing. `every` is the
+    /// completed-work flush interval (<= 0 keeps each layer's default);
+    /// `keep` retains the file after a completed run.
+    RuntimeOptions& checkpoint(std::string path, int every = 0,
+                               bool keep = false);
+
+    /// Per-point failure handling of sweeps (and the optimizer's inner
+    /// sweeps). Mirrors ring::FaultPolicySpec.
+    RuntimeOptions& fault_policy(ring::FaultPolicy policy, int max_retries = 2,
+                                 double retry_steps_factor = 2.0);
+
+    /// The tuned fast transient path: device bypass + early exit (the
+    /// SpiceRingOptions::fast() / TransientOptions::fast() presets).
+    RuntimeOptions& fast_kernel(bool on);
+
+    /// Chrome-trace output path; empty keeps tracing off unless the
+    /// STSENSE_TRACE environment variable names a path.
+    RuntimeOptions& trace(std::string path);
+
+    /// Resilient monitor readout (SiteHealth supervision) with the
+    /// default health config.
+    RuntimeOptions& health(bool on);
+
+    /// Resilient monitor readout with an explicit health config.
+    RuntimeOptions& health(sensor::SiteHealthConfig config);
+
+    /// Redundant rings per monitor site (quorum voting; 1 disables).
+    RuntimeOptions& redundancy(int replicas);
+
+    // ---- validation -----------------------------------------------------
+
+    /// The single validation point: every projection below calls this.
+    /// Throws std::invalid_argument naming the first offending knob.
+    const RuntimeOptions& validate() const;
+
+    // ---- projections onto the per-layer structs -------------------------
+
+    /// Pool/cache/fault/checkpoint knobs of one temperature sweep.
+    ring::SweepRuntime sweep_runtime() const;
+
+    /// The same knobs for the optimizer's candidate fan-out. Note the
+    /// checkpoint path is shared verbatim — don't run a sweep and a
+    /// search against the same path simultaneously.
+    sensor::OptimizerRuntime optimizer_runtime() const;
+
+    /// `base` with this builder's health/redundancy knobs applied; the
+    /// grid/sensor/calibration fields of `base` pass through untouched.
+    sensor::MonitorConfig monitor_config(sensor::MonitorConfig base = {}) const;
+
+    /// Fast-kernel toggles of the transient engine.
+    spice::TransientOptions transient_options() const;
+
+    /// SPICE ring-measurement options carrying transient_options().
+    ring::SpiceRingOptions spice_ring_options() const;
+
+    /// Arms obs tracing for the configured trace path (or STSENSE_TRACE
+    /// when the path is empty); inert when neither is set. The session
+    /// writes the trace file when it ends.
+    obs::TraceSession trace_session() const;
+
+    /// The pool projections hand out: the dedicated pool when
+    /// threads(n > 0) was set (created on first call), else nullptr
+    /// (the projected structs then select the global pool).
+    exec::ThreadPool* pool() const;
+
+    // ---- introspection (tests, logging) ---------------------------------
+
+    int thread_count() const noexcept { return threads_; }
+    bool parallel_enabled() const noexcept { return parallel_; }
+    bool cache_enabled() const noexcept { return use_cache_; }
+    const std::string& checkpoint_path() const noexcept { return checkpoint_path_; }
+    const ring::FaultPolicySpec& fault() const noexcept { return fault_; }
+    bool fast_kernel_enabled() const noexcept { return fast_kernel_; }
+    const std::string& trace_path() const noexcept { return trace_path_; }
+    bool health_enabled() const noexcept { return health_; }
+    int redundancy_count() const noexcept { return redundancy_; }
+
+private:
+    int threads_ = 0;
+    bool parallel_ = true;
+    bool use_cache_ = true;
+    std::string checkpoint_path_;
+    int checkpoint_every_ = 0;
+    bool keep_checkpoint_ = false;
+    ring::FaultPolicySpec fault_;
+    bool fast_kernel_ = false;
+    std::string trace_path_;
+    bool health_ = false;
+    sensor::SiteHealthConfig health_config_;
+    int redundancy_ = 1;
+    /// Lazily created by pool(); shared so copies of a RuntimeOptions
+    /// keep projecting pointers into one live pool.
+    mutable std::shared_ptr<exec::ThreadPool> owned_pool_;
+};
+
+} // namespace stsense

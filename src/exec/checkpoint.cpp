@@ -3,6 +3,7 @@
 #include "exec/fault_injector.hpp"
 #include "exec/fingerprint.hpp"
 #include "exec/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 
 #include <cstdio>
@@ -106,6 +107,7 @@ Checkpoint::Checkpoint(std::string path, std::uint64_t fingerprint,
 }
 
 std::size_t Checkpoint::load() {
+    OBS_SPAN("exec.checkpoint.load");
     std::ifstream in(path_);
     if (!in) return 0; // Cold start: nothing persisted yet.
 
@@ -249,6 +251,7 @@ std::string Checkpoint::compose_locked() const {
 }
 
 void Checkpoint::flush_locked() {
+    OBS_SPAN("exec.checkpoint.flush");
     std::string content = compose_locked();
     if (auto* injector = FaultInjector::active();
         injector != nullptr &&

@@ -51,6 +51,15 @@ std::string MetricsRegistry::to_json() const {
     return out.str();
 }
 
+std::string MetricsRegistry::to_json_with(const std::string& key,
+                                          const std::string& extra_json) const {
+    std::string base = to_json();
+    // Splice before the closing brace: {"counters":...,"<key>":<extra>}
+    base.pop_back();
+    base += ",\"" + key + "\":" + extra_json + "}";
+    return base;
+}
+
 void MetricsRegistry::reset() {
     std::lock_guard lock(m_);
     for (auto& [name, c] : counters_) c->reset();

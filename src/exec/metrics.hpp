@@ -88,6 +88,12 @@ public:
     ///   {"counters":{...},"gauges":{...},"timers":{"x":{"total_ms":..,"count":..}}}
     std::string to_json() const;
 
+    /// to_json() with one extra top-level member spliced in:
+    ///   {"counters":{...},...,"<key>":<extra_json>}
+    /// `extra_json` must already be valid JSON (e.g. obs::spans_json()).
+    std::string to_json_with(const std::string& key,
+                             const std::string& extra_json) const;
+
     /// Zeroes all values. Instruments (and references) stay valid.
     void reset();
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "exec/metrics.hpp"
+#include "obs/trace.hpp"
 
 #include <atomic>
 #include <cstdint>
@@ -76,7 +77,14 @@ public:
     /// the cache lock so concurrent distinct keys don't serialize.
     template <typename Fn>
     std::shared_ptr<const Series> get_or_compute(std::uint64_t key, Fn&& fn) {
-        if (auto hit = find(key)) return hit;
+        // The span covers lookup plus (on a miss) the computation, so
+        // its duration shows what the hit actually saved.
+        obs::Span span("exec.cache.get");
+        if (auto hit = find(key)) {
+            span.tag("cache", "hit");
+            return hit;
+        }
+        span.tag("cache", "miss");
         return insert(key, std::forward<Fn>(fn)());
     }
 

@@ -2,6 +2,7 @@
 
 #include "exec/fault_injector.hpp"
 #include "exec/metrics.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -75,6 +76,10 @@ ThreadPool::ThreadPool(int n_threads) {
     const int n = std::max(1, n_threads);
     queues_.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+    // Contiguous logical-tid block: worker K of this pool traces under a
+    // stable id even when several pools are alive at once.
+    trace_tid_base_ =
+        obs::Tracer::reserve_tid_block(static_cast<std::uint32_t>(n));
     workers_.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
         workers_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
@@ -155,6 +160,7 @@ void ThreadPool::execute(Task& task) {
     }
     std::exception_ptr error;
     try {
+        OBS_SPAN("exec.pool.task");
         task.fn();
     } catch (...) {
         error = std::current_exception();
@@ -181,6 +187,11 @@ bool ThreadPool::help_one() {
 void ThreadPool::worker_loop(std::size_t self) {
     tl_pool = this;
     tl_worker = self;
+    const std::uint32_t tid =
+        trace_tid_base_ + static_cast<std::uint32_t>(self);
+    obs::Tracer::set_thread_identity(
+        tid, "pool" + std::to_string(trace_tid_base_) + ".w" +
+                 std::to_string(self));
     for (;;) {
         Task task;
         if (try_pop(self, task)) {
@@ -207,6 +218,8 @@ void ThreadPool::parallel_for(
         return;
     }
     MetricsRegistry::global().counter("exec.pool.parallel_for").add();
+    obs::Span span("exec.parallel_for");
+    span.num("chunks", static_cast<double>(chunks));
     TaskGroup group(*this);
     for (std::size_t c = 0; c < chunks; ++c) {
         const std::size_t begin = c * grain;

@@ -137,6 +137,9 @@ private:
 
     std::vector<std::unique_ptr<Queue>> queues_;
     std::vector<std::thread> workers_;
+    /// First logical trace tid of this pool's contiguous worker block
+    /// (see obs::Tracer::reserve_tid_block).
+    std::uint32_t trace_tid_base_ = 0;
     std::mutex sleep_m_;
     std::condition_variable sleep_cv_;
     bool stop_ = false; ///< Guarded by sleep_m_.

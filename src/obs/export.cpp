@@ -1,0 +1,203 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace stsense::obs {
+
+namespace {
+
+/// Span names and labels are literals under our control, but escape
+/// anyway so a malformed label can never corrupt the JSON.
+void append_json_string(std::string& out, const std::string& s) {
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/// Nanoseconds rendered as microseconds with exactly three decimals:
+/// "12.345". Exact (no floating point), so a consumer can recover the
+/// integer nanosecond value with round(us * 1000).
+void append_us(std::string& out, std::uint64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    out += buf;
+}
+
+void append_double(std::string& out, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+} // namespace
+
+std::vector<SpanAggregate> aggregate_spans(
+    const std::vector<MergedEvent>& evs) {
+    struct Acc {
+        std::uint64_t total = 0;
+        std::vector<std::uint64_t> durs;
+    };
+    std::map<std::string, Acc> by_name;
+    for (const auto& me : evs) {
+        auto& acc = by_name[me.ev.name];
+        acc.total += me.ev.dur_ns;
+        acc.durs.push_back(me.ev.dur_ns);
+    }
+    std::vector<SpanAggregate> out;
+    out.reserve(by_name.size());
+    for (auto& [name, acc] : by_name) {
+        SpanAggregate agg;
+        agg.name = name;
+        agg.count = acc.durs.size();
+        agg.total_ns = acc.total;
+        agg.mean_ns = static_cast<double>(acc.total) /
+                      static_cast<double>(acc.durs.size());
+        std::sort(acc.durs.begin(), acc.durs.end());
+        const std::size_t n = acc.durs.size();
+        const std::size_t rank = (95 * n + 99) / 100;  // ceil(0.95 n), 1-based
+        agg.p95_ns = acc.durs[rank - 1];
+        out.push_back(std::move(agg));
+    }
+    return out;
+}
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+    const auto events = tracer.merged();
+    const auto labels = tracer.thread_labels();
+
+    std::string out;
+    out.reserve(events.size() * 96 + 4096);
+    out += "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const auto& [tid, label] : labels) {
+        if (!first) out += ",\n";
+        first = false;
+        out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+               ",\"name\":\"thread_name\",\"args\":{\"name\":";
+        append_json_string(out, label);
+        out += "}}";
+    }
+    for (const auto& me : events) {
+        if (!first) out += ",\n";
+        first = false;
+        out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(me.tid) +
+               ",\"name\":";
+        append_json_string(out, me.ev.name);
+        out += ",\"cat\":\"stsense\",\"ts\":";
+        append_us(out, me.ev.start_ns);
+        out += ",\"dur\":";
+        append_us(out, me.ev.dur_ns);
+        if (me.ev.tag_key != nullptr || me.ev.tag2_key != nullptr ||
+            me.ev.num_key != nullptr) {
+            out += ",\"args\":{";
+            bool first_arg = true;
+            auto put_tag = [&](const char* key, const char* val) {
+                if (key == nullptr) return;
+                if (!first_arg) out += ',';
+                first_arg = false;
+                append_json_string(out, key);
+                out += ':';
+                append_json_string(out, val ? val : "");
+            };
+            put_tag(me.ev.tag_key, me.ev.tag_val);
+            put_tag(me.ev.tag2_key, me.ev.tag2_val);
+            if (me.ev.num_key != nullptr) {
+                if (!first_arg) out += ',';
+                append_json_string(out, me.ev.num_key);
+                out += ':';
+                append_double(out, me.ev.num);
+            }
+            out += '}';
+        }
+        out += '}';
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":" +
+           std::to_string(tracer.dropped()) + "}}\n";
+    os << out;
+}
+
+bool write_chrome_trace_file(const std::string& path, const Tracer& tracer) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    write_chrome_trace(os, tracer);
+    os.flush();
+    if (!os) {
+        os.close();
+        std::remove(path.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string spans_json(const Tracer& tracer) {
+    const auto aggs = aggregate_spans(tracer.merged());
+    std::string out = "{";
+    bool first = true;
+    for (const auto& agg : aggs) {
+        if (!first) out += ',';
+        first = false;
+        append_json_string(out, agg.name);
+        out += ":{\"count\":" + std::to_string(agg.count) +
+               ",\"total_ns\":" + std::to_string(agg.total_ns) +
+               ",\"mean_ns\":";
+        append_double(out, agg.mean_ns);
+        out += ",\"p95_ns\":" + std::to_string(agg.p95_ns) + '}';
+    }
+    out += '}';
+    return out;
+}
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+    if (path_.empty()) {
+        if (const char* env = std::getenv("STSENSE_TRACE");
+            env != nullptr && env[0] != '\0') {
+            path_ = env;
+        }
+    }
+    if (path_.empty()) return;
+    if (const char* cap = std::getenv("STSENSE_TRACE_CAP");
+        cap != nullptr && cap[0] != '\0') {
+        const long v = std::strtol(cap, nullptr, 10);
+        if (v > 0) {
+            Tracer::global().set_capacity_per_thread(
+                static_cast<std::size_t>(v));
+        }
+    }
+    Tracer::global().enable();
+    active_ = true;
+}
+
+TraceSession::~TraceSession() { finish(); }
+
+bool TraceSession::finish() {
+    if (finished_) return true;
+    finished_ = true;
+    if (!active_) return true;
+    Tracer::global().disable();
+    return write_chrome_trace_file(path_, Tracer::global());
+}
+
+} // namespace stsense::obs

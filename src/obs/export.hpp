@@ -1,0 +1,69 @@
+#pragma once
+
+/// Post-run trace export: Chrome `chrome://tracing` / Perfetto JSON,
+/// plus a per-span-name aggregate table (count / total / mean / p95)
+/// in the same JSON shape the exec metrics dump uses, so benches can
+/// splice it into their metrics file.
+
+#include "obs/trace.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stsense::obs {
+
+/// Summary of every span that shared a name.
+struct SpanAggregate {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    double mean_ns = 0.0;
+    std::uint64_t p95_ns = 0;  ///< ceil-rank 95th percentile of duration
+};
+
+/// Aggregates merged events by name; result sorted by name.
+std::vector<SpanAggregate> aggregate_spans(const std::vector<MergedEvent>& evs);
+
+/// Writes the full Chrome trace-event JSON ("X" complete events with
+/// microsecond timestamps carrying exact nanosecond precision as three
+/// decimals, plus "M" thread-name metadata).
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// Convenience: write_chrome_trace to a file. Returns false (and
+/// leaves no partial file behind) on I/O failure.
+bool write_chrome_trace_file(const std::string& path, const Tracer& tracer);
+
+/// `{"spice.transient":{"count":..,"total_ns":..,"mean_ns":..,"p95_ns":..},..}`
+/// — the aggregate table as a JSON object, for splicing into the
+/// metrics dump via exec::MetricsRegistry::to_json_with("spans", ...).
+std::string spans_json(const Tracer& tracer);
+
+/// One recording session: arms the tracer on construction when a trace
+/// path is configured, and on destruction (or finish()) stops tracing
+/// and writes the Chrome JSON. The path is the constructor argument if
+/// non-empty, else the STSENSE_TRACE environment variable; when both
+/// are empty the session is inert and tracing stays off. The optional
+/// STSENSE_TRACE_CAP variable overrides the per-thread event capacity.
+class TraceSession {
+public:
+    explicit TraceSession(std::string path = "");
+    ~TraceSession();
+    TraceSession(const TraceSession&) = delete;
+    TraceSession& operator=(const TraceSession&) = delete;
+
+    bool active() const noexcept { return active_; }
+    const std::string& path() const noexcept { return path_; }
+
+    /// Stops recording and writes the trace file. Idempotent; returns
+    /// true when the file was written (or the session was inert).
+    bool finish();
+
+private:
+    std::string path_;
+    bool active_ = false;
+    bool finished_ = false;
+};
+
+} // namespace stsense::obs

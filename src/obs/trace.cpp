@@ -1,0 +1,167 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace stsense::obs {
+
+namespace {
+
+/// Identity a thread asked for before its buffer exists. Plain
+/// thread_locals: only ever touched by the owning thread.
+thread_local std::uint32_t tls_desired_tid = 0;
+thread_local std::string tls_desired_label;
+
+/// Cached buffer pointer, invalidated when the tracer's generation
+/// moves (reset() between sessions).
+struct TlsSlot {
+    Tracer* owner = nullptr;
+    void* buffer = nullptr;
+    std::uint64_t generation = 0;
+};
+thread_local TlsSlot tls_slot;
+
+std::atomic<std::uint32_t> g_next_pool_tid{1};
+
+std::uint64_t steady_now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+Tracer& Tracer::global() {
+    static Tracer tracer;
+    return tracer;
+}
+
+void Tracer::enable() {
+    if (enabled()) return;
+    reset();
+    epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+    detail::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() {
+    detail::g_trace_enabled.store(false, std::memory_order_release);
+}
+
+void Tracer::reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.clear();
+    dynamic_tid_ = kDynamicTidBase;
+    // Release pairs with the acquire in record(): a thread that sees
+    // the new generation also sees the cleared registry.
+    generation_.fetch_add(1, std::memory_order_release);
+}
+
+void Tracer::set_capacity_per_thread(std::size_t events) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = events == 0 ? 1 : events;
+}
+
+std::size_t Tracer::capacity_per_thread() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+std::uint32_t Tracer::reserve_tid_block(std::uint32_t n) {
+    return g_next_pool_tid.fetch_add(n, std::memory_order_relaxed);
+}
+
+void Tracer::set_thread_identity(std::uint32_t tid, std::string label) {
+    tls_desired_tid = tid;
+    tls_desired_label = std::move(label);
+    // Force re-registration so a recycled pool slot picks up the new
+    // identity even if this thread recorded under an old one.
+    tls_slot.buffer = nullptr;
+}
+
+std::uint64_t Tracer::now_ns() const noexcept {
+    return steady_now_ns() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer* Tracer::register_this_thread() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint32_t tid = tls_desired_tid;
+    std::string label = tls_desired_label;
+    if (tid == 0) {
+        tid = dynamic_tid_++;
+    }
+    if (label.empty()) {
+        label = "thread-" + std::to_string(tid);
+    }
+    buffers_.push_back(
+        std::make_unique<ThreadBuffer>(tid, std::move(label), capacity_));
+    return buffers_.back().get();
+}
+
+void Tracer::record(const TraceEvent& ev) {
+    TlsSlot& slot = tls_slot;
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (slot.buffer == nullptr || slot.owner != this || slot.generation != gen) {
+        slot.owner = this;
+        slot.buffer = register_this_thread();
+        slot.generation = gen;
+    }
+    auto* buf = static_cast<ThreadBuffer*>(slot.buffer);
+    const std::size_t n = buf->size.load(std::memory_order_relaxed);
+    if (n >= buf->events.size()) {
+        buf->dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    buf->events[n] = ev;
+    buf->size.store(n + 1, std::memory_order_release);
+}
+
+std::vector<MergedEvent> Tracer::merged() const {
+    std::vector<MergedEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& buf : buffers_) {
+            const std::size_t n = buf->size.load(std::memory_order_acquire);
+            for (std::size_t i = 0; i < n; ++i) {
+                out.push_back({buf->tid, buf->events[i]});
+            }
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MergedEvent& a, const MergedEvent& b) {
+                  if (a.ev.start_ns != b.ev.start_ns)
+                      return a.ev.start_ns < b.ev.start_ns;
+                  // Parent before child when both start on the same tick.
+                  if (a.ev.dur_ns != b.ev.dur_ns)
+                      return a.ev.dur_ns > b.ev.dur_ns;
+                  if (a.tid != b.tid) return a.tid < b.tid;
+                  return std::strcmp(a.ev.name, b.ev.name) < 0;
+              });
+    return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>>
+Tracer::thread_labels() const {
+    std::vector<std::pair<std::uint32_t, std::string>> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.reserve(buffers_.size());
+        for (const auto& buf : buffers_) {
+            out.emplace_back(buf->tid, buf->label);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto& buf : buffers_) {
+        total += buf->dropped.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+} // namespace stsense::obs

@@ -1,0 +1,205 @@
+#pragma once
+
+/// Hierarchical tracing for the stsense runtime.
+///
+/// The tracer records *spans* — named, nestable intervals on the
+/// monotonic clock — into per-thread lock-free buffers, so the record
+/// path never takes a lock and never allocates. Recording is globally
+/// gated by a single relaxed atomic: with tracing disabled a Span
+/// construct/destruct pair costs one load and a branch, cheap enough
+/// to leave compiled into the Newton inner loop. Spans carry at most
+/// one string tag and one numeric annotation; all strings must be
+/// literals (or otherwise outlive the tracer) — the buffers store the
+/// pointers, not copies.
+///
+/// Threading model: each thread that records gets its own fixed-
+/// capacity buffer, registered lazily on first use. A writer publishes
+/// an event by storing the new size with release order; the exporter
+/// reads sizes with acquire, so a post-run merge is race-free without
+/// ever blocking a worker. Buffers that fill up drop events (counted).
+/// enable()/reset() must only be called while no thread is recording
+/// (i.e. between runs, with the pool quiesced) — the normal pattern is
+/// one obs::TraceSession wrapping a whole process run.
+///
+/// Thread ids in the exported trace are logical, not OS ids: pools
+/// reserve a contiguous block via reserve_tid_block() so worker K of
+/// pool P is stable across runs, which keeps per-thread nesting checks
+/// and golden traces deterministic. Unregistered threads (main, tests)
+/// draw from a dynamic range starting at kDynamicTidBase.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stsense::obs {
+
+namespace detail {
+/// Global gate, separate from the Tracer singleton so the hot path
+/// never touches a function-local-static guard variable.
+inline std::atomic<bool> g_trace_enabled{false};
+} // namespace detail
+
+/// True when spans are being recorded. Relaxed: a span that straddles
+/// an enable/disable edge may be dropped or kept, never torn.
+inline bool trace_enabled() noexcept {
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// One completed span. POD; string fields point at literals. Up to two
+/// string annotations and one numeric annotation.
+struct TraceEvent {
+    const char* name = nullptr;
+    const char* tag_key = nullptr;   ///< first string annotation
+    const char* tag_val = nullptr;
+    const char* tag2_key = nullptr;  ///< second string annotation
+    const char* tag2_val = nullptr;
+    const char* num_key = nullptr;   ///< numeric annotation
+    double num = 0.0;
+    std::uint64_t start_ns = 0;      ///< offset from the session epoch
+    std::uint64_t dur_ns = 0;
+};
+
+/// A span plus the logical thread it was recorded on (merge output).
+struct MergedEvent {
+    std::uint32_t tid = 0;
+    TraceEvent ev;
+};
+
+class Tracer {
+public:
+    /// Dynamic (non-pool) threads get ids from this base upward, well
+    /// clear of any reserved pool block.
+    static constexpr std::uint32_t kDynamicTidBase = 1000;
+
+    static Tracer& global();
+
+    /// Starts a recording session: clears all buffers, re-arms lazy
+    /// per-thread registration, stamps the epoch, and opens the gate.
+    /// Must not race with recording threads.
+    void enable();
+
+    /// Closes the gate. Buffers are kept for export until the next
+    /// enable()/reset().
+    void disable();
+
+    bool enabled() const noexcept { return trace_enabled(); }
+
+    /// Drops all recorded events and thread registrations. Must not
+    /// race with recording threads.
+    void reset();
+
+    /// Per-thread event capacity for buffers created after the call.
+    /// Takes effect at the next enable(); also settable through the
+    /// STSENSE_TRACE_CAP environment variable (read by TraceSession).
+    void set_capacity_per_thread(std::size_t events);
+    std::size_t capacity_per_thread() const;
+
+    /// Reserves `n` consecutive logical thread ids and returns the
+    /// first. Pools call this once at construction so their workers
+    /// have stable, collision-free tids even with several pools alive.
+    static std::uint32_t reserve_tid_block(std::uint32_t n);
+
+    /// Binds the calling thread's logical id and display label, used
+    /// when its buffer is (lazily) registered. The label is copied.
+    static void set_thread_identity(std::uint32_t tid, std::string label);
+
+    /// Nanoseconds since the session epoch (monotonic).
+    std::uint64_t now_ns() const noexcept;
+
+    /// Appends one event to the calling thread's buffer.
+    void record(const TraceEvent& ev);
+
+    /// Snapshot of every recorded span, sorted deterministically:
+    /// (start_ns, dur_ns descending, tid, name). The descending-
+    /// duration tiebreak puts a parent before children that start on
+    /// the same clock tick.
+    std::vector<MergedEvent> merged() const;
+
+    /// (tid, label) for every registered thread, sorted by tid.
+    std::vector<std::pair<std::uint32_t, std::string>> thread_labels() const;
+
+    /// Events discarded because a per-thread buffer filled up.
+    std::uint64_t dropped() const;
+
+private:
+    struct ThreadBuffer {
+        ThreadBuffer(std::uint32_t tid, std::string label, std::size_t cap)
+            : tid(tid), label(std::move(label)), events(cap) {}
+        const std::uint32_t tid;
+        const std::string label;
+        std::vector<TraceEvent> events;  ///< fixed capacity, never resized
+        std::atomic<std::size_t> size{0};
+        std::atomic<std::uint64_t> dropped{0};
+    };
+
+    Tracer() = default;
+    ThreadBuffer* register_this_thread();
+
+    mutable std::mutex mutex_;  ///< guards buffers_ / dynamic_tid_ / capacity_
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    std::uint32_t dynamic_tid_ = kDynamicTidBase;
+    std::size_t capacity_ = 1u << 17;
+    /// Bumped by reset(); invalidates every thread's cached buffer.
+    std::atomic<std::uint64_t> generation_{1};
+    std::atomic<std::uint64_t> epoch_ns_{0};
+};
+
+/// RAII span. Construct names the interval, destruct records it.
+/// Cheap no-op when tracing is disabled.
+class Span {
+public:
+    explicit Span(const char* name) noexcept {
+        if (!trace_enabled()) return;
+        active_ = true;
+        ev_.name = name;
+        ev_.start_ns = Tracer::global().now_ns();
+    }
+    ~Span() {
+        if (!active_) return;
+        ev_.dur_ns = Tracer::global().now_ns() - ev_.start_ns;
+        Tracer::global().record(ev_);
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Attaches a string annotation (both arguments must be literals).
+    /// The first two calls land in distinct slots; a repeated key —
+    /// e.g. re-tagging "status" after a retry — overwrites its slot.
+    Span& tag(const char* key, const char* value) noexcept {
+        if (!active_) return *this;
+        if (ev_.tag_key == nullptr || ev_.tag_key == key) {
+            ev_.tag_key = key;
+            ev_.tag_val = value;
+        } else {
+            ev_.tag2_key = key;
+            ev_.tag2_val = value;
+        }
+        return *this;
+    }
+    /// Attaches a numeric annotation (key must be a literal).
+    Span& num(const char* key, double value) noexcept {
+        if (active_) {
+            ev_.num_key = key;
+            ev_.num = value;
+        }
+        return *this;
+    }
+    bool active() const noexcept { return active_; }
+
+private:
+    TraceEvent ev_{};
+    bool active_ = false;
+};
+
+} // namespace stsense::obs
+
+#define STSENSE_OBS_CONCAT2(a, b) a##b
+#define STSENSE_OBS_CONCAT(a, b) STSENSE_OBS_CONCAT2(a, b)
+/// Anonymous scope-level span: `OBS_SPAN("ring.sweep.point");`
+#define OBS_SPAN(name) \
+    ::stsense::obs::Span STSENSE_OBS_CONCAT(obs_span_, __COUNTER__)(name)

@@ -4,6 +4,7 @@
 #include "exec/fault_injector.hpp"
 #include "exec/fingerprint.hpp"
 #include "exec/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phys/units.hpp"
 #include "ring/analytic.hpp"
 
@@ -15,6 +16,16 @@
 #include <utility>
 
 namespace stsense::ring {
+
+const char* to_string(FaultPolicy policy) {
+    switch (policy) {
+        case FaultPolicy::Propagate: return "propagate";
+        case FaultPolicy::Skip: return "skip";
+        case FaultPolicy::Retry: return "retry";
+        case FaultPolicy::FallbackToAnalytic: return "fallback-analytic";
+    }
+    return "unknown";
+}
 
 const char* to_string(PointStatus status) {
     switch (status) {
@@ -141,7 +152,10 @@ void compute_points(SweepResult& out, const SweepRuntime& runtime,
     out.status.resize(n);
     const auto body = [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
+            obs::Span span("ring.sweep.point");
+            span.num("index", static_cast<double>(i));
             const PointEval e = point(i, out.temps_c[i]);
+            span.tag("status", to_string(e.status));
             out.period_s[i] = e.period;
             out.frequency_hz[i] = 1.0 / e.period;
             out.status[i] = e.status;
@@ -366,6 +380,11 @@ SweepResult temperature_sweep(const phys::Technology& tech,
     auto& metrics = exec::MetricsRegistry::global();
     const exec::ScopedTimer timer(metrics.timer(
         engine == Engine::Analytic ? "ring.sweep.analytic" : "ring.sweep.spice"));
+
+    obs::Span span("ring.sweep");
+    span.tag("engine", engine == Engine::Analytic ? "analytic" : "spice");
+    span.tag("policy", to_string(runtime.fault.policy));
+    span.num("points", static_cast<double>(temps_c.size()));
 
     // An installed fault injector makes outcomes depend on the injector
     // state, which the fingerprint cannot see — never memoize those.

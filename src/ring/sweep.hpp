@@ -47,6 +47,8 @@ enum class FaultPolicy {
     FallbackToAnalytic, ///< Substitute the analytic model's period.
 };
 
+const char* to_string(FaultPolicy policy);
+
 /// Retry shaping for FaultPolicy::Retry.
 struct FaultPolicySpec {
     FaultPolicy policy = FaultPolicy::Propagate;

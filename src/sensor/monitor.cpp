@@ -3,6 +3,7 @@
 #include "exec/fault_injector.hpp"
 #include "exec/metrics.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "phys/units.hpp"
 
 #include <limits>
@@ -12,6 +13,27 @@
 #include <stdexcept>
 
 namespace stsense::sensor {
+
+namespace {
+
+/// One successful ring readout (digitized code + converted temperature).
+struct RingReadout {
+    double temp_c = 0.0;
+    std::uint32_t code = 0;
+};
+
+/// Maps a readout failure onto the health ledger's fault taxonomy.
+SiteFault fault_of(const stsense::Error& e) {
+    switch (e.kind) {
+        case stsense::ErrorKind::DeadlineExceeded: return SiteFault::Stuck;
+        case stsense::ErrorKind::OutOfRange: return SiteFault::OutOfRange;
+        case stsense::ErrorKind::NonFiniteState:
+        case stsense::ErrorKind::NotCalibrated: return SiteFault::NonFinite;
+        default: return SiteFault::Readout;
+    }
+}
+
+} // namespace
 
 const char* to_string(SiteConfidence confidence) {
     switch (confidence) {
@@ -86,6 +108,9 @@ ThermalMonitor::ThermalMonitor(const phys::Technology& tech,
 }
 
 MapResult ThermalMonitor::scan() const {
+    obs::Span span("sensor.scan");
+    span.tag("mode", config_.enable_health ? "resilient" : "legacy");
+    span.num("sites", static_cast<double>(sites_.size()));
     return config_.enable_health ? scan_resilient() : scan_legacy();
 }
 
@@ -247,6 +272,8 @@ MapResult ThermalMonitor::scan_resilient() const {
         exec::ThreadPool::global().parallel_for(
             n_rings, 1, [&](std::size_t begin, std::size_t end) {
                 for (std::size_t g = begin; g < end; ++g) {
+                    obs::Span span("sensor.site.transduce");
+                    span.num("ring", static_cast<double>(g));
                     const std::size_t i = g / reps;
                     exec::FaultContext ctx(g);
                     const auto& s = site_sensor(i);
@@ -325,8 +352,45 @@ MapResult ThermalMonitor::scan_resilient() const {
     std::vector<std::uint8_t> site_probed(n, 0);
     std::uint64_t retries = 0;
 
+    // One attempt ladder for one ring, as an Expected: either a readout
+    // or the classified failure fault_of() folds into the health ledger.
+    auto read_ring = [&](std::size_t i,
+                         std::size_t g) -> stsense::Expected<RingReadout> {
+        auto* inj = exec::FaultInjector::active();
+        for (int attempt = 0; attempt <= hc.max_retries; ++attempt) {
+            if (inj != nullptr &&
+                inj->trip(exec::FaultInjector::Site::Point,
+                          exec::FaultInjector::point_stream(
+                              g + n_rings * epoch,
+                              static_cast<std::uint64_t>(attempt)))) {
+                if (attempt < hc.max_retries) ++retries;
+                continue;
+            }
+            std::uint32_t code = 0;
+            if (!unit.measure_with_watchdog(static_cast<int>(g), code)) {
+                return stsense::Error{stsense::ErrorKind::DeadlineExceeded,
+                                      "readout: watchdog tripped"};
+            }
+            auto t = conv_sensor(i).try_convert(code);
+            if (!t.ok()) return t.error();
+            if (t.value() < hc.temp_min_c || t.value() > hc.temp_max_c) {
+                return stsense::Error{stsense::ErrorKind::OutOfRange,
+                                      "readout: outside plausible band"};
+            }
+            return RingReadout{t.value(), code};
+        }
+        return stsense::Error{stsense::ErrorKind::StepLimit,
+                              "readout: transient faults exhausted retries"};
+    };
+
     for (std::size_t i = 0; i < n; ++i) {
-        if (!supervisor_.should_probe(i)) continue;
+        obs::Span span("sensor.site.readout");
+        span.num("site", static_cast<double>(i));
+        span.tag("health", to_string(supervisor_.state(i)));
+        if (!supervisor_.should_probe(i)) {
+            span.tag("probed", "no");
+            continue;
+        }
         site_probed[i] = 1;
         for (std::size_t rep = 0; rep < reps; ++rep) {
             const std::size_t g = i * reps + rep;
@@ -334,37 +398,14 @@ MapResult ThermalMonitor::scan_resilient() const {
                 ring_fault[g] = SiteFault::NonFinite;
                 continue;
             }
-            SiteFault fault = SiteFault::Readout; // If every attempt trips.
-            auto* inj = exec::FaultInjector::active();
-            for (int attempt = 0; attempt <= hc.max_retries; ++attempt) {
-                if (inj != nullptr &&
-                    inj->trip(exec::FaultInjector::Site::Point,
-                              exec::FaultInjector::point_stream(
-                                  g + n_rings * epoch,
-                                  static_cast<std::uint64_t>(attempt)))) {
-                    if (attempt < hc.max_retries) ++retries;
-                    continue;
-                }
-                std::uint32_t code = 0;
-                if (!unit.measure_with_watchdog(static_cast<int>(g), code)) {
-                    fault = SiteFault::Stuck;
-                    break;
-                }
-                auto t = conv_sensor(i).try_convert(code);
-                if (!t.ok()) {
-                    fault = SiteFault::NonFinite;
-                    break;
-                }
-                if (t.value() < hc.temp_min_c || t.value() > hc.temp_max_c) {
-                    fault = SiteFault::OutOfRange;
-                    break;
-                }
-                ring_temp[g] = t.value();
-                ring_code[g] = code;
-                fault = SiteFault::None;
-                break;
+            auto r = read_ring(i, g);
+            if (r.ok()) {
+                ring_temp[g] = r.value().temp_c;
+                ring_code[g] = r.value().code;
+                ring_fault[g] = SiteFault::None;
+            } else {
+                ring_fault[g] = fault_of(r.error());
             }
-            ring_fault[g] = fault;
         }
     }
 

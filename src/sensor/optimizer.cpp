@@ -3,6 +3,7 @@
 #include "analysis/nonlinearity.hpp"
 #include "exec/checkpoint.hpp"
 #include "exec/fingerprint.hpp"
+#include "obs/trace.hpp"
 #include "phys/units.hpp"
 #include "ring/analytic.hpp"
 #include "ring/sweep.hpp"
@@ -94,14 +95,18 @@ std::vector<std::array<double, 2>> eval_candidates(
     pool_or_global(rt.pool).parallel_for(
         configs.size(), 1, [&](std::size_t begin, std::size_t end) {
             for (std::size_t i = begin; i < end; ++i) {
+                obs::Span span("sensor.optimize.candidate");
+                span.num("index", static_cast<double>(i));
                 if (ckpt && ckpt->completed(i)) {
                     const auto v = ckpt->values(i);
                     vals[i] = {v[0], v[1]};
+                    span.tag("source", "checkpoint");
                     continue;
                 }
                 vals[i] = {nl_of_config(tech, configs[i], rt.fault),
                            period_27c(tech, configs[i])};
                 if (ckpt) ckpt->record(i, vals[i]);
+                span.tag("source", "computed");
             }
         });
     if (ckpt) {

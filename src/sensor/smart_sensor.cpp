@@ -1,6 +1,7 @@
 #include "sensor/smart_sensor.hpp"
 
 #include "analysis/nonlinearity.hpp"
+#include "obs/trace.hpp"
 #include "phys/units.hpp"
 
 #include <algorithm>
@@ -170,6 +171,7 @@ spice::Result<double> SmartTemperatureSensor::try_convert(
 
 spice::Result<Measurement> SmartTemperatureSensor::try_measure(
     double die_temp_c) const {
+    OBS_SPAN("sensor.measure");
     Measurement m;
     m.junction_c = junction_at(die_temp_c);
     const double period = period_at(m.junction_c);
@@ -187,6 +189,7 @@ spice::Result<Measurement> SmartTemperatureSensor::try_measure(
 
 spice::Result<Measurement> SmartTemperatureSensor::try_measure(
     double die_temp_c, util::Rng& rng) const {
+    OBS_SPAN("sensor.measure");
     Measurement m;
     m.junction_c = junction_at(die_temp_c);
     const double period = period_at(m.junction_c);

@@ -1,47 +1,35 @@
-// Structured solver-failure taxonomy and an expected-style Result<T>.
+// Solver-failure taxonomy — now thin aliases over the library-wide
+// stsense::Expected<T, Error> (util/expected.hpp).
 //
 // The simulation engine historically threw on any failure, which meant a
 // single bad (config, T) point aborted a whole sweep with no diagnosis
 // and no partial result. The fault-tolerant API instead *returns* a
-// SimError carried in a Result<T>: callers (the ring driver, the sweep
-// FaultPolicy machinery, the benches) can classify the failure, retry
-// with a different rung of the recovery ladder, substitute an analytic
-// fallback, or record-and-skip the point. The throwing entry points
-// survive as thin wrappers for existing callers.
+// classified error carried in a Result<T>: callers (the ring driver, the
+// sweep FaultPolicy machinery, the benches) can classify the failure,
+// retry with a different rung of the recovery ladder, substitute an
+// analytic fallback, or record-and-skip the point.
+//
+// The error machinery itself was promoted to stsense::{ErrorKind, Error,
+// Expected} when the sensor and monitor layers grew the same contract;
+// this header keeps the original spice names alive as aliases plus the
+// pieces that are genuinely solver-specific (RecoveryRung, SimException).
 #pragma once
 
+#include "util/expected.hpp"
+
 #include <stdexcept>
-#include <string>
 #include <utility>
-#include <variant>
 
 namespace stsense::spice {
 
-/// What went wrong inside a solve. The first five kinds mirror the
-/// classic SPICE failure modes; MissingSignal covers malformed
-/// netlist/probe requests surfaced by the measurement layer.
-enum class SimErrorKind {
-    NonConvergence,   ///< Newton exhausted its iterations on every rung.
-    SingularMatrix,   ///< LU factorization hit a zero pivot.
-    NonFiniteState,   ///< NaN/Inf appeared in the solution vector.
-    StepLimit,        ///< Iteration/step budget exceeded.
-    DeadlineExceeded, ///< Per-solve wall-clock budget exceeded.
-    MissingSignal,    ///< Requested probe/trace does not exist.
-    NotCalibrated,    ///< Readout requested before the converter was trimmed.
-};
+/// DEPRECATED alias — use stsense::ErrorKind in new code.
+using SimErrorKind = stsense::ErrorKind;
 
-inline const char* to_string(SimErrorKind kind) {
-    switch (kind) {
-        case SimErrorKind::NonConvergence: return "non-convergence";
-        case SimErrorKind::SingularMatrix: return "singular-matrix";
-        case SimErrorKind::NonFiniteState: return "non-finite-state";
-        case SimErrorKind::StepLimit: return "step-limit";
-        case SimErrorKind::DeadlineExceeded: return "deadline-exceeded";
-        case SimErrorKind::MissingSignal: return "missing-signal";
-        case SimErrorKind::NotCalibrated: return "not-calibrated";
-    }
-    return "unknown";
-}
+/// DEPRECATED alias — use stsense::Error in new code.
+using SimError = stsense::Error;
+
+/// Makes `spice::to_string(err.kind)` keep resolving post-aliasing.
+using stsense::to_string;
 
 /// Which rung of the recovery ladder produced the returned solution.
 /// None means the plain solve converged (the fault-free fast path).
@@ -62,22 +50,6 @@ inline const char* to_string(RecoveryRung rung) {
     return "unknown";
 }
 
-/// One classified solver failure.
-struct SimError {
-    SimErrorKind kind = SimErrorKind::NonConvergence;
-    std::string message;
-    double time_s = -1.0;    ///< Transient time of the failure; -1 for DC.
-    long newton_iters = 0;   ///< Iterations burned before giving up.
-
-    std::string to_string() const {
-        std::string out = spice::to_string(kind);
-        out += ": ";
-        out += message;
-        if (time_s >= 0.0) out += " (t = " + std::to_string(time_s) + " s)";
-        return out;
-    }
-};
-
 /// Exception form of a SimError, thrown by the compatibility wrappers.
 struct SimException : std::runtime_error {
     explicit SimException(SimError e)
@@ -85,28 +57,21 @@ struct SimException : std::runtime_error {
     SimError error;
 };
 
-/// Minimal expected-style carrier: either a value or a SimError.
+/// DEPRECATED alias — use stsense::Expected<T> in new code.
 template <typename T>
-class Result {
-public:
-    Result(T value) : v_(std::move(value)) {}              // NOLINT(google-explicit-constructor)
-    Result(SimError error) : v_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
-
-    bool ok() const { return std::holds_alternative<T>(v_); }
-    explicit operator bool() const { return ok(); }
-
-    T& value() { return std::get<T>(v_); }
-    const T& value() const { return std::get<T>(v_); }
-    const SimError& error() const { return std::get<SimError>(v_); }
-
-    /// Unwraps, throwing SimException on error (compatibility bridge).
-    T take_or_throw() && {
-        if (!ok()) throw SimException(std::get<SimError>(std::move(v_)));
-        return std::get<T>(std::move(v_));
-    }
-
-private:
-    std::variant<T, SimError> v_;
-};
+using Result = stsense::Expected<T, SimError>;
 
 } // namespace stsense::spice
+
+namespace stsense {
+
+/// take_or_throw() on any Expected<T, Error> raises the historical
+/// SimException, preserving every existing catch site.
+template <>
+struct ErrorTraits<Error> {
+    [[noreturn]] static void raise(Error error) {
+        throw spice::SimException(std::move(error));
+    }
+};
+
+} // namespace stsense

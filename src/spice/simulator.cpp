@@ -2,6 +2,7 @@
 
 #include "exec/fault_injector.hpp"
 #include "exec/metrics.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -263,6 +264,10 @@ Simulator::NewtonStatus Simulator::solve_newton(
     const bool use_bypass = params.allow_fast && caps != nullptr &&
                             options_.kernel.bypass_tol_v > 0.0;
 
+    obs::Span span("spice.newton.solve");
+    span.tag("kernel", fast_reuse ? (use_bypass ? "reuse+bypass" : "reuse")
+                                  : (use_bypass ? "bypass" : "classic"));
+
     Matrix& jac = ws_.jac;
     std::vector<double>& residual = ws_.residual;
     std::vector<double>& delta = ws_.delta;
@@ -287,6 +292,7 @@ Simulator::NewtonStatus Simulator::solve_newton(
                                  ws_.lu_integ == integ &&
                                  ws_.lu_gmin == params.gmin;
         if (lu_reusable) {
+            OBS_SPAN("spice.newton.reuse");
             // Modified Newton: residual-only assembly, re-solve against
             // the kept factorization.
             assemble(volts, h, caps, integ, params.gmin, /*want_jac=*/false,
@@ -296,6 +302,7 @@ Simulator::NewtonStatus Simulator::solve_newton(
             ++ws_.lu_reuses;
             ++reuse_run;
         } else {
+            OBS_SPAN("spice.newton.refactor");
             assemble(volts, h, caps, integ, params.gmin, /*want_jac=*/true,
                      use_bypass, jac, residual);
             // Solve J * delta = -F.
@@ -394,6 +401,7 @@ Simulator::Budget Simulator::make_budget() const {
 }
 
 Result<std::vector<double>> Simulator::dc_ladder(Budget& budget) {
+    obs::Span span("spice.dc");
     const Sabotage sab = next_sabotage();
     long iters = 0;
 
@@ -418,6 +426,7 @@ Result<std::vector<double>> Simulator::dc_ladder(Budget& budget) {
         solve_newton(volts, 0.0, nullptr, options_.integrator, base, budget, sab, iters);
     if (status == NewtonStatus::Converged) {
         last_dc_rung_ = RecoveryRung::None;
+        span.tag("rung", "none");
         return volts;
     }
     if (is_budget(status)) return fail(status);
@@ -439,6 +448,7 @@ Result<std::vector<double>> Simulator::dc_ladder(Budget& budget) {
     status = solve_newton(volts, 0.0, nullptr, options_.integrator, base, budget, sab, iters);
     if (status == NewtonStatus::Converged) {
         last_dc_rung_ = RecoveryRung::None;
+        span.tag("rung", "none");
         return volts;
     }
     if (is_budget(status)) return fail(status);
@@ -454,6 +464,7 @@ Result<std::vector<double>> Simulator::dc_ladder(Budget& budget) {
     status = solve_newton(volts, 0.0, nullptr, options_.integrator, damped, budget, sab, iters);
     if (status == NewtonStatus::Converged) {
         last_dc_rung_ = RecoveryRung::DampedNewton;
+        span.tag("rung", "damped");
         return volts;
     }
     if (is_budget(status)) return fail(status);
@@ -477,6 +488,7 @@ Result<std::vector<double>> Simulator::dc_ladder(Budget& budget) {
     }
     if (ramp_ok) {
         last_dc_rung_ = RecoveryRung::GminStepping;
+        span.tag("rung", "gmin");
         return volts;
     }
     if (is_budget(status)) return fail(status);
@@ -499,6 +511,7 @@ Result<std::vector<double>> Simulator::dc_ladder(Budget& budget) {
     }
     if (source_ok) {
         last_dc_rung_ = RecoveryRung::SourceStepping;
+        span.tag("rung", "source");
         return volts;
     }
     if (is_budget(status)) return fail(status);
@@ -833,6 +846,9 @@ Result<TransientResult> Simulator::try_transient(const TransientSpec& spec) {
         throw std::invalid_argument("transient: record_stride must be >= 1");
     }
 
+    obs::Span span("spice.transient");
+    span.tag("mode", options_.kernel.adaptive ? "adaptive" : "fixed");
+
     Budget budget = make_budget();
 
     std::vector<double> volts(circuit_.node_count(), 0.0);
@@ -905,6 +921,7 @@ Result<TransientResult> Simulator::try_transient(const TransientSpec& spec) {
     result.bypass_hits = ws_.bypass_hits;
     result.device_evals = ws_.device_evals;
     result.steps_rejected = ws_.steps_rejected;
+    span.num("steps", static_cast<double>(result.steps_taken));
     if (err) return *err;
 
     // Publish the kernel statistics once per run, off the per-step hot

@@ -1,0 +1,119 @@
+// stsense::Expected<T, E> — the library-wide error carrier.
+//
+// Three error surfaces grew independently before this header existed:
+// spice::Result<T>/SimError (solver failures), the sensor's try_*
+// readout paths (reusing spice::Result), and the monitor's per-ring
+// readout verdicts (ad-hoc SiteFault bookkeeping). They all express the
+// same contract — "a value, or a classified failure" — so they now
+// share this one template. The old spice names survive as thin aliases
+// in spice/sim_error.hpp.
+//
+// Expected deliberately mirrors the subset of std::expected (C++23,
+// unavailable at our language level) the codebase actually uses, plus
+// the domain bridge the old spice::Result had: take_or_throw() raises
+// the *domain's* exception type via the ErrorTraits customization
+// point, so throwing wrappers at any layer keep their historical
+// exception contracts without this header knowing about them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace stsense {
+
+/// What went wrong, library-wide. The first five kinds mirror the
+/// classic SPICE failure modes; the later ones cover the measurement
+/// and readout layers. Aliased as spice::SimErrorKind.
+enum class ErrorKind {
+    NonConvergence,   ///< Newton exhausted its iterations on every rung.
+    SingularMatrix,   ///< LU factorization hit a zero pivot.
+    NonFiniteState,   ///< NaN/Inf appeared in a solution or conversion.
+    StepLimit,        ///< Iteration/step budget exceeded.
+    DeadlineExceeded, ///< Per-solve wall-clock budget exceeded.
+    MissingSignal,    ///< Requested probe/trace does not exist.
+    NotCalibrated,    ///< Readout requested before the converter was trimmed.
+    OutOfRange,       ///< Value outside the plausible/configured band.
+};
+
+inline const char* to_string(ErrorKind kind) {
+    switch (kind) {
+        case ErrorKind::NonConvergence: return "non-convergence";
+        case ErrorKind::SingularMatrix: return "singular-matrix";
+        case ErrorKind::NonFiniteState: return "non-finite-state";
+        case ErrorKind::StepLimit: return "step-limit";
+        case ErrorKind::DeadlineExceeded: return "deadline-exceeded";
+        case ErrorKind::MissingSignal: return "missing-signal";
+        case ErrorKind::NotCalibrated: return "not-calibrated";
+        case ErrorKind::OutOfRange: return "out-of-range";
+    }
+    return "unknown";
+}
+
+/// One classified failure. Aliased as spice::SimError; the solver
+/// fields (time_s, newton_iters) are inert for non-solver errors.
+struct Error {
+    ErrorKind kind = ErrorKind::NonConvergence;
+    std::string message;
+    double time_s = -1.0;    ///< Transient time of the failure; -1 for DC.
+    long newton_iters = 0;   ///< Iterations burned before giving up.
+
+    std::string to_string() const {
+        std::string out = stsense::to_string(kind);
+        out += ": ";
+        out += message;
+        if (time_s >= 0.0) out += " (t = " + std::to_string(time_s) + " s)";
+        return out;
+    }
+};
+
+/// Customization point: how take_or_throw() turns an E into the
+/// domain's exception. The default wraps E::to_string() (or, failing
+/// that, nothing useful — specialize for your error type). spice
+/// specializes this for Error to throw SimException, preserving the
+/// historical catch sites.
+template <typename E>
+struct ErrorTraits {
+    [[noreturn]] static void raise(E error) {
+        throw std::runtime_error(error.to_string());
+    }
+};
+
+/// Either a value or a classified error. Implicitly constructible from
+/// both (matching the old spice::Result ergonomics, where `return e;`
+/// inside a Result-returning function is the idiomatic failure path).
+template <typename T, typename E = Error>
+class Expected {
+public:
+    using value_type = T;
+    using error_type = E;
+
+    Expected(T value) : v_(std::move(value)) {}   // NOLINT(google-explicit-constructor)
+    Expected(E error) : v_(std::move(error)) {}   // NOLINT(google-explicit-constructor)
+
+    bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    T& value() { return std::get<T>(v_); }
+    const T& value() const { return std::get<T>(v_); }
+    E& error() { return std::get<E>(v_); }
+    const E& error() const { return std::get<E>(v_); }
+
+    /// value() or a fallback; never throws.
+    T value_or(T fallback) const {
+        return ok() ? std::get<T>(v_) : std::move(fallback);
+    }
+
+    /// Unwraps, raising the domain exception (ErrorTraits<E>::raise) on
+    /// error — the bridge the throwing compatibility wrappers use.
+    T take_or_throw() && {
+        if (!ok()) ErrorTraits<E>::raise(std::get<E>(std::move(v_)));
+        return std::get<T>(std::move(v_));
+    }
+
+private:
+    std::variant<T, E> v_;
+};
+
+} // namespace stsense

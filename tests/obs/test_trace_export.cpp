@@ -1,0 +1,167 @@
+// Schema of the exported Chrome trace-event JSON and the spans
+// aggregate JSON: required keys present, timestamps carry exact
+// nanosecond precision as microseconds with three decimals, metadata
+// rows name every registered thread, and TraceSession arms/flushes the
+// global tracer around a run.
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace stsense::obs {
+namespace {
+
+class TraceExportTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        Tracer::global().disable();
+        Tracer::global().reset();
+    }
+    void TearDown() override {
+        Tracer::global().disable();
+        Tracer::global().reset();
+    }
+
+    /// Records one synthetic event with exact timestamps and an
+    /// annotation of every kind on a known logical thread.
+    void record_reference_event() {
+        Tracer::global().enable();
+        Tracer::set_thread_identity(7, "ref-thread");
+        TraceEvent ev;
+        ev.name = "test.export";
+        ev.tag_key = "engine";
+        ev.tag_val = "spice";
+        ev.tag2_key = "status";
+        ev.tag2_val = "ok";
+        ev.num_key = "points";
+        ev.num = 17.0;
+        ev.start_ns = 1234567;  // 1234.567 us
+        ev.dur_ns = 89012;      // 89.012 us
+        Tracer::global().record(ev);
+        Tracer::global().disable();
+    }
+
+    std::string rendered() {
+        std::ostringstream os;
+        write_chrome_trace(os, Tracer::global());
+        return os.str();
+    }
+};
+
+TEST_F(TraceExportTest, EmitsTraceEventsArrayWithMetadataAndCompleteEvents) {
+    record_reference_event();
+    const std::string json = rendered();
+    EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+    // Thread-name metadata row for the registered logical tid.
+    EXPECT_NE(json.find("{\"ph\":\"M\",\"pid\":1,\"tid\":7,"
+                        "\"name\":\"thread_name\",\"args\":{\"name\":\"ref-thread\"}}"),
+              std::string::npos);
+    // The complete ("X") event with exact-precision microsecond ts/dur.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"test.export\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"stsense\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1234.567"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":89.012"), std::string::npos);
+    // All three annotations in args.
+    EXPECT_NE(json.find("\"args\":{\"engine\":\"spice\",\"status\":\"ok\","
+                        "\"points\":17}"),
+              std::string::npos);
+    // Footer: drop counter always reported.
+    EXPECT_NE(json.find("\"otherData\":{\"dropped\":0}"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, SubMicrosecondTimestampsKeepThreeDecimals) {
+    Tracer::global().enable();
+    TraceEvent ev;
+    ev.name = "test.tiny";
+    ev.start_ns = 42;  // 0.042 us
+    ev.dur_ns = 7;     // 0.007 us
+    Tracer::global().record(ev);
+    Tracer::global().disable();
+    const std::string json = rendered();
+    EXPECT_NE(json.find("\"ts\":0.042"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":0.007"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, EventWithoutAnnotationsOmitsArgs) {
+    Tracer::global().enable();
+    { OBS_SPAN("test.bare"); }
+    Tracer::global().disable();
+    const std::string json = rendered();
+    const auto pos = json.find("\"name\":\"test.bare\"");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_EQ(json.find("\"args\":{", pos), std::string::npos)
+        << "a span with no tags must not emit an args object";
+}
+
+TEST_F(TraceExportTest, SpanNamesAreJsonEscaped) {
+    Tracer::global().enable();
+    TraceEvent ev;
+    ev.name = "test.\"quoted\"\n";
+    Tracer::global().record(ev);
+    Tracer::global().disable();
+    const std::string json = rendered();
+    EXPECT_NE(json.find("test.\\\"quoted\\\"\\n"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, SpansJsonCarriesAggregateTable) {
+    Tracer::global().enable();
+    for (std::uint64_t d = 1; d <= 4; ++d) {
+        TraceEvent ev;
+        ev.name = "test.agg";
+        ev.dur_ns = d * 10;
+        Tracer::global().record(ev);
+    }
+    Tracer::global().disable();
+    const std::string json = spans_json(Tracer::global());
+    // count 4, total 100, mean 25, ceil-rank p95 of {10,20,30,40} = 40.
+    EXPECT_EQ(json,
+              "{\"test.agg\":{\"count\":4,\"total_ns\":100,"
+              "\"mean_ns\":25,\"p95_ns\":40}}");
+}
+
+TEST_F(TraceExportTest, WriteFileFailsCleanlyOnBadPath) {
+    record_reference_event();
+    EXPECT_FALSE(
+        write_chrome_trace_file("/nonexistent-dir/trace.json", Tracer::global()));
+}
+
+TEST_F(TraceExportTest, TraceSessionArmsRecordsAndWrites) {
+    const std::string path = ::testing::TempDir() + "stsense_session_trace.json";
+    std::remove(path.c_str());
+    {
+        TraceSession session(path);
+        ASSERT_TRUE(session.active());
+        EXPECT_TRUE(trace_enabled());
+        { OBS_SPAN("test.session"); }
+        EXPECT_TRUE(session.finish());
+        EXPECT_FALSE(trace_enabled());
+        EXPECT_TRUE(session.finish()) << "finish must be idempotent";
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "trace file missing: " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("\"name\":\"test.session\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceExportTest, TraceSessionWithoutPathIsInert) {
+    // The suite environment must not define STSENSE_TRACE; tier1 sets it
+    // only for the dedicated traced-sweep stage.
+    ASSERT_EQ(std::getenv("STSENSE_TRACE"), nullptr)
+        << "unset STSENSE_TRACE before running the test suite";
+    TraceSession session;
+    EXPECT_FALSE(session.active());
+    EXPECT_FALSE(trace_enabled());
+    EXPECT_TRUE(session.finish());
+}
+
+} // namespace
+} // namespace stsense::obs

@@ -1,0 +1,162 @@
+// The tracing zero-behavior-change contract: a sweep runs bit-for-bit
+// identically with tracing on or off. Spans observe the run; they must
+// never perturb it. Checked for both engines, serial and pooled, with
+// the cache disabled so the traced run genuinely recomputes.
+#include "exec/thread_pool.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "phys/corners.hpp"
+#include "ring/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace stsense {
+namespace {
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+class TraceParityTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::Tracer::global().disable();
+        obs::Tracer::global().reset();
+    }
+    void TearDown() override {
+        obs::Tracer::global().disable();
+        obs::Tracer::global().reset();
+    }
+
+    static ring::SweepRuntime uncached_serial() {
+        return ring::SweepRuntime::serial();
+    }
+};
+
+TEST_F(TraceParityTest, AnalyticSweepBitwiseIdenticalTracedVsUntraced) {
+    const auto tech = phys::cmos350();
+    const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.5);
+
+    const auto untraced = ring::paper_sweep(tech, cfg, ring::Engine::Analytic,
+                                            {}, uncached_serial());
+    obs::Tracer::global().enable();
+    const auto traced = ring::paper_sweep(tech, cfg, ring::Engine::Analytic, {},
+                                          uncached_serial());
+    obs::Tracer::global().disable();
+
+    EXPECT_TRUE(bitwise_equal(untraced.period_s, traced.period_s));
+    EXPECT_TRUE(bitwise_equal(untraced.frequency_hz, traced.frequency_hz));
+    EXPECT_TRUE(bitwise_equal(untraced.temps_c, traced.temps_c));
+    EXPECT_EQ(untraced.status, traced.status);
+
+    // The traced run really was observed: the sweep and per-point spans
+    // are in the buffer (otherwise this test proves nothing).
+    std::size_t sweep_spans = 0;
+    std::size_t point_spans = 0;
+    for (const auto& me : obs::Tracer::global().merged()) {
+        if (std::string(me.ev.name) == "ring.sweep") ++sweep_spans;
+        if (std::string(me.ev.name) == "ring.sweep.point") ++point_spans;
+    }
+    EXPECT_EQ(sweep_spans, 1u);
+    EXPECT_EQ(point_spans, traced.temps_c.size());
+}
+
+TEST_F(TraceParityTest, SpiceSweepBitwiseIdenticalTracedVsUntraced) {
+    const auto tech = phys::cmos350();
+    const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 3, 2.5);
+    const std::vector<double> grid{-50.0, 25.0, 150.0};
+    ring::SpiceRingOptions opt;
+    opt.skip_cycles = 1;
+    opt.measure_cycles = 2;
+    opt.steps_per_period = 60;
+    opt.record_waveform = false;
+
+    const auto untraced =
+        ring::temperature_sweep(tech, cfg, grid, ring::Engine::Spice, opt,
+                                uncached_serial());
+    obs::Tracer::global().enable();
+    const auto traced =
+        ring::temperature_sweep(tech, cfg, grid, ring::Engine::Spice, opt,
+                                uncached_serial());
+    obs::Tracer::global().disable();
+
+    EXPECT_TRUE(bitwise_equal(untraced.period_s, traced.period_s));
+    EXPECT_TRUE(bitwise_equal(untraced.frequency_hz, traced.frequency_hz));
+
+    // The SPICE layers must have produced spans under the sweep's.
+    std::size_t newton_spans = 0;
+    std::size_t transient_spans = 0;
+    for (const auto& me : obs::Tracer::global().merged()) {
+        if (std::string(me.ev.name) == "spice.newton.solve") ++newton_spans;
+        if (std::string(me.ev.name) == "spice.transient") ++transient_spans;
+    }
+    EXPECT_GT(newton_spans, 0u);
+    EXPECT_EQ(transient_spans, grid.size());
+}
+
+TEST_F(TraceParityTest, PooledSweepBitwiseIdenticalTracedVsUntraced) {
+    const auto tech = phys::cmos350();
+    const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 3.0);
+    ring::SweepRuntime rt;
+    rt.use_cache = false;
+    exec::ThreadPool pool(4);
+    rt.pool = &pool;
+
+    const auto untraced =
+        ring::paper_sweep(tech, cfg, ring::Engine::Analytic, {}, rt);
+    obs::Tracer::global().enable();
+    const auto traced =
+        ring::paper_sweep(tech, cfg, ring::Engine::Analytic, {}, rt);
+    obs::Tracer::global().disable();
+
+    EXPECT_TRUE(bitwise_equal(untraced.period_s, traced.period_s));
+    EXPECT_TRUE(bitwise_equal(untraced.frequency_hz, traced.frequency_hz));
+
+    // Worker threads recorded into pool-reserved logical tids (below the
+    // dynamic base), proving the per-thread buffer path was exercised.
+    bool saw_pool_tid = false;
+    for (const auto& me : obs::Tracer::global().merged()) {
+        if (std::string(me.ev.name) == "ring.sweep.point" &&
+            me.tid < obs::Tracer::kDynamicTidBase) {
+            saw_pool_tid = true;
+        }
+    }
+    EXPECT_TRUE(saw_pool_tid);
+}
+
+TEST_F(TraceParityTest, CacheHitAnnotationDoesNotPerturbResults) {
+    const auto tech = phys::cmos350();
+    const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 1.75);
+    exec::ResultCache cache(1u << 20);
+    ring::SweepRuntime rt;
+    rt.parallel = false;
+    rt.cache = &cache;
+
+    obs::Tracer::global().enable();
+    const auto first = ring::paper_sweep(tech, cfg, ring::Engine::Analytic, {}, rt);
+    const auto second = ring::paper_sweep(tech, cfg, ring::Engine::Analytic, {}, rt);
+    obs::Tracer::global().disable();
+
+    EXPECT_TRUE(bitwise_equal(first.period_s, second.period_s));
+    // Both cache outcomes were annotated on the exec.cache.get span.
+    bool saw_hit = false;
+    bool saw_miss = false;
+    for (const auto& me : obs::Tracer::global().merged()) {
+        if (std::string(me.ev.name) != "exec.cache.get") continue;
+        if (me.ev.tag_val != nullptr) {
+            if (std::string(me.ev.tag_val) == "hit") saw_hit = true;
+            if (std::string(me.ev.tag_val) == "miss") saw_miss = true;
+        }
+    }
+    EXPECT_TRUE(saw_miss);
+    EXPECT_TRUE(saw_hit);
+}
+
+} // namespace
+} // namespace stsense

@@ -1,0 +1,227 @@
+// The tracer's core contracts: disabled spans cost nothing and record
+// nothing, nesting is reconstructible from the deterministic merge
+// order, per-thread buffers merge identically across runs, full buffers
+// drop (and count) instead of blocking, and the aggregate table's
+// count/total/mean/p95 match hand-computed values.
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stsense::obs {
+namespace {
+
+/// Every tracer test runs inside one of these: the global tracer is a
+/// process singleton, so each test starts from a clean, disabled state
+/// and leaves one behind.
+class TracerTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        Tracer::global().disable();
+        Tracer::global().reset();
+    }
+    void TearDown() override {
+        Tracer::global().disable();
+        Tracer::global().reset();
+        Tracer::global().set_capacity_per_thread(1u << 17);
+    }
+};
+
+TEST_F(TracerTest, DisabledSpanIsInactiveAndRecordsNothing) {
+    ASSERT_FALSE(trace_enabled());
+    {
+        Span span("test.disabled");
+        EXPECT_FALSE(span.active());
+        span.tag("key", "value").num("n", 1.0); // must be harmless no-ops
+    }
+    EXPECT_TRUE(Tracer::global().merged().empty());
+}
+
+TEST_F(TracerTest, EnableRecordsAndDisableStops) {
+    Tracer::global().enable();
+    { OBS_SPAN("test.one"); }
+    Tracer::global().disable();
+    { OBS_SPAN("test.after"); } // gate closed: not recorded
+    const auto evs = Tracer::global().merged();
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_STREQ(evs[0].ev.name, "test.one");
+}
+
+TEST_F(TracerTest, NestedSpansMergeParentFirst) {
+    Tracer::global().enable();
+    {
+        Span outer("test.outer");
+        {
+            Span inner("test.inner");
+            { OBS_SPAN("test.leaf"); }
+        }
+    }
+    Tracer::global().disable();
+    const auto evs = Tracer::global().merged();
+    ASSERT_EQ(evs.size(), 3u);
+    // Merge order is (start, dur desc, ...): outer starts first; if the
+    // clock ticks are tied the longer (enclosing) span still sorts
+    // first, so the order is always outer, inner, leaf.
+    EXPECT_STREQ(evs[0].ev.name, "test.outer");
+    EXPECT_STREQ(evs[1].ev.name, "test.inner");
+    EXPECT_STREQ(evs[2].ev.name, "test.leaf");
+    // Proper interval containment.
+    const auto& o = evs[0].ev;
+    const auto& i = evs[1].ev;
+    const auto& l = evs[2].ev;
+    EXPECT_LE(o.start_ns, i.start_ns);
+    EXPECT_GE(o.start_ns + o.dur_ns, i.start_ns + i.dur_ns);
+    EXPECT_LE(i.start_ns, l.start_ns);
+    EXPECT_GE(i.start_ns + i.dur_ns, l.start_ns + l.dur_ns);
+}
+
+TEST_F(TracerTest, TagSlotsFillAndRepeatedKeyOverwrites) {
+    Tracer::global().enable();
+    {
+        Span span("test.tags");
+        span.tag("engine", "spice");
+        span.tag("status", "retrying");
+        span.tag("status", "ok"); // same key literal: overwrite, not a third slot
+        span.num("points", 17.0);
+    }
+    Tracer::global().disable();
+    const auto evs = Tracer::global().merged();
+    ASSERT_EQ(evs.size(), 1u);
+    const auto& ev = evs[0].ev;
+    EXPECT_STREQ(ev.tag_key, "engine");
+    EXPECT_STREQ(ev.tag_val, "spice");
+    EXPECT_STREQ(ev.tag2_key, "status");
+    EXPECT_STREQ(ev.tag2_val, "ok");
+    EXPECT_STREQ(ev.num_key, "points");
+    EXPECT_EQ(ev.num, 17.0);
+}
+
+TEST_F(TracerTest, ThreadMergeIsDeterministicAcrossRuns) {
+    // Two runs of the same logical workload (fixed tids, fixed synthetic
+    // timestamps via direct record()) must merge to the identical
+    // sequence, regardless of which OS thread ran what in which order.
+    auto run_once = [] {
+        Tracer::global().reset();
+        Tracer::global().enable();
+        std::vector<std::thread> workers;
+        for (std::uint32_t w = 0; w < 4; ++w) {
+            workers.emplace_back([w] {
+                Tracer::set_thread_identity(100 + w, "t" + std::to_string(w));
+                for (int k = 0; k < 8; ++k) {
+                    TraceEvent ev;
+                    ev.name = "test.synthetic";
+                    ev.start_ns = static_cast<std::uint64_t>(k) * 10 + w;
+                    ev.dur_ns = 5;
+                    Tracer::global().record(ev);
+                }
+            });
+        }
+        for (auto& t : workers) t.join();
+        Tracer::global().disable();
+        return Tracer::global().merged();
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    ASSERT_EQ(a.size(), 32u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].tid, b[i].tid) << "i=" << i;
+        EXPECT_EQ(a[i].ev.start_ns, b[i].ev.start_ns) << "i=" << i;
+    }
+    // And the order itself is (start, ..., tid): strictly sorted.
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        const bool ordered =
+            a[i - 1].ev.start_ns < a[i].ev.start_ns ||
+            (a[i - 1].ev.start_ns == a[i].ev.start_ns && a[i - 1].tid < a[i].tid);
+        EXPECT_TRUE(ordered) << "i=" << i;
+    }
+}
+
+TEST_F(TracerTest, ThreadLabelsReportRegisteredThreads) {
+    Tracer::global().enable();
+    std::thread([] {
+        Tracer::set_thread_identity(42, "labelled");
+        OBS_SPAN("test.labelled");
+    }).join();
+    Tracer::global().disable();
+    const auto labels = Tracer::global().thread_labels();
+    const auto it = std::find_if(labels.begin(), labels.end(),
+                                 [](const auto& p) { return p.first == 42; });
+    ASSERT_NE(it, labels.end());
+    EXPECT_EQ(it->second, "labelled");
+}
+
+TEST_F(TracerTest, FullBufferDropsAndCounts) {
+    Tracer::global().set_capacity_per_thread(16);
+    Tracer::global().enable();
+    for (int i = 0; i < 40; ++i) { OBS_SPAN("test.flood"); }
+    Tracer::global().disable();
+    EXPECT_EQ(Tracer::global().merged().size(), 16u);
+    EXPECT_EQ(Tracer::global().dropped(), 24u);
+}
+
+TEST_F(TracerTest, ReserveTidBlockHandsOutDisjointRanges) {
+    const auto a = Tracer::reserve_tid_block(4);
+    const auto b = Tracer::reserve_tid_block(2);
+    const auto c = Tracer::reserve_tid_block(1);
+    EXPECT_GE(b, a + 4);
+    EXPECT_GE(c, b + 2);
+    EXPECT_LT(c, Tracer::kDynamicTidBase);
+}
+
+TEST_F(TracerTest, ResetDropsEventsAndReArmsRecording) {
+    Tracer::global().enable();
+    { OBS_SPAN("test.before"); }
+    Tracer::global().disable();
+    ASSERT_EQ(Tracer::global().merged().size(), 1u);
+    Tracer::global().reset();
+    EXPECT_TRUE(Tracer::global().merged().empty());
+    // A fresh enable records again (the generation bump re-registers
+    // this thread's cached buffer pointer).
+    Tracer::global().enable();
+    { OBS_SPAN("test.after"); }
+    Tracer::global().disable();
+    const auto evs = Tracer::global().merged();
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_STREQ(evs[0].ev.name, "test.after");
+}
+
+TEST_F(TracerTest, AggregateTableMatchesHandComputedStats) {
+    Tracer::global().enable();
+    // 20 spans named "test.a" with durations 1..20 µs-ish (synthetic),
+    // plus one "test.b" — recorded directly so the numbers are exact.
+    for (std::uint64_t d = 1; d <= 20; ++d) {
+        TraceEvent ev;
+        ev.name = "test.a";
+        ev.start_ns = d;
+        ev.dur_ns = d * 100;
+        Tracer::global().record(ev);
+    }
+    TraceEvent ev;
+    ev.name = "test.b";
+    ev.dur_ns = 7;
+    Tracer::global().record(ev);
+    Tracer::global().disable();
+
+    const auto aggs = aggregate_spans(Tracer::global().merged());
+    ASSERT_EQ(aggs.size(), 2u); // sorted by name: test.a, test.b
+    EXPECT_EQ(aggs[0].name, "test.a");
+    EXPECT_EQ(aggs[0].count, 20u);
+    EXPECT_EQ(aggs[0].total_ns, 100u * (20u * 21u / 2u)); // 21000
+    EXPECT_DOUBLE_EQ(aggs[0].mean_ns, 21000.0 / 20.0);
+    // ceil-rank p95 of 20 samples: rank = ceil(0.95*20) = 19 → 19th
+    // smallest duration = 1900 ns.
+    EXPECT_EQ(aggs[0].p95_ns, 1900u);
+    EXPECT_EQ(aggs[1].name, "test.b");
+    EXPECT_EQ(aggs[1].count, 1u);
+    EXPECT_EQ(aggs[1].p95_ns, 7u);
+}
+
+} // namespace
+} // namespace stsense::obs

@@ -1,0 +1,167 @@
+// stsense::Expected — the unified error carrier — and its compatibility
+// contract: the spice aliases are the same types (not lookalikes), the
+// ErrorTraits bridge raises the domain exception, and an Expected
+// round-trips through the fault-injector-driven solver paths with its
+// classification intact.
+#include "util/expected.hpp"
+
+#include "exec/fault_injector.hpp"
+#include "phys/technology.hpp"
+#include "spice/sim_error.hpp"
+#include "spice/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace stsense {
+namespace {
+
+TEST(Expected, HoldsValueOrError) {
+    Expected<int> ok(42);
+    EXPECT_TRUE(ok.ok());
+    EXPECT_TRUE(static_cast<bool>(ok));
+    EXPECT_EQ(ok.value(), 42);
+    EXPECT_EQ(ok.value_or(-1), 42);
+
+    Expected<int> bad(Error{ErrorKind::StepLimit, "budget blown"});
+    EXPECT_FALSE(bad.ok());
+    EXPECT_FALSE(static_cast<bool>(bad));
+    EXPECT_EQ(bad.error().kind, ErrorKind::StepLimit);
+    EXPECT_EQ(bad.error().message, "budget blown");
+    EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Expected, ImplicitErrorReturnIsTheFailurePath) {
+    // `return Error{...};` inside an Expected-returning function — the
+    // idiom every try_* implementation uses.
+    auto f = [](bool fail) -> Expected<double> {
+        if (fail) return Error{ErrorKind::OutOfRange, "outside band"};
+        return 1.5;
+    };
+    EXPECT_TRUE(f(false).ok());
+    EXPECT_EQ(f(true).error().kind, ErrorKind::OutOfRange);
+}
+
+TEST(Expected, DefaultTraitsRaiseRuntimeError) {
+    struct PlainError {
+        std::string to_string() const { return "plain failure"; }
+    };
+    Expected<int, PlainError> bad{PlainError{}};
+    try {
+        std::move(bad).take_or_throw();
+        FAIL() << "take_or_throw must raise";
+    } catch (const std::runtime_error& e) {
+        EXPECT_EQ(std::string(e.what()), "plain failure");
+    }
+}
+
+TEST(Expected, TakeOrThrowMovesTheValueOut) {
+    Expected<std::string> ok(std::string("payload"));
+    EXPECT_EQ(std::move(ok).take_or_throw(), "payload");
+}
+
+TEST(Expected, ErrorKindNamesAreStable) {
+    EXPECT_STREQ(to_string(ErrorKind::NonConvergence), "non-convergence");
+    EXPECT_STREQ(to_string(ErrorKind::SingularMatrix), "singular-matrix");
+    EXPECT_STREQ(to_string(ErrorKind::NonFiniteState), "non-finite-state");
+    EXPECT_STREQ(to_string(ErrorKind::StepLimit), "step-limit");
+    EXPECT_STREQ(to_string(ErrorKind::DeadlineExceeded), "deadline-exceeded");
+    EXPECT_STREQ(to_string(ErrorKind::MissingSignal), "missing-signal");
+    EXPECT_STREQ(to_string(ErrorKind::NotCalibrated), "not-calibrated");
+    EXPECT_STREQ(to_string(ErrorKind::OutOfRange), "out-of-range");
+}
+
+TEST(Expected, ErrorToStringCarriesTransientTime) {
+    Error e{ErrorKind::NonConvergence, "newton gave up"};
+    EXPECT_EQ(e.to_string(), "non-convergence: newton gave up");
+    e.time_s = 1.5e-9;
+    EXPECT_NE(e.to_string().find("(t = "), std::string::npos);
+}
+
+TEST(Expected, SpiceAliasesAreTheSameTypes) {
+    // The api_redesign contract: old spice names are thin aliases of the
+    // unified types, so values flow between the layers without
+    // conversion and overloads cannot diverge.
+    static_assert(std::is_same_v<spice::SimError, Error>);
+    static_assert(std::is_same_v<spice::SimErrorKind, ErrorKind>);
+    static_assert(std::is_same_v<spice::Result<double>, Expected<double, Error>>);
+    SUCCEED();
+}
+
+TEST(Expected, SpiceTraitsRaiseSimException) {
+    spice::Result<int> bad{Error{ErrorKind::SingularMatrix, "zero pivot"}};
+    try {
+        std::move(bad).take_or_throw();
+        FAIL() << "take_or_throw must raise";
+    } catch (const spice::SimException& e) {
+        EXPECT_EQ(e.error.kind, ErrorKind::SingularMatrix);
+    }
+}
+
+/// CMOS inverter at mid-rail: a real nonlinear solve for the injector
+/// to sabotage (mirrors the recovery-ladder suite's fixture).
+spice::Circuit inverter_midrail(const phys::Technology& tech) {
+    spice::Circuit c;
+    const auto vdd = c.add_driven_node("vdd", spice::Source::dc(tech.vdd));
+    const auto in = c.add_driven_node("in", spice::Source::dc(0.5 * tech.vdd));
+    const auto out = c.add_node("out");
+    spice::Mosfet mn;
+    mn.drain = out;
+    mn.gate = in;
+    mn.source = c.ground();
+    mn.params = tech.nmos;
+    mn.geometry = {1e-6, tech.lmin};
+    c.add_mosfet(mn);
+    spice::Mosfet mp;
+    mp.drain = out;
+    mp.gate = in;
+    mp.source = vdd;
+    mp.params = tech.pmos;
+    mp.geometry = {2e-6, tech.lmin};
+    c.add_mosfet(mp);
+    return c;
+}
+
+TEST(Expected, RoundTripsThroughInjectedSolverFailure) {
+    // Sabotage every ladder rung: the solver must hand back an Expected
+    // carrying NonConvergence, and that same object must raise the
+    // domain exception when unwrapped — value→error→exception with the
+    // classification intact end to end.
+    exec::FaultInjector::Config cfg;
+    cfg.seed = 3;
+    cfg.p_newton_fail = 1.0;
+    cfg.newton_fail_rungs = 4; // deeper than the ladder: unrescuable
+    exec::FaultInjector injector(cfg);
+    exec::FaultInjector::Scope scope(injector);
+
+    const auto tech = phys::cmos350();
+    const auto ckt = inverter_midrail(tech);
+    spice::Simulator sim(ckt);
+    auto r = sim.try_dc_operating_point();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::NonConvergence);
+    EXPECT_GT(injector.total_trips(), 0u);
+    try {
+        std::move(r).take_or_throw();
+        FAIL() << "unwrapping the injected failure must raise";
+    } catch (const spice::SimException& e) {
+        EXPECT_EQ(e.error.kind, ErrorKind::NonConvergence);
+    }
+}
+
+TEST(Expected, CleanSolveRoundTripsTheValue) {
+    const auto tech = phys::cmos350();
+    const auto ckt = inverter_midrail(tech);
+    spice::Simulator sim(ckt);
+    auto r = sim.try_dc_operating_point();
+    ASSERT_TRUE(r.ok());
+    const auto state = std::move(r).take_or_throw();
+    EXPECT_FALSE(state.empty());
+}
+
+} // namespace
+} // namespace stsense
