@@ -1,0 +1,310 @@
+// SERVICE — the telemetry daemon's dispatch cost and sustained request
+// throughput. Three measurements over the in-process loopback transport
+// (the same protocol stack a socket client exercises, minus OS socket
+// noise):
+//
+//   1. inline dispatch: parse -> registry -> render for a light method
+//      (ping) and an object-model query, via Server::handle_inline.
+//   2. throughput matrix: C concurrent clients x S sessions pushing a
+//      mixed light/heavy request stream end-to-end through the fair
+//      queue and the pool; requests/sec plus p50/p95 round-trip latency
+//      per cell.
+//   3. admission sanity: every request in the matrix is answered ok —
+//      fairness must not cost correctness.
+//
+// `--quick 1` trims the matrix and the per-client request count (the
+// tier-1 smoke budget); the full run writes BENCH_service.json.
+#include "bench_common.hpp"
+
+#include "service/server.hpp"
+#include "service/transport.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace stsense;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/// Small die so the heavy requests stay inside the smoke budget.
+service::SessionSpec small_session(const std::string& name) {
+    service::SessionSpec spec;
+    spec.name = name;
+    spec.monitor.grid_nx = 12;
+    spec.monitor.grid_ny = 12;
+    spec.sites_nx = 2;
+    spec.sites_ny = 2;
+    return spec;
+}
+
+std::vector<service::SessionSpec> make_sessions(int n) {
+    std::vector<service::SessionSpec> specs;
+    for (int i = 0; i < n; ++i)
+        specs.push_back(small_session("die-" + std::to_string(i)));
+    return specs;
+}
+
+struct Quantiles {
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double max_us = 0.0;
+};
+
+Quantiles quantiles_us(std::vector<double>& lat_us) {
+    Quantiles q;
+    if (lat_us.empty()) return q;
+    std::sort(lat_us.begin(), lat_us.end());
+    q.p50_us = lat_us[lat_us.size() / 2];
+    q.p95_us = lat_us[(lat_us.size() * 95) / 100];
+    q.max_us = lat_us.back();
+    return q;
+}
+
+struct CellResult {
+    int clients = 0;
+    int sessions = 0;
+    long requests = 0;
+    long ok = 0;
+    long errors = 0;
+    double wall_s = 0.0;
+    double req_per_s = 0.0;
+    Quantiles light;
+    Quantiles heavy;
+};
+
+/// One matrix cell: a fresh server with `n_sessions` dies, `n_clients`
+/// loopback clients each sending `reqs_per_client` requests (one heavy
+/// request per `heavy_every` light ones), every round-trip timed.
+CellResult run_cell(int n_clients, int n_sessions, int reqs_per_client,
+                    int heavy_every) {
+    service::ServerConfig cfg;
+    cfg.threads = 2;
+    service::Server server(cfg, make_sessions(n_sessions));
+    service::LoopbackTransport loopback;
+    server.start(loopback);
+
+    CellResult cell;
+    cell.clients = n_clients;
+    cell.sessions = n_sessions;
+
+    std::vector<std::vector<double>> light_us(
+        static_cast<std::size_t>(n_clients));
+    std::vector<std::vector<double>> heavy_us(
+        static_cast<std::size_t>(n_clients));
+    std::vector<long> ok_counts(static_cast<std::size_t>(n_clients), 0);
+    std::vector<long> err_counts(static_cast<std::size_t>(n_clients), 0);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < n_clients; ++c) {
+        threads.emplace_back([&, c] {
+            const auto ci = static_cast<std::size_t>(c);
+            auto conn = loopback.connect();
+            std::string line;
+            for (int i = 0; i < reqs_per_client; ++i) {
+                const bool heavy = (i % heavy_every) == heavy_every - 1;
+                const int session = (c + i) % n_sessions;
+                std::ostringstream req;
+                if (heavy) {
+                    // measure_site reuses the session's cached map after
+                    // the first scan: heavy enough to cross the fair
+                    // queue + pool, cheap enough for the smoke budget.
+                    req << R"({"id":)" << i
+                        << R"(,"method":"measure_site","params":{"session":)"
+                        << session << R"(,"site":)" << (i % 4) << "}}";
+                } else if (i % 3 == 0) {
+                    req << R"({"id":)" << i
+                        << R"(,"method":"query","params":{"path":"pool.queue_depth"}})";
+                } else {
+                    req << R"({"id":)" << i << R"(,"method":"ping"})";
+                }
+                const auto r0 = std::chrono::steady_clock::now();
+                if (!conn->write_line(req.str()) || !conn->read_line(line)) {
+                    ++err_counts[ci];
+                    break;
+                }
+                const double us = 1e6 * seconds_since(r0);
+                (heavy ? heavy_us : light_us)[ci].push_back(us);
+                auto parsed = service::Json::parse(line);
+                const bool ok = parsed.value &&
+                                parsed.value->at("ok").as_bool(false);
+                ++(ok ? ok_counts : err_counts)[ci];
+            }
+            conn->close();
+        });
+    }
+    for (auto& t : threads) t.join();
+    cell.wall_s = seconds_since(t0);
+
+    server.request_shutdown();
+    server.wait();
+
+    std::vector<double> all_light;
+    std::vector<double> all_heavy;
+    for (int c = 0; c < n_clients; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        all_light.insert(all_light.end(), light_us[ci].begin(), light_us[ci].end());
+        all_heavy.insert(all_heavy.end(), heavy_us[ci].begin(), heavy_us[ci].end());
+        cell.ok += ok_counts[ci];
+        cell.errors += err_counts[ci];
+    }
+    cell.requests = cell.ok + cell.errors;
+    cell.req_per_s =
+        cell.wall_s > 0.0 ? static_cast<double>(cell.requests) / cell.wall_s : 0.0;
+    cell.light = quantiles_us(all_light);
+    cell.heavy = quantiles_us(all_heavy);
+    return cell;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    const bool quick = cli.has("quick");
+    bench::banner("SERVICE",
+                  std::string("telemetry daemon: dispatch cost and loopback "
+                              "throughput") +
+                      (quick ? " (quick)" : ""));
+
+    // --- 1. inline dispatch cost (no transport, no scheduler) -------------
+    const int inline_iters = quick ? 2000 : 20000;
+    service::ServerConfig icfg;
+    icfg.threads = 2;
+    service::Server inline_server(icfg, make_sessions(1));
+    std::vector<double> ping_us;
+    std::vector<double> query_us;
+    long inline_ok = 0;
+    for (int i = 0; i < inline_iters; ++i) {
+        const bool query = (i % 2) == 1;
+        const std::string req =
+            query
+                ? R"({"id":1,"method":"query","params":{"path":"cache.hit_rate"}})"
+                : R"({"id":1,"method":"ping"})";
+        const auto r0 = std::chrono::steady_clock::now();
+        const std::string resp = inline_server.handle_inline(req);
+        const double us = 1e6 * seconds_since(r0);
+        (query ? query_us : ping_us).push_back(us);
+        auto parsed = service::Json::parse(resp);
+        if (parsed.value && parsed.value->at("ok").as_bool(false)) ++inline_ok;
+    }
+    const Quantiles ping_q = quantiles_us(ping_us);
+    const Quantiles query_q = quantiles_us(query_us);
+
+    util::Table inline_table({"inline request", "p50 (us)", "p95 (us)", "max (us)"});
+    inline_table.add_row({"ping", util::fixed(ping_q.p50_us, 1),
+                          util::fixed(ping_q.p95_us, 1),
+                          util::fixed(ping_q.max_us, 1)});
+    inline_table.add_row({"query cache.hit_rate", util::fixed(query_q.p50_us, 1),
+                          util::fixed(query_q.p95_us, 1),
+                          util::fixed(query_q.max_us, 1)});
+    std::cout << "inline dispatch (" << inline_iters << " requests, no transport):\n"
+              << inline_table.render() << "\n";
+
+    // --- 2. loopback throughput matrix ------------------------------------
+    const std::vector<int> client_counts = quick ? std::vector<int>{1, 2}
+                                                 : std::vector<int>{1, 2, 4};
+    const std::vector<int> session_counts = quick ? std::vector<int>{1}
+                                                  : std::vector<int>{1, 4};
+    const int reqs_per_client = cli.get("requests", quick ? 60 : 400);
+    const int heavy_every = 10;
+
+    std::vector<CellResult> cells;
+    util::Table matrix({"clients", "sessions", "requests", "req/s",
+                        "light p50 (us)", "light p95 (us)", "heavy p95 (us)",
+                        "errors"});
+    for (int s : session_counts) {
+        for (int c : client_counts) {
+            const CellResult cell = run_cell(c, s, reqs_per_client, heavy_every);
+            matrix.add_row({std::to_string(cell.clients),
+                            std::to_string(cell.sessions),
+                            std::to_string(cell.requests),
+                            util::fixed(cell.req_per_s, 0),
+                            util::fixed(cell.light.p50_us, 1),
+                            util::fixed(cell.light.p95_us, 1),
+                            util::fixed(cell.heavy.p95_us, 1),
+                            std::to_string(cell.errors)});
+            cells.push_back(cell);
+        }
+    }
+    std::cout << "loopback matrix (" << reqs_per_client
+              << " requests per client, 1 heavy per " << heavy_every << "):\n"
+              << matrix.render();
+
+    long total_requests = 0;
+    long total_errors = 0;
+    for (const auto& cell : cells) {
+        total_requests += cell.requests;
+        total_errors += cell.errors;
+    }
+
+    // --- JSON snapshot -----------------------------------------------------
+    const std::string json_path =
+        cli.get("json", std::string("BENCH_service.json"));
+    {
+        std::ofstream json(json_path);
+        json << "{\n"
+             << "  \"workload\": \"telemetry_service_loopback\",\n"
+             << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+             << "  \"inline_requests\": " << inline_iters << ",\n"
+             << "  \"inline_ping_p50_us\": " << ping_q.p50_us << ",\n"
+             << "  \"inline_ping_p95_us\": " << ping_q.p95_us << ",\n"
+             << "  \"inline_query_p50_us\": " << query_q.p50_us << ",\n"
+             << "  \"inline_query_p95_us\": " << query_q.p95_us << ",\n"
+             << "  \"requests_per_client\": " << reqs_per_client << ",\n"
+             << "  \"matrix\": [\n";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const auto& cell = cells[i];
+            json << "    {\"clients\": " << cell.clients
+                 << ", \"sessions\": " << cell.sessions
+                 << ", \"requests\": " << cell.requests
+                 << ", \"req_per_s\": " << cell.req_per_s
+                 << ", \"light_p50_us\": " << cell.light.p50_us
+                 << ", \"light_p95_us\": " << cell.light.p95_us
+                 << ", \"heavy_p50_us\": " << cell.heavy.p50_us
+                 << ", \"heavy_p95_us\": " << cell.heavy.p95_us
+                 << ", \"errors\": " << cell.errors << "}"
+                 << (i + 1 < cells.size() ? "," : "") << "\n";
+        }
+        json << "  ]\n}\n";
+    }
+    std::cout << "service snapshot: " << json_path << "\n";
+
+    // --- shape checks ------------------------------------------------------
+    bench::ShapeChecks checks;
+    checks.expect("every inline request answered ok",
+                  inline_ok == inline_iters);
+    checks.expect("every matrix request answered ok (no drops, no errors)",
+                  total_errors == 0);
+    checks.expect("matrix request count matches what the clients sent",
+                  [&] {
+                      long expected = 0;
+                      for (const auto& cell : cells)
+                          expected += static_cast<long>(cell.clients) *
+                                      reqs_per_client;
+                      return total_requests == expected;
+                  }());
+    checks.expect("inline ping p50 under 1 ms (dispatch is cheap)",
+                  ping_q.p50_us < 1000.0);
+    checks.expect("light-request p95 stays under 250 ms in every cell "
+                  "(no starvation behind heavy work)",
+                  [&] {
+                      for (const auto& cell : cells)
+                          if (cell.light.p95_us >= 250000.0) return false;
+                      return true;
+                  }());
+    return checks.report();
+}

@@ -2,16 +2,23 @@
 // Prints a timeline of the die heating up, tripping the DTM policy, and
 // settling into a managed limit cycle — plus the same run unmanaged.
 //
-//   $ ./examples/dtm_closed_loop
-#include "dtm/closed_loop.hpp"
-
-#include "util/ascii_plot.hpp"
-#include "util/table.hpp"
+//   $ ./examples/dtm_closed_loop [--trip=110] [--throttle=0.4]
+//   $ ./examples/dtm_closed_loop --trace=/tmp/dtm_trace.json
+#include "stsense.hpp"
 
 #include <iostream>
+#include <string>
+#include <vector>
 
-int main() {
+int main(int argc, char** argv) {
     using namespace stsense;
+    const util::Cli cli(argc, argv);
+
+    // The unified knob surface: tracing (also honors STSENSE_TRACE) and
+    // any runtime tuning ride the same builder every example uses.
+    const auto rt = stsense::RuntimeOptions()
+                        .trace(cli.get("trace", std::string{}));
+    const auto trace = rt.trace_session();
 
     dtm::ClosedLoopConfig cfg;
     cfg.grid_nx = 24;
@@ -19,9 +26,9 @@ int main() {
     cfg.t_end_s = 3.0;
     cfg.dt_s = 5e-3;
     cfg.sample_interval_s = 2e-2;
-    cfg.policy.trip_c = 110.0;
-    cfg.policy.release_c = 100.0;
-    cfg.policy.throttle_factor = 0.4;
+    cfg.policy.trip_c = cli.get("trip", 110.0);
+    cfg.policy.release_c = cli.get("release", 100.0);
+    cfg.policy.throttle_factor = cli.get("throttle", 0.4);
     cfg.sensor_site = {"hotspot", 2.5e-3, 7.0e-3};
 
     const auto tech = phys::cmos350();

@@ -1,0 +1,93 @@
+// Minimal client for the telemetry daemon: one request per invocation,
+// or an interactive line loop. Subscription events arriving while a
+// response is awaited are printed as they come.
+//
+//   $ ./examples/telemetry_client --method=ping
+//   $ ./examples/telemetry_client --method=thermal_map --params='{"session":1}'
+//   $ ./examples/telemetry_client --query='sessions[0].sites[4].health'
+//   $ ./examples/telemetry_client --interactive      # raw JSON lines on stdin
+#include "stsense.hpp"
+
+#include <iostream>
+#include <string>
+
+using namespace stsense;
+
+namespace {
+
+/// Sends one line and prints everything until the matching response.
+int roundtrip(service::Connection& conn, const std::string& line,
+              std::int64_t id) {
+    if (!conn.write_line(line)) {
+        std::cerr << "error: daemon closed the connection\n";
+        return 1;
+    }
+    std::string received;
+    while (conn.read_line(received)) {
+        std::cout << received << "\n";
+        auto parsed = service::Json::parse(received);
+        if (parsed.value && !parsed.value->contains("event") &&
+            parsed.value->at("id").as_int64() == id) {
+            return parsed.value->at("ok").as_bool() ? 0 : 2;
+        }
+    }
+    std::cerr << "error: connection closed before the response\n";
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const util::Cli cli(argc, argv);
+    const std::string socket_path =
+        cli.get("socket", std::string("/tmp/stsense-telemetry.sock"));
+
+    auto conn = service::UnixSocketTransport::dial(socket_path);
+    if (!conn) {
+        std::cerr << "error: cannot reach daemon at " << socket_path
+                  << " (start it with ./examples/telemetry_service)\n";
+        return 1;
+    }
+
+    if (cli.has("interactive")) {
+        std::int64_t next_id = 1;
+        std::string input;
+        while (std::getline(std::cin, input)) {
+            if (input.empty()) continue;
+            const int rc = roundtrip(*conn, input, next_id);
+            if (rc == 1) return rc; // connection gone
+            ++next_id;
+        }
+        return 0;
+    }
+
+    const std::int64_t id = cli.get("id", 1);
+    service::Json req = service::Json::object();
+    req.set("id", id);
+
+    const std::string query = cli.get("query", std::string{});
+    if (!query.empty()) {
+        // --query=path is shorthand for the object-model read.
+        service::Json params = service::Json::object();
+        params.set("path", query);
+        const int depth = cli.get("depth", -1);
+        if (depth >= 0) params.set("depth", depth);
+        const std::string filter = cli.get("filter", std::string{});
+        if (!filter.empty()) params.set("filter", filter);
+        req.set("method", "query");
+        req.set("params", std::move(params));
+    } else {
+        req.set("method", cli.get("method", std::string("ping")));
+        const std::string params_text = cli.get("params", std::string{});
+        if (!params_text.empty()) {
+            auto parsed = service::Json::parse(params_text);
+            if (!parsed.value) {
+                std::cerr << "error: --params is not valid JSON: "
+                          << parsed.error << "\n";
+                return 1;
+            }
+            req.set("params", std::move(*parsed.value));
+        }
+    }
+    return roundtrip(*conn, req.dump(), id);
+}

@@ -70,5 +70,9 @@ int main(int argc, char** argv) {
               << " degC, rms " << util::fixed(map.rms_error_c, 3)
               << " degC\nfull scan through the mux: "
               << util::fixed(map.scan_time_s * 1e6, 1) << " us\n";
+
+    std::cout << "\nfor a resident multi-die version of this scan behind a "
+                 "query protocol,\nsee examples/telemetry_service.cpp "
+                 "(service::Session wraps this exact stack).\n";
     return 0;
 }

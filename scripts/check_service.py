@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validate telemetry-service protocol lines against the wire contract.
+
+Input is newline-delimited JSON as a client sees it: responses and
+subscription events, one object per line. Lines prefixed "<- " (the
+demo/client transcript format) are unwrapped; "-> " request lines and
+anything that is not JSON are ignored unless --strict is given.
+
+The contract (src/service/protocol.cpp):
+  response: {"id": int, "ok": bool, ...}
+            ok=true  -> carries "result", never "error"
+            ok=false -> carries "error": {"code": <enum>, "message": str}
+  event:    {"event": "update", "seq": int >= 0, "path": str, "value": any}
+            and never an "id" key
+  error codes: malformed-request unknown-method bad-params unknown-session
+               unknown-path overloaded shutting-down internal
+
+Checks, in order:
+  1. every protocol line parses as a JSON object of one of the two shapes;
+  2. responses and events carry exactly the required keys/types above;
+  3. error codes come from the enum, error messages are non-empty;
+  4. event seq values are strictly increasing within the stream;
+  5. with --expect-responses N, exactly N responses were seen.
+
+Exit status 0 when every check passes; 1 with a diagnostic otherwise.
+
+Usage:
+  examples/telemetry_service --demo | scripts/check_service.py -
+  scripts/check_service.py transcript.txt --expect-responses 10
+"""
+
+import argparse
+import json
+import sys
+
+ERROR_CODES = {
+    "malformed-request",
+    "unknown-method",
+    "bad-params",
+    "unknown-session",
+    "unknown-path",
+    "overloaded",
+    "shutting-down",
+    "internal",
+}
+
+RESPONSE_KEYS = {"id", "ok", "result", "error"}
+EVENT_KEYS = {"event", "seq", "path", "value"}
+
+
+def check_response(doc: dict, where: str) -> str | None:
+    if not isinstance(doc.get("id"), int) or isinstance(doc.get("id"), bool):
+        return f"{where}: response 'id' must be an integer"
+    if not isinstance(doc.get("ok"), bool):
+        return f"{where}: response 'ok' must be a boolean"
+    extra = set(doc) - RESPONSE_KEYS
+    if extra:
+        return f"{where}: unexpected response keys {sorted(extra)}"
+    if doc["ok"]:
+        if "result" not in doc:
+            return f"{where}: ok response without 'result'"
+        if "error" in doc:
+            return f"{where}: ok response carries 'error'"
+        return None
+    err = doc.get("error")
+    if not isinstance(err, dict):
+        return f"{where}: error response without 'error' object"
+    if "result" in doc:
+        return f"{where}: error response carries 'result'"
+    if err.get("code") not in ERROR_CODES:
+        return f"{where}: unknown error code {err.get('code')!r}"
+    if not isinstance(err.get("message"), str) or not err["message"]:
+        return f"{where}: error 'message' must be a non-empty string"
+    if set(err) - {"code", "message"}:
+        return f"{where}: unexpected error keys {sorted(set(err) - {'code', 'message'})}"
+    return None
+
+
+def check_event(doc: dict, where: str, last_seq: int | None) -> str | None:
+    if "id" in doc:
+        return f"{where}: event must not carry an 'id'"
+    if doc.get("event") != "update":
+        return f"{where}: unknown event kind {doc.get('event')!r}"
+    seq = doc.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        return f"{where}: event 'seq' must be a non-negative integer"
+    if last_seq is not None and seq <= last_seq:
+        return f"{where}: event seq {seq} not increasing (previous {last_seq})"
+    if not isinstance(doc.get("path"), str) or not doc["path"]:
+        return f"{where}: event 'path' must be a non-empty string"
+    if "value" not in doc:
+        return f"{where}: event without 'value'"
+    if set(doc) - EVENT_KEYS:
+        return f"{where}: unexpected event keys {sorted(set(doc) - EVENT_KEYS)}"
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("transcript", help="protocol transcript file, or - for stdin")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on non-JSON lines instead of skipping them",
+    )
+    parser.add_argument(
+        "--expect-responses",
+        type=int,
+        metavar="N",
+        help="require exactly N response lines",
+    )
+    args = parser.parse_args()
+
+    def fail(message: str) -> int:
+        print(f"check_service: FAIL: {message}", file=sys.stderr)
+        return 1
+
+    try:
+        stream = sys.stdin if args.transcript == "-" else open(
+            args.transcript, encoding="utf-8")
+    except OSError as exc:
+        return fail(str(exc))
+
+    responses = 0
+    events = 0
+    last_seq: int | None = None
+    with stream:
+        for lineno, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            where = f"line {lineno}"
+            if line.startswith("<- "):
+                line = line[3:]
+            elif line.startswith("-> ") or not line:
+                continue
+            if not line.startswith("{"):
+                if args.strict:
+                    return fail(f"{where}: not a JSON object: {line[:60]}")
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                return fail(f"{where}: invalid JSON: {exc}")
+            if not isinstance(doc, dict):
+                return fail(f"{where}: protocol lines are JSON objects")
+            if "event" in doc:
+                error = check_event(doc, where, last_seq)
+                if error:
+                    return fail(error)
+                last_seq = doc["seq"]
+                events += 1
+            else:
+                error = check_response(doc, where)
+                if error:
+                    return fail(error)
+                responses += 1
+
+    if responses + events == 0:
+        return fail("no protocol lines found in the transcript")
+    if args.expect_responses is not None and responses != args.expect_responses:
+        return fail(
+            f"expected {args.expect_responses} responses, saw {responses}")
+    print(f"check_service: OK: {responses} responses, {events} events "
+          "conform to the wire contract")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,23 +59,38 @@ python3 "$repo/scripts/check_trace.py" "$repo/build/trace_fig2.json" \
     --require sensor.optimize.candidate \
     --require exec.cache.get --require exec.parallel_for
 
+echo "== tier 1: telemetry-service loopback smoke =="
+# The resident daemon's full protocol stack over the in-process
+# loopback: the --demo tour (serve -> scripted requests -> drain) must
+# answer every request, the transcript must conform to the wire
+# contract (check_service.py), and the service bench's quick matrix
+# (concurrent clients, mixed light/heavy requests, admission control)
+# must answer everything with zero errors.
+cmake --build "$repo/build" --target telemetry_service bench_service -j "$jobs"
+"$repo/build/examples/telemetry_service" --demo \
+    | python3 "$repo/scripts/check_service.py" - --expect-responses 10
+"$repo/build/bench/bench_service" --quick \
+    --json="$repo/build/BENCH_service_quick.json"
+
 echo "== tier 1: exec/ring concurrency tests under ThreadSanitizer =="
 cmake -B "$repo/build-tsan" -S "$repo" -DSTSENSE_SANITIZE=thread
 cmake --build "$repo/build-tsan" --target stsense_tests -j "$jobs"
 # The filter covers the pool, cache, metrics, determinism suite, the
 # sweep driver, the fault-injection machinery (the code paths that
 # actually run concurrently — including worker exception propagation and
-# per-point fault policies under the pool), and the tracer's lock-free
-# multi-thread record/merge path.
+# per-point fault policies under the pool), the tracer's lock-free
+# multi-thread record/merge path, and the service layer (reader threads,
+# fair-queue dispatch, concurrent loopback clients, drain/shutdown).
 "$repo/build-tsan/tests/stsense_tests" \
-    --gtest_filter='ThreadPool*:TaskGroup*:ResultCache*:Metrics*:Fingerprint*:ExecDeterminism*:TemperatureSweep*:PaperSweep*:Variation*:FaultInjector*:SweepFaultPolicy*:Tracer*:TraceParity*'
+    --gtest_filter='ThreadPool*:TaskGroup*:ResultCache*:Metrics*:Fingerprint*:ExecDeterminism*:TemperatureSweep*:PaperSweep*:Variation*:FaultInjector*:SweepFaultPolicy*:Tracer*:TraceParity*:Service*'
 
 echo "== tier 1: fault-injection suite under AddressSanitizer =="
 cmake -B "$repo/build-asan" -S "$repo" -DSTSENSE_SANITIZE=address
 cmake --build "$repo/build-asan" --target stsense_tests -j "$jobs"
 # Recovery and policy code paths unwind through exceptions and partial
-# results; ASan gates them for leaks, overflows, and use-after-free.
+# results; ASan gates them for leaks, overflows, and use-after-free —
+# including the service's kill-mid-request and drain/resume paths.
 "$repo/build-asan/tests/stsense_tests" \
-    --gtest_filter='FaultInjector*:RecoveryLadder*:SweepFaultPolicy*:CacheChecksum*:ThreadPoolFault*:TaskGroupFault*'
+    --gtest_filter='FaultInjector*:RecoveryLadder*:SweepFaultPolicy*:CacheChecksum*:ThreadPoolFault*:TaskGroupFault*:ServiceDrainResume*:ServiceRuntime*'
 
 echo "tier 1: all gates passed"

@@ -131,6 +131,11 @@ public:
     bool parallel_enabled() const noexcept { return parallel_; }
     bool cache_enabled() const noexcept { return use_cache_; }
     const std::string& checkpoint_path() const noexcept { return checkpoint_path_; }
+    /// Flush interval / retention of the checkpoint knob — exposed so a
+    /// session layer (stsense::service) can re-project the same policy
+    /// onto per-request checkpoint paths without losing the cadence.
+    int checkpoint_flush_every() const noexcept { return checkpoint_every_; }
+    bool checkpoint_kept() const noexcept { return keep_checkpoint_; }
     const ring::FaultPolicySpec& fault() const noexcept { return fault_; }
     bool fast_kernel_enabled() const noexcept { return fast_kernel_; }
     const std::string& trace_path() const noexcept { return trace_path_; }

@@ -149,6 +149,9 @@ bool ThreadPool::try_pop(std::size_t self, Task& out) {
 }
 
 void ThreadPool::execute(Task& task) {
+    // inflight_ brackets the user code so queue_depth() + inflight()
+    // together account for every admitted-but-unfinished task.
+    inflight_.fetch_add(1, std::memory_order_relaxed);
     // Injected straggler: delay the task before running it (exercises
     // deadline budgets and waiter/helping paths under slow workers).
     if (auto* injector = FaultInjector::active();
@@ -168,11 +171,17 @@ void ThreadPool::execute(Task& task) {
     if (task.group) {
         std::lock_guard lock(task.group->m);
         if (error && task.ticket < task.group->error_ticket) {
-            task.group->error = error;
+            // Move, don't copy: the worker must not keep a second
+            // reference, or the *last* exception_ptr release can land
+            // on this thread after the waiter already rethrew and read
+            // the exception — TSan (rightly unable to see libstdc++'s
+            // internal refcount ordering) reports that free as a race.
+            task.group->error = std::move(error);
             task.group->error_ticket = task.ticket;
         }
         if (--task.group->pending == 0) task.group->cv.notify_all();
     }
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 bool ThreadPool::help_one() {
@@ -260,6 +269,14 @@ std::uint64_t ThreadPool::tasks_executed() const {
 
 std::uint64_t ThreadPool::tasks_stolen() const {
     return stolen_.load(std::memory_order_relaxed);
+}
+
+std::size_t ThreadPool::queue_depth() const {
+    return pending_.load(std::memory_order_relaxed);
+}
+
+std::size_t ThreadPool::inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
 }
 
 } // namespace stsense::exec

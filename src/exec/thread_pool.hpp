@@ -113,6 +113,13 @@ public:
     std::uint64_t tasks_executed() const;
     /// Tasks a worker stole from another worker's deque.
     std::uint64_t tasks_stolen() const;
+    /// Tasks sitting in the deques right now, not yet picked up. Relaxed
+    /// read — an instantaneous load signal for admission control and the
+    /// service object model, not a synchronization point.
+    std::size_t queue_depth() const;
+    /// Tasks currently executing on a worker (or a helping waiter).
+    /// Relaxed read; never exceeds size() plus the number of helpers.
+    std::size_t inflight() const;
 
 private:
     friend class TaskGroup;
@@ -131,7 +138,7 @@ private:
     /// Pops one task (own deque back first, then steals front of others,
     /// then the overflow queue). `self` == npos for non-worker threads.
     bool try_pop(std::size_t self, Task& out);
-    static void execute(Task& task);
+    void execute(Task& task);
     /// Runs one pending task if any; used by waiters to help.
     bool help_one();
 
@@ -144,6 +151,7 @@ private:
     std::condition_variable sleep_cv_;
     bool stop_ = false; ///< Guarded by sleep_m_.
     std::atomic<std::size_t> pending_{0};
+    std::atomic<std::size_t> inflight_{0};
     std::atomic<std::size_t> round_robin_{0};
     std::atomic<std::uint64_t> executed_{0};
     std::atomic<std::uint64_t> stolen_{0};

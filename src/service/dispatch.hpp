@@ -1,0 +1,63 @@
+// service::CommandProcessor — the method registry of the telemetry
+// service (the RepRapFirmware GCodeBuffer/command-table idiom, JSON
+// flavored): every wire method is one registered entry naming its
+// handler and its *weight class*.
+//
+// Light methods (query, ping, sessions, subscribe, shutdown...) execute
+// inline on the connection's reader thread — they only read atomics or
+// take short state locks, so they stay responsive even when every pool
+// worker is busy with sweeps. Heavy methods (measure_site, thermal_map,
+// sweep, optimize) are submitted through the FairScheduler and answer
+// out of order; the dispatcher is what turns an admission rejection into
+// a typed Overloaded/ShuttingDown response instead of a hang.
+//
+// The registry itself is deliberately dumb — name -> {weight, handler} —
+// so the server composes it from lambdas over its own state and the
+// tests can register toy methods (e.g. the deterministic `burn` load
+// generator) without touching the server.
+#pragma once
+
+#include "service/json.hpp"
+#include "service/transport.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stsense::service {
+
+/// Per-request data the server hands a handler.
+struct RequestContext {
+    int client = -1;           ///< FairScheduler client id of the connection.
+    std::int64_t request_id = 0;
+    /// The requesting connection — subscribe-style handlers register it
+    /// for pushes. May be null for in-process (loopback-free) dispatch.
+    std::shared_ptr<Connection> connection;
+};
+
+using Handler = std::function<Json(const Json& params, RequestContext& ctx)>;
+
+class CommandProcessor {
+public:
+    struct CommandSpec {
+        bool heavy = false; ///< true: route through the fair scheduler.
+        Handler handler;
+    };
+
+    /// Registers (or replaces) a method.
+    void register_method(const std::string& name, bool heavy, Handler handler);
+
+    /// nullptr when the method is unknown.
+    const CommandSpec* find(const std::string& name) const;
+
+    /// Registered method names, sorted (the `help` payload).
+    std::vector<std::string> methods() const;
+
+private:
+    std::map<std::string, CommandSpec> commands_;
+};
+
+} // namespace stsense::service

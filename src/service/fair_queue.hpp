@@ -1,0 +1,120 @@
+// service::FairScheduler — admission control + weighted fair queuing of
+// client jobs onto the shared exec::ThreadPool.
+//
+// Heavy requests (sweeps, thermal maps, optimizer runs) do not go
+// straight to the pool: a client that pipelines a thousand sweeps would
+// monopolize every worker and starve everyone else. Instead each client
+// owns a FIFO of pending jobs and the scheduler releases at most
+// `max_concurrency` jobs into the pool at once, choosing the next job by
+// *weighted round-robin*: each visit of the release cursor grants a
+// client up to `weight` consecutive dispatches before moving on, so a
+// weight-3 client gets 3x the service rate of a weight-1 client under
+// contention and exactly its demand when the pool is idle.
+//
+// Admission is bounded on three axes, each rejection typed Overloaded
+// (never a silent hang):
+//   * per-client inflight (queued + executing) cap,
+//   * per-client queue cap,
+//   * global queue cap.
+//
+// Dispatch order is deterministic given the arrival order: the cursor
+// walks clients in registration order and jobs in FIFO order — the
+// determinism tests pin this down with max_concurrency = 1.
+#pragma once
+
+#include "exec/thread_pool.hpp"
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+
+namespace stsense::service {
+
+class FairScheduler {
+public:
+    struct Limits {
+        /// Max queued + executing jobs one client may have. <= 0: unbounded.
+        int max_inflight_per_client = 8;
+        /// Max queued jobs one client may have. <= 0: unbounded.
+        int max_queued_per_client = 32;
+        /// Max queued jobs across all clients. <= 0: unbounded.
+        int max_queued_total = 128;
+        /// Jobs released into the pool at once; <= 0 uses the pool width.
+        int max_concurrency = 0;
+    };
+
+    enum class Admit {
+        Ok,               ///< Queued (and possibly already dispatched).
+        ClientSaturated,  ///< Per-client inflight or queue cap hit.
+        QueueFull,        ///< Global queue cap hit.
+        Draining,         ///< drain() began; no new jobs.
+    };
+
+    FairScheduler(exec::ThreadPool& pool, Limits limits);
+    ~FairScheduler();
+    FairScheduler(const FairScheduler&) = delete;
+    FairScheduler& operator=(const FairScheduler&) = delete;
+
+    /// Registers a client and returns its id. `weight` is clamped to
+    /// [1, 64].
+    int add_client(int weight = 1);
+    void set_weight(int client, int weight);
+
+    /// Queues `job` for `client`. On Admit::Ok the job will run on the
+    /// pool (possibly before submit returns). Any other verdict means
+    /// the job was NOT queued and the caller must answer the client.
+    Admit submit(int client, std::function<void()> job);
+
+    /// Stops admissions. `discard_queued` pops every not-yet-dispatched
+    /// job and hands it to `on_discard` (so the server can answer
+    /// ShuttingDown) instead of running it. Blocks until every
+    /// dispatched job finished. Idempotent.
+    void drain(bool discard_queued = false,
+               const std::function<void(std::function<void()>)>& on_discard = {});
+
+    bool draining() const;
+
+    /// Blocks until no job is queued or executing (admissions stay open).
+    void wait_idle();
+
+    // ---- live counters for the object model -----------------------------
+    std::size_t queued() const;
+    std::size_t executing() const;
+    std::uint64_t completed() const;
+    std::uint64_t rejected() const;
+    std::size_t inflight(int client) const;
+
+private:
+    struct Client {
+        int weight = 1;
+        int quantum_left = 1;              ///< Dispatches left this visit.
+        std::deque<std::function<void()>> queue;
+        std::size_t executing = 0;
+    };
+
+    /// Releases queued jobs into the pool while below max_concurrency.
+    /// Requires m_ held; may be re-entered from job completions.
+    void pump_locked();
+    void run_job(int client, std::function<void()> job);
+
+    exec::ThreadPool& pool_;
+    Limits limits_;
+    mutable std::mutex m_;
+    std::condition_variable idle_cv_;
+    std::map<int, Client> clients_;
+    int next_client_ = 0;
+    /// Weighted round-robin cursor: id of the client served next.
+    int cursor_ = 0;
+    std::size_t queued_ = 0;
+    std::size_t executing_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t rejected_ = 0;
+    bool draining_ = false;
+    exec::TaskGroup group_;
+};
+
+} // namespace stsense::service

@@ -1,0 +1,423 @@
+#include "service/json.hpp"
+
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace stsense::service {
+
+namespace {
+
+const Json& null_json() {
+    static const Json v;
+    return v;
+}
+
+} // namespace
+
+const std::string& Json::empty_string() {
+    static const std::string s;
+    return s;
+}
+
+std::size_t Json::size() const {
+    if (is_array()) return arr_.size();
+    if (is_object()) return obj_.size();
+    return 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+    if (!is_array()) return null_json();
+    return index < arr_.size() ? arr_[index] : null_json();
+}
+
+const Json& Json::at(const std::string& key) const {
+    if (!is_object()) return null_json();
+    const auto it = std::lower_bound(
+        obj_.begin(), obj_.end(), key,
+        [](const auto& pair, const std::string& k) { return pair.first < k; });
+    return (it != obj_.end() && it->first == key) ? it->second : null_json();
+}
+
+bool Json::contains(const std::string& key) const {
+    if (!is_object()) return false;
+    const auto it = std::lower_bound(
+        obj_.begin(), obj_.end(), key,
+        [](const auto& pair, const std::string& k) { return pair.first < k; });
+    return it != obj_.end() && it->first == key;
+}
+
+void Json::push_back(Json v) {
+    if (!is_array()) {
+        kind_ = Kind::Array;
+        arr_.clear();
+        obj_.clear();
+    }
+    arr_.push_back(std::move(v));
+}
+
+Json& Json::set(const std::string& key, Json v) {
+    if (!is_object()) {
+        kind_ = Kind::Object;
+        arr_.clear();
+        obj_.clear();
+    }
+    const auto it = std::lower_bound(
+        obj_.begin(), obj_.end(), key,
+        [](const auto& pair, const std::string& k) { return pair.first < k; });
+    if (it != obj_.end() && it->first == key) {
+        it->second = std::move(v);
+        return it->second;
+    }
+    return obj_.emplace(it, key, std::move(v))->second;
+}
+
+const Json::Array& Json::items() const {
+    static const Array empty;
+    return is_array() ? arr_ : empty;
+}
+
+const Json::Object& Json::members() const {
+    static const Object empty;
+    return is_object() ? obj_ : empty;
+}
+
+bool operator==(const Json& a, const Json& b) {
+    if (a.kind_ != b.kind_) return false;
+    switch (a.kind_) {
+        case Json::Kind::Null: return true;
+        case Json::Kind::Bool: return a.bool_ == b.bool_;
+        case Json::Kind::Number: return a.num_ == b.num_;
+        case Json::Kind::String: return a.str_ == b.str_;
+        case Json::Kind::Array: return a.arr_ == b.arr_;
+        case Json::Kind::Object: return a.obj_ == b.obj_;
+    }
+    return false;
+}
+
+std::string json_quote(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string Json::dump() const {
+    struct Visitor {
+        std::string out;
+        void walk(const Json& j) {
+            if (j.is_null()) {
+                out += "null";
+            } else if (j.is_bool()) {
+                out += j.as_bool() ? "true" : "false";
+            } else if (j.is_number()) {
+                const double d = j.as_double();
+                // JSON has no NaN/Inf literal; the object model maps an
+                // unmeasured value to null rather than invalid bytes.
+                if (std::isfinite(d)) {
+                    out += util::format_double(d);
+                } else {
+                    out += "null";
+                }
+            } else if (j.is_string()) {
+                out += json_quote(j.as_string());
+            } else if (j.is_array()) {
+                out += '[';
+                bool first = true;
+                for (const auto& item : j.items()) {
+                    if (!first) out += ',';
+                    first = false;
+                    walk(item);
+                }
+                out += ']';
+            } else {
+                out += '{';
+                bool first = true;
+                for (const auto& [key, value] : j.members()) {
+                    if (!first) out += ',';
+                    first = false;
+                    out += json_quote(key);
+                    out += ':';
+                    walk(value);
+                }
+                out += '}';
+            }
+        }
+    } v;
+    v.walk(*this);
+    return std::move(v.out);
+}
+
+// ------------------------------------------------------------------ parser
+
+namespace {
+
+/// Recursive-descent parser over one immutable buffer. Every failure
+/// path records (message, offset) and unwinds via the ok flag — no
+/// exceptions, no partial values escaping.
+class Parser {
+public:
+    Parser(const std::string& text, std::size_t max_depth)
+        : s_(text), max_depth_(max_depth) {}
+
+    JsonParseResult run() {
+        JsonParseResult result;
+        Json value;
+        if (!parse_value(value, 0)) {
+            result.error = error_ + " at offset " + std::to_string(pos_);
+            return result;
+        }
+        skip_ws();
+        if (pos_ != s_.size()) {
+            result.error = "trailing characters at offset " + std::to_string(pos_);
+            return result;
+        }
+        result.value = std::move(value);
+        return result;
+    }
+
+private:
+    void skip_ws() {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool fail(const char* message) {
+        error_ = message;
+        return false;
+    }
+
+    bool literal(const char* word, Json value, Json& out) {
+        const std::size_t len = std::string(word).size();
+        if (s_.compare(pos_, len, word) != 0) return fail("invalid literal");
+        pos_ += len;
+        out = std::move(value);
+        return true;
+    }
+
+    bool parse_value(Json& out, std::size_t depth) {
+        if (depth > max_depth_) return fail("nesting too deep");
+        skip_ws();
+        if (pos_ >= s_.size()) return fail("unexpected end of input");
+        switch (s_[pos_]) {
+            case 'n': return literal("null", Json(nullptr), out);
+            case 't': return literal("true", Json(true), out);
+            case 'f': return literal("false", Json(false), out);
+            case '"': return parse_string(out);
+            case '[': return parse_array(out, depth);
+            case '{': return parse_object(out, depth);
+            default: return parse_number(out);
+        }
+    }
+
+    bool parse_string(Json& out) {
+        std::string value;
+        if (!parse_raw_string(value)) return false;
+        out = Json(std::move(value));
+        return true;
+    }
+
+    bool parse_raw_string(std::string& out) {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= s_.size()) return fail("bad escape");
+                const char e = s_[pos_ + 1];
+                pos_ += 2;
+                switch (e) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    case 'n': out += '\n'; break;
+                    case 'r': out += '\r'; break;
+                    case 't': out += '\t'; break;
+                    case 'u': {
+                        if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
+                        unsigned code = 0;
+                        for (int i = 0; i < 4; ++i) {
+                            const char h = s_[pos_ + static_cast<std::size_t>(i)];
+                            code <<= 4;
+                            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                            else return fail("bad \\u escape");
+                        }
+                        pos_ += 4;
+                        // UTF-8 encode the BMP code point (surrogate pairs
+                        // degrade to two 3-byte sequences; the protocol is
+                        // ASCII in practice).
+                        if (code < 0x80) {
+                            out += static_cast<char>(code);
+                        } else if (code < 0x800) {
+                            out += static_cast<char>(0xC0 | (code >> 6));
+                            out += static_cast<char>(0x80 | (code & 0x3F));
+                        } else {
+                            out += static_cast<char>(0xE0 | (code >> 12));
+                            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                            out += static_cast<char>(0x80 | (code & 0x3F));
+                        }
+                        break;
+                    }
+                    default: return fail("bad escape");
+                }
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                return fail("control character in string");
+            }
+            out += c;
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool parse_number(Json& out) {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+        bool digits = false;
+        auto eat_digits = [&] {
+            while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                digits = true;
+            }
+        };
+        eat_digits();
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            eat_digits();
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+            const bool had = digits;
+            digits = false;
+            eat_digits();
+            digits = digits && had;
+        }
+        if (!digits) {
+            pos_ = start;
+            return fail("invalid number");
+        }
+        const std::string token = s_.substr(start, pos_ - start);
+        char* end = nullptr;
+        // strtod, not std::stod: no exceptions, and subnormals round-trip
+        // (the same reason the checkpoint loader uses it).
+        const double value = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            pos_ = start;
+            return fail("invalid number");
+        }
+        out = Json(value);
+        return true;
+    }
+
+    bool parse_array(Json& out, std::size_t depth) {
+        ++pos_; // '['
+        Json::Array items;
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            out = Json(std::move(items));
+            return true;
+        }
+        for (;;) {
+            Json item;
+            if (!parse_value(item, depth + 1)) return false;
+            items.push_back(std::move(item));
+            skip_ws();
+            if (pos_ >= s_.size()) return fail("unterminated array");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                out = Json(std::move(items));
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool parse_object(Json& out, std::size_t depth) {
+        ++pos_; // '{'
+        Json members = Json::object();
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            out = std::move(members);
+            return true;
+        }
+        for (;;) {
+            skip_ws();
+            if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected key");
+            std::string key;
+            if (!parse_raw_string(key)) return false;
+            skip_ws();
+            if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+            ++pos_;
+            Json value;
+            if (!parse_value(value, depth + 1)) return false;
+            members.set(key, std::move(value));
+            skip_ws();
+            if (pos_ >= s_.size()) return fail("unterminated object");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                out = std::move(members);
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+    std::size_t max_depth_;
+    std::string error_ = "parse error";
+};
+
+} // namespace
+
+JsonParseResult Json::parse(const std::string& text, std::size_t max_depth) {
+    return Parser(text, max_depth).run();
+}
+
+} // namespace stsense::service

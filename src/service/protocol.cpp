@@ -1,0 +1,90 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+
+namespace stsense::service {
+
+const char* to_string(ErrorCode code) {
+    switch (code) {
+        case ErrorCode::MalformedRequest: return "malformed-request";
+        case ErrorCode::UnknownMethod: return "unknown-method";
+        case ErrorCode::BadParams: return "bad-params";
+        case ErrorCode::UnknownSession: return "unknown-session";
+        case ErrorCode::UnknownPath: return "unknown-path";
+        case ErrorCode::Overloaded: return "overloaded";
+        case ErrorCode::ShuttingDown: return "shutting-down";
+        case ErrorCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+Request parse_request(const std::string& line) {
+    JsonParseResult parsed = Json::parse(line);
+    if (!parsed.value) {
+        throw ServiceError(ErrorCode::MalformedRequest, parsed.error);
+    }
+    const Json& doc = *parsed.value;
+    if (!doc.is_object()) {
+        throw ServiceError(ErrorCode::MalformedRequest,
+                           "request must be a JSON object");
+    }
+    if (!doc.at("id").is_number()) {
+        throw ServiceError(ErrorCode::MalformedRequest,
+                           "request needs a numeric \"id\"");
+    }
+    const double id_raw = doc.at("id").as_double();
+    if (std::floor(id_raw) != id_raw || id_raw < -9.2233720368547758e18 ||
+        id_raw > 9.2233720368547758e18) {
+        throw ServiceError(ErrorCode::MalformedRequest,
+                           "\"id\" must be an integer");
+    }
+    if (!doc.at("method").is_string() ||
+        doc.at("method").as_string().empty()) {
+        throw ServiceError(ErrorCode::MalformedRequest,
+                           "request needs a non-empty string \"method\"");
+    }
+    Request req;
+    req.id = doc.at("id").as_int64();
+    req.method = doc.at("method").as_string();
+    const Json& params = doc.at("params");
+    if (params.is_object()) {
+        req.params = params;
+    } else if (params.is_null()) {
+        req.params = Json::object();
+    } else {
+        throw ServiceError(ErrorCode::MalformedRequest,
+                           "\"params\" must be an object when present");
+    }
+    return req;
+}
+
+std::string make_ok_response(std::int64_t id, Json result) {
+    Json doc = Json::object();
+    doc.set("id", id);
+    doc.set("ok", true);
+    doc.set("result", std::move(result));
+    return doc.dump();
+}
+
+std::string make_error_response(std::int64_t id, ErrorCode code,
+                                const std::string& message) {
+    Json err = Json::object();
+    err.set("code", to_string(code));
+    err.set("message", message);
+    Json doc = Json::object();
+    doc.set("id", id);
+    doc.set("ok", false);
+    doc.set("error", std::move(err));
+    return doc.dump();
+}
+
+std::string make_event(std::uint64_t seq, const std::string& path, Json value) {
+    Json doc = Json::object();
+    doc.set("event", "update");
+    doc.set("seq", seq);
+    doc.set("path", path);
+    doc.set("value", std::move(value));
+    return doc.dump();
+}
+
+} // namespace stsense::service

@@ -1,0 +1,608 @@
+#include "service/server.hpp"
+
+#include "exec/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace stsense::service {
+
+namespace {
+
+/// Best-effort id recovery from a line that failed request parsing, so
+/// even a malformed-request error correlates when it can.
+std::int64_t salvage_id(const std::string& line) {
+    auto parsed = Json::parse(line);
+    if (parsed.value && parsed.value->is_object() &&
+        parsed.value->at("id").is_number()) {
+        return parsed.value->at("id").as_int64();
+    }
+    return 0;
+}
+
+/// True only while FairScheduler::drain's discard callback is replaying
+/// a queued-but-undispatched job on the drainer's thread. Thread-local
+/// on purpose: a job the scheduler already dispatched to a pool worker
+/// must run to completion even when shutdown lands mid-flight — a
+/// global flag would race the worker into discarding admitted work.
+thread_local bool t_discarding = false;
+
+} // namespace
+
+Server::Server(ServerConfig config, std::vector<SessionSpec> sessions)
+    : config_(std::move(config)) {
+    const int threads = config_.threads > 0
+                            ? config_.threads
+                            : exec::ThreadPool::default_thread_count();
+    pool_ = std::make_unique<exec::ThreadPool>(threads);
+    cache_ = std::make_unique<exec::ResultCache>(
+        config_.cache_bytes, &exec::MetricsRegistry::global(),
+        "service.cache");
+    sessions_.reserve(sessions.size());
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+        sessions_.push_back(std::make_unique<Session>(
+            static_cast<int>(i), std::move(sessions[i]), pool_.get(),
+            cache_.get(), config_.spool_dir));
+    }
+    scheduler_ = std::make_unique<FairScheduler>(*pool_, config_.limits);
+    register_builtin_methods();
+    root_ = build_model();
+}
+
+Server::~Server() {
+    request_shutdown(/*discard_queued=*/true);
+    wait();
+    // Readers of a serve() running on a caller thread were joined by
+    // serve() itself; the scheduler is already drained.
+}
+
+// --------------------------------------------------------------- serving
+
+void Server::serve(Transport& transport) {
+    {
+        std::lock_guard lock(serve_m_);
+        transport_ = &transport;
+    }
+    for (;;) {
+        auto conn = transport.accept();
+        if (!conn) break;
+        const int client = scheduler_->add_client(config_.default_client_weight);
+        std::lock_guard lock(serve_m_);
+        readers_.emplace_back(&Server::reader_loop, this, client,
+                              std::move(conn));
+    }
+    std::vector<std::thread> readers;
+    {
+        std::lock_guard lock(serve_m_);
+        readers.swap(readers_);
+        transport_ = nullptr;
+    }
+    for (auto& t : readers) {
+        if (t.joinable()) t.join();
+    }
+}
+
+void Server::start(Transport& transport) {
+    serve_thread_ = std::thread([this, &transport] { serve(transport); });
+}
+
+void Server::wait() {
+    if (serve_thread_.joinable()) serve_thread_.join();
+}
+
+void Server::request_shutdown(bool discard_queued) {
+    draining_.store(true, std::memory_order_relaxed);
+    if (discard_queued) {
+        // Queued-but-undispatched jobs replay via on_discard under the
+        // thread-local discard flag and answer `shutting-down` without
+        // doing their work; already-dispatched jobs finish normally.
+        scheduler_->drain(/*discard_queued=*/true,
+                          [](std::function<void()> job) {
+                              t_discarding = true;
+                              job();
+                              t_discarding = false;
+                          });
+    } else {
+        scheduler_->drain(/*discard_queued=*/false);
+    }
+    std::lock_guard lock(serve_m_);
+    if (transport_) transport_->shutdown();
+}
+
+void Server::reader_loop(int client, std::shared_ptr<Connection> conn) {
+    std::string line;
+    while (conn->read_line(line)) {
+        if (line.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+        handle_line(client, conn, line);
+    }
+    conn->close();
+}
+
+void Server::handle_line(int client, const std::shared_ptr<Connection>& conn,
+                         const std::string& line) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    exec::MetricsRegistry::global().counter("service.requests").add();
+
+    Request req;
+    try {
+        req = parse_request(line);
+    } catch (const ServiceError& e) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        exec::MetricsRegistry::global().counter("service.errors").add();
+        conn->write_line(
+            make_error_response(salvage_id(line), e.code(), e.what()));
+        return;
+    }
+
+    const auto* spec = processor_.find(req.method);
+    if (!spec) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        exec::MetricsRegistry::global().counter("service.errors").add();
+        conn->write_line(make_error_response(req.id, ErrorCode::UnknownMethod,
+                                             "unknown method: " + req.method));
+        return;
+    }
+
+    RequestContext ctx;
+    ctx.client = client;
+    ctx.request_id = req.id;
+    ctx.connection = conn;
+
+    if (!spec->heavy) {
+        conn->write_line(execute(*spec, req, ctx));
+        // A shutdown request must see its own response before the
+        // transport goes down; the transport close happens here, after
+        // the write, not inside the handler.
+        if (req.method == "shutdown") {
+            std::lock_guard lock(serve_m_);
+            if (transport_) transport_->shutdown();
+        }
+        return;
+    }
+
+    const auto verdict = scheduler_->submit(
+        client, [this, spec, req, ctx, conn]() mutable {
+            if (t_discarding) {
+                errors_.fetch_add(1, std::memory_order_relaxed);
+                conn->write_line(make_error_response(
+                    req.id, ErrorCode::ShuttingDown,
+                    "server is shutting down; request not executed"));
+                return;
+            }
+            conn->write_line(execute(*spec, req, ctx));
+            notify_subscribers();
+        });
+    switch (verdict) {
+    case FairScheduler::Admit::Ok:
+        break;
+    case FairScheduler::Admit::ClientSaturated:
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        exec::MetricsRegistry::global().counter("service.rejected").add();
+        conn->write_line(make_error_response(
+            req.id, ErrorCode::Overloaded,
+            "client request limit reached; retry after a response"));
+        break;
+    case FairScheduler::Admit::QueueFull:
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        exec::MetricsRegistry::global().counter("service.rejected").add();
+        conn->write_line(make_error_response(
+            req.id, ErrorCode::Overloaded,
+            "server queue is full; retry later"));
+        break;
+    case FairScheduler::Admit::Draining:
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        conn->write_line(make_error_response(
+            req.id, ErrorCode::ShuttingDown,
+            "server is draining; no new work admitted"));
+        break;
+    }
+}
+
+std::string Server::execute(const CommandProcessor::CommandSpec& spec,
+                            const Request& req, RequestContext& ctx) {
+    OBS_SPAN("service.request");
+    try {
+        Json result = spec.handler(req.params, ctx);
+        responses_.fetch_add(1, std::memory_order_relaxed);
+        return make_ok_response(req.id, std::move(result));
+    } catch (const ServiceError& e) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        exec::MetricsRegistry::global().counter("service.errors").add();
+        return make_error_response(req.id, e.code(), e.what());
+    } catch (const std::exception& e) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        exec::MetricsRegistry::global().counter("service.errors").add();
+        return make_error_response(req.id, ErrorCode::Internal, e.what());
+    } catch (...) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        exec::MetricsRegistry::global().counter("service.errors").add();
+        return make_error_response(req.id, ErrorCode::Internal,
+                                   "handler failed");
+    }
+}
+
+std::string Server::handle_inline(const std::string& line) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    Request req;
+    try {
+        req = parse_request(line);
+    } catch (const ServiceError& e) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return make_error_response(salvage_id(line), e.code(), e.what());
+    }
+    const auto* spec = processor_.find(req.method);
+    if (!spec) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return make_error_response(req.id, ErrorCode::UnknownMethod,
+                                   "unknown method: " + req.method);
+    }
+    if (spec->heavy && draining_.load(std::memory_order_relaxed)) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return make_error_response(req.id, ErrorCode::ShuttingDown,
+                                   "server is draining; no new work admitted");
+    }
+    RequestContext ctx;
+    ctx.request_id = req.id;
+    return execute(*spec, req, ctx);
+}
+
+// ----------------------------------------------------------- subscriptions
+
+void Server::add_subscription(const std::shared_ptr<Connection>& conn,
+                              std::string path, QueryOptions opt) {
+    std::lock_guard lock(sub_m_);
+    subscriptions_.push_back(
+        Subscription{conn, std::move(path), std::move(opt), std::string()});
+}
+
+void Server::notify_subscribers() {
+    std::lock_guard lock(sub_m_);
+    auto it = subscriptions_.begin();
+    while (it != subscriptions_.end()) {
+        auto conn = it->conn.lock();
+        if (!conn) {
+            it = subscriptions_.erase(it);
+            continue;
+        }
+        auto res = query_model(root_, it->path, it->opt);
+        if (!res.ok) {
+            ++it;
+            continue;
+        }
+        std::string rendered = res.value.dump();
+        if (rendered == it->last_rendered) {
+            ++it;
+            continue;
+        }
+        const auto seq = event_seq_.fetch_add(1, std::memory_order_relaxed);
+        if (!conn->write_line(make_event(seq, it->path, std::move(res.value)))) {
+            it = subscriptions_.erase(it);
+            continue;
+        }
+        it->last_rendered = std::move(rendered);
+        ++it;
+    }
+}
+
+// ------------------------------------------------------------- dispatch
+
+Session& Server::resolve_session(const Json& params) {
+    const Json& which = params.at("session");
+    if (which.is_null()) {
+        if (sessions_.empty()) {
+            throw ServiceError(ErrorCode::UnknownSession, "no sessions");
+        }
+        return *sessions_[0];
+    }
+    if (which.is_number()) {
+        const int i = which.as_int(-1);
+        if (i >= 0 && static_cast<std::size_t>(i) < sessions_.size()) {
+            return *sessions_[static_cast<std::size_t>(i)];
+        }
+    } else if (which.is_string()) {
+        for (auto& s : sessions_) {
+            if (s->name() == which.as_string()) return *s;
+        }
+    } else {
+        throw ServiceError(ErrorCode::BadParams,
+                           "param 'session' must be an index or a name");
+    }
+    throw ServiceError(ErrorCode::UnknownSession,
+                       "unknown session: " + which.dump());
+}
+
+void Server::register_builtin_methods() {
+    // ---- light methods: answered inline on the reader thread ----------
+    processor_.register_method(
+        "ping", /*heavy=*/false,
+        [](const Json&, RequestContext&) -> Json {
+            Json j = Json::object();
+            j.set("pong", true);
+            return j;
+        });
+
+    processor_.register_method(
+        "hello", /*heavy=*/false,
+        [this](const Json& params, RequestContext& ctx) -> Json {
+            int weight = config_.default_client_weight;
+            if (params.contains("weight")) {
+                if (!params.at("weight").is_number()) {
+                    throw ServiceError(ErrorCode::BadParams,
+                                       "param 'weight' must be a number");
+                }
+                weight = std::clamp(params.at("weight").as_int(1), 1, 64);
+                if (ctx.client >= 0) {
+                    scheduler_->set_weight(ctx.client, weight);
+                }
+            }
+            Json j = Json::object();
+            j.set("server", "stsense-telemetry");
+            j.set("version", 1);
+            j.set("client", ctx.client);
+            j.set("weight", weight);
+            j.set("sessions", sessions_.size());
+            return j;
+        });
+
+    processor_.register_method(
+        "sessions", /*heavy=*/false,
+        [this](const Json&, RequestContext&) -> Json {
+            Json arr = Json::array();
+            for (const auto& s : sessions_) {
+                Json j = Json::object();
+                j.set("id", s->id());
+                j.set("name", s->name());
+                j.set("sites", s->site_count());
+                j.set("requests", s->requests());
+                arr.push_back(std::move(j));
+            }
+            return arr;
+        });
+
+    processor_.register_method(
+        "query", /*heavy=*/false,
+        [this](const Json& params, RequestContext&) -> Json {
+            QueryOptions opt;
+            opt.depth = std::clamp(params.at("depth").as_int(opt.depth), 0, 64);
+            opt.filter = params.at("filter").as_string();
+            const std::string& path = params.at("path").as_string();
+            auto res = query_model(root_, path, opt);
+            if (!res.ok) {
+                throw ServiceError(ErrorCode::UnknownPath, res.error);
+            }
+            Json j = Json::object();
+            j.set("path", path);
+            j.set("value", std::move(res.value));
+            return j;
+        });
+
+    processor_.register_method(
+        "subscribe", /*heavy=*/false,
+        [this](const Json& params, RequestContext& ctx) -> Json {
+            if (!ctx.connection) {
+                throw ServiceError(ErrorCode::BadParams,
+                                   "subscribe requires a connection");
+            }
+            QueryOptions opt;
+            opt.depth = std::clamp(params.at("depth").as_int(opt.depth), 0, 64);
+            opt.filter = params.at("filter").as_string();
+            const std::string& path = params.at("path").as_string();
+            auto res = query_model(root_, path, opt);
+            if (!res.ok) {
+                throw ServiceError(ErrorCode::UnknownPath, res.error);
+            }
+            add_subscription(ctx.connection, path, opt);
+            Json j = Json::object();
+            j.set("subscribed", path);
+            j.set("value", std::move(res.value));
+            return j;
+        });
+
+    processor_.register_method(
+        "help", /*heavy=*/false,
+        [this](const Json&, RequestContext&) -> Json {
+            Json arr = Json::array();
+            for (const auto& name : processor_.methods()) arr.push_back(name);
+            Json j = Json::object();
+            j.set("methods", std::move(arr));
+            return j;
+        });
+
+    processor_.register_method(
+        "shutdown", /*heavy=*/false,
+        [this](const Json& params, RequestContext&) -> Json {
+            const std::string mode = params.at("mode").as_string("drain");
+            if (mode != "drain" && mode != "now") {
+                throw ServiceError(ErrorCode::BadParams,
+                                   "param 'mode' must be \"drain\" or \"now\"");
+            }
+            draining_.store(true, std::memory_order_relaxed);
+            if (mode == "now") {
+                scheduler_->drain(/*discard_queued=*/true,
+                                  [](std::function<void()> job) {
+                                      t_discarding = true;
+                                      job();
+                                      t_discarding = false;
+                                  });
+            } else {
+                scheduler_->drain(/*discard_queued=*/false);
+            }
+            Json j = Json::object();
+            j.set("draining", true);
+            j.set("mode", mode);
+            j.set("completed", scheduler_->completed());
+            return j;
+        });
+
+    // ---- heavy methods: admission-controlled, pool-executed ------------
+    processor_.register_method(
+        "measure_site", /*heavy=*/true,
+        [this](const Json& params, RequestContext&) -> Json {
+            return resolve_session(params).measure_site(params);
+        });
+    processor_.register_method(
+        "thermal_map", /*heavy=*/true,
+        [this](const Json& params, RequestContext&) -> Json {
+            return resolve_session(params).thermal_map(params);
+        });
+    processor_.register_method(
+        "sweep", /*heavy=*/true,
+        [this](const Json& params, RequestContext&) -> Json {
+            return resolve_session(params).sweep(params);
+        });
+    processor_.register_method(
+        "optimize", /*heavy=*/true,
+        [this](const Json& params, RequestContext&) -> Json {
+            return resolve_session(params).optimize(params);
+        });
+    // Deterministic load generator: occupies one scheduler slot for a
+    // fixed wall time. The saturation tests use it to make admission
+    // rejection reproducible; it does no session work.
+    processor_.register_method(
+        "burn", /*heavy=*/true,
+        [](const Json& params, RequestContext&) -> Json {
+            const int ms = std::clamp(params.at("ms").as_int(10), 0, 2000);
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+            Json j = Json::object();
+            j.set("burned_ms", ms);
+            return j;
+        });
+}
+
+// ----------------------------------------------------------- object model
+
+ModelPtr Server::build_model() const {
+    const Server* self = this;
+
+    auto service_node = [self]() -> ModelPtr {
+        return object({
+            {"name", [] { return fixed_leaf(Json("stsense-telemetry")); }},
+            {"version", [] { return fixed_leaf(Json(1)); }},
+            {"draining", [self] {
+                 return leaf([self] {
+                     return Json(self->draining_.load(std::memory_order_relaxed));
+                 });
+             }},
+            {"requests", [self] {
+                 return leaf([self] {
+                     return Json(self->requests_.load(std::memory_order_relaxed));
+                 });
+             }},
+            {"responses", [self] {
+                 return leaf([self] {
+                     return Json(
+                         self->responses_.load(std::memory_order_relaxed));
+                 });
+             }},
+            {"errors", [self] {
+                 return leaf([self] {
+                     return Json(self->errors_.load(std::memory_order_relaxed));
+                 });
+             }},
+            {"spool_dir",
+             [self] { return fixed_leaf(Json(self->config_.spool_dir)); }},
+        });
+    };
+
+    auto pool_node = [self]() -> ModelPtr {
+        return object({
+            {"size", [self] { return fixed_leaf(Json(self->pool_->size())); }},
+            {"queue_depth", [self] {
+                 return leaf([self] { return Json(self->pool_->queue_depth()); });
+             }},
+            {"inflight", [self] {
+                 return leaf([self] { return Json(self->pool_->inflight()); });
+             }},
+            {"tasks_executed", [self] {
+                 return leaf(
+                     [self] { return Json(self->pool_->tasks_executed()); });
+             }},
+            {"tasks_stolen", [self] {
+                 return leaf(
+                     [self] { return Json(self->pool_->tasks_stolen()); });
+             }},
+        });
+    };
+
+    auto cache_node = [self]() -> ModelPtr {
+        auto stat = [self](auto read) {
+            return leaf([self, read] { return read(self->cache_->stats()); });
+        };
+        return object({
+            {"entries", [stat] {
+                 return stat([](const exec::ResultCache::Stats& s) {
+                     return Json(s.entries);
+                 });
+             }},
+            {"bytes", [stat] {
+                 return stat([](const exec::ResultCache::Stats& s) {
+                     return Json(s.bytes);
+                 });
+             }},
+            {"hits", [stat] {
+                 return stat([](const exec::ResultCache::Stats& s) {
+                     return Json(s.hits);
+                 });
+             }},
+            {"misses", [stat] {
+                 return stat([](const exec::ResultCache::Stats& s) {
+                     return Json(s.misses);
+                 });
+             }},
+            {"evictions", [stat] {
+                 return stat([](const exec::ResultCache::Stats& s) {
+                     return Json(s.evictions);
+                 });
+             }},
+            {"hit_rate", [stat] {
+                 return stat([](const exec::ResultCache::Stats& s) {
+                     return Json(s.hit_rate());
+                 });
+             }},
+            {"byte_budget", [self] {
+                 return fixed_leaf(Json(self->cache_->byte_budget()));
+             }},
+        });
+    };
+
+    auto scheduler_node = [self]() -> ModelPtr {
+        return object({
+            {"queued", [self] {
+                 return leaf([self] { return Json(self->scheduler_->queued()); });
+             }},
+            {"executing", [self] {
+                 return leaf(
+                     [self] { return Json(self->scheduler_->executing()); });
+             }},
+            {"completed", [self] {
+                 return leaf(
+                     [self] { return Json(self->scheduler_->completed()); });
+             }},
+            {"rejected", [self] {
+                 return leaf(
+                     [self] { return Json(self->scheduler_->rejected()); });
+             }},
+        });
+    };
+
+    const std::size_t n_sessions = sessions_.size();
+    auto sessions_node = [self, n_sessions]() -> ModelPtr {
+        return array([n_sessions] { return n_sessions; },
+                     [self](std::size_t i) -> ModelPtr {
+                         return self->sessions_[i]->model();
+                     });
+    };
+
+    return object({
+        {"service", service_node},
+        {"pool", pool_node},
+        {"cache", cache_node},
+        {"scheduler", scheduler_node},
+        {"sessions", sessions_node},
+    });
+}
+
+} // namespace stsense::service

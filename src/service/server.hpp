@@ -1,0 +1,166 @@
+// service::Server — the resident thermal-telemetry daemon.
+//
+// One server owns the shared execution runtime (an exec::ThreadPool and
+// a cross-request exec::ResultCache) and N die Sessions, and serves
+// newline-delimited JSON requests over any Transport (Unix socket for
+// real clients, LoopbackTransport for tests and benches). Per
+// connection, one reader thread parses requests and routes them through
+// the CommandProcessor registry:
+//
+//   connection -> parse -> registry -> light: inline answer
+//                                   -> heavy: FairScheduler -> pool
+//
+// Admission control is the scheduler's: a saturated client gets a typed
+// `overloaded` response, a draining server `shutting-down` — never a
+// hang, never a dropped line. Every response carries the request id;
+// heavy responses overtake each other freely.
+//
+// The whole runtime is queryable through the lazily-evaluated object
+// model rooted here: `state.pool.queue_depth`, `state.cache.hit_rate`,
+// `state.sessions[3].sites[12].health` — each query evaluates exactly
+// the subtree it renders (depth-limited, key-filtered), reading live
+// atomics and short state locks, so observability stays cheap while
+// every worker is busy sweeping.
+//
+// Shutdown: `shutdown {"mode":"drain"}` (or request_shutdown()) stops
+// admissions, lets queued jobs finish, answers everything, then closes
+// the transport; mode "now" answers still-queued jobs `shutting-down`
+// instead of running them. In-flight sweeps persist per-request
+// checkpoints under spool_dir (fingerprint-keyed), so a killed request
+// re-issued against a restarted server resumes bitwise.
+#pragma once
+
+#include "exec/result_cache.hpp"
+#include "exec/thread_pool.hpp"
+#include "service/dispatch.hpp"
+#include "service/fair_queue.hpp"
+#include "service/object_model.hpp"
+#include "service/protocol.hpp"
+#include "service/session.hpp"
+#include "service/transport.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stsense::service {
+
+struct ServerConfig {
+    /// Pool workers; <= 0 uses exec::ThreadPool::default_thread_count().
+    int threads = 0;
+    /// Byte budget of the server-owned result cache shared by every
+    /// session (cross-request memoization).
+    std::size_t cache_bytes = exec::ResultCache::kDefaultByteBudget;
+    /// Directory for per-request sweep/optimizer checkpoints; empty
+    /// disables checkpointing (and therefore restart-resume).
+    std::string spool_dir;
+    /// Admission-control and fairness knobs.
+    FairScheduler::Limits limits;
+    /// Weight new connections start with (hello can raise it).
+    int default_client_weight = 1;
+};
+
+class Server {
+public:
+    Server(ServerConfig config, std::vector<SessionSpec> sessions);
+    ~Server();
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Serves `transport` on the calling thread until shutdown. Joins
+    /// every connection reader before returning.
+    void serve(Transport& transport);
+
+    /// serve() on an internal thread; pair with wait().
+    void start(Transport& transport);
+    /// Joins the start() thread (no-op when serve wasn't started).
+    void wait();
+
+    /// Programmatic shutdown: stops admissions, drains (or, with
+    /// `discard_queued`, answers queued jobs `shutting-down`), then
+    /// closes the transport so serve() returns. Idempotent.
+    void request_shutdown(bool discard_queued = false);
+
+    bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+    // ---- composition access (examples, benches, tests) ------------------
+    exec::ThreadPool& pool() { return *pool_; }
+    exec::ResultCache& cache() { return *cache_; }
+    FairScheduler& scheduler() { return *scheduler_; }
+    CommandProcessor& processor() { return processor_; }
+    std::size_t session_count() const { return sessions_.size(); }
+    Session& session(std::size_t i) { return *sessions_[i]; }
+    const ServerConfig& config() const { return config_; }
+
+    /// Root of the object model (`state.`); stable for the server's
+    /// lifetime, safe to query from any thread.
+    const ModelPtr& model() const { return root_; }
+
+    /// One request handled fully in-process (no transport): parses,
+    /// dispatches (heavy methods still go through admission control but
+    /// run synchronously), returns the response line. The benches use
+    /// this to measure dispatch overhead without socket noise.
+    std::string handle_inline(const std::string& line);
+
+    std::uint64_t requests_total() const {
+        return requests_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t errors_total() const {
+        return errors_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void register_builtin_methods();
+    ModelPtr build_model() const;
+
+    /// Resolves params["session"] (index or name; default 0).
+    Session& resolve_session(const Json& params);
+
+    void reader_loop(int client, std::shared_ptr<Connection> conn);
+    void handle_line(int client, const std::shared_ptr<Connection>& conn,
+                     const std::string& line);
+    /// Runs one request through its handler; returns the response line.
+    std::string execute(const CommandProcessor::CommandSpec& spec,
+                        const Request& req, RequestContext& ctx);
+
+    // ---- subscriptions ---------------------------------------------------
+    struct Subscription {
+        std::weak_ptr<Connection> conn;
+        std::string path;
+        QueryOptions opt;
+        std::string last_rendered; ///< Dedup: push only on change.
+    };
+    void add_subscription(const std::shared_ptr<Connection>& conn,
+                          std::string path, QueryOptions opt);
+    /// Re-evaluates every live subscription and pushes changed values.
+    void notify_subscribers();
+
+    ServerConfig config_;
+    std::unique_ptr<exec::ThreadPool> pool_;
+    std::unique_ptr<exec::ResultCache> cache_;
+    std::vector<std::unique_ptr<Session>> sessions_;
+    std::unique_ptr<FairScheduler> scheduler_;
+    CommandProcessor processor_;
+    ModelPtr root_;
+
+    std::atomic<bool> draining_{false};
+
+    std::mutex serve_m_;
+    Transport* transport_ = nullptr; ///< Non-null while serve() runs.
+    std::vector<std::thread> readers_;
+    std::thread serve_thread_;
+
+    std::mutex sub_m_;
+    std::vector<Subscription> subscriptions_;
+    std::atomic<std::uint64_t> event_seq_{0};
+
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> responses_{0};
+    std::atomic<std::uint64_t> errors_{0};
+};
+
+} // namespace stsense::service

@@ -1,0 +1,24 @@
+// stsense::service — the resident thermal-telemetry daemon, in one
+// include: JSON value/wire types, the lazily-evaluated object model,
+// the command registry, transports (Unix socket + in-process loopback),
+// fair queuing with admission control, per-die sessions, and the server
+// composing them.
+//
+//     service::ServerConfig cfg;
+//     cfg.threads = 4;
+//     service::Server server(cfg, {die0_spec, die1_spec});
+//     service::LoopbackTransport loop;
+//     server.start(loop);
+//     auto conn = loop.connect();
+//     conn->write_line(R"({"id":1,"method":"thermal_map",
+//                          "params":{"session":0}})");
+#pragma once
+
+#include "service/json.hpp"         // IWYU pragma: export
+#include "service/object_model.hpp" // IWYU pragma: export
+#include "service/protocol.hpp"     // IWYU pragma: export
+#include "service/transport.hpp"    // IWYU pragma: export
+#include "service/dispatch.hpp"     // IWYU pragma: export
+#include "service/fair_queue.hpp"   // IWYU pragma: export
+#include "service/session.hpp"      // IWYU pragma: export
+#include "service/server.hpp"       // IWYU pragma: export

@@ -1,0 +1,483 @@
+#include "service/session.hpp"
+
+#include "obs/trace.hpp"
+#include "ring/sweep.hpp"
+#include "sensor/optimizer.hpp"
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace stsense::service {
+
+namespace {
+
+/// Deterministic inclusive linspace (the same arithmetic everywhere a
+/// grid is built from request params, so fingerprints agree).
+std::vector<double> linspace(double lo, double hi, int n) {
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(n));
+    if (n == 1) {
+        out.push_back(lo);
+        return out;
+    }
+    for (int i = 0; i < n; ++i) {
+        out.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                               static_cast<double>(n - 1));
+    }
+    return out;
+}
+
+std::string hex64(std::uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+}
+
+/// FNV-1a over a string — names optimizer checkpoint files per request.
+std::uint64_t fnv1a(const std::string& s) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+double require_finite(const Json& params, const char* key, double fallback) {
+    const Json& v = params.at(key);
+    const double d = v.is_null() ? fallback : v.as_double(std::nan(""));
+    if (!std::isfinite(d)) {
+        throw ServiceError(ErrorCode::BadParams,
+                           std::string("param '") + key +
+                               "' must be a finite number");
+    }
+    return d;
+}
+
+int require_int(const Json& params, const char* key, int fallback, int lo,
+                int hi) {
+    const Json& v = params.at(key);
+    if (v.is_null()) return fallback;
+    if (!v.is_number()) {
+        throw ServiceError(ErrorCode::BadParams,
+                           std::string("param '") + key + "' must be a number");
+    }
+    const int n = v.as_int();
+    if (n < lo || n > hi) {
+        throw ServiceError(ErrorCode::BadParams,
+                           std::string("param '") + key + "' out of range [" +
+                               std::to_string(lo) + ", " + std::to_string(hi) +
+                               "]");
+    }
+    return n;
+}
+
+} // namespace
+
+Session::Session(int id, SessionSpec spec, exec::ThreadPool* pool,
+                 exec::ResultCache* cache, std::string spool_dir)
+    : id_(id),
+      name_(spec.name.empty() ? "session-" + std::to_string(id) : spec.name),
+      spec_(std::move(spec)),
+      pool_(pool),
+      cache_(cache),
+      spool_dir_(std::move(spool_dir)),
+      monitor_(spec_.tech, spec_.ring, spec_.floorplan,
+               sensor::uniform_sites(spec_.floorplan, spec_.sites_nx,
+                                     spec_.sites_ny),
+               spec_.runtime.monitor_config(spec_.monitor)) {
+    sites_.reserve(monitor_.sites().size());
+    for (const auto& site : monitor_.sites()) {
+        SiteSnapshot snap;
+        snap.name = site.name;
+        snap.x = site.x;
+        snap.y = site.y;
+        sites_.push_back(std::move(snap));
+    }
+}
+
+Json Session::reading_json(const sensor::SiteReading& r) {
+    Json j = Json::object();
+    j.set("name", r.name);
+    j.set("x", r.x);
+    j.set("y", r.y);
+    j.set("true_c", r.true_c);
+    j.set("measured_c", std::isfinite(r.measured_c) ? Json(r.measured_c)
+                                                    : Json(nullptr));
+    j.set("error_c",
+          std::isfinite(r.error_c) ? Json(r.error_c) : Json(nullptr));
+    j.set("code", static_cast<std::uint64_t>(r.code));
+    j.set("valid", r.valid);
+    j.set("health", sensor::to_string(r.health));
+    j.set("confidence", sensor::to_string(r.confidence));
+    j.set("rings_total", r.rings_total);
+    j.set("rings_agreeing", r.rings_agreeing);
+    return j;
+}
+
+sensor::MapResult Session::scan_locked() {
+    OBS_SPAN("service.session.scan");
+    auto map = monitor_.scan();
+    publish_map(map);
+    return map;
+}
+
+void Session::publish_map(const sensor::MapResult& map) {
+    Json summary = Json::object();
+    summary.set("sites", map.sites.size());
+    summary.set("invalid_sites", map.invalid_sites);
+    summary.set("max_abs_error_c", map.max_abs_error_c);
+    summary.set("rms_error_c", map.rms_error_c);
+    summary.set("die_peak_c", map.die_peak_c);
+    summary.set("scan_time_s", map.scan_time_s);
+    summary.set("alarm", map.alarm);
+    summary.set("alarm_site", map.alarm_site);
+    summary.set("degraded_sites", map.degraded_sites);
+    summary.set("quarantined_sites", map.quarantined_sites);
+    summary.set("dead_sites", map.dead_sites);
+    summary.set("interpolated_sites", map.interpolated_sites);
+    summary.set("watchdog_trips", map.watchdog_trips);
+    summary.set("readout_retries", map.readout_retries);
+
+    const auto& health = monitor_.health();
+    std::lock_guard lock(state_m_);
+    last_readings_ = map.sites;
+    for (std::size_t i = 0; i < map.sites.size() && i < sites_.size(); ++i) {
+        SiteSnapshot& snap = sites_[i];
+        const sensor::SiteReading& r = map.sites[i];
+        snap.health = r.health;
+        snap.confidence = r.confidence;
+        snap.last_c = r.measured_c;
+        snap.has_reading = r.valid && std::isfinite(r.measured_c);
+        if (i < health.size()) {
+            const auto& rec = health.record(i);
+            snap.faults_total = rec.faults_total;
+            snap.strikes = rec.strikes;
+        }
+    }
+    ++scans_;
+    summary.set("scan_index", scans_);
+    last_map_summary_ = std::move(summary);
+}
+
+Json Session::measure_site(const Json& params) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    measures_.fetch_add(1, std::memory_order_relaxed);
+    const Json& which = params.at("site");
+    const bool fresh = params.at("fresh").as_bool(false);
+
+    std::lock_guard job(job_m_);
+    std::size_t index = sites_.size();
+    if (which.is_number()) {
+        const int i = which.as_int(-1);
+        if (i >= 0 && static_cast<std::size_t>(i) < sites_.size()) {
+            index = static_cast<std::size_t>(i);
+        }
+    } else if (which.is_string()) {
+        for (std::size_t i = 0; i < sites_.size(); ++i) {
+            if (sites_[i].name == which.as_string()) {
+                index = i;
+                break;
+            }
+        }
+    } else {
+        throw ServiceError(ErrorCode::BadParams,
+                           "param 'site' must be an index or a site name");
+    }
+    if (index >= sites_.size()) {
+        throw ServiceError(ErrorCode::BadParams,
+                           "unknown site: " + which.dump());
+    }
+
+    bool need_scan = fresh;
+    {
+        std::lock_guard lock(state_m_);
+        if (last_readings_.size() != sites_.size()) need_scan = true;
+    }
+    if (need_scan) scan_locked();
+
+    std::lock_guard lock(state_m_);
+    Json result = reading_json(last_readings_[index]);
+    result.set("session", id_);
+    result.set("scan_index", scans_);
+    return result;
+}
+
+Json Session::thermal_map(const Json&) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    maps_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard job(job_m_);
+    const auto map = scan_locked();
+
+    Json readings = Json::array();
+    for (const auto& r : map.sites) readings.push_back(reading_json(r));
+
+    std::lock_guard lock(state_m_);
+    Json result = last_map_summary_ ? *last_map_summary_ : Json::object();
+    result.set("session", id_);
+    result.set("readings", std::move(readings));
+    return result;
+}
+
+Json Session::sweep(const Json& params) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+    const double lo = require_finite(params, "t_min_c", -50.0);
+    const double hi = require_finite(params, "t_max_c", 150.0);
+    if (hi <= lo) {
+        throw ServiceError(ErrorCode::BadParams,
+                           "'t_max_c' must exceed 't_min_c'");
+    }
+    const int points = require_int(params, "points", 17, 2, 4096);
+    const std::string engine_name = params.at("engine").as_string("analytic");
+    ring::Engine engine = ring::Engine::Analytic;
+    if (engine_name == "spice") {
+        engine = ring::Engine::Spice;
+    } else if (engine_name != "analytic") {
+        throw ServiceError(ErrorCode::BadParams,
+                           "param 'engine' must be \"analytic\" or \"spice\"");
+    }
+
+    const auto temps = linspace(lo, hi, points);
+    const auto spice_opt = spec_.runtime.spice_ring_options();
+
+    // Server-owned pool/cache replace whatever the session's
+    // RuntimeOptions projected; the checkpoint path is re-keyed per
+    // request by the sweep fingerprint so concurrent sweeps never share
+    // a spool file and a killed request resumes bitwise on re-issue.
+    ring::SweepRuntime rt = spec_.runtime.sweep_runtime();
+    rt.pool = pool_;
+    rt.cache = cache_;
+    const std::uint64_t fp = ring::sweep_fingerprint(
+        spec_.tech, spec_.ring, temps, engine, spice_opt, rt.fault);
+    if (!spool_dir_.empty()) {
+        rt.checkpoint_path = spool_dir_ + "/sweep_" + hex64(fp) + ".ckpt";
+        if (spec_.runtime.checkpoint_flush_every() > 0) {
+            rt.checkpoint_every = spec_.runtime.checkpoint_flush_every();
+        }
+        rt.keep_checkpoint = spec_.runtime.checkpoint_kept();
+    } else {
+        rt.checkpoint_path.clear();
+    }
+
+    std::lock_guard job(job_m_);
+    OBS_SPAN("service.session.sweep");
+    const auto sweep = ring::temperature_sweep(spec_.tech, spec_.ring, temps,
+                                               engine, spice_opt, rt);
+
+    Json temps_j = Json::array();
+    Json period_j = Json::array();
+    Json freq_j = Json::array();
+    Json status_j = Json::array();
+    for (std::size_t i = 0; i < sweep.temps_c.size(); ++i) {
+        temps_j.push_back(sweep.temps_c[i]);
+        period_j.push_back(std::isfinite(sweep.period_s[i])
+                               ? Json(sweep.period_s[i])
+                               : Json(nullptr));
+        freq_j.push_back(std::isfinite(sweep.frequency_hz[i])
+                             ? Json(sweep.frequency_hz[i])
+                             : Json(nullptr));
+        status_j.push_back(ring::to_string(sweep.status[i]));
+    }
+
+    Json result = Json::object();
+    result.set("session", id_);
+    result.set("engine", engine_name);
+    result.set("fingerprint", hex64(fp));
+    result.set("temps_c", std::move(temps_j));
+    result.set("period_s", std::move(period_j));
+    result.set("frequency_hz", std::move(freq_j));
+    result.set("status", std::move(status_j));
+    result.set("valid_points", sweep.valid_points());
+    result.set("recovered_points", sweep.recovered_points());
+    return result;
+}
+
+Json Session::optimize(const Json& params) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    optimizes_.fetch_add(1, std::memory_order_relaxed);
+    const double lo = require_finite(params, "ratio_lo", 1.0);
+    const double hi = require_finite(params, "ratio_hi", 4.0);
+    if (!(lo > 0.0) || hi <= lo) {
+        throw ServiceError(ErrorCode::BadParams,
+                           "need 0 < 'ratio_lo' < 'ratio_hi'");
+    }
+    const int points = require_int(params, "points", 7, 2, 256);
+    int stages = require_int(params, "stages", spec_.ring.stage_count(), 3, 31);
+    if (stages % 2 == 0) {
+        throw ServiceError(ErrorCode::BadParams,
+                           "param 'stages' must be odd (ring oscillator)");
+    }
+
+    const auto ratios = linspace(lo, hi, points);
+
+    sensor::OptimizerRuntime rt = spec_.runtime.optimizer_runtime();
+    rt.pool = pool_;
+    if (!spool_dir_.empty()) {
+        Json key = Json::object();
+        key.set("ratio_lo", lo);
+        key.set("ratio_hi", hi);
+        key.set("points", points);
+        key.set("stages", stages);
+        key.set("session", id_);
+        rt.checkpoint_path =
+            spool_dir_ + "/opt_" + hex64(fnv1a(key.dump())) + ".ckpt";
+        if (spec_.runtime.checkpoint_flush_every() > 0) {
+            rt.checkpoint_every = spec_.runtime.checkpoint_flush_every();
+        }
+        rt.keep_checkpoint = spec_.runtime.checkpoint_kept();
+    } else {
+        rt.checkpoint_path.clear();
+    }
+
+    std::lock_guard job(job_m_);
+    OBS_SPAN("service.session.optimize");
+    const auto sweep = sensor::ratio_sweep(spec_.tech, cells::CellKind::Inv,
+                                           stages, ratios, rt);
+
+    Json points_j = Json::array();
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        Json p = Json::object();
+        p.set("ratio", sweep[i].ratio);
+        p.set("max_nl_percent", std::isfinite(sweep[i].max_nl_percent)
+                                    ? Json(sweep[i].max_nl_percent)
+                                    : Json(nullptr));
+        p.set("period_27c_s", sweep[i].period_27c_s);
+        points_j.push_back(std::move(p));
+        if (sweep[i].max_nl_percent < sweep[best].max_nl_percent) best = i;
+    }
+
+    Json result = Json::object();
+    result.set("session", id_);
+    result.set("stages", stages);
+    result.set("points", std::move(points_j));
+    if (!sweep.empty()) {
+        Json best_j = Json::object();
+        best_j.set("index", best);
+        best_j.set("ratio", sweep[best].ratio);
+        best_j.set("max_nl_percent", sweep[best].max_nl_percent);
+        result.set("best", std::move(best_j));
+    }
+    return result;
+}
+
+ModelPtr Session::model() const {
+    const Session* self = this;
+    const std::size_t n_sites = sites_.size();
+
+    auto counter_leaf = [](const std::atomic<std::uint64_t>& c) {
+        return [&c] { return Json(c.load(std::memory_order_relaxed)); };
+    };
+
+    // One site's subtree: every leaf re-reads the snapshot under the
+    // state mutex, so a query observes a coherent post-scan value
+    // without ever touching the job mutex.
+    auto site_node = [self](std::size_t i) -> ModelPtr {
+        auto field = [self, i](auto read) {
+            return leaf([self, i, read] {
+                std::lock_guard lock(self->state_m_);
+                return read(self->sites_[i]);
+            });
+        };
+        return object({
+            {"name", [field] {
+                 return field([](const SiteSnapshot& s) { return Json(s.name); });
+             }},
+            {"x", [field] {
+                 return field([](const SiteSnapshot& s) { return Json(s.x); });
+             }},
+            {"y", [field] {
+                 return field([](const SiteSnapshot& s) { return Json(s.y); });
+             }},
+            {"health", [field] {
+                 return field([](const SiteSnapshot& s) {
+                     return Json(sensor::to_string(s.health));
+                 });
+             }},
+            {"confidence", [field] {
+                 return field([](const SiteSnapshot& s) {
+                     return Json(sensor::to_string(s.confidence));
+                 });
+             }},
+            {"last_c", [field] {
+                 return field([](const SiteSnapshot& s) {
+                     return s.has_reading ? Json(s.last_c) : Json(nullptr);
+                 });
+             }},
+            {"faults_total", [field] {
+                 return field([](const SiteSnapshot& s) {
+                     return Json(s.faults_total);
+                 });
+             }},
+            {"strikes", [field] {
+                 return field(
+                     [](const SiteSnapshot& s) { return Json(s.strikes); });
+             }},
+        });
+    };
+
+    auto config_node = [self]() -> ModelPtr {
+        return object({
+            {"stages", [self] {
+                 return fixed_leaf(Json(self->spec_.ring.stage_count()));
+             }},
+            {"sites_nx",
+             [self] { return fixed_leaf(Json(self->spec_.sites_nx)); }},
+            {"sites_ny",
+             [self] { return fixed_leaf(Json(self->spec_.sites_ny)); }},
+            {"health_enabled", [self] {
+                 return fixed_leaf(Json(self->spec_.runtime.health_enabled()));
+             }},
+            {"redundancy", [self] {
+                 return fixed_leaf(Json(self->spec_.runtime.redundancy_count()));
+             }},
+            {"fast_kernel", [self] {
+                 return fixed_leaf(
+                     Json(self->spec_.runtime.fast_kernel_enabled()));
+             }},
+            {"fault_policy", [self] {
+                 return fixed_leaf(
+                     Json(ring::to_string(self->spec_.runtime.fault().policy)));
+             }},
+        });
+    };
+
+    return object({
+        {"id", [self] { return fixed_leaf(Json(self->id_)); }},
+        {"name", [self] { return fixed_leaf(Json(self->name_)); }},
+        {"requests",
+         [self, counter_leaf] { return leaf(counter_leaf(self->requests_)); }},
+        {"sweeps",
+         [self, counter_leaf] { return leaf(counter_leaf(self->sweeps_)); }},
+        {"maps",
+         [self, counter_leaf] { return leaf(counter_leaf(self->maps_)); }},
+        {"measures",
+         [self, counter_leaf] { return leaf(counter_leaf(self->measures_)); }},
+        {"optimizes",
+         [self, counter_leaf] { return leaf(counter_leaf(self->optimizes_)); }},
+        {"scans", [self] {
+             return leaf([self] {
+                 std::lock_guard lock(self->state_m_);
+                 return Json(self->scans_);
+             });
+         }},
+        {"config", config_node},
+        {"sites", [self, n_sites, site_node] {
+             return array([n_sites] { return n_sites; },
+                          [site_node](std::size_t i) { return site_node(i); });
+         }},
+        {"last_map", [self] {
+             return leaf([self] {
+                 std::lock_guard lock(self->state_m_);
+                 return self->last_map_summary_ ? *self->last_map_summary_
+                                                : Json(nullptr);
+             });
+         }},
+    });
+}
+
+} // namespace stsense::service

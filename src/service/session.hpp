@@ -1,0 +1,145 @@
+// service::Session — one die under management.
+//
+// A session is the unit of multi-tenancy of the telemetry service: it
+// owns a die's technology card, ring configuration, floorplan, sensor
+// placement, and — crucially — the *stateful* runtime pieces that must
+// persist across requests: the ThermalMonitor with its
+// SiteHealthSupervisor ledger (quarantine, backoff, recovery walk the
+// epochs forward scan over scan) and the RuntimeOptions that project
+// every per-layer runtime struct.
+//
+// Requests against one session serialize on the session's job mutex
+// (the supervisor is a single ledger; two concurrent scans would race
+// it); requests against different sessions run concurrently on the
+// server's shared pool. The session publishes a lazily-evaluated object
+// model subtree (sessions[i].sites[j].health, .last_map, .config) that
+// readers evaluate without touching the job mutex — queries never block
+// behind a running sweep.
+//
+// Determinism contract, inherited from the layers below: the same
+// request against the same session state yields bitwise the same result
+// regardless of client interleaving, thread count, or a kill/resume
+// cycle through the per-request checkpoint (spool_dir).
+#pragma once
+
+#include "api/runtime_options.hpp"
+#include "sensor/monitor.hpp"
+#include "service/object_model.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stsense::service {
+
+/// Everything needed to stand up one die session. The defaults are the
+/// paper configuration (5-inverter ring on the demo floorplan, 3x3
+/// sensor sites) — examples/thermal_mapping.cpp is the style reference.
+struct SessionSpec {
+    std::string name;
+    phys::Technology tech = phys::cmos350();
+    ring::RingConfig ring =
+        ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.75);
+    thermal::Floorplan floorplan = thermal::demo_floorplan();
+    int sites_nx = 3;
+    int sites_ny = 3;
+    /// Monitor base (grid resolution, gate, calibration points); the
+    /// health/redundancy knobs are overlaid from `runtime`.
+    sensor::MonitorConfig monitor;
+    /// The unified knob surface: health, redundancy, fast kernel, fault
+    /// policy, cache, checkpoint cadence. The session projects this
+    /// onto SweepRuntime / OptimizerRuntime / MonitorConfig, overriding
+    /// the pool and cache with the server's shared ones.
+    stsense::RuntimeOptions runtime;
+};
+
+class Session {
+public:
+    /// `pool`/`cache` are the server's shared runtime; `spool_dir`
+    /// (empty = no checkpointing) is where per-request sweep/optimizer
+    /// checkpoints live so a restarted server can resume them.
+    Session(int id, SessionSpec spec, exec::ThreadPool* pool,
+            exec::ResultCache* cache, std::string spool_dir);
+
+    int id() const { return id_; }
+    const std::string& name() const { return name_; }
+    std::size_t site_count() const { return monitor_.sites().size(); }
+
+    // ---- request handlers (serialized on the job mutex) -----------------
+
+    /// {"site": index | name, "fresh": bool} -> one SiteReading. Uses
+    /// the cached map when available unless fresh is set.
+    Json measure_site(const Json& params);
+
+    /// {} -> full thermal map summary (always runs a fresh scan).
+    Json thermal_map(const Json& params);
+
+    /// {"t_min_c","t_max_c","points","engine":"analytic"|"spice"}
+    /// -> the period/frequency series at full (round-trip) precision.
+    /// Checkpointed under spool_dir keyed by the sweep fingerprint, so a
+    /// killed request resumes bitwise on re-issue.
+    Json sweep(const Json& params);
+
+    /// {"ratio_lo","ratio_hi","points","stages"} -> ranked ratio sweep
+    /// (the Fig. 2 optimization axis) with the best point called out.
+    Json optimize(const Json& params);
+
+    // ---- object model ----------------------------------------------------
+
+    /// The sessions[i] subtree. Leaves read the session's published
+    /// state under the state mutex — never the job mutex.
+    ModelPtr model() const;
+
+    // ---- introspection ---------------------------------------------------
+    std::uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+
+private:
+    /// Runs a scan and publishes its summary; requires job_m_ held.
+    sensor::MapResult scan_locked();
+    /// Copies the scan outcome into the query-visible snapshot.
+    void publish_map(const sensor::MapResult& map);
+
+    static Json reading_json(const sensor::SiteReading& r);
+
+    const int id_;
+    const std::string name_;
+    SessionSpec spec_;
+    exec::ThreadPool* pool_;
+    exec::ResultCache* cache_;
+    const std::string spool_dir_;
+
+    /// Serializes heavy work (the supervisor ledger is one state
+    /// machine; scans must not interleave).
+    std::mutex job_m_;
+    sensor::ThermalMonitor monitor_;
+
+    /// Query-visible state, guarded by state_m_ only — object-model
+    /// reads never wait on a running job.
+    mutable std::mutex state_m_;
+    struct SiteSnapshot {
+        std::string name;
+        double x = 0.0;
+        double y = 0.0;
+        sensor::SiteState health = sensor::SiteState::Healthy;
+        sensor::SiteConfidence confidence = sensor::SiteConfidence::Measured;
+        double last_c = 0.0;
+        bool has_reading = false;
+        std::uint64_t faults_total = 0;
+        int strikes = 0;
+    };
+    std::vector<SiteSnapshot> sites_;
+    std::vector<sensor::SiteReading> last_readings_;
+    std::optional<Json> last_map_summary_;
+    std::uint64_t scans_ = 0;
+
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> sweeps_{0};
+    std::atomic<std::uint64_t> maps_{0};
+    std::atomic<std::uint64_t> measures_{0};
+    std::atomic<std::uint64_t> optimizes_{0};
+};
+
+} // namespace stsense::service

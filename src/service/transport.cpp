@@ -1,0 +1,278 @@
+#include "service/transport.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace stsense::service {
+
+// ------------------------------------------------------------- loopback
+
+namespace {
+
+/// One direction of a loopback link: a queue of complete lines.
+struct LinePipe {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<std::string> lines;
+    bool closed = false;
+
+    void push(std::string line) {
+        {
+            std::lock_guard lock(m);
+            if (closed) return;
+            lines.push_back(std::move(line));
+        }
+        cv.notify_all();
+    }
+
+    bool pop(std::string& out) {
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return closed || !lines.empty(); });
+        if (lines.empty()) return false; // closed and drained
+        out = std::move(lines.front());
+        lines.pop_front();
+        return true;
+    }
+
+    void close() {
+        {
+            std::lock_guard lock(m);
+            closed = true;
+        }
+        cv.notify_all();
+    }
+};
+
+/// One endpoint: reads from `rx`, writes into `tx`.
+class LoopbackConnection final : public Connection {
+public:
+    LoopbackConnection(std::shared_ptr<LinePipe> rx, std::shared_ptr<LinePipe> tx)
+        : rx_(std::move(rx)), tx_(std::move(tx)) {}
+    ~LoopbackConnection() override { close(); }
+
+    bool read_line(std::string& out) override { return rx_->pop(out); }
+
+    bool write_line(const std::string& line) override {
+        {
+            std::lock_guard lock(tx_->m);
+            if (tx_->closed) return false;
+            tx_->lines.push_back(line);
+        }
+        tx_->cv.notify_all();
+        return true;
+    }
+
+    void close() override {
+        rx_->close();
+        tx_->close();
+    }
+
+private:
+    std::shared_ptr<LinePipe> rx_;
+    std::shared_ptr<LinePipe> tx_;
+};
+
+} // namespace
+
+struct LoopbackTransport::Impl {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<Connection>> pending;
+    std::vector<std::weak_ptr<Connection>> handed_out;
+    bool down = false;
+};
+
+LoopbackTransport::LoopbackTransport() : impl_(std::make_shared<Impl>()) {}
+
+LoopbackTransport::~LoopbackTransport() { shutdown(); }
+
+std::shared_ptr<Connection> LoopbackTransport::connect() {
+    auto to_server = std::make_shared<LinePipe>();
+    auto to_client = std::make_shared<LinePipe>();
+    auto client = std::make_shared<LoopbackConnection>(to_client, to_server);
+    auto server = std::make_shared<LoopbackConnection>(to_server, to_client);
+    {
+        std::lock_guard lock(impl_->m);
+        if (impl_->down) {
+            client->close();
+            return client; // immediately end-of-stream
+        }
+        impl_->pending.push_back(server);
+        impl_->handed_out.push_back(server);
+        impl_->handed_out.push_back(client);
+    }
+    impl_->cv.notify_all();
+    return client;
+}
+
+std::shared_ptr<Connection> LoopbackTransport::accept() {
+    std::unique_lock lock(impl_->m);
+    impl_->cv.wait(lock, [&] { return impl_->down || !impl_->pending.empty(); });
+    if (impl_->pending.empty()) return nullptr;
+    auto conn = std::move(impl_->pending.front());
+    impl_->pending.pop_front();
+    return conn;
+}
+
+void LoopbackTransport::shutdown() {
+    std::vector<std::weak_ptr<Connection>> open;
+    {
+        std::lock_guard lock(impl_->m);
+        impl_->down = true;
+        open.swap(impl_->handed_out);
+        impl_->pending.clear();
+    }
+    impl_->cv.notify_all();
+    for (auto& weak : open) {
+        if (auto conn = weak.lock()) conn->close();
+    }
+}
+
+// ---------------------------------------------------------- unix socket
+
+namespace {
+
+/// Connection over one stream fd with internal line buffering.
+class FdConnection final : public Connection {
+public:
+    explicit FdConnection(int fd) : fd_(fd) {}
+    ~FdConnection() override { close(); }
+
+    bool read_line(std::string& out) override {
+        std::lock_guard lock(read_m_);
+        for (;;) {
+            const auto pos = buffer_.find('\n');
+            if (pos != std::string::npos) {
+                out = buffer_.substr(0, pos);
+                buffer_.erase(0, pos + 1);
+                if (!out.empty() && out.back() == '\r') out.pop_back();
+                return true;
+            }
+            char chunk[4096];
+            const ssize_t n = ::recv(fd_.load(), chunk, sizeof(chunk), 0);
+            if (n <= 0) {
+                // Last unterminated fragment is dropped by design: a
+                // half-written request must not be half-parsed.
+                return false;
+            }
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+    bool write_line(const std::string& line) override {
+        std::lock_guard lock(write_m_);
+        std::string framed = line;
+        framed += '\n';
+        std::size_t sent = 0;
+        while (sent < framed.size()) {
+            const ssize_t n = ::send(fd_.load(), framed.data() + sent,
+                                     framed.size() - sent, MSG_NOSIGNAL);
+            if (n <= 0) return false;
+            sent += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    void close() override {
+        const int fd = fd_.exchange(-1);
+        if (fd >= 0) {
+            ::shutdown(fd, SHUT_RDWR);
+            ::close(fd);
+        }
+    }
+
+private:
+    std::atomic<int> fd_;
+    std::mutex read_m_;
+    std::mutex write_m_;
+    std::string buffer_;
+};
+
+} // namespace
+
+struct UnixSocketTransport::Impl {
+    std::atomic<int> listen_fd{-1};
+    std::mutex m;
+    std::vector<std::weak_ptr<Connection>> handed_out;
+};
+
+UnixSocketTransport::UnixSocketTransport(std::string path, int backlog)
+    : path_(std::move(path)), impl_(std::make_shared<Impl>()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof(addr.sun_path)) {
+        throw std::runtime_error("socket path too long: " + path_);
+    }
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("socket() failed");
+    ::unlink(path_.c_str()); // stale socket from a previous run
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw std::runtime_error("bind(" + path_ + ") failed");
+    }
+    if (::listen(fd, backlog) != 0) {
+        ::close(fd);
+        throw std::runtime_error("listen(" + path_ + ") failed");
+    }
+    impl_->listen_fd.store(fd);
+}
+
+UnixSocketTransport::~UnixSocketTransport() {
+    shutdown();
+    ::unlink(path_.c_str());
+}
+
+std::shared_ptr<Connection> UnixSocketTransport::accept() {
+    const int fd = impl_->listen_fd.load();
+    if (fd < 0) return nullptr;
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) return nullptr; // listen socket closed during shutdown
+    auto conn = std::make_shared<FdConnection>(client);
+    std::lock_guard lock(impl_->m);
+    impl_->handed_out.push_back(conn);
+    return conn;
+}
+
+void UnixSocketTransport::shutdown() {
+    const int fd = impl_->listen_fd.exchange(-1);
+    if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
+    std::vector<std::weak_ptr<Connection>> open;
+    {
+        std::lock_guard lock(impl_->m);
+        open.swap(impl_->handed_out);
+    }
+    for (auto& weak : open) {
+        if (auto conn = weak.lock()) conn->close();
+    }
+}
+
+std::shared_ptr<Connection> UnixSocketTransport::dial(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) return nullptr;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return nullptr;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return nullptr;
+    }
+    return std::make_shared<FdConnection>(fd);
+}
+
+} // namespace stsense::service

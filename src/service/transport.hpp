@@ -1,0 +1,96 @@
+// service transports — how request/response lines reach the server.
+//
+// The server is transport-agnostic: it speaks to a Connection (blocking
+// line reads, thread-safe line writes) and accepts Connections from a
+// Transport. Two implementations:
+//
+//   * LoopbackTransport — an in-process pair of line queues. Tests,
+//     benches, and the example's demo mode run the full protocol stack
+//     (framing, dispatch, fair queue, drain) with zero OS dependencies
+//     and no real socket, so the loopback smoke can run under the
+//     sanitizer matrix.
+//   * UnixSocketTransport — AF_UNIX stream socket for the resident
+//     daemon. One connection per accepted client; line framing over the
+//     byte stream.
+//
+// Lifetime contract: shutdown() unblocks accept() (returning nullptr)
+// and close()s every connection the transport handed out, so server
+// threads blocked in read_line() observe end-of-stream and exit.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace stsense::service {
+
+/// One bidirectional line-oriented peer link.
+class Connection {
+public:
+    virtual ~Connection() = default;
+
+    /// Blocks for the next line (without the trailing '\n'); false on
+    /// end-of-stream (peer closed or transport shut down).
+    virtual bool read_line(std::string& out) = 0;
+
+    /// Writes one line (terminator appended). Thread-safe — responses
+    /// and subscription events are written from pool workers and reader
+    /// threads concurrently. Returns false once the peer is gone.
+    virtual bool write_line(const std::string& line) = 0;
+
+    /// Half-close: wakes blocked readers on both ends.
+    virtual void close() = 0;
+};
+
+class Transport {
+public:
+    virtual ~Transport() = default;
+
+    /// Blocks for the next client; nullptr once shut down.
+    virtual std::shared_ptr<Connection> accept() = 0;
+
+    /// Stops accepting and closes every open connection.
+    virtual void shutdown() = 0;
+};
+
+/// In-process transport. connect() hands the client its endpoint and
+/// queues the server endpoint for accept().
+class LoopbackTransport : public Transport {
+public:
+    LoopbackTransport();
+    ~LoopbackTransport() override;
+
+    /// Client side of a fresh connection (thread-safe).
+    std::shared_ptr<Connection> connect();
+
+    std::shared_ptr<Connection> accept() override;
+    void shutdown() override;
+
+private:
+    struct Impl;
+    std::shared_ptr<Impl> impl_;
+};
+
+/// AF_UNIX stream-socket transport (the daemon's front door).
+class UnixSocketTransport : public Transport {
+public:
+    /// Binds and listens on `path` (an existing stale socket file is
+    /// unlinked first). Throws std::runtime_error on socket errors.
+    explicit UnixSocketTransport(std::string path, int backlog = 16);
+    ~UnixSocketTransport() override;
+
+    std::shared_ptr<Connection> accept() override;
+    void shutdown() override;
+
+    const std::string& path() const { return path_; }
+
+    /// Client-side connect to a listening daemon; nullptr on failure.
+    static std::shared_ptr<Connection> dial(const std::string& path);
+
+private:
+    struct Impl;
+    std::string path_;
+    std::shared_ptr<Impl> impl_;
+};
+
+} // namespace stsense::service

@@ -26,6 +26,7 @@
 #include "util/cli.hpp"          // IWYU pragma: export
 #include "util/table.hpp"        // IWYU pragma: export
 #include "util/csv.hpp"          // IWYU pragma: export
+#include "util/ascii_plot.hpp"   // IWYU pragma: export
 
 // ---- execution runtime --------------------------------------------------
 #include "exec/exec.hpp"         // IWYU pragma: export
@@ -71,5 +72,12 @@
 #include "analysis/calibration.hpp"  // IWYU pragma: export
 #include "analysis/statistics.hpp"   // IWYU pragma: export
 
+// ---- dynamic thermal management -----------------------------------------
+#include "dtm/controller.hpp"        // IWYU pragma: export
+#include "dtm/closed_loop.hpp"       // IWYU pragma: export
+
 // ---- the unified configuration facade -----------------------------------
 #include "api/runtime_options.hpp"   // IWYU pragma: export
+
+// ---- the telemetry service ----------------------------------------------
+#include "service/service.hpp"       // IWYU pragma: export

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <numeric>
 #include <set>
@@ -198,6 +201,67 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
         count += static_cast<int>(end - begin);
     });
     EXPECT_EQ(count.load(), 10);
+}
+
+// The load counters feed the service layer's admission control and
+// object model; they must reflect blocked/queued work while it is
+// pending and settle back to zero when the pool idles.
+TEST(ThreadPoolCounters, QueueDepthAndInflightTrackBlockedTasks) {
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool open = false;
+    auto blocked = [&] {
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return open; });
+    };
+
+    // Two blocked tasks occupy both workers...
+    group.run(blocked);
+    group.run(blocked);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (pool.inflight() < 2) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "blocked tasks never started";
+        std::this_thread::yield();
+    }
+    EXPECT_EQ(pool.inflight(), 2u);
+    EXPECT_EQ(pool.queue_depth(), 0u);
+
+    // ...so three more can only queue.
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 3; ++i) {
+        group.run([&ran] { ran.fetch_add(1); });
+    }
+    EXPECT_EQ(pool.queue_depth(), 3u);
+    EXPECT_EQ(pool.inflight(), 2u);
+
+    {
+        std::lock_guard lock(m);
+        open = true;
+    }
+    cv.notify_all();
+    group.wait();
+
+    EXPECT_EQ(ran.load(), 3);
+    EXPECT_EQ(pool.queue_depth(), 0u);
+    EXPECT_EQ(pool.inflight(), 0u);
+}
+
+TEST(ThreadPoolCounters, ExecutedIsMonotonicAndIdleCountersAreZero) {
+    ThreadPool pool(3);
+    const std::uint64_t before = pool.tasks_executed();
+    pool.parallel_for(40, 4, [](std::size_t, std::size_t) {});
+    const std::uint64_t after = pool.tasks_executed();
+    EXPECT_GE(after, before + 10); // 40/4 chunks ran somewhere
+    EXPECT_EQ(pool.queue_depth(), 0u);
+    EXPECT_EQ(pool.inflight(), 0u);
+
+    pool.parallel_for(8, 1, [](std::size_t, std::size_t) {});
+    EXPECT_GE(pool.tasks_executed(), after + 8);
 }
 
 } // namespace

@@ -1,0 +1,195 @@
+// Crash/drain resilience of the service: a request killed mid-sweep
+// answers a typed internal error but leaves a checkpoint behind, and a
+// restarted server resumes the re-issued request bitwise; shutdown
+// {"mode":"now"} answers queued work `shutting-down` instead of running
+// it.
+#include "service/server.hpp"
+
+#include "exec/fault_injector.hpp"
+#include "exec/metrics.hpp"
+#include "ring/sweep.hpp"
+#include "service/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stsense::service {
+namespace {
+
+std::vector<double> linspace(double lo, double hi, int n) {
+    std::vector<double> out;
+    for (int i = 0; i < n; ++i) {
+        out.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                               static_cast<double>(n - 1));
+    }
+    return out;
+}
+
+std::string hex64(std::uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+}
+
+SessionSpec small_session() {
+    SessionSpec spec;
+    spec.name = "die";
+    spec.monitor.grid_nx = 12;
+    spec.monitor.grid_ny = 12;
+    spec.sites_nx = 2;
+    spec.sites_ny = 2;
+    // Flush the sweep checkpoint after every completed point so even an
+    // early kill leaves progress behind.
+    spec.runtime.checkpoint("per-request", /*every=*/1);
+    return spec;
+}
+
+/// Scoped spool directory under the test tmpdir.
+class SpoolDir {
+public:
+    explicit SpoolDir(const std::string& name)
+        : path_(std::filesystem::path(::testing::TempDir()) / name) {
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~SpoolDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+    std::string str() const { return path_.string(); }
+    std::filesystem::path path_;
+};
+
+TEST(ServiceDrainResume, KilledSweepLeavesCheckpointAndResumesBitwise) {
+    SpoolDir spool("stsense_service_resume");
+    const std::string sweep_req =
+        R"({"id":1,"method":"sweep","params":{"t_min_c":0,"t_max_c":110,"points":12}})";
+
+    const SessionSpec spec = small_session();
+    const auto temps = linspace(0.0, 110.0, 12);
+    const std::uint64_t fp = ring::sweep_fingerprint(
+        spec.tech, spec.ring, temps, ring::Engine::Analytic, {},
+        spec.runtime.fault());
+    const auto ckpt_path =
+        spool.path_ / ("sweep_" + hex64(fp) + ".ckpt");
+
+    // ---- first life: the request dies mid-sweep -----------------------
+    {
+        ServerConfig cfg;
+        cfg.threads = 2;
+        cfg.spool_dir = spool.str();
+        Server server(cfg, {spec});
+
+        exec::FaultInjector::Config fault;
+        fault.seed = 1;
+        fault.p_sweep_kill = 1.0;
+        fault.only_units = {5}; // die right after completing point 5
+        exec::FaultInjector injector(fault);
+        exec::FaultInjector::Scope scope(injector);
+
+        auto parsed = Json::parse(server.handle_inline(sweep_req));
+        ASSERT_TRUE(parsed.value.has_value());
+        const Json& r = *parsed.value;
+        ASSERT_FALSE(r.at("ok").as_bool()) << r.dump();
+        EXPECT_EQ(r.at("error").at("code").as_string(), "internal");
+        EXPECT_NE(r.at("error").at("message").as_string().find("injected"),
+                  std::string::npos)
+            << r.dump();
+    }
+    // The kill unwound the request but the checkpoint survived.
+    ASSERT_TRUE(std::filesystem::exists(ckpt_path))
+        << "no checkpoint at " << ckpt_path;
+
+    // ---- second life: a fresh server on the same spool dir ------------
+    auto& resumed_counter = exec::MetricsRegistry::global().counter(
+        "exec.checkpoint.resumed_points");
+    const std::uint64_t resumed_before = resumed_counter.value();
+
+    ServerConfig cfg;
+    cfg.threads = 2;
+    cfg.spool_dir = spool.str();
+    Server server(cfg, {spec});
+    auto parsed = Json::parse(server.handle_inline(sweep_req));
+    ASSERT_TRUE(parsed.value.has_value());
+    const Json& r = *parsed.value;
+    ASSERT_TRUE(r.at("ok").as_bool()) << r.dump();
+    EXPECT_EQ(r.at("result").at("valid_points").as_int(), 12);
+
+    // The resume path actually restored persisted points...
+    EXPECT_GT(resumed_counter.value(), resumed_before)
+        << "re-issued sweep recomputed from scratch";
+    // ...and a completed sweep cleans up its spool file.
+    EXPECT_FALSE(std::filesystem::exists(ckpt_path));
+
+    // Kill + restart + resume produced exactly the uninterrupted series.
+    const auto reference = ring::temperature_sweep(
+        spec.tech, spec.ring, temps, ring::Engine::Analytic, {},
+        ring::SweepRuntime::serial());
+    const Json& period = r.at("result").at("period_s");
+    ASSERT_EQ(period.size(), reference.period_s.size());
+    for (std::size_t i = 0; i < reference.period_s.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(period.at(i).as_double()),
+                  std::bit_cast<std::uint64_t>(reference.period_s[i]))
+            << "point " << i;
+    }
+}
+
+TEST(ServiceDrainResume, ShutdownNowAnswersQueuedWorkShuttingDown) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    cfg.limits.max_concurrency = 1;
+    Server server(cfg, {small_session()});
+    LoopbackTransport loopback;
+    server.start(loopback);
+
+    auto conn = loopback.connect();
+    // Two burns: the first occupies the single slot, the second queues.
+    ASSERT_TRUE(conn->write_line(
+        R"({"id":1,"method":"burn","params":{"ms":600}})"));
+    ASSERT_TRUE(conn->write_line(
+        R"({"id":2,"method":"burn","params":{"ms":600}})"));
+
+    // Wait until both are in the scheduler, then pull the plug.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!(server.scheduler().executing() == 1 &&
+             server.scheduler().queued() == 1)) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "burns never reached the scheduler";
+        std::this_thread::yield();
+    }
+    server.request_shutdown(/*discard_queued=*/true);
+
+    bool saw_ok = false, saw_shutting_down = false;
+    std::string line;
+    while (conn->read_line(line)) {
+        auto parsed = Json::parse(line);
+        ASSERT_TRUE(parsed.value.has_value()) << line;
+        const Json& j = *parsed.value;
+        if (j.at("id").as_int64() == 1) {
+            EXPECT_TRUE(j.at("ok").as_bool()) << line;
+            saw_ok = true;
+        } else if (j.at("id").as_int64() == 2) {
+            EXPECT_FALSE(j.at("ok").as_bool()) << line;
+            EXPECT_EQ(j.at("error").at("code").as_string(), "shutting-down");
+            saw_shutting_down = true;
+        }
+        if (saw_ok && saw_shutting_down) break;
+    }
+    EXPECT_TRUE(saw_ok) << "executing burn was not answered";
+    EXPECT_TRUE(saw_shutting_down) << "queued burn was not answered";
+
+    server.wait();
+}
+
+} // namespace
+} // namespace stsense::service

@@ -1,0 +1,238 @@
+// FairScheduler: weighted round-robin dispatch order is deterministic
+// given arrival order, admission caps reject with the right verdict
+// (never hang), and drain discards queued work through on_discard.
+#include "service/fair_queue.hpp"
+
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stsense::service {
+namespace {
+
+/// Records job labels in execution order, thread-safely.
+class OrderLog {
+public:
+    void add(const std::string& label) {
+        std::lock_guard<std::mutex> lk(m_);
+        order_.push_back(label);
+    }
+    std::vector<std::string> get() const {
+        std::lock_guard<std::mutex> lk(m_);
+        return order_;
+    }
+
+private:
+    mutable std::mutex m_;
+    std::vector<std::string> order_;
+};
+
+/// A job the test can hold open until every later submission is queued.
+class Gate {
+public:
+    void open() {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            open_ = true;
+        }
+        cv_.notify_all();
+    }
+    void wait() {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_.wait(lk, [this] { return open_; });
+    }
+
+private:
+    std::mutex m_;
+    std::condition_variable cv_;
+    bool open_ = false;
+};
+
+TEST(ServiceFairQueue, WeightedRoundRobinOrderIsDeterministic) {
+    exec::ThreadPool pool(2);
+    FairScheduler::Limits limits;
+    limits.max_concurrency = 1; // serialize: dispatch order == run order
+    limits.max_inflight_per_client = 0;
+    limits.max_queued_per_client = 0;
+    limits.max_queued_total = 0;
+    FairScheduler sched(pool, limits);
+
+    // A gate job occupies the single dispatch slot while we enqueue the
+    // real workload, so arrival order is fully under test control.
+    const int gate_client = sched.add_client(1);
+    const int a = sched.add_client(1);
+    const int b = sched.add_client(3);
+
+    Gate gate;
+    OrderLog log;
+    ASSERT_EQ(sched.submit(gate_client, [&gate] { gate.wait(); }),
+              FairScheduler::Admit::Ok);
+
+    for (int i = 1; i <= 3; ++i) {
+        std::string label = "A?";
+        label[1] = static_cast<char>('0' + i);
+        ASSERT_EQ(sched.submit(a, [&log, label] { log.add(label); }),
+                  FairScheduler::Admit::Ok);
+    }
+    for (int i = 1; i <= 6; ++i) {
+        std::string label = "B?";
+        label[1] = static_cast<char>('0' + i);
+        ASSERT_EQ(sched.submit(b, [&log, label] { log.add(label); }),
+                  FairScheduler::Admit::Ok);
+    }
+
+    gate.open();
+    sched.wait_idle();
+
+    // Cursor grants each client `weight` consecutive dispatches per
+    // visit: A(w1) one job, B(w3) three jobs, repeat.
+    const std::vector<std::string> expected = {"A1", "B1", "B2", "B3", "A2",
+                                               "B4", "B5", "B6", "A3"};
+    EXPECT_EQ(log.get(), expected);
+    EXPECT_EQ(sched.completed(), 10u); // 9 + the gate job
+    EXPECT_EQ(sched.rejected(), 0u);
+}
+
+TEST(ServiceFairQueue, PerClientInflightCapRejectsAsClientSaturated) {
+    exec::ThreadPool pool(2);
+    FairScheduler::Limits limits;
+    limits.max_concurrency = 1;
+    limits.max_inflight_per_client = 2;
+    limits.max_queued_per_client = 0;
+    limits.max_queued_total = 0;
+    FairScheduler sched(pool, limits);
+    const int c = sched.add_client(1);
+
+    Gate gate;
+    ASSERT_EQ(sched.submit(c, [&gate] { gate.wait(); }),
+              FairScheduler::Admit::Ok);
+    ASSERT_EQ(sched.submit(c, [] {}), FairScheduler::Admit::Ok);
+    // Third submission: 1 executing + 1 queued == cap.
+    EXPECT_EQ(sched.submit(c, [] {}),
+              FairScheduler::Admit::ClientSaturated);
+    EXPECT_EQ(sched.rejected(), 1u);
+
+    gate.open();
+    sched.wait_idle();
+    // Capacity freed — admission recovers.
+    EXPECT_EQ(sched.submit(c, [] {}), FairScheduler::Admit::Ok);
+    sched.wait_idle();
+}
+
+TEST(ServiceFairQueue, GlobalQueueCapRejectsAsQueueFull) {
+    exec::ThreadPool pool(2);
+    FairScheduler::Limits limits;
+    limits.max_concurrency = 1;
+    limits.max_inflight_per_client = 0;
+    limits.max_queued_per_client = 0;
+    limits.max_queued_total = 2;
+    FairScheduler sched(pool, limits);
+    const int a = sched.add_client(1);
+    const int b = sched.add_client(1);
+
+    Gate gate;
+    ASSERT_EQ(sched.submit(a, [&gate] { gate.wait(); }),
+              FairScheduler::Admit::Ok);
+    ASSERT_EQ(sched.submit(a, [] {}), FairScheduler::Admit::Ok);
+    ASSERT_EQ(sched.submit(b, [] {}), FairScheduler::Admit::Ok);
+    // Queue holds 2 (the gate job is executing, not queued): full.
+    EXPECT_EQ(sched.submit(b, [] {}), FairScheduler::Admit::QueueFull);
+
+    gate.open();
+    sched.wait_idle();
+}
+
+TEST(ServiceFairQueue, DrainDiscardsQueuedJobsThroughCallback) {
+    exec::ThreadPool pool(2);
+    FairScheduler::Limits limits;
+    limits.max_concurrency = 1;
+    FairScheduler sched(pool, limits);
+    const int c = sched.add_client(1);
+
+    Gate gate;
+    std::atomic<int> ran{0};
+    ASSERT_EQ(sched.submit(c,
+                           [&gate, &ran] {
+                               gate.wait();
+                               ran.fetch_add(1);
+                           }),
+              FairScheduler::Admit::Ok);
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(sched.submit(c, [&ran] { ran.fetch_add(1); }),
+                  FairScheduler::Admit::Ok);
+    }
+
+    // Open the gate only once drain() has set the draining flag — by
+    // then the queued jobs are already popped (drain discards under the
+    // same lock that publishes the flag), so none can sneak into the
+    // freed dispatch slot.
+    std::atomic<int> discarded{0};
+    std::thread opener([&sched, &gate] {
+        while (!sched.draining()) std::this_thread::yield();
+        gate.open();
+    });
+    sched.drain(/*discard_queued=*/true,
+                [&discarded](std::function<void()>) { discarded.fetch_add(1); });
+    opener.join();
+
+    // The executing job finished; the 3 queued jobs were discarded, not run.
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(discarded.load(), 3);
+    EXPECT_TRUE(sched.draining());
+    EXPECT_EQ(sched.submit(c, [] {}), FairScheduler::Admit::Draining);
+}
+
+TEST(ServiceFairQueue, DrainWithoutDiscardRunsEverythingQueued) {
+    exec::ThreadPool pool(2);
+    FairScheduler::Limits limits;
+    limits.max_concurrency = 2;
+    FairScheduler sched(pool, limits);
+    const int c = sched.add_client(1);
+
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_EQ(sched.submit(c, [&ran] { ran.fetch_add(1); }),
+                  FairScheduler::Admit::Ok);
+    }
+    sched.drain(); // graceful: queued work completes
+    EXPECT_EQ(ran.load(), 8);
+    EXPECT_EQ(sched.completed(), 8u);
+}
+
+TEST(ServiceFairQueue, CountersTrackLifecycle) {
+    exec::ThreadPool pool(2);
+    FairScheduler::Limits limits;
+    limits.max_concurrency = 1;
+    FairScheduler sched(pool, limits);
+    const int c = sched.add_client(1);
+
+    EXPECT_EQ(sched.queued(), 0u);
+    EXPECT_EQ(sched.executing(), 0u);
+    EXPECT_EQ(sched.inflight(c), 0u);
+
+    Gate gate;
+    ASSERT_EQ(sched.submit(c, [&gate] { gate.wait(); }),
+              FairScheduler::Admit::Ok);
+    ASSERT_EQ(sched.submit(c, [] {}), FairScheduler::Admit::Ok);
+
+    EXPECT_EQ(sched.executing(), 1u);
+    EXPECT_EQ(sched.queued(), 1u);
+    EXPECT_EQ(sched.inflight(c), 2u);
+
+    gate.open();
+    sched.wait_idle();
+    EXPECT_EQ(sched.queued(), 0u);
+    EXPECT_EQ(sched.executing(), 0u);
+    EXPECT_EQ(sched.inflight(c), 0u);
+    EXPECT_EQ(sched.completed(), 2u);
+}
+
+} // namespace
+} // namespace stsense::service

@@ -1,0 +1,109 @@
+// Wire protocol: every hostile line becomes a typed MalformedRequest,
+// and the response/event constructors emit lines that parse back into
+// the documented shapes.
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace stsense::service {
+namespace {
+
+TEST(ServiceProtocol, ParsesMinimalAndFullRequests) {
+    Request r = parse_request(R"({"id":7,"method":"ping"})");
+    EXPECT_EQ(r.id, 7);
+    EXPECT_EQ(r.method, "ping");
+    EXPECT_TRUE(r.params.is_object());
+    EXPECT_EQ(r.params.size(), 0u);
+
+    r = parse_request(
+        R"({"id":-3,"method":"sweep","params":{"session":1,"points":17}})");
+    EXPECT_EQ(r.id, -3);
+    EXPECT_EQ(r.method, "sweep");
+    EXPECT_EQ(r.params.at("points").as_int(), 17);
+}
+
+TEST(ServiceProtocol, MalformedLinesRaiseTypedErrors) {
+    const char* bad[] = {
+        "",                                  // empty line
+        "not json",                          // not JSON at all
+        "42",                                // not an object
+        "[1,2]",                             // array, not object
+        R"({"method":"ping"})",              // missing id
+        R"({"id":"seven","method":"ping"})", // id not a number
+        R"({"id":1})",                       // missing method
+        R"({"id":1,"method":42})",           // method not a string
+        R"({"id":1,"method":""})",           // empty method
+        R"({"id":1,"method":"x","params":[1]})", // params not an object
+        R"({"id":1.5,"method":"x"})",        // fractional id
+    };
+    for (const char* line : bad) {
+        try {
+            parse_request(line);
+            FAIL() << "accepted: " << line;
+        } catch (const ServiceError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::MalformedRequest) << line;
+            EXPECT_NE(std::string(e.what()), "") << line;
+        }
+    }
+}
+
+TEST(ServiceProtocol, ErrorCodeWireStrings) {
+    EXPECT_STREQ(to_string(ErrorCode::MalformedRequest), "malformed-request");
+    EXPECT_STREQ(to_string(ErrorCode::UnknownMethod), "unknown-method");
+    EXPECT_STREQ(to_string(ErrorCode::BadParams), "bad-params");
+    EXPECT_STREQ(to_string(ErrorCode::UnknownSession), "unknown-session");
+    EXPECT_STREQ(to_string(ErrorCode::UnknownPath), "unknown-path");
+    EXPECT_STREQ(to_string(ErrorCode::Overloaded), "overloaded");
+    EXPECT_STREQ(to_string(ErrorCode::ShuttingDown), "shutting-down");
+    EXPECT_STREQ(to_string(ErrorCode::Internal), "internal");
+}
+
+TEST(ServiceProtocol, OkResponseShape) {
+    Json result = Json::object();
+    result.set("t_c", 27.5);
+    const std::string line = make_ok_response(9, result);
+    auto parsed = Json::parse(line);
+    ASSERT_TRUE(parsed.value.has_value()) << parsed.error;
+    const Json& j = *parsed.value;
+    EXPECT_EQ(j.at("id").as_int(), 9);
+    EXPECT_TRUE(j.at("ok").as_bool());
+    EXPECT_EQ(j.at("result").at("t_c").as_double(), 27.5);
+}
+
+TEST(ServiceProtocol, ErrorResponseShape) {
+    const std::string line =
+        make_error_response(4, ErrorCode::Overloaded, "queue full");
+    auto parsed = Json::parse(line);
+    ASSERT_TRUE(parsed.value.has_value()) << parsed.error;
+    const Json& j = *parsed.value;
+    EXPECT_EQ(j.at("id").as_int(), 4);
+    EXPECT_FALSE(j.at("ok").as_bool());
+    EXPECT_EQ(j.at("error").at("code").as_string(), "overloaded");
+    EXPECT_EQ(j.at("error").at("message").as_string(), "queue full");
+}
+
+TEST(ServiceProtocol, EventShape) {
+    const std::string line = make_event(12, "pool.queue_depth", Json(2));
+    auto parsed = Json::parse(line);
+    ASSERT_TRUE(parsed.value.has_value()) << parsed.error;
+    const Json& j = *parsed.value;
+    EXPECT_EQ(j.at("event").as_string(), "update");
+    EXPECT_EQ(j.at("seq").as_int(), 12);
+    EXPECT_EQ(j.at("path").as_string(), "pool.queue_depth");
+    EXPECT_EQ(j.at("value").as_int(), 2);
+    // Events carry no id — they must never be mistaken for responses.
+    EXPECT_FALSE(j.contains("id"));
+}
+
+TEST(ServiceProtocol, ResponseLinesHaveNoEmbeddedNewline) {
+    Json result = Json::object();
+    result.set("text", std::string("line1\nline2"));
+    const std::string line = make_ok_response(1, result);
+    EXPECT_EQ(line.find('\n'), std::string::npos)
+        << "newline inside a response line would corrupt framing";
+}
+
+} // namespace
+} // namespace stsense::service

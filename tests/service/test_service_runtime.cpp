@@ -1,0 +1,470 @@
+// End-to-end service tests over the in-process loopback transport: the
+// full stack (framing -> dispatch -> fair queue -> sessions -> object
+// model) under concurrent clients, hostile input, saturation, and
+// shutdown. Runs with small monitor grids so the sanitizer matrix can
+// afford it.
+#include "service/server.hpp"
+
+#include "ring/sweep.hpp"
+#include "service/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stsense::service {
+namespace {
+
+/// Same inclusive linspace the session builds its grid with — the
+/// reference sweep must hash to the same fingerprint.
+std::vector<double> linspace(double lo, double hi, int n) {
+    std::vector<double> out;
+    for (int i = 0; i < n; ++i) {
+        out.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                               static_cast<double>(n - 1));
+    }
+    return out;
+}
+
+SessionSpec small_session(const std::string& name) {
+    SessionSpec spec;
+    spec.name = name;
+    spec.monitor.grid_nx = 12;
+    spec.monitor.grid_ny = 12;
+    spec.sites_nx = 2;
+    spec.sites_ny = 2;
+    return spec;
+}
+
+/// Minimal protocol client: correlates responses by id, stashes
+/// subscription events and out-of-order responses.
+class Client {
+public:
+    explicit Client(std::shared_ptr<Connection> conn)
+        : conn_(std::move(conn)) {}
+
+    bool send(std::int64_t id, const std::string& method,
+              Json params = Json::object()) {
+        Json req = Json::object();
+        req.set("id", id);
+        req.set("method", method);
+        req.set("params", std::move(params));
+        return conn_->write_line(req.dump());
+    }
+
+    bool send_raw(const std::string& line) { return conn_->write_line(line); }
+
+    /// Blocks for the response carrying `id`; events are stashed.
+    Json await(std::int64_t id) {
+        for (std::size_t i = 0; i < responses_.size(); ++i) {
+            if (responses_[i].at("id").as_int64() == id) {
+                Json r = responses_[i];
+                responses_.erase(responses_.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                return r;
+            }
+        }
+        std::string line;
+        while (conn_->read_line(line)) {
+            auto parsed = Json::parse(line);
+            if (!parsed.value) {
+                ADD_FAILURE() << "unparseable line from server: " << line;
+                return Json();
+            }
+            Json j = *parsed.value;
+            if (j.contains("event")) {
+                events_.push_back(std::move(j));
+                continue;
+            }
+            if (j.at("id").as_int64() == id) return j;
+            responses_.push_back(std::move(j));
+        }
+        ADD_FAILURE() << "stream closed while waiting for id " << id;
+        return Json();
+    }
+
+    Json call(std::int64_t id, const std::string& method,
+              Json params = Json::object()) {
+        EXPECT_TRUE(send(id, method, std::move(params)));
+        return await(id);
+    }
+
+    /// Blocks for the next subscription event (stash first).
+    Json await_event() {
+        if (!events_.empty()) {
+            Json e = events_.front();
+            events_.erase(events_.begin());
+            return e;
+        }
+        std::string line;
+        while (conn_->read_line(line)) {
+            auto parsed = Json::parse(line);
+            if (!parsed.value) continue;
+            if (parsed.value->contains("event")) return *parsed.value;
+            responses_.push_back(std::move(*parsed.value));
+        }
+        ADD_FAILURE() << "stream closed while waiting for an event";
+        return Json();
+    }
+
+    std::shared_ptr<Connection> conn_;
+    std::vector<Json> responses_;
+    std::vector<Json> events_;
+};
+
+std::string error_code_of(const Json& response) {
+    return response.at("error").at("code").as_string();
+}
+
+TEST(ServiceRuntime, MixedConcurrentClientsAllAnswered) {
+    ServerConfig cfg;
+    cfg.threads = 4;
+    // The acceptance smoke: >= 4 sessions serving >= 3 concurrent
+    // clients with mixed light/heavy traffic, every request answered.
+    Server server(cfg, {small_session("die-a"), small_session("die-b"),
+                        small_session("die-c"), small_session("die-d")});
+    LoopbackTransport loopback;
+    server.start(loopback);
+
+    constexpr int kClients = 3;
+    std::vector<std::string> failures(kClients);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&loopback, &failures, c] {
+            Client client(loopback.connect());
+            auto check = [&failures, c](const Json& r, const char* what) {
+                if (!r.at("ok").as_bool()) {
+                    failures[static_cast<std::size_t>(c)] +=
+                        std::string(what) + ": " + r.dump() + "; ";
+                }
+            };
+            check(client.call(1, "ping"), "ping");
+            Json hello = Json::object();
+            hello.set("weight", 1 + c);
+            check(client.call(2, "hello", std::move(hello)), "hello");
+
+            Json ms = Json::object();
+            ms.set("site", 0);
+            ms.set("session", c % 4);
+            check(client.call(3, "measure_site", std::move(ms)),
+                  "measure_site");
+
+            Json tm = Json::object();
+            tm.set("session", (c + 1) % 4);
+            check(client.call(4, "thermal_map", std::move(tm)), "thermal_map");
+
+            Json sw = Json::object();
+            sw.set("t_min_c", 0.0);
+            sw.set("t_max_c", 100.0);
+            sw.set("points", 9);
+            sw.set("session", (c + 2) % 4);
+            check(client.call(5, "sweep", std::move(sw)), "sweep");
+
+            Json q = Json::object();
+            q.set("path", "pool.queue_depth");
+            check(client.call(6, "query", std::move(q)), "query");
+        });
+    }
+    for (auto& t : threads) t.join();
+    for (int c = 0; c < kClients; ++c) {
+        EXPECT_EQ(failures[static_cast<std::size_t>(c)], "") << "client " << c;
+    }
+
+    server.request_shutdown(/*discard_queued=*/false);
+    server.wait();
+    EXPECT_GE(server.requests_total(), 6u * kClients);
+}
+
+TEST(ServiceRuntime, QueryDepthAndFilterHonoredEndToEnd) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server server(cfg, {small_session("die")});
+    LoopbackTransport loopback;
+    server.start(loopback);
+    Client client(loopback.connect());
+
+    // Filter prunes sibling keys.
+    Json q = Json::object();
+    q.set("path", "pool");
+    q.set("filter", "queue*");
+    Json r = client.call(1, "query", std::move(q));
+    ASSERT_TRUE(r.at("ok").as_bool()) << r.dump();
+    EXPECT_TRUE(r.at("result").at("value").contains("queue_depth"));
+    EXPECT_FALSE(r.at("result").at("value").contains("inflight"));
+
+    // Depth 1 renders the session object's containers as "...".
+    q = Json::object();
+    q.set("path", "state.sessions[0]");
+    q.set("depth", 1);
+    r = client.call(2, "query", std::move(q));
+    ASSERT_TRUE(r.at("ok").as_bool()) << r.dump();
+    const Json& v = r.at("result").at("value");
+    EXPECT_EQ(v.at("name").as_string(), "die");
+    EXPECT_EQ(v.at("sites").as_string(), QueryOptions::kTruncated);
+    EXPECT_EQ(v.at("config").as_string(), QueryOptions::kTruncated);
+
+    // Deep single-site address evaluates only that subtree.
+    q = Json::object();
+    q.set("path", "sessions[0].sites[3].health");
+    r = client.call(3, "query", std::move(q));
+    ASSERT_TRUE(r.at("ok").as_bool()) << r.dump();
+    EXPECT_EQ(r.at("result").at("value").as_string(), "healthy");
+
+    // Unresolvable path is a typed unknown-path error.
+    q = Json::object();
+    q.set("path", "sessions[7].name");
+    r = client.call(4, "query", std::move(q));
+    ASSERT_FALSE(r.at("ok").as_bool());
+    EXPECT_EQ(error_code_of(r), "unknown-path");
+
+    server.request_shutdown();
+    server.wait();
+}
+
+TEST(ServiceRuntime, HostileInputYieldsTypedErrorsNeverDisconnects) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server server(cfg, {small_session("die")});
+    LoopbackTransport loopback;
+    server.start(loopback);
+    Client client(loopback.connect());
+
+    // Malformed line: typed error, salvaged id 0, connection stays up.
+    ASSERT_TRUE(client.send_raw("this is not json"));
+    Json r = client.await(0);
+    ASSERT_FALSE(r.at("ok").as_bool());
+    EXPECT_EQ(error_code_of(r), "malformed-request");
+
+    // Malformed with a recoverable id: the error correlates.
+    ASSERT_TRUE(client.send_raw(R"({"id":41,"method":7})"));
+    r = client.await(41);
+    EXPECT_EQ(error_code_of(r), "malformed-request");
+
+    r = client.call(2, "no_such_method");
+    EXPECT_EQ(error_code_of(r), "unknown-method");
+
+    Json p = Json::object();
+    p.set("session", 99);
+    p.set("site", 0);
+    r = client.call(3, "measure_site", std::move(p));
+    EXPECT_EQ(error_code_of(r), "unknown-session");
+
+    p = Json::object();
+    p.set("points", 1); // below the minimum of 2
+    r = client.call(4, "sweep", std::move(p));
+    EXPECT_EQ(error_code_of(r), "bad-params");
+
+    p = Json::object();
+    p.set("t_min_c", 100.0);
+    p.set("t_max_c", 0.0);
+    r = client.call(5, "sweep", std::move(p));
+    EXPECT_EQ(error_code_of(r), "bad-params");
+
+    // The connection survived all of it.
+    r = client.call(6, "ping");
+    EXPECT_TRUE(r.at("ok").as_bool());
+
+    server.request_shutdown();
+    server.wait();
+}
+
+TEST(ServiceRuntime, SaturationRejectsOverloadedNeverHangs) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    cfg.limits.max_inflight_per_client = 2;
+    cfg.limits.max_concurrency = 1;
+    Server server(cfg, {small_session("die")});
+    LoopbackTransport loopback;
+    server.start(loopback);
+    Client client(loopback.connect());
+
+    // Six burns pipelined while only one runs at a time: 2 admitted
+    // (1 executing + 1 queued == cap), 4 rejected with typed overloaded.
+    Json burn = Json::object();
+    burn.set("ms", 400);
+    for (int id = 1; id <= 6; ++id) {
+        ASSERT_TRUE(client.send(id, "burn", burn));
+    }
+    int ok = 0, overloaded = 0;
+    for (int id = 1; id <= 6; ++id) {
+        Json r = client.await(id);
+        if (r.at("ok").as_bool()) {
+            ++ok;
+        } else {
+            EXPECT_EQ(error_code_of(r), "overloaded") << r.dump();
+            ++overloaded;
+        }
+    }
+    EXPECT_EQ(ok, 2);
+    EXPECT_EQ(overloaded, 4);
+    EXPECT_GE(server.scheduler().rejected(), 4u);
+
+    server.request_shutdown();
+    server.wait();
+}
+
+TEST(ServiceRuntime, ConcurrentIdenticalSweepsAreBitwiseIdentical) {
+    ServerConfig cfg;
+    cfg.threads = 4;
+    Server server(cfg, {small_session("die")});
+    LoopbackTransport loopback;
+    server.start(loopback);
+
+    auto sweep_params = [] {
+        Json p = Json::object();
+        p.set("t_min_c", -25.0);
+        p.set("t_max_c", 125.0);
+        p.set("points", 13);
+        return p;
+    };
+
+    constexpr int kClients = 3;
+    std::vector<std::string> result_dumps(kClients);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&loopback, &result_dumps, &sweep_params, c] {
+            Client client(loopback.connect());
+            Json r = client.call(1, "sweep", sweep_params());
+            if (r.at("ok").as_bool()) {
+                result_dumps[static_cast<std::size_t>(c)] =
+                    r.at("result").dump();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    ASSERT_FALSE(result_dumps[0].empty());
+    for (int c = 1; c < kClients; ++c) {
+        EXPECT_EQ(result_dumps[static_cast<std::size_t>(c)], result_dumps[0])
+            << "client " << c << " saw a different sweep";
+    }
+
+    // The service's series equals the serial reference sweep bitwise —
+    // shared pool, result cache, and client interleaving change nothing.
+    const SessionSpec spec = small_session("die");
+    const auto temps = linspace(-25.0, 125.0, 13);
+    const auto reference = ring::temperature_sweep(
+        spec.tech, spec.ring, temps, ring::Engine::Analytic, {},
+        ring::SweepRuntime::serial());
+    auto parsed = Json::parse(result_dumps[0]);
+    ASSERT_TRUE(parsed.value.has_value());
+    const Json& result = *parsed.value;
+    ASSERT_EQ(result.at("period_s").size(), reference.period_s.size());
+    for (std::size_t i = 0; i < reference.period_s.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                      result.at("period_s").at(i).as_double()),
+                  std::bit_cast<std::uint64_t>(reference.period_s[i]))
+            << "point " << i;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                      result.at("temps_c").at(i).as_double()),
+                  std::bit_cast<std::uint64_t>(temps[i]))
+            << "point " << i;
+    }
+
+    // Identical sweeps hit the server's shared result cache; the object
+    // model sees it.
+    Client probe(loopback.connect());
+    Json q = Json::object();
+    q.set("path", "cache.hits");
+    Json r = probe.call(1, "query", std::move(q));
+    ASSERT_TRUE(r.at("ok").as_bool()) << r.dump();
+    EXPECT_GE(r.at("result").at("value").as_int(), 1) << r.dump();
+
+    server.request_shutdown();
+    server.wait();
+}
+
+TEST(ServiceRuntime, SubscriptionPushesEventOnChange) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server server(cfg, {small_session("die")});
+    LoopbackTransport loopback;
+    server.start(loopback);
+    Client client(loopback.connect());
+
+    Json sub = Json::object();
+    sub.set("path", "sessions[0].scans");
+    Json r = client.call(1, "subscribe", std::move(sub));
+    ASSERT_TRUE(r.at("ok").as_bool()) << r.dump();
+    EXPECT_EQ(r.at("result").at("value").as_int(), 0);
+
+    // A thermal map bumps the scan counter; the completion notifies
+    // subscribers, so an update event follows the response.
+    r = client.call(2, "thermal_map");
+    ASSERT_TRUE(r.at("ok").as_bool()) << r.dump();
+
+    Json event = client.await_event();
+    EXPECT_EQ(event.at("event").as_string(), "update");
+    EXPECT_EQ(event.at("path").as_string(), "sessions[0].scans");
+    EXPECT_GE(event.at("value").as_int(), 1);
+
+    // Subscribing to a bogus path fails up front, typed.
+    sub = Json::object();
+    sub.set("path", "sessions[0].nope");
+    r = client.call(3, "subscribe", std::move(sub));
+    ASSERT_FALSE(r.at("ok").as_bool());
+    EXPECT_EQ(error_code_of(r), "unknown-path");
+
+    server.request_shutdown();
+    server.wait();
+}
+
+TEST(ServiceRuntime, ProtocolShutdownDrainAnswersThenCloses) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server server(cfg, {small_session("die")});
+    LoopbackTransport loopback;
+    server.start(loopback);
+    Client client(loopback.connect());
+
+    Json p = Json::object();
+    p.set("mode", "drain");
+    Json r = client.call(1, "shutdown", std::move(p));
+    ASSERT_TRUE(r.at("ok").as_bool()) << r.dump();
+    EXPECT_TRUE(r.at("result").at("draining").as_bool());
+
+    // serve() returns once the transport is down.
+    server.wait();
+    EXPECT_TRUE(server.draining());
+
+    // After the drain, heavy work is refused, typed.
+    const std::string line =
+        server.handle_inline(R"({"id":9,"method":"thermal_map"})");
+    auto parsed = Json::parse(line);
+    ASSERT_TRUE(parsed.value.has_value());
+    EXPECT_EQ(error_code_of(*parsed.value), "shutting-down");
+    // Light introspection still answers.
+    auto pong = Json::parse(server.handle_inline(R"({"id":10,"method":"ping"})"));
+    ASSERT_TRUE(pong.value.has_value());
+    EXPECT_TRUE(pong.value->at("ok").as_bool());
+}
+
+TEST(ServiceRuntime, HandleInlineMirrorsTheWireProtocol) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server server(cfg, {small_session("die")});
+
+    auto parsed = Json::parse(server.handle_inline(
+        R"({"id":1,"method":"query","params":{"path":"service.name"}})"));
+    ASSERT_TRUE(parsed.value.has_value());
+    EXPECT_EQ(parsed.value->at("result").at("value").as_string(),
+              "stsense-telemetry");
+
+    parsed = Json::parse(server.handle_inline("garbage"));
+    ASSERT_TRUE(parsed.value.has_value());
+    EXPECT_EQ(error_code_of(*parsed.value), "malformed-request");
+
+    parsed = Json::parse(server.handle_inline(
+        R"({"id":2,"method":"sessions"})"));
+    ASSERT_TRUE(parsed.value.has_value());
+    EXPECT_EQ(parsed.value->at("result").at(0).at("name").as_string(), "die");
+}
+
+} // namespace
+} // namespace stsense::service
