@@ -1,9 +1,13 @@
 // Closed-loop thermal management: the smart sensor driving a throttle.
 // Prints a timeline of the die heating up, tripping the DTM policy, and
 // settling into a managed limit cycle — plus the same run unmanaged.
+// Then the supervised fleet: per-region autotuned PID controllers with
+// fault supervision, regulating every block to a target instead of
+// banging a single hysteresis throttle.
 //
 //   $ ./examples/dtm_closed_loop [--trip=110] [--throttle=0.4]
 //   $ ./examples/dtm_closed_loop --trace=/tmp/dtm_trace.json
+//   $ ./examples/dtm_closed_loop --no-fleet   # skip the fleet section
 #include "stsense.hpp"
 
 #include <iostream>
@@ -72,5 +76,48 @@ int main(int argc, char** argv) {
 
     std::cout << "\nthe sensor's digitized readings gate the throttle: the die "
                  "rides the hysteresis band instead of running away.\n";
+
+    if (cli.has("no-fleet")) return 0;
+
+    // ---- the supervised fleet: one tuned PID per region ----------------
+    // Step-response autotune identifies each region's FOPDT model, SIMC
+    // sets the gains, and a per-region supervisor watches for sensor
+    // loss, excursions, stuck actuators, and dead loops — latching a
+    // safe state instead of chasing a lying reading.
+    std::cout << "\n== supervised DTM fleet ==\n";
+    const auto layout = dtm::fleet_layout_from_floorplan(fp);
+    sensor::MonitorConfig mc;
+    mc.grid_nx = 24;
+    mc.grid_ny = 24;
+    mc.enable_health = true;
+    dtm::DtmFleet fleet(tech, ring_cfg, fp, layout.regions, layout.sites, mc,
+                        dtm::ControlOptions()
+                            .target(cli.get("target", 95.0))
+                            .trip(cfg.policy.trip_c)
+                            .duration(cli.get("duration", 3.0)));
+    fleet.tune();
+    const auto res = fleet.run();
+
+    util::Table fleet_table({"region", "K (degC)", "tau (ms)", "kp", "ki",
+                             "u final", "T final (degC)", "state"});
+    for (std::size_t r = 0; r < fleet.region_count(); ++r) {
+        const auto& rt = res.regions[r];
+        fleet_table.add_row(
+            {rt.name, util::fixed(rt.model.gain_c, 1),
+             util::fixed(1e3 * rt.model.tau_s, 0),
+             util::fixed(rt.gains.kp, 4), util::fixed(rt.gains.ki, 3),
+             util::fixed(rt.u, 3), util::fixed(rt.true_c, 2),
+             dtm::to_string(rt.state)});
+    }
+    std::cout << fleet_table.render();
+    std::cout << "\ndie peak " << util::fixed(res.die_peak_c, 2)
+              << " degC, settled at "
+              << (res.settling_time_s < 0.0
+                      ? std::string("never")
+                      : util::fixed(res.settling_time_s, 2) + " s")
+              << ", fault latches " << res.fault_latches
+              << " — each region regulated to its own loop, and a lying "
+                 "sensor parks its region at the throttle floor instead of "
+                 "cooking the die.\n";
     return 0;
 }

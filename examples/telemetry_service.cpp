@@ -47,7 +47,9 @@ int run_demo(service::Server& server) {
         R"({"id":7,"method":"query","params":{"path":"sessions[0].sites[4]","filter":"*"}})",
         R"({"id":8,"method":"query","params":{"path":"state","depth":1}})",
         R"({"id":9,"method":"query","params":{"path":"cache","filter":"hit*"}})",
-        R"({"id":10,"method":"shutdown","params":{"mode":"drain"}})",
+        R"({"id":10,"method":"dtm_run","params":{"session":0,"duration_s":0.4,"grid":12}})",
+        R"({"id":11,"method":"query","params":{"path":"sessions[0].dtm.regions[0]","filter":"*"}})",
+        R"({"id":12,"method":"shutdown","params":{"mode":"drain"}})",
     };
     for (const auto& line : script) {
         std::cout << "-> " << line << "\n";

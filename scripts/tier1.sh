@@ -59,6 +59,18 @@ python3 "$repo/scripts/check_trace.py" "$repo/build/trace_fig2.json" \
     --require sensor.optimize.candidate \
     --require exec.cache.get --require exec.parallel_for
 
+echo "== tier 1: supervised DTM fleet — parity gates + chaos envelope =="
+# Fault-free: the supervised fleet must be bitwise the unsupervised one
+# (supervision is pure observation until something breaks), regulate
+# under the trip line, and settle. --chaos replays the seeded fault
+# matrix (dead region, stuck actuator, drifting/NaN sensors): every
+# scenario must latch FaultedSafe with the expected fault kind and no
+# region may exceed trip + 5 degC. The bench exits non-zero when any
+# gate fails.
+cmake --build "$repo/build" --target bench_dtm -j "$jobs"
+STSENSE_FAULT_SEED=20260808 "$repo/build/bench/bench_dtm" --chaos --quick \
+    --json="$repo/build/BENCH_dtm.json"
+
 echo "== tier 1: telemetry-service loopback smoke =="
 # The resident daemon's full protocol stack over the in-process
 # loopback: the --demo tour (serve -> scripted requests -> drain) must
@@ -68,7 +80,7 @@ echo "== tier 1: telemetry-service loopback smoke =="
 # must answer everything with zero errors.
 cmake --build "$repo/build" --target telemetry_service bench_service -j "$jobs"
 "$repo/build/examples/telemetry_service" --demo \
-    | python3 "$repo/scripts/check_service.py" - --expect-responses 10
+    | python3 "$repo/scripts/check_service.py" - --expect-responses 12
 "$repo/build/bench/bench_service" --quick \
     --json="$repo/build/BENCH_service_quick.json"
 
@@ -82,15 +94,17 @@ cmake --build "$repo/build-tsan" --target stsense_tests -j "$jobs"
 # multi-thread record/merge path, and the service layer (reader threads,
 # fair-queue dispatch, concurrent loopback clients, drain/shutdown).
 "$repo/build-tsan/tests/stsense_tests" \
-    --gtest_filter='ThreadPool*:TaskGroup*:ResultCache*:Metrics*:Fingerprint*:ExecDeterminism*:TemperatureSweep*:PaperSweep*:Variation*:FaultInjector*:SweepFaultPolicy*:Tracer*:TraceParity*:Service*'
+    --gtest_filter='ThreadPool*:TaskGroup*:ResultCache*:Metrics*:Fingerprint*:ExecDeterminism*:TemperatureSweep*:PaperSweep*:Variation*:FaultInjector*:SweepFaultPolicy*:Tracer*:TraceParity*:Service*:DtmService*'
 
 echo "== tier 1: fault-injection suite under AddressSanitizer =="
 cmake -B "$repo/build-asan" -S "$repo" -DSTSENSE_SANITIZE=address
 cmake --build "$repo/build-asan" --target stsense_tests -j "$jobs"
 # Recovery and policy code paths unwind through exceptions and partial
 # results; ASan gates them for leaks, overflows, and use-after-free —
-# including the service's kill-mid-request and drain/resume paths.
+# including the service's kill-mid-request and drain/resume paths, and
+# the DTM supervisor's latch/probe/backoff ladder plus the chaos matrix
+# (fault scenarios exercise the injector scopes end to end).
 "$repo/build-asan/tests/stsense_tests" \
-    --gtest_filter='FaultInjector*:RecoveryLadder*:SweepFaultPolicy*:CacheChecksum*:ThreadPoolFault*:TaskGroupFault*:ServiceDrainResume*:ServiceRuntime*'
+    --gtest_filter='FaultInjector*:RecoveryLadder*:SweepFaultPolicy*:CacheChecksum*:ThreadPoolFault*:TaskGroupFault*:ServiceDrainResume*:ServiceRuntime*:DtmSupervisor*:DtmPid*:DtmAutotune*:DtmChaos*'
 
 echo "tier 1: all gates passed"

@@ -1,0 +1,72 @@
+#include "dtm/autotune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stsense::dtm {
+namespace {
+
+/// First time the response crosses `level`, by linear interpolation
+/// between the bracketing samples. Returns -1 when never crossed.
+double crossing_time(std::span<const double> t, std::span<const double> y,
+                     double y0, double level, bool rising) {
+    for (std::size_t i = 1; i < y.size(); ++i) {
+        const double a = y[i - 1] - y0;
+        const double b = y[i] - y0;
+        const bool crossed = rising ? (a < level && b >= level)
+                                    : (a > level && b <= level);
+        if (crossed) {
+            const double frac = (level - a) / (b - a);
+            return t[i - 1] + frac * (t[i] - t[i - 1]);
+        }
+    }
+    return -1.0;
+}
+
+} // namespace
+
+FopdtModel fit_fopdt(std::span<const double> times_s,
+                     std::span<const double> temps_c, double input_delta,
+                     double min_delta_c) {
+    FopdtModel m;
+    if (times_s.size() != temps_c.size() || times_s.size() < 4) return m;
+    if (input_delta == 0.0 || !std::isfinite(input_delta)) return m;
+    for (double v : temps_c)
+        if (!std::isfinite(v)) return m;
+
+    const double y0 = temps_c.front();
+    const double dy = temps_c.back() - y0;
+    if (std::abs(dy) < min_delta_c) return m;
+
+    const bool rising = dy > 0.0;
+    const double t28 =
+        crossing_time(times_s, temps_c, y0, 0.283 * dy, rising);
+    const double t63 =
+        crossing_time(times_s, temps_c, y0, 0.632 * dy, rising);
+    if (t28 < 0.0 || t63 < 0.0 || t63 <= t28) return m;
+
+    // Two-point FOPDT: for y(t) = K du (1 - exp(-(t-L)/tau)),
+    // t28 = L + tau/3 and t63 = L + tau, so:
+    m.tau_s = 1.5 * (t63 - t28);
+    m.dead_time_s = std::max(0.0, t63 - m.tau_s);
+    m.gain_c = dy / input_delta;
+    m.valid = m.tau_s > 0.0 && std::isfinite(m.gain_c) && m.gain_c != 0.0;
+    return m;
+}
+
+PidGains simc_gains(const FopdtModel& model, double tau_c_s,
+                    double sample_dt_s) {
+    PidGains g;
+    if (!model.valid || tau_c_s <= 0.0) return g;
+
+    const double l_eff = std::max(model.dead_time_s, sample_dt_s);
+    const double kc =
+        model.tau_s / (std::abs(model.gain_c) * (tau_c_s + l_eff));
+    const double ti = std::min(model.tau_s, 4.0 * (tau_c_s + l_eff));
+    g.kp = kc;
+    g.ki = ti > 0.0 ? kc / ti : 0.0;
+    g.kd = 0.0; // SIMC yields PI for an FOPDT plant.
+    return g;
+}
+
+} // namespace stsense::dtm

@@ -1,0 +1,52 @@
+// dtm autotuning: step-response identification + SIMC tuning rules.
+//
+// The fleet tunes each region against the RC thermal grid itself: apply
+// a throttle step, record the region temperature transient, fit a
+// first-order-plus-dead-time (FOPDT) model
+//
+//     G(s) = K * exp(-L s) / (tau s + 1)
+//
+// with the classic two-point method (the 28.3 % and 63.2 % response
+// times pin tau and L exactly for a true FOPDT plant and degrade
+// gracefully for the grid's distributed dynamics), then derive PI gains
+// from Skogestad's SIMC rules. Everything here is pure — series in,
+// model/gains out — so the fit is unit-testable against synthetic
+// exponentials without a grid in sight.
+#pragma once
+
+#include "dtm/pid.hpp"
+
+#include <span>
+
+namespace stsense::dtm {
+
+/// First-order-plus-dead-time process model identified from a step.
+struct FopdtModel {
+    double gain_c = 0.0;      ///< K: steady-state degC per unit input.
+    double tau_s = 0.0;       ///< Time constant [s].
+    double dead_time_s = 0.0; ///< Apparent dead time L [s].
+    bool valid = false;       ///< False when the fit was degenerate.
+};
+
+/// Fits an FOPDT model to a recorded step response. `times_s` and
+/// `temps_c` are the sampled transient (same length, times strictly
+/// increasing, starting at the step instant); `input_delta` is the step
+/// magnitude in input units (power factor). The response is assumed
+/// settled by the last sample. Returns valid=false when the series is
+/// too short (< 4 samples), the net change is below `min_delta_c`, or
+/// the 28 %/63 % crossings cannot be bracketed.
+FopdtModel fit_fopdt(std::span<const double> times_s,
+                     std::span<const double> temps_c, double input_delta,
+                     double min_delta_c = 0.5);
+
+/// SIMC ("Skogestad IMC") PI gains for an FOPDT model. `tau_c_s` is the
+/// desired closed-loop time constant (the single tuning knob; smaller is
+/// more aggressive — tau_c = L is Skogestad's tight default). The
+/// effective dead time is max(L, sample_dt_s): a digital loop cannot
+/// react faster than its own period, and letting L -> 0 would otherwise
+/// send the gains to infinity. Returns all-zero gains (safe: PID output
+/// = clamped feedforward) for an invalid model.
+PidGains simc_gains(const FopdtModel& model, double tau_c_s,
+                    double sample_dt_s);
+
+} // namespace stsense::dtm

@@ -4,13 +4,22 @@
 
 namespace stsense::dtm {
 
-void validate(const ThrottlePolicy& policy) {
+Expected<bool> try_validate(const ThrottlePolicy& policy) {
     if (policy.release_c >= policy.trip_c) {
-        throw std::invalid_argument(
-            "ThrottlePolicy: release_c must be below trip_c (hysteresis)");
+        return Error{ErrorKind::OutOfRange,
+                     "ThrottlePolicy: release_c must be below trip_c "
+                     "(hysteresis)"};
     }
     if (policy.throttle_factor <= 0.0 || policy.throttle_factor > 1.0) {
-        throw std::invalid_argument("ThrottlePolicy: throttle_factor out of (0, 1]");
+        return Error{ErrorKind::OutOfRange,
+                     "ThrottlePolicy: throttle_factor out of (0, 1]"};
+    }
+    return true;
+}
+
+void validate(const ThrottlePolicy& policy) {
+    if (auto v = try_validate(policy); !v.ok()) {
+        throw std::invalid_argument(v.error().message);
     }
 }
 

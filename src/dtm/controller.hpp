@@ -8,6 +8,8 @@
 // scales block power when the measured temperature trips a threshold.
 #pragma once
 
+#include "util/expected.hpp"
+
 namespace stsense::dtm {
 
 /// Throttling policy: trip/release thresholds with hysteresis and the
@@ -18,8 +20,13 @@ struct ThrottlePolicy {
     double throttle_factor = 0.5; ///< Power multiplier while throttled.
 };
 
-/// Validates a policy (release < trip, factor in (0, 1]); throws
-/// std::invalid_argument on violation.
+/// Non-throwing validation per the unified error contract: release <
+/// trip, factor in (0, 1]. Every violation is ErrorKind::OutOfRange
+/// with a message naming the offending field.
+Expected<bool> try_validate(const ThrottlePolicy& policy);
+
+/// Throwing wrapper around try_validate() preserving the historical
+/// std::invalid_argument contract.
 void validate(const ThrottlePolicy& policy);
 
 /// Hysteretic two-state controller. Feed it temperature readings; it

@@ -1,0 +1,67 @@
+#include "dtm/pid.hpp"
+
+#include <algorithm>
+
+namespace stsense::dtm {
+
+PidController::PidController(PidConfig config) : config_(config) {}
+
+double PidController::update(double setpoint_c, double measured_c, double dt_s,
+                             double feedforward) {
+    const double error = setpoint_c - measured_c;
+
+    // Derivative on measurement, optionally filtered. Skipped on the
+    // first sample (no history to difference against).
+    double deriv = 0.0;
+    if (primed_ && config_.gains.kd > 0.0) {
+        const double raw = (measured_c - last_measured_) / dt_s;
+        if (config_.deriv_tau_s > 0.0) {
+            const double alpha = dt_s / (config_.deriv_tau_s + dt_s);
+            deriv_filtered_ += alpha * (raw - deriv_filtered_);
+            deriv = deriv_filtered_;
+        } else {
+            deriv_filtered_ = raw;
+            deriv = raw;
+        }
+    }
+    last_measured_ = measured_c;
+    primed_ = true;
+
+    const double p = config_.gains.kp * error;
+    const double d = -config_.gains.kd * deriv;
+    const double unclamped = p + config_.gains.ki * integral_ + d + feedforward;
+    const double clamped =
+        std::clamp(unclamped, config_.out_min, config_.out_max);
+
+    // Conditional integration: only integrate when not saturated, or
+    // when the error would pull the output back toward the linear
+    // range. Prevents deep warm-up saturation from winding the
+    // integral into a giant overshoot.
+    const bool sat_hi = unclamped > config_.out_max && error > 0.0;
+    const bool sat_lo = unclamped < config_.out_min && error < 0.0;
+    if (!sat_hi && !sat_lo) integral_ += error * dt_s;
+
+    last_output_ = clamped;
+    return clamped;
+}
+
+void PidController::reset() {
+    integral_ = 0.0;
+    deriv_filtered_ = 0.0;
+    last_measured_ = 0.0;
+    last_output_ = 0.0;
+    primed_ = false;
+}
+
+void PidController::preset_output(double output, double error_c,
+                                  double feedforward) {
+    reset();
+    if (config_.gains.ki > 0.0) {
+        integral_ =
+            (output - feedforward - config_.gains.kp * error_c) /
+            config_.gains.ki;
+    }
+    last_output_ = std::clamp(output, config_.out_min, config_.out_max);
+}
+
+} // namespace stsense::dtm

@@ -1,0 +1,80 @@
+// dtm::PidController — the per-region control law of the DTM fleet.
+//
+// The hysteretic ThrottleController (controller.hpp) is a two-state
+// policy: it limit-cycles around the trip band by construction. A
+// production throttle (the RepRapFirmware heater shape the roadmap
+// points at) regulates *to a setpoint* instead: proportional-integral-
+// derivative on the sensed temperature, plus a feedforward term from
+// the workload power model, with the output clamped to the achievable
+// throttle range. This header is the pure control law — no thermal
+// model, no sensor, no supervision — so it is unit-testable against
+// synthetic plants and reusable outside the fleet.
+//
+// Conventions:
+//   * The manipulated variable u is the region's power factor in
+//     [out_min, out_max] (1 = full speed, out_min = max throttle).
+//   * The process gain is positive (more power -> hotter), so the
+//     error is (setpoint - measured): too hot => negative error =>
+//     less power. Gains are therefore all non-negative.
+//   * Anti-windup is conditional integration: the integrator freezes
+//     while the output saturates *and* the error pushes further into
+//     the same limit — the standard fix for the deep saturation a
+//     thermal loop spends its warm-up in.
+//   * The derivative acts on the measurement (not the error), filtered
+//     by a first-order pole, so setpoint steps do not kick the output.
+#pragma once
+
+namespace stsense::dtm {
+
+/// PID gains in parallel form: u = kp*e + ki*∫e dt - kd*d(pv)/dt.
+struct PidGains {
+    double kp = 0.0; ///< [1/degC]
+    double ki = 0.0; ///< [1/(degC s)]
+    double kd = 0.0; ///< [s/degC]
+};
+
+/// Control-law configuration.
+struct PidConfig {
+    PidGains gains;
+    double out_min = 0.0;      ///< Deepest throttle (power factor floor).
+    double out_max = 1.0;      ///< Full speed.
+    /// First-order derivative filter time constant [s]; 0 disables
+    /// filtering (raw backward difference).
+    double deriv_tau_s = 0.0;
+};
+
+class PidController {
+public:
+    explicit PidController(PidConfig config);
+
+    /// One control update: returns the clamped output for this period.
+    /// `feedforward` is added before clamping (0 when unused); `dt_s`
+    /// is the elapsed control interval and must be > 0.
+    double update(double setpoint_c, double measured_c, double dt_s,
+                  double feedforward = 0.0);
+
+    /// Clears the integrator, derivative filter, and history — the
+    /// controller behaves as freshly constructed.
+    void reset();
+
+    /// Bumpless transfer: preloads the integrator so the *next* update
+    /// with error `error_c` and feedforward `feedforward` emits
+    /// `output` (before clamping). Used when a supervisor hands a
+    /// region back after a FaultedSafe episode — the loop resumes from
+    /// the safe output instead of slamming to a stale integral.
+    void preset_output(double output, double error_c, double feedforward = 0.0);
+
+    double last_output() const { return last_output_; }
+    double integral() const { return integral_; }
+    const PidConfig& config() const { return config_; }
+
+private:
+    PidConfig config_;
+    double integral_ = 0.0;
+    double deriv_filtered_ = 0.0;
+    double last_measured_ = 0.0;
+    double last_output_ = 0.0;
+    bool primed_ = false; ///< false until the first update (no derivative).
+};
+
+} // namespace stsense::dtm

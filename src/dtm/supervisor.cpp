@@ -1,0 +1,200 @@
+#include "dtm/supervisor.hpp"
+
+#include "exec/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stsense::dtm {
+
+const char* to_string(ControlState state) {
+    switch (state) {
+    case ControlState::Tuning: return "tuning";
+    case ControlState::Active: return "active";
+    case ControlState::Suspect: return "suspect";
+    case ControlState::FaultedSafe: return "faulted-safe";
+    }
+    return "?";
+}
+
+const char* to_string(ControlFault fault) {
+    switch (fault) {
+    case ControlFault::None: return "none";
+    case ControlFault::NotResponding: return "not-responding";
+    case ControlFault::Excursion: return "excursion";
+    case ControlFault::SensorLoss: return "sensor-loss";
+    case ControlFault::StuckActuator: return "stuck-actuator";
+    case ControlFault::TuneFailed: return "tune-failed";
+    }
+    return "?";
+}
+
+ControllerSupervisor::ControllerSupervisor(SupervisorConfig config)
+    : config_(config) {}
+
+void ControllerSupervisor::transition(ControlState next) {
+    if (next == rec_.state) return;
+    obs::Span span("dtm.supervisor.transition");
+    span.tag("from", to_string(rec_.state))
+        .tag("to", to_string(next))
+        .num("step", static_cast<double>(rec_.steps_total));
+    rec_.state = next;
+    ++rec_.transitions;
+    exec::MetricsRegistry::global().counter("dtm.supervisor.transitions").add();
+}
+
+void ControllerSupervisor::latch(ControlFault fault) {
+    {
+        obs::Span span("dtm.supervisor.fault");
+        span.tag("fault", to_string(fault))
+            .num("step", static_cast<double>(rec_.steps_total));
+    }
+    rec_.last_fault = fault;
+    ++rec_.fault_latches;
+    exec::MetricsRegistry::global().counter("dtm.supervisor.fault_latches").add();
+
+    // Entering (or re-failing into) FaultedSafe doubles the probe
+    // backoff up to the ceiling, mirroring the site-health ladder.
+    rec_.backoff_steps =
+        rec_.backoff_steps == 0
+            ? config_.backoff_base_steps
+            : std::min(rec_.backoff_steps * 2, config_.backoff_max_steps);
+    rec_.next_probe_step =
+        rec_.steps_total + static_cast<std::uint64_t>(rec_.backoff_steps);
+    rec_.clean_steps = 0;
+    rec_.streak_not_responding = 0;
+    rec_.streak_excursion = 0;
+    rec_.streak_sensor_loss = 0;
+    rec_.streak_stuck = 0;
+    probing_ = false;
+    transition(ControlState::FaultedSafe);
+}
+
+void ControllerSupervisor::mark_tuned() {
+    if (rec_.state != ControlState::Tuning) return;
+    transition(ControlState::Active);
+}
+
+void ControllerSupervisor::mark_tune_failed() {
+    if (rec_.state != ControlState::Tuning) return;
+    latch(ControlFault::TuneFailed);
+}
+
+ControlState ControllerSupervisor::observe(const Observation& obs) {
+    ++rec_.steps_total;
+    if (rec_.state == ControlState::Tuning) return rec_.state;
+    if (rec_.state == ControlState::FaultedSafe) {
+        ++rec_.steps_in_safe;
+        exec::MetricsRegistry::global()
+            .counter("dtm.supervisor.steps_in_safe")
+            .add();
+        return rec_.state;
+    }
+
+    // ---- detectors -----------------------------------------------------
+    // SensorLoss and StuckActuator are model-free: armed from step one.
+    const bool sensor_lost =
+        !obs.reading_valid || !std::isfinite(obs.measured_c) ||
+        obs.trust <= config_.trust_floor;
+    const bool stuck =
+        std::abs(obs.u_achieved - obs.u_commanded) > config_.stuck_tol;
+
+    // Model-envelope detectors wait out the warm-up transient and only
+    // judge steps backed by a usable reading (a lost sensor is its own
+    // fault, not an excursion).
+    const bool armed =
+        rec_.steps_total > static_cast<std::uint64_t>(config_.arm_after_steps);
+    bool excursion = false;
+    bool not_responding = false;
+    if (armed && !sensor_lost) {
+        excursion =
+            std::abs(obs.measured_c - obs.predicted_c) > config_.excursion_c;
+        const double predicted_move = obs.predicted_c - obs.predicted_prev_c;
+        if (primed_ && std::abs(predicted_move) >= config_.respond_min_c) {
+            const double observed_move = obs.measured_c - last_measured_;
+            not_responding =
+                observed_move * predicted_move <= 0.0 ||
+                std::abs(observed_move) <
+                    config_.respond_frac * std::abs(predicted_move);
+        }
+    }
+    if (obs.reading_valid && std::isfinite(obs.measured_c)) {
+        last_measured_ = obs.measured_c;
+        primed_ = true;
+    }
+
+    rec_.streak_sensor_loss = sensor_lost ? rec_.streak_sensor_loss + 1 : 0;
+    rec_.streak_stuck = stuck ? rec_.streak_stuck + 1 : 0;
+    rec_.streak_excursion = excursion ? rec_.streak_excursion + 1 : 0;
+    rec_.streak_not_responding =
+        not_responding ? rec_.streak_not_responding + 1 : 0;
+
+    // ---- ladder --------------------------------------------------------
+    // Latch first (longest streak wins by severity order: losing the
+    // sensor outranks a mispredicted plant).
+    if (rec_.streak_sensor_loss >= config_.fault_after) {
+        latch(ControlFault::SensorLoss);
+        return rec_.state;
+    }
+    if (rec_.streak_stuck >= config_.fault_after) {
+        latch(ControlFault::StuckActuator);
+        return rec_.state;
+    }
+    if (rec_.streak_excursion >= config_.fault_after) {
+        latch(ControlFault::Excursion);
+        return rec_.state;
+    }
+    if (rec_.streak_not_responding >= config_.fault_after) {
+        latch(ControlFault::NotResponding);
+        return rec_.state;
+    }
+
+    const bool any_strike = sensor_lost || stuck || excursion || not_responding;
+    const int worst_streak =
+        std::max({rec_.streak_sensor_loss, rec_.streak_stuck,
+                  rec_.streak_excursion, rec_.streak_not_responding});
+
+    if (rec_.state == ControlState::Active) {
+        if (worst_streak >= config_.suspect_after) {
+            rec_.clean_steps = 0;
+            transition(ControlState::Suspect);
+        }
+    } else { // Suspect (probation, entered by streak or by probe)
+        if (any_strike) {
+            rec_.clean_steps = 0;
+            // A probe that immediately re-strikes goes straight back to
+            // safe — a faulted region gets no second streak's grace.
+            if (probing_) latch(rec_.last_fault);
+        } else if (++rec_.clean_steps >= config_.recover_after) {
+            rec_.clean_steps = 0;
+            if (probing_) {
+                // Clean probation after a fault: trust is re-earned,
+                // the backoff resets for any future episode.
+                probing_ = false;
+                rec_.backoff_steps = 0;
+                exec::MetricsRegistry::global()
+                    .counter("dtm.supervisor.recoveries")
+                    .add();
+            }
+            transition(ControlState::Active);
+        }
+    }
+    return rec_.state;
+}
+
+bool ControllerSupervisor::should_probe() const {
+    return rec_.state == ControlState::FaultedSafe &&
+           rec_.steps_total >= rec_.next_probe_step;
+}
+
+void ControllerSupervisor::begin_probe() {
+    if (!should_probe()) return;
+    probing_ = true;
+    ++rec_.probes;
+    exec::MetricsRegistry::global().counter("dtm.supervisor.probes").add();
+    rec_.clean_steps = 0;
+    transition(ControlState::Suspect);
+}
+
+} // namespace stsense::dtm

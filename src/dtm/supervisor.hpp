@@ -1,0 +1,167 @@
+// dtm::ControllerSupervisor — per-region fault supervision for the
+// closed-loop DTM fleet.
+//
+// A controller that trusts its sensor is only as safe as the sensor: a
+// dead region reads stale-cool, the PID happily ramps power, and the
+// die cooks. The supervisor watches each region's loop through
+//
+//     Tuning -> Active -> Suspect -> FaultedSafe
+//                  ^---------'           |
+//                  '-- probe (backoff) --'
+//
+// with anomaly detectors ported in shape from RepRapFirmware's Heater
+// fault logic:
+//
+//   * NotResponding — actuation is applied and the model predicts
+//     movement, but the measurement moves far less (heating-too-slow /
+//     not-responding in RepRap terms).
+//   * Excursion — the measurement leaves the model envelope (predicted
+//     +- excursion_c), whether from a real thermal anomaly or a
+//     consistently lying sensor.
+//   * SensorLoss — the reading is invalid or its trust weight (from
+//     the PR 4 site-health ladder / quorum vote) collapses.
+//   * StuckActuator — the achieved power factor stops tracking the
+//     commanded one.
+//
+// Detector verdicts accumulate per-step streaks: a short streak demotes
+// Active -> Suspect (probation — control keeps running, scrutiny
+// rises), a sustained streak latches FaultedSafe. The *fleet* enforces
+// what FaultedSafe means physically (max throttle + neighbor derating);
+// the supervisor only decides state, mirroring SiteHealthSupervisor's
+// physics-ignorant design. Recovery is probed on exponential backoff:
+// should_probe() gates a supervised probation pass; a clean probation
+// returns the region to Active and resets the backoff, a re-fault
+// doubles it up to a ceiling.
+//
+// Model-envelope detectors (NotResponding, Excursion) arm only after
+// `arm_after_steps` — during warm-up the plant is far from the predictor
+// initial condition and false trips would be guaranteed. SensorLoss and
+// StuckActuator need no model and are armed from step zero, so a
+// born-dead sensor region still latches within a bounded step count.
+#pragma once
+
+#include <cstdint>
+
+namespace stsense::dtm {
+
+/// Supervision state of one region's control loop.
+enum class ControlState : std::uint8_t {
+    Tuning = 0,      ///< Autotune in progress; detectors idle.
+    Active = 1,      ///< Normal closed-loop control.
+    Suspect = 2,     ///< Probation: anomalies seen or recovery probe.
+    FaultedSafe = 3, ///< Latched safe: fleet forces max throttle.
+};
+
+const char* to_string(ControlState state);
+
+/// What latched (or is accumulating toward) a fault.
+enum class ControlFault : std::uint8_t {
+    None = 0,
+    NotResponding = 1, ///< Model predicts movement the sensor never sees.
+    Excursion = 2,     ///< Measurement outside the model envelope.
+    SensorLoss = 3,    ///< Reading invalid or trust below the floor.
+    StuckActuator = 4, ///< Achieved throttle ignores the command.
+    TuneFailed = 5,    ///< Autotune could not identify the region.
+};
+
+const char* to_string(ControlFault fault);
+
+/// Detector thresholds and ladder policy. Defaults tolerate the
+/// +-1.4 degC-class sensor inaccuracy band (excursion_c well above it)
+/// while still latching a dead region within ~fault_after steps.
+struct SupervisorConfig {
+    /// Envelope half-width: |measured - predicted| beyond this is an
+    /// Excursion strike.
+    double excursion_c = 8.0;
+    /// NotResponding arms only when the model predicts at least this
+    /// much movement in one step...
+    double respond_min_c = 0.4;
+    /// ...and strikes when the observed movement is below this fraction
+    /// of the prediction (or moves the wrong way).
+    double respond_frac = 0.25;
+    /// StuckActuator strike when |achieved - commanded| exceeds this.
+    double stuck_tol = 0.05;
+    /// Reading-trust floor; at or below is a SensorLoss strike.
+    double trust_floor = 0.25;
+    int suspect_after = 2;  ///< Strike streak: Active -> Suspect.
+    int fault_after = 4;    ///< Strike streak: latch FaultedSafe.
+    int recover_after = 6;  ///< Clean Suspect steps to return Active.
+    /// Model-envelope detectors stay disarmed this many steps.
+    int arm_after_steps = 12;
+    int backoff_base_steps = 16; ///< First recovery-probe delay.
+    int backoff_max_steps = 256; ///< Backoff ceiling (doubles until here).
+};
+
+/// One control step's evidence, assembled by the fleet.
+struct Observation {
+    double u_commanded = 1.0;   ///< What the controller asked for.
+    double u_achieved = 1.0;    ///< What the actuator actually applied.
+    double measured_c = 0.0;    ///< Trust-blended process value.
+    double predicted_c = 0.0;   ///< Model envelope center, this step.
+    double predicted_prev_c = 0.0; ///< Model envelope center, last step.
+    bool reading_valid = true;  ///< False: no usable reading at all.
+    double trust = 1.0;         ///< Reading-trust weight in [0, 1].
+};
+
+/// Read-only bookkeeping for tests, telemetry, and reports.
+struct SupervisorRecord {
+    ControlState state = ControlState::Tuning;
+    ControlFault last_fault = ControlFault::None;
+    int streak_not_responding = 0;
+    int streak_excursion = 0;
+    int streak_sensor_loss = 0;
+    int streak_stuck = 0;
+    int clean_steps = 0;          ///< Consecutive clean steps in Suspect.
+    int backoff_steps = 0;        ///< Current probe delay.
+    std::uint64_t next_probe_step = 0;
+    std::uint64_t steps_total = 0;
+    std::uint64_t steps_in_safe = 0;  ///< Lifetime steps spent FaultedSafe.
+    std::uint64_t fault_latches = 0;  ///< FaultedSafe entries.
+    std::uint64_t transitions = 0;    ///< Any state change.
+    std::uint64_t probes = 0;         ///< Recovery probes begun.
+};
+
+class ControllerSupervisor {
+public:
+    ControllerSupervisor() = default;
+    explicit ControllerSupervisor(SupervisorConfig config);
+
+    /// Tuning -> Active (tune produced a usable model).
+    void mark_tuned();
+    /// Tuning -> FaultedSafe with TuneFailed: an unidentifiable region
+    /// is never trusted with closed-loop authority.
+    void mark_tune_failed();
+
+    /// Feeds one control step's evidence; advances the step counter and
+    /// runs every armed detector. Returns the (possibly new) state. In
+    /// FaultedSafe this only accounts time; use should_probe() /
+    /// begin_probe() to attempt recovery.
+    ControlState observe(const Observation& obs);
+
+    /// True when a FaultedSafe region's backoff has elapsed and a
+    /// recovery probe may begin.
+    bool should_probe() const;
+
+    /// FaultedSafe -> Suspect probation. The next recover_after clean
+    /// observations return the region to Active and reset the backoff;
+    /// any re-latch doubles it (up to the ceiling).
+    void begin_probe();
+
+    ControlState state() const { return rec_.state; }
+    ControlFault last_fault() const { return rec_.last_fault; }
+    bool faulted() const { return rec_.state == ControlState::FaultedSafe; }
+    const SupervisorRecord& record() const { return rec_; }
+    const SupervisorConfig& config() const { return config_; }
+
+private:
+    void transition(ControlState next);
+    void latch(ControlFault fault);
+
+    SupervisorConfig config_;
+    SupervisorRecord rec_;
+    bool probing_ = false; ///< Suspect entered via begin_probe().
+    bool primed_ = false;  ///< Observation history exists.
+    double last_measured_ = 0.0;
+};
+
+} // namespace stsense::dtm

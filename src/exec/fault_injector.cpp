@@ -32,6 +32,9 @@ const char* site_name(FaultInjector::Site site) {
         case FaultInjector::Site::CheckpointTruncate:
             return "exec.fault.ckpt_truncate";
         case FaultInjector::Site::SweepKill: return "exec.fault.sweep_kill";
+        case FaultInjector::Site::ActuatorStuck:
+            return "exec.fault.actuator_stuck";
+        case FaultInjector::Site::RegionKill: return "exec.fault.region_kill";
     }
     return "exec.fault.unknown";
 }
@@ -44,6 +47,8 @@ std::int64_t stream_unit(FaultInjector::Site site, std::uint64_t index) {
         case FaultInjector::Site::Point:
         case FaultInjector::Site::StuckOscillator:
         case FaultInjector::Site::DriftSite:
+        case FaultInjector::Site::ActuatorStuck:
+        case FaultInjector::Site::RegionKill:
             return static_cast<std::int64_t>(index / 16);
         case FaultInjector::Site::SweepKill:
             return static_cast<std::int64_t>(index);
@@ -67,6 +72,8 @@ double FaultInjector::probability(Site site) const {
         case Site::DriftSite: return config_.p_drift_site;
         case Site::CheckpointTruncate: return config_.p_ckpt_truncate;
         case Site::SweepKill: return config_.p_sweep_kill;
+        case Site::ActuatorStuck: return config_.p_actuator_stuck;
+        case Site::RegionKill: return config_.p_region_kill;
     }
     return 0.0;
 }

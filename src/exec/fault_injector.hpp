@@ -37,6 +37,13 @@
 //   * SweepKill — ring::temperature_sweep: the process "dies" right
 //     after completing point i (modelled as an InjectedKill exception),
 //     exercising checkpoint/resume at every kill index.
+//   * ActuatorStuck — dtm::DtmFleet: the region's power-gating actuator
+//     ignores the commanded throttle and applies `stuck_factor` instead,
+//     a persistent fault (caught by the controller supervisor's
+//     stuck-actuator self-test).
+//   * RegionKill — dtm::DtmFleet: every sensor site of the region is
+//     reported unreadable before readout, a persistent fault (drives the
+//     supervisor's sensor-loss latch).
 //
 // Installation is process-global and test-scoped: construct a
 // FaultInjector::Scope with a Config and every hook consults it until
@@ -75,8 +82,10 @@ public:
         DriftSite = 6,
         CheckpointTruncate = 7,
         SweepKill = 8,
+        ActuatorStuck = 9,
+        RegionKill = 10,
     };
-    static constexpr int kSiteCount = 9;
+    static constexpr int kSiteCount = 11;
 
     struct Config {
         std::uint64_t seed = 1;       ///< Root of every trip decision.
@@ -89,6 +98,8 @@ public:
         double p_drift_site = 0.0;    ///< P(ring drifted, per ring).
         double p_ckpt_truncate = 0.0; ///< P(checkpoint flush torn).
         double p_sweep_kill = 0.0;    ///< P(run killed after a point).
+        double p_actuator_stuck = 0.0;///< P(region throttle actuator stuck).
+        double p_region_kill = 0.0;   ///< P(region's sensors all unreadable).
         /// How deep the Newton/NaN sabotage reaches: 1 = base attempt
         /// only (damped rung rescues), 2 = base + damped (gmin rescues),
         /// 3 = + gmin (source stepping rescues), >= 4 = unrescuable.
@@ -100,12 +111,15 @@ public:
         /// Field offset a drifted ring reads [degC]. NaN plants a
         /// non-finite readout instead of a plausible-but-wrong one.
         double drift_offset_c = 25.0;
+        /// Power factor a stuck actuator applies regardless of command.
+        /// The default (1.0 = no throttle) is the dangerous direction.
+        double stuck_factor = 1.0;
         /// When non-empty, unit-addressed sites trip only for these unit
         /// indices — lets a test pin a fault onto one specific ring,
-        /// zone, or sweep point deterministically. Point, StuckOscillator
-        /// and DriftSite address units through point_stream (index / 16);
-        /// SweepKill addresses the raw point index. Other sites ignore
-        /// the filter.
+        /// zone, or sweep point deterministically. Point, StuckOscillator,
+        /// DriftSite, ActuatorStuck and RegionKill address units through
+        /// point_stream (index / 16); SweepKill addresses the raw point
+        /// index. Other sites ignore the filter.
         std::vector<std::uint64_t> only_units;
     };
 

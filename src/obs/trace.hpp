@@ -203,3 +203,9 @@ private:
 /// Anonymous scope-level span: `OBS_SPAN("ring.sweep.point");`
 #define OBS_SPAN(name) \
     ::stsense::obs::Span STSENSE_OBS_CONCAT(obs_span_, __COUNTER__)(name)
+/// Anonymous scope-level span with one string tag attached at open:
+/// `OBS_SPAN_TAG("dtm.fleet.step", "mode", "supervised");` — both key
+/// and value must be literals, like Span::tag itself.
+#define OBS_SPAN_TAG(name, key, value)                                  \
+    ::stsense::obs::Span STSENSE_OBS_CONCAT(obs_span_, __LINE__)(name); \
+    STSENSE_OBS_CONCAT(obs_span_, __LINE__).tag(key, value)

@@ -108,17 +108,28 @@ ThermalMonitor::ThermalMonitor(const phys::Technology& tech,
 }
 
 MapResult ThermalMonitor::scan() const {
+    const auto power = floorplan_.power_map(config_.grid_nx, config_.grid_ny);
+    return scan_field(grid_.steady_state(power));
+}
+
+MapResult ThermalMonitor::scan_field(std::vector<double> temps_c) const {
+    const auto cells = static_cast<std::size_t>(config_.grid_nx) *
+                       static_cast<std::size_t>(config_.grid_ny);
+    if (temps_c.size() != cells) {
+        throw std::invalid_argument(
+            "ThermalMonitor::scan_field: field size != grid_nx * grid_ny");
+    }
     obs::Span span("sensor.scan");
     span.tag("mode", config_.enable_health ? "resilient" : "legacy");
     span.num("sites", static_cast<double>(sites_.size()));
-    return config_.enable_health ? scan_resilient() : scan_legacy();
+    return config_.enable_health ? scan_resilient(std::move(temps_c))
+                                 : scan_legacy(std::move(temps_c));
 }
 
-MapResult ThermalMonitor::scan_legacy() const {
+MapResult ThermalMonitor::scan_legacy(std::vector<double> field_c) const {
     MapResult out;
 
-    const auto power = floorplan_.power_map(config_.grid_nx, config_.grid_ny);
-    out.true_map_c = grid_.steady_state(power);
+    out.true_map_c = std::move(field_c);
     out.die_peak_c = *std::max_element(out.true_map_c.begin(), out.true_map_c.end());
 
     std::vector<double> site_true(sites_.size());
@@ -227,13 +238,12 @@ MapResult ThermalMonitor::scan_legacy() const {
     return out;
 }
 
-MapResult ThermalMonitor::scan_resilient() const {
+MapResult ThermalMonitor::scan_resilient(std::vector<double> field_c) const {
     MapResult out;
     auto& mx = exec::MetricsRegistry::global();
     const double nan = std::numeric_limits<double>::quiet_NaN();
 
-    const auto power = floorplan_.power_map(config_.grid_nx, config_.grid_ny);
-    out.true_map_c = grid_.steady_state(power);
+    out.true_map_c = std::move(field_c);
     out.die_peak_c = *std::max_element(out.true_map_c.begin(), out.true_map_c.end());
 
     const std::size_t n = sites_.size();

@@ -131,15 +131,29 @@ public:
     /// recovery), which is why scan() stays callable repeatedly.
     MapResult scan() const;
 
+    /// Scans the sites against a caller-supplied temperature field
+    /// (row-major, grid_nx x grid_ny — e.g. a transient snapshot from a
+    /// closed-loop run) instead of the steady-state solve. Everything
+    /// downstream of the field — readout, health ledger, quorum,
+    /// interpolation — is the exact scan() code path, so scan() ==
+    /// scan_field(steady_state) bitwise. Throws std::invalid_argument on
+    /// a size mismatch.
+    MapResult scan_field(std::vector<double> temps_c) const;
+
     const std::vector<SensorSite>& sites() const { return sites_; }
     const thermal::Floorplan& floorplan() const { return floorplan_; }
+    const MonitorConfig& config() const { return config_; }
+
+    /// The monitor's own RC grid — shared with closed-loop users so the
+    /// field they step and the field the sensors read are one object.
+    const thermal::ThermalGrid& grid() const { return grid_; }
 
     /// Supervisor view (resilient mode; empty supervisor otherwise).
     const SiteHealthSupervisor& health() const { return supervisor_; }
 
 private:
-    MapResult scan_legacy() const;
-    MapResult scan_resilient() const;
+    MapResult scan_legacy(std::vector<double> field_c) const;
+    MapResult scan_resilient(std::vector<double> field_c) const;
 
     phys::Technology tech_;
     ring::RingConfig ring_config_;

@@ -1,5 +1,6 @@
 #include "service/session.hpp"
 
+#include "dtm/fleet.hpp"
 #include "obs/trace.hpp"
 #include "ring/sweep.hpp"
 #include "sensor/optimizer.hpp"
@@ -98,6 +99,8 @@ Session::Session(int id, SessionSpec spec, exec::ThreadPool* pool,
         sites_.push_back(std::move(snap));
     }
 }
+
+Session::~Session() = default;
 
 Json Session::reading_json(const sensor::SiteReading& r) {
     Json j = Json::object();
@@ -365,6 +368,132 @@ Json Session::optimize(const Json& params) {
     return result;
 }
 
+Json Session::dtm_run(const Json& params) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    dtm_runs_.fetch_add(1, std::memory_order_relaxed);
+
+    const bool supervised = params.at("supervised").as_bool(true);
+    const double duration = require_finite(params, "duration_s", 0.75);
+    const double target = require_finite(params, "target_c", 95.0);
+    const double trip = require_finite(params, "trip_c", 110.0);
+    const int grid = require_int(params, "grid", 24, 8, 64);
+    if (duration <= 0.0 || duration > 30.0) {
+        throw ServiceError(ErrorCode::BadParams,
+                           "param 'duration_s' out of range (0, 30]");
+    }
+
+    const auto options = dtm::ControlOptions()
+                             .target(target)
+                             .trip(trip)
+                             .duration(duration)
+                             .supervised(supervised);
+    const auto checked = options.try_validate();
+    if (!checked.ok()) {
+        throw ServiceError(ErrorCode::BadParams, checked.error().message);
+    }
+
+    std::lock_guard job(job_m_);
+    OBS_SPAN("service.session.dtm_run");
+
+    // Key the cached fleet by every parameter that shapes it. The fleet
+    // carries its own monitor and grid; the session's readout ledger
+    // never sees these scans.
+    Json key = Json::object();
+    key.set("supervised", supervised);
+    key.set("duration_s", duration);
+    key.set("target_c", target);
+    key.set("trip_c", trip);
+    key.set("grid", grid);
+    if (!dtm_fleet_ || dtm_fleet_key_ != key.dump()) {
+        const auto layout = dtm::fleet_layout_from_floorplan(spec_.floorplan);
+        sensor::MonitorConfig mc = spec_.monitor;
+        mc.grid_nx = grid;
+        mc.grid_ny = grid;
+        mc.enable_health = spec_.runtime.health_enabled();
+        auto fleet = std::make_unique<dtm::DtmFleet>(
+            spec_.tech, spec_.ring, spec_.floorplan, layout.regions,
+            layout.sites, mc, options);
+        fleet->tune();
+        dtm_fleet_ = std::move(fleet);
+        dtm_fleet_key_ = key.dump();
+    }
+    const auto res = dtm_fleet_->run();
+
+    DtmSnapshot snap;
+    snap.supervised = supervised;
+    snap.die_peak_c = res.die_peak_c;
+    snap.settling_time_s = res.settling_time_s;
+    snap.max_overshoot_c = res.max_overshoot_c;
+    snap.fault_latches = res.fault_latches;
+    snap.tune_solves = res.tune_solves;
+    snap.steps = res.steps.size();
+
+    Json regions_j = Json::array();
+    for (std::size_t r = 0; r < res.regions.size(); ++r) {
+        const auto& rt = res.regions[r];
+        DtmRegionSnapshot rs;
+        rs.name = rt.name;
+        rs.state = dtm::to_string(rt.state);
+        rs.fault = dtm::to_string(rt.last_fault);
+        rs.u = rt.u;
+        rs.true_c = rt.true_c;
+        rs.peak_true_c = rt.peak_true_c;
+        if (!res.steps.empty()) {
+            const auto& last = res.steps.back();
+            rs.measured_c = last.measured_c[r];
+            rs.has_measurement = std::isfinite(last.measured_c[r]);
+            rs.trust = last.trust[r];
+        }
+        rs.fault_latches = rt.supervisor.fault_latches;
+        rs.probes = rt.supervisor.probes;
+
+        Json j = Json::object();
+        j.set("name", rs.name);
+        j.set("state", rs.state);
+        j.set("fault", rs.fault);
+        j.set("u", rs.u);
+        j.set("true_c", rs.true_c);
+        j.set("peak_true_c", rs.peak_true_c);
+        j.set("measured_c",
+              rs.has_measurement ? Json(rs.measured_c) : Json(nullptr));
+        j.set("trust", rs.trust);
+        j.set("fault_latches", rs.fault_latches);
+        j.set("probes", rs.probes);
+        Json model_j = Json::object();
+        model_j.set("valid", rt.model.valid);
+        model_j.set("gain_c", rt.model.gain_c);
+        model_j.set("tau_s", rt.model.tau_s);
+        model_j.set("dead_time_s", rt.model.dead_time_s);
+        j.set("model", std::move(model_j));
+        Json gains_j = Json::object();
+        gains_j.set("kp", rt.gains.kp);
+        gains_j.set("ki", rt.gains.ki);
+        gains_j.set("kd", rt.gains.kd);
+        j.set("gains", std::move(gains_j));
+        regions_j.push_back(std::move(j));
+
+        snap.regions.push_back(std::move(rs));
+    }
+
+    Json result = Json::object();
+    result.set("session", id_);
+    result.set("supervised", supervised);
+    result.set("target_c", target);
+    result.set("trip_c", trip);
+    result.set("duration_s", duration);
+    result.set("steps", snap.steps);
+    result.set("die_peak_c", res.die_peak_c);
+    result.set("settling_time_s", res.settling_time_s);
+    result.set("max_overshoot_c", res.max_overshoot_c);
+    result.set("fault_latches", res.fault_latches);
+    result.set("tune_solves", res.tune_solves);
+    result.set("regions", std::move(regions_j));
+
+    std::lock_guard lock(state_m_);
+    last_dtm_ = std::move(snap);
+    return result;
+}
+
 ModelPtr Session::model() const {
     const Session* self = this;
     const std::size_t n_sites = sites_.size();
@@ -446,6 +575,132 @@ ModelPtr Session::model() const {
         });
     };
 
+    // sessions[i].dtm — the most recent closed-loop run, if any. Every
+    // leaf re-reads the published snapshot under the state mutex; the
+    // regions array renders empty before the first dtm_run.
+    auto dtm_node = [self]() -> ModelPtr {
+        auto summary = [self](auto read) {
+            return leaf([self, read] {
+                std::lock_guard lock(self->state_m_);
+                if (!self->last_dtm_) return Json(nullptr);
+                return read(*self->last_dtm_);
+            });
+        };
+        auto region_node = [self](std::size_t i) -> ModelPtr {
+            auto field = [self, i](auto read) {
+                return leaf([self, i, read] {
+                    std::lock_guard lock(self->state_m_);
+                    if (!self->last_dtm_ ||
+                        i >= self->last_dtm_->regions.size()) {
+                        return Json(nullptr);
+                    }
+                    return read(self->last_dtm_->regions[i]);
+                });
+            };
+            return object({
+                {"name", [field] {
+                     return field([](const DtmRegionSnapshot& r) {
+                         return Json(r.name);
+                     });
+                 }},
+                {"state", [field] {
+                     return field([](const DtmRegionSnapshot& r) {
+                         return Json(r.state);
+                     });
+                 }},
+                {"fault", [field] {
+                     return field([](const DtmRegionSnapshot& r) {
+                         return Json(r.fault);
+                     });
+                 }},
+                {"u", [field] {
+                     return field(
+                         [](const DtmRegionSnapshot& r) { return Json(r.u); });
+                 }},
+                {"true_c", [field] {
+                     return field([](const DtmRegionSnapshot& r) {
+                         return Json(r.true_c);
+                     });
+                 }},
+                {"peak_true_c", [field] {
+                     return field([](const DtmRegionSnapshot& r) {
+                         return Json(r.peak_true_c);
+                     });
+                 }},
+                {"measured_c", [field] {
+                     return field([](const DtmRegionSnapshot& r) {
+                         return r.has_measurement ? Json(r.measured_c)
+                                                  : Json(nullptr);
+                     });
+                 }},
+                {"trust", [field] {
+                     return field([](const DtmRegionSnapshot& r) {
+                         return Json(r.trust);
+                     });
+                 }},
+                {"fault_latches", [field] {
+                     return field([](const DtmRegionSnapshot& r) {
+                         return Json(r.fault_latches);
+                     });
+                 }},
+                {"probes", [field] {
+                     return field([](const DtmRegionSnapshot& r) {
+                         return Json(r.probes);
+                     });
+                 }},
+            });
+        };
+        return object({
+            {"runs", [self] {
+                 return leaf([self] {
+                     return Json(
+                         self->dtm_runs_.load(std::memory_order_relaxed));
+                 });
+             }},
+            {"supervised", [summary] {
+                 return summary(
+                     [](const DtmSnapshot& s) { return Json(s.supervised); });
+             }},
+            {"die_peak_c", [summary] {
+                 return summary(
+                     [](const DtmSnapshot& s) { return Json(s.die_peak_c); });
+             }},
+            {"settling_time_s", [summary] {
+                 return summary([](const DtmSnapshot& s) {
+                     return Json(s.settling_time_s);
+                 });
+             }},
+            {"max_overshoot_c", [summary] {
+                 return summary([](const DtmSnapshot& s) {
+                     return Json(s.max_overshoot_c);
+                 });
+             }},
+            {"fault_latches", [summary] {
+                 return summary([](const DtmSnapshot& s) {
+                     return Json(s.fault_latches);
+                 });
+             }},
+            {"tune_solves", [summary] {
+                 return summary(
+                     [](const DtmSnapshot& s) { return Json(s.tune_solves); });
+             }},
+            {"steps", [summary] {
+                 return summary(
+                     [](const DtmSnapshot& s) { return Json(s.steps); });
+             }},
+            {"regions", [self, region_node] {
+                 return array(
+                     [self] {
+                         std::lock_guard lock(self->state_m_);
+                         return self->last_dtm_
+                                    ? self->last_dtm_->regions.size()
+                                    : std::size_t{0};
+                     },
+                     region_node);
+             }},
+        });
+    };
+
     return object({
         {"id", [self] { return fixed_leaf(Json(self->id_)); }},
         {"name", [self] { return fixed_leaf(Json(self->name_)); }},
@@ -459,6 +714,8 @@ ModelPtr Session::model() const {
          [self, counter_leaf] { return leaf(counter_leaf(self->measures_)); }},
         {"optimizes",
          [self, counter_leaf] { return leaf(counter_leaf(self->optimizes_)); }},
+        {"dtm_runs",
+         [self, counter_leaf] { return leaf(counter_leaf(self->dtm_runs_)); }},
         {"scans", [self] {
              return leaf([self] {
                  std::lock_guard lock(self->state_m_);
@@ -477,6 +734,7 @@ ModelPtr Session::model() const {
                                                 : Json(nullptr);
              });
          }},
+        {"dtm", dtm_node},
     });
 }
 

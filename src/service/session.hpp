@@ -28,10 +28,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+namespace stsense::dtm {
+class DtmFleet;
+}
 
 namespace stsense::service {
 
@@ -63,6 +68,7 @@ public:
     /// checkpoints live so a restarted server can resume them.
     Session(int id, SessionSpec spec, exec::ThreadPool* pool,
             exec::ResultCache* cache, std::string spool_dir);
+    ~Session(); // out of line: dtm::DtmFleet is forward-declared here
 
     int id() const { return id_; }
     const std::string& name() const { return name_; }
@@ -86,6 +92,14 @@ public:
     /// {"ratio_lo","ratio_hi","points","stages"} -> ranked ratio sweep
     /// (the Fig. 2 optimization axis) with the best point called out.
     Json optimize(const Json& params);
+
+    /// {"supervised","duration_s","target_c","trip_c","grid"} -> one
+    /// supervised closed-loop DTM fleet run over this session's die:
+    /// autotune (cached across repeat requests with identical params),
+    /// run, and report per-region controller/supervisor telemetry. The
+    /// fleet owns a private monitor; the session's readout ledger is
+    /// untouched. Publishes the outcome for sessions[i].dtm queries.
+    Json dtm_run(const Json& params);
 
     // ---- object model ----------------------------------------------------
 
@@ -116,6 +130,13 @@ private:
     std::mutex job_m_;
     sensor::ThermalMonitor monitor_;
 
+    /// Lazily built closed-loop DTM fleet (guarded by job_m_). Keyed by
+    /// the request params that shape it: a repeat request with the same
+    /// key reuses the tuned fleet (runs reset their own state), so only
+    /// the first call per parameter set pays the autotune solves.
+    std::unique_ptr<dtm::DtmFleet> dtm_fleet_;
+    std::string dtm_fleet_key_;
+
     /// Query-visible state, guarded by state_m_ only — object-model
     /// reads never wait on a running job.
     mutable std::mutex state_m_;
@@ -135,11 +156,40 @@ private:
     std::optional<Json> last_map_summary_;
     std::uint64_t scans_ = 0;
 
+    /// Query-visible outcome of the most recent dtm_run: strings (not
+    /// dtm enums) so the object-model leaves render without holding any
+    /// dtm type, and the header stays free of dtm includes.
+    struct DtmRegionSnapshot {
+        std::string name;
+        std::string state;
+        std::string fault;
+        double u = 0.0;
+        double true_c = 0.0;
+        double measured_c = 0.0;
+        bool has_measurement = false;
+        double trust = 0.0;
+        double peak_true_c = 0.0;
+        std::uint64_t fault_latches = 0;
+        std::uint64_t probes = 0;
+    };
+    struct DtmSnapshot {
+        bool supervised = true;
+        double die_peak_c = 0.0;
+        double settling_time_s = -1.0;
+        double max_overshoot_c = 0.0;
+        std::uint64_t fault_latches = 0;
+        std::uint64_t tune_solves = 0;
+        std::uint64_t steps = 0;
+        std::vector<DtmRegionSnapshot> regions;
+    };
+    std::optional<DtmSnapshot> last_dtm_;
+
     std::atomic<std::uint64_t> requests_{0};
     std::atomic<std::uint64_t> sweeps_{0};
     std::atomic<std::uint64_t> maps_{0};
     std::atomic<std::uint64_t> measures_{0};
     std::atomic<std::uint64_t> optimizes_{0};
+    std::atomic<std::uint64_t> dtm_runs_{0};
 };
 
 } // namespace stsense::service

@@ -75,6 +75,10 @@
 // ---- dynamic thermal management -----------------------------------------
 #include "dtm/controller.hpp"        // IWYU pragma: export
 #include "dtm/closed_loop.hpp"       // IWYU pragma: export
+#include "dtm/pid.hpp"               // IWYU pragma: export
+#include "dtm/autotune.hpp"          // IWYU pragma: export
+#include "dtm/supervisor.hpp"        // IWYU pragma: export
+#include "dtm/fleet.hpp"             // IWYU pragma: export
 
 // ---- the unified configuration facade -----------------------------------
 #include "api/runtime_options.hpp"   // IWYU pragma: export

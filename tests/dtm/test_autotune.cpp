@@ -1,0 +1,101 @@
+#include "dtm/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stsense::dtm {
+namespace {
+
+/// Synthetic FOPDT step response: y(t) = K * du * (1 - exp(-(t-L)/tau))
+/// for t >= L, 0 before, sampled on a uniform grid.
+void synth(double k_gain, double tau, double dead, double du, double dt,
+           int n, std::vector<double>& times, std::vector<double>& temps) {
+    times.clear();
+    temps.clear();
+    for (int i = 0; i < n; ++i) {
+        const double t = i * dt;
+        times.push_back(t);
+        const double y =
+            t < dead ? 0.0
+                     : k_gain * du * (1.0 - std::exp(-(t - dead) / tau));
+        temps.push_back(50.0 + y);
+    }
+}
+
+TEST(DtmAutotune, RecoversKnownFopdtParameters) {
+    std::vector<double> times, temps;
+    synth(-40.0, 0.05, 0.01, -0.5, 0.005, 300, times, temps);
+    const FopdtModel m = fit_fopdt(times, temps, -0.5);
+    ASSERT_TRUE(m.valid);
+    EXPECT_NEAR(m.gain_c, -40.0, 1.0);
+    EXPECT_NEAR(m.tau_s, 0.05, 0.01);
+    EXPECT_NEAR(m.dead_time_s, 0.01, 0.01);
+}
+
+TEST(DtmAutotune, RecoversZeroDeadTime) {
+    std::vector<double> times, temps;
+    synth(30.0, 0.2, 0.0, 1.0, 0.01, 400, times, temps);
+    const FopdtModel m = fit_fopdt(times, temps, 1.0);
+    ASSERT_TRUE(m.valid);
+    EXPECT_NEAR(m.gain_c, 30.0, 1.0);
+    EXPECT_NEAR(m.tau_s, 0.2, 0.03);
+    EXPECT_NEAR(m.dead_time_s, 0.0, 0.02);
+}
+
+TEST(DtmAutotune, RejectsTooShortSeries) {
+    const std::vector<double> times{0.0, 0.1, 0.2};
+    const std::vector<double> temps{50.0, 52.0, 53.0};
+    EXPECT_FALSE(fit_fopdt(times, temps, 1.0).valid);
+}
+
+TEST(DtmAutotune, RejectsFlatResponse) {
+    std::vector<double> times, temps;
+    synth(0.1, 0.05, 0.0, 1.0, 0.005, 200, times, temps); // 0.1 degC net
+    EXPECT_FALSE(fit_fopdt(times, temps, 1.0, 0.5).valid);
+}
+
+TEST(DtmAutotune, RejectsNonFiniteSamples) {
+    std::vector<double> times, temps;
+    synth(30.0, 0.1, 0.0, 1.0, 0.005, 200, times, temps);
+    temps[50] = std::nan("");
+    EXPECT_FALSE(fit_fopdt(times, temps, 1.0).valid);
+}
+
+TEST(DtmAutotune, SimcGainsMatchFormula) {
+    FopdtModel m;
+    m.gain_c = 50.0;
+    m.tau_s = 0.05;
+    m.dead_time_s = 0.01;
+    m.valid = true;
+    const PidGains g = simc_gains(m, 0.06, 0.02);
+    // L_eff = max(L, sample_dt) = 0.02; Kc = tau / (|K| (tau_c + L_eff))
+    const double kc = 0.05 / (50.0 * (0.06 + 0.02));
+    const double ti = std::min(0.05, 4.0 * (0.06 + 0.02));
+    EXPECT_NEAR(g.kp, kc, 1e-12);
+    EXPECT_NEAR(g.ki, kc / ti, 1e-12);
+    EXPECT_DOUBLE_EQ(g.kd, 0.0);
+}
+
+TEST(DtmAutotune, SimcGainsZeroForInvalidModel) {
+    const PidGains g = simc_gains(FopdtModel{}, 0.06, 0.02);
+    EXPECT_DOUBLE_EQ(g.kp, 0.0);
+    EXPECT_DOUBLE_EQ(g.ki, 0.0);
+    EXPECT_DOUBLE_EQ(g.kd, 0.0);
+}
+
+TEST(DtmAutotune, GainSignFollowsProcess) {
+    // The fleet identifies with a throttle *dip* (du < 0) that cools the
+    // die (dy < 0): the fitted gain dy/du must come out positive, which
+    // is what lets the same PID convention (more output = more heat)
+    // serve every region.
+    std::vector<double> times, temps;
+    synth(40.0, 0.05, 0.0, -0.5, 0.005, 300, times, temps);
+    const FopdtModel m = fit_fopdt(times, temps, -0.5);
+    ASSERT_TRUE(m.valid);
+    EXPECT_NEAR(m.gain_c, 40.0, 1.0);
+}
+
+} // namespace
+} // namespace stsense::dtm

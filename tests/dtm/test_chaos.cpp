@@ -1,0 +1,247 @@
+// DtmChaos — every fault-injector rung against the supervised fleet.
+//
+// The contract under test (the ISSUE's chaos invariant):
+//   * every seeded fault scenario latches FaultedSafe on the affected
+//     region, deterministically, with the expected fault kind;
+//   * no region's true grid temperature ever exceeds trip + 5 degC
+//     while supervised;
+//   * unsupervised fleets never latch (supervision is the only actor);
+//   * recovery probes ride the exponential backoff against persistent
+//     faults.
+//
+// Each scenario gets a freshly constructed fleet: the monitor's
+// site-health ladder is stateful across runs, and chaos verdicts must
+// not depend on what a previous scenario did to the ledger.
+#include "dtm/fleet.hpp"
+
+#include "exec/fault_injector.hpp"
+#include "phys/technology.hpp"
+#include "ring/config.hpp"
+#include "thermal/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace stsense::dtm {
+namespace {
+
+constexpr double kEnvelopeMargin = 5.0;
+constexpr std::uint64_t kSeed = 99;
+
+DtmFleet make_fleet(bool supervised) {
+    const auto fp = thermal::demo_floorplan();
+    const auto layout = fleet_layout_from_floorplan(fp);
+    sensor::MonitorConfig mc;
+    mc.grid_nx = 24;
+    mc.grid_ny = 24;
+    mc.enable_health = true;
+    return DtmFleet(phys::cmos350(),
+                    ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.75),
+                    fp, layout.regions, layout.sites, mc,
+                    ControlOptions().duration(1.5).supervised(supervised));
+}
+
+FleetResult run_with(DtmFleet& fleet, const exec::FaultInjector::Config& cfg) {
+    fleet.tune(); // outside the scope: identification is injector-free
+    exec::FaultInjector inj(cfg);
+    exec::FaultInjector::Scope scope(inj);
+    return fleet.run();
+}
+
+/// First step index whose recorded state is FaultedSafe; -1 if never.
+int detect_step(const FleetResult& res, std::size_t region) {
+    for (std::size_t k = 0; k < res.steps.size(); ++k) {
+        if (res.steps[k].state[region] == ControlState::FaultedSafe) {
+            return static_cast<int>(k);
+        }
+    }
+    return -1;
+}
+
+void expect_envelope(const FleetResult& res, const ControlOptions& opts) {
+    for (const auto& rt : res.regions) {
+        EXPECT_LT(rt.peak_true_c, opts.trip_c() + kEnvelopeMargin) << rt.name;
+    }
+}
+
+TEST(DtmChaos, DeadRegionLandsFaultedSafeWithinFaultAfterSteps) {
+    auto fleet = make_fleet(true);
+    exec::FaultInjector::Config cfg;
+    cfg.seed = kSeed;
+    cfg.p_region_kill = 1.0;
+    cfg.only_units = {0};
+    const auto res = run_with(fleet, cfg);
+
+    // Deterministic latch: suspect_after=2, fault_after=4 means the 4th
+    // control step's observation latches — not one step sooner or later.
+    const int n = fleet.options().supervisor_config().fault_after;
+    ASSERT_EQ(detect_step(res, 0), n - 1);
+    EXPECT_EQ(res.steps[n - 2].state[0], ControlState::Suspect);
+    EXPECT_EQ(res.regions[0].last_fault, ControlFault::SensorLoss);
+    EXPECT_EQ(res.regions[0].state, ControlState::FaultedSafe);
+
+    // From the next step on the region is pinned at the throttle floor.
+    EXPECT_DOUBLE_EQ(res.steps[n].u[0], fleet.options().throttle_floor_u());
+
+    // Untouched regions never leave Active.
+    for (std::size_t r = 1; r < fleet.region_count(); ++r) {
+        EXPECT_EQ(res.regions[r].state, ControlState::Active);
+        EXPECT_EQ(res.regions[r].supervisor.fault_latches, 0u);
+    }
+    expect_envelope(res, fleet.options());
+}
+
+TEST(DtmChaos, DeadRegionVerdictIsSeedIndependent) {
+    // p = 1 rungs are keyed by region index, not by seed or epoch: any
+    // seed produces the identical latch step.
+    for (std::uint64_t seed : {1ull, 42ull, 31337ull}) {
+        auto fleet = make_fleet(true);
+        exec::FaultInjector::Config cfg;
+        cfg.seed = seed;
+        cfg.p_region_kill = 1.0;
+        cfg.only_units = {0};
+        const auto res = run_with(fleet, cfg);
+        EXPECT_EQ(detect_step(res, 0),
+                  fleet.options().supervisor_config().fault_after - 1)
+            << "seed " << seed;
+    }
+}
+
+TEST(DtmChaos, StuckActuatorLatchesAndEnvelopeHolds) {
+    auto fleet = make_fleet(true);
+    exec::FaultInjector::Config cfg;
+    cfg.seed = kSeed;
+    cfg.p_actuator_stuck = 1.0;
+    cfg.stuck_factor = 0.9; // stuck hot, but inside actuation authority
+    cfg.only_units = {0};
+    const auto res = run_with(fleet, cfg);
+    EXPECT_EQ(res.regions[0].last_fault, ControlFault::StuckActuator);
+    EXPECT_EQ(res.regions[0].state, ControlState::FaultedSafe);
+    // The achieved throttle ignores every command.
+    for (const auto& s : res.steps) {
+        EXPECT_DOUBLE_EQ(s.u_achieved[0], 0.9);
+    }
+    expect_envelope(res, fleet.options());
+}
+
+TEST(DtmChaos, StuckActuatorDeratesNeighbors) {
+    auto fleet = make_fleet(true);
+    exec::FaultInjector::Config cfg;
+    cfg.seed = kSeed;
+    cfg.p_actuator_stuck = 1.0;
+    cfg.stuck_factor = 0.9;
+    cfg.only_units = {0};
+    const auto res = run_with(fleet, cfg);
+    const int latch = detect_step(res, 0);
+    ASSERT_GE(latch, 0);
+    // After the latch every adjacent healthy region is capped at the
+    // derate level (core is adjacent to fpu and l2cache in the demo
+    // floorplan) — except during a recovery probe, when the region
+    // briefly re-enters Suspect and the cap lifts for that one step
+    // before the re-latch restores it.
+    const double cap = fleet.options().neighbor_derate_cap();
+    std::size_t capped = 0;
+    std::size_t uncapped = 0;
+    for (std::size_t k = latch + 1; k < res.steps.size(); ++k) {
+        if (res.steps[k].u[1] <= cap + 1e-12) {
+            ++capped;
+        } else {
+            ++uncapped;
+        }
+    }
+    EXPECT_LE(uncapped, res.regions[0].supervisor.probes);
+    EXPECT_GT(capped, uncapped) << "derate must hold outside probe windows";
+}
+
+TEST(DtmChaos, ColdDriftIsCaughtByModelEnvelope) {
+    auto fleet = make_fleet(true);
+    exec::FaultInjector::Config cfg;
+    cfg.seed = kSeed;
+    cfg.p_drift_site = 1.0;
+    cfg.drift_offset_c = -25.0;
+    cfg.only_units = {0}; // ring 0 = core's region sensor
+    const auto res = run_with(fleet, cfg);
+    // A plausible-but-wrong reading sails through the readout's checks;
+    // the model-envelope detector is what latches it.
+    EXPECT_EQ(res.regions[0].last_fault, ControlFault::Excursion);
+    EXPECT_EQ(res.regions[0].state, ControlState::FaultedSafe);
+    expect_envelope(res, fleet.options());
+}
+
+TEST(DtmChaos, StuckOscillatorIsSensorLoss) {
+    auto fleet = make_fleet(true);
+    exec::FaultInjector::Config cfg;
+    cfg.seed = kSeed;
+    cfg.p_stuck_osc = 1.0;
+    cfg.only_units = {0};
+    const auto res = run_with(fleet, cfg);
+    EXPECT_EQ(res.regions[0].last_fault, ControlFault::SensorLoss);
+    EXPECT_EQ(res.regions[0].state, ControlState::FaultedSafe);
+    expect_envelope(res, fleet.options());
+}
+
+TEST(DtmChaos, NanReadingsAreSensorLoss) {
+    auto fleet = make_fleet(true);
+    exec::FaultInjector::Config cfg;
+    cfg.seed = kSeed;
+    cfg.p_drift_site = 1.0;
+    cfg.drift_offset_c = std::numeric_limits<double>::quiet_NaN();
+    cfg.only_units = {0};
+    const auto res = run_with(fleet, cfg);
+    EXPECT_EQ(res.regions[0].last_fault, ControlFault::SensorLoss);
+    EXPECT_EQ(res.regions[0].state, ControlState::FaultedSafe);
+    expect_envelope(res, fleet.options());
+}
+
+TEST(DtmChaos, OnlyUnitsScopesTheBlastRadius) {
+    auto fleet = make_fleet(true);
+    exec::FaultInjector::Config cfg;
+    cfg.seed = kSeed;
+    cfg.p_region_kill = 1.0;
+    cfg.only_units = {2}; // l2cache only
+    const auto res = run_with(fleet, cfg);
+    EXPECT_EQ(res.regions[2].state, ControlState::FaultedSafe);
+    EXPECT_EQ(res.regions[0].state, ControlState::Active);
+    EXPECT_EQ(res.regions[0].supervisor.fault_latches, 0u);
+}
+
+TEST(DtmChaos, UnsupervisedFleetNeverLatches) {
+    auto fleet = make_fleet(false);
+    exec::FaultInjector::Config cfg;
+    cfg.seed = kSeed;
+    cfg.p_region_kill = 1.0;
+    cfg.only_units = {0};
+    const auto res = run_with(fleet, cfg);
+    EXPECT_EQ(res.fault_latches, 0u);
+    for (const auto& s : res.steps) {
+        EXPECT_EQ(s.state[0], ControlState::Active);
+    }
+    // The model predictor still carries the loop: the region is not
+    // melted, just unsupervised (trust collapses to the model).
+    EXPECT_LT(res.die_peak_c,
+              fleet.options().trip_c() + kEnvelopeMargin);
+}
+
+TEST(DtmChaos, PersistentFaultProbesOnExponentialBackoff) {
+    auto fleet = make_fleet(true);
+    exec::FaultInjector::Config cfg;
+    cfg.seed = kSeed;
+    cfg.p_region_kill = 1.0;
+    cfg.only_units = {0};
+    const auto res = run_with(fleet, cfg);
+    const auto& sup = res.regions[0].supervisor;
+    // 1.5 s / 20 ms = 75 steps: latch at 4, probe at +16, re-latch,
+    // probe at +32, re-latch — at least two probes and three latches.
+    EXPECT_GE(sup.probes, 2u);
+    EXPECT_GE(sup.fault_latches, 3u);
+    // The backoff grew past the base (doubled on re-latch).
+    EXPECT_GT(sup.backoff_steps,
+              fleet.options().supervisor_config().backoff_base_steps);
+    // Every probe failed: the region ends FaultedSafe.
+    EXPECT_EQ(res.regions[0].state, ControlState::FaultedSafe);
+}
+
+} // namespace
+} // namespace stsense::dtm

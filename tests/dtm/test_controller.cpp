@@ -22,6 +22,14 @@ TEST(ThrottlePolicy, Validation) {
     EXPECT_THROW(validate(policy(110.0, 100.0, 1.5)), std::invalid_argument);
 }
 
+TEST(ThrottlePolicy, TryValidateReportsOutOfRange) {
+    EXPECT_TRUE(try_validate(policy()).ok());
+    const auto bad = try_validate(policy(100.0, 110.0));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().kind, ErrorKind::OutOfRange);
+    EXPECT_NE(bad.error().message.find("release_c"), std::string::npos);
+}
+
 TEST(ThrottleController, StartsAtFullSpeed) {
     ThrottleController c(policy());
     EXPECT_FALSE(c.throttled());

@@ -1,0 +1,104 @@
+#include "dtm/pid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::dtm {
+namespace {
+
+PidConfig config(double kp, double ki, double kd = 0.0) {
+    PidConfig c;
+    c.gains = {kp, ki, kd};
+    c.out_min = 0.0;
+    c.out_max = 1.0;
+    return c;
+}
+
+TEST(DtmPid, ProportionalOnlyTracksError) {
+    PidController pid(config(0.01, 0.0));
+    // error = 10 -> kp * 10 = 0.1
+    EXPECT_NEAR(pid.update(100.0, 90.0, 0.02), 0.1, 1e-12);
+    // Negative error clamps at out_min.
+    EXPECT_DOUBLE_EQ(pid.update(100.0, 200.0, 0.02), 0.0);
+}
+
+TEST(DtmPid, OutputClampsToConfiguredRange) {
+    PidController pid(config(1.0, 0.0));
+    EXPECT_DOUBLE_EQ(pid.update(100.0, 0.0, 0.02), 1.0);
+    EXPECT_DOUBLE_EQ(pid.update(100.0, 500.0, 0.02), 0.0);
+}
+
+TEST(DtmPid, IntegratorAccumulatesInsideBand) {
+    PidController pid(config(0.0, 0.1));
+    pid.update(10.0, 9.0, 1.0); // integral = 1 (applied next step)
+    pid.update(10.0, 9.0, 1.0); // integral = 2, output uses integral = 1
+    EXPECT_NEAR(pid.integral(), 2.0, 1e-12);
+    EXPECT_NEAR(pid.last_output(), 0.1, 1e-12);
+}
+
+TEST(DtmPid, AntiWindupFreezesIntegratorWhenSaturatedDeeper) {
+    PidController pid(config(0.0, 0.5));
+    // Build the integral inside the band...
+    for (int i = 0; i < 3; ++i) pid.update(10.0, 9.0, 1.0);
+    EXPECT_DOUBLE_EQ(pid.integral(), 3.0);
+    // ...until the output saturates high with the error still positive:
+    // integrating deeper is forbidden.
+    pid.update(10.0, 9.0, 1.0);
+    EXPECT_DOUBLE_EQ(pid.integral(), 3.0);
+    EXPECT_DOUBLE_EQ(pid.last_output(), 1.0);
+    // Error flips sign while still pegged high: unwinding is allowed.
+    pid.update(10.0, 11.0, 1.0);
+    EXPECT_DOUBLE_EQ(pid.integral(), 2.0);
+}
+
+TEST(DtmPid, DerivativeOnMeasurementOpposesRise) {
+    PidConfig c = config(0.0, 0.0, 0.01);
+    c.out_min = -1.0;
+    PidController with_d(c);
+    with_d.update(100.0, 50.0, 1.0); // primes the filter, no derivative yet
+    const double out = with_d.update(100.0, 60.0, 1.0);
+    // Measurement rising at 10 degC/s -> the derivative term (on the
+    // measurement, not the error) pushes the output down.
+    EXPECT_NEAR(out, -0.1, 1e-12);
+}
+
+TEST(DtmPid, PresetOutputIsBumpless) {
+    PidController pid(config(0.2, 0.05));
+    pid.preset_output(0.4, 1.0);
+    // First update with the same error reproduces the preset output
+    // (modulo the one-step integral increment).
+    const double out = pid.update(10.0, 9.0, 1e-9);
+    EXPECT_NEAR(out, 0.4, 1e-6);
+}
+
+TEST(DtmPid, FeedforwardAddsThrough) {
+    PidController pid(config(0.0, 0.0));
+    EXPECT_DOUBLE_EQ(pid.update(10.0, 10.0, 0.02, 0.65), 0.65);
+}
+
+TEST(DtmPid, ResetClearsState) {
+    PidController pid(config(0.1, 0.1));
+    pid.update(10.0, 0.0, 1.0);
+    pid.reset();
+    EXPECT_DOUBLE_EQ(pid.integral(), 0.0);
+    EXPECT_DOUBLE_EQ(pid.last_output(), 0.0);
+}
+
+TEST(DtmPid, RegulatesFirstOrderPlantToSetpoint) {
+    // Plant: tau = 0.5 s, gain 50 degC per unit input, ambient 45.
+    PidConfig c = config(0.02, 0.2);
+    PidController pid(c);
+    double temp = 45.0;
+    const double dt = 0.02;
+    double u = 1.0;
+    for (int k = 0; k < 2000; ++k) {
+        u = pid.update(80.0, temp, dt);
+        const double t_ss = 45.0 + 50.0 * u;
+        temp += (dt / 0.5) * (t_ss - temp);
+    }
+    EXPECT_NEAR(temp, 80.0, 0.5);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+}
+
+} // namespace
+} // namespace stsense::dtm

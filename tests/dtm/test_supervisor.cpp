@@ -1,0 +1,204 @@
+#include "dtm/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stsense::dtm {
+namespace {
+
+SupervisorConfig tight() {
+    SupervisorConfig c;
+    c.suspect_after = 2;
+    c.fault_after = 4;
+    c.recover_after = 3;
+    c.arm_after_steps = 5;
+    c.backoff_base_steps = 4;
+    c.backoff_max_steps = 16;
+    return c;
+}
+
+Observation clean() {
+    Observation o;
+    o.u_commanded = 0.7;
+    o.u_achieved = 0.7;
+    o.measured_c = 95.0;
+    o.predicted_c = 95.0;
+    o.predicted_prev_c = 95.0;
+    o.reading_valid = true;
+    o.trust = 1.0;
+    return o;
+}
+
+Observation lost() {
+    Observation o = clean();
+    o.reading_valid = false;
+    o.trust = 0.0;
+    return o;
+}
+
+ControllerSupervisor active(SupervisorConfig c = tight()) {
+    ControllerSupervisor s(c);
+    s.mark_tuned();
+    return s;
+}
+
+TEST(DtmSupervisor, StartsTuningThenActive) {
+    ControllerSupervisor s(tight());
+    EXPECT_EQ(s.state(), ControlState::Tuning);
+    s.mark_tuned();
+    EXPECT_EQ(s.state(), ControlState::Active);
+    EXPECT_EQ(s.last_fault(), ControlFault::None);
+}
+
+TEST(DtmSupervisor, TuneFailureLatchesImmediately) {
+    ControllerSupervisor s(tight());
+    s.mark_tune_failed();
+    EXPECT_EQ(s.state(), ControlState::FaultedSafe);
+    EXPECT_EQ(s.last_fault(), ControlFault::TuneFailed);
+}
+
+TEST(DtmSupervisor, CleanRunStaysActive) {
+    auto s = active();
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(s.observe(clean()), ControlState::Active);
+    EXPECT_EQ(s.record().fault_latches, 0u);
+    EXPECT_EQ(s.record().transitions, 1u); // Tuning -> Active only.
+}
+
+TEST(DtmSupervisor, SensorLossLatchesInFaultAfterSteps) {
+    auto s = active();
+    // suspect_after = 2, fault_after = 4: Suspect on the 2nd strike,
+    // FaultedSafe on the 4th — armed from step one (no arming delay).
+    EXPECT_EQ(s.observe(lost()), ControlState::Active);
+    EXPECT_EQ(s.observe(lost()), ControlState::Suspect);
+    EXPECT_EQ(s.observe(lost()), ControlState::Suspect);
+    EXPECT_EQ(s.observe(lost()), ControlState::FaultedSafe);
+    EXPECT_EQ(s.last_fault(), ControlFault::SensorLoss);
+}
+
+TEST(DtmSupervisor, LowTrustIsSensorLoss) {
+    auto s = active();
+    Observation o = clean();
+    o.trust = 0.2; // at/below trust_floor = 0.25
+    for (int i = 0; i < 4; ++i) s.observe(o);
+    EXPECT_EQ(s.state(), ControlState::FaultedSafe);
+    EXPECT_EQ(s.last_fault(), ControlFault::SensorLoss);
+}
+
+TEST(DtmSupervisor, StuckActuatorLatches) {
+    auto s = active();
+    Observation o = clean();
+    o.u_commanded = 0.3;
+    o.u_achieved = 0.9;
+    for (int i = 0; i < 4; ++i) s.observe(o);
+    EXPECT_EQ(s.state(), ControlState::FaultedSafe);
+    EXPECT_EQ(s.last_fault(), ControlFault::StuckActuator);
+}
+
+TEST(DtmSupervisor, ExcursionWaitsForArming) {
+    auto s = active();
+    Observation o = clean();
+    o.measured_c = 120.0; // 25 degC outside the envelope
+    // Steps 1..5 are inside the arming window: no strikes.
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(s.observe(o), ControlState::Active);
+    // Armed now: 4 more strikes latch.
+    s.observe(o);
+    s.observe(o);
+    s.observe(o);
+    EXPECT_EQ(s.observe(o), ControlState::FaultedSafe);
+    EXPECT_EQ(s.last_fault(), ControlFault::Excursion);
+}
+
+TEST(DtmSupervisor, NotRespondingNeedsPredictedMovement) {
+    auto s = active();
+    // Warm past arming with steady cleans.
+    for (int i = 0; i < 6; ++i) s.observe(clean());
+    // Model predicts a 2 degC/step climb, sensor never moves.
+    Observation o = clean();
+    double pred = 95.0;
+    for (int i = 0; i < 4; ++i) {
+        o.predicted_prev_c = pred;
+        pred += 2.0;
+        o.predicted_c = pred;
+        o.measured_c = 95.0;
+        s.observe(o);
+    }
+    EXPECT_EQ(s.state(), ControlState::FaultedSafe);
+    EXPECT_EQ(s.last_fault(), ControlFault::NotResponding);
+}
+
+TEST(DtmSupervisor, SensorLossOutranksStuckOnSimultaneousLatch) {
+    auto s = active();
+    Observation o = lost();
+    o.u_commanded = 0.3;
+    o.u_achieved = 0.9;
+    for (int i = 0; i < 4; ++i) s.observe(o);
+    EXPECT_EQ(s.state(), ControlState::FaultedSafe);
+    EXPECT_EQ(s.last_fault(), ControlFault::SensorLoss);
+}
+
+TEST(DtmSupervisor, SuspectRecoversAfterCleanStreak) {
+    auto s = active();
+    s.observe(lost());
+    s.observe(lost());
+    EXPECT_EQ(s.state(), ControlState::Suspect);
+    // recover_after = 3 clean steps climb back to Active.
+    s.observe(clean());
+    s.observe(clean());
+    EXPECT_EQ(s.state(), ControlState::Suspect);
+    EXPECT_EQ(s.observe(clean()), ControlState::Active);
+}
+
+TEST(DtmSupervisor, ProbeAfterBackoffThenRecovery) {
+    auto s = active();
+    for (int i = 0; i < 4; ++i) s.observe(lost());
+    ASSERT_EQ(s.state(), ControlState::FaultedSafe);
+    EXPECT_FALSE(s.should_probe());
+    // Wait out the backoff (base = 4 steps) in safe state.
+    for (int i = 0; i < 4; ++i) s.observe(clean());
+    ASSERT_TRUE(s.should_probe());
+    s.begin_probe();
+    EXPECT_EQ(s.state(), ControlState::Suspect);
+    // Clean probation: back to Active, backoff reset.
+    s.observe(clean());
+    s.observe(clean());
+    s.observe(clean());
+    EXPECT_EQ(s.state(), ControlState::Active);
+    EXPECT_EQ(s.record().backoff_steps, 0);
+    EXPECT_EQ(s.record().probes, 1u);
+}
+
+TEST(DtmSupervisor, ProbeRestrikeRelatchesImmediatelyAndDoublesBackoff) {
+    auto s = active();
+    for (int i = 0; i < 4; ++i) s.observe(lost());
+    const int b0 = s.record().backoff_steps;
+    for (int i = 0; i < b0; ++i) s.observe(lost());
+    ASSERT_TRUE(s.should_probe());
+    s.begin_probe();
+    // The fault persists: a single strike during probation re-latches —
+    // no second streak's grace for a known-bad region.
+    EXPECT_EQ(s.observe(lost()), ControlState::FaultedSafe);
+    EXPECT_EQ(s.record().backoff_steps, 2 * b0);
+    EXPECT_EQ(s.record().fault_latches, 2u);
+}
+
+TEST(DtmSupervisor, BackoffSaturatesAtCeiling) {
+    auto s = active();
+    for (int round = 0; round < 6; ++round) {
+        while (s.state() != ControlState::FaultedSafe) s.observe(lost());
+        while (!s.should_probe()) s.observe(lost());
+        s.begin_probe();
+        s.observe(lost()); // immediate re-latch
+    }
+    EXPECT_EQ(s.record().backoff_steps, tight().backoff_max_steps);
+}
+
+TEST(DtmSupervisor, FaultedSafeAccountsTime) {
+    auto s = active();
+    for (int i = 0; i < 4; ++i) s.observe(lost());
+    const auto before = s.record().steps_in_safe;
+    s.observe(clean());
+    s.observe(clean());
+    EXPECT_EQ(s.record().steps_in_safe, before + 2);
+}
+
+} // namespace
+} // namespace stsense::dtm

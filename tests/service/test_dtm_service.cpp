@@ -1,0 +1,185 @@
+// dtm_run through the full service stack: dispatch, the session's
+// cached fleet, the published snapshot, and the object-model subtree at
+// state.sessions[i].dtm. Small grids and short runs keep this inside
+// the sanitizer matrix budget.
+#include "service/server.hpp"
+
+#include "service/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stsense::service {
+namespace {
+
+SessionSpec small_session(const std::string& name) {
+    SessionSpec spec;
+    spec.name = name;
+    spec.monitor.grid_nx = 12;
+    spec.monitor.grid_ny = 12;
+    spec.sites_nx = 2;
+    spec.sites_ny = 2;
+    return spec;
+}
+
+/// Minimal request/response client over the loopback transport.
+class Client {
+public:
+    explicit Client(std::shared_ptr<Connection> conn)
+        : conn_(std::move(conn)) {}
+
+    Json call(std::int64_t id, const std::string& method,
+              Json params = Json::object()) {
+        Json req = Json::object();
+        req.set("id", id);
+        req.set("method", method);
+        req.set("params", std::move(params));
+        EXPECT_TRUE(conn_->write_line(req.dump()));
+        std::string line;
+        while (conn_->read_line(line)) {
+            auto parsed = Json::parse(line);
+            if (!parsed.value) {
+                ADD_FAILURE() << "unparseable line from server: " << line;
+                return Json();
+            }
+            if (parsed.value->contains("event")) continue;
+            if (parsed.value->at("id").as_int64() == id) return *parsed.value;
+        }
+        ADD_FAILURE() << "stream closed while waiting for id " << id;
+        return Json();
+    }
+
+    std::shared_ptr<Connection> conn_;
+};
+
+Json dtm_params(double duration_s = 0.4, int grid = 12) {
+    Json p = Json::object();
+    p.set("session", 0);
+    p.set("duration_s", duration_s);
+    p.set("grid", grid);
+    return p;
+}
+
+Json query(Client& client, std::int64_t id, const std::string& path) {
+    Json p = Json::object();
+    p.set("path", path);
+    return client.call(id, "query", std::move(p));
+}
+
+TEST(DtmService, RunReportsRegulatedRegions) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server server(cfg, {small_session("die-a")});
+    LoopbackTransport loopback;
+    server.start(loopback);
+    Client client(loopback.connect());
+
+    const Json r = client.call(1, "dtm_run", dtm_params());
+    ASSERT_TRUE(r.at("ok").as_bool()) << r.dump();
+    const Json& res = r.at("result");
+    EXPECT_TRUE(res.at("supervised").as_bool());
+    EXPECT_EQ(res.at("fault_latches").as_int64(), 0);
+    EXPECT_LT(res.at("die_peak_c").as_double(), res.at("trip_c").as_double());
+    ASSERT_EQ(res.at("regions").size(), 4u); // demo floorplan blocks
+    for (std::size_t i = 0; i < res.at("regions").size(); ++i) {
+        const Json& region = res.at("regions").at(i);
+        EXPECT_EQ(region.at("state").as_string(), "active")
+            << region.at("name").as_string();
+        EXPECT_EQ(region.at("fault").as_string(), "none");
+        EXPECT_TRUE(region.at("model").at("valid").as_bool());
+        EXPECT_GT(region.at("gains").at("kp").as_double(), 0.0);
+    }
+    server.request_shutdown();
+    server.wait();
+}
+
+TEST(DtmService, RepeatRunReusesTunedFleetDeterministically) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server server(cfg, {small_session("die-a")});
+    LoopbackTransport loopback;
+    server.start(loopback);
+    Client client(loopback.connect());
+
+    const Json a = client.call(1, "dtm_run", dtm_params());
+    const Json b = client.call(2, "dtm_run", dtm_params());
+    ASSERT_TRUE(a.at("ok").as_bool()) << a.dump();
+    ASSERT_TRUE(b.at("ok").as_bool()) << b.dump();
+    // The cached fleet is reset per run: bitwise-identical outcomes.
+    EXPECT_EQ(a.at("result").at("die_peak_c").as_double(),
+              b.at("result").at("die_peak_c").as_double());
+    EXPECT_EQ(a.at("result").at("settling_time_s").as_double(),
+              b.at("result").at("settling_time_s").as_double());
+    EXPECT_EQ(a.at("result").at("tune_solves").as_int64(),
+              b.at("result").at("tune_solves").as_int64());
+    server.request_shutdown();
+    server.wait();
+}
+
+TEST(DtmService, ObjectModelExposesSupervisorState) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server server(cfg, {small_session("die-a")});
+    LoopbackTransport loopback;
+    server.start(loopback);
+    Client client(loopback.connect());
+
+    // Before any run: zero runs, empty regions, null summary leaves.
+    Json q = query(client, 1, "sessions[0].dtm");
+    ASSERT_TRUE(q.at("ok").as_bool()) << q.dump();
+    EXPECT_EQ(q.at("result").at("value").at("runs").as_int64(), 0);
+    EXPECT_EQ(q.at("result").at("value").at("regions").size(), 0u);
+    EXPECT_TRUE(q.at("result").at("value").at("die_peak_c").is_null());
+
+    ASSERT_TRUE(client.call(2, "dtm_run", dtm_params()).at("ok").as_bool());
+
+    q = query(client, 3, "sessions[0].dtm");
+    ASSERT_TRUE(q.at("ok").as_bool()) << q.dump();
+    const Json& value = q.at("result").at("value");
+    EXPECT_EQ(value.at("runs").as_int64(), 1);
+    EXPECT_EQ(value.at("fault_latches").as_int64(), 0);
+    ASSERT_EQ(value.at("regions").size(), 4u);
+
+    // Addressing one leaf touches exactly that region's snapshot.
+    q = query(client, 4, "sessions[0].dtm.regions[0].state");
+    ASSERT_TRUE(q.at("ok").as_bool()) << q.dump();
+    EXPECT_EQ(q.at("result").at("value").as_string(), "active");
+
+    q = query(client, 5, "sessions[0].dtm_runs");
+    ASSERT_TRUE(q.at("ok").as_bool()) << q.dump();
+    EXPECT_EQ(q.at("result").at("value").as_int64(), 1);
+    server.request_shutdown();
+    server.wait();
+}
+
+TEST(DtmService, BadControlParamsAreRejected) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server server(cfg, {small_session("die-a")});
+    LoopbackTransport loopback;
+    server.start(loopback);
+    Client client(loopback.connect());
+
+    // target above trip fails the fleet's own validation, surfaced as
+    // bad-params — not a crash, not a 500.
+    Json p = dtm_params();
+    p.set("target_c", 120.0);
+    p.set("trip_c", 110.0);
+    Json r = client.call(1, "dtm_run", p);
+    ASSERT_FALSE(r.at("ok").as_bool());
+    EXPECT_EQ(r.at("error").at("code").as_string(), "bad-params");
+
+    Json zero = dtm_params();
+    zero.set("duration_s", 0.0);
+    r = client.call(2, "dtm_run", zero);
+    ASSERT_FALSE(r.at("ok").as_bool());
+    EXPECT_EQ(r.at("error").at("code").as_string(), "bad-params");
+    server.request_shutdown();
+    server.wait();
+}
+
+} // namespace
+} // namespace stsense::service
