@@ -1,15 +1,29 @@
 // PERF — the fast transient kernel on the paper's heaviest workload:
 // the Fig. 2 ratio family simulated point by point with the SPICE
-// engine, seed kernel (fixed-step full Newton) vs fast kernel (LU
-// reuse + device bypass + adaptive stepping + settled-period early
-// exit). Single-threaded by design: the speedup measured here is
-// algorithmic, not parallel, and composes with the PR 1 pool.
+// engine. The ablation ladder stacks the kernel features one at a time
+// on top of the PR 3 fast kernel (device bypass + early exit over a
+// dense per-iteration LU):
 //
-// Accuracy is gated, not assumed: every point's period must agree with
-// the seed kernel within 0.05 % and the per-ratio non-linearity error
-// curves within 0.01 percentage points. `--quick 1` runs a reduced grid
-// (the tier-1 perf-smoke stage) with a 1.5x speedup gate; the full run
-// gates at 2x and writes BENCH_transient.json.
+//   seed     fixed-step full Newton, every device evaluated, dense LU
+//   pr3      + 0.5 mV device bypass + settled-period early exit
+//   soa      + batched SoA device evaluation (scalar lane kernel)
+//   simd     + runtime-dispatched AVX2 lane kernel (bitwise == soa)
+//   banded   + bordered-band LU on the ring's MNA pattern
+//   reuse    + contraction-gated modified Newton (LU reuse)
+//   lockstep + lock-step multi-point driver (try_simulate_batch)
+//
+// The ladder's last rung is exactly SpiceRingOptions::fast(). Accuracy
+// is gated, not assumed: the pr3 rung must agree with the seed kernel
+// within the legacy 0.05 % / 0.01 pp gates, and every later rung within
+// 0.00005 % / 0.00005 pp — i.e. 0.0000 at the Fig. 2 reporting
+// precision. The scalar and SIMD rungs must agree bitwise.
+//
+// Walls are the minimum over --repeat runs (default 3 full / 1 quick) —
+// the grid is small enough that scheduler noise otherwise dominates.
+// Single-threaded by design: the speedup measured here is algorithmic,
+// not parallel, and composes with the PR 1 pool. `--quick 1` runs a
+// reduced grid (the tier-1 perf-smoke stage) with a 2x speedup gate;
+// the full run gates at 3x and writes BENCH_transient.json.
 #include "bench_common.hpp"
 
 #include "analysis/nonlinearity.hpp"
@@ -18,10 +32,12 @@
 #include "ring/spice_ring.hpp"
 #include "sensor/presets.hpp"
 #include "util/cli.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -36,23 +52,79 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
         .count();
 }
 
-struct PassResult {
-    double wall_s = 0.0;
-    /// periods[ratio][temp] in seconds.
+/// Kernel-counter snapshot (cumulative registry values).
+struct Counters {
+    std::uint64_t refactors = 0;
+    std::uint64_t reuses = 0;
+    std::uint64_t bypass_hits = 0;
+    std::uint64_t batch_lanes = 0;
+    std::uint64_t simd_groups = 0;
+    std::uint64_t banded_factors = 0;
+    std::uint64_t exit_cycles = 0;
+
+    static Counters snap() {
+        auto& m = exec::MetricsRegistry::global();
+        Counters c;
+        c.refactors = m.counter("spice.newton.refactor").value();
+        c.reuses = m.counter("spice.newton.reuse").value();
+        c.bypass_hits = m.counter("spice.eval.bypass_hits").value();
+        c.batch_lanes = m.counter("spice.eval.batch_lanes").value();
+        c.simd_groups = m.counter("spice.eval.simd_groups").value();
+        c.banded_factors = m.counter("spice.lu.banded_factors").value();
+        c.exit_cycles = m.counter("ring.transient.early_exit_cycles").value();
+        return c;
+    }
+    Counters operator-(const Counters& o) const {
+        return {refactors - o.refactors,       reuses - o.reuses,
+                bypass_hits - o.bypass_hits,   batch_lanes - o.batch_lanes,
+                simd_groups - o.simd_groups,   banded_factors - o.banded_factors,
+                exit_cycles - o.exit_cycles};
+    }
+};
+
+struct Row {
+    std::string name;  ///< JSON key.
+    std::string label; ///< Table label.
+    double wall_s = 0.0; ///< Min over repeats.
+    /// periods[ratio][temp] in seconds (identical across repeats — the
+    /// kernels are deterministic; the repeats only de-noise the wall).
     std::vector<std::vector<double>> periods;
     long early_exits = 0;
-    long total_newton_iters = 0;
+    bool all_ok = true;
+    Counters c; ///< First-repeat deltas.
+    double max_period_dev_pct = 0.0; ///< vs the seed rung.
+    double max_nl_dev_pp = 0.0;      ///< vs the seed rung.
 };
+
+bool periods_bitwise_equal(const std::vector<std::vector<double>>& a,
+                           const std::vector<std::vector<double>>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].size() != b[i].size()) return false;
+        for (std::size_t j = 0; j < a[i].size(); ++j) {
+            if (std::memcmp(&a[i][j], &b[i][j], sizeof(double)) != 0) return false;
+        }
+    }
+    return true;
+}
 
 } // namespace
 
 int main(int argc, char** argv) {
     const util::Cli cli(argc, argv);
     const bool quick = cli.has("quick");
+    const int repeat = std::max(1, cli.get("repeat", quick ? 1 : 3));
     bench::banner("PERF",
-                  std::string("fast transient kernel vs seed kernel, Fig. 2 "
-                              "SPICE ratio sweep") +
+                  std::string("fast transient kernel ablation vs seed kernel, "
+                              "Fig. 2 SPICE ratio sweep") +
                       (quick ? " (quick)" : ""));
+
+    const auto& caps = util::simd_caps();
+    const util::SimdLevel level = util::resolve_simd(util::SimdMode::Auto);
+    std::cout << "simd probe: sse4.2=" << caps.sse42 << " avx2=" << caps.avx2
+              << " fma=" << caps.fma << " avx512f=" << caps.avx512f
+              << " -> lane kernel dispatch: " << util::simd_level_name(level)
+              << "\n\n";
 
     const auto tech = phys::technology_by_name(cli.get("tech", std::string("cmos350")));
 
@@ -69,27 +141,41 @@ int main(int argc, char** argv) {
         temps_c = coarse;
     }
 
-    ring::SpiceRingOptions seed_opt;
-    seed_opt.record_waveform = false;
-    ring::SpiceRingOptions fast_opt = ring::SpiceRingOptions::fast();
-    fast_opt.record_waveform = false;
-    // Ablation switches (e.g. --no-bypass) isolate each feature's
-    // contribution when tuning the fast() preset.
-    if (cli.has("no-reuse")) fast_opt.kernel.reuse_lu = false;
-    if (cli.has("no-bypass")) fast_opt.kernel.bypass_tol_v = 0.0;
-    if (cli.has("no-adaptive")) fast_opt.kernel.adaptive = false;
-    if (cli.has("no-exit")) fast_opt.early_exit = false;
-    if (quick) {
-        seed_opt.steps_per_period = 150;
-        fast_opt.steps_per_period = 150;
-        seed_opt.skip_cycles = fast_opt.skip_cycles = 2;
-        seed_opt.measure_cycles = fast_opt.measure_cycles = 5;
-    }
+    const auto trim = [&](ring::SpiceRingOptions opt) {
+        opt.record_waveform = false;
+        if (quick) {
+            opt.steps_per_period = 150;
+            opt.skip_cycles = 2;
+            opt.measure_cycles = 5;
+        }
+        return opt;
+    };
 
-    auto run_pass = [&](const ring::SpiceRingOptions& opt) {
-        PassResult out;
-        out.periods.resize(ratios.size());
-        const auto t0 = std::chrono::steady_clock::now();
+    // --- the ablation ladder ----------------------------------------------
+    const ring::SpiceRingOptions seed_opt = trim({});
+
+    ring::SpiceRingOptions pr3_opt = seed_opt;
+    pr3_opt.early_exit = true;
+    pr3_opt.kernel.bypass_tol_v = 5e-4;
+
+    ring::SpiceRingOptions soa_opt = pr3_opt;
+    soa_opt.kernel.batch_eval = true;
+    soa_opt.kernel.simd = util::SimdMode::ForceScalar;
+
+    ring::SpiceRingOptions simd_opt = soa_opt;
+    simd_opt.kernel.simd = util::SimdMode::Auto;
+
+    ring::SpiceRingOptions banded_opt = simd_opt;
+    banded_opt.kernel.banded_lu = true;
+
+    // The last two rungs come straight from the shipped preset so the
+    // bench measures exactly what SpiceRingOptions::fast() ships.
+    ring::SpiceRingOptions reuse_opt = trim(ring::SpiceRingOptions::fast());
+    reuse_opt.kernel.lockstep_width = 1;
+    ring::SpiceRingOptions lockstep_opt = trim(ring::SpiceRingOptions::fast());
+
+    // --- pass runners ------------------------------------------------------
+    const auto run_solo = [&](const ring::SpiceRingOptions& opt, Row& out) {
         for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
             const auto cfg =
                 ring::RingConfig::uniform(cells::CellKind::Inv, 5, ratios[ri]);
@@ -100,84 +186,141 @@ int main(int argc, char** argv) {
                 if (res.early_exit) ++out.early_exits;
             }
         }
-        out.wall_s = seconds_since(t0);
-        return out;
+    };
+    const auto run_grouped = [&](const ring::SpiceRingOptions& opt, Row& out) {
+        const auto w = static_cast<std::size_t>(opt.kernel.lockstep_width);
+        for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+            const auto cfg =
+                ring::RingConfig::uniform(cells::CellKind::Inv, 5, ratios[ri]);
+            const ring::SpiceRingModel model(tech, cfg);
+            for (std::size_t lo = 0; lo < temps_c.size(); lo += w) {
+                const std::size_t hi = std::min(lo + w, temps_c.size());
+                std::vector<double> temps_k;
+                for (std::size_t j = lo; j < hi; ++j) {
+                    temps_k.push_back(temps_c[j] + 273.15);
+                }
+                const auto rs = model.try_simulate_batch(temps_k, opt);
+                for (const auto& r : rs) {
+                    if (!r.ok()) {
+                        out.all_ok = false;
+                        out.periods[ri].push_back(0.0);
+                        continue;
+                    }
+                    out.periods[ri].push_back(r.value().period);
+                    if (r.value().early_exit) ++out.early_exits;
+                }
+            }
+        }
     };
 
-    auto& metrics = exec::MetricsRegistry::global();
-    const std::uint64_t refactor0 = metrics.counter("spice.newton.refactor").value();
-    const std::uint64_t reuse0 = metrics.counter("spice.newton.reuse").value();
-    const std::uint64_t bypass0 = metrics.counter("spice.eval.bypass_hits").value();
-    const std::uint64_t exit0 =
-        metrics.counter("ring.transient.early_exit_cycles").value();
+    const auto measure = [&](std::string name, std::string label,
+                             const ring::SpiceRingOptions& opt, bool grouped) {
+        Row row;
+        row.name = std::move(name);
+        row.label = std::move(label);
+        for (int rep = 0; rep < repeat; ++rep) {
+            Row scratch;
+            scratch.periods.assign(ratios.size(), {});
+            const Counters before = Counters::snap();
+            const auto t0 = std::chrono::steady_clock::now();
+            if (grouped) {
+                run_grouped(opt, scratch);
+            } else {
+                run_solo(opt, scratch);
+            }
+            const double wall = seconds_since(t0);
+            if (rep == 0) {
+                row.periods = std::move(scratch.periods);
+                row.early_exits = scratch.early_exits;
+                row.all_ok = scratch.all_ok;
+                row.c = Counters::snap() - before;
+                row.wall_s = wall;
+            } else {
+                row.wall_s = std::min(row.wall_s, wall);
+            }
+        }
+        return row;
+    };
 
-    const PassResult seed = run_pass(seed_opt);
-    const std::uint64_t seed_refactors =
-        metrics.counter("spice.newton.refactor").value() - refactor0;
-
-    const PassResult fast = run_pass(fast_opt);
-    const std::uint64_t fast_refactors =
-        metrics.counter("spice.newton.refactor").value() - refactor0 - seed_refactors;
-    const std::uint64_t fast_reuses =
-        metrics.counter("spice.newton.reuse").value() - reuse0;
-    const std::uint64_t fast_bypass =
-        metrics.counter("spice.eval.bypass_hits").value() - bypass0;
-    const std::uint64_t exit_cycles =
-        metrics.counter("ring.transient.early_exit_cycles").value() - exit0;
-
-    const double speedup = fast.wall_s > 0.0 ? seed.wall_s / fast.wall_s : 0.0;
+    Row seed = measure("seed", "seed (fixed, full Newton)", seed_opt, false);
+    std::vector<Row> rows;
+    rows.push_back(measure("pr3", "pr3 (+bypass +early-exit)", pr3_opt, false));
+    rows.push_back(measure("soa", " +SoA batch (scalar)", soa_opt, false));
+    rows.push_back(measure("simd", std::string(" +SIMD (") +
+                                       util::simd_level_name(level) + ")",
+                           simd_opt, false));
+    rows.push_back(measure("banded", " +banded LU", banded_opt, false));
+    rows.push_back(measure("reuse", " +LU reuse (modified Newton)", reuse_opt,
+                           false));
+    rows.push_back(measure("lockstep",
+                           " +lock-step x" +
+                               std::to_string(lockstep_opt.kernel.lockstep_width) +
+                               " (= fast())",
+                           lockstep_opt, true));
 
     // --- accuracy: periods point by point, NL curves ratio by ratio -------
-    double max_period_dev_pct = 0.0;
+    std::vector<analysis::NonlinearityResult> nl_seed;
     for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
-        for (std::size_t ti = 0; ti < temps_c.size(); ++ti) {
-            const double ref = seed.periods[ri][ti];
-            const double dev =
-                ref != 0.0
-                    ? 100.0 * std::abs(fast.periods[ri][ti] - ref) / std::abs(ref)
-                    : 0.0;
-            max_period_dev_pct = std::max(max_period_dev_pct, dev);
-        }
+        nl_seed.push_back(analysis::nonlinearity(temps_c, seed.periods[ri]));
     }
-    double max_nl_dev_pp = 0.0;
-    for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
-        const auto nl_seed = analysis::nonlinearity(temps_c, seed.periods[ri]);
-        const auto nl_fast = analysis::nonlinearity(temps_c, fast.periods[ri]);
-        for (std::size_t ti = 0; ti < temps_c.size(); ++ti) {
-            max_nl_dev_pp = std::max(
-                max_nl_dev_pp, std::abs(nl_fast.error_percent[ti] -
-                                        nl_seed.error_percent[ti]));
+    for (Row& row : rows) {
+        for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+            for (std::size_t ti = 0; ti < temps_c.size(); ++ti) {
+                const double ref = seed.periods[ri][ti];
+                const double dev =
+                    ref != 0.0 ? 100.0 * std::abs(row.periods[ri][ti] - ref) /
+                                     std::abs(ref)
+                               : 0.0;
+                row.max_period_dev_pct = std::max(row.max_period_dev_pct, dev);
+            }
+            const auto nl = analysis::nonlinearity(temps_c, row.periods[ri]);
+            for (std::size_t ti = 0; ti < temps_c.size(); ++ti) {
+                row.max_nl_dev_pp = std::max(
+                    row.max_nl_dev_pp, std::abs(nl.error_percent[ti] -
+                                                nl_seed[ri].error_percent[ti]));
+            }
         }
     }
 
     const std::size_t points = ratios.size() * temps_c.size();
-    std::string fast_label = "fast (";
-    if (fast_opt.kernel.bypass_tol_v > 0.0) fast_label += "bypass+";
-    if (fast_opt.kernel.reuse_lu) fast_label += "reuse+";
-    if (fast_opt.kernel.adaptive) fast_label += "adaptive+";
-    if (fast_opt.early_exit) fast_label += "exit+";
-    fast_label.back() = ')';
-    util::Table table({"kernel", "wall (s)", "ms/point", "vs seed"});
-    table.add_row({"seed (fixed, full Newton)", util::fixed(seed.wall_s, 3),
+    const Row& pr3 = rows.front();
+    const Row& fast = rows.back();
+    const auto speedup_vs = [](const Row& num, const Row& den) {
+        return den.wall_s > 0.0 ? num.wall_s / den.wall_s : 0.0;
+    };
+    const double speedup = speedup_vs(seed, fast);
+    const double speedup_vs_pr3 = speedup_vs(pr3, fast);
+
+    util::Table table(
+        {"kernel", "wall (s)", "ms/point", "vs seed", "dev (%)", "reuses"});
+    const auto add_row = [&](const Row& r) {
+        table.add_row({r.label, util::fixed(r.wall_s, 3),
+                       util::fixed(1e3 * r.wall_s / static_cast<double>(points), 2),
+                       util::fixed(speedup_vs(seed, r), 2) + "x",
+                       util::fixed(r.max_period_dev_pct, 4),
+                       std::to_string(r.c.reuses)});
+    };
+    table.add_row({seed.label, util::fixed(seed.wall_s, 3),
                    util::fixed(1e3 * seed.wall_s / static_cast<double>(points), 2),
-                   "1.00x"});
-    table.add_row({fast_label, util::fixed(fast.wall_s, 3),
-                   util::fixed(1e3 * fast.wall_s / static_cast<double>(points), 2),
-                   util::fixed(speedup, 2) + "x"});
+                   "1.00x", "-", "0"});
+    for (const Row& r : rows) add_row(r);
     std::cout << table.render();
     std::cout << "\npoints: " << points << " (" << ratios.size() << " ratios x "
-              << temps_c.size() << " temps)\n"
-              << "accuracy: max period deviation "
-              << util::fixed(max_period_dev_pct, 4) << " % (gate 0.05), max NL "
-              << "deviation " << util::fixed(max_nl_dev_pp, 4)
-              << " pp (gate 0.01)\n"
-              << "fast kernel: " << fast_refactors << " refactors, " << fast_reuses
-              << " LU reuses, " << fast_bypass << " bypass hits, " << exit_cycles
+              << temps_c.size() << " temps), walls are min of " << repeat
+              << " repeat(s)\n"
+              << "fast() vs seed: " << util::fixed(speedup, 2)
+              << "x; vs pr3 kernel: " << util::fixed(speedup_vs_pr3, 2) << "x\n"
+              << "fast(): " << fast.c.refactors << " refactors ("
+              << fast.c.banded_factors << " banded), " << fast.c.reuses
+              << " LU reuses, " << fast.c.bypass_hits << " bypass hits, "
+              << fast.c.batch_lanes << " batch lanes in " << fast.c.simd_groups
+              << " simd groups, " << fast.c.exit_cycles
               << " cycles saved by early exit (" << fast.early_exits << "/"
               << points << " runs exited early)\n"
-              << "seed kernel: " << seed_refactors << " factorizations\n";
+              << "seed kernel: " << seed.c.refactors << " factorizations\n";
 
     // --- JSON snapshot ----------------------------------------------------
+    auto& metrics = exec::MetricsRegistry::global();
     const std::string json_path = cli.get("json", std::string("BENCH_transient.json"));
     {
         std::ofstream json(json_path);
@@ -185,42 +328,89 @@ int main(int argc, char** argv) {
              << "  \"workload\": \"fig2_spice_ratio_sweep\",\n"
              << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
              << "  \"points\": " << points << ",\n"
+             << "  \"repeat\": " << repeat << ",\n"
+             << "  \"simd_level\": \"" << util::simd_level_name(level) << "\",\n"
              << "  \"seed_wall_s\": " << seed.wall_s << ",\n"
+             << "  \"pr3_wall_s\": " << pr3.wall_s << ",\n"
              << "  \"fast_wall_s\": " << fast.wall_s << ",\n"
              << "  \"speedup\": " << speedup << ",\n"
-             << "  \"max_period_dev_pct\": " << max_period_dev_pct << ",\n"
-             << "  \"max_nl_dev_pp\": " << max_nl_dev_pp << ",\n"
-             << "  \"seed_refactors\": " << seed_refactors << ",\n"
-             << "  \"fast_refactors\": " << fast_refactors << ",\n"
-             << "  \"fast_lu_reuses\": " << fast_reuses << ",\n"
-             << "  \"fast_bypass_hits\": " << fast_bypass << ",\n"
-             << "  \"early_exit_cycles_saved\": " << exit_cycles << ",\n"
+             << "  \"speedup_vs_pr3\": " << speedup_vs_pr3 << ",\n"
+             << "  \"max_period_dev_pct\": " << fast.max_period_dev_pct << ",\n"
+             << "  \"max_nl_dev_pp\": " << fast.max_nl_dev_pp << ",\n"
+             << "  \"seed_refactors\": " << seed.c.refactors << ",\n"
+             << "  \"fast_refactors\": " << fast.c.refactors << ",\n"
+             << "  \"fast_lu_reuses\": " << fast.c.reuses << ",\n"
+             << "  \"fast_bypass_hits\": " << fast.c.bypass_hits << ",\n"
+             << "  \"fast_batch_lanes\": " << fast.c.batch_lanes << ",\n"
+             << "  \"fast_simd_groups\": " << fast.c.simd_groups << ",\n"
+             << "  \"fast_banded_factors\": " << fast.c.banded_factors << ",\n"
+             << "  \"early_exit_cycles_saved\": " << fast.c.exit_cycles << ",\n"
              << "  \"early_exit_runs\": " << fast.early_exits << ",\n"
+             << "  \"ablation\": [\n";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row& r = rows[i];
+            json << "    {\"name\": \"" << r.name << "\", \"wall_s\": " << r.wall_s
+                 << ", \"speedup_vs_seed\": " << speedup_vs(seed, r)
+                 << ", \"max_period_dev_pct\": " << r.max_period_dev_pct
+                 << ", \"max_nl_dev_pp\": " << r.max_nl_dev_pp
+                 << ", \"refactors\": " << r.c.refactors
+                 << ", \"reuses\": " << r.c.reuses
+                 << ", \"bypass_hits\": " << r.c.bypass_hits
+                 << ", \"batch_lanes\": " << r.c.batch_lanes
+                 << ", \"simd_groups\": " << r.c.simd_groups
+                 << ", \"banded_factors\": " << r.c.banded_factors << "}"
+                 << (i + 1 < rows.size() ? "," : "") << "\n";
+        }
+        json << "  ],\n"
              << "  \"metrics\": " << metrics.to_json() << "\n"
              << "}\n";
     }
     std::cout << "kernel snapshot: " << json_path << "\n";
 
-    const double speedup_gate = quick ? 1.5 : 2.0;
+    const double speedup_gate = quick ? 2.0 : 3.0;
     bench::ShapeChecks checks;
+    checks.expect("every lock-step point simulated cleanly", fast.all_ok);
     checks.expect("fast kernel speedup >= " + util::fixed(speedup_gate, 1) +
                       "x over seed kernel (acceptance criterion)",
                   speedup >= speedup_gate);
-    checks.expect("max period deviation <= 0.05 % (accuracy gate)",
-                  max_period_dev_pct <= 0.05);
-    checks.expect("max NL-curve deviation <= 0.01 pp (accuracy gate)",
-                  max_nl_dev_pp <= 0.01);
-    if (fast_opt.early_exit) {
-        checks.expect("every fast run banked its cycles and exited early",
-                      fast.early_exits == static_cast<long>(points));
+    if (!quick) {
+        checks.expect("fast kernel beats the PR 3 kernel (>= 1.2x)",
+                      speedup_vs_pr3 >= 1.2);
     }
-    if (fast_opt.kernel.bypass_tol_v > 0.0) {
-        checks.expect("the fast pass served device evaluations from the bypass cache",
-                      fast_bypass > 0);
+    checks.expect("pr3 rung within legacy gates (0.05 % / 0.01 pp)",
+                  pr3.max_period_dev_pct <= 0.05 && pr3.max_nl_dev_pp <= 0.01);
+    for (const Row& r : rows) {
+        if (r.name == "pr3") continue;
+        if (quick) {
+            // The quick grid's coarse timestep (spp=150) inflates the
+            // bypass linearization error past the reporting-precision
+            // bar; the smoke stage gates at the legacy thresholds and
+            // leaves the strict claim to the full grid.
+            checks.expect(r.name + " rung within legacy gates (quick grid)",
+                          r.max_period_dev_pct <= 0.05 && r.max_nl_dev_pp <= 0.01);
+        } else {
+            checks.expect(r.name + " rung at 0.0000 % / 0.0000 pp vs seed "
+                                   "(reporting precision)",
+                          r.max_period_dev_pct < 5e-5 && r.max_nl_dev_pp < 5e-5);
+        }
     }
-    if (fast_opt.kernel.reuse_lu) {
-        checks.expect("the fast pass actually reused factorizations",
-                      fast_reuses > 0);
+    checks.expect("scalar and SIMD lane kernels agree bitwise",
+                  periods_bitwise_equal(rows[1].periods, rows[2].periods));
+    checks.expect("lock-step rung bitwise-matches the solo reuse rung",
+                  periods_bitwise_equal(rows[4].periods, rows[5].periods));
+    checks.expect("every fast run banked its cycles and exited early",
+                  fast.early_exits == static_cast<long>(points));
+    checks.expect("the fast pass served device evaluations from the bypass cache",
+                  fast.c.bypass_hits > 0);
+    checks.expect("the fast pass actually reused factorizations",
+                  fast.c.reuses > 0 && rows[4].c.reuses > 0);
+    checks.expect("the fast pass factored through the banded kernel",
+                  fast.c.banded_factors > 0);
+    checks.expect("the fast pass evaluated devices through the SoA batch",
+                  fast.c.batch_lanes > 0);
+    if (level == util::SimdLevel::Avx2) {
+        checks.expect("the fast pass dispatched AVX2 lane groups",
+                      fast.c.simd_groups > 0);
     }
     return checks.report();
 }

@@ -36,6 +36,7 @@
 #include "spice/simulator.hpp"
 
 #include <memory>
+#include <optional>
 #include <string>
 
 namespace stsense {
@@ -71,9 +72,31 @@ public:
     RuntimeOptions& fault_policy(ring::FaultPolicy policy, int max_retries = 2,
                                  double retry_steps_factor = 2.0);
 
-    /// The tuned fast transient path: device bypass + early exit (the
-    /// SpiceRingOptions::fast() / TransientOptions::fast() presets).
+    /// The tuned fast transient path: batched SoA evaluation + device
+    /// bypass + banded LU + contraction-gated reuse + lock-step + early
+    /// exit (the SpiceRingOptions::fast() / TransientOptions::fast()
+    /// presets). The knobs below override individual kernel features on
+    /// top of whichever preset this selects.
     RuntimeOptions& fast_kernel(bool on);
+
+    /// Lane-kernel dispatch for the batched evaluator (Auto probes the
+    /// CPU; the STSENSE_SIMD environment variable still wins at resolve
+    /// time). Applies to both presets — a no-op unless batch_eval is on.
+    RuntimeOptions& simd(util::SimdMode mode);
+
+    /// Lock-step width override: how many sweep points advance through
+    /// one shared batched evaluator. 0 (default) keeps the selected
+    /// preset's width (1 plain / 8 fast); 1 forces solo; >= 2 opts a
+    /// default-kernel run into lock-step.
+    RuntimeOptions& lockstep(int width);
+
+    /// Batched-SoA-evaluation override on top of the selected preset
+    /// (bitwise identical to the per-device loop, so safe everywhere).
+    RuntimeOptions& batch_eval(bool on);
+
+    /// Bordered-band-LU override on top of the selected preset (agrees
+    /// with dense to rounding, not bitwise — see TransientOptions).
+    RuntimeOptions& banded_lu(bool on);
 
     /// Chrome-trace output path; empty keeps tracing off unless the
     /// STSENSE_TRACE environment variable names a path.
@@ -138,6 +161,8 @@ public:
     bool checkpoint_kept() const noexcept { return keep_checkpoint_; }
     const ring::FaultPolicySpec& fault() const noexcept { return fault_; }
     bool fast_kernel_enabled() const noexcept { return fast_kernel_; }
+    util::SimdMode simd_mode() const noexcept { return simd_; }
+    int lockstep_width() const noexcept { return lockstep_; }
     const std::string& trace_path() const noexcept { return trace_path_; }
     bool health_enabled() const noexcept { return health_; }
     int redundancy_count() const noexcept { return redundancy_; }
@@ -151,6 +176,10 @@ private:
     bool keep_checkpoint_ = false;
     ring::FaultPolicySpec fault_;
     bool fast_kernel_ = false;
+    util::SimdMode simd_ = util::SimdMode::Auto;
+    int lockstep_ = 0; ///< 0 = the selected preset's width.
+    std::optional<bool> batch_eval_; ///< Unset = the preset's choice.
+    std::optional<bool> banded_lu_;  ///< Unset = the preset's choice.
     std::string trace_path_;
     bool health_ = false;
     sensor::SiteHealthConfig health_config_;

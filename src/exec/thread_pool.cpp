@@ -216,19 +216,31 @@ void ThreadPool::worker_loop(std::size_t self) {
     }
 }
 
+std::size_t ThreadPool::auto_grain(std::size_t n, int workers) {
+    const auto w = static_cast<std::size_t>(std::max(1, workers));
+    // ~4 chunks per worker: enough slack for work stealing to absorb
+    // uneven chunk costs, few enough that scheduling stays negligible.
+    const std::size_t target_chunks = 4 * w;
+    return std::max<std::size_t>(1, (n + target_chunks - 1) / target_chunks);
+}
+
 void ThreadPool::parallel_for(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& body) {
     if (n == 0) return;
-    grain = std::max<std::size_t>(1, grain);
+    grain = grain == 0 ? auto_grain(n, size()) : grain;
     const std::size_t chunks = (n + grain - 1) / grain;
     if (chunks == 1) {
         body(0, n); // No parallelism to extract; skip the scheduling cost.
         return;
     }
     MetricsRegistry::global().counter("exec.pool.parallel_for").add();
+    MetricsRegistry::global()
+        .gauge("exec.parallel_for.grain")
+        .set(static_cast<double>(grain));
     obs::Span span("exec.parallel_for");
     span.num("chunks", static_cast<double>(chunks));
+    span.num("grain", static_cast<double>(grain));
     TaskGroup group(*this);
     for (std::size_t c = 0; c < chunks; ++c) {
         const std::size_t begin = c * grain;

@@ -85,8 +85,23 @@ public:
     /// (chunk c covers [c*grain, min(n, (c+1)*grain))). The caller helps
     /// execute chunks, so the call also makes progress on a busy pool.
     /// Rethrows the exception of the lowest-index failing chunk.
+    ///
+    /// grain = 0 selects auto_grain(n, size()): the batch width is split
+    /// into ~4 chunks per worker so stragglers rebalance, without paying
+    /// per-index scheduling on wide loops. The chunk -> index mapping is
+    /// still fixed once the grain is resolved, so the auto grain keeps
+    /// the bitwise-deterministic contract (results are committed by
+    /// index; only scheduling changes). The resolved grain of every
+    /// scheduled loop is published to the "exec.parallel_for.grain"
+    /// gauge.
     void parallel_for(std::size_t n, std::size_t grain,
                       const std::function<void(std::size_t, std::size_t)>& body);
+
+    /// The grain-size heuristic behind parallel_for's grain = 0: about 4
+    /// chunks per worker (ceil division, so the tail chunk is never the
+    /// only small one), floored at 1 index per chunk. Exposed for tests
+    /// and for callers that want the number without scheduling.
+    static std::size_t auto_grain(std::size_t n, int workers);
 
     /// The process-wide pool, sized by the STSENSE_THREADS environment
     /// variable when set (>= 1), else std::thread::hardware_concurrency.

@@ -6,15 +6,7 @@
 
 namespace stsense::phys {
 
-namespace {
-
-/// Softplus with width s: smooth max(x, 0). Returns value and derivative.
-struct Softplus {
-    double value;
-    double derivative;
-};
-
-Softplus softplus(double x, double s) {
+SoftplusEval softplus_blend(double x, double s) {
     // Numerically stable: for large |x/s| avoid exp overflow.
     const double t = x / s;
     if (t > 40.0) return {x, 1.0};
@@ -22,6 +14,13 @@ Softplus softplus(double x, double s) {
     const double e = std::exp(t);
     return {s * std::log1p(e), e / (1.0 + e)};
 }
+
+namespace {
+
+/// Local alias for the historical call sites below.
+using Softplus = SoftplusEval;
+
+Softplus softplus(double x, double s) { return softplus_blend(x, s); }
 
 void check_inputs(const MosfetParams& p, const MosGeometry& g, double temp_k) {
     if (temp_k <= 0.0) throw std::invalid_argument("mosfet: temperature must be > 0 K");

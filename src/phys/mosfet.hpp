@@ -63,6 +63,18 @@ struct MosEval {
     double gds = 0.0; ///< dId/dVds [S].
 };
 
+/// Softplus evaluation: smooth max(x, 0) of width s, with derivative.
+struct SoftplusEval {
+    double value = 0.0;
+    double derivative = 0.0;
+};
+
+/// The softplus blend the alpha-power model uses to fade the overdrive
+/// in around threshold. Exported (rather than kept file-static) so the
+/// batched device evaluator (spice::DeviceBatch) runs the *same*
+/// function — its lanes must be bitwise-identical to evaluate().
+SoftplusEval softplus_blend(double x, double s);
+
 /// Threshold voltage magnitude at temperature `temp_k` [V].
 double threshold_voltage(const MosfetParams& p, double temp_k);
 

@@ -1,14 +1,18 @@
 #include "ring/spice_ring.hpp"
 
 #include "cells/cell_netlist.hpp"
+#include "exec/fault_injector.hpp"
 #include "exec/metrics.hpp"
 #include "ring/analytic.hpp"
+#include "spice/lockstep.hpp"
 #include "spice/simulator.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace stsense::ring {
 
@@ -64,28 +68,24 @@ std::vector<spice::NodeId> SpiceRingModel::build(
     return nodes;
 }
 
-spice::Result<RingSimResult> SpiceRingModel::try_simulate(
-    double temp_k, const SpiceRingOptions& opt) const {
-    if (opt.skip_cycles < 0 || opt.measure_cycles < 1 || opt.steps_per_period < 20) {
-        throw std::invalid_argument("SpiceRingOptions: bad values");
-    }
+namespace {
 
-    const std::size_t n = config_.stages.size();
-
-    spice::Circuit ckt;
-    const std::vector<spice::NodeId> nodes = build(ckt);
-
-    // Pace the run off the analytic estimate.
-    const AnalyticRingModel analytic(tech_, config_);
-    const double est = analytic.period(temp_k);
-
+spice::SimOptions make_sim_options(double temp_k, const SpiceRingOptions& opt) {
     spice::SimOptions sim_opt;
     sim_opt.temp_k = temp_k;
     sim_opt.enable_recovery = opt.enable_recovery;
     sim_opt.max_wall_ms = opt.max_wall_ms;
     sim_opt.max_total_newton_iters = opt.max_total_newton_iters;
     sim_opt.kernel = opt.kernel;
-    spice::Simulator sim(ckt, sim_opt);
+    return sim_opt;
+}
+
+} // namespace
+
+spice::TransientSpec SpiceRingModel::make_tspec(
+    double est, const SpiceRingOptions& opt,
+    const std::vector<spice::NodeId>& nodes) const {
+    const std::size_t n = config_.stages.size();
 
     spice::TransientSpec tspec;
     tspec.dt = est / opt.steps_per_period;
@@ -117,11 +117,13 @@ spice::Result<RingSimResult> SpiceRingModel::try_simulate(
             return crossings >= needed;
         };
     }
+    return tspec;
+}
 
-    auto sim_result = sim.try_transient(tspec);
-    if (!sim_result.ok()) return sim_result.error();
-    const spice::TransientResult& res = sim_result.value();
-
+spice::Result<RingSimResult> SpiceRingModel::extract_result(
+    const spice::Circuit& ckt, const std::vector<spice::NodeId>& nodes,
+    double est, const spice::TransientSpec& tspec, const SpiceRingOptions& opt,
+    const spice::TransientResult& res) const {
     // Non-throwing probe lookup: a malformed netlist/probe wiring shows
     // up as a structured error, not an uncaught std::invalid_argument.
     const std::string probe_name = ckt.node_name(nodes[0]);
@@ -170,6 +172,79 @@ spice::Result<RingSimResult> SpiceRingModel::try_simulate(
         }
     }
     if (opt.record_waveform) out.waveform = *trace;
+    return out;
+}
+
+spice::Result<RingSimResult> SpiceRingModel::try_simulate(
+    double temp_k, const SpiceRingOptions& opt) const {
+    if (opt.skip_cycles < 0 || opt.measure_cycles < 1 || opt.steps_per_period < 20) {
+        throw std::invalid_argument("SpiceRingOptions: bad values");
+    }
+
+    spice::Circuit ckt;
+    const std::vector<spice::NodeId> nodes = build(ckt);
+
+    // Pace the run off the analytic estimate.
+    const AnalyticRingModel analytic(tech_, config_);
+    const double est = analytic.period(temp_k);
+
+    spice::Simulator sim(ckt, make_sim_options(temp_k, opt));
+    const spice::TransientSpec tspec = make_tspec(est, opt, nodes);
+
+    auto sim_result = sim.try_transient(tspec);
+    if (!sim_result.ok()) return sim_result.error();
+    return extract_result(ckt, nodes, est, tspec, opt, sim_result.value());
+}
+
+std::vector<spice::Result<RingSimResult>> SpiceRingModel::try_simulate_batch(
+    std::span<const double> temps_k, const SpiceRingOptions& opt,
+    std::span<const std::uint64_t> fault_ctx) const {
+    if (opt.skip_cycles < 0 || opt.measure_cycles < 1 || opt.steps_per_period < 20) {
+        throw std::invalid_argument("SpiceRingOptions: bad values");
+    }
+    std::vector<spice::Result<RingSimResult>> out;
+    if (temps_k.empty()) return out;
+    out.reserve(temps_k.size());
+
+    if (opt.kernel.adaptive) {
+        // Adaptive points reject/grow steps independently — no common
+        // phase to lock. Solo loop keeps the contract.
+        for (std::size_t i = 0; i < temps_k.size(); ++i) {
+            std::optional<exec::FaultContext> guard;
+            if (!fault_ctx.empty()) guard.emplace(fault_ctx[i]);
+            out.push_back(try_simulate(temps_k[i], opt));
+        }
+        return out;
+    }
+
+    // One netlist, shared by every point: the circuit topology is
+    // temperature-independent (temperature enters through SimOptions).
+    spice::Circuit ckt;
+    const std::vector<spice::NodeId> nodes = build(ckt);
+    const AnalyticRingModel analytic(tech_, config_);
+
+    std::vector<double> ests;
+    std::vector<spice::SimOptions> sim_opts;
+    std::vector<spice::TransientSpec> specs;
+    ests.reserve(temps_k.size());
+    sim_opts.reserve(temps_k.size());
+    specs.reserve(temps_k.size());
+    for (const double temp_k : temps_k) {
+        const double est = analytic.period(temp_k);
+        ests.push_back(est);
+        sim_opts.push_back(make_sim_options(temp_k, opt));
+        specs.push_back(make_tspec(est, opt, nodes));
+    }
+
+    auto raw = spice::run_lockstep(ckt, sim_opts, specs, fault_ctx);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (!raw[i].ok()) {
+            out.push_back(raw[i].error());
+            continue;
+        }
+        out.push_back(
+            extract_result(ckt, nodes, ests[i], specs[i], opt, raw[i].value()));
+    }
     return out;
 }
 

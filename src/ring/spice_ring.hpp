@@ -12,7 +12,9 @@
 #include "spice/simulator.hpp"
 #include "spice/waveform.hpp"
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace stsense::ring {
@@ -85,6 +87,21 @@ public:
     /// preserved for existing call sites.
     RingSimResult simulate(double temp_k, const SpiceRingOptions& opt = {}) const;
 
+    /// Simulates every `temps_k` point over one shared batched evaluator,
+    /// lock-stepping their Newton iterations (spice::run_lockstep): the
+    /// netlist is built once and each point's voltages live in one SoA
+    /// block, so the device-evaluation loop streams K points per sweep of
+    /// the population. Results are bitwise identical to calling
+    /// try_simulate per point, in order. `fault_ctx`, when non-empty
+    /// (must match temps_k's length), gives the per-point
+    /// exec::FaultContext ids to install around each point's injected-
+    /// sabotage draws — pass the same ids the solo sweep path would.
+    /// Adaptive-stepping kernels have no common phase; those fall back to
+    /// a per-point solo loop.
+    std::vector<spice::Result<RingSimResult>> try_simulate_batch(
+        std::span<const double> temps_k, const SpiceRingOptions& opt = {},
+        std::span<const std::uint64_t> fault_ctx = {}) const;
+
     /// Emits the full transistor netlist into `ckt` and returns the ring
     /// node ids (stage i's input is node i). When `enable` is given,
     /// stage 0 must be a NAND-family cell with Supply tie: its first
@@ -98,6 +115,21 @@ public:
     const RingConfig& config() const { return config_; }
 
 private:
+    /// The transient spec try_simulate has always built (dt/t_stop paced
+    /// off the analytic estimate, alternating kick-start ICs, stage-0
+    /// probe, optional settled-cycle early exit). Shared between the solo
+    /// and lock-step paths so they stay spec-identical by construction.
+    spice::TransientSpec make_tspec(double est, const SpiceRingOptions& opt,
+                                    const std::vector<spice::NodeId>& nodes) const;
+
+    /// Measurement + bookkeeping on one finished transient (period, duty,
+    /// supply power, recovery telemetry, early-exit metric) — the tail of
+    /// try_simulate, shared with the lock-step path.
+    spice::Result<RingSimResult> extract_result(
+        const spice::Circuit& ckt, const std::vector<spice::NodeId>& nodes,
+        double est, const spice::TransientSpec& tspec,
+        const SpiceRingOptions& opt, const spice::TransientResult& res) const;
+
     phys::Technology tech_;
     RingConfig config_;
 };

@@ -8,6 +8,7 @@
 #include "phys/units.hpp"
 #include "ring/analytic.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -73,9 +74,10 @@ namespace {
 
 /// Chunk sizes for the pool: SPICE points cost milliseconds each, so
 /// they dispatch one per task; analytic points cost microseconds, so
-/// they are chunked to amortize scheduling.
+/// they use the pool's width-based auto grain (grain 0 →
+/// ThreadPool::auto_grain) to amortize scheduling across the batch.
 constexpr std::size_t kSpiceGrain = 1;
-constexpr std::size_t kAnalyticGrain = 8;
+constexpr std::size_t kAnalyticGrain = 0;
 
 void validate_grid(std::span<const double> temps_c) {
     if (temps_c.empty()) throw std::invalid_argument("temperature_sweep: empty grid");
@@ -269,11 +271,59 @@ SweepResult compute_sweep(const phys::Technology& tech, const RingConfig& config
         const SpiceRingModel model(tech, config);
         SpiceRingOptions opt = spice_opt;
         opt.record_waveform = false; // Sweeps only need the scalar period.
+
+        // Lock-step mode: precompute every point's attempt-0 simulation
+        // in groups of kernel.lockstep_width over one shared batched
+        // evaluator, then let the policy loop below consume them. The
+        // results are bitwise identical to solo attempts, so this is a
+        // pure scheduling change — but it is gated off whenever a fault
+        // injector is installed (attempt-0 outcomes would need per-point
+        // fault streams interleaved with policy retries) or a checkpoint
+        // is resuming (completed points must not be recomputed).
+        const std::size_t n = out.temps_c.size();
+        std::vector<std::optional<spice::Result<RingSimResult>>> pre;
+        const bool lockstep = opt.kernel.lockstep_width > 1 &&
+                              !opt.kernel.adaptive &&
+                              exec::FaultInjector::active() == nullptr &&
+                              ckpt == nullptr;
+        if (lockstep) {
+            pre.resize(n);
+            const auto w = static_cast<std::size_t>(opt.kernel.lockstep_width);
+            const std::size_t groups = (n + w - 1) / w;
+            const auto group_body = [&](std::size_t gb, std::size_t ge) {
+                for (std::size_t g = gb; g < ge; ++g) {
+                    const std::size_t lo = g * w;
+                    const std::size_t hi = std::min(lo + w, n);
+                    std::vector<double> temps_k(hi - lo);
+                    for (std::size_t j = lo; j < hi; ++j) {
+                        temps_k[j - lo] = phys::celsius_to_kelvin(out.temps_c[j]);
+                    }
+                    auto rs = model.try_simulate_batch(temps_k, opt);
+                    for (std::size_t j = lo; j < hi; ++j) {
+                        pre[j] = std::move(rs[j - lo]);
+                    }
+                }
+            };
+            if (runtime.parallel) {
+                auto& pool = runtime.pool != nullptr ? *runtime.pool
+                                                     : exec::ThreadPool::global();
+                pool.parallel_for(groups, 1, group_body);
+            } else {
+                group_body(0, groups);
+            }
+        }
+
         compute_points(out, runtime, kSpiceGrain,
                        [&](std::size_t i, double tc) {
             return checkpointed_point(ckpt, i, tc, [&](std::size_t pi, double ptc) {
                 return apply_policy(pi, ptc, analytic, fault,
                                     [&](int attempt) -> spice::Result<PointEval> {
+                    if (attempt == 0 && lockstep && pre[pi].has_value()) {
+                        const auto& r = *pre[pi];
+                        if (!r.ok()) return r.error();
+                        return PointEval{r.value().period,
+                                         status_of_rung(r.value().recovery_rung)};
+                    }
                     SpiceRingOptions o = opt;
                     // Tightened time resolution per retry: marginal
                     // transients usually converge with a smaller dt.
@@ -347,10 +397,18 @@ std::uint64_t sweep_fingerprint(const phys::Technology& tech,
             .add(static_cast<std::int64_t>(spice_opt.max_total_newton_iters));
         // Fast-kernel knobs change the computed values, so a fast sweep
         // and a seed-identical sweep must not alias in the cache.
+        // batch_eval / simd / lockstep_width are deliberately absent:
+        // they are bitwise-neutral (the SoA/SIMD/lock-step paths carry a
+        // parity contract with the legacy loop), so toggling them must
+        // hit the same cache entry. banded_lu and reuse_stall_ratio DO
+        // change bits (different elimination order / different refactor
+        // schedule) and are keyed.
         const spice::TransientOptions& k = spice_opt.kernel;
         fp.add(k.reuse_lu)
             .add(k.reuse_iter_limit)
+            .add(k.reuse_stall_ratio)
             .add(k.bypass_tol_v)
+            .add(k.banded_lu)
             .add(k.adaptive)
             .add(k.lte_rel_tol)
             .add(k.dt_min_factor)

@@ -1,6 +1,7 @@
 #include "service/session.hpp"
 
 #include "dtm/fleet.hpp"
+#include "exec/metrics.hpp"
 #include "obs/trace.hpp"
 #include "ring/sweep.hpp"
 #include "sensor/optimizer.hpp"
@@ -701,6 +702,46 @@ ModelPtr Session::model() const {
         });
     };
 
+    // sessions[i].kernel — the transient-kernel configuration this
+    // session's SPICE work runs with (projected once from the immutable
+    // spec) plus the live kernel counters. The counters come from the
+    // process-wide metrics registry — the transient engine is shared, so
+    // they aggregate across sessions; the config leaves are what make
+    // the node per-session.
+    auto kernel_node = [self]() -> ModelPtr {
+        const spice::TransientOptions k =
+            self->spec_.runtime.transient_options();
+        const util::SimdLevel dispatch = util::resolve_simd(k.simd);
+        auto metric = [](const char* name) {
+            return leaf([name] {
+                return Json(
+                    exec::MetricsRegistry::global().counter(name).value());
+            });
+        };
+        return object({
+            {"fast", [self] {
+                 return fixed_leaf(
+                     Json(self->spec_.runtime.fast_kernel_enabled()));
+             }},
+            {"batch_eval", [k] { return fixed_leaf(Json(k.batch_eval)); }},
+            {"simd", [dispatch] {
+                 return fixed_leaf(Json(util::simd_level_name(dispatch)));
+             }},
+            {"banded_lu", [k] { return fixed_leaf(Json(k.banded_lu)); }},
+            {"reuse_lu", [k] { return fixed_leaf(Json(k.reuse_lu)); }},
+            {"lockstep_width",
+             [k] { return fixed_leaf(Json(k.lockstep_width)); }},
+            {"bypass_tol_v", [k] { return fixed_leaf(Json(k.bypass_tol_v)); }},
+            {"batch_lanes", [metric] { return metric("spice.eval.batch_lanes"); }},
+            {"simd_groups", [metric] { return metric("spice.eval.simd_groups"); }},
+            {"bypass_hits", [metric] { return metric("spice.eval.bypass_hits"); }},
+            {"banded_factors",
+             [metric] { return metric("spice.lu.banded_factors"); }},
+            {"refactors", [metric] { return metric("spice.newton.refactor"); }},
+            {"lu_reuses", [metric] { return metric("spice.newton.reuse"); }},
+        });
+    };
+
     return object({
         {"id", [self] { return fixed_leaf(Json(self->id_)); }},
         {"name", [self] { return fixed_leaf(Json(self->name_)); }},
@@ -735,6 +776,7 @@ ModelPtr Session::model() const {
              });
          }},
         {"dtm", dtm_node},
+        {"kernel", kernel_node},
     });
 }
 

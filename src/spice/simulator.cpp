@@ -52,8 +52,14 @@ Simulator::Simulator(const Circuit& circuit, SimOptions options)
     if (k.reuse_iter_limit < 1) {
         throw std::invalid_argument("Simulator: kernel.reuse_iter_limit must be >= 1");
     }
+    if (k.reuse_stall_ratio <= 0.0) {
+        throw std::invalid_argument("Simulator: kernel.reuse_stall_ratio must be > 0");
+    }
     if (k.bypass_tol_v < 0.0) {
         throw std::invalid_argument("Simulator: kernel.bypass_tol_v must be >= 0");
+    }
+    if (k.lockstep_width < 1) {
+        throw std::invalid_argument("Simulator: kernel.lockstep_width must be >= 1");
     }
     if (k.adaptive) {
         if (k.lte_rel_tol <= 0.0) {
@@ -79,7 +85,19 @@ Simulator::Simulator(const Circuit& circuit, SimOptions options)
         NodeId n{static_cast<std::uint32_t>(i)};
         if (!circuit_.is_driven(n)) {
             unknown_index_[i] = static_cast<int>(n_unknowns_++);
+            unknown_nodes_.push_back(static_cast<std::uint32_t>(i));
+        } else {
+            driven_nodes_.push_back(static_cast<std::uint32_t>(i));
+            driven_srcs_.push_back(&circuit_.source_of(n));
         }
+    }
+    for (const auto& r : circuit_.resistors()) {
+        res_elems_.push_back({r.a.index, r.b.index, unknown_index_[r.a.index],
+                              unknown_index_[r.b.index], 1.0 / r.ohms});
+    }
+    for (const auto& c : circuit_.capacitors()) {
+        cap_elems_.push_back({c.a.index, c.b.index, unknown_index_[c.a.index],
+                              unknown_index_[c.b.index], c.farads});
     }
 
     // Size the workspace once: the solver's steady state reuses these
@@ -94,13 +112,36 @@ Simulator::Simulator(const Circuit& circuit, SimOptions options)
     ws_.trial_caps.reserve(circuit_.capacitors().size());
     ws_.save_caps.reserve(circuit_.capacitors().size());
     ws_.mos.assign(circuit_.mosfets().size(), MosBypass{});
+
+    if (options_.kernel.batch_eval) {
+        const double temp = options_.temp_k;
+        ws_.batch = std::make_shared<DeviceBatch>(
+            circuit_, std::span<const double>(&temp, 1), options_.kernel.simd);
+        ws_.batch->build_scatter(unknown_index_, n_unknowns_);
+        ws_.residual_b.assign(n_unknowns_ + 1, 0.0);
+        ws_.node_currents.reserve(circuit_.node_count());
+    }
+}
+
+Simulator::Simulator(const Circuit& circuit, SimOptions options,
+                     std::shared_ptr<DeviceBatch> batch, std::size_t block)
+    : Simulator(circuit, std::move(options)) {
+    if (batch == nullptr || block >= batch->blocks()) {
+        throw std::invalid_argument("Simulator: bad shared DeviceBatch/block");
+    }
+    if (!batch->has_scatter()) {
+        batch->build_scatter(unknown_index_, n_unknowns_);
+    }
+    ws_.batch = std::move(batch);
+    ws_.residual_b.assign(n_unknowns_ + 1, 0.0);
+    ws_.node_currents.reserve(circuit_.node_count());
+    batch_block_ = block;
 }
 
 void Simulator::set_driven(std::vector<double>& volts, double t,
                            double scale) const {
-    for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
-        NodeId n{static_cast<std::uint32_t>(i)};
-        if (circuit_.is_driven(n)) volts[i] = scale * circuit_.source_of(n).value(t);
+    for (std::size_t k = 0; k < driven_nodes_.size(); ++k) {
+        volts[driven_nodes_[k]] = scale * driven_srcs_[k]->value(t);
     }
 }
 
@@ -131,6 +172,76 @@ phys::MosEval Simulator::eval_mosfet(std::size_t k, const Mosfet& m, double vgs,
     return phys::evaluate(m.params, m.geometry, vgs, vds, options_.temp_k);
 }
 
+void Simulator::stamp_linear(const std::vector<double>& volts, double h,
+                             const std::vector<CapState>* caps,
+                             Integrator integ, bool want_jac, Matrix& jac,
+                             std::span<double> residual) const {
+    // current `i` flows a -> b with conductances (di/dva, di/dvb). The
+    // element's unknown slots come precomputed from the constructor.
+    auto stamp_branch = [&](const LinElem& e, double i, double di_dva,
+                            double di_dvb) {
+        if (e.ia >= 0) {
+            residual[static_cast<std::size_t>(e.ia)] += i;
+            if (want_jac) {
+                jac.at(static_cast<std::size_t>(e.ia), static_cast<std::size_t>(e.ia)) += di_dva;
+                if (e.ib >= 0) jac.at(static_cast<std::size_t>(e.ia), static_cast<std::size_t>(e.ib)) += di_dvb;
+            }
+        }
+        if (e.ib >= 0) {
+            residual[static_cast<std::size_t>(e.ib)] -= i;
+            if (want_jac) {
+                jac.at(static_cast<std::size_t>(e.ib), static_cast<std::size_t>(e.ib)) -= di_dvb;
+                if (e.ia >= 0) jac.at(static_cast<std::size_t>(e.ib), static_cast<std::size_t>(e.ia)) -= di_dva;
+            }
+        }
+    };
+
+    for (const auto& e : res_elems_) {
+        const double g = e.coeff;
+        const double i = g * (volts[e.a] - volts[e.b]);
+        stamp_branch(e, i, g, -g);
+    }
+
+    if (caps != nullptr) {
+        const bool trap = integ == Integrator::Trapezoidal;
+        // The companion conductance geq = (trap ? 2 : 1) * C / h only
+        // changes with the step size or the rule — cache the division
+        // across the Newton iterations of a step (identical doubles:
+        // same expression, evaluated once).
+        if (ws_.geq_h != h || ws_.geq_trap != trap) {
+            ws_.cap_geq.resize(cap_elems_.size());
+            for (std::size_t k = 0; k < cap_elems_.size(); ++k) {
+                ws_.cap_geq[k] = (trap ? 2.0 : 1.0) * cap_elems_[k].coeff / h;
+            }
+            ws_.geq_h = h;
+            ws_.geq_trap = trap;
+        }
+        const auto& cs = *caps;
+        for (std::size_t k = 0; k < cap_elems_.size(); ++k) {
+            const LinElem& e = cap_elems_[k];
+            const double geq = ws_.cap_geq[k];
+            const double vab = volts[e.a] - volts[e.b];
+            const double hist = geq * cs[k].v_old + (trap ? cs[k].i_old : 0.0);
+            const double i = geq * vab - hist;
+            stamp_branch(e, i, geq, -geq);
+        }
+    }
+}
+
+void Simulator::stamp_gmin(const std::vector<double>& volts, double gmin,
+                           bool want_jac, Matrix& jac,
+                           std::span<double> residual) const {
+    // gmin shunts keep otherwise floating nodes well-conditioned. The
+    // unknown slot of unknown_nodes_[u] is u (both are assigned in
+    // ascending node order).
+    for (std::size_t u = 0; u < unknown_nodes_.size(); ++u) {
+        residual[u] += gmin * volts[unknown_nodes_[u]];
+        if (want_jac) {
+            jac.at(u, u) += gmin;
+        }
+    }
+}
+
 void Simulator::assemble(const std::vector<double>& volts, double h,
                          const std::vector<CapState>* caps, Integrator integ,
                          double gmin, bool want_jac, bool use_bypass,
@@ -138,47 +249,9 @@ void Simulator::assemble(const std::vector<double>& volts, double h,
     if (want_jac) jac.clear();
     std::fill(residual.begin(), residual.end(), 0.0);
 
+    stamp_linear(volts, h, caps, integ, want_jac, jac, residual);
+
     auto idx = [&](NodeId n) { return unknown_index_[n.index]; };
-
-    // current `i` flows a -> b with conductances (di/dva, di/dvb).
-    auto stamp_branch = [&](NodeId a, NodeId b, double i, double di_dva,
-                            double di_dvb) {
-        const int ia = idx(a);
-        const int ib = idx(b);
-        if (ia >= 0) {
-            residual[static_cast<std::size_t>(ia)] += i;
-            if (want_jac) {
-                jac.at(static_cast<std::size_t>(ia), static_cast<std::size_t>(ia)) += di_dva;
-                if (ib >= 0) jac.at(static_cast<std::size_t>(ia), static_cast<std::size_t>(ib)) += di_dvb;
-            }
-        }
-        if (ib >= 0) {
-            residual[static_cast<std::size_t>(ib)] -= i;
-            if (want_jac) {
-                jac.at(static_cast<std::size_t>(ib), static_cast<std::size_t>(ib)) -= di_dvb;
-                if (ia >= 0) jac.at(static_cast<std::size_t>(ib), static_cast<std::size_t>(ia)) -= di_dva;
-            }
-        }
-    };
-
-    for (const auto& r : circuit_.resistors()) {
-        const double g = 1.0 / r.ohms;
-        const double i = g * (volts[r.a.index] - volts[r.b.index]);
-        stamp_branch(r.a, r.b, i, g, -g);
-    }
-
-    if (caps != nullptr) {
-        const bool trap = integ == Integrator::Trapezoidal;
-        const auto& cs = *caps;
-        for (std::size_t k = 0; k < circuit_.capacitors().size(); ++k) {
-            const auto& c = circuit_.capacitors()[k];
-            const double geq = (trap ? 2.0 : 1.0) * c.farads / h;
-            const double vab = volts[c.a.index] - volts[c.b.index];
-            const double hist = geq * cs[k].v_old + (trap ? cs[k].i_old : 0.0);
-            const double i = geq * vab - hist;
-            stamp_branch(c.a, c.b, i, geq, -geq);
-        }
-    }
 
     for (std::size_t k = 0; k < circuit_.mosfets().size(); ++k) {
         const auto& m = circuit_.mosfets()[k];
@@ -237,15 +310,183 @@ void Simulator::assemble(const std::vector<double>& volts, double h,
         }
     }
 
-    // gmin shunts keep otherwise floating nodes well-conditioned.
-    for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
-        const int u = unknown_index_[i];
-        if (u < 0) continue;
-        residual[static_cast<std::size_t>(u)] += gmin * volts[i];
-        if (want_jac) {
-            jac.at(static_cast<std::size_t>(u), static_cast<std::size_t>(u)) += gmin;
-        }
+    stamp_gmin(volts, gmin, want_jac, jac, residual);
+}
+
+void Simulator::assemble_batched(const std::vector<double>& volts, double h,
+                                 const std::vector<CapState>* caps,
+                                 Integrator integ, double gmin, bool want_jac,
+                                 bool use_bypass, Matrix& jac) const {
+    // Same element order as assemble() — resistors, capacitors, devices,
+    // gmin shunts — so every residual/Jacobian cell accumulates its
+    // contributions in the legacy order (bitwise-identical sums). The
+    // residual is the trash-padded ws_.residual_b; the linear/gmin
+    // slices only ever touch its first n_unknowns entries.
+    std::vector<double>& residual = ws_.residual_b;
+    if (want_jac) jac.clear();
+    std::fill(residual.begin(), residual.end(), 0.0);
+
+    stamp_linear(volts, h, caps, integ, want_jac, jac,
+                 {residual.data(), n_unknowns_});
+
+    DeviceBatch& batch = *ws_.batch;
+    batch.gather(batch_block_, volts);
+    batch.evaluate(batch_block_, use_bypass, options_.kernel.bypass_tol_v,
+                   ws_.batch_stats);
+    batch.scatter_stamps(batch_block_, want_jac, jac, residual);
+
+    stamp_gmin(volts, gmin, want_jac, jac, {residual.data(), n_unknowns_});
+}
+
+Simulator::NewtonIterState Simulator::make_iter_state(
+    const NewtonParams& params, const std::vector<CapState>* caps) const {
+    // The fast shortcuts apply only to rung-0 transient attempts: DC
+    // solves and the recovery-ladder rungs always run the classic
+    // factor-every-iteration, evaluate-every-device path.
+    NewtonIterState st;
+    st.fast_reuse =
+        params.allow_fast && options_.kernel.reuse_lu && caps != nullptr;
+    st.use_bypass = params.allow_fast && caps != nullptr &&
+                    options_.kernel.bypass_tol_v > 0.0;
+    st.use_batch = params.allow_fast && caps != nullptr &&
+                   ws_.batch != nullptr && ws_.batch->has_scatter();
+    st.banded =
+        params.allow_fast && options_.kernel.banded_lu && caps != nullptr;
+    return st;
+}
+
+Simulator::NewtonStatus Simulator::newton_iteration(
+    std::vector<double>& volts, double h, const std::vector<CapState>* caps,
+    Integrator integ, const NewtonParams& params, Budget& budget,
+    const Sabotage& sab, long& iters, NewtonIterState& st) const {
+    if (budget.iters_left == 0) return NewtonStatus::IterBudget;
+    if (budget.iters_left > 0) --budget.iters_left;
+    if (budget.has_deadline &&
+        std::chrono::steady_clock::now() > budget.deadline) {
+        return NewtonStatus::Deadline;
     }
+    ++iters;
+    ++st.it;
+
+    Matrix& jac = ws_.jac;
+    std::vector<double>& delta = ws_.delta;
+
+    bool just_factored = false;
+    const bool factor_valid =
+        ws_.banded_active ? ws_.blu.valid() : ws_.lu.valid();
+    const bool lu_reusable = st.fast_reuse && !st.force_factor &&
+                             st.reuse_run < options_.kernel.reuse_iter_limit &&
+                             factor_valid && ws_.lu_h == h &&
+                             ws_.lu_integ == integ &&
+                             ws_.lu_gmin == params.gmin;
+    if (lu_reusable) {
+        OBS_SPAN("spice.newton.reuse");
+        // Modified Newton: residual-only assembly, re-solve against
+        // the kept factorization.
+        std::span<double> rhs;
+        if (st.use_batch) {
+            assemble_batched(volts, h, caps, integ, params.gmin,
+                             /*want_jac=*/false, st.use_bypass, jac);
+            rhs = {ws_.residual_b.data(), n_unknowns_};
+        } else {
+            assemble(volts, h, caps, integ, params.gmin, /*want_jac=*/false,
+                     st.use_bypass, jac, ws_.residual);
+            rhs = {ws_.residual.data(), n_unknowns_};
+        }
+        for (double& r : rhs) r = -r;
+        const bool ok = ws_.banded_active ? ws_.blu.solve(rhs, delta)
+                                          : ws_.lu.solve(rhs, delta);
+        if (!ok) return NewtonStatus::Singular;
+        ++ws_.lu_reuses;
+        ++st.reuse_run;
+    } else {
+        OBS_SPAN("spice.newton.refactor");
+        std::span<double> rhs;
+        if (st.use_batch) {
+            assemble_batched(volts, h, caps, integ, params.gmin,
+                             /*want_jac=*/true, st.use_bypass, jac);
+            rhs = {ws_.residual_b.data(), n_unknowns_};
+        } else {
+            assemble(volts, h, caps, integ, params.gmin, /*want_jac=*/true,
+                     st.use_bypass, jac, ws_.residual);
+            rhs = {ws_.residual.data(), n_unknowns_};
+        }
+        // Solve J * delta = -F.
+        for (double& r : rhs) r = -r;
+        if (st.fast_reuse || st.use_batch || st.banded) {
+            // Retained-factor path. For the dense factors this is
+            // bitwise equal to the one-shot lu_solve (see LuFactors);
+            // the banded factors are the documented non-bitwise opt-in.
+            bool banded_done = false;
+            if (st.banded && !ws_.banded_fallback) {
+                if (!ws_.banded_planned) {
+                    // The plan is a property of the sparsity pattern,
+                    // which is fixed per circuit: analyze once.
+                    ws_.banded_plan = BandedLuFactors::analyze(jac);
+                    ws_.banded_planned = true;
+                }
+                if (ws_.banded_plan.banded) {
+                    if (ws_.blu.factor(jac, ws_.banded_plan)) {
+                        banded_done = true;
+                        ++ws_.banded_factors;
+                    } else {
+                        ws_.banded_fallback = true; // Pivot degenerated.
+                    }
+                } else {
+                    ws_.banded_fallback = true; // Pattern not banded.
+                }
+            }
+            if (!banded_done) {
+                if (!ws_.lu.factor(jac)) return NewtonStatus::Singular;
+            }
+            ws_.banded_active = banded_done;
+            ws_.lu_h = h;
+            ws_.lu_integ = integ;
+            ws_.lu_gmin = params.gmin;
+            const bool ok = banded_done ? ws_.blu.solve(rhs, delta)
+                                        : ws_.lu.solve(rhs, delta);
+            if (!ok) return NewtonStatus::Singular;
+        } else {
+            if (!lu_solve(jac, ws_.residual, delta)) return NewtonStatus::Singular;
+        }
+        ++ws_.lu_refactors;
+        just_factored = true;
+        st.reuse_run = 0;
+        st.force_factor = false;
+    }
+
+    double max_dv = 0.0;
+    for (std::size_t u = 0; u < unknown_nodes_.size(); ++u) {
+        double dv = delta[u];
+        dv = std::clamp(dv, -params.v_step_limit, params.v_step_limit);
+        volts[unknown_nodes_[u]] += dv;
+        max_dv = std::max(max_dv, std::abs(dv));
+    }
+    if (!std::isfinite(max_dv)) return NewtonStatus::NonFinite;
+    if (max_dv < options_.abstol_v) {
+        if (sab.nan && params.rung_index < sab.rungs) {
+            // Injected NaN state: plant one into the first unknown so
+            // the finiteness gate below classifies it.
+            for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+                if (unknown_index_[i] >= 0) {
+                    volts[i] = std::numeric_limits<double>::quiet_NaN();
+                    break;
+                }
+            }
+        }
+        for (double v : volts) {
+            if (!std::isfinite(v)) return NewtonStatus::NonFinite;
+        }
+        return NewtonStatus::Converged;
+    }
+    // Stall detection: a reused-Jacobian iteration that failed to
+    // shrink the update meaningfully forces a fresh factorization.
+    if (!just_factored &&
+        max_dv > options_.kernel.reuse_stall_ratio * st.prev_max_dv) {
+        st.force_factor = true;
+    }
+    st.prev_max_dv = max_dv;
+    return NewtonStatus::Running;
 }
 
 Simulator::NewtonStatus Simulator::solve_newton(
@@ -256,102 +497,23 @@ Simulator::NewtonStatus Simulator::solve_newton(
         return NewtonStatus::NoConverge; // Injected convergence failure.
     }
 
-    // The fast shortcuts apply only to rung-0 transient attempts: DC
-    // solves and the recovery-ladder rungs always run the classic
-    // factor-every-iteration, evaluate-every-device path.
-    const bool fast_reuse =
-        params.allow_fast && options_.kernel.reuse_lu && caps != nullptr;
-    const bool use_bypass = params.allow_fast && caps != nullptr &&
-                            options_.kernel.bypass_tol_v > 0.0;
+    NewtonIterState st = make_iter_state(params, caps);
 
     obs::Span span("spice.newton.solve");
-    span.tag("kernel", fast_reuse ? (use_bypass ? "reuse+bypass" : "reuse")
-                                  : (use_bypass ? "bypass" : "classic"));
+    span.tag("kernel", st.fast_reuse
+                           ? (st.use_bypass ? "reuse+bypass" : "reuse")
+                           : (st.use_bypass ? "bypass" : "classic"));
+    if (st.use_batch) {
+        span.tag("eval", util::simd_level_name(ws_.batch->level()));
+    }
+    if (st.banded) {
+        span.tag("lu", ws_.banded_fallback ? "dense" : "banded");
+    }
 
-    Matrix& jac = ws_.jac;
-    std::vector<double>& residual = ws_.residual;
-    std::vector<double>& delta = ws_.delta;
-
-    int reuse_run = 0;
-    bool force_factor = false;
-    double prev_max_dv = std::numeric_limits<double>::infinity();
-
-    for (int it = 0; it < params.max_iters; ++it) {
-        if (budget.iters_left == 0) return NewtonStatus::IterBudget;
-        if (budget.iters_left > 0) --budget.iters_left;
-        if (budget.has_deadline &&
-            std::chrono::steady_clock::now() > budget.deadline) {
-            return NewtonStatus::Deadline;
-        }
-        ++iters;
-
-        bool just_factored = false;
-        const bool lu_reusable = fast_reuse && !force_factor &&
-                                 reuse_run < options_.kernel.reuse_iter_limit &&
-                                 ws_.lu.valid() && ws_.lu_h == h &&
-                                 ws_.lu_integ == integ &&
-                                 ws_.lu_gmin == params.gmin;
-        if (lu_reusable) {
-            OBS_SPAN("spice.newton.reuse");
-            // Modified Newton: residual-only assembly, re-solve against
-            // the kept factorization.
-            assemble(volts, h, caps, integ, params.gmin, /*want_jac=*/false,
-                     use_bypass, jac, residual);
-            for (double& r : residual) r = -r;
-            if (!ws_.lu.solve(residual, delta)) return NewtonStatus::Singular;
-            ++ws_.lu_reuses;
-            ++reuse_run;
-        } else {
-            OBS_SPAN("spice.newton.refactor");
-            assemble(volts, h, caps, integ, params.gmin, /*want_jac=*/true,
-                     use_bypass, jac, residual);
-            // Solve J * delta = -F.
-            for (double& r : residual) r = -r;
-            if (fast_reuse) {
-                if (!ws_.lu.factor(jac)) return NewtonStatus::Singular;
-                ws_.lu_h = h;
-                ws_.lu_integ = integ;
-                ws_.lu_gmin = params.gmin;
-                if (!ws_.lu.solve(residual, delta)) return NewtonStatus::Singular;
-            } else {
-                if (!lu_solve(jac, residual, delta)) return NewtonStatus::Singular;
-            }
-            ++ws_.lu_refactors;
-            just_factored = true;
-            reuse_run = 0;
-            force_factor = false;
-        }
-
-        double max_dv = 0.0;
-        for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
-            const int u = unknown_index_[i];
-            if (u < 0) continue;
-            double dv = delta[static_cast<std::size_t>(u)];
-            dv = std::clamp(dv, -params.v_step_limit, params.v_step_limit);
-            volts[i] += dv;
-            max_dv = std::max(max_dv, std::abs(dv));
-        }
-        if (!std::isfinite(max_dv)) return NewtonStatus::NonFinite;
-        if (max_dv < options_.abstol_v) {
-            if (sab.nan && params.rung_index < sab.rungs) {
-                // Injected NaN state: plant one into the first unknown so
-                // the finiteness gate below classifies it.
-                for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
-                    if (unknown_index_[i] >= 0) {
-                        volts[i] = std::numeric_limits<double>::quiet_NaN();
-                        break;
-                    }
-                }
-            }
-            for (double v : volts) {
-                if (!std::isfinite(v)) return NewtonStatus::NonFinite;
-            }
-            return NewtonStatus::Converged;
-        }
-        // Stall detection: a reused-Jacobian iteration that failed to
-        // shrink the update meaningfully forces a fresh factorization.
-        if (!just_factored && max_dv > 0.5 * prev_max_dv) force_factor = true;
-        prev_max_dv = max_dv;
+    while (st.it < params.max_iters) {
+        const NewtonStatus s = newton_iteration(volts, h, caps, integ, params,
+                                                budget, sab, iters, st);
+        if (s != NewtonStatus::Running) return s;
     }
     return NewtonStatus::NoConverge;
 }
@@ -554,11 +716,18 @@ void Simulator::commit_step(std::vector<double>& volts,
         // Supply metering: energy = v * i_delivered * h per source,
         // with the end-of-step current (rectangle rule).
         const bool bypass = options_.kernel.bypass_tol_v > 0.0;
-        for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
-            const NodeId n{static_cast<std::uint32_t>(i)};
-            if (!circuit_.is_driven(n)) continue;
-            const double cur = injected_current(n, trial, h, &trial_caps, integ, bypass);
-            result.source_energy_j[i] += trial[i] * cur * h;
+        if (ws_.batch != nullptr) {
+            // One device-population pass for every source instead of one
+            // full netlist walk per driven node (bitwise-identical
+            // energies; see meter_sources_batched).
+            meter_sources_batched(trial, h, &trial_caps, integ, bypass, result);
+        } else {
+            for (std::size_t i = 0; i < circuit_.node_count(); ++i) {
+                const NodeId n{static_cast<std::uint32_t>(i)};
+                if (!circuit_.is_driven(n)) continue;
+                const double cur = injected_current(n, trial, h, &trial_caps, integ, bypass);
+                result.source_energy_j[i] += trial[i] * cur * h;
+            }
         }
     }
     update_cap_state(trial, h, integ, trial_caps);
@@ -595,10 +764,20 @@ Simulator::NewtonStatus Simulator::advance(std::vector<double>& volts,
     if (status == NewtonStatus::IterBudget || status == NewtonStatus::Deadline) {
         return status;
     }
+    return rescue_failed_step(volts, caps, t, h, depth, integ, sab, budget,
+                              result, status);
+}
+
+Simulator::NewtonStatus Simulator::rescue_failed_step(
+    std::vector<double>& volts, std::vector<CapState>& caps, double t,
+    double h, int depth, Integrator integ, const Sabotage& sab,
+    Budget& budget, TransientResult& result, NewtonStatus status) const {
+    std::vector<double>& trial = ws_.trial_volts;
+    std::vector<CapState>& trial_caps = ws_.trial_caps;
 
     // A failed fast solve may hold a factorization from the divergent
     // trajectory; the halving/ladder rescue starts clean.
-    ws_.lu.invalidate();
+    invalidate_factors();
 
     // Legacy rescue: halve the step into two sub-steps. An injected
     // failure skips this (it models a failure halving cannot fix, and
@@ -701,6 +880,52 @@ double Simulator::injected_current(NodeId node, const std::vector<double>& volts
     }
     out += options_.gmin * volts[node.index];
     return out;
+}
+
+void Simulator::meter_sources_batched(const std::vector<double>& volts,
+                                      double h,
+                                      const std::vector<CapState>* caps,
+                                      Integrator integ, bool use_bypass,
+                                      TransientResult& result) const {
+    // Accumulates every node's injected current in one element walk.
+    // Per node the contributions land in the same element order as
+    // injected_current's per-node walk (and the device pass reuses the
+    // same bypass caches the legacy walk would), so each driven node's
+    // current — and the banked energy — is bitwise identical to running
+    // injected_current once per source.
+    std::vector<double>& cur = ws_.node_currents;
+    cur.assign(circuit_.node_count(), 0.0);
+
+    for (const auto& r : circuit_.resistors()) {
+        const double g = 1.0 / r.ohms;
+        const double i = g * (volts[r.a.index] - volts[r.b.index]);
+        cur[r.a.index] += i;
+        cur[r.b.index] -= i;
+    }
+    if (caps != nullptr && h > 0.0) {
+        const bool trap = integ == Integrator::Trapezoidal;
+        for (std::size_t k = 0; k < cap_elems_.size(); ++k) {
+            const LinElem& e = cap_elems_[k];
+            const double geq = (trap ? 2.0 : 1.0) * e.coeff / h;
+            const double vab = volts[e.a] - volts[e.b];
+            const double hist =
+                geq * (*caps)[k].v_old + (trap ? (*caps)[k].i_old : 0.0);
+            const double i = geq * vab - hist;
+            cur[e.a] += i;
+            cur[e.b] -= i;
+        }
+    }
+
+    DeviceBatch& batch = *ws_.batch;
+    batch.gather(batch_block_, volts);
+    batch.evaluate(batch_block_, use_bypass, options_.kernel.bypass_tol_v,
+                   ws_.batch_stats);
+    batch.accumulate_currents(batch_block_, cur);
+
+    for (const std::uint32_t i : driven_nodes_) {
+        const double out = cur[i] + options_.gmin * volts[i];
+        result.source_energy_j[i] += volts[i] * out * h;
+    }
 }
 
 std::optional<SimError> Simulator::run_fixed(
@@ -908,8 +1133,9 @@ Result<TransientResult> Simulator::try_transient(const TransientSpec& spec) {
     // ran on the classic path); a kept factorization or bypass cache
     // from a previous run must not leak across calls either.
     ws_.reset_stats();
-    ws_.lu.invalidate();
+    invalidate_factors();
     for (auto& c : ws_.mos) c.valid = false;
+    if (ws_.batch != nullptr) ws_.batch->invalidate_cache(batch_block_);
 
     const std::optional<SimError> err =
         options_.kernel.adaptive
@@ -918,9 +1144,12 @@ Result<TransientResult> Simulator::try_transient(const TransientSpec& spec) {
 
     result.lu_refactors = ws_.lu_refactors;
     result.lu_reuses = ws_.lu_reuses;
-    result.bypass_hits = ws_.bypass_hits;
-    result.device_evals = ws_.device_evals;
+    result.bypass_hits = ws_.bypass_hits + ws_.batch_stats.bypass_hits;
+    result.device_evals = ws_.device_evals + ws_.batch_stats.device_evals;
     result.steps_rejected = ws_.steps_rejected;
+    result.batch_lanes = ws_.batch_stats.batch_lanes;
+    result.simd_groups = ws_.batch_stats.simd_groups;
+    result.banded_factors = ws_.banded_factors;
     span.num("steps", static_cast<double>(result.steps_taken));
     if (err) return *err;
 
@@ -938,6 +1167,18 @@ Result<TransientResult> Simulator::try_transient(const TransientSpec& spec) {
     if (result.bypass_hits > 0) {
         metrics.counter("spice.eval.bypass_hits")
             .add(static_cast<std::uint64_t>(result.bypass_hits));
+    }
+    if (result.batch_lanes > 0) {
+        metrics.counter("spice.eval.batch_lanes")
+            .add(static_cast<std::uint64_t>(result.batch_lanes));
+    }
+    if (result.simd_groups > 0) {
+        metrics.counter("spice.eval.simd_groups")
+            .add(static_cast<std::uint64_t>(result.simd_groups));
+    }
+    if (result.banded_factors > 0) {
+        metrics.counter("spice.lu.banded_factors")
+            .add(static_cast<std::uint64_t>(result.banded_factors));
     }
     return result;
 }

@@ -45,16 +45,21 @@
 // directly.
 #pragma once
 
+#include "spice/device_batch.hpp"
 #include "spice/linalg.hpp"
 #include "spice/netlist.hpp"
 #include "spice/sim_error.hpp"
 #include "spice/waveform.hpp"
 
 #include "phys/mosfet.hpp"
+#include "util/simd.hpp"
 
 #include <chrono>
 #include <functional>
+#include <limits>
+#include <memory>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -80,11 +85,47 @@ struct TransientOptions {
     /// Forced-refactor threshold: consecutive re-solves against one
     /// factorization before a fresh factorization is required.
     int reuse_iter_limit = 8;
+    /// Stall-detection threshold: a reused-Jacobian iteration whose
+    /// max |dV| failed to shrink below this fraction of the previous
+    /// iteration's forces a fresh factorization. The historical engine
+    /// hard-coded 0.5, which on the ring's modified-Newton contraction
+    /// rate (~0.6-0.8 per iteration) flagged nearly every reused
+    /// iteration as a stall and refactored anyway — the reason PR 3
+    /// measured reuse_lu as a net loss. Must be > 0.
+    double reuse_stall_ratio = 0.5;
 
     /// Device-evaluation bypass tolerance [V]: a MOSFET whose terminal
     /// voltages moved less than this since its last real evaluation is
     /// restamped from the cached linearization. 0 disables bypass.
     double bypass_tol_v = 0.0;
+
+    /// Batched SoA device evaluation: gather every MOSFET's terminal
+    /// voltages into contiguous lanes, evaluate the population in one
+    /// pass (bypass test folded into a per-lane mask), and scatter the
+    /// stamps through a precomputed flat index map. Bitwise identical
+    /// to the legacy per-device loop by construction (the parity suite
+    /// gates it), so it is safe anywhere the legacy kernel runs.
+    bool batch_eval = false;
+    /// Lane-kernel dispatch for batch_eval (scalar and AVX2 kernels are
+    /// bitwise identical; the STSENSE_SIMD env var overrides this).
+    util::SimdMode simd = util::SimdMode::Auto;
+
+    /// Structure-exploiting bordered-band LU for the ring's MNA pattern
+    /// (O(n*b^2) instead of O(n^3) per factorization). The banded
+    /// elimination order differs from the pivoted dense core, so results
+    /// agree to rounding but are NOT bitwise identical — opt-in, and
+    /// part of the sweep cache fingerprint. Falls back to dense
+    /// LuFactors permanently when the pattern is not banded (or a
+    /// pivot degenerates).
+    bool banded_lu = false;
+
+    /// Lock-step multi-point width for the sweep layers: sweep points
+    /// sharing a grid stamp advance their Newton iterations together
+    /// over one shared batched evaluator, lockstep_width points at a
+    /// time. 1 disables lock-step. Consumed by ring::temperature_sweep
+    /// (the Simulator itself always solves one point); results are
+    /// bitwise identical to per-point solves by construction.
+    int lockstep_width = 1;
 
     /// LTE-driven adaptive time stepping (rejected steps are rolled
     /// back and retried with a smaller h).
@@ -99,15 +140,29 @@ struct TransientOptions {
 
     /// The tuned fast path: 0.5 mV device bypass (the ring's Jacobian
     /// is tiny, so phys::evaluate dominates each iteration and bypass
-    /// is the big win). LU reuse and adaptive stepping stay opt-in:
-    /// on the ring workload both trade cheap iterations for more
-    /// iterations — modified Newton converges linearly against a tight
-    /// abstol, and a ring always has an edge in flight for the LTE
-    /// controller to resolve — so bench_transient_kernel measures them
-    /// as net losses (see DESIGN §9 for the ablation numbers).
+    /// is the big win) on the batched SoA evaluator, banded LU on the
+    /// ring's bordered-band MNA pattern, lock-step multi-point
+    /// evaluation, and modified Newton gated on strict contraction.
+    /// The reuse tuning is counter-intuitive and deliberate: with the
+    /// banded kernel a factorization is cheap, so the preset reuses a
+    /// factorization only while the iteration contracts hard (ratio
+    /// 0.3) and for at most 2 iterations — any stall refactors
+    /// immediately rather than limping along on a stale Jacobian. A
+    /// relaxed threshold (0.9, the obvious choice against the ring's
+    /// 0.6-0.8 contraction rate) reuses far more but nearly doubles
+    /// the iteration count and loses outright; see DESIGN §15 for the
+    /// measured ablation. Adaptive stepping stays opt-in: a ring
+    /// always has an edge in flight for the LTE controller to resolve,
+    /// so it trades accuracy for nothing here.
     static TransientOptions fast() {
         TransientOptions k;
         k.bypass_tol_v = 5e-4;
+        k.batch_eval = true;
+        k.banded_lu = true;
+        k.reuse_lu = true;
+        k.reuse_iter_limit = 2;
+        k.reuse_stall_ratio = 0.3;
+        k.lockstep_width = 8;
         return k;
     }
 };
@@ -179,8 +234,13 @@ struct TransientResult {
     long lu_refactors = 0;   ///< Fresh Jacobian factorizations.
     long lu_reuses = 0;      ///< Iterations solved against a kept LU.
     long bypass_hits = 0;    ///< Device evaluations served from cache.
-    long device_evals = 0;   ///< Real phys::evaluate calls.
+    long device_evals = 0;   ///< Real model evaluations (either path).
     long steps_rejected = 0; ///< Adaptive steps rolled back on LTE.
+    long batch_lanes = 0;    ///< SoA lanes processed by the batched path
+                             ///< (spice.eval.batch_lanes).
+    long simd_groups = 0;    ///< 4-lane AVX2 groups (spice.eval.simd_groups).
+    long banded_factors = 0; ///< Banded-LU factorizations
+                             ///< (spice.lu.banded_factors).
 
     /// Energy delivered by each driven node's source over the run [J],
     /// indexed by NodeId::index (zero for undriven nodes). Filled when
@@ -242,7 +302,9 @@ private:
         double i_old = 0.0; ///< Branch current at the last accepted time.
     };
 
-    /// Outcome of one Newton solve attempt.
+    /// Outcome of one Newton solve attempt. Running is internal to the
+    /// iteration seam (newton_iteration returns it to mean "keep
+    /// going"); it never escapes solve_newton.
     enum class NewtonStatus {
         Converged,
         NoConverge,
@@ -250,6 +312,7 @@ private:
         NonFinite,
         IterBudget,
         Deadline,
+        Running,
     };
 
     /// Knobs of one solve attempt (the ladder varies these per rung).
@@ -283,6 +346,23 @@ private:
         bool active() const { return newton || nan; }
     };
 
+    /// Per-attempt kernel-path flags plus the loop-carried state of one
+    /// Newton solve, factored out so the lock-step sweep can advance
+    /// several Simulators' iterations in phase through the exact code
+    /// path a solo solve runs (parity by construction).
+    struct NewtonIterState {
+        // Path selection, fixed per attempt (make_iter_state).
+        bool fast_reuse = false; ///< Modified Newton (LU kept across iters).
+        bool use_bypass = false; ///< Device bypass caches allowed.
+        bool use_batch = false;  ///< Batched SoA assemble path.
+        bool banded = false;     ///< Banded LU requested (may fall back).
+        // Loop-carried iteration state.
+        int it = 0;
+        int reuse_run = 0;
+        bool force_factor = false;
+        double prev_max_dv = std::numeric_limits<double>::infinity();
+    };
+
     /// Cached linearization of one MOSFET at its last real evaluation
     /// (terminal-voltage magnitudes in the device polarity convention).
     struct MosBypass {
@@ -304,13 +384,40 @@ private:
         std::vector<CapState> trial_caps;
 
         // Modified-Newton factorization + the (h, integ, gmin)
-        // signature it was assembled under.
+        // signature it was assembled under. When banded_active, the
+        // live factorization is blu instead of lu (same signature
+        // fields; only one factorization is current at a time).
         LuFactors lu;
         double lu_h = -1.0;
         Integrator lu_integ = Integrator::Trapezoidal;
         double lu_gmin = -1.0;
 
+        // Banded-LU state (kernel.banded_lu). The plan is a property of
+        // the circuit's sparsity pattern, so it is computed once per
+        // Simulator; banded_fallback latches permanently when the
+        // pattern is not banded or a pivot degenerates.
+        BandedLuFactors blu;
+        BandedLuFactors::Plan banded_plan;
+        bool banded_planned = false;
+        bool banded_fallback = false;
+        bool banded_active = false; ///< blu (not lu) holds the live factors.
+
         std::vector<MosBypass> mos; ///< Per-MOSFET bypass caches.
+
+        // Batched SoA evaluator (kernel.batch_eval). shared_ptr because
+        // the lock-step sweep hands one multi-block batch to several
+        // Simulators (each using its own block).
+        std::shared_ptr<DeviceBatch> batch;
+        DeviceBatch::Stats batch_stats;
+        std::vector<double> residual_b;     ///< n_unknowns + 1 (trash slot).
+        std::vector<double> node_currents;  ///< Metering scratch (node count).
+
+        // Capacitor companion conductances for the (h, rule) the last
+        // stamp ran under — the division per capacitor moves out of the
+        // per-iteration loop (the cached geq is the identical double).
+        std::vector<double> cap_geq;
+        double geq_h = -1.0;
+        bool geq_trap = false;
 
         // Adaptive-stepping bookkeeping (rollback + predictor).
         std::vector<double> save_volts;
@@ -324,10 +431,12 @@ private:
         long bypass_hits = 0;
         long device_evals = 0;
         long steps_rejected = 0;
+        long banded_factors = 0;
 
         void reset_stats() {
             lu_refactors = lu_reuses = bypass_hits = device_evals =
-                steps_rejected = 0;
+                steps_rejected = banded_factors = 0;
+            batch_stats = DeviceBatch::Stats{};
         }
     };
 
@@ -345,6 +454,27 @@ private:
                   double gmin, bool want_jac, bool use_bypass, Matrix& jac,
                   std::vector<double>& residual) const;
 
+    /// The linear-element (resistor + capacitor-companion) and gmin
+    /// slices of assemble(), shared between the legacy and batched
+    /// assembly paths. `residual` only needs n_unknowns entries.
+    void stamp_linear(const std::vector<double>& volts, double h,
+                      const std::vector<CapState>* caps, Integrator integ,
+                      bool want_jac, Matrix& jac,
+                      std::span<double> residual) const;
+    void stamp_gmin(const std::vector<double>& volts, double gmin,
+                    bool want_jac, Matrix& jac,
+                    std::span<double> residual) const;
+
+    /// Batched assembly: identical element order (resistors, caps,
+    /// devices, gmin) and per-cell accumulation order as assemble(), so
+    /// every residual/Jacobian entry is bitwise equal — the device slice
+    /// just runs through ws_.batch. Fills ws_.residual_b (whose trailing
+    /// trash slot absorbs driven-node stamps).
+    void assemble_batched(const std::vector<double>& volts, double h,
+                          const std::vector<CapState>* caps, Integrator integ,
+                          double gmin, bool want_jac, bool use_bypass,
+                          Matrix& jac) const;
+
     /// Evaluates MOSFET `k` at the given terminal-voltage magnitudes,
     /// through the bypass cache when allowed.
     phys::MosEval eval_mosfet(std::size_t k, const Mosfet& m, double vgs,
@@ -361,6 +491,20 @@ private:
                               Budget& budget, const Sabotage& sab,
                               long& iters) const;
 
+    /// Resolves the kernel-path flags of one solve attempt.
+    NewtonIterState make_iter_state(const NewtonParams& params,
+                                    const std::vector<CapState>* caps) const;
+
+    /// Exactly one Newton iteration (assemble, factor-or-reuse, solve,
+    /// clamp, update) — the body of solve_newton's loop. Returns Running
+    /// to continue iterating, Converged/a failure to stop. The lock-step
+    /// sweep calls this directly to phase-advance several points.
+    NewtonStatus newton_iteration(std::vector<double>& volts, double h,
+                                  const std::vector<CapState>* caps,
+                                  Integrator integ, const NewtonParams& params,
+                                  Budget& budget, const Sabotage& sab,
+                                  long& iters, NewtonIterState& st) const;
+
     /// DC ladder shared by try_dc_operating_point and the transient DC
     /// start. On success records the rung into last_dc_rung_.
     Result<std::vector<double>> dc_ladder(Budget& budget);
@@ -373,6 +517,17 @@ private:
                          std::vector<CapState>& caps, double t, double h,
                          int depth, Integrator integ, const Sabotage& sab,
                          Budget& budget, TransientResult& result) const;
+
+    /// The rescue tail of advance() (step halving, then the damped/gmin
+    /// ladder rungs), split out so the lock-step sweep can route a
+    /// failed phase-advanced point through the identical recovery the
+    /// solo engine runs. `status` is the failed base attempt's verdict.
+    NewtonStatus rescue_failed_step(std::vector<double>& volts,
+                                    std::vector<CapState>& caps, double t,
+                                    double h, int depth, Integrator integ,
+                                    const Sabotage& sab, Budget& budget,
+                                    TransientResult& result,
+                                    NewtonStatus status) const;
 
     /// Commits an accepted step solution (metering + cap history); the
     /// trial buffers are swapped into volts/caps.
@@ -397,6 +552,23 @@ private:
                             double h, const std::vector<CapState>* caps,
                             Integrator integ, bool use_bypass) const;
 
+    /// Batched supply metering: one device-population pass accumulates
+    /// every node's injected current (per-node sums run in the same
+    /// element order as injected_current, so each source's current — and
+    /// the banked energy — is bitwise identical to the legacy
+    /// per-driven-node walks).
+    void meter_sources_batched(const std::vector<double>& volts, double h,
+                               const std::vector<CapState>* caps,
+                               Integrator integ, bool use_bypass,
+                               TransientResult& result) const;
+
+    /// Drops every kept factorization (dense and banded).
+    void invalidate_factors() const {
+        ws_.lu.invalidate();
+        ws_.blu.invalidate();
+        ws_.banded_active = false;
+    }
+
     /// The fixed-step loop (the historical engine, preserved bit for
     /// bit) and the opt-in adaptive loop behind try_transient. Both
     /// fill `result` in place and return the failure, if any.
@@ -411,10 +583,36 @@ private:
                                          Budget& budget, TransientResult& result,
                                          const std::function<void(double)>& record);
 
+    /// Lock-step construction: share a prebuilt multi-block DeviceBatch,
+    /// using `block` as this point's lane block. Only LockStepRunner
+    /// (spice/lockstep.cpp) uses this.
+    Simulator(const Circuit& circuit, SimOptions options,
+              std::shared_ptr<DeviceBatch> batch, std::size_t block);
+
+    friend class LockStepRunner;
+
     const Circuit& circuit_;
     SimOptions options_;
     std::vector<int> unknown_index_; ///< NodeId -> unknown slot, -1 if driven.
     std::size_t n_unknowns_ = 0;
+
+    /// Precomputed two-terminal element topology: node indices plus
+    /// their unknown slots (-1 when driven), resolved once so the
+    /// per-iteration stamp loops skip the NodeId -> slot lookups.
+    /// `coeff` is 1/ohms for resistors and farads for capacitors.
+    struct LinElem {
+        std::uint32_t a, b;
+        int ia, ib;
+        double coeff;
+    };
+    std::vector<LinElem> res_elems_;
+    std::vector<LinElem> cap_elems_;
+    /// Driven nodes (ascending) with their sources; the undriven rest
+    /// (ascending — matches unknown_index_ slot order by construction).
+    std::vector<std::uint32_t> driven_nodes_;
+    std::vector<const Source*> driven_srcs_;
+    std::vector<std::uint32_t> unknown_nodes_;
+    std::size_t batch_block_ = 0; ///< This Simulator's DeviceBatch block.
     RecoveryRung last_dc_rung_ = RecoveryRung::None;
     long fault_event_seq_ = 0; ///< Solve-event counter for injection streams.
     mutable Workspace ws_;

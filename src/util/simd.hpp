@@ -1,0 +1,63 @@
+// util::simd — runtime SIMD capability probe and dispatch policy.
+//
+// The batched device evaluator (spice::DeviceBatch) carries two code
+// paths for its hot restamp/mask arithmetic: portable scalar and AVX2.
+// Which one runs is decided *at runtime* from the CPU the process
+// actually landed on, so one binary serves every x86-64 machine — and
+// the choice can be pinned for testing through the STSENSE_SIMD
+// environment variable (the tier-1 parity suite runs the whole test
+// set once per dispatch to prove the paths bitwise-identical).
+//
+// The contract both paths must honor: identical results bit for bit.
+// The vector path therefore performs exactly the scalar expressions in
+// exactly the scalar association — in particular the AVX2 translation
+// unit is compiled with -ffp-contract=off so GCC cannot fuse its
+// mul+add intrinsics into FMAs (an FMA rounds once where mul+add
+// rounds twice, which would break parity). FMA support is still probed
+// and reported, but no value-critical math uses it.
+#pragma once
+
+namespace stsense::util {
+
+/// What the CPU offers (probed once, cached).
+struct SimdCaps {
+    bool sse42 = false;
+    bool avx2 = false;
+    bool fma = false;
+    bool avx512f = false;
+};
+
+/// Instruction-set level a kernel actually dispatches to.
+enum class SimdLevel {
+    Scalar,
+    Avx2,
+};
+
+/// Dispatch request carried by the option structs: Auto picks the best
+/// probed level, the others force one (forcing a level the CPU lacks
+/// silently degrades to Scalar — the scalar path is always correct).
+enum class SimdMode {
+    Auto,
+    ForceScalar,
+    ForceAvx2,
+};
+
+/// CPU capability probe (cached after the first call; never throws).
+const SimdCaps& simd_caps();
+
+/// Resolves a requested mode against the probed caps and the
+/// STSENSE_SIMD environment override. Precedence: environment variable
+/// beats the mode argument beats the probe — so a CI lane can pin
+/// `STSENSE_SIMD=scalar` without touching any call site.
+SimdLevel resolve_simd(SimdMode mode = SimdMode::Auto);
+
+/// Parses a STSENSE_SIMD-style string ("scalar", "avx2", "auto", case
+/// sensitive by design — these are machine-written CI values). Returns
+/// false and leaves `out` untouched for anything else (including
+/// nullptr/empty, which mean "no override").
+bool parse_simd_override(const char* value, SimdMode& out);
+
+/// Human-readable level name ("scalar" / "avx2") for logs and benches.
+const char* simd_level_name(SimdLevel level);
+
+} // namespace stsense::util

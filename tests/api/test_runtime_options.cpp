@@ -151,6 +151,60 @@ TEST(RuntimeOptions, FastKernelProjectsTheTunedPresets) {
     EXPECT_EQ(spice_opt.kernel.bypass_tol_v, fast.bypass_tol_v);
 }
 
+TEST(RuntimeOptions, KernelKnobsOverrideTheSelectedPreset) {
+    // On top of the defaults: each knob opts one feature in while the
+    // rest of the kernel stays seed-identical.
+    {
+        const auto t = RuntimeOptions()
+                           .batch_eval(true)
+                           .simd(util::SimdMode::ForceScalar)
+                           .lockstep(4)
+                           .transient_options();
+        EXPECT_TRUE(t.batch_eval);
+        EXPECT_EQ(t.simd, util::SimdMode::ForceScalar);
+        EXPECT_EQ(t.lockstep_width, 4);
+        EXPECT_FALSE(t.banded_lu);
+        EXPECT_FALSE(t.reuse_lu);
+        EXPECT_EQ(t.bypass_tol_v, spice::TransientOptions{}.bypass_tol_v);
+    }
+    // On top of the fast preset: each knob opts one feature back out.
+    {
+        const auto t = RuntimeOptions()
+                           .fast_kernel(true)
+                           .batch_eval(false)
+                           .banded_lu(false)
+                           .lockstep(1)
+                           .transient_options();
+        EXPECT_FALSE(t.batch_eval);
+        EXPECT_FALSE(t.banded_lu);
+        EXPECT_EQ(t.lockstep_width, 1);
+        EXPECT_TRUE(t.reuse_lu); // The rest of the preset survives.
+        EXPECT_EQ(t.bypass_tol_v, spice::TransientOptions::fast().bypass_tol_v);
+    }
+    // The ring projection carries the overridden kernel too.
+    {
+        const auto o = RuntimeOptions()
+                           .fast_kernel(true)
+                           .lockstep(2)
+                           .spice_ring_options();
+        EXPECT_TRUE(o.early_exit);
+        EXPECT_EQ(o.kernel.lockstep_width, 2);
+    }
+    // Untouched knobs project bitwise the layer defaults (lockstep 0 =
+    // keep the preset's width, unset overrides = the preset's choice).
+    {
+        const auto t = RuntimeOptions().transient_options();
+        const spice::TransientOptions ref;
+        EXPECT_EQ(t.batch_eval, ref.batch_eval);
+        EXPECT_EQ(t.banded_lu, ref.banded_lu);
+        EXPECT_EQ(t.simd, ref.simd);
+        EXPECT_EQ(t.lockstep_width, ref.lockstep_width);
+        const auto f = RuntimeOptions().fast_kernel(true).transient_options();
+        EXPECT_EQ(f.lockstep_width,
+                  spice::TransientOptions::fast().lockstep_width);
+    }
+}
+
 TEST(RuntimeOptions, ValidationRejectsEachBadKnobByName) {
     auto expect_rejects = [](RuntimeOptions rt, const std::string& what) {
         try {
@@ -173,6 +227,7 @@ TEST(RuntimeOptions, ValidationRejectsEachBadKnobByName) {
     inverted.temp_min_c = 100.0;
     inverted.temp_max_c = -100.0;
     expect_rejects(RuntimeOptions().health(inverted), "temp_min_c");
+    expect_rejects(RuntimeOptions().lockstep(-1), "lockstep");
 }
 
 TEST(RuntimeOptions, EveryProjectionValidates) {

@@ -1,5 +1,7 @@
 #include "exec/thread_pool.hpp"
 
+#include "exec/metrics.hpp"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -262,6 +264,43 @@ TEST(ThreadPoolCounters, ExecutedIsMonotonicAndIdleCountersAreZero) {
 
     pool.parallel_for(8, 1, [](std::size_t, std::size_t) {});
     EXPECT_GE(pool.tasks_executed(), after + 8);
+}
+
+TEST(ParallelForGrain, AutoGrainTargetsFourChunksPerWorker) {
+    // Wide loop: the grain splits n into ~4*workers chunks.
+    EXPECT_EQ(ThreadPool::auto_grain(1600, 4), 100u);
+    EXPECT_EQ(ThreadPool::auto_grain(1000, 1), 250u);
+    // Ceil division: no grain-1 sliver chunks from a ragged tail.
+    EXPECT_EQ(ThreadPool::auto_grain(1601, 4), 101u);
+    // Narrow loop: floored at one index per chunk.
+    EXPECT_EQ(ThreadPool::auto_grain(3, 8), 1u);
+    EXPECT_EQ(ThreadPool::auto_grain(1, 1), 1u);
+    // Degenerate worker counts clamp to one worker.
+    EXPECT_EQ(ThreadPool::auto_grain(100, 0), 25u);
+}
+
+TEST(ParallelForGrain, AutoGrainCoversEveryIndexExactlyOnce) {
+    ThreadPool pool(3);
+    const std::size_t n = 1237;
+    std::vector<int> hits(n, 0);
+    pool.parallel_for(n, 0, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+    }
+}
+
+TEST(ParallelForGrain, PublishesResolvedGrainGauge) {
+    ThreadPool pool(2);
+    auto& gauge = MetricsRegistry::global().gauge("exec.parallel_for.grain");
+    gauge.set(0.0);
+    pool.parallel_for(64, 0, [](std::size_t, std::size_t) {});
+    EXPECT_DOUBLE_EQ(gauge.value(),
+                     static_cast<double>(ThreadPool::auto_grain(64, 2)));
+    // An explicit grain is published as-is.
+    pool.parallel_for(64, 16, [](std::size_t, std::size_t) {});
+    EXPECT_DOUBLE_EQ(gauge.value(), 16.0);
 }
 
 } // namespace

@@ -227,6 +227,65 @@ TEST(ServiceRuntime, QueryDepthAndFilterHonoredEndToEnd) {
     server.wait();
 }
 
+TEST(ServiceRuntime, KernelNodeReportsConfigAndCounters) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    SessionSpec fast = small_session("die-fast");
+    fast.runtime.fast_kernel(true);
+    Server server(cfg, {small_session("die-plain"), fast});
+    LoopbackTransport loopback;
+    server.start(loopback);
+    Client client(loopback.connect());
+
+    const auto kernel_of = [&](std::int64_t id, int session) {
+        Json q = Json::object();
+        q.set("path", "sessions[" + std::to_string(session) + "].kernel");
+        Json r = client.call(id, "query", std::move(q));
+        EXPECT_TRUE(r.at("ok").as_bool()) << r.dump();
+        return r.at("result").at("value");
+    };
+
+    // The plain session projects the seed-identical engine.
+    const Json plain = kernel_of(1, 0);
+    EXPECT_FALSE(plain.at("fast").as_bool());
+    EXPECT_FALSE(plain.at("batch_eval").as_bool());
+    EXPECT_FALSE(plain.at("banded_lu").as_bool());
+    EXPECT_EQ(plain.at("lockstep_width").as_int64(), 1);
+
+    // The fast session projects the full tuned preset; the simd leaf is
+    // the *resolved* dispatch (so it honors STSENSE_SIMD and the CPU).
+    const Json before = kernel_of(2, 1);
+    EXPECT_TRUE(before.at("fast").as_bool());
+    EXPECT_TRUE(before.at("batch_eval").as_bool());
+    EXPECT_TRUE(before.at("banded_lu").as_bool());
+    EXPECT_TRUE(before.at("reuse_lu").as_bool());
+    EXPECT_EQ(before.at("lockstep_width").as_int64(), 8);
+    const std::string simd = before.at("simd").as_string();
+    EXPECT_TRUE(simd == "scalar" || simd == "avx2") << simd;
+
+    // A SPICE sweep through the fast session drives the batched-kernel
+    // counters the node exposes.
+    Json p = Json::object();
+    p.set("session", 1);
+    p.set("engine", "spice");
+    p.set("t_min_c", 20.0);
+    p.set("t_max_c", 40.0);
+    p.set("points", 2);
+    const Json r = client.call(3, "sweep", std::move(p));
+    ASSERT_TRUE(r.at("ok").as_bool()) << r.dump();
+
+    const Json after = kernel_of(4, 1);
+    EXPECT_GT(after.at("batch_lanes").as_int64(),
+              before.at("batch_lanes").as_int64());
+    EXPECT_GT(after.at("banded_factors").as_int64(),
+              before.at("banded_factors").as_int64());
+    EXPECT_GT(after.at("bypass_hits").as_int64(),
+              before.at("bypass_hits").as_int64());
+
+    server.request_shutdown();
+    server.wait();
+}
+
 TEST(ServiceRuntime, HostileInputYieldsTypedErrorsNeverDisconnects) {
     ServerConfig cfg;
     cfg.threads = 2;

@@ -1,0 +1,315 @@
+// spice::DeviceBatch — the SoA population evaluator's parity contract:
+// every lane is bitwise-identical to phys::evaluate, the scalar and
+// AVX2 kernels are bitwise-identical to each other, and a transient run
+// on the batched assemble path reproduces the legacy per-device loop
+// bit for bit (including stamps addressed at driven nodes, which land
+// in the trash slots).
+#include "spice/device_batch.hpp"
+
+#include "phys/mosfet.hpp"
+#include "phys/technology.hpp"
+#include "spice/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace stsense::spice {
+namespace {
+
+bool bits_equal(double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool traces_bitwise_equal(const Trace& a, const Trace& b) {
+    return a.time.size() == b.time.size() &&
+           a.value.size() == b.value.size() &&
+           (a.time.empty() ||
+            std::memcmp(a.time.data(), b.time.data(),
+                        a.time.size() * sizeof(double)) == 0) &&
+           (a.value.empty() ||
+            std::memcmp(a.value.data(), b.value.data(),
+                        a.value.size() * sizeof(double)) == 0);
+}
+
+/// Operating points covering every region and edge of the alpha-power
+/// model: deep cutoff, denormal and near-zero drives, the softplus
+/// blend around threshold, triode/saturation both sides of Vdsat, and
+/// negative vds (the source/drain swap branch).
+std::vector<double> probe_voltages(double vth) {
+    return {-1.2,        -1e-9,      0.0,         5e-324,     1e-310,
+            1e-12,       0.05,       vth - 1e-9,  vth,        vth + 1e-9,
+            vth + 0.02,  0.45,       0.9,         1.8,        3.3};
+}
+
+/// One NMOS and one PMOS on free nodes so the gather sees arbitrary
+/// terminal voltages.
+struct PairFixture {
+    phys::Technology tech = phys::cmos350();
+    Circuit c;
+    NodeId nd, ng, ns; ///< NMOS terminals.
+    NodeId pd, pg, ps; ///< PMOS terminals.
+    phys::MosGeometry ngeom{1e-6, 0.35e-6};
+    phys::MosGeometry pgeom{2e-6, 0.35e-6};
+
+    PairFixture() {
+        nd = c.add_node("nd");
+        ng = c.add_node("ng");
+        ns = c.add_node("ns");
+        pd = c.add_node("pd");
+        pg = c.add_node("pg");
+        ps = c.add_node("ps");
+        Mosfet mn;
+        mn.drain = nd;
+        mn.gate = ng;
+        mn.source = ns;
+        mn.params = tech.nmos;
+        mn.geometry = ngeom;
+        c.add_mosfet(mn);
+        Mosfet mp;
+        mp.drain = pd;
+        mp.gate = pg;
+        mp.source = ps;
+        mp.params = tech.pmos;
+        mp.geometry = pgeom;
+        c.add_mosfet(mp);
+    }
+};
+
+void expect_lane_matches_phys(double temp_k) {
+    PairFixture f;
+    const double temps[] = {temp_k};
+    DeviceBatch batch(f.c, temps, util::SimdMode::ForceScalar);
+    ASSERT_EQ(batch.lanes(), 2u);
+
+    std::vector<double> volts(f.c.node_count(), 0.0);
+    const double vsup = 3.3;
+    volts[f.ps.index] = vsup; // PMOS source rail.
+
+    const double nvth = phys::threshold_voltage(f.tech.nmos, temp_k);
+    const double pvth = phys::threshold_voltage(f.tech.pmos, temp_k);
+    DeviceBatch::Stats stats;
+    for (double vgs : probe_voltages(nvth)) {
+        for (double vds : probe_voltages(pvth)) {
+            // NMOS convention: magnitudes against a grounded source.
+            volts[f.ng.index] = vgs;
+            volts[f.nd.index] = vds;
+            // PMOS convention: magnitudes below the source rail.
+            volts[f.pg.index] = vsup - vgs;
+            volts[f.pd.index] = vsup - vds;
+            batch.gather(0, volts);
+            batch.evaluate(0, /*use_cache=*/false, 0.0, stats);
+
+            const auto ne =
+                phys::evaluate(f.tech.nmos, f.ngeom, vgs, vds, temp_k);
+            // The PMOS magnitudes are what the gather arithmetic
+            // produces (vsup - (vsup - v) does not round-trip exactly
+            // for every v), so compute the reference at the same point.
+            const double pvgs = volts[f.ps.index] - volts[f.pg.index];
+            const double pvds = volts[f.ps.index] - volts[f.pd.index];
+            const auto pe =
+                phys::evaluate(f.tech.pmos, f.pgeom, pvgs, pvds, temp_k);
+            const auto id = batch.out_id(0);
+            const auto gm = batch.out_gm(0);
+            const auto gds = batch.out_gds(0);
+            EXPECT_TRUE(bits_equal(id[0], ne.id))
+                << "nmos id @ vgs=" << vgs << " vds=" << vds;
+            EXPECT_TRUE(bits_equal(gm[0], ne.gm))
+                << "nmos gm @ vgs=" << vgs << " vds=" << vds;
+            EXPECT_TRUE(bits_equal(gds[0], ne.gds))
+                << "nmos gds @ vgs=" << vgs << " vds=" << vds;
+            EXPECT_TRUE(bits_equal(id[1], pe.id))
+                << "pmos id @ vgs=" << vgs << " vds=" << vds;
+            EXPECT_TRUE(bits_equal(gm[1], pe.gm))
+                << "pmos gm @ vgs=" << vgs << " vds=" << vds;
+            EXPECT_TRUE(bits_equal(gds[1], pe.gds))
+                << "pmos gds @ vgs=" << vgs << " vds=" << vds;
+        }
+    }
+    EXPECT_EQ(stats.bypass_hits, 0);
+    EXPECT_GT(stats.device_evals, 0);
+}
+
+TEST(DeviceBatchLane, BitwiseMatchesPhysEvaluateAtReferenceTemp) {
+    expect_lane_matches_phys(300.0);
+}
+
+TEST(DeviceBatchLane, BitwiseMatchesPhysEvaluateOffReferenceTemp) {
+    // Off t0 the prefolded per-lane constants (vth(T), mobility-scaled
+    // k) must still reproduce evaluate()'s own association bit for bit.
+    expect_lane_matches_phys(386.5);
+}
+
+/// A wider population (odd count: 4-lane groups + tail) under a voltage
+/// schedule that mixes sub-tolerance wiggles (bypass restamps) with
+/// real moves (model evaluations).
+struct ChainFixture {
+    phys::Technology tech = phys::cmos350();
+    Circuit c;
+    std::vector<NodeId> nodes;
+    static constexpr std::size_t kDevices = 11;
+
+    ChainFixture() {
+        for (std::size_t i = 0; i <= kDevices; ++i) {
+            nodes.push_back(c.add_node("n" + std::to_string(i)));
+        }
+        for (std::size_t i = 0; i < kDevices; ++i) {
+            Mosfet m;
+            m.drain = nodes[i + 1];
+            m.gate = nodes[(i + 2) % (kDevices + 1)];
+            m.source = i % 3 == 0 ? c.ground() : nodes[i];
+            m.params = i % 2 == 0 ? tech.nmos : tech.pmos;
+            m.geometry = {1e-6 + 1e-7 * static_cast<double>(i), tech.lmin};
+            c.add_mosfet(m);
+        }
+    }
+
+    std::vector<double> volts_at(int round) const {
+        std::vector<double> v(c.node_count(), 0.0);
+        for (std::size_t i = 0; i < c.node_count(); ++i) {
+            const double base =
+                0.3 * static_cast<double>((i * 7 + 3) % 11) - 0.9;
+            // Rounds alternate big moves with sub-tolerance wiggles.
+            const double wiggle = round % 2 == 0
+                                      ? 0.11 * static_cast<double>(round)
+                                      : 1e-5 * static_cast<double>(round);
+            v[i] = base + wiggle;
+        }
+        return v;
+    }
+};
+
+TEST(DeviceBatchSimd, ScalarAndAvx2KernelsBitwiseIdentical) {
+    ChainFixture f;
+    const double temps[] = {320.0};
+    DeviceBatch scalar(f.c, temps, util::SimdMode::ForceScalar);
+    DeviceBatch vec(f.c, temps, util::SimdMode::ForceAvx2);
+    ASSERT_EQ(scalar.level(), util::SimdLevel::Scalar);
+    if (vec.level() != util::SimdLevel::Avx2) {
+        GTEST_SKIP() << "AVX2 unavailable (CPU or STSENSE_SIMD pin)";
+    }
+
+    DeviceBatch::Stats ss, vs;
+    for (int round = 0; round < 8; ++round) {
+        const auto volts = f.volts_at(round);
+        scalar.gather(0, volts);
+        vec.gather(0, volts);
+        scalar.evaluate(0, /*use_cache=*/true, 5e-4, ss);
+        vec.evaluate(0, /*use_cache=*/true, 5e-4, vs);
+        const auto sid = scalar.out_id(0), vid = vec.out_id(0);
+        const auto sgm = scalar.out_gm(0), vgm = vec.out_gm(0);
+        const auto sgds = scalar.out_gds(0), vgds = vec.out_gds(0);
+        for (std::size_t lane = 0; lane < scalar.lanes(); ++lane) {
+            EXPECT_TRUE(bits_equal(sid[lane], vid[lane]))
+                << "round " << round << " lane " << lane;
+            EXPECT_TRUE(bits_equal(sgm[lane], vgm[lane]))
+                << "round " << round << " lane " << lane;
+            EXPECT_TRUE(bits_equal(sgds[lane], vgds[lane]))
+                << "round " << round << " lane " << lane;
+        }
+    }
+    // Same bypass decisions on both paths; the vector path additionally
+    // reports its 4-lane groups.
+    EXPECT_EQ(ss.bypass_hits, vs.bypass_hits);
+    EXPECT_EQ(ss.device_evals, vs.device_evals);
+    EXPECT_GT(ss.bypass_hits, 0);
+    EXPECT_GT(ss.device_evals, 0);
+    EXPECT_EQ(ss.simd_groups, 0);
+    EXPECT_GT(vs.simd_groups, 0);
+}
+
+/// CMOS inverter with driven rails — the batched scatter must route the
+/// rail-addressed stamps into the trash slots and still reproduce the
+/// legacy assemble bit for bit.
+struct InverterFixture {
+    phys::Technology tech = phys::cmos350();
+    Circuit c;
+    NodeId in, out;
+
+    InverterFixture() {
+        const NodeId vdd = c.add_driven_node("vdd", Source::dc(tech.vdd));
+        in = c.add_driven_node(
+            "in", Source::pulse(0.0, tech.vdd, 1e-9, 2e-9, 4e-9, 0.2e-9));
+        out = c.add_node("out");
+        Mosfet mn;
+        mn.drain = out;
+        mn.gate = in;
+        mn.source = c.ground();
+        mn.params = tech.nmos;
+        mn.geometry = {1e-6, tech.lmin};
+        c.add_mosfet(mn);
+        Mosfet mp;
+        mp.drain = out;
+        mp.gate = in;
+        mp.source = vdd;
+        mp.params = tech.pmos;
+        mp.geometry = {2e-6, tech.lmin};
+        c.add_mosfet(mp);
+        c.add_capacitor(out, c.ground(), 50e-15);
+    }
+
+    TransientSpec spec() const {
+        TransientSpec s;
+        s.t_stop = 12e-9;
+        s.dt = 10e-12;
+        s.start_from_dc = true;
+        return s;
+    }
+};
+
+TEST(DeviceBatchAssemble, TransientBitwiseMatchesLegacyLoop) {
+    const InverterFixture f;
+    Simulator legacy(f.c);
+    SimOptions batched_opt;
+    batched_opt.kernel.batch_eval = true;
+    Simulator batched(f.c, batched_opt);
+
+    const auto a = legacy.transient(f.spec());
+    const auto b = batched.transient(f.spec());
+    EXPECT_TRUE(traces_bitwise_equal(a.trace("out"), b.trace("out")));
+    EXPECT_EQ(a.total_newton_iters, b.total_newton_iters);
+    EXPECT_EQ(a.device_evals, b.device_evals);
+    EXPECT_EQ(a.batch_lanes, 0);
+    EXPECT_GT(b.batch_lanes, 0);
+}
+
+TEST(DeviceBatchAssemble, BypassDecisionsMatchLegacyBitwise) {
+    const InverterFixture f;
+    SimOptions legacy_opt;
+    legacy_opt.kernel.bypass_tol_v = 5e-4;
+    Simulator legacy(f.c, legacy_opt);
+    SimOptions batched_opt = legacy_opt;
+    batched_opt.kernel.batch_eval = true;
+    Simulator batched(f.c, batched_opt);
+
+    const auto a = legacy.transient(f.spec());
+    const auto b = batched.transient(f.spec());
+    EXPECT_TRUE(traces_bitwise_equal(a.trace("out"), b.trace("out")));
+    EXPECT_EQ(a.total_newton_iters, b.total_newton_iters);
+    EXPECT_EQ(a.bypass_hits, b.bypass_hits);
+    EXPECT_EQ(a.device_evals, b.device_evals);
+    EXPECT_GT(b.bypass_hits, 0);
+}
+
+TEST(DeviceBatchAssemble, PowerMeteringBitwiseMatchesLegacy) {
+    const InverterFixture f;
+    Simulator legacy(f.c);
+    SimOptions batched_opt;
+    batched_opt.kernel.batch_eval = true;
+    Simulator batched(f.c, batched_opt);
+    TransientSpec spec = f.spec();
+    spec.measure_power = true;
+
+    const auto a = legacy.transient(spec);
+    const auto b = batched.transient(spec);
+    const NodeId vdd = f.c.node_by_name("vdd");
+    ASSERT_FALSE(a.source_energy_j.empty());
+    ASSERT_FALSE(b.source_energy_j.empty());
+    EXPECT_TRUE(bits_equal(a.source_energy_j[vdd.index],
+                           b.source_energy_j[vdd.index]));
+}
+
+} // namespace
+} // namespace stsense::spice

@@ -1,0 +1,276 @@
+// spice::run_lockstep — the lock-step multi-point driver's parity
+// contract: advancing K points' Newton iterations in phase over one
+// shared batched evaluator returns, point for point, bitwise the same
+// results as solo try_transient runs — including under injected
+// Newton-failure rungs, where each point draws from its own fault
+// stream.
+#include "spice/lockstep.hpp"
+
+#include "exec/fault_injector.hpp"
+#include "phys/technology.hpp"
+#include "ring/spice_ring.hpp"
+#include "ring/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace stsense::spice {
+namespace {
+
+bool traces_bitwise_equal(const Trace& a, const Trace& b) {
+    return a.time.size() == b.time.size() &&
+           a.value.size() == b.value.size() &&
+           (a.time.empty() ||
+            std::memcmp(a.time.data(), b.time.data(),
+                        a.time.size() * sizeof(double)) == 0) &&
+           (a.value.empty() ||
+            std::memcmp(a.value.data(), b.value.data(),
+                        a.value.size() * sizeof(double)) == 0);
+}
+
+bool bits_equal(double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+struct InverterFixture {
+    phys::Technology tech = phys::cmos350();
+    Circuit c;
+    NodeId in, out;
+
+    InverterFixture() {
+        const NodeId vdd = c.add_driven_node("vdd", Source::dc(tech.vdd));
+        in = c.add_driven_node(
+            "in", Source::pulse(0.0, tech.vdd, 1e-9, 2e-9, 4e-9, 0.2e-9));
+        out = c.add_node("out");
+        Mosfet mn;
+        mn.drain = out;
+        mn.gate = in;
+        mn.source = c.ground();
+        mn.params = tech.nmos;
+        mn.geometry = {1e-6, tech.lmin};
+        c.add_mosfet(mn);
+        Mosfet mp;
+        mp.drain = out;
+        mp.gate = in;
+        mp.source = vdd;
+        mp.params = tech.pmos;
+        mp.geometry = {2e-6, tech.lmin};
+        c.add_mosfet(mp);
+        c.add_capacitor(out, c.ground(), 50e-15);
+    }
+
+    TransientSpec spec() const {
+        TransientSpec s;
+        s.t_stop = 8e-9;
+        s.dt = 10e-12;
+        s.start_from_dc = true;
+        s.measure_power = true;
+        return s;
+    }
+};
+
+std::vector<SimOptions> options_at(const std::vector<double>& temps_k,
+                                   const TransientOptions& kernel = {}) {
+    std::vector<SimOptions> opts;
+    for (double t : temps_k) {
+        SimOptions o;
+        o.temp_k = t;
+        o.kernel = kernel;
+        opts.push_back(o);
+    }
+    return opts;
+}
+
+void expect_lockstep_matches_solo(const TransientOptions& kernel) {
+    const InverterFixture f;
+    const std::vector<double> temps_k = {280.0, 300.0, 335.0, 372.5};
+    const auto opts = options_at(temps_k, kernel);
+    std::vector<TransientSpec> specs(temps_k.size(), f.spec());
+
+    const auto batch = run_lockstep(f.c, opts, specs);
+    ASSERT_EQ(batch.size(), temps_k.size());
+    for (std::size_t i = 0; i < temps_k.size(); ++i) {
+        Simulator solo(f.c, opts[i]);
+        const auto solo_res = solo.try_transient(specs[i]);
+        ASSERT_TRUE(solo_res.ok()) << "point " << i;
+        ASSERT_TRUE(batch[i].ok()) << "point " << i;
+        const TransientResult& a = solo_res.value();
+        const TransientResult& b = batch[i].value();
+        EXPECT_TRUE(traces_bitwise_equal(a.trace("out"), b.trace("out")))
+            << "point " << i;
+        EXPECT_EQ(a.total_newton_iters, b.total_newton_iters) << "point " << i;
+        ASSERT_EQ(a.source_energy_j.size(), b.source_energy_j.size());
+        for (std::size_t n = 0; n < a.source_energy_j.size(); ++n) {
+            EXPECT_TRUE(bits_equal(a.source_energy_j[n], b.source_energy_j[n]))
+                << "point " << i << " node " << n;
+        }
+    }
+}
+
+TEST(LockStep, BitwiseMatchesSoloDefaults) {
+    expect_lockstep_matches_solo(TransientOptions{});
+}
+
+TEST(LockStep, BitwiseMatchesSoloWithFastKernelKnobs) {
+    TransientOptions k;
+    k.reuse_lu = true;
+    k.reuse_stall_ratio = 0.9;
+    k.bypass_tol_v = 5e-4;
+    k.batch_eval = true;
+    expect_lockstep_matches_solo(k);
+}
+
+TEST(LockStep, PerPointStopWhenClosuresStayIndependent) {
+    const InverterFixture f;
+    const std::vector<double> temps_k = {300.0, 350.0};
+    const auto opts = options_at(temps_k);
+    // stop_when closures are stateful; a run consumes them. Build a
+    // fresh set per run, like the ring layer's make_tspec does.
+    const auto make_specs = [&] {
+        std::vector<TransientSpec> specs;
+        for (std::size_t i = 0; i < temps_k.size(); ++i) {
+            TransientSpec s = f.spec();
+            int seen = 0;
+            const int limit = 150 + 100 * static_cast<int>(i);
+            s.stop_when = [seen, limit](double,
+                                        const std::vector<double>&) mutable {
+                return ++seen >= limit;
+            };
+            specs.push_back(std::move(s));
+        }
+        return specs;
+    };
+    const auto specs = make_specs();
+    const auto batch = run_lockstep(f.c, opts, specs);
+    ASSERT_EQ(batch.size(), 2u);
+    const auto solo_specs = make_specs();
+    for (std::size_t i = 0; i < 2; ++i) {
+        Simulator solo(f.c, opts[i]);
+        const auto solo_res = solo.try_transient(solo_specs[i]);
+        ASSERT_TRUE(solo_res.ok());
+        ASSERT_TRUE(batch[i].ok());
+        EXPECT_TRUE(batch[i].value().early_exit);
+        EXPECT_TRUE(bits_equal(solo_res.value().t_end, batch[i].value().t_end))
+            << "point " << i;
+        EXPECT_TRUE(traces_bitwise_equal(solo_res.value().trace("out"),
+                                         batch[i].value().trace("out")));
+    }
+}
+
+TEST(LockStep, ValidatesArguments) {
+    const InverterFixture f;
+    const auto opts = options_at({300.0, 320.0});
+    std::vector<TransientSpec> one_spec(1, f.spec());
+    EXPECT_THROW(run_lockstep(f.c, opts, one_spec), std::invalid_argument);
+    EXPECT_THROW(run_lockstep(f.c, {}, {}), std::invalid_argument);
+
+    TransientOptions adaptive;
+    adaptive.adaptive = true;
+    const auto bad_opts = options_at({300.0, 320.0}, adaptive);
+    std::vector<TransientSpec> specs(2, f.spec());
+    EXPECT_THROW(run_lockstep(f.c, bad_opts, specs), std::invalid_argument);
+
+    const std::vector<std::uint64_t> short_ctx = {1};
+    EXPECT_THROW(run_lockstep(f.c, opts, specs, short_ctx),
+                 std::invalid_argument);
+}
+
+ring::SpiceRingOptions small_ring_options() {
+    ring::SpiceRingOptions opt;
+    opt.skip_cycles = 2;
+    opt.measure_cycles = 3;
+    opt.steps_per_period = 120;
+    opt.record_waveform = false;
+    opt.early_exit = true;
+    return opt;
+}
+
+TEST(LockStepRing, BatchSimulationBitwiseMatchesSolo) {
+    const ring::SpiceRingModel model(
+        phys::cmos350(),
+        ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.5));
+    const auto opt = small_ring_options();
+    const std::vector<double> temps_k = {260.0, 300.0, 380.0};
+
+    const auto batch = model.try_simulate_batch(temps_k, opt);
+    ASSERT_EQ(batch.size(), temps_k.size());
+    for (std::size_t i = 0; i < temps_k.size(); ++i) {
+        const auto solo = model.try_simulate(temps_k[i], opt);
+        ASSERT_TRUE(solo.ok()) << "point " << i;
+        ASSERT_TRUE(batch[i].ok()) << "point " << i;
+        EXPECT_TRUE(bits_equal(solo.value().period, batch[i].value().period))
+            << "point " << i;
+        EXPECT_TRUE(bits_equal(solo.value().avg_supply_power_w,
+                               batch[i].value().avg_supply_power_w))
+            << "point " << i;
+        EXPECT_EQ(solo.value().cycles_measured, batch[i].value().cycles_measured);
+        EXPECT_EQ(solo.value().early_exit, batch[i].value().early_exit);
+    }
+}
+
+TEST(LockStepRing, SweepWithLockStepWidthMatchesSoloSweep) {
+    const auto tech = phys::cmos350();
+    const auto cfg = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.5);
+    const std::vector<double> temps_c = {-40.0, 0.0, 25.0, 60.0, 100.0};
+
+    ring::SweepRuntime runtime;
+    runtime.use_cache = false; // Both runs must actually compute.
+
+    auto solo_opt = small_ring_options();
+    const auto solo = ring::temperature_sweep(tech, cfg, temps_c,
+                                              ring::Engine::Spice, solo_opt,
+                                              runtime);
+    auto group_opt = solo_opt;
+    group_opt.kernel.lockstep_width = 2; // Uneven split: groups of 2 + 2 + 1.
+    const auto grouped = ring::temperature_sweep(tech, cfg, temps_c,
+                                                 ring::Engine::Spice,
+                                                 group_opt, runtime);
+
+    ASSERT_EQ(solo.period_s.size(), grouped.period_s.size());
+    for (std::size_t i = 0; i < solo.period_s.size(); ++i) {
+        EXPECT_TRUE(bits_equal(solo.period_s[i], grouped.period_s[i]))
+            << "point " << i;
+        EXPECT_EQ(solo.status[i], grouped.status[i]) << "point " << i;
+    }
+}
+
+TEST(LockStepRing, ParityHoldsUnderInjectedNewtonFailures) {
+    const ring::SpiceRingModel model(
+        phys::cmos350(),
+        ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.5));
+    ring::SpiceRingOptions opt = small_ring_options();
+    opt.measure_cycles = 2;
+
+    exec::FaultInjector::Config cfg;
+    cfg.seed = 7;
+    cfg.p_newton_fail = 0.15;
+    cfg.newton_fail_rungs = 1; // Damped rung rescues every sabotage.
+    exec::FaultInjector injector(cfg);
+    exec::FaultInjector::Scope scope(injector);
+
+    const std::vector<double> temps_k = {300.0, 360.0};
+    const std::vector<std::uint64_t> ctx = {0, 1};
+    const auto batch = model.try_simulate_batch(temps_k, opt, ctx);
+    ASSERT_EQ(batch.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        // The solo equivalent installs the same per-point fault stream
+        // the sweep layer would.
+        exec::FaultContext point_ctx(ctx[i]);
+        const auto solo = model.try_simulate(temps_k[i], opt);
+        ASSERT_TRUE(solo.ok()) << "point " << i;
+        ASSERT_TRUE(batch[i].ok()) << "point " << i;
+        EXPECT_TRUE(bits_equal(solo.value().period, batch[i].value().period))
+            << "point " << i;
+        EXPECT_EQ(solo.value().recovery_rung, batch[i].value().recovery_rung)
+            << "point " << i;
+        EXPECT_EQ(solo.value().rescued_steps, batch[i].value().rescued_steps)
+            << "point " << i;
+    }
+}
+
+} // namespace
+} // namespace stsense::spice
