@@ -11,19 +11,34 @@
 //      per cell.
 //   3. admission sanity: every request in the matrix is answered ok —
 //      fairness must not cost correctness.
+//   4. cancel latency: a long transistor-level sweep is cancelled
+//      mid-flight; the gate is a typed `cancelled` answer within 50 ms
+//      (median) and a fully drained pool after every round — cancelled
+//      work must reclaim its workers, not leak them.
+//   5. cancel chaos: a seeded CancelStorm matrix fires sweep tokens at
+//      deterministic dispatch indices; every cancelled run must leave a
+//      loadable (never torn) checkpoint that resumes bitwise.
 //
 // `--quick 1` trims the matrix and the per-client request count (the
 // tier-1 smoke budget); the full run writes BENCH_service.json.
 #include "bench_common.hpp"
 
+#include "exec/cancel.hpp"
+#include "exec/checkpoint.hpp"
+#include "exec/fault_injector.hpp"
+#include "exec/metrics.hpp"
+#include "exec/thread_pool.hpp"
+#include "ring/sweep.hpp"
 #include "service/server.hpp"
 #include "service/transport.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -170,6 +185,186 @@ CellResult run_cell(int n_clients, int n_sessions, int reqs_per_client,
     return cell;
 }
 
+/// Blocks for the response line carrying `id` (events skipped).
+bool await_response(service::Connection& conn, std::int64_t id,
+                    service::Json& out) {
+    std::string line;
+    while (conn.read_line(line)) {
+        auto parsed = service::Json::parse(line);
+        if (!parsed.value || !parsed.value->is_object()) continue;
+        if (parsed.value->contains("event")) continue;
+        if (parsed.value->at("id").as_int64(-1) != id) continue;
+        out = std::move(*parsed.value);
+        return true;
+    }
+    return false;
+}
+
+/// Spins until the server's scheduler and pool fully drained.
+bool wait_drained(service::Server& server, std::chrono::seconds budget) {
+    const auto give_up = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < give_up) {
+        if (server.scheduler().queued() == 0 &&
+            server.scheduler().executing() == 0 &&
+            server.pool().queue_depth() == 0 && server.pool().inflight() == 0) {
+            return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+}
+
+struct CancelLatencyResult {
+    std::vector<double> latency_ms; ///< cancel send -> typed answer.
+    int rounds = 0;
+    int cancelled_ok = 0; ///< Rounds answered with the typed `cancelled`.
+    int drained_ok = 0;   ///< Rounds after which the pool fully drained.
+};
+
+/// Round-trips `rounds` cancellations of a long transistor-level sweep:
+/// admit the sweep, wait until it executes, then time cancel -> typed
+/// answer. After each round the pool must drain to zero.
+CancelLatencyResult run_cancel_latency(int rounds) {
+    service::ServerConfig cfg;
+    cfg.threads = 2;
+    service::Server server(cfg, make_sessions(1));
+    service::LoopbackTransport loopback;
+    server.start(loopback);
+
+    CancelLatencyResult result;
+    result.rounds = rounds;
+    auto conn = loopback.connect();
+    for (int r = 0; r < rounds; ++r) {
+        const std::int64_t sweep_id = 100 + 2 * r;
+        const std::int64_t cancel_id = sweep_id + 1;
+        std::ostringstream sweep;
+        sweep << R"({"id":)" << sweep_id
+              << R"(,"method":"sweep","params":{"t_min_c":-40,"t_max_c":140,)"
+              << R"("points":400,"engine":"spice"}})";
+        if (!conn->write_line(sweep.str())) break;
+
+        // Admitted and dispatched: a worker is inside the sweep now.
+        const auto admit_deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (server.scheduler().executing() == 0 &&
+               std::chrono::steady_clock::now() < admit_deadline) {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+
+        std::ostringstream cancel;
+        cancel << R"({"id":)" << cancel_id
+               << R"(,"method":"cancel","params":{"request":)" << sweep_id
+               << "}}";
+        const auto c0 = std::chrono::steady_clock::now();
+        if (!conn->write_line(cancel.str())) break;
+
+        service::Json sweep_resp;
+        service::Json cancel_resp;
+        if (!await_response(*conn, cancel_id, cancel_resp) ||
+            !await_response(*conn, sweep_id, sweep_resp)) {
+            break;
+        }
+        result.latency_ms.push_back(1e3 * seconds_since(c0));
+        const bool typed =
+            !sweep_resp.at("ok").as_bool(true) &&
+            sweep_resp.at("error").at("code").as_string() == "cancelled";
+        result.cancelled_ok += typed ? 1 : 0;
+        result.drained_ok +=
+            wait_drained(server, std::chrono::seconds(10)) ? 1 : 0;
+    }
+    conn->close();
+    server.request_shutdown();
+    server.wait();
+    return result;
+}
+
+struct CancelChaosResult {
+    int rounds = 0;
+    int cancelled = 0;       ///< Rounds the storm actually cancelled.
+    int torn_checkpoints = 0;///< Checkpoint rows dropped at resume.
+    int resume_mismatches = 0;///< Resumed series != uninterrupted series.
+    int leaked_rounds = 0;   ///< Rounds whose pool failed to drain.
+};
+
+/// The seeded cancel-chaos matrix: for every (seed, p) cell a
+/// checkpointed parallel sweep runs under a CancelStorm that fires the
+/// sweep token at deterministic dispatch indices. Whatever the storm
+/// does, the checkpoint must stay loadable (zero corrupt rows) and the
+/// re-issued sweep must finish bitwise identical to an uninterrupted
+/// run.
+CancelChaosResult run_cancel_chaos(const std::vector<std::uint64_t>& seeds,
+                                   const std::vector<double>& storm_ps) {
+    const auto tech = phys::cmos350();
+    const auto config = ring::RingConfig::uniform(cells::CellKind::Inv, 5, 2.75);
+    const auto grid = ring::paper_temperature_grid_c();
+    const auto baseline =
+        ring::temperature_sweep(tech, config, grid, ring::Engine::Analytic, {},
+                                ring::SweepRuntime::serial());
+    auto& corrupt =
+        exec::MetricsRegistry::global().counter("exec.checkpoint.corrupt_rows");
+
+    CancelChaosResult result;
+    for (const std::uint64_t seed : seeds) {
+        for (const double p : storm_ps) {
+            ++result.rounds;
+            const std::string ckpt_path = "bench_cancel_chaos_" +
+                                          std::to_string(seed) + ".ckpt";
+            std::remove(ckpt_path.c_str());
+
+            exec::ThreadPool pool(2);
+            {
+                exec::FaultInjector::Config fc;
+                fc.seed = seed;
+                fc.p_cancel_storm = p;
+                exec::FaultInjector injector(fc);
+                exec::FaultInjector::Scope scope(injector);
+
+                ring::SweepRuntime rt;
+                rt.pool = &pool;
+                rt.use_cache = false;
+                rt.checkpoint_path = ckpt_path;
+                rt.checkpoint_every = 1;
+                rt.keep_checkpoint = true;
+                rt.cancel = exec::CancelToken::make();
+                try {
+                    ring::temperature_sweep(tech, config, grid,
+                                            ring::Engine::Analytic, {}, rt);
+                } catch (const exec::CancelledError&) {
+                    ++result.cancelled;
+                }
+            }
+            const auto drain_deadline =
+                std::chrono::steady_clock::now() + std::chrono::seconds(5);
+            while ((pool.queue_depth() != 0 || pool.inflight() != 0) &&
+                   std::chrono::steady_clock::now() < drain_deadline) {
+                std::this_thread::yield();
+            }
+            if (pool.queue_depth() != 0 || pool.inflight() != 0) {
+                ++result.leaked_rounds;
+            }
+
+            // Resume without the injector: corrupt checkpoint rows would
+            // be dropped (and counted) here, a value drift shows up in
+            // the bitwise compare.
+            const std::uint64_t corrupt_before = corrupt.value();
+            ring::SweepRuntime resume = ring::SweepRuntime::serial();
+            resume.checkpoint_path = ckpt_path;
+            const auto resumed = ring::temperature_sweep(
+                tech, config, grid, ring::Engine::Analytic, {}, resume);
+            if (corrupt.value() != corrupt_before) ++result.torn_checkpoints;
+            bool mismatch = resumed.period_s.size() != baseline.period_s.size();
+            for (std::size_t i = 0; !mismatch && i < baseline.period_s.size();
+                 ++i) {
+                mismatch = std::bit_cast<std::uint64_t>(resumed.period_s[i]) !=
+                           std::bit_cast<std::uint64_t>(baseline.period_s[i]);
+            }
+            if (mismatch) ++result.resume_mismatches;
+            std::remove(ckpt_path.c_str());
+        }
+    }
+    return result;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -251,6 +446,39 @@ int main(int argc, char** argv) {
         total_errors += cell.errors;
     }
 
+    // --- 3. cancel latency -------------------------------------------------
+    const int cancel_rounds = cli.get("cancel-rounds", quick ? 3 : 10);
+    CancelLatencyResult cancel = run_cancel_latency(cancel_rounds);
+    std::vector<double> cancel_us;
+    for (double ms : cancel.latency_ms) cancel_us.push_back(ms * 1e3);
+    const Quantiles cancel_q = quantiles_us(cancel_us);
+    util::Table cancel_table(
+        {"cancel rounds", "typed answers", "drained", "p50 (ms)", "max (ms)"});
+    cancel_table.add_row({std::to_string(cancel.rounds),
+                          std::to_string(cancel.cancelled_ok),
+                          std::to_string(cancel.drained_ok),
+                          util::fixed(cancel_q.p50_us / 1e3, 2),
+                          util::fixed(cancel_q.max_us / 1e3, 2)});
+    std::cout << "\nmid-flight sweep cancellation (spice, 400 points):\n"
+              << cancel_table.render();
+
+    // --- 4. seeded cancel-chaos matrix -------------------------------------
+    const std::vector<std::uint64_t> chaos_seeds =
+        quick ? std::vector<std::uint64_t>{1, 2}
+              : std::vector<std::uint64_t>{1, 2, 3, 4, 5};
+    const std::vector<double> chaos_ps =
+        quick ? std::vector<double>{0.05} : std::vector<double>{0.02, 0.1};
+    const CancelChaosResult chaos = run_cancel_chaos(chaos_seeds, chaos_ps);
+    util::Table chaos_table({"chaos rounds", "cancelled", "torn ckpts",
+                             "resume mismatches", "leaked rounds"});
+    chaos_table.add_row({std::to_string(chaos.rounds),
+                         std::to_string(chaos.cancelled),
+                         std::to_string(chaos.torn_checkpoints),
+                         std::to_string(chaos.resume_mismatches),
+                         std::to_string(chaos.leaked_rounds)});
+    std::cout << "\nseeded cancel-chaos matrix (CancelStorm x checkpoints):\n"
+              << chaos_table.render();
+
     // --- JSON snapshot -----------------------------------------------------
     const std::string json_path =
         cli.get("json", std::string("BENCH_service.json"));
@@ -279,7 +507,18 @@ int main(int argc, char** argv) {
                  << ", \"errors\": " << cell.errors << "}"
                  << (i + 1 < cells.size() ? "," : "") << "\n";
         }
-        json << "  ]\n}\n";
+        json << "  ],\n"
+             << "  \"cancel_rounds\": " << cancel.rounds << ",\n"
+             << "  \"cancel_typed_answers\": " << cancel.cancelled_ok << ",\n"
+             << "  \"cancel_drained_rounds\": " << cancel.drained_ok << ",\n"
+             << "  \"cancel_latency_p50_ms\": " << cancel_q.p50_us / 1e3 << ",\n"
+             << "  \"cancel_latency_max_ms\": " << cancel_q.max_us / 1e3 << ",\n"
+             << "  \"chaos_rounds\": " << chaos.rounds << ",\n"
+             << "  \"chaos_cancelled\": " << chaos.cancelled << ",\n"
+             << "  \"chaos_torn_checkpoints\": " << chaos.torn_checkpoints << ",\n"
+             << "  \"chaos_resume_mismatches\": " << chaos.resume_mismatches << ",\n"
+             << "  \"chaos_leaked_rounds\": " << chaos.leaked_rounds << "\n"
+             << "}\n";
     }
     std::cout << "service snapshot: " << json_path << "\n";
 
@@ -306,5 +545,20 @@ int main(int argc, char** argv) {
                           if (cell.light.p95_us >= 250000.0) return false;
                       return true;
                   }());
+    checks.expect("every cancel round answered with the typed `cancelled`",
+                  cancel.cancelled_ok == cancel.rounds);
+    checks.expect("mid-flight sweep cancels within 50 ms (median)",
+                  !cancel.latency_ms.empty() && cancel_q.p50_us / 1e3 <= 50.0);
+    checks.expect("zero leaked pool tasks after every cancel "
+                  "(queue_depth and inflight drain to 0)",
+                  cancel.drained_ok == cancel.rounds);
+    checks.expect("cancel chaos: the storm cancelled at least one round",
+                  chaos.cancelled > 0);
+    checks.expect("cancel chaos: no torn checkpoints across the matrix",
+                  chaos.torn_checkpoints == 0);
+    checks.expect("cancel chaos: every cancelled run resumed bitwise",
+                  chaos.resume_mismatches == 0);
+    checks.expect("cancel chaos: every round drained its pool",
+                  chaos.leaked_rounds == 0);
     return checks.report();
 }

@@ -49,7 +49,16 @@ int run_demo(service::Server& server) {
         R"({"id":9,"method":"query","params":{"path":"cache","filter":"hit*"}})",
         R"({"id":10,"method":"dtm_run","params":{"session":0,"duration_s":0.4,"grid":12}})",
         R"({"id":11,"method":"query","params":{"path":"sessions[0].dtm.regions[0]","filter":"*"}})",
-        R"({"id":12,"method":"shutdown","params":{"mode":"drain"}})",
+        // Request-lifecycle tour: an already-expired deadline is shed
+        // typed (`deadline-unmet`) before any work runs; a deadline that
+        // lapses mid-burn unwinds at the next poll point; cancel of an
+        // answered id reports cancelled:false (nothing left in flight);
+        // the metrics node shows the counters those paths bumped.
+        R"({"id":12,"method":"sweep","params":{"points":9},"deadline_ms":0.0001})",
+        R"({"id":13,"method":"burn","params":{"ms":500},"deadline_ms":25})",
+        R"({"id":14,"method":"cancel","params":{"request":13}})",
+        R"({"id":15,"method":"query","params":{"path":"metrics"}})",
+        R"({"id":16,"method":"shutdown","params":{"mode":"drain"}})",
     };
     for (const auto& line : script) {
         std::cout << "-> " << line << "\n";

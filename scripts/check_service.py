@@ -14,19 +14,27 @@ The contract (src/service/protocol.cpp):
             and never an "id" key
   error codes: malformed-request unknown-method bad-params unknown-session
                unknown-path overloaded shutting-down internal
+               cancelled deadline-unmet
 
 Checks, in order:
   1. every protocol line parses as a JSON object of one of the two shapes;
   2. responses and events carry exactly the required keys/types above;
   3. error codes come from the enum, error messages are non-empty;
   4. event seq values are strictly increasing within the stream;
-  5. with --expect-responses N, exactly N responses were seen.
+  5. with --expect-responses N, exactly N responses were seen;
+  6. each --require-metric NAME[>=MIN] names a key that must appear
+     somewhere in an ok-response result with a numeric value (>= MIN
+     when given) — how tier 1 asserts the exec.cancel.* and
+     service.shed.* counters surfaced by `query path:"metrics"`.
 
 Exit status 0 when every check passes; 1 with a diagnostic otherwise.
 
 Usage:
   examples/telemetry_service --demo | scripts/check_service.py -
   scripts/check_service.py transcript.txt --expect-responses 10
+  scripts/check_service.py transcript.txt \
+      --require-metric exec.cancel.fired>=1 \
+      --require-metric service.shed.deadline>=1
 """
 
 import argparse
@@ -42,6 +50,8 @@ ERROR_CODES = {
     "overloaded",
     "shutting-down",
     "internal",
+    "cancelled",
+    "deadline-unmet",
 }
 
 RESPONSE_KEYS = {"id", "ok", "result", "error"}
@@ -95,6 +105,31 @@ def check_event(doc: dict, where: str, last_seq: int | None) -> str | None:
     return None
 
 
+def collect_numeric_leaves(doc, out: dict[str, float]) -> None:
+    """Record every numeric dict value in `doc`, keyed by its own name.
+
+    Later occurrences win; the metrics node reads counters live, so the
+    last snapshot in the transcript is the one worth asserting against.
+    """
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[key] = value
+            else:
+                collect_numeric_leaves(value, out)
+    elif isinstance(doc, list):
+        for item in doc:
+            collect_numeric_leaves(item, out)
+
+
+def parse_metric_requirement(spec: str) -> tuple[str, float]:
+    """Split 'name>=min' into (name, min); bare 'name' means min 0."""
+    if ">=" in spec:
+        name, _, minimum = spec.partition(">=")
+        return name, float(minimum)
+    return spec, 0.0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("transcript", help="protocol transcript file, or - for stdin")
@@ -108,6 +143,14 @@ def main() -> int:
         type=int,
         metavar="N",
         help="require exactly N response lines",
+    )
+    parser.add_argument(
+        "--require-metric",
+        action="append",
+        default=[],
+        metavar="NAME[>=MIN]",
+        help="require a numeric key NAME in some ok-response result, "
+        "with value >= MIN when given (repeatable)",
     )
     args = parser.parse_args()
 
@@ -124,6 +167,7 @@ def main() -> int:
     responses = 0
     events = 0
     last_seq: int | None = None
+    metric_values: dict[str, float] = {}
     with stream:
         for lineno, raw in enumerate(stream, start=1):
             line = raw.strip()
@@ -153,12 +197,22 @@ def main() -> int:
                 if error:
                     return fail(error)
                 responses += 1
+                if doc["ok"] and args.require_metric:
+                    collect_numeric_leaves(doc["result"], metric_values)
 
     if responses + events == 0:
         return fail("no protocol lines found in the transcript")
     if args.expect_responses is not None and responses != args.expect_responses:
         return fail(
             f"expected {args.expect_responses} responses, saw {responses}")
+    for spec in args.require_metric:
+        name, minimum = parse_metric_requirement(spec)
+        if name not in metric_values:
+            return fail(f"required metric {name!r} not found in any "
+                        "ok-response result")
+        if metric_values[name] < minimum:
+            return fail(f"metric {name!r} is {metric_values[name]}, "
+                        f"required >= {minimum}")
     print(f"check_service: OK: {responses} responses, {events} events "
           "conform to the wire contract")
     return 0

@@ -87,16 +87,28 @@ cmake --build "$repo/build" --target bench_dtm -j "$jobs"
 STSENSE_FAULT_SEED=20260808 "$repo/build/bench/bench_dtm" --chaos --quick \
     --json="$repo/build/BENCH_dtm.json"
 
-echo "== tier 1: telemetry-service loopback smoke =="
+echo "== tier 1: telemetry-service loopback smoke + seeded cancel chaos =="
 # The resident daemon's full protocol stack over the in-process
-# loopback: the --demo tour (serve -> scripted requests -> drain) must
-# answer every request, the transcript must conform to the wire
-# contract (check_service.py), and the service bench's quick matrix
-# (concurrent clients, mixed light/heavy requests, admission control)
-# must answer everything with zero errors.
+# loopback: the --demo tour (serve -> scripted requests -> deadline
+# shed -> mid-burn deadline expiry -> drain) must answer every request,
+# the transcript must conform to the wire contract (check_service.py)
+# including the typed deadline-unmet verdicts, and the exec.cancel.* /
+# service.shed.* counters surfaced by `query path:"metrics"` must show
+# the shed and the mid-run cancellation. The service bench's quick
+# matrix then gates admission control, cancel latency (typed answer
+# within 50 ms, pool drained to zero), and the seeded CancelStorm
+# chaos matrix (no torn checkpoints, bitwise resume) — the bench exits
+# non-zero when any shape check fails.
 cmake --build "$repo/build" --target telemetry_service bench_service -j "$jobs"
 "$repo/build/examples/telemetry_service" --demo \
-    | python3 "$repo/scripts/check_service.py" - --expect-responses 12
+    | python3 "$repo/scripts/check_service.py" - --expect-responses 16 \
+        --require-metric 'exec.cancel.fired>=1' \
+        --require-metric 'service.cancelled>=1' \
+        --require-metric 'service.shed.deadline>=1' \
+        --require-metric 'service.shed.queued' \
+        --require-metric 'exec.cancel.tasks_skipped' \
+        --require-metric 'exec.cancel.sweeps' \
+        --require-metric 'exec.cancel.optimizes'
 "$repo/build/bench/bench_service" --quick \
     --json="$repo/build/BENCH_service_quick.json"
 
@@ -107,20 +119,27 @@ cmake --build "$repo/build-tsan" --target stsense_tests -j "$jobs"
 # sweep driver, the fault-injection machinery (the code paths that
 # actually run concurrently — including worker exception propagation and
 # per-point fault policies under the pool), the tracer's lock-free
-# multi-thread record/merge path, and the service layer (reader threads,
-# fair-queue dispatch, concurrent loopback clients, drain/shutdown).
+# multi-thread record/merge path, the service layer (reader threads,
+# fair-queue dispatch, concurrent loopback clients, drain/shutdown),
+# and the cancellation layer (token latch/poll races, ambient-scope
+# hand-off across the thread hop, cancel-vs-complete races, optimizer
+# unwind) — ThreadPool*/TemperatureSweep*/FaultInjector*/Service*
+# already pick up the matching *Cancel/*Retry suites.
 "$repo/build-tsan/tests/stsense_tests" \
-    --gtest_filter='ThreadPool*:TaskGroup*:ResultCache*:Metrics*:Fingerprint*:ExecDeterminism*:TemperatureSweep*:PaperSweep*:Variation*:FaultInjector*:SweepFaultPolicy*:Tracer*:TraceParity*:Service*:DtmService*'
+    --gtest_filter='ThreadPool*:TaskGroup*:ResultCache*:Metrics*:Fingerprint*:ExecDeterminism*:TemperatureSweep*:PaperSweep*:Variation*:FaultInjector*:SweepFaultPolicy*:Tracer*:TraceParity*:Service*:DtmService*:CancelToken*:CancelScope*:OptimizerCancel*'
 
 echo "== tier 1: fault-injection suite under AddressSanitizer =="
 cmake -B "$repo/build-asan" -S "$repo" -DSTSENSE_SANITIZE=address
 cmake --build "$repo/build-asan" --target stsense_tests -j "$jobs"
 # Recovery and policy code paths unwind through exceptions and partial
 # results; ASan gates them for leaks, overflows, and use-after-free —
-# including the service's kill-mid-request and drain/resume paths, and
-# the DTM supervisor's latch/probe/backoff ladder plus the chaos matrix
-# (fault scenarios exercise the injector scopes end to end).
+# including the service's kill-mid-request and drain/resume paths, the
+# DTM supervisor's latch/probe/backoff ladder plus the chaos matrix
+# (fault scenarios exercise the injector scopes end to end), and every
+# cancellation unwind path: skipped pool tasks, mid-sweep teardown with
+# a checkpoint flush in flight, CancelStorm trips, and the retrying
+# client's re-submit loop.
 "$repo/build-asan/tests/stsense_tests" \
-    --gtest_filter='FaultInjector*:RecoveryLadder*:SweepFaultPolicy*:CacheChecksum*:ThreadPoolFault*:TaskGroupFault*:ServiceDrainResume*:ServiceRuntime*:DtmSupervisor*:DtmPid*:DtmAutotune*:DtmChaos*'
+    --gtest_filter='FaultInjector*:RecoveryLadder*:SweepFaultPolicy*:CacheChecksum*:ThreadPoolFault*:TaskGroupFault*:ServiceDrainResume*:ServiceRuntime*:DtmSupervisor*:DtmPid*:DtmAutotune*:DtmChaos*:CancelToken*:CancelScope*:ThreadPoolCancel*:FaultInjectorCancel*:TemperatureSweepCancel*:OptimizerCancel*:ServiceCancel*:ServiceRetry*'
 
 echo "tier 1: all gates passed"

@@ -85,6 +85,26 @@ RuntimeOptions& RuntimeOptions::redundancy(int replicas) {
     return *this;
 }
 
+RuntimeOptions& RuntimeOptions::cancel(exec::CancelToken token) {
+    cancel_ = std::move(token);
+    return *this;
+}
+
+RuntimeOptions& RuntimeOptions::deadline_ms(double ms) {
+    deadline_ms_ = ms;
+    return *this;
+}
+
+exec::CancelToken RuntimeOptions::effective_cancel() const {
+    if (deadline_ms_ > 0.0) {
+        // Arm the clock now (projection == workload launch). Chained
+        // off the configured token when present, so an explicit cancel
+        // and the deadline compose.
+        return cancel_.child_with_deadline_ms(deadline_ms_);
+    }
+    return cancel_;
+}
+
 const RuntimeOptions& RuntimeOptions::validate() const {
     auto bad = [](const std::string& what) {
         throw std::invalid_argument("RuntimeOptions: " + what);
@@ -124,6 +144,7 @@ ring::SweepRuntime RuntimeOptions::sweep_runtime() const {
     rt.checkpoint_path = checkpoint_path_;
     if (checkpoint_every_ > 0) rt.checkpoint_every = checkpoint_every_;
     rt.keep_checkpoint = keep_checkpoint_;
+    rt.cancel = effective_cancel();
     return rt;
 }
 
@@ -135,6 +156,7 @@ sensor::OptimizerRuntime RuntimeOptions::optimizer_runtime() const {
     rt.checkpoint_path = checkpoint_path_;
     if (checkpoint_every_ > 0) rt.checkpoint_every = checkpoint_every_;
     rt.keep_checkpoint = keep_checkpoint_;
+    rt.cancel = effective_cancel();
     return rt;
 }
 

@@ -112,6 +112,22 @@ public:
     /// Redundant rings per monitor site (quorum voting; 1 disables).
     RuntimeOptions& redundancy(int replicas);
 
+    /// Cooperative cancellation token for sweeps/searches run through
+    /// this builder: projected into SweepRuntime/OptimizerRuntime, so
+    /// firing it (from any thread) unwinds the workload at its next
+    /// poll point as exec::CancelledError — with checkpoints flushed
+    /// consistent for bitwise resume. Default: no token (free).
+    RuntimeOptions& cancel(exec::CancelToken token);
+
+    /// End-to-end deadline for sweeps/searches run through this
+    /// builder, in wall milliseconds from the *projection* call (the
+    /// clock arms when sweep_runtime()/optimizer_runtime() is built,
+    /// i.e. at workload launch). Expiry surfaces as the typed
+    /// DeadlineExceeded cause: the solver folds it into its per-solve
+    /// budget and loop layers unwind at their next poll point.
+    /// <= 0 (default) disables.
+    RuntimeOptions& deadline_ms(double ms);
+
     // ---- validation -----------------------------------------------------
 
     /// The single validation point: every projection below calls this.
@@ -166,6 +182,12 @@ public:
     const std::string& trace_path() const noexcept { return trace_path_; }
     bool health_enabled() const noexcept { return health_; }
     int redundancy_count() const noexcept { return redundancy_; }
+    const exec::CancelToken& cancel_token() const noexcept { return cancel_; }
+    double deadline_millis() const noexcept { return deadline_ms_; }
+    /// The token a projection hands to its runtime: the configured
+    /// token (or a fresh root), deadline-tightened when deadline_ms was
+    /// set. Invalid when neither knob is used.
+    exec::CancelToken effective_cancel() const;
 
 private:
     int threads_ = 0;
@@ -184,6 +206,8 @@ private:
     bool health_ = false;
     sensor::SiteHealthConfig health_config_;
     int redundancy_ = 1;
+    exec::CancelToken cancel_;
+    double deadline_ms_ = 0.0;
     /// Lazily created by pool(); shared so copies of a RuntimeOptions
     /// keep projecting pointers into one live pool.
     mutable std::shared_ptr<exec::ThreadPool> owned_pool_;

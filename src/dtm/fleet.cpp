@@ -1,5 +1,6 @@
 #include "dtm/fleet.hpp"
 
+#include "exec/cancel.hpp"
 #include "exec/fault_injector.hpp"
 #include "exec/metrics.hpp"
 #include "obs/trace.hpp"
@@ -408,6 +409,9 @@ FleetResult DtmFleet::run(const WorkloadTrace& trace) {
     };
 
     for (int k = 0; k < steps_n; ++k) {
+        // Control steps are the fleet's poll points: a cancelled or
+        // deadlined dtm_run request unwinds at the next step boundary.
+        exec::CancelScope::current().check();
         OBS_SPAN("dtm.fleet.step");
         const double t = k * h;
 

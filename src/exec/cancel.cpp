@@ -1,0 +1,140 @@
+#include "exec/cancel.hpp"
+
+#include "exec/metrics.hpp"
+
+#include <algorithm>
+
+namespace stsense::exec {
+
+const char* to_string(CancelCause cause) {
+    switch (cause) {
+        case CancelCause::None: return "none";
+        case CancelCause::Cancelled: return "cancelled";
+        case CancelCause::DeadlineExceeded: return "deadline-exceeded";
+        case CancelCause::Disconnected: return "disconnected";
+        case CancelCause::Shutdown: return "shutdown";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/// First cause wins: CAS from live (0) so concurrent cancel() calls and
+/// deadline latches agree on one cause forever after.
+bool latch(std::atomic<int>& slot, CancelCause cause) {
+    int expected = 0;
+    return slot.compare_exchange_strong(expected, static_cast<int>(cause),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+}
+
+} // namespace
+
+CancelToken CancelToken::make() {
+    return CancelToken(std::make_shared<State>());
+}
+
+CancelToken CancelToken::child() const {
+    auto state = std::make_shared<State>();
+    state->parent = state_; // Null parent of an invalid token = fresh root.
+    return CancelToken(std::move(state));
+}
+
+CancelToken CancelToken::child_with_deadline(Clock::time_point deadline) const {
+    auto state = std::make_shared<State>();
+    state->parent = state_;
+    state->has_deadline = true;
+    state->deadline = deadline;
+    // Clamp against inherited deadlines: a child can only tighten.
+    Clock::time_point inherited;
+    if (this->deadline(inherited)) {
+        state->deadline = std::min(state->deadline, inherited);
+    }
+    return CancelToken(std::move(state));
+}
+
+CancelToken CancelToken::child_with_deadline_ms(double ms) const {
+    const double clamped = std::max(0.0, ms);
+    return child_with_deadline(
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(clamped)));
+}
+
+void CancelToken::cancel(CancelCause cause) const {
+    if (!state_ || cause == CancelCause::None) return;
+    if (latch(state_->cause, cause)) {
+        MetricsRegistry::global().counter("exec.cancel.fired").add();
+    }
+}
+
+CancelCause CancelToken::poll() const {
+    if (!state_) return CancelCause::None;
+    // Latched already? One acquire load and out — this is the cost of a
+    // poll point inside a hot loop once a token is installed.
+    if (const int own = state_->cause.load(std::memory_order_acquire); own != 0)
+        return static_cast<CancelCause>(own);
+    // Deadlines and the parent chain. The chain is short by construction
+    // (server -> client -> request -> task), and whatever fires is
+    // latched into our own slot so the walk happens once.
+    const auto now = Clock::now();
+    CancelCause found = CancelCause::None;
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+        if (const int c = s->cause.load(std::memory_order_acquire); c != 0) {
+            found = static_cast<CancelCause>(c);
+            break;
+        }
+        if (s->has_deadline && now >= s->deadline) {
+            found = CancelCause::DeadlineExceeded;
+            break;
+        }
+    }
+    if (found != CancelCause::None) {
+        if (latch(state_->cause, found)) {
+            MetricsRegistry::global().counter("exec.cancel.fired").add();
+        }
+        // Re-read: a racing cancel() may have latched a different cause;
+        // report whatever won so every observer agrees.
+        return static_cast<CancelCause>(
+            state_->cause.load(std::memory_order_acquire));
+    }
+    return CancelCause::None;
+}
+
+bool CancelToken::deadline(Clock::time_point& out) const {
+    bool any = false;
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+        if (!s->has_deadline) continue;
+        out = any ? std::min(out, s->deadline) : s->deadline;
+        any = true;
+    }
+    return any;
+}
+
+bool CancelToken::remaining_ms(double& out) const {
+    Clock::time_point d;
+    if (!deadline(d)) return false;
+    out = std::chrono::duration<double, std::milli>(d - Clock::now()).count();
+    return true;
+}
+
+// ---------------------------------------------------------------- CancelScope
+
+namespace {
+// The ambient slot. Out-of-line accessors only (see header).
+thread_local CancelToken tl_ambient;
+} // namespace
+
+CancelScope::CancelScope(CancelToken token) {
+    if (!token.valid()) return; // Keep the enclosing token visible.
+    previous_ = tl_ambient;
+    tl_ambient = std::move(token);
+    installed_ = true;
+}
+
+CancelScope::~CancelScope() {
+    if (installed_) tl_ambient = std::move(previous_);
+}
+
+const CancelToken& CancelScope::current() { return tl_ambient; }
+
+} // namespace stsense::exec

@@ -1,0 +1,169 @@
+// exec::CancelToken — cooperative cancellation and deadline propagation.
+//
+// A serving runtime needs every admitted unit of work to be *stoppable*:
+// a client that disconnects, a request whose deadline passed, or a server
+// that is draining must be able to reclaim pool workers without waiting
+// for an unbounded sweep to finish. Preemption is off the table — the
+// solver owns raw buffers and the checkpoint layer owns half-flushed
+// files, so tearing a thread down mid-task would corrupt both. Instead
+// cancellation is *cooperative*: layers that own a natural loop poll a
+// token at their boundaries (task dequeue, parallel_for chunk, sweep
+// point, lock-step group, optimizer candidate, monitor site, Newton
+// iteration, transient step) and unwind cleanly when it fires.
+//
+// Tokens are hierarchical — server → client → request → task. A child
+// holds a shared pointer to its parent's state, and poll() walks the
+// (short) parent chain, so cancelling a client fires every request
+// token under it without any registration bookkeeping. The first
+// observed cause is latched into the child's own flag, so subsequent
+// polls are a single relaxed atomic load.
+//
+// Deadlines ride the same rail: a token may carry a steady_clock
+// deadline; poll() latches CancelCause::DeadlineExceeded once it passes.
+// with_deadline() clamps against inherited deadlines, so a request can
+// only tighten what its client allows.
+//
+// The *ambient* token (CancelScope, modeled on FaultContext) is how the
+// signal crosses layers that never heard of each other: the service
+// installs the request token around the handler, ThreadPool::submit
+// captures the ambient token into the task, and the worker re-installs
+// it around the task body — so a Newton iteration five layers down
+// polls the right request's token with no plumbing through signatures.
+//
+// Cost contract: a default-constructed token is an empty handle; every
+// query on it is a null check. Code paths with no deadline and no
+// cancellation configured stay bitwise identical to a build without
+// this header.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace stsense::exec {
+
+/// Why a token fired. Ordered roughly by "who pulled the trigger":
+/// explicit cancel, the clock, the transport, the process.
+enum class CancelCause : int {
+    None = 0,
+    Cancelled = 1,        ///< Explicit cancel() (wire `cancel`, chaos rung).
+    DeadlineExceeded = 2, ///< The token's (or an ancestor's) deadline passed.
+    Disconnected = 3,     ///< The owning client's connection dropped.
+    Shutdown = 4,         ///< The server is draining.
+};
+
+const char* to_string(CancelCause cause);
+
+/// Thrown by check() and by layers that unwind on a fired token. The
+/// TaskGroup error channel carries it from a worker to the waiter, so
+/// a cancelled parallel_for rethrows it at the call site with the
+/// original cause intact.
+struct CancelledError : std::runtime_error {
+    explicit CancelledError(CancelCause cause)
+        : std::runtime_error(std::string("cancelled: ") + to_string(cause)),
+          cause(cause) {}
+    CancelCause cause;
+};
+
+/// Value-type handle on a shared cancellation state (or on nothing:
+/// the default-constructed token never fires and costs a null check).
+class CancelToken {
+public:
+    using Clock = std::chrono::steady_clock;
+
+    CancelToken() = default;
+
+    /// A fresh root token (no parent, no deadline).
+    static CancelToken make();
+
+    /// True when this handle refers to real state. An invalid token is
+    /// inert: never cancelled, no deadline, children of it are roots.
+    bool valid() const { return state_ != nullptr; }
+
+    /// A child token: fires when this token (or any ancestor) fires,
+    /// and can additionally be cancelled or deadlined on its own
+    /// without affecting the parent. child() of an invalid token is a
+    /// fresh root, so call sites need no special casing.
+    CancelToken child() const;
+
+    /// A child whose deadline is `deadline` clamped against every
+    /// inherited deadline (a request can only tighten its client's
+    /// budget, never extend it).
+    CancelToken child_with_deadline(Clock::time_point deadline) const;
+
+    /// child_with_deadline(now + ms); ms is clamped to >= 0.
+    CancelToken child_with_deadline_ms(double ms) const;
+
+    /// Fires the token (and, via the parent chain, every descendant).
+    /// The first cause wins; later calls are no-ops. Safe on an
+    /// invalid token (no-op) and from any thread.
+    void cancel(CancelCause cause = CancelCause::Cancelled) const;
+
+    /// The full check: own latch, then own deadline, then the parent
+    /// chain (latching whatever it finds). Returns CancelCause::None
+    /// while the token is live.
+    CancelCause poll() const;
+
+    /// poll() != None. Once a cause is latched this is one atomic load,
+    /// so it is safe inside per-iteration loops.
+    bool cancelled() const { return poll() != CancelCause::None; }
+
+    /// Throws CancelledError if the token fired. The poll points use
+    /// this where unwinding is the desired response.
+    void check() const {
+        if (const CancelCause c = poll(); c != CancelCause::None)
+            throw CancelledError(c);
+    }
+
+    /// The tightest deadline along the parent chain; returns false when
+    /// no ancestor carries one. The solver maps this into its per-solve
+    /// wall-clock budget so Newton iterations honor request deadlines.
+    bool deadline(Clock::time_point& out) const;
+
+    /// Milliseconds until the effective deadline (negative once past);
+    /// returns false when no deadline is set anywhere on the chain.
+    bool remaining_ms(double& out) const;
+
+private:
+    struct State {
+        std::atomic<int> cause{0}; ///< CancelCause; 0 while live.
+        bool has_deadline = false; ///< Immutable after construction.
+        Clock::time_point deadline{};
+        std::shared_ptr<State> parent;
+    };
+    explicit CancelToken(std::shared_ptr<State> state)
+        : state_(std::move(state)) {}
+
+    std::shared_ptr<State> state_;
+};
+
+/// Scoped ambient token: the innermost installed token is what
+/// ThreadPool::submit captures into tasks and what the deep poll
+/// points (spice budget, monitor scan) consult. Installing an
+/// *invalid* token is a no-op (the previous ambient token stays
+/// visible) so layers can install their configured token
+/// unconditionally without masking an enclosing request's.
+///
+/// Defined out of line: every touch of the thread-local slot stays in
+/// cancel.cpp, where the TLS model is local and sanitizer
+/// instrumentation of cross-TU accesses cannot misfire (same pattern
+/// as FaultContext).
+class CancelScope {
+public:
+    explicit CancelScope(CancelToken token);
+    ~CancelScope();
+    CancelScope(const CancelScope&) = delete;
+    CancelScope& operator=(const CancelScope&) = delete;
+
+    /// The innermost installed token (invalid outside any scope).
+    static const CancelToken& current();
+
+private:
+    CancelToken previous_;
+    bool installed_ = false;
+};
+
+} // namespace stsense::exec

@@ -13,6 +13,10 @@
 //   * MetricsRegistry (metrics.hpp): counters/gauges/scoped wall-clock
 //     timers the pool, the cache, and the benches publish into;
 //     dumpable as JSON.
+//   * CancelToken / CancelScope (cancel.hpp): hierarchical cooperative
+//     cancellation + deadline propagation. The ambient token crosses
+//     layer boundaries via the pool (submit captures, execute
+//     re-installs) and is polled at every natural loop boundary.
 //   * FaultInjector (fault_injector.hpp): deterministic, seed-split
 //     fault injection (forced solver failures, NaN states, cache
 //     corruption, slow tasks) behind every robustness test and bench.
@@ -25,6 +29,7 @@
 // scheduling order.
 #pragma once
 
+#include "exec/cancel.hpp"         // IWYU pragma: export
 #include "exec/fault_injector.hpp" // IWYU pragma: export
 #include "exec/fingerprint.hpp"   // IWYU pragma: export
 #include "exec/metrics.hpp"       // IWYU pragma: export

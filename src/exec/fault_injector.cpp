@@ -35,6 +35,8 @@ const char* site_name(FaultInjector::Site site) {
         case FaultInjector::Site::ActuatorStuck:
             return "exec.fault.actuator_stuck";
         case FaultInjector::Site::RegionKill: return "exec.fault.region_kill";
+        case FaultInjector::Site::CancelStorm:
+            return "exec.fault.cancel_storm";
     }
     return "exec.fault.unknown";
 }
@@ -74,6 +76,7 @@ double FaultInjector::probability(Site site) const {
         case Site::SweepKill: return config_.p_sweep_kill;
         case Site::ActuatorStuck: return config_.p_actuator_stuck;
         case Site::RegionKill: return config_.p_region_kill;
+        case Site::CancelStorm: return config_.p_cancel_storm;
     }
     return 0.0;
 }

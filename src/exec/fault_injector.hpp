@@ -44,6 +44,10 @@
 //   * RegionKill — dtm::DtmFleet: every sensor site of the region is
 //     reported unreadable before readout, a persistent fault (drives the
 //     supervisor's sensor-loss latch).
+//   * CancelStorm — exec::ThreadPool: the task's cancel token is fired
+//     right before the task body runs, exercising the cooperative
+//     cancellation rails (skip-on-dequeue, group error delivery,
+//     checkpoint flush-on-cancel) at deterministic task indices.
 //
 // Installation is process-global and test-scoped: construct a
 // FaultInjector::Scope with a Config and every hook consults it until
@@ -84,8 +88,9 @@ public:
         SweepKill = 8,
         ActuatorStuck = 9,
         RegionKill = 10,
+        CancelStorm = 11,
     };
-    static constexpr int kSiteCount = 11;
+    static constexpr int kSiteCount = 12;
 
     struct Config {
         std::uint64_t seed = 1;       ///< Root of every trip decision.
@@ -100,6 +105,7 @@ public:
         double p_sweep_kill = 0.0;    ///< P(run killed after a point).
         double p_actuator_stuck = 0.0;///< P(region throttle actuator stuck).
         double p_region_kill = 0.0;   ///< P(region's sensors all unreadable).
+        double p_cancel_storm = 0.0;  ///< P(task's cancel token fired mid-run).
         /// How deep the Newton/NaN sabotage reaches: 1 = base attempt
         /// only (damped rung rescues), 2 = base + damped (gmin rescues),
         /// 3 = + gmin (source stepping rescues), >= 4 = unrescuable.

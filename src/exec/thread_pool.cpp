@@ -96,6 +96,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(Task task) {
+    // Capture the submitting thread's ambient cancel token so the
+    // worker can re-install it around the body (and skip the body
+    // outright once it fires).
+    task.token = CancelScope::current();
     // A worker submits to its own deque (LIFO locality); outside threads
     // round-robin across workers.
     std::size_t target = (tl_pool == this) ? tl_worker : kNoWorker;
@@ -152,21 +156,52 @@ void ThreadPool::execute(Task& task) {
     // inflight_ brackets the user code so queue_depth() + inflight()
     // together account for every admitted-but-unfinished task.
     inflight_.fetch_add(1, std::memory_order_relaxed);
-    // Injected straggler: delay the task before running it (exercises
-    // deadline budgets and waiter/helping paths under slow workers).
-    if (auto* injector = FaultInjector::active();
-        injector != nullptr &&
-        injector->trip(FaultInjector::Site::SlowTask,
-                       static_cast<std::uint64_t>(task.ticket))) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(injector->config().slow_task_us));
+    if (auto* injector = FaultInjector::active(); injector != nullptr) {
+        // Injected cancel storm: fire this task's token right before it
+        // would run — a deterministic stand-in for a client cancelling
+        // at exactly this dispatch index.
+        if (injector->trip(FaultInjector::Site::CancelStorm,
+                           static_cast<std::uint64_t>(task.ticket))) {
+            task.token.cancel(CancelCause::Cancelled);
+        }
+        // Injected straggler: delay the task before running it
+        // (exercises deadline budgets and waiter/helping paths under
+        // slow workers). The sleep is sliced so a fired token or an
+        // expired deadline ends the stall early — straggler injection
+        // must compose with wall-clock budgets, not defeat them.
+        if (injector->trip(FaultInjector::Site::SlowTask,
+                           static_cast<std::uint64_t>(task.ticket))) {
+            const auto until =
+                std::chrono::steady_clock::now() +
+                std::chrono::microseconds(injector->config().slow_task_us);
+            constexpr auto kSlice = std::chrono::microseconds(50);
+            for (auto now = std::chrono::steady_clock::now(); now < until;
+                 now = std::chrono::steady_clock::now()) {
+                if (task.token.poll() != CancelCause::None) break;
+                std::this_thread::sleep_for(
+                    std::min<std::chrono::steady_clock::duration>(
+                        until - now, kSlice));
+            }
+        }
     }
     std::exception_ptr error;
-    try {
-        OBS_SPAN("exec.pool.task");
-        task.fn();
-    } catch (...) {
-        error = std::current_exception();
+    if (const CancelCause fired = task.token.poll();
+        fired != CancelCause::None) {
+        // Skip-on-dequeue: the request this task belongs to is already
+        // dead, so don't burn a worker on it — deliver the typed cause
+        // through the group's error channel instead. The group/pending
+        // bookkeeping below runs unchanged, so queue_depth/inflight
+        // drain to zero exactly as for an executed task.
+        MetricsRegistry::global().counter("exec.cancel.tasks_skipped").add();
+        error = std::make_exception_ptr(CancelledError(fired));
+    } else {
+        CancelScope scope(task.token);
+        try {
+            OBS_SPAN("exec.pool.task");
+            task.fn();
+        } catch (...) {
+            error = std::current_exception();
+        }
     }
     if (task.group) {
         std::lock_guard lock(task.group->m);
@@ -228,6 +263,10 @@ void ThreadPool::parallel_for(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& body) {
     if (n == 0) return;
+    // Already-cancelled caller: refuse to schedule (or run inline) at
+    // all. Throwing here gives loops above a deterministic unwind point
+    // before any work is admitted.
+    CancelScope::current().check();
     grain = grain == 0 ? auto_grain(n, size()) : grain;
     const std::size_t chunks = (n + grain - 1) / grain;
     if (chunks == 1) {

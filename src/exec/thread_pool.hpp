@@ -16,7 +16,16 @@
 //   3. *Exception safety*: a task that throws does not take a worker
 //      down. The first exception (lowest chunk index for parallel_for)
 //      is captured and rethrown to the caller after the batch drains.
+//   4. *Cancellability*: every task captures the ambient
+//      exec::CancelToken at submission and the worker re-installs it
+//      around the body, so cooperative cancellation crosses the thread
+//      hop with no signature plumbing. A task whose token already fired
+//      at dequeue is skipped (a CancelledError is delivered through the
+//      group), so a cancelled batch drains in O(queue scan), not
+//      O(work). With no token installed this costs one null check.
 #pragma once
+
+#include "exec/cancel.hpp"
 
 #include <atomic>
 #include <condition_variable>
@@ -94,6 +103,11 @@ public:
     /// index; only scheduling changes). The resolved grain of every
     /// scheduled loop is published to the "exec.parallel_for.grain"
     /// gauge.
+    ///
+    /// Cancellation: polls the ambient CancelToken before scheduling
+    /// (throwing CancelledError without running anything) and skips
+    /// not-yet-started chunks once the token fires mid-loop; chunks
+    /// already executing run to completion unless the body polls.
     void parallel_for(std::size_t n, std::size_t grain,
                       const std::function<void(std::size_t, std::size_t)>& body);
 
@@ -142,6 +156,11 @@ private:
         std::function<void()> fn;
         std::shared_ptr<TaskGroup::State> group;
         std::size_t ticket = 0;
+        /// Ambient token at submission time: the worker re-installs it
+        /// around fn so cancellation crosses the thread hop, and a task
+        /// whose token fired before dequeue is skipped (never run) with
+        /// a CancelledError delivered through the group instead.
+        CancelToken token;
     };
     struct Queue {
         std::mutex m;

@@ -154,6 +154,11 @@ void compute_points(SweepResult& out, const SweepRuntime& runtime,
     out.status.resize(n);
     const auto body = [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
+            // Per-point poll: a fired request token stops the sweep at
+            // the next point boundary (points already solving finish via
+            // the solver's own per-iteration poll). Costs a null check
+            // when no token is installed.
+            exec::CancelScope::current().check();
             obs::Span span("ring.sweep.point");
             span.num("index", static_cast<double>(i));
             const PointEval e = point(i, out.temps_c[i]);
@@ -200,6 +205,15 @@ PointEval apply_policy(std::size_t i, double temp_c,
     auto first = run_attempt(0);
     if (first.ok()) return first.value();
 
+    // A failure observed while the request's token fired is the
+    // cancellation surfacing through the solver, not a point fault:
+    // unwind instead of applying the policy (Skip/Fallback must not
+    // quietly turn a cancelled request into a completed-looking sweep).
+    exec::CancelScope::current().check();
+    if (first.error().kind == spice::SimErrorKind::Cancelled) {
+        throw exec::CancelledError(exec::CancelCause::Cancelled);
+    }
+
     const double nan = std::numeric_limits<double>::quiet_NaN();
     switch (spec.policy) {
         case FaultPolicy::Propagate:
@@ -208,6 +222,7 @@ PointEval apply_policy(std::size_t i, double temp_c,
             return PointEval{nan, PointStatus::Skipped};
         case FaultPolicy::Retry: {
             for (int a = 1; a <= spec.max_retries; ++a) {
+                exec::CancelScope::current().check();
                 auto retry = run_attempt(a);
                 if (retry.ok()) {
                     return PointEval{retry.value().period, PointStatus::RecoveredRetry};
@@ -292,6 +307,9 @@ SweepResult compute_sweep(const phys::Technology& tech, const RingConfig& config
             const std::size_t groups = (n + w - 1) / w;
             const auto group_body = [&](std::size_t gb, std::size_t ge) {
                 for (std::size_t g = gb; g < ge; ++g) {
+                    // Lock-step groups are the coarse unit of this
+                    // phase; poll at each group boundary.
+                    exec::CancelScope::current().check();
                     const std::size_t lo = g * w;
                     const std::size_t hi = std::min(lo + w, n);
                     std::vector<double> temps_k(hi - lo);
@@ -435,6 +453,11 @@ SweepResult temperature_sweep(const phys::Technology& tech,
                               const SweepRuntime& runtime) {
     validate_grid(temps_c);
 
+    // Install the runtime's token as the ambient one for this sweep
+    // (no-op when invalid — an enclosing request token stays visible).
+    // Everything below, including pool tasks, inherits it.
+    exec::CancelScope cancel_scope(runtime.cancel);
+
     auto& metrics = exec::MetricsRegistry::global();
     const exec::ScopedTimer timer(metrics.timer(
         engine == Engine::Analytic ? "ring.sweep.analytic" : "ring.sweep.spice"));
@@ -467,8 +490,21 @@ SweepResult temperature_sweep(const phys::Technology& tech,
     }
     exec::Checkpoint* ckpt_ptr = ckpt ? &*ckpt : nullptr;
     auto run_checkpointed = [&] {
-        auto sweep = compute_sweep(tech, config, temps_c, engine, spice_opt,
-                                   runtime, ckpt_ptr);
+        SweepResult sweep;
+        try {
+            sweep = compute_sweep(tech, config, temps_c, engine, spice_opt,
+                                  runtime, ckpt_ptr);
+        } catch (const exec::CancelledError&) {
+            // Cancel-safe teardown: persist every completed point (the
+            // flush is atomic tmp+rename, so the file is never torn)
+            // and KEEP the file — a re-issued identical sweep resumes
+            // bitwise from here. Unlike SweepKill (which models a
+            // process death and deliberately loses the unflushed tail),
+            // a cooperative cancel has a live process to flush from.
+            if (ckpt_ptr != nullptr) ckpt_ptr->flush();
+            metrics.counter("exec.cancel.sweeps").add();
+            throw;
+        }
         record_outcomes(sweep);
         if (ckpt_ptr != nullptr) {
             // The sweep finished: either persist the complete state or

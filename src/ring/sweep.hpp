@@ -21,6 +21,7 @@
 // bit for bit.
 #pragma once
 
+#include "exec/cancel.hpp"
 #include "exec/result_cache.hpp"
 #include "exec/thread_pool.hpp"
 #include "phys/technology.hpp"
@@ -128,6 +129,16 @@ struct SweepRuntime {
     /// debugging); the default removes it so finished runs leave no
     /// stale state behind.
     bool keep_checkpoint = false;
+
+    /// Cooperative cancellation/deadline token. When valid, it is
+    /// installed as the ambient exec token for the whole sweep: every
+    /// point dispatch (and lock-step group) polls it, the spice solver
+    /// folds its deadline into the per-solve budget, and a fired token
+    /// unwinds as exec::CancelledError *after* flushing the checkpoint
+    /// (so a cancelled run resumes bitwise from where it stopped). An
+    /// invalid token (the default) is free and leaves any enclosing
+    /// ambient token — e.g. the service's per-request token — visible.
+    exec::CancelToken cancel;
 
     /// A runtime that bypasses both the pool and the cache — the serial
     /// reference the determinism tests compare against.

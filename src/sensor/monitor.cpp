@@ -165,6 +165,8 @@ MapResult ThermalMonitor::scan_legacy(std::vector<double> field_c) const {
         exec::ThreadPool::global().parallel_for(
             sites_.size(), 1, [&](std::size_t begin, std::size_t end) {
                 for (std::size_t i = begin; i < end; ++i) {
+                    // Site boundaries are the scan's poll points.
+                    exec::CancelScope::current().check();
                     exec::FaultContext ctx(i);
                     const auto& s = site_sensor(i);
                     double period = s.period_at(s.junction_at(site_true[i]));
@@ -282,6 +284,9 @@ MapResult ThermalMonitor::scan_resilient(std::vector<double> field_c) const {
         exec::ThreadPool::global().parallel_for(
             n_rings, 1, [&](std::size_t begin, std::size_t end) {
                 for (std::size_t g = begin; g < end; ++g) {
+                    // Ring boundaries are the resilient scan's poll
+                    // points.
+                    exec::CancelScope::current().check();
                     obs::Span span("sensor.site.transduce");
                     span.num("ring", static_cast<double>(g));
                     const std::size_t i = g / reps;

@@ -5,6 +5,7 @@
 #include "exec/fingerprint.hpp"
 #include "obs/trace.hpp"
 #include "phys/units.hpp"
+#include "exec/metrics.hpp"
 #include "ring/analytic.hpp"
 #include "ring/sweep.hpp"
 
@@ -74,6 +75,9 @@ std::vector<std::array<double, 2>> eval_candidates(
     std::string_view salt, const phys::Technology& tech,
     const std::vector<ring::RingConfig>& configs,
     const OptimizerRuntime& rt) {
+    // Ambient token for the whole search (no-op when rt.cancel is
+    // invalid); candidate dispatches below poll it.
+    exec::CancelScope cancel_scope(rt.cancel);
     std::optional<exec::Checkpoint> ckpt;
     if (!rt.checkpoint_path.empty()) {
         exec::Fingerprint fp;
@@ -92,9 +96,12 @@ std::vector<std::array<double, 2>> eval_candidates(
     }
 
     std::vector<std::array<double, 2>> vals(configs.size());
-    pool_or_global(rt.pool).parallel_for(
+    auto run_candidates = [&] {
+        pool_or_global(rt.pool).parallel_for(
         configs.size(), 1, [&](std::size_t begin, std::size_t end) {
             for (std::size_t i = begin; i < end; ++i) {
+                // Candidate boundaries are the optimizer's poll points.
+                exec::CancelScope::current().check();
                 obs::Span span("sensor.optimize.candidate");
                 span.num("index", static_cast<double>(i));
                 if (ckpt && ckpt->completed(i)) {
@@ -109,6 +116,16 @@ std::vector<std::array<double, 2>> eval_candidates(
                 span.tag("source", "computed");
             }
         });
+    };
+    try {
+        run_candidates();
+    } catch (const exec::CancelledError&) {
+        // Cancel-safe: persist completed candidates and keep the file
+        // so a re-issued identical search resumes bitwise.
+        if (ckpt) ckpt->flush();
+        exec::MetricsRegistry::global().counter("exec.cancel.optimizes").add();
+        throw;
+    }
     if (ckpt) {
         if (rt.keep_checkpoint) {
             ckpt->flush();

@@ -34,6 +34,12 @@ struct OptimizerRuntime {
     int checkpoint_every = 4;
     /// Keep the checkpoint file after a completed run (tests/debugging).
     bool keep_checkpoint = false;
+    /// Cooperative cancellation/deadline token for the whole search:
+    /// polled at every candidate boundary (and, through the ambient
+    /// scope, at every inner sweep point and Newton iteration). A fired
+    /// token flushes the checkpoint, then unwinds as
+    /// exec::CancelledError; invalid (default) is free.
+    exec::CancelToken cancel;
 };
 
 /// One point of a ratio sweep.

@@ -17,6 +17,7 @@
 // generator) without touching the server.
 #pragma once
 
+#include "exec/cancel.hpp"
 #include "service/json.hpp"
 #include "service/transport.hpp"
 
@@ -36,6 +37,13 @@ struct RequestContext {
     /// The requesting connection — subscribe-style handlers register it
     /// for pushes. May be null for in-process (loopback-free) dispatch.
     std::shared_ptr<Connection> connection;
+    /// Per-request cancel token (child of the client's token, deadline-
+    /// armed when the request carried deadline_ms). The dispatcher
+    /// installs it as the ambient CancelScope around the handler, so
+    /// every poll point below — sweep dispatch, optimizer candidates,
+    /// Newton iterations — observes a fired cancel or expired deadline.
+    /// Invalid (default) for light methods: polling stays free.
+    exec::CancelToken cancel;
 };
 
 using Handler = std::function<Json(const Json& params, RequestContext& ctx)>;

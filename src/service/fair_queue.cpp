@@ -40,7 +40,17 @@ void FairScheduler::set_weight(int client, int weight) {
 }
 
 FairScheduler::Admit FairScheduler::submit(int client,
-                                           std::function<void()> job) {
+                                           std::function<void()> job,
+                                           const exec::CancelToken& token) {
+    // Infeasibility shed, before any queue slot is taken: a request
+    // whose deadline has already passed (or whose token already fired)
+    // cannot answer in time no matter how fast the pool drains.
+    if (token.valid() && token.poll() != exec::CancelCause::None) {
+        std::lock_guard lock(m_);
+        ++rejected_;
+        exec::MetricsRegistry::global().counter("service.shed.deadline").add();
+        return Admit::DeadlineUnmet;
+    }
     std::lock_guard lock(m_);
     if (draining_) {
         ++rejected_;

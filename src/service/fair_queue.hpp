@@ -17,6 +17,12 @@
 //   * per-client queue cap,
 //   * global queue cap.
 //
+// A job may carry a cancel token. A token whose deadline has already
+// expired at submit is shed with the typed DeadlineUnmet verdict before
+// any queue slot or pool time is spent on it; a token that fires while
+// the job is queued is the dispatcher's problem (the server's job
+// wrapper answers it without doing the heavy work).
+//
 // Dispatch order is deterministic given the arrival order: the cursor
 // walks clients in registration order and jobs in FIFO order — the
 // determinism tests pin this down with max_concurrency = 1.
@@ -52,6 +58,7 @@ public:
         ClientSaturated,  ///< Per-client inflight or queue cap hit.
         QueueFull,        ///< Global queue cap hit.
         Draining,         ///< drain() began; no new jobs.
+        DeadlineUnmet,    ///< Token deadline already expired; job shed.
     };
 
     FairScheduler(exec::ThreadPool& pool, Limits limits);
@@ -67,7 +74,11 @@ public:
     /// Queues `job` for `client`. On Admit::Ok the job will run on the
     /// pool (possibly before submit returns). Any other verdict means
     /// the job was NOT queued and the caller must answer the client.
-    Admit submit(int client, std::function<void()> job);
+    /// `token` (optional) is the request's cancel token: a deadline
+    /// already expired at submit sheds the job (DeadlineUnmet) instead
+    /// of wasting a queue slot on work that cannot answer in time.
+    Admit submit(int client, std::function<void()> job,
+                 const exec::CancelToken& token = {});
 
     /// Stops admissions. `discard_queued` pops every not-yet-dispatched
     /// job and hands it to `on_discard` (so the server can answer

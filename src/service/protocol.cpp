@@ -14,6 +14,8 @@ const char* to_string(ErrorCode code) {
         case ErrorCode::Overloaded: return "overloaded";
         case ErrorCode::ShuttingDown: return "shutting-down";
         case ErrorCode::Internal: return "internal";
+        case ErrorCode::Cancelled: return "cancelled";
+        case ErrorCode::DeadlineUnmet: return "deadline-unmet";
     }
     return "unknown";
 }
@@ -54,6 +56,19 @@ Request parse_request(const std::string& line) {
     } else {
         throw ServiceError(ErrorCode::MalformedRequest,
                            "\"params\" must be an object when present");
+    }
+    const Json& deadline = doc.at("deadline_ms");
+    if (!deadline.is_null()) {
+        if (!deadline.is_number()) {
+            throw ServiceError(ErrorCode::MalformedRequest,
+                               "\"deadline_ms\" must be a number");
+        }
+        const double ms = deadline.as_double();
+        if (!std::isfinite(ms) || ms < 0.0) {
+            throw ServiceError(ErrorCode::MalformedRequest,
+                               "\"deadline_ms\" must be finite and >= 0");
+        }
+        req.deadline_ms = ms;
     }
     return req;
 }

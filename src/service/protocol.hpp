@@ -33,6 +33,8 @@ enum class ErrorCode {
     Overloaded,       ///< Admission control rejected the request.
     ShuttingDown,     ///< Server is draining; no new work admitted.
     Internal,         ///< Handler failed (solver fault, injected kill...).
+    Cancelled,        ///< Request cancelled (cancel method, disconnect).
+    DeadlineUnmet,    ///< deadline_ms expired (shed or mid-computation).
 };
 
 const char* to_string(ErrorCode code);
@@ -54,6 +56,11 @@ struct Request {
     std::int64_t id = 0;
     std::string method;
     Json params; ///< Object; empty object when the client sent none.
+    /// Optional end-to-end deadline, wall milliseconds from receipt.
+    /// 0 = none. The server arms a cancel-token deadline from it:
+    /// expiry before dispatch sheds the request (`deadline-unmet`),
+    /// expiry mid-computation unwinds it at the next poll point.
+    double deadline_ms = 0.0;
 };
 
 /// Parses one wire line into a Request. Throws ServiceError

@@ -1,0 +1,93 @@
+#include "service/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace stsense::service {
+
+bool retryable(ErrorCode code) { return code == ErrorCode::Overloaded; }
+
+std::int64_t request_fingerprint(const std::string& method,
+                                 const Json& params) {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const std::string& s) {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+        }
+        h ^= 0xff; // separator: ("ab", "c") != ("a", "bc")
+        h *= 1099511628211ull;
+    };
+    mix(method);
+    mix(params.dump());
+    return static_cast<std::int64_t>(h & 0x7fffffffffffffffull);
+}
+
+double retry_backoff_ms(const RetryPolicy& policy, int retry_index) {
+    double backoff = policy.base_ms;
+    for (int i = 0; i < retry_index; ++i) backoff *= policy.multiplier;
+    return std::min(backoff, policy.max_ms);
+}
+
+RetryingClient::RetryingClient(std::shared_ptr<Connection> conn,
+                               RetryPolicy policy)
+    : conn_(std::move(conn)), policy_(policy), rng_(policy.seed) {}
+
+RetryingClient::CallResult RetryingClient::call(const std::string& method,
+                                                const Json& params,
+                                                double deadline_ms) {
+    // The id IS the request fingerprint: every attempt is byte-identical
+    // on the wire, so a server-side spool resumes rather than recomputes.
+    Json req = Json::object();
+    req.set("id", request_fingerprint(method, params));
+    req.set("method", method);
+    req.set("params", params);
+    if (deadline_ms > 0.0) req.set("deadline_ms", deadline_ms);
+    const std::string line = req.dump();
+    const std::int64_t id = req.at("id").as_int64();
+
+    CallResult result;
+    const int attempts = std::max(policy_.max_attempts, 1);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        ++result.attempts;
+        if (!conn_->write_line(line)) {
+            throw std::runtime_error("retry: connection closed on write");
+        }
+        // Wait for our id, skipping subscription events.
+        for (;;) {
+            std::string in;
+            if (!conn_->read_line(in)) {
+                throw std::runtime_error("retry: connection closed on read");
+            }
+            auto parsed = Json::parse(in);
+            if (!parsed.value || !parsed.value->is_object()) continue;
+            Json& doc = *parsed.value;
+            if (doc.at("event").is_string()) continue;
+            if (doc.at("id").as_int64(-1) != id) continue;
+            result.response = std::move(doc);
+            break;
+        }
+        result.ok = result.response.at("ok").as_bool(false);
+        if (result.ok) return result;
+        const std::string code =
+            result.response.at("error").at("code").as_string();
+        if (code != to_string(ErrorCode::Overloaded)) return result;
+        if (attempt + 1 >= attempts) return result;
+
+        double sleep_ms = retry_backoff_ms(policy_, attempt);
+        if (policy_.jitter > 0.0) {
+            const double j = std::clamp(policy_.jitter, 0.0, 1.0);
+            sleep_ms *= (1.0 - j) + j * rng_.uniform01();
+        }
+        ++retries_;
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            std::max(sleep_ms, 0.0)));
+    }
+    return result;
+}
+
+} // namespace stsense::service

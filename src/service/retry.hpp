@@ -1,0 +1,95 @@
+// service retry — client-side re-submit with jittered backoff.
+//
+// Admission control answers a saturated client with a typed
+// `overloaded` error instead of queueing unboundedly; the polite client
+// response is to back off and re-submit. This helper packages that
+// loop:
+//
+//   * exponential backoff with multiplicative growth and a cap,
+//     jittered by a seeded util::Rng so synchronized clients decorrelate
+//     deterministically (the same seed replays the same sleep schedule);
+//   * idempotent re-submits: the wire id is derived from a fingerprint
+//     of (method, params), so every attempt sends byte-identical lines.
+//     A server that checkpointed partial work under its spool dir
+//     resumes the re-issued request bitwise instead of recomputing it;
+//   * one outstanding request per helper: call() blocks until the
+//     response with its id arrives, skipping subscription events and
+//     unrelated responses are not expected (do not share the connection
+//     with concurrently pending calls).
+//
+// Only `overloaded` is retried. `deadline-unmet` is terminal by
+// construction (an end-to-end deadline that lapsed will not un-lapse),
+// and `cancelled`/`shutting-down` mean someone upstream decided the
+// work should not run.
+#pragma once
+
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+#include "util/rng.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace stsense::service {
+
+struct RetryPolicy {
+    /// Total attempts, the first submit included. <= 1 disables retry.
+    int max_attempts = 4;
+    /// Backoff before the first re-submit, milliseconds.
+    double base_ms = 5.0;
+    /// Growth factor per further re-submit.
+    double multiplier = 2.0;
+    /// Backoff cap, milliseconds.
+    double max_ms = 250.0;
+    /// Fraction of each backoff that is uniformly randomized: the sleep
+    /// is backoff * (1 - jitter + jitter * u), u ~ U[0,1). 0 = none.
+    double jitter = 0.5;
+    /// Seed of the jitter stream — fixed seed, replayable schedule.
+    std::uint64_t seed = 0x57a7e15eedULL;
+};
+
+/// True when a re-submit of the identical request can succeed
+/// (currently: Overloaded only).
+bool retryable(ErrorCode code);
+
+/// Deterministic idempotency key over (method, params) — FNV-1a folded
+/// to a non-negative int63 so it is usable as the wire id directly.
+std::int64_t request_fingerprint(const std::string& method,
+                                 const Json& params);
+
+/// The backoff (ms, pre-jitter) before re-submit number `retry_index`
+/// (0-based). Exposed for tests pinning the schedule.
+double retry_backoff_ms(const RetryPolicy& policy, int retry_index);
+
+class RetryingClient {
+public:
+    struct CallResult {
+        Json response;    ///< Full final response object.
+        int attempts = 0; ///< Submits performed (>= 1).
+        bool ok = false;  ///< response["ok"].
+    };
+
+    explicit RetryingClient(std::shared_ptr<Connection> conn,
+                            RetryPolicy policy = {});
+
+    /// Sends `method`/`params` (with a wire deadline when
+    /// `deadline_ms` > 0), retrying retryable() rejections with
+    /// jittered exponential backoff up to policy.max_attempts. Returns
+    /// the final response — ok, or the last error. Throws
+    /// std::runtime_error when the connection closes mid-call.
+    CallResult call(const std::string& method, const Json& params,
+                    double deadline_ms = 0.0);
+
+    /// Re-submits performed across the helper's lifetime.
+    std::uint64_t retries() const { return retries_; }
+
+private:
+    std::shared_ptr<Connection> conn_;
+    RetryPolicy policy_;
+    util::Rng rng_;
+    std::uint64_t retries_ = 0;
+};
+
+} // namespace stsense::service

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -96,6 +97,10 @@ void Server::wait() {
 void Server::request_shutdown(bool discard_queued) {
     draining_.store(true, std::memory_order_relaxed);
     if (discard_queued) {
+        // Immediate teardown: in-flight heavy work unwinds at its next
+        // poll point (checkpoints flush consistent), so drain() below
+        // waits milliseconds, not sweep-lengths.
+        cancel_root_.cancel(exec::CancelCause::Shutdown);
         // Queued-but-undispatched jobs replay via on_discard under the
         // thread-local discard flag and answer `shutting-down` without
         // doing their work; already-dispatched jobs finish normally.
@@ -119,6 +124,78 @@ void Server::reader_loop(int client, std::shared_ptr<Connection> conn) {
         handle_line(client, conn, line);
     }
     conn->close();
+    // End-of-stream: the peer is gone and nothing can deliver its
+    // answers. Cancel whatever it still has queued or in flight so
+    // pool workers stop burning on undeliverable work.
+    drop_client(client, exec::CancelCause::Disconnected);
+}
+
+// ----------------------------------------------------------- cancellation
+
+exec::CancelToken Server::client_token(int client) {
+    std::lock_guard lock(cancel_m_);
+    auto it = client_tokens_.find(client);
+    if (it == client_tokens_.end()) {
+        it = client_tokens_.emplace(client, cancel_root_.child()).first;
+    }
+    return it->second;
+}
+
+exec::CancelToken Server::make_request_token(int client, const Request& req) {
+    exec::CancelToken parent =
+        client >= 0 ? client_token(client) : cancel_root_;
+    exec::CancelToken token = req.deadline_ms > 0.0
+                                  ? parent.child_with_deadline_ms(req.deadline_ms)
+                                  : parent.child();
+    std::lock_guard lock(cancel_m_);
+    active_[{client, req.id}] = token;
+    return token;
+}
+
+void Server::finish_request(int client, std::int64_t id) {
+    std::lock_guard lock(cancel_m_);
+    active_.erase({client, id});
+}
+
+bool Server::cancel_request(int requester, std::int64_t id) {
+    exec::CancelToken token;
+    {
+        std::lock_guard lock(cancel_m_);
+        const auto it = active_.find({requester, id});
+        if (it != active_.end()) {
+            token = it->second;
+        } else if (requester < 0) {
+            for (const auto& [key, t] : active_) {
+                if (key.second == id) {
+                    token = t;
+                    break;
+                }
+            }
+        }
+    }
+    if (!token.valid()) return false;
+    token.cancel(exec::CancelCause::Cancelled);
+    return true;
+}
+
+void Server::drop_client(int client, exec::CancelCause cause) {
+    exec::CancelToken token;
+    {
+        std::lock_guard lock(cancel_m_);
+        const auto it = client_tokens_.find(client);
+        if (it != client_tokens_.end()) {
+            token = it->second;
+            client_tokens_.erase(it);
+        }
+        // Registry entries die with the client; running jobs keep their
+        // own token copies, which observe the parent's cause below.
+        active_.erase(
+            active_.lower_bound(
+                {client, std::numeric_limits<std::int64_t>::min()}),
+            active_.upper_bound(
+                {client, std::numeric_limits<std::int64_t>::max()}));
+    }
+    if (token.valid()) token.cancel(cause);
 }
 
 void Server::handle_line(int client, const std::shared_ptr<Connection>& conn,
@@ -163,22 +240,32 @@ void Server::handle_line(int client, const std::shared_ptr<Connection>& conn,
         return;
     }
 
+    ctx.cancel = make_request_token(client, req);
     const auto verdict = scheduler_->submit(
-        client, [this, spec, req, ctx, conn]() mutable {
+        client,
+        [this, spec, req, ctx, conn]() mutable {
             if (t_discarding) {
+                finish_request(ctx.client, req.id);
                 errors_.fetch_add(1, std::memory_order_relaxed);
                 conn->write_line(make_error_response(
                     req.id, ErrorCode::ShuttingDown,
                     "server is shutting down; request not executed"));
                 return;
             }
-            conn->write_line(execute(*spec, req, ctx));
+            // Unregister before the response goes out: a client that has
+            // read the answer must see `cancelled: false` for this id,
+            // never a stale registry hit on finished work.
+            const std::string response = execute(*spec, req, ctx);
+            finish_request(ctx.client, req.id);
+            conn->write_line(response);
             notify_subscribers();
-        });
+        },
+        ctx.cancel);
     switch (verdict) {
     case FairScheduler::Admit::Ok:
         break;
     case FairScheduler::Admit::ClientSaturated:
+        finish_request(client, req.id);
         errors_.fetch_add(1, std::memory_order_relaxed);
         exec::MetricsRegistry::global().counter("service.rejected").add();
         conn->write_line(make_error_response(
@@ -186,6 +273,7 @@ void Server::handle_line(int client, const std::shared_ptr<Connection>& conn,
             "client request limit reached; retry after a response"));
         break;
     case FairScheduler::Admit::QueueFull:
+        finish_request(client, req.id);
         errors_.fetch_add(1, std::memory_order_relaxed);
         exec::MetricsRegistry::global().counter("service.rejected").add();
         conn->write_line(make_error_response(
@@ -193,10 +281,18 @@ void Server::handle_line(int client, const std::shared_ptr<Connection>& conn,
             "server queue is full; retry later"));
         break;
     case FairScheduler::Admit::Draining:
+        finish_request(client, req.id);
         errors_.fetch_add(1, std::memory_order_relaxed);
         conn->write_line(make_error_response(
             req.id, ErrorCode::ShuttingDown,
             "server is draining; no new work admitted"));
+        break;
+    case FairScheduler::Admit::DeadlineUnmet:
+        finish_request(client, req.id);
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        conn->write_line(make_error_response(
+            req.id, ErrorCode::DeadlineUnmet,
+            "deadline_ms already expired at admission; request shed"));
         break;
     }
 }
@@ -204,10 +300,40 @@ void Server::handle_line(int client, const std::shared_ptr<Connection>& conn,
 std::string Server::execute(const CommandProcessor::CommandSpec& spec,
                             const Request& req, RequestContext& ctx) {
     OBS_SPAN("service.request");
+    // The request token governs every poll point below the handler —
+    // sweep dispatch, optimizer candidates, Newton iterations. No-op
+    // (and free) for light methods, whose token is invalid.
+    exec::CancelScope cancel_scope(ctx.cancel);
     try {
+        const exec::CancelCause queued_cause =
+            ctx.cancel.valid() ? ctx.cancel.poll() : exec::CancelCause::None;
+        if (queued_cause != exec::CancelCause::None &&
+            queued_cause != exec::CancelCause::Shutdown) {
+            // Fired while queued (deadline lapsed, cancel method,
+            // disconnect): answer without starting the heavy work.
+            // Shutdown is excluded: mode-now discards *queued* jobs via
+            // the drain path, and a job the scheduler already dispatched
+            // is contracted to begin — its own poll points unwind it.
+            exec::MetricsRegistry::global().counter("service.shed.queued").add();
+            throw exec::CancelledError(queued_cause);
+        }
         Json result = spec.handler(req.params, ctx);
         responses_.fetch_add(1, std::memory_order_relaxed);
         return make_ok_response(req.id, std::move(result));
+    } catch (const exec::CancelledError& e) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        exec::MetricsRegistry::global().counter("service.cancelled").add();
+        if (e.cause == exec::CancelCause::DeadlineExceeded) {
+            return make_error_response(
+                req.id, ErrorCode::DeadlineUnmet,
+                "deadline_ms exceeded mid-computation; completed work "
+                "is checkpointed where a spool dir is configured");
+        }
+        return make_error_response(
+            req.id, ErrorCode::Cancelled,
+            std::string("request cancelled (") + exec::to_string(e.cause) +
+                "); completed work is checkpointed where a spool dir "
+                "is configured");
     } catch (const ServiceError& e) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         exec::MetricsRegistry::global().counter("service.errors").add();
@@ -246,6 +372,12 @@ std::string Server::handle_inline(const std::string& line) {
     }
     RequestContext ctx;
     ctx.request_id = req.id;
+    // Synchronous dispatch still honors a wire deadline; there is no
+    // cancel-by-id window (nothing queues), so the token skips the
+    // registry.
+    if (spec->heavy && req.deadline_ms > 0.0) {
+        ctx.cancel = cancel_root_.child_with_deadline_ms(req.deadline_ms);
+    }
     return execute(*spec, req, ctx);
 }
 
@@ -411,6 +543,27 @@ void Server::register_builtin_methods() {
             return j;
         });
 
+    // Cancels one of the caller's in-flight heavy requests by id. Light
+    // on purpose: it must land while every pool worker is busy with the
+    // very work being cancelled. `cancelled: false` means the id was
+    // not in flight — already answered, or never admitted; racing a
+    // completion is normal, not an error.
+    processor_.register_method(
+        "cancel", /*heavy=*/false,
+        [this](const Json& params, RequestContext& ctx) -> Json {
+            if (!params.at("request").is_number()) {
+                throw ServiceError(
+                    ErrorCode::BadParams,
+                    "param 'request' must be the id of the request to cancel");
+            }
+            const std::int64_t id = params.at("request").as_int64();
+            const bool hit = cancel_request(ctx.client, id);
+            Json j = Json::object();
+            j.set("request", id);
+            j.set("cancelled", hit);
+            return j;
+        });
+
     processor_.register_method(
         "shutdown", /*heavy=*/false,
         [this](const Json& params, RequestContext&) -> Json {
@@ -421,6 +574,10 @@ void Server::register_builtin_methods() {
             }
             draining_.store(true, std::memory_order_relaxed);
             if (mode == "now") {
+                // Same contract as request_shutdown(discard): running
+                // work unwinds at its next poll point, queued work is
+                // answered `shutting-down` without executing.
+                cancel_root_.cancel(exec::CancelCause::Shutdown);
                 scheduler_->drain(/*discard_queued=*/true,
                                   [](std::function<void()> job) {
                                       t_discarding = true;
@@ -465,12 +622,20 @@ void Server::register_builtin_methods() {
         });
     // Deterministic load generator: occupies one scheduler slot for a
     // fixed wall time. The saturation tests use it to make admission
-    // rejection reproducible; it does no session work.
+    // rejection reproducible; it does no session work. The sleep is
+    // sliced so a deadline or cancel lands within one slice, not after
+    // the full burn — burn is the demo's deterministic "slow request".
     processor_.register_method(
         "burn", /*heavy=*/true,
         [](const Json& params, RequestContext&) -> Json {
             const int ms = std::clamp(params.at("ms").as_int(10), 0, 2000);
-            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+            const auto& token = exec::CancelScope::current();
+            const auto end = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(ms);
+            while (std::chrono::steady_clock::now() < end) {
+                if (token.valid()) token.check();
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
             Json j = Json::object();
             j.set("burned_ms", ms);
             return j;
@@ -601,11 +766,34 @@ ModelPtr Server::build_model() const {
                      });
     };
 
+    // Request-lifecycle counters, read live from the global registry so
+    // `query path:"metrics"` shows cancellation and shedding activity.
+    // Keys are the registry names verbatim; dots keep them out of the
+    // path grammar, so this node is read whole, never element-wise.
+    auto metrics_node = []() -> ModelPtr {
+        auto count = [](const char* name) {
+            return leaf([name] {
+                return Json(
+                    exec::MetricsRegistry::global().counter(name).value());
+            });
+        };
+        std::vector<std::pair<std::string, ChildFactory>> children;
+        for (const char* name :
+             {"exec.cancel.fired", "exec.cancel.tasks_skipped",
+              "exec.cancel.sweeps", "exec.cancel.optimizes",
+              "service.cancelled", "service.shed.deadline",
+              "service.shed.queued"}) {
+            children.emplace_back(name, [count, name] { return count(name); });
+        }
+        return object(std::move(children));
+    };
+
     return object({
         {"service", service_node},
         {"pool", pool_node},
         {"cache", cache_node},
         {"scheduler", scheduler_node},
+        {"metrics", metrics_node},
         {"sessions", sessions_node},
     });
 }

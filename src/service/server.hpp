@@ -41,10 +41,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace stsense::service {
@@ -81,8 +83,11 @@ public:
     void wait();
 
     /// Programmatic shutdown: stops admissions, drains (or, with
-    /// `discard_queued`, answers queued jobs `shutting-down`), then
-    /// closes the transport so serve() returns. Idempotent.
+    /// `discard_queued`, answers queued jobs `shutting-down` AND fires
+    /// the server cancel token so in-flight heavy work unwinds at its
+    /// next poll point instead of running to completion — checkpoints
+    /// flush consistent on the way out), then closes the transport so
+    /// serve() returns. Idempotent.
     void request_shutdown(bool discard_queued = false);
 
     bool draining() const { return draining_.load(std::memory_order_relaxed); }
@@ -99,6 +104,10 @@ public:
     /// Root of the object model (`state.`); stable for the server's
     /// lifetime, safe to query from any thread.
     const ModelPtr& model() const { return root_; }
+
+    /// Root of the cancel hierarchy (server -> client -> request).
+    /// Copies share state: firing it cancels every request in flight.
+    exec::CancelToken cancel_root() const { return cancel_root_; }
 
     /// One request handled fully in-process (no transport): parses,
     /// dispatches (heavy methods still go through admission control but
@@ -127,6 +136,23 @@ private:
     std::string execute(const CommandProcessor::CommandSpec& spec,
                         const Request& req, RequestContext& ctx);
 
+    // ---- cancellation (server -> client -> request token chain) ----------
+    /// The client's token, created as a child of the server root on
+    /// first use (serve() registers clients lazily this way too).
+    exec::CancelToken client_token(int client);
+    /// Builds the per-request token (deadline-armed when the request
+    /// carried deadline_ms) and registers it for cancel-by-id.
+    exec::CancelToken make_request_token(int client, const Request& req);
+    /// Drops a finished request from the cancel registry.
+    void finish_request(int client, std::int64_t id);
+    /// Fires the Cancelled cause on a registered in-flight request.
+    /// `requester >= 0` may only cancel its own requests; a negative
+    /// requester (in-process dispatch) may cancel anyone's.
+    bool cancel_request(int requester, std::int64_t id);
+    /// Disconnect path: fires `cause` on the client's token (cancelling
+    /// its in-flight requests through the parent chain) and forgets it.
+    void drop_client(int client, exec::CancelCause cause);
+
     // ---- subscriptions ---------------------------------------------------
     struct Subscription {
         std::weak_ptr<Connection> conn;
@@ -148,6 +174,16 @@ private:
     ModelPtr root_;
 
     std::atomic<bool> draining_{false};
+
+    /// Cancel hierarchy root (valid for the server's lifetime) and the
+    /// registries below it. Request tokens live in `active_` only while
+    /// the request is queued/executing — the `cancel` method looks them
+    /// up by (client, request id); in-flight jobs hold their own copies,
+    /// so erasure never invalidates a running poll.
+    exec::CancelToken cancel_root_ = exec::CancelToken::make();
+    std::mutex cancel_m_;
+    std::map<int, exec::CancelToken> client_tokens_;
+    std::map<std::pair<int, std::int64_t>, exec::CancelToken> active_;
 
     std::mutex serve_m_;
     Transport* transport_ = nullptr; ///< Non-null while serve() runs.

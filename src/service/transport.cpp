@@ -1,6 +1,8 @@
 #include "service/transport.hpp"
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -143,9 +146,21 @@ void LoopbackTransport::shutdown() {
 namespace {
 
 /// Connection over one stream fd with internal line buffering.
+///
+/// Robustness contract: reads and writes retry EINTR (a signal landing
+/// mid-syscall must not tear a line), writes resume after partial
+/// sends, and every send is bounded by a wall-clock timeout
+/// (SO_SNDTIMEO) — a peer that stops draining its socket stalls only
+/// its own connection for kWriteTimeout, never a pool worker forever.
 class FdConnection final : public Connection {
 public:
-    explicit FdConnection(int fd) : fd_(fd) {}
+    static constexpr std::chrono::seconds kWriteTimeout{5};
+
+    explicit FdConnection(int fd) : fd_(fd) {
+        timeval tv{};
+        tv.tv_sec = static_cast<long>(kWriteTimeout.count());
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     ~FdConnection() override { close(); }
 
     bool read_line(std::string& out) override {
@@ -160,6 +175,7 @@ public:
             }
             char chunk[4096];
             const ssize_t n = ::recv(fd_.load(), chunk, sizeof(chunk), 0);
+            if (n < 0 && errno == EINTR) continue;
             if (n <= 0) {
                 // Last unterminated fragment is dropped by design: a
                 // half-written request must not be half-parsed.
@@ -177,6 +193,10 @@ public:
         while (sent < framed.size()) {
             const ssize_t n = ::send(fd_.load(), framed.data() + sent,
                                      framed.size() - sent, MSG_NOSIGNAL);
+            if (n < 0 && errno == EINTR) continue; // retry, nothing sent
+            // 0, a timeout (EAGAIN after SO_SNDTIMEO), or a hard error:
+            // the line cannot complete — the peer sees a torn tail only
+            // if bytes already went out, and then drops it at framing.
             if (n <= 0) return false;
             sent += static_cast<std::size_t>(n);
         }

@@ -365,6 +365,17 @@ Simulator::NewtonStatus Simulator::newton_iteration(
         std::chrono::steady_clock::now() > budget.deadline) {
         return NewtonStatus::Deadline;
     }
+    if (budget.cancel.valid()) {
+        // Poll the request's cancel token once per iteration — the same
+        // cadence as the wall-clock check. A token-carried deadline was
+        // already folded into budget.deadline by make_budget, so only
+        // explicit causes surface here (Deadline keeps its own status so
+        // the error kind stays DeadlineExceeded either way).
+        const exec::CancelCause cause = budget.cancel.poll();
+        if (cause == exec::CancelCause::DeadlineExceeded)
+            return NewtonStatus::Deadline;
+        if (cause != exec::CancelCause::None) return NewtonStatus::Cancelled;
+    }
     ++iters;
     ++st.it;
 
@@ -527,6 +538,7 @@ SimErrorKind kind_of_status(int status) {
         case 3: return SimErrorKind::NonFiniteState; // NonFinite
         case 4: return SimErrorKind::StepLimit;      // IterBudget
         case 5: return SimErrorKind::DeadlineExceeded; // Deadline
+        case 6: return SimErrorKind::Cancelled;      // Cancelled
         default: return SimErrorKind::NonConvergence;
     }
 }
@@ -559,6 +571,18 @@ Simulator::Budget Simulator::make_budget() const {
                          std::chrono::duration<double, std::milli>(options_.max_wall_ms));
     }
     if (options_.max_transient_steps > 0) b.steps_left = options_.max_transient_steps;
+    // Fold the ambient cancel token in: a request deadline tightens the
+    // per-solve wall budget (whichever expires first wins), so a sweep
+    // point started near the request deadline fails DeadlineExceeded
+    // instead of overrunning it.
+    b.cancel = exec::CancelScope::current();
+    std::chrono::steady_clock::time_point token_deadline;
+    if (b.cancel.deadline(token_deadline)) {
+        if (!b.has_deadline || token_deadline < b.deadline) {
+            b.has_deadline = true;
+            b.deadline = token_deadline;
+        }
+    }
     return b;
 }
 
@@ -575,7 +599,8 @@ Result<std::vector<double>> Simulator::dc_ladder(Budget& budget) {
         return e;
     };
     auto is_budget = [](NewtonStatus s) {
-        return s == NewtonStatus::IterBudget || s == NewtonStatus::Deadline;
+        return s == NewtonStatus::IterBudget || s == NewtonStatus::Deadline ||
+               s == NewtonStatus::Cancelled;
     };
 
     const NewtonParams base{options_.max_newton_iters, options_.v_step_limit,
@@ -761,7 +786,8 @@ Simulator::NewtonStatus Simulator::advance(std::vector<double>& volts,
         commit_step(volts, caps, trial, trial_caps, h, integ, result);
         return NewtonStatus::Converged;
     }
-    if (status == NewtonStatus::IterBudget || status == NewtonStatus::Deadline) {
+    if (status == NewtonStatus::IterBudget || status == NewtonStatus::Deadline ||
+        status == NewtonStatus::Cancelled) {
         return status;
     }
     return rescue_failed_step(volts, caps, t, h, depth, integ, sab, budget,
@@ -807,7 +833,8 @@ Simulator::NewtonStatus Simulator::rescue_failed_step(
         ++result.rescued_steps;
         return NewtonStatus::Converged;
     }
-    if (rescue == NewtonStatus::IterBudget || rescue == NewtonStatus::Deadline) {
+    if (rescue == NewtonStatus::IterBudget || rescue == NewtonStatus::Deadline ||
+        rescue == NewtonStatus::Cancelled) {
         return rescue;
     }
 
@@ -831,7 +858,8 @@ Simulator::NewtonStatus Simulator::rescue_failed_step(
         const double next = g * 0.1;
         g = (next <= options_.gmin || next < 1e-12) ? options_.gmin : next;
     }
-    if (rescue == NewtonStatus::IterBudget || rescue == NewtonStatus::Deadline) {
+    if (rescue == NewtonStatus::IterBudget || rescue == NewtonStatus::Deadline ||
+        rescue == NewtonStatus::Cancelled) {
         return rescue;
     }
 

@@ -51,6 +51,7 @@
 #include "spice/sim_error.hpp"
 #include "spice/waveform.hpp"
 
+#include "exec/cancel.hpp"
 #include "phys/mosfet.hpp"
 #include "util/simd.hpp"
 
@@ -312,6 +313,7 @@ private:
         NonFinite,
         IterBudget,
         Deadline,
+        Cancelled,
         Running,
     };
 
@@ -331,11 +333,16 @@ private:
     };
 
     /// Whole-call budgets, shared by every attempt of one public call.
+    /// make_budget() folds the ambient exec::CancelToken in: its
+    /// effective deadline tightens `deadline` (so request deadlines ride
+    /// the existing DeadlineExceeded rail) and the token itself is
+    /// polled per Newton iteration for explicit cancellation.
     struct Budget {
         long iters_left = -1; ///< < 0 = unlimited.
         bool has_deadline = false;
         std::chrono::steady_clock::time_point deadline{};
         long steps_left = -1; ///< < 0 = unlimited (transient only).
+        exec::CancelToken cancel; ///< Ambient token at call entry.
     };
 
     /// Per-solve-event injected sabotage (inactive without an injector).

@@ -35,6 +35,7 @@ enum class ErrorKind {
     MissingSignal,    ///< Requested probe/trace does not exist.
     NotCalibrated,    ///< Readout requested before the converter was trimmed.
     OutOfRange,       ///< Value outside the plausible/configured band.
+    Cancelled,        ///< Cooperative cancellation fired mid-computation.
 };
 
 inline const char* to_string(ErrorKind kind) {
@@ -47,6 +48,7 @@ inline const char* to_string(ErrorKind kind) {
         case ErrorKind::MissingSignal: return "missing-signal";
         case ErrorKind::NotCalibrated: return "not-calibrated";
         case ErrorKind::OutOfRange: return "out-of-range";
+        case ErrorKind::Cancelled: return "cancelled";
     }
     return "unknown";
 }

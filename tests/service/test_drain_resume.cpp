@@ -169,23 +169,29 @@ TEST(ServiceDrainResume, ShutdownNowAnswersQueuedWorkShuttingDown) {
     }
     server.request_shutdown(/*discard_queued=*/true);
 
-    bool saw_ok = false, saw_shutting_down = false;
+    // The executing burn unwinds at its next poll point with the typed
+    // shutdown cause; the queued burn is discarded without executing.
+    bool saw_unwound = false, saw_shutting_down = false;
     std::string line;
     while (conn->read_line(line)) {
         auto parsed = Json::parse(line);
         ASSERT_TRUE(parsed.value.has_value()) << line;
         const Json& j = *parsed.value;
         if (j.at("id").as_int64() == 1) {
-            EXPECT_TRUE(j.at("ok").as_bool()) << line;
-            saw_ok = true;
+            EXPECT_FALSE(j.at("ok").as_bool()) << line;
+            EXPECT_EQ(j.at("error").at("code").as_string(), "cancelled");
+            EXPECT_NE(j.at("error").at("message").as_string().find("shutdown"),
+                      std::string::npos)
+                << line;
+            saw_unwound = true;
         } else if (j.at("id").as_int64() == 2) {
             EXPECT_FALSE(j.at("ok").as_bool()) << line;
             EXPECT_EQ(j.at("error").at("code").as_string(), "shutting-down");
             saw_shutting_down = true;
         }
-        if (saw_ok && saw_shutting_down) break;
+        if (saw_unwound && saw_shutting_down) break;
     }
-    EXPECT_TRUE(saw_ok) << "executing burn was not answered";
+    EXPECT_TRUE(saw_unwound) << "executing burn was not answered";
     EXPECT_TRUE(saw_shutting_down) << "queued burn was not answered";
 
     server.wait();

@@ -1,0 +1,398 @@
+// End-to-end deadlines and cancellation on the service surface: wire
+// deadline_ms (shed typed `deadline-unmet` when infeasible, bitwise
+// free when generous), the `cancel` method against in-flight sweeps,
+// client-disconnect cancellation, and the client-side retry helper's
+// backoff/fingerprint/terminal-error contracts.
+#include "service/server.hpp"
+
+#include "exec/cancel.hpp"
+#include "exec/metrics.hpp"
+#include "service/retry.hpp"
+#include "service/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stsense::service {
+namespace {
+
+SessionSpec small_session(const std::string& name = "die") {
+    SessionSpec spec;
+    spec.name = name;
+    spec.monitor.grid_nx = 12;
+    spec.monitor.grid_ny = 12;
+    spec.sites_nx = 2;
+    spec.sites_ny = 2;
+    return spec;
+}
+
+/// Minimal protocol client: correlates responses by id, stashes events.
+class Client {
+public:
+    explicit Client(std::shared_ptr<Connection> conn)
+        : conn_(std::move(conn)) {}
+
+    bool send(std::int64_t id, const std::string& method,
+              Json params = Json::object(), double deadline_ms = 0.0) {
+        Json req = Json::object();
+        req.set("id", id);
+        req.set("method", method);
+        req.set("params", std::move(params));
+        if (deadline_ms > 0.0) req.set("deadline_ms", deadline_ms);
+        return conn_->write_line(req.dump());
+    }
+
+    Json await(std::int64_t id) {
+        for (std::size_t i = 0; i < responses_.size(); ++i) {
+            if (responses_[i].at("id").as_int64() == id) {
+                Json r = responses_[i];
+                responses_.erase(responses_.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                return r;
+            }
+        }
+        std::string line;
+        while (conn_->read_line(line)) {
+            auto parsed = Json::parse(line);
+            if (!parsed.value) {
+                ADD_FAILURE() << "unparseable line from server: " << line;
+                return Json();
+            }
+            Json j = *parsed.value;
+            if (j.contains("event")) continue;
+            if (j.at("id").as_int64() == id) return j;
+            responses_.push_back(std::move(j));
+        }
+        ADD_FAILURE() << "stream closed while waiting for id " << id;
+        return Json();
+    }
+
+    Json call(std::int64_t id, const std::string& method,
+              Json params = Json::object(), double deadline_ms = 0.0) {
+        EXPECT_TRUE(send(id, method, std::move(params), deadline_ms));
+        return await(id);
+    }
+
+    std::shared_ptr<Connection> conn_;
+    std::vector<Json> responses_;
+};
+
+std::string error_code_of(const Json& response) {
+    return response.at("error").at("code").as_string();
+}
+
+Json long_spice_sweep_params() {
+    // A transistor-level sweep wide enough to still be running when a
+    // cancel lands milliseconds after admission.
+    Json p = Json::object();
+    p.set("t_min_c", -40.0);
+    p.set("t_max_c", 140.0);
+    p.set("points", 400);
+    p.set("engine", "spice");
+    return p;
+}
+
+/// Spins until the server has no queued or executing heavy work and the
+/// pool fully drained — the "zero leaked tasks" acceptance check.
+void expect_drained(Server& server, std::chrono::seconds budget) {
+    const auto give_up = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < give_up) {
+        if (server.scheduler().queued() == 0 &&
+            server.scheduler().executing() == 0 &&
+            server.pool().queue_depth() == 0 && server.pool().inflight() == 0) {
+            return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(server.scheduler().queued(), 0u);
+    EXPECT_EQ(server.scheduler().executing(), 0u);
+    EXPECT_EQ(server.pool().queue_depth(), 0u);
+    EXPECT_EQ(server.pool().inflight(), 0u);
+}
+
+TEST(ServiceCancel, InfeasibleDeadlineIsShedTyped) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server server(cfg, {small_session()});
+    auto& shed_deadline =
+        exec::MetricsRegistry::global().counter("service.shed.deadline");
+    auto& shed_queued =
+        exec::MetricsRegistry::global().counter("service.shed.queued");
+    const std::uint64_t before = shed_deadline.value() + shed_queued.value();
+
+    // 1 nanosecond of budget: expired before the scheduler can look.
+    const auto resp = Json::parse(server.handle_inline(
+        R"({"id":4,"method":"sweep","params":{"points":17},"deadline_ms":1e-6})"));
+    ASSERT_TRUE(resp.value.has_value());
+    EXPECT_FALSE(resp.value->at("ok").as_bool(true));
+    EXPECT_EQ(error_code_of(*resp.value), "deadline-unmet");
+    EXPECT_GE(shed_deadline.value() + shed_queued.value(), before + 1);
+}
+
+TEST(ServiceCancel, GenerousDeadlineIsBitwiseFree) {
+    const std::string with_deadline =
+        R"({"id":9,"method":"sweep","params":{"points":17},"deadline_ms":1e9})";
+    const std::string without =
+        R"({"id":9,"method":"sweep","params":{"points":17}})";
+
+    // Independent servers so the shared result cache cannot mask a
+    // value drift between the deadline-armed and plain paths.
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server armed(cfg, {small_session()});
+    Server plain(cfg, {small_session()});
+
+    const auto a = Json::parse(armed.handle_inline(with_deadline));
+    const auto b = Json::parse(plain.handle_inline(without));
+    ASSERT_TRUE(a.value.has_value());
+    ASSERT_TRUE(b.value.has_value());
+    EXPECT_TRUE(a.value->at("ok").as_bool(false));
+    EXPECT_TRUE(b.value->at("ok").as_bool(false));
+    EXPECT_EQ(a.value->at("result").dump(), b.value->at("result").dump());
+}
+
+TEST(ServiceCancel, MalformedDeadlineIsRejected) {
+    ServerConfig cfg;
+    cfg.threads = 1;
+    Server server(cfg, {small_session()});
+
+    for (const std::string line : {
+             R"({"id":1,"method":"ping","params":{},"deadline_ms":"soon"})",
+             R"({"id":2,"method":"ping","params":{},"deadline_ms":-5})",
+         }) {
+        const auto resp = Json::parse(server.handle_inline(line));
+        ASSERT_TRUE(resp.value.has_value()) << line;
+        EXPECT_FALSE(resp.value->at("ok").as_bool(true));
+        EXPECT_EQ(error_code_of(*resp.value), "malformed-request") << line;
+    }
+}
+
+TEST(ServiceCancel, CancelMethodStopsAnInFlightSweep) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server server(cfg, {small_session()});
+    LoopbackTransport transport;
+    server.start(transport);
+    auto& cancelled_metric =
+        exec::MetricsRegistry::global().counter("service.cancelled");
+    const std::uint64_t cancelled_before = cancelled_metric.value();
+
+    Client client(transport.connect());
+    ASSERT_TRUE(client.send(7, "sweep", long_spice_sweep_params()));
+
+    // Same connection: the reader registered request 7 before it parses
+    // the cancel line, so the lookup must hit.
+    const Json ack = client.call(8, "cancel", [] {
+        Json p = Json::object();
+        p.set("request", 7);
+        return p;
+    }());
+    ASSERT_TRUE(ack.at("ok").as_bool(false));
+    EXPECT_TRUE(ack.at("result").at("cancelled").as_bool(false));
+
+    const Json resp = client.await(7);
+    EXPECT_FALSE(resp.at("ok").as_bool(true));
+    EXPECT_EQ(error_code_of(resp), "cancelled");
+    EXPECT_GE(cancelled_metric.value(), cancelled_before + 1);
+
+    // The cancelled sweep's pool chunks drain — nothing leaks.
+    expect_drained(server, std::chrono::seconds(10));
+
+    // The id is gone from the in-flight registry now.
+    const Json again = client.call(9, "cancel", [] {
+        Json p = Json::object();
+        p.set("request", 7);
+        return p;
+    }());
+    EXPECT_FALSE(again.at("result").at("cancelled").as_bool(true));
+
+    server.request_shutdown();
+    server.wait();
+}
+
+TEST(ServiceCancel, ClientsCannotCancelEachOthersRequests) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server server(cfg, {small_session()});
+    LoopbackTransport transport;
+    server.start(transport);
+
+    Client alice(transport.connect());
+    Client mallory(transport.connect());
+    ASSERT_TRUE(alice.send(7, "sweep", long_spice_sweep_params()));
+
+    // A foreign client never matches another client's id: the lookup is
+    // keyed by (client, id), so this reports not-in-flight at most.
+    const Json foreign = mallory.call(1, "cancel", [] {
+        Json p = Json::object();
+        p.set("request", 7);
+        return p;
+    }());
+    ASSERT_TRUE(foreign.at("ok").as_bool(false));
+    EXPECT_FALSE(foreign.at("result").at("cancelled").as_bool(true));
+
+    // The owner still can.
+    const Json own = alice.call(8, "cancel", [] {
+        Json p = Json::object();
+        p.set("request", 7);
+        return p;
+    }());
+    EXPECT_TRUE(own.at("result").at("cancelled").as_bool(false));
+    EXPECT_EQ(error_code_of(alice.await(7)), "cancelled");
+
+    expect_drained(server, std::chrono::seconds(10));
+    server.request_shutdown();
+    server.wait();
+}
+
+TEST(ServiceCancel, DisconnectCancelsInFlightWork) {
+    ServerConfig cfg;
+    cfg.threads = 2;
+    Server server(cfg, {small_session()});
+    LoopbackTransport transport;
+    server.start(transport);
+    auto& cancelled_metric =
+        exec::MetricsRegistry::global().counter("service.cancelled");
+    const std::uint64_t cancelled_before = cancelled_metric.value();
+
+    {
+        Client client(transport.connect());
+        ASSERT_TRUE(client.send(7, "sweep", long_spice_sweep_params()));
+        // Make sure the request was admitted before hanging up.
+        const auto give_up =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (server.scheduler().executing() == 0 &&
+               std::chrono::steady_clock::now() < give_up) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        ASSERT_GT(server.scheduler().executing(), 0u);
+        client.conn_->close(); // hang up mid-sweep
+    }
+
+    // The reader notices the dead connection, fires the client token,
+    // and the sweep unwinds instead of burning both workers to the end.
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (cancelled_metric.value() < cancelled_before + 1 &&
+           std::chrono::steady_clock::now() < give_up) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GE(cancelled_metric.value(), cancelled_before + 1)
+        << "disconnect never cancelled the in-flight sweep";
+    expect_drained(server, std::chrono::seconds(10));
+
+    server.request_shutdown();
+    server.wait();
+}
+
+// ------------------------------------------------------------------ retry
+
+TEST(ServiceRetry, BackoffScheduleIsDeterministicAndCapped) {
+    RetryPolicy policy;
+    policy.base_ms = 5.0;
+    policy.multiplier = 2.0;
+    policy.max_ms = 250.0;
+    EXPECT_DOUBLE_EQ(retry_backoff_ms(policy, 0), 5.0);
+    EXPECT_DOUBLE_EQ(retry_backoff_ms(policy, 1), 10.0);
+    EXPECT_DOUBLE_EQ(retry_backoff_ms(policy, 2), 20.0);
+    EXPECT_DOUBLE_EQ(retry_backoff_ms(policy, 5), 160.0);
+    EXPECT_DOUBLE_EQ(retry_backoff_ms(policy, 6), 250.0); // capped
+    EXPECT_DOUBLE_EQ(retry_backoff_ms(policy, 20), 250.0);
+}
+
+TEST(ServiceRetry, OnlyOverloadedIsRetryable) {
+    EXPECT_TRUE(retryable(ErrorCode::Overloaded));
+    EXPECT_FALSE(retryable(ErrorCode::DeadlineUnmet));
+    EXPECT_FALSE(retryable(ErrorCode::Cancelled));
+    EXPECT_FALSE(retryable(ErrorCode::ShuttingDown));
+    EXPECT_FALSE(retryable(ErrorCode::Internal));
+    EXPECT_FALSE(retryable(ErrorCode::BadParams));
+}
+
+TEST(ServiceRetry, FingerprintIsStableAndInputSensitive) {
+    Json a = Json::object();
+    a.set("points", 17);
+    Json b = Json::object();
+    b.set("points", 18);
+
+    const std::int64_t fp = request_fingerprint("sweep", a);
+    EXPECT_GE(fp, 0); // usable as a wire id
+    EXPECT_EQ(fp, request_fingerprint("sweep", a)); // stable
+    EXPECT_NE(fp, request_fingerprint("sweep", b)); // params matter
+    EXPECT_NE(fp, request_fingerprint("optimize", a)); // method matters
+}
+
+TEST(ServiceRetry, RetriesThroughSaturationAndSucceeds) {
+    ServerConfig cfg;
+    cfg.threads = 1;
+    cfg.limits.max_concurrency = 1;
+    cfg.limits.max_queued_total = 1;
+    Server server(cfg, {small_session()});
+    LoopbackTransport transport;
+    server.start(transport);
+
+    // One burn executing + one queued fills the global queue: the
+    // helper's first submit is rejected `overloaded` and must back off
+    // until the burns finish.
+    Client hog(transport.connect());
+    Json burn = Json::object();
+    burn.set("ms", 300);
+    ASSERT_TRUE(hog.send(1, "burn", burn));
+    ASSERT_TRUE(hog.send(2, "burn", burn));
+    // Both burns admitted (the second may briefly sit queued).
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.scheduler().executing() + server.scheduler().queued() < 2 &&
+           std::chrono::steady_clock::now() < give_up) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(server.scheduler().executing() + server.scheduler().queued(), 2u);
+
+    RetryPolicy policy;
+    policy.max_attempts = 10;
+    policy.base_ms = 60.0;
+    policy.multiplier = 2.0;
+    policy.max_ms = 240.0;
+    RetryingClient retrier(transport.connect(), policy);
+    Json params = Json::object();
+    params.set("points", 17);
+    const auto result = retrier.call("sweep", params);
+    EXPECT_TRUE(result.ok) << result.response.dump();
+    EXPECT_GT(result.attempts, 1) << "the saturated submit was not rejected";
+    EXPECT_GE(retrier.retries(), 1u);
+
+    EXPECT_TRUE(hog.await(1).at("ok").as_bool(false));
+    EXPECT_TRUE(hog.await(2).at("ok").as_bool(false));
+    server.request_shutdown();
+    server.wait();
+}
+
+TEST(ServiceRetry, DeadlineUnmetIsTerminalNotRetried) {
+    ServerConfig cfg;
+    cfg.threads = 1;
+    Server server(cfg, {small_session()});
+    LoopbackTransport transport;
+    server.start(transport);
+
+    RetryingClient retrier(transport.connect(), {});
+    Json params = Json::object();
+    params.set("points", 17);
+    const auto result = retrier.call("sweep", params, /*deadline_ms=*/1e-6);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.attempts, 1) << "deadline-unmet must not be retried";
+    EXPECT_EQ(result.response.at("error").at("code").as_string(),
+              "deadline-unmet");
+    EXPECT_EQ(retrier.retries(), 0u);
+
+    server.request_shutdown();
+    server.wait();
+}
+
+} // namespace
+} // namespace stsense::service
