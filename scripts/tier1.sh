@@ -87,6 +87,18 @@ cmake --build "$repo/build" --target bench_dtm -j "$jobs"
 STSENSE_FAULT_SEED=20260808 "$repo/build/bench/bench_dtm" --chaos --quick \
     --json="$repo/build/BENCH_dtm.json"
 
+echo "== tier 1: population study — streaming stats + kill/resume parity =="
+# The sharded Monte Carlo population engine on the quick grid (10^4
+# dice): shard-size and serial-vs-parallel bitwise invariance, a seeded
+# mid-population shard kill whose resume must reproduce the reference
+# statistics bitwise, streaming Welford/P^2 summaries within 0.5% of an
+# exact two-pass on every gated quantile, and the yield-vs-calibration-
+# budget ordering (per-die two-point < one-point < golden on the error
+# distributions). The bench exits non-zero when any shape check fails.
+cmake --build "$repo/build" --target bench_population -j "$jobs"
+STSENSE_FAULT_SEED=20260808 "$repo/build/bench/bench_population" --quick \
+    --json="$repo/build/BENCH_population.json"
+
 echo "== tier 1: telemetry-service loopback smoke + seeded cancel chaos =="
 # The resident daemon's full protocol stack over the in-process
 # loopback: the --demo tour (serve -> scripted requests -> deadline
@@ -124,9 +136,11 @@ cmake --build "$repo/build-tsan" --target stsense_tests -j "$jobs"
 # and the cancellation layer (token latch/poll races, ambient-scope
 # hand-off across the thread hop, cancel-vs-complete races, optimizer
 # unwind) — ThreadPool*/TemperatureSweep*/FaultInjector*/Service*
-# already pick up the matching *Cancel/*Retry suites.
+# already pick up the matching *Cancel/*Retry suites. Population* adds
+# the sharded Monte Carlo engine (parallel shard eval + serial fold,
+# live snapshot publication raced against object-model readers).
 "$repo/build-tsan/tests/stsense_tests" \
-    --gtest_filter='ThreadPool*:TaskGroup*:ResultCache*:Metrics*:Fingerprint*:ExecDeterminism*:TemperatureSweep*:PaperSweep*:Variation*:FaultInjector*:SweepFaultPolicy*:Tracer*:TraceParity*:Service*:DtmService*:CancelToken*:CancelScope*:OptimizerCancel*'
+    --gtest_filter='ThreadPool*:TaskGroup*:ResultCache*:Metrics*:Fingerprint*:ExecDeterminism*:TemperatureSweep*:PaperSweep*:Variation*:FaultInjector*:SweepFaultPolicy*:Tracer*:TraceParity*:Service*:DtmService*:CancelToken*:CancelScope*:OptimizerCancel*:Population*:VariationStream*'
 
 echo "== tier 1: fault-injection suite under AddressSanitizer =="
 cmake -B "$repo/build-asan" -S "$repo" -DSTSENSE_SANITIZE=address
@@ -140,6 +154,6 @@ cmake --build "$repo/build-asan" --target stsense_tests -j "$jobs"
 # a checkpoint flush in flight, CancelStorm trips, and the retrying
 # client's re-submit loop.
 "$repo/build-asan/tests/stsense_tests" \
-    --gtest_filter='FaultInjector*:RecoveryLadder*:SweepFaultPolicy*:CacheChecksum*:ThreadPoolFault*:TaskGroupFault*:ServiceDrainResume*:ServiceRuntime*:DtmSupervisor*:DtmPid*:DtmAutotune*:DtmChaos*:CancelToken*:CancelScope*:ThreadPoolCancel*:FaultInjectorCancel*:TemperatureSweepCancel*:OptimizerCancel*:ServiceCancel*:ServiceRetry*'
+    --gtest_filter='FaultInjector*:RecoveryLadder*:SweepFaultPolicy*:CacheChecksum*:ThreadPoolFault*:TaskGroupFault*:ServiceDrainResume*:ServiceRuntime*:DtmSupervisor*:DtmPid*:DtmAutotune*:DtmChaos*:CancelToken*:CancelScope*:ThreadPoolCancel*:FaultInjectorCancel*:TemperatureSweepCancel*:OptimizerCancel*:ServiceCancel*:ServiceRetry*:Population*:CheckpointProgress*'
 
 echo "tier 1: all gates passed"

@@ -1,0 +1,172 @@
+#include "api/population_spec.hpp"
+
+#include <utility>
+
+namespace stsense {
+
+PopulationSpec& PopulationSpec::technology(phys::Technology tech) {
+    config_.tech = std::move(tech);
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::ring(ring::RingConfig config) {
+    config_.ring = std::move(config);
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::dice(std::uint64_t n) {
+    config_.dice = n;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::shard(std::size_t size) {
+    config_.shard_size = size;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::seed(std::uint64_t seed) {
+    config_.seed = seed;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::corner(phys::Corner corner) {
+    config_.corner = corner;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::variation(phys::VariationSpec spec) {
+    config_.variation = spec;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::vth_sigma(double sigma_v) {
+    config_.variation.vth_sigma = sigma_v;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::kp_sigma(double rel_sigma) {
+    config_.variation.kp_rel_sigma = rel_sigma;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::supply_sigma(double rel_sigma) {
+    config_.variation.vdd_rel_sigma = rel_sigma;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::correlated(bool on) {
+    config_.variation.correlated_np = on;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::mismatch(ring::MismatchSpec spec) {
+    config_.mismatch = spec;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::aging(double vth_drift_v,
+                                      double drive_degradation_rel,
+                                      double rate_sigma_ln) {
+    config_.aging.vth_drift_v = vth_drift_v;
+    config_.aging.drive_degradation_rel = drive_degradation_rel;
+    config_.aging.rate_sigma_ln = rate_sigma_ln;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::aging(population::AgingSpec spec) {
+    config_.aging = spec;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::horizon_hours(double hours) {
+    config_.horizon_hours = hours;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::recalibration(double interval_hours,
+                                              double temp_c) {
+    config_.recal.policy = interval_hours > 0.0
+                               ? population::RecalPolicy::Periodic
+                               : population::RecalPolicy::Never;
+    config_.recal.interval_hours = interval_hours > 0.0 ? interval_hours : 0.0;
+    config_.recal.temp_c = temp_c;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::calibration(
+    population::CalibrationPolicy policy) {
+    config_.calibration = policy;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::calibration_temps(double low_c, double high_c,
+                                                  double one_point_c) {
+    config_.cal_low_c = low_c;
+    config_.cal_high_c = high_c;
+    config_.cal_one_point_c = one_point_c;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::test_temps(std::vector<double> temps_c) {
+    config_.test_temps_c = std::move(temps_c);
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::quantiles(std::vector<double> ps) {
+    config_.quantiles = std::move(ps);
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::yield_limit_c(double limit) {
+    config_.yield_limit_c = limit;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::gate(digital::GateConfig config) {
+    config_.gate = config;
+    return *this;
+}
+
+PopulationSpec& PopulationSpec::engine(population::PeriodEngine engine) {
+    config_.engine = engine;
+    return *this;
+}
+
+const PopulationSpec& PopulationSpec::validate() const {
+    population::validate(config_);
+    return *this;
+}
+
+population::PopulationConfig PopulationSpec::config() const {
+    validate();
+    return config_;
+}
+
+std::uint64_t PopulationSpec::fingerprint() const {
+    validate();
+    return population::population_fingerprint(config_);
+}
+
+population::PopulationResult PopulationSpec::run(
+    const RuntimeOptions& rt, population::ProgressFn on_shard) const {
+    rt.validate();
+    population::PopulationConfig cfg = config(); // Validates the spec.
+    if (cfg.engine == population::PeriodEngine::Spice) {
+        cfg.spice = rt.spice_ring_options();
+    }
+
+    population::PopulationRuntime prt;
+    prt.pool = rt.pool();
+    prt.parallel = rt.parallel_enabled();
+    prt.checkpoint_path = rt.checkpoint_path();
+    if (rt.checkpoint_flush_every() > 0) {
+        prt.checkpoint_every =
+            static_cast<std::size_t>(rt.checkpoint_flush_every());
+    }
+    prt.keep_checkpoint = rt.checkpoint_kept();
+    prt.cancel = rt.effective_cancel();
+    prt.on_shard = std::move(on_shard);
+    return population::run_population(cfg, prt);
+}
+
+} // namespace stsense

@@ -1,0 +1,134 @@
+// stsense::PopulationSpec — the fluent front door of the population
+// Monte-Carlo engine.
+//
+// population::PopulationConfig is the engine's exhaustive description:
+// ~25 fields across five sub-structs. Composing one by hand for the
+// common studies (sweep a calibration budget, turn one knob) buries the
+// intent under plumbing. PopulationSpec is the builder that mirrors
+// RuntimeOptions style: chainable setters for the knobs an experiment
+// actually varies, one validate() naming the first offending field, and
+// projections down to the engine — config() for inspection, run() to
+// execute against a RuntimeOptions (which contributes the pool,
+// checkpointing, cancellation, and — for the Spice engine — the tuned
+// fast-kernel options):
+//
+//     auto result = stsense::PopulationSpec()
+//                       .dice(100000)
+//                       .calibration(population::CalibrationPolicy::OnePoint)
+//                       .aging(0.03, 0.05)
+//                       .horizon_hours(20000)
+//                       .recalibration(5000)
+//                       .run(stsense::RuntimeOptions().threads(8));
+#pragma once
+
+#include "api/runtime_options.hpp"
+#include "population/engine.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stsense {
+
+class PopulationSpec {
+public:
+    PopulationSpec() = default;
+
+    // ---- fluent knobs ---------------------------------------------------
+
+    /// Nominal process node of the population.
+    PopulationSpec& technology(phys::Technology tech);
+
+    /// Ring configuration every die instantiates.
+    PopulationSpec& ring(ring::RingConfig config);
+
+    /// Population size (1 .. 10^7; the engine streams, so memory stays
+    /// O(shard)).
+    PopulationSpec& dice(std::uint64_t n);
+
+    /// Dice per checkpoint shard (the resume granularity).
+    PopulationSpec& shard(std::size_t size);
+
+    /// Root seed of every per-die substream.
+    PopulationSpec& seed(std::uint64_t seed);
+
+    /// Shared process corner of the whole population.
+    PopulationSpec& corner(phys::Corner corner);
+
+    /// Full die-to-die variation spec.
+    PopulationSpec& variation(phys::VariationSpec spec);
+
+    /// Shorthand for the two headline variation sigmas.
+    PopulationSpec& vth_sigma(double sigma_v);
+    PopulationSpec& kp_sigma(double rel_sigma);
+
+    /// Relative supply sigma (0 = ideal supply).
+    PopulationSpec& supply_sigma(double rel_sigma);
+
+    /// Draw one deviate for both device types (correlated N/P).
+    PopulationSpec& correlated(bool on);
+
+    /// Within-die stage mismatch (drive and Vth per stage).
+    PopulationSpec& mismatch(ring::MismatchSpec spec);
+
+    /// Aging law: Vth drift and relative drive loss at t0_hours, with an
+    /// optional lognormal per-die rate sigma.
+    PopulationSpec& aging(double vth_drift_v, double drive_degradation_rel,
+                          double rate_sigma_ln = 0.0);
+    PopulationSpec& aging(population::AgingSpec spec);
+
+    /// Lifetime horizon the aged metrics evaluate at.
+    PopulationSpec& horizon_hours(double hours);
+
+    /// Periodic one-point recalibration every `interval_hours` at
+    /// `temp_c`. interval_hours <= 0 selects RecalPolicy::Never.
+    PopulationSpec& recalibration(double interval_hours, double temp_c = 60.0);
+
+    /// Per-die calibration budget.
+    PopulationSpec& calibration(population::CalibrationPolicy policy);
+
+    /// Calibration temperatures (two-point low/high, one-point trim).
+    PopulationSpec& calibration_temps(double low_c, double high_c,
+                                      double one_point_c);
+
+    /// Temperatures the accuracy metrics evaluate at.
+    PopulationSpec& test_temps(std::vector<double> temps_c);
+
+    /// Quantiles tracked per metric, each in (0, 1).
+    PopulationSpec& quantiles(std::vector<double> ps);
+
+    /// Yield criterion: a die yields when max |error| <= limit.
+    PopulationSpec& yield_limit_c(double limit);
+
+    /// Counter gate of every die's smart unit.
+    PopulationSpec& gate(digital::GateConfig config);
+
+    /// Period engine (Analytic default; Spice takes its options from
+    /// the RuntimeOptions handed to run()).
+    PopulationSpec& engine(population::PeriodEngine engine);
+
+    // ---- validation / projection ----------------------------------------
+
+    /// The single validation point: throws std::invalid_argument naming
+    /// the first offending field (delegates to population::validate).
+    const PopulationSpec& validate() const;
+
+    /// The full engine config this spec describes (validated).
+    population::PopulationConfig config() const;
+
+    /// Content fingerprint of config() — the checkpoint/resume key.
+    std::uint64_t fingerprint() const;
+
+    /// Runs the study. `rt` contributes pool/parallel, the checkpoint
+    /// knobs, the effective cancel token, and (Spice engine only) the
+    /// spice ring options; `on_shard` observes live progress after each
+    /// folded shard. Arm tracing via rt.trace_session() at the call
+    /// site, as with the other workloads.
+    population::PopulationResult run(const RuntimeOptions& rt = {},
+                                     population::ProgressFn on_shard = {}) const;
+
+private:
+    population::PopulationConfig config_;
+};
+
+} // namespace stsense

@@ -278,6 +278,13 @@ std::size_t Checkpoint::completed_count() const {
     return completed_;
 }
 
+std::size_t Checkpoint::shard_progress() const {
+    std::lock_guard lock(m_);
+    std::size_t k = 0;
+    while (k < n_points_ && done_[k] != 0) ++k;
+    return k;
+}
+
 void Checkpoint::remove_file() { std::remove(path_.c_str()); }
 
 } // namespace stsense::exec

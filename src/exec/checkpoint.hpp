@@ -74,6 +74,17 @@ public:
     void flush();
 
     std::size_t completed_count() const;
+
+    /// Resume index of a *sequential* consumer: the number of contiguous
+    /// completed points starting at index 0. A sharded engine whose
+    /// point k depends on points 0..k-1 (the population Monte-Carlo
+    /// folds shard state forward) restores from values(shard_progress()
+    /// - 1) and continues at shard_progress() — instead of re-parsing
+    /// the checkpoint CSV to rediscover where the previous run stopped.
+    /// Completed points *behind* a hole (possible only for random-access
+    /// consumers like sweeps) do not extend the prefix.
+    std::size_t shard_progress() const;
+
     std::size_t n_points() const { return n_points_; }
     std::uint64_t fingerprint() const { return fingerprint_; }
     const std::string& path() const { return path_; }

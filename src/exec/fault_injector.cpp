@@ -37,6 +37,7 @@ const char* site_name(FaultInjector::Site site) {
         case FaultInjector::Site::RegionKill: return "exec.fault.region_kill";
         case FaultInjector::Site::CancelStorm:
             return "exec.fault.cancel_storm";
+        case FaultInjector::Site::ShardKill: return "exec.fault.shard_kill";
     }
     return "exec.fault.unknown";
 }
@@ -53,6 +54,7 @@ std::int64_t stream_unit(FaultInjector::Site site, std::uint64_t index) {
         case FaultInjector::Site::RegionKill:
             return static_cast<std::int64_t>(index / 16);
         case FaultInjector::Site::SweepKill:
+        case FaultInjector::Site::ShardKill:
             return static_cast<std::int64_t>(index);
         default:
             return -1;
@@ -77,6 +79,7 @@ double FaultInjector::probability(Site site) const {
         case Site::ActuatorStuck: return config_.p_actuator_stuck;
         case Site::RegionKill: return config_.p_region_kill;
         case Site::CancelStorm: return config_.p_cancel_storm;
+        case Site::ShardKill: return config_.p_shard_kill;
     }
     return 0.0;
 }

@@ -48,6 +48,10 @@
 //     right before the task body runs, exercising the cooperative
 //     cancellation rails (skip-on-dequeue, group error delivery,
 //     checkpoint flush-on-cancel) at deterministic task indices.
+//   * ShardKill — population::run_population: the process "dies" right
+//     after folding shard i into the streaming accumulators (modelled
+//     as an InjectedKill exception), exercising shard-granular
+//     checkpoint/resume at every boundary.
 //
 // Installation is process-global and test-scoped: construct a
 // FaultInjector::Scope with a Config and every hook consults it until
@@ -89,8 +93,9 @@ public:
         ActuatorStuck = 9,
         RegionKill = 10,
         CancelStorm = 11,
+        ShardKill = 12,
     };
-    static constexpr int kSiteCount = 12;
+    static constexpr int kSiteCount = 13;
 
     struct Config {
         std::uint64_t seed = 1;       ///< Root of every trip decision.
@@ -106,6 +111,7 @@ public:
         double p_actuator_stuck = 0.0;///< P(region throttle actuator stuck).
         double p_region_kill = 0.0;   ///< P(region's sensors all unreadable).
         double p_cancel_storm = 0.0;  ///< P(task's cancel token fired mid-run).
+        double p_shard_kill = 0.0;    ///< P(run killed after folding a shard).
         /// How deep the Newton/NaN sabotage reaches: 1 = base attempt
         /// only (damped rung rescues), 2 = base + damped (gmin rescues),
         /// 3 = + gmin (source stepping rescues), >= 4 = unrescuable.
@@ -124,8 +130,8 @@ public:
         /// indices — lets a test pin a fault onto one specific ring,
         /// zone, or sweep point deterministically. Point, StuckOscillator,
         /// DriftSite, ActuatorStuck and RegionKill address units through
-        /// point_stream (index / 16); SweepKill addresses the raw point
-        /// index. Other sites ignore the filter.
+        /// point_stream (index / 16); SweepKill and ShardKill address the
+        /// raw point/shard index. Other sites ignore the filter.
         std::vector<std::uint64_t> only_units;
     };
 

@@ -1,6 +1,7 @@
 #include "phys/corners.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace stsense::phys {
 
@@ -65,21 +66,53 @@ Technology sample_variation(const Technology& tech, const VariationSpec& spec,
     return out;
 }
 
+VariationStream::VariationStream(Technology tech, VariationSpec spec,
+                                 util::Rng base)
+    : tech_(std::move(tech)), spec_(spec), base_(base) {
+    validate(tech_);
+}
+
+Technology VariationStream::at(std::uint64_t die) const {
+    // Per-die stream: die i's deviates never depend on which thread ran
+    // it, on the cursor, or on the other dies.
+    util::Rng trial = base_.split(die);
+    return sample_variation(tech_, spec_, trial);
+}
+
+Technology VariationStream::at(std::uint64_t die,
+                               util::Rng& continuation) const {
+    continuation = base_.split(die);
+    return sample_variation(tech_, spec_, continuation);
+}
+
+void VariationStream::next_n(std::span<Technology> out,
+                             exec::ThreadPool* pool, bool parallel) {
+    const std::uint64_t first = cursor_;
+    auto fill = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            out[i] = at(first + static_cast<std::uint64_t>(i));
+        }
+    };
+    if (!parallel || out.size() < 2) {
+        fill(0, out.size());
+    } else {
+        auto& p = pool != nullptr ? *pool : exec::ThreadPool::global();
+        p.parallel_for(out.size(), 4, fill);
+    }
+    cursor_ = first + out.size();
+}
+
 std::vector<Technology> sample_variation_batch(const Technology& tech,
                                                const VariationSpec& spec,
                                                const util::Rng& base,
                                                std::size_t n,
                                                exec::ThreadPool* pool) {
+    // Shim over the stream (see the header's deprecation note): one
+    // next_n fill of the whole population, bitwise what this function
+    // always returned.
     std::vector<Technology> out(n, tech);
-    auto& p = pool != nullptr ? *pool : exec::ThreadPool::global();
-    p.parallel_for(n, 4, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-            // Per-trial stream: trial i's deviates never depend on which
-            // thread ran it or on the other trials.
-            util::Rng trial = base.split(static_cast<std::uint64_t>(i));
-            out[i] = sample_variation(tech, spec, trial);
-        }
-    });
+    VariationStream stream(tech, spec, base);
+    stream.next_n(out, pool);
     return out;
 }
 

@@ -11,6 +11,8 @@
 #include "util/rng.hpp"
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,12 +56,65 @@ struct VariationSpec {
 Technology sample_variation(const Technology& tech, const VariationSpec& spec,
                             util::Rng& rng);
 
+/// Lazy per-die variation generator — the streaming form of Monte-Carlo
+/// sampling. Die i's parameters are a *pure function* of (base state, i)
+/// via util::Rng::split(i), so the stream supports random access (at),
+/// resume (seek), and shard-by-shard filling (next_n) without ever
+/// materializing the whole population: a 10^6-die study touches one
+/// shard's worth of Technology at a time.
+///
+/// Contract: at(i) is bitwise identical to sample_variation_batch(tech,
+/// spec, base, n)[i] for every i < n — the vector API is now a thin shim
+/// over this stream, and the equivalence is asserted in tests.
+class VariationStream {
+public:
+    /// `base` is captured by value (the stream never advances it);
+    /// `tech` must validate.
+    VariationStream(Technology tech, VariationSpec spec, util::Rng base);
+
+    /// Die `die`'s varied technology — pure in (base, die), independent
+    /// of the cursor and of every other die.
+    Technology at(std::uint64_t die) const;
+
+    /// Same, and leaves `continuation` holding die `die`'s substream
+    /// advanced *past* the variation draws: downstream per-die effects
+    /// (aging-rate draws, noise seeds) consume from the continuation
+    /// without perturbing the variation values — and without
+    /// correlating across dice.
+    Technology at(std::uint64_t die, util::Rng& continuation) const;
+
+    /// Fills `out` with dice [cursor, cursor + out.size()) and advances
+    /// the cursor. Runs on `pool` (nullptr: the global pool) when
+    /// `parallel`; the fill is bitwise identical either way (each slot
+    /// is an independent at() call).
+    void next_n(std::span<Technology> out, exec::ThreadPool* pool = nullptr,
+                bool parallel = true);
+
+    std::uint64_t cursor() const { return cursor_; }
+    /// Repositions the stream (e.g. to resume a checkpointed shard).
+    void seek(std::uint64_t die) { cursor_ = die; }
+
+    const Technology& nominal() const { return tech_; }
+    const VariationSpec& variation() const { return spec_; }
+
+private:
+    Technology tech_;
+    VariationSpec spec_;
+    util::Rng base_;
+    std::uint64_t cursor_ = 0;
+};
+
 /// Samples `n` varied dies concurrently on `pool` (nullptr: the global
 /// pool). Trial i draws from the independent stream `base.split(i)`
 /// (see util::Rng::split(stream_id)), so the returned vector is
 /// deterministic for a given `base` state regardless of thread count or
 /// scheduling — the parallel Monte-Carlo contract. `base` is not
 /// advanced.
+///
+/// Deprecated: this call shape materializes all n dies at once, which
+/// the population engine outgrew. Prefer VariationStream (same values,
+/// bitwise — this function is now a shim over it) and consume dice
+/// shard by shard.
 std::vector<Technology> sample_variation_batch(const Technology& tech,
                                                const VariationSpec& spec,
                                                const util::Rng& base,

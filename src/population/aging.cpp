@@ -1,0 +1,64 @@
+#include "population/aging.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stsense::population {
+
+void validate(const AgingSpec& spec) {
+    if (!(spec.vth_drift_v >= 0.0)) {
+        throw std::invalid_argument("AgingSpec.vth_drift_v must be >= 0");
+    }
+    if (!(spec.drive_degradation_rel >= 0.0) ||
+        !(spec.drive_degradation_rel < 1.0)) {
+        throw std::invalid_argument(
+            "AgingSpec.drive_degradation_rel must be in [0, 1)");
+    }
+    if (!(spec.t0_hours > 0.0)) {
+        throw std::invalid_argument("AgingSpec.t0_hours must be > 0");
+    }
+    if (!(spec.rate_sigma_ln >= 0.0)) {
+        throw std::invalid_argument("AgingSpec.rate_sigma_ln must be >= 0");
+    }
+}
+
+double aging_scale(const AgingSpec& spec, double hours) {
+    if (!(hours >= 0.0)) {
+        throw std::invalid_argument("aging_scale: hours must be >= 0");
+    }
+    return std::log10(1.0 + 9.0 * hours / spec.t0_hours);
+}
+
+double sample_aging_rate(const AgingSpec& spec, util::Rng& rng) {
+    // One draw unconditionally: the substream layout must not depend on
+    // whether aging is enabled, or toggling it would shift every
+    // downstream per-die draw.
+    const double z = rng.normal();
+    if (spec.rate_sigma_ln <= 0.0) return 1.0;
+    return std::exp(spec.rate_sigma_ln * z);
+}
+
+phys::Technology apply_aging(const phys::Technology& tech,
+                             const AgingSpec& spec, double hours,
+                             double rate) {
+    validate(spec);
+    if (!(rate > 0.0)) {
+        throw std::invalid_argument("apply_aging: rate must be > 0");
+    }
+    const double scale = aging_scale(spec, hours) * rate;
+    phys::Technology out = tech;
+    const double dvth = spec.vth_drift_v * scale;
+    // Clamp the drive loss: a fast-aging outlier die must degrade, not
+    // flip the sign of its current factor.
+    const double kp_factor =
+        std::max(0.05, 1.0 - spec.drive_degradation_rel * scale);
+    out.nmos.vth0 += dvth;
+    out.nmos.kp *= kp_factor;
+    out.pmos.vth0 += dvth;
+    out.pmos.kp *= kp_factor;
+    out.name = tech.name + "-aged";
+    phys::validate(out);
+    return out;
+}
+
+} // namespace stsense::population

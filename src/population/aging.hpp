@@ -1,0 +1,55 @@
+// Lifetime degradation model for the population study.
+//
+// Cell-based sensors age: NBTI/HCI push threshold voltages up and
+// degrade drive current, which stretches the ring period and drifts the
+// calibrated reading. The population engine models this with a compact
+// log-time law — the standard first-order shape of BTI drift:
+//
+//     scale(h)  = log10(1 + 9 h / t0)          (= 1 exactly at h = t0)
+//     dVth(h)   = vth_drift_v * scale(h) * rate
+//     kp(h)     = kp * (1 - drive_degradation_rel * scale(h) * rate)
+//
+// `rate` is a per-die lognormal multiplier, exp(rate_sigma_ln * z):
+// some dice age faster than others. The engine draws z from the die's
+// Rng *continuation* (after the variation draws), so enabling aging
+// never perturbs the phys::VariationStream bitwise contract.
+//
+// The paper's recalibration question rides on this model: periodic
+// one-point re-trims cancel the accumulated offset drift, and the
+// population bench quantifies how much inaccuracy each recalibration
+// budget buys back across 10^4-10^6 dice.
+#pragma once
+
+#include "phys/technology.hpp"
+#include "util/rng.hpp"
+
+namespace stsense::population {
+
+/// Magnitudes of the aging law (1x at t0_hours).
+struct AgingSpec {
+    double vth_drift_v = 0.03;          ///< |Vth| drift at t0_hours [V].
+    double drive_degradation_rel = 0.05;///< Relative kp loss at t0_hours.
+    double t0_hours = 1000.0;           ///< Reference stress time [h].
+    double rate_sigma_ln = 0.0;         ///< Lognormal sigma of the per-die rate.
+};
+
+/// Throws std::invalid_argument naming the offending field.
+void validate(const AgingSpec& spec);
+
+/// Dimensionless stress scale: 0 at h = 0, exactly 1 at h = t0_hours,
+/// logarithmic beyond. `hours` must be >= 0.
+double aging_scale(const AgingSpec& spec, double hours);
+
+/// Per-die aging-rate multiplier exp(rate_sigma_ln * z). Always draws
+/// exactly one normal from `rng` (even when sigma is 0, where it
+/// returns 1.0) so the substream layout is independent of the spec.
+double sample_aging_rate(const AgingSpec& spec, util::Rng& rng);
+
+/// Returns `tech` aged by `hours` of stress at rate multiplier `rate`:
+/// both device types gain threshold magnitude and lose drive. Validates
+/// the result.
+phys::Technology apply_aging(const phys::Technology& tech,
+                             const AgingSpec& spec, double hours,
+                             double rate = 1.0);
+
+} // namespace stsense::population

@@ -1,0 +1,196 @@
+#include "population/streaming_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace stsense::population {
+
+// ------------------------------------------------------------- Welford
+
+void Welford::add(double x) {
+    if (count_ == 0.0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    count_ += 1.0;
+    const double delta = x - mean_;
+    mean_ += delta / count_;
+    m2_ += delta * (x - mean_);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+void Welford::serialize(std::span<double> out) const {
+    if (out.size() != kStateSize) {
+        throw std::invalid_argument("Welford::serialize: wrong span size");
+    }
+    out[0] = count_;
+    out[1] = mean_;
+    out[2] = m2_;
+    out[3] = min_;
+    out[4] = max_;
+}
+
+void Welford::restore(std::span<const double> in) {
+    if (in.size() != kStateSize) {
+        throw std::invalid_argument("Welford::restore: wrong span size");
+    }
+    count_ = in[0];
+    mean_ = in[1];
+    m2_ = in[2];
+    min_ = in[3];
+    max_ = in[4];
+}
+
+// ---------------------------------------------------------- P2Quantile
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+    if (!(p > 0.0) || !(p < 1.0)) {
+        throw std::invalid_argument("P2Quantile: p must be in (0, 1)");
+    }
+}
+
+void P2Quantile::add(double x) {
+    const int n = static_cast<int>(n_);
+    if (n < 5) {
+        // Warm-up: keep the first five samples sorted in q_. The fifth
+        // sample initializes the markers.
+        int i = n;
+        while (i > 0 && q_[i - 1] > x) {
+            q_[i] = q_[i - 1];
+            --i;
+        }
+        q_[i] = x;
+        n_ += 1.0;
+        if (static_cast<int>(n_) == 5) {
+            for (int k = 0; k < 5; ++k) pos_[k] = k + 1.0;
+            des_[0] = 1.0;
+            des_[1] = 1.0 + 2.0 * p_;
+            des_[2] = 1.0 + 4.0 * p_;
+            des_[3] = 3.0 + 2.0 * p_;
+            des_[4] = 5.0;
+        }
+        return;
+    }
+
+    // Locate the cell; extremes update the end markers in place.
+    int k;
+    if (x < q_[0]) {
+        q_[0] = x;
+        k = 0;
+    } else if (x >= q_[4]) {
+        q_[4] = x;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= q_[k + 1]) ++k;
+    }
+
+    for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+    const double dn[5] = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+    for (int i = 0; i < 5; ++i) des_[i] += dn[i];
+    n_ += 1.0;
+
+    // Adjust the interior markers toward their desired positions with
+    // the piecewise-parabolic (P²) formula, falling back to linear
+    // interpolation when the parabola would leave the bracket.
+    for (int i = 1; i <= 3; ++i) {
+        const double d = des_[i] - pos_[i];
+        if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+            (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+            const double s = d >= 1.0 ? 1.0 : -1.0;
+            const double qp =
+                q_[i] + s / (pos_[i + 1] - pos_[i - 1]) *
+                            ((pos_[i] - pos_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                                 (pos_[i + 1] - pos_[i]) +
+                             (pos_[i + 1] - pos_[i] - s) * (q_[i] - q_[i - 1]) /
+                                 (pos_[i] - pos_[i - 1]));
+            if (q_[i - 1] < qp && qp < q_[i + 1]) {
+                q_[i] = qp;
+            } else {
+                const int j = i + static_cast<int>(s);
+                q_[i] += s * (q_[j] - q_[i]) / (pos_[j] - pos_[i]);
+            }
+            pos_[i] += s;
+        }
+    }
+}
+
+double P2Quantile::value() const {
+    const int n = static_cast<int>(n_);
+    if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+    if (n >= 5) return q_[2];
+    // Exact interpolated order statistic over the warm-up buffer.
+    const double rank = p_ * (n - 1);
+    const int lo = static_cast<int>(rank);
+    const int hi = std::min(lo + 1, n - 1);
+    const double frac = rank - lo;
+    return q_[lo] + frac * (q_[hi] - q_[lo]);
+}
+
+void P2Quantile::serialize(std::span<double> out) const {
+    if (out.size() != kStateSize) {
+        throw std::invalid_argument("P2Quantile::serialize: wrong span size");
+    }
+    out[0] = n_;
+    for (int i = 0; i < 5; ++i) {
+        out[1 + i] = q_[i];
+        out[6 + i] = pos_[i];
+        out[11 + i] = des_[i];
+    }
+}
+
+void P2Quantile::restore(std::span<const double> in) {
+    if (in.size() != kStateSize) {
+        throw std::invalid_argument("P2Quantile::restore: wrong span size");
+    }
+    n_ = in[0];
+    for (int i = 0; i < 5; ++i) {
+        q_[i] = in[1 + i];
+        pos_[i] = in[6 + i];
+        des_[i] = in[11 + i];
+    }
+}
+
+// ---------------------------------------------------- MetricAccumulator
+
+MetricAccumulator::MetricAccumulator(std::span<const double> quantiles) {
+    quantiles_.reserve(quantiles.size());
+    for (double p : quantiles) quantiles_.emplace_back(p);
+}
+
+void MetricAccumulator::add(double x) {
+    moments_.add(x);
+    for (auto& q : quantiles_) q.add(x);
+}
+
+void MetricAccumulator::serialize(std::span<double> out) const {
+    if (out.size() != state_size()) {
+        throw std::invalid_argument("MetricAccumulator::serialize: wrong size");
+    }
+    moments_.serialize(out.subspan(0, Welford::kStateSize));
+    std::size_t off = Welford::kStateSize;
+    for (const auto& q : quantiles_) {
+        q.serialize(out.subspan(off, P2Quantile::kStateSize));
+        off += P2Quantile::kStateSize;
+    }
+}
+
+void MetricAccumulator::restore(std::span<const double> in) {
+    if (in.size() != state_size()) {
+        throw std::invalid_argument("MetricAccumulator::restore: wrong size");
+    }
+    moments_.restore(in.subspan(0, Welford::kStateSize));
+    std::size_t off = Welford::kStateSize;
+    for (auto& q : quantiles_) {
+        q.restore(in.subspan(off, P2Quantile::kStateSize));
+        off += P2Quantile::kStateSize;
+    }
+}
+
+} // namespace stsense::population

@@ -1,0 +1,115 @@
+// Streaming O(1)-memory statistics for population-scale Monte Carlo.
+//
+// A 10^6-die variability study must never materialize per-die results:
+// the engine folds each die's metrics into constant-size accumulators
+// and discards the sample. Two estimators cover the reporting needs:
+//
+//   * Welford — numerically stable running mean/variance (plus min/max),
+//     exact in the sense that it matches a two-pass computation to
+//     rounding at any population size;
+//   * P² (Jain & Chlamtac, 1985) — five-marker streaming quantile
+//     estimation with piecewise-parabolic marker adjustment. Memory is
+//     16 doubles per tracked quantile regardless of sample count, and
+//     the estimate converges to the exact order statistic (the
+//     population bench gates the error against exact two-pass values).
+//
+// Both estimators serialize their *complete* state to a fixed-length
+// double vector and restore it bitwise (the checkpoint layer persists
+// doubles with shortest-round-trip formatting), which is what makes a
+// killed population run resumable with bitwise-identical final
+// statistics: restore state after shard k, continue folding at shard
+// k+1, and every subsequent operation replays exactly.
+//
+// Determinism contract: fold order is part of the result. The engine
+// folds dice in ascending die order regardless of shard size or thread
+// count, so the final statistics are invariant to both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stsense::population {
+
+/// Welford running moments plus min/max. add() is O(1); the counters
+/// are doubles so the serialized state is homogeneous (counts stay
+/// exact below 2^53 — far beyond any population size here).
+class Welford {
+public:
+    void add(double x);
+
+    std::uint64_t count() const { return static_cast<std::uint64_t>(count_); }
+    double mean() const { return count_ > 0.0 ? mean_ : 0.0; }
+    /// Population variance (M2 / n); 0 before the first sample.
+    double variance() const { return count_ > 0.0 ? m2_ / count_ : 0.0; }
+    double stddev() const;
+    double min() const { return count_ > 0.0 ? min_ : 0.0; }
+    double max() const { return count_ > 0.0 ? max_ : 0.0; }
+
+    /// Serialized state: {count, mean, m2, min, max}.
+    static constexpr std::size_t kStateSize = 5;
+    void serialize(std::span<double> out) const;
+    void restore(std::span<const double> in);
+
+private:
+    double count_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// P² single-quantile estimator. Tracks quantile `p` (0 < p < 1) with
+/// five markers; before five samples the estimate is the exact
+/// interpolated order statistic over the buffered samples.
+class P2Quantile {
+public:
+    explicit P2Quantile(double p = 0.5);
+
+    void add(double x);
+
+    /// Current estimate. NaN before the first sample.
+    double value() const;
+    double probability() const { return p_; }
+    std::uint64_t count() const { return static_cast<std::uint64_t>(n_); }
+
+    /// Serialized state: {n, q[5], pos[5], des[5]} (p is configuration,
+    /// not state: restore into an estimator built with the same p).
+    static constexpr std::size_t kStateSize = 16;
+    void serialize(std::span<double> out) const;
+    void restore(std::span<const double> in);
+
+private:
+    double p_;
+    double n_ = 0.0;     ///< Samples folded so far.
+    double q_[5] = {};   ///< Marker heights (sorted samples while n < 5).
+    double pos_[5] = {}; ///< Actual marker positions (1-based).
+    double des_[5] = {}; ///< Desired marker positions.
+};
+
+/// One output metric's full accumulator: moments plus one P² estimator
+/// per requested quantile. The quantile list is configuration shared by
+/// serialize/restore peers.
+class MetricAccumulator {
+public:
+    /// `quantiles` in (0, 1), e.g. {0.5, 0.9, 0.99}; may be empty.
+    explicit MetricAccumulator(std::span<const double> quantiles);
+
+    void add(double x);
+
+    const Welford& moments() const { return moments_; }
+    const std::vector<P2Quantile>& quantiles() const { return quantiles_; }
+
+    std::size_t state_size() const {
+        return Welford::kStateSize + quantiles_.size() * P2Quantile::kStateSize;
+    }
+    void serialize(std::span<double> out) const;
+    void restore(std::span<const double> in);
+
+private:
+    Welford moments_;
+    std::vector<P2Quantile> quantiles_;
+};
+
+} // namespace stsense::population

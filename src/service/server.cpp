@@ -620,6 +620,11 @@ void Server::register_builtin_methods() {
         [this](const Json& params, RequestContext&) -> Json {
             return resolve_session(params).dtm_run(params);
         });
+    processor_.register_method(
+        "population_run", /*heavy=*/true,
+        [this](const Json& params, RequestContext&) -> Json {
+            return resolve_session(params).population_run(params);
+        });
     // Deterministic load generator: occupies one scheduler slot for a
     // fixed wall time. The saturation tests use it to make admission
     // rejection reproducible; it does no session work. The sleep is

@@ -1,5 +1,6 @@
 #include "service/session.hpp"
 
+#include "api/population_spec.hpp"
 #include "dtm/fleet.hpp"
 #include "exec/metrics.hpp"
 #include "obs/trace.hpp"
@@ -9,6 +10,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <utility>
 
 namespace stsense::service {
@@ -495,6 +497,186 @@ Json Session::dtm_run(const Json& params) {
     return result;
 }
 
+Json Session::population_run(const Json& params) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    population_runs_.fetch_add(1, std::memory_order_relaxed);
+
+    const int dice = require_int(params, "dice", 10000, 100, 1000000);
+    const int shard = require_int(params, "shard", 1024, 16, 65536);
+    const int seed = require_int(params, "seed", 1, 0, 1 << 30);
+    const std::string cal_name =
+        params.at("calibration").as_string("two_point");
+    const std::string corner_name = params.at("corner").as_string("TT");
+    const double horizon = require_finite(params, "horizon_hours", 10000.0);
+    const double recal_interval =
+        require_finite(params, "recal_interval_hours", 0.0);
+    const double recal_temp = require_finite(params, "recal_temp_c", 60.0);
+    const double yield_limit = require_finite(params, "yield_limit_c", 1.0);
+
+    population::CalibrationPolicy cal_policy;
+    try {
+        cal_policy = population::calibration_policy_from_string(cal_name);
+    } catch (const std::invalid_argument& e) {
+        throw ServiceError(ErrorCode::BadParams, e.what());
+    }
+    phys::Corner corner = phys::Corner::TT;
+    bool corner_ok = false;
+    for (const phys::Corner c : phys::kAllCorners) {
+        if (phys::to_string(c) == corner_name) {
+            corner = c;
+            corner_ok = true;
+        }
+    }
+    if (!corner_ok) {
+        throw ServiceError(ErrorCode::BadParams,
+                           "param 'corner' must be TT|FF|SS|FS|SF");
+    }
+
+    population::PopulationConfig cfg;
+    try {
+        cfg = stsense::PopulationSpec()
+                  .technology(spec_.tech)
+                  .ring(spec_.ring)
+                  .dice(static_cast<std::uint64_t>(dice))
+                  .shard(static_cast<std::size_t>(shard))
+                  .seed(static_cast<std::uint64_t>(seed))
+                  .corner(corner)
+                  .calibration(cal_policy)
+                  .horizon_hours(horizon)
+                  .recalibration(recal_interval, recal_temp)
+                  .yield_limit_c(yield_limit)
+                  .config();
+    } catch (const std::invalid_argument& e) {
+        throw ServiceError(ErrorCode::BadParams, e.what());
+    }
+    const std::uint64_t fp = population::population_fingerprint(cfg);
+
+    // Server-owned pool; per-request checkpoint keyed by the population
+    // fingerprint so a killed request resumes bitwise on re-issue and
+    // concurrent studies never share a spool file.
+    population::PopulationRuntime rt;
+    rt.pool = pool_;
+    rt.parallel = spec_.runtime.parallel_enabled();
+    if (!spool_dir_.empty()) {
+        rt.checkpoint_path = spool_dir_ + "/population_" + hex64(fp) + ".ckpt";
+        if (spec_.runtime.checkpoint_flush_every() > 0) {
+            rt.checkpoint_every = static_cast<std::size_t>(
+                spec_.runtime.checkpoint_flush_every());
+        }
+        rt.keep_checkpoint = spec_.runtime.checkpoint_kept();
+    }
+    rt.cancel = spec_.runtime.effective_cancel();
+
+    // Guarded NaN (P^2 is NaN before its first sample) so a snapshot
+    // leaf never renders a non-finite number.
+    auto qv = [](const population::MetricSummary& m, std::size_t j) {
+        if (j >= m.quantiles.size()) return 0.0;
+        const double v = m.quantiles[j].value;
+        return std::isfinite(v) ? v : 0.0;
+    };
+    rt.on_shard = [this, cal_name, qv](const population::PopulationProgress& p) {
+        // The engine's quantile list is the service default {.5,.9,.99}.
+        const auto& fresh =
+            p.metrics[static_cast<int>(population::Metric::FreshMaxAbsErrC)];
+        const auto& aged =
+            p.metrics[static_cast<int>(population::Metric::AgedMaxAbsErrC)];
+        const auto& drift =
+            p.metrics[static_cast<int>(population::Metric::AgedDriftC)];
+        std::lock_guard lock(state_m_);
+        PopulationSnapshot snap;
+        snap.running = p.dice_done < p.dice_total;
+        snap.calibration = cal_name;
+        snap.dice_total = p.dice_total;
+        snap.dice_done = p.dice_done;
+        snap.shard = p.shard_index;
+        snap.shards = p.shard_count;
+        snap.resumed_dice =
+            last_population_ ? last_population_->resumed_dice : 0;
+        snap.yield_fresh = p.yield_fresh;
+        snap.yield_aged = p.yield_aged;
+        snap.fresh_mean_c = fresh.mean;
+        snap.fresh_max_c = fresh.max;
+        snap.fresh_p50_c = qv(fresh, 0);
+        snap.fresh_p90_c = qv(fresh, 1);
+        snap.fresh_p99_c = qv(fresh, 2);
+        snap.aged_p99_c = qv(aged, 2);
+        snap.drift_p50_c = qv(drift, 0);
+        last_population_ = std::move(snap);
+    };
+
+    std::lock_guard job(job_m_);
+    OBS_SPAN("service.session.population_run");
+
+    {
+        std::lock_guard lock(state_m_);
+        PopulationSnapshot snap;
+        snap.running = true;
+        snap.calibration = cal_name;
+        snap.dice_total = cfg.dice;
+        snap.shards = static_cast<std::size_t>(
+            (cfg.dice + cfg.shard_size - 1) / cfg.shard_size);
+        last_population_ = std::move(snap);
+    }
+
+    population::PopulationResult res;
+    try {
+        res = population::run_population(cfg, rt);
+    } catch (...) {
+        // Cancellation (typed CancelledError -> "cancelled" wire error)
+        // or a fault: mark the snapshot idle, keep the partial telemetry.
+        std::lock_guard lock(state_m_);
+        if (last_population_) last_population_->running = false;
+        throw;
+    }
+
+    Json metrics_j = Json::array();
+    for (const auto& m : res.metrics) {
+        Json mj = Json::object();
+        mj.set("name", m.name);
+        mj.set("count", m.count);
+        mj.set("mean", std::isfinite(m.mean) ? Json(m.mean) : Json(nullptr));
+        mj.set("stddev",
+               std::isfinite(m.stddev) ? Json(m.stddev) : Json(nullptr));
+        mj.set("min", std::isfinite(m.min) ? Json(m.min) : Json(nullptr));
+        mj.set("max", std::isfinite(m.max) ? Json(m.max) : Json(nullptr));
+        Json q_j = Json::array();
+        for (const auto& q : m.quantiles) {
+            Json qj = Json::object();
+            qj.set("p", q.p);
+            qj.set("value",
+                   std::isfinite(q.value) ? Json(q.value) : Json(nullptr));
+            q_j.push_back(std::move(qj));
+        }
+        mj.set("quantiles", std::move(q_j));
+        metrics_j.push_back(std::move(mj));
+    }
+
+    Json result = Json::object();
+    result.set("session", id_);
+    result.set("dice", res.dice);
+    result.set("shards", static_cast<std::uint64_t>(res.shards));
+    result.set("shard_size", static_cast<std::uint64_t>(res.shard_size));
+    result.set("fingerprint", hex64(res.fingerprint));
+    result.set("resumed_dice", res.resumed_dice);
+    result.set("calibration", cal_name);
+    result.set("corner", corner_name);
+    result.set("horizon_hours", horizon);
+    result.set("recal_interval_hours", recal_interval);
+    result.set("yield_limit_c", yield_limit);
+    result.set("yield_fresh", res.yield_fresh);
+    result.set("yield_aged", res.yield_aged);
+    result.set("metrics", std::move(metrics_j));
+
+    {
+        std::lock_guard lock(state_m_);
+        if (last_population_) {
+            last_population_->running = false;
+            last_population_->resumed_dice = res.resumed_dice;
+        }
+    }
+    return result;
+}
+
 ModelPtr Session::model() const {
     const Session* self = this;
     const std::size_t n_sites = sites_.size();
@@ -742,6 +924,109 @@ ModelPtr Session::model() const {
         });
     };
 
+    // sessions[i].population — the most recent (or currently running)
+    // population study. Leaves re-read the snapshot published by the
+    // engine's per-shard callback under the state mutex, so a second
+    // client watches dice_done and the running quantiles advance while
+    // the run still holds the job mutex.
+    auto population_node = [self]() -> ModelPtr {
+        auto field = [self](auto read) {
+            return leaf([self, read] {
+                std::lock_guard lock(self->state_m_);
+                if (!self->last_population_) return Json(nullptr);
+                return read(*self->last_population_);
+            });
+        };
+        return object({
+            {"runs", [self] {
+                 return leaf([self] {
+                     return Json(self->population_runs_.load(
+                         std::memory_order_relaxed));
+                 });
+             }},
+            {"running", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.running);
+                 });
+             }},
+            {"calibration", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.calibration);
+                 });
+             }},
+            {"dice_total", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.dice_total);
+                 });
+             }},
+            {"dice_done", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.dice_done);
+                 });
+             }},
+            {"shard", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(static_cast<std::uint64_t>(s.shard));
+                 });
+             }},
+            {"shards", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(static_cast<std::uint64_t>(s.shards));
+                 });
+             }},
+            {"resumed_dice", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.resumed_dice);
+                 });
+             }},
+            {"yield_fresh", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.yield_fresh);
+                 });
+             }},
+            {"yield_aged", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.yield_aged);
+                 });
+             }},
+            {"fresh_mean_c", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.fresh_mean_c);
+                 });
+             }},
+            {"fresh_p50_c", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.fresh_p50_c);
+                 });
+             }},
+            {"fresh_p90_c", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.fresh_p90_c);
+                 });
+             }},
+            {"fresh_p99_c", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.fresh_p99_c);
+                 });
+             }},
+            {"fresh_max_c", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.fresh_max_c);
+                 });
+             }},
+            {"aged_p99_c", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.aged_p99_c);
+                 });
+             }},
+            {"drift_p50_c", [field] {
+                 return field([](const PopulationSnapshot& s) {
+                     return Json(s.drift_p50_c);
+                 });
+             }},
+        });
+    };
+
     return object({
         {"id", [self] { return fixed_leaf(Json(self->id_)); }},
         {"name", [self] { return fixed_leaf(Json(self->name_)); }},
@@ -757,6 +1042,10 @@ ModelPtr Session::model() const {
          [self, counter_leaf] { return leaf(counter_leaf(self->optimizes_)); }},
         {"dtm_runs",
          [self, counter_leaf] { return leaf(counter_leaf(self->dtm_runs_)); }},
+        {"population_runs",
+         [self, counter_leaf] {
+             return leaf(counter_leaf(self->population_runs_));
+         }},
         {"scans", [self] {
              return leaf([self] {
                  std::lock_guard lock(self->state_m_);
@@ -776,6 +1065,7 @@ ModelPtr Session::model() const {
              });
          }},
         {"dtm", dtm_node},
+        {"population", population_node},
         {"kernel", kernel_node},
     });
 }

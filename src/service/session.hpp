@@ -101,6 +101,16 @@ public:
     /// untouched. Publishes the outcome for sessions[i].dtm queries.
     Json dtm_run(const Json& params);
 
+    /// {"dice","shard","seed","calibration","horizon_hours",
+    ///  "recal_interval_hours","recal_temp_c","yield_limit_c","corner"}
+    /// -> one population Monte-Carlo study over this session's die
+    /// design: sharded, streaming-statistics, checkpointed under
+    /// spool_dir keyed by the population fingerprint (a killed request
+    /// resumes bitwise on re-issue). Publishes a live snapshot after
+    /// every folded shard for sessions[i].population queries — a second
+    /// client can watch dice_done / running quantiles mid-run.
+    Json population_run(const Json& params);
+
     // ---- object model ----------------------------------------------------
 
     /// The sessions[i] subtree. Leaves read the session's published
@@ -184,12 +194,37 @@ private:
     };
     std::optional<DtmSnapshot> last_dtm_;
 
+    /// Query-visible state of the most recent population_run, updated
+    /// live from the engine's per-shard progress callback (under
+    /// state_m_ only): queries observe dice_done, the shard index, and
+    /// the running quantiles while the job mutex is held by the run.
+    struct PopulationSnapshot {
+        bool running = false;
+        std::string calibration;
+        std::uint64_t dice_total = 0;
+        std::uint64_t dice_done = 0;
+        std::size_t shard = 0;  ///< Shards folded so far.
+        std::size_t shards = 0; ///< Total shards.
+        std::uint64_t resumed_dice = 0;
+        double yield_fresh = 0.0;
+        double yield_aged = 0.0;
+        double fresh_mean_c = 0.0;
+        double fresh_p50_c = 0.0;
+        double fresh_p90_c = 0.0;
+        double fresh_p99_c = 0.0;
+        double fresh_max_c = 0.0;
+        double aged_p99_c = 0.0;
+        double drift_p50_c = 0.0;
+    };
+    std::optional<PopulationSnapshot> last_population_;
+
     std::atomic<std::uint64_t> requests_{0};
     std::atomic<std::uint64_t> sweeps_{0};
     std::atomic<std::uint64_t> maps_{0};
     std::atomic<std::uint64_t> measures_{0};
     std::atomic<std::uint64_t> optimizes_{0};
     std::atomic<std::uint64_t> dtm_runs_{0};
+    std::atomic<std::uint64_t> population_runs_{0};
 };
 
 } // namespace stsense::service

@@ -80,8 +80,14 @@
 #include "dtm/supervisor.hpp"        // IWYU pragma: export
 #include "dtm/fleet.hpp"             // IWYU pragma: export
 
+// ---- population-scale variability & lifetime study ----------------------
+#include "population/streaming_stats.hpp" // IWYU pragma: export
+#include "population/aging.hpp"           // IWYU pragma: export
+#include "population/engine.hpp"          // IWYU pragma: export
+
 // ---- the unified configuration facade -----------------------------------
 #include "api/runtime_options.hpp"   // IWYU pragma: export
+#include "api/population_spec.hpp"   // IWYU pragma: export
 
 // ---- the telemetry service ----------------------------------------------
 #include "service/service.hpp"       // IWYU pragma: export

@@ -1,0 +1,67 @@
+// Checkpoint::shard_progress — the contiguous completed prefix, which
+// is the resume point for sequentially-folded consumers (the
+// population engine restores shard_progress()-1's payload and
+// continues from shard_progress()).
+#include "exec/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace stsense::exec {
+namespace {
+
+struct TempFile {
+    std::string path;
+    explicit TempFile(const std::string& name)
+        : path(testing::TempDir() + name) {}
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(CheckpointProgress, EmptyCheckpointHasZeroProgress) {
+    TempFile f("progress_empty.ckpt");
+    Checkpoint ckpt(f.path, 1, 4, 2);
+    EXPECT_EQ(ckpt.shard_progress(), 0u);
+}
+
+TEST(CheckpointProgress, ContiguousPrefixOnly) {
+    TempFile f("progress_holes.ckpt");
+    Checkpoint ckpt(f.path, 1, 6, 1);
+    const std::vector<double> v = {1.0};
+    ckpt.record(0, v);
+    ckpt.record(1, v);
+    ckpt.record(3, v); // A hole at 2: progress must stop before it.
+    EXPECT_EQ(ckpt.shard_progress(), 2u);
+
+    ckpt.record(2, v); // Filling the hole extends the prefix past 3.
+    EXPECT_EQ(ckpt.shard_progress(), 4u);
+}
+
+TEST(CheckpointProgress, FullCheckpointReportsAllShards) {
+    TempFile f("progress_full.ckpt");
+    Checkpoint ckpt(f.path, 1, 3, 1);
+    const std::vector<double> v = {1.0};
+    for (std::size_t i = 0; i < 3; ++i) ckpt.record(i, v);
+    EXPECT_EQ(ckpt.shard_progress(), 3u);
+}
+
+TEST(CheckpointProgress, SurvivesFlushAndReload) {
+    TempFile f("progress_reload.ckpt");
+    {
+        Checkpoint ckpt(f.path, 9, 5, 2);
+        const std::vector<double> v = {1.0, 2.0};
+        ckpt.record(0, v);
+        ckpt.record(1, v);
+        ckpt.record(4, v);
+        ckpt.flush();
+    }
+    Checkpoint reloaded(f.path, 9, 5, 2);
+    reloaded.load();
+    EXPECT_EQ(reloaded.shard_progress(), 2u);
+    EXPECT_EQ(reloaded.values(1).size(), 2u);
+}
+
+} // namespace
+} // namespace stsense::exec

@@ -1,0 +1,256 @@
+// The sharded population engine's determinism and resume contracts:
+// thread-count and shard-size invariance (bitwise), kill-at-every-
+// shard-boundary resume through exec::Checkpoint, cooperative
+// cancellation with a typed cause, and progress publication.
+#include "population/engine.hpp"
+
+#include "exec/cancel.hpp"
+#include "exec/checkpoint.hpp"
+#include "exec/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace stsense::population {
+namespace {
+
+struct TempFile {
+    std::string path;
+    explicit TempFile(const std::string& name)
+        : path(testing::TempDir() + name) {}
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+bool file_exists(const std::string& path) {
+    return std::ifstream(path).good();
+}
+
+/// Small but structured study: variation, mismatch, aging spread and a
+/// recal policy, so every draw site and metric is exercised.
+PopulationConfig small_config(std::uint64_t dice = 300,
+                              std::size_t shard = 64) {
+    PopulationConfig cfg;
+    cfg.dice = dice;
+    cfg.shard_size = shard;
+    cfg.seed = 99;
+    cfg.variation.vdd_rel_sigma = 0.005;
+    cfg.mismatch = {0.01, 0.004};
+    cfg.aging.vth_drift_v = 0.002;
+    cfg.aging.drive_degradation_rel = 0.004;
+    cfg.aging.rate_sigma_ln = 0.2;
+    cfg.recal.policy = RecalPolicy::Periodic;
+    cfg.recal.interval_hours = 1000.0;
+    return cfg;
+}
+
+bool results_bitwise_equal(const PopulationResult& a,
+                           const PopulationResult& b) {
+    if (a.yield_fresh != b.yield_fresh || a.yield_aged != b.yield_aged ||
+        a.metrics.size() != b.metrics.size()) {
+        return false;
+    }
+    for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+        const auto& x = a.metrics[m];
+        const auto& y = b.metrics[m];
+        if (x.count != y.count || x.mean != y.mean || x.stddev != y.stddev ||
+            x.min != y.min || x.max != y.max) {
+            return false;
+        }
+        for (std::size_t j = 0; j < x.quantiles.size(); ++j) {
+            if (x.quantiles[j].value != y.quantiles[j].value) return false;
+        }
+    }
+    return true;
+}
+
+TEST(PopulationEngine, SerialMatchesParallelBitwise) {
+    const auto cfg = small_config();
+    PopulationRuntime serial;
+    serial.parallel = false;
+    const auto a = run_population(cfg, serial);
+    const auto b = run_population(cfg); // Parallel on the global pool.
+    EXPECT_TRUE(results_bitwise_equal(a, b));
+    EXPECT_EQ(a.dice, cfg.dice);
+    EXPECT_EQ(a.metrics.size(), static_cast<std::size_t>(kMetricCount));
+}
+
+TEST(PopulationEngine, ShardSizeDoesNotChangeTheResult) {
+    const auto r64 = run_population(small_config(300, 64));
+    const auto r17 = run_population(small_config(300, 17));
+    const auto r300 = run_population(small_config(300, 300));
+    EXPECT_TRUE(results_bitwise_equal(r64, r17));
+    EXPECT_TRUE(results_bitwise_equal(r64, r300));
+    EXPECT_EQ(r17.shards, (300u + 16u) / 17u);
+}
+
+TEST(PopulationEngine, EvaluateDieIsPureRandomAccess) {
+    const auto cfg = small_config();
+    const DieEvaluator eval(cfg);
+    const auto a = eval.evaluate(42);
+    (void)eval.evaluate(0);
+    (void)eval.evaluate(250);
+    const auto b = eval.evaluate(42);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, evaluate_die(cfg, 42));
+}
+
+TEST(PopulationEngine, KillAtEveryShardBoundaryResumesBitwise) {
+    const auto cfg = small_config(200, 32); // 7 shards, last one partial.
+    const auto reference = run_population(cfg);
+    const std::size_t n_shards =
+        static_cast<std::size_t>((cfg.dice + cfg.shard_size - 1) /
+                                 cfg.shard_size);
+
+    for (std::size_t kill_at = 0; kill_at < n_shards; ++kill_at) {
+        TempFile f("population_kill_" + std::to_string(kill_at) + ".ckpt");
+        PopulationRuntime rt;
+        rt.checkpoint_path = f.path;
+        rt.checkpoint_every = 3; // Unflushed tail must recompute bitwise.
+
+        exec::FaultInjector::Config fc;
+        fc.seed = 1;
+        fc.p_shard_kill = 1.0;
+        fc.only_units = {kill_at};
+        bool killed = false;
+        {
+            exec::FaultInjector injector(fc);
+            exec::FaultInjector::Scope scope(injector);
+            try {
+                (void)run_population(cfg, rt);
+            } catch (const exec::InjectedKill&) {
+                killed = true;
+            }
+        }
+        ASSERT_TRUE(killed) << "shard " << kill_at;
+
+        const auto resumed = run_population(cfg, rt);
+        EXPECT_TRUE(results_bitwise_equal(reference, resumed))
+            << "killed after shard " << kill_at;
+        // checkpoint_every = 3 floors the persisted prefix; whatever
+        // survived, the resumed prefix never exceeds the kill point.
+        EXPECT_LE(resumed.resumed_dice, (kill_at + 1) * cfg.shard_size);
+        // Success with keep_checkpoint unset removes the spool file.
+        EXPECT_FALSE(file_exists(f.path));
+    }
+}
+
+TEST(PopulationEngine, ResumeOfACompletedRunRecomputesNothing) {
+    const auto cfg = small_config(128, 32);
+    TempFile f("population_done.ckpt");
+    PopulationRuntime rt;
+    rt.checkpoint_path = f.path;
+    rt.keep_checkpoint = true;
+    const auto first = run_population(cfg, rt);
+    EXPECT_EQ(first.resumed_dice, 0u);
+    EXPECT_TRUE(file_exists(f.path));
+
+    const auto again = run_population(cfg, rt);
+    EXPECT_EQ(again.resumed_dice, cfg.dice);
+    EXPECT_TRUE(results_bitwise_equal(first, again));
+}
+
+TEST(PopulationEngine, StaleFingerprintInvalidatesTheCheckpoint) {
+    auto cfg = small_config(128, 32);
+    TempFile f("population_stale.ckpt");
+    PopulationRuntime rt;
+    rt.checkpoint_path = f.path;
+    rt.keep_checkpoint = true;
+    (void)run_population(cfg, rt);
+
+    cfg.seed += 1; // Different study: the old payload must not resume.
+    const auto fresh = run_population(cfg, rt);
+    EXPECT_EQ(fresh.resumed_dice, 0u);
+}
+
+TEST(PopulationEngine, CancelMidRunFlushesAndResumes) {
+    const auto cfg = small_config(300, 32);
+    const auto reference = run_population(cfg);
+
+    TempFile f("population_cancel.ckpt");
+    const exec::CancelToken token = exec::CancelToken::make();
+    PopulationRuntime rt;
+    rt.checkpoint_path = f.path;
+    rt.checkpoint_every = 100; // Only the cancel-path flush persists.
+    rt.cancel = token;
+    std::size_t shards_seen = 0;
+    rt.on_shard = [&](const PopulationProgress& p) {
+        shards_seen = p.shard_index;
+        if (p.shard_index == 3) token.cancel();
+    };
+
+    try {
+        (void)run_population(cfg, rt);
+        FAIL() << "expected CancelledError";
+    } catch (const exec::CancelledError& e) {
+        EXPECT_EQ(e.cause, exec::CancelCause::Cancelled);
+    }
+    EXPECT_EQ(shards_seen, 3u);
+    EXPECT_TRUE(file_exists(f.path)); // The cancel path flushed.
+
+    PopulationRuntime resume_rt;
+    resume_rt.checkpoint_path = f.path;
+    const auto resumed = run_population(cfg, resume_rt);
+    EXPECT_EQ(resumed.resumed_dice, 3u * 32u);
+    EXPECT_TRUE(results_bitwise_equal(reference, resumed));
+}
+
+TEST(PopulationEngine, ProgressIsMonotoneAndComplete) {
+    const auto cfg = small_config(200, 64);
+    PopulationRuntime rt;
+    std::vector<PopulationProgress> seen;
+    rt.on_shard = [&](const PopulationProgress& p) { seen.push_back(p); };
+    const auto res = run_population(cfg, rt);
+
+    ASSERT_EQ(seen.size(), res.shards);
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i].shard_index, i + 1);
+        EXPECT_EQ(seen[i].shard_count, res.shards);
+        EXPECT_GT(seen[i].dice_done, prev);
+        prev = seen[i].dice_done;
+        EXPECT_EQ(seen[i].metrics.size(),
+                  static_cast<std::size_t>(kMetricCount));
+    }
+    EXPECT_EQ(seen.back().dice_done, cfg.dice);
+    EXPECT_EQ(seen.back().yield_fresh, res.yield_fresh);
+}
+
+TEST(PopulationEngine, AgingKnobDoesNotPerturbVariationDraws) {
+    // The per-die draw-order contract: toggling the aging spread only
+    // changes aged metrics; fresh metrics stay bitwise identical.
+    auto cfg = small_config();
+    cfg.mismatch = {0.0, 0.0};
+    auto aged = cfg;
+    aged.aging.rate_sigma_ln = 0.5;
+
+    const DieEvaluator a(cfg);
+    const DieEvaluator b(aged);
+    for (std::uint64_t die : {0u, 7u, 63u}) {
+        const auto va = a.evaluate(die);
+        const auto vb = b.evaluate(die);
+        EXPECT_EQ(va[static_cast<int>(Metric::FreshMaxAbsErrC)],
+                  vb[static_cast<int>(Metric::FreshMaxAbsErrC)]);
+        EXPECT_EQ(va[static_cast<int>(Metric::PeriodAtRefNs)],
+                  vb[static_cast<int>(Metric::PeriodAtRefNs)]);
+        EXPECT_EQ(va[static_cast<int>(Metric::GainCPerCode)],
+                  vb[static_cast<int>(Metric::GainCPerCode)]);
+    }
+}
+
+TEST(PopulationEngine, ValidateNamesTheField) {
+    auto cfg = small_config();
+    cfg.quantiles = {0.0};
+    try {
+        validate(cfg);
+        FAIL() << "expected rejection";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("quantiles"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace stsense::population

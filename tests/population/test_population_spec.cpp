@@ -1,0 +1,108 @@
+// stsense::PopulationSpec — the fluent front door of the population
+// engine. Validation is single-point (population::validate) and every
+// rejection names the offending field; the builder only captures
+// values.
+#include "api/population_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace stsense {
+namespace {
+
+/// Expects validate() to throw and the message to name `field`.
+void expect_rejects(const PopulationSpec& spec, const std::string& field) {
+    try {
+        spec.validate();
+        FAIL() << "expected rejection naming '" << field << "'";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+            << "message: " << e.what();
+    }
+}
+
+TEST(PopulationSpec, DefaultsValidate) {
+    EXPECT_NO_THROW(PopulationSpec().validate());
+}
+
+TEST(PopulationSpec, FluentChainProjectsIntoConfig) {
+    const auto cfg = PopulationSpec()
+                         .dice(2000)
+                         .shard(256)
+                         .seed(77)
+                         .corner(phys::Corner::SS)
+                         .vth_sigma(0.02)
+                         .supply_sigma(0.01)
+                         .aging(0.002, 0.004, 0.1)
+                         .horizon_hours(5000.0)
+                         .recalibration(1000.0, 55.0)
+                         .calibration(population::CalibrationPolicy::OnePoint)
+                         .calibration_temps(10.0, 90.0, 45.0)
+                         .yield_limit_c(2.0)
+                         .config();
+    EXPECT_EQ(cfg.dice, 2000u);
+    EXPECT_EQ(cfg.shard_size, 256u);
+    EXPECT_EQ(cfg.seed, 77u);
+    EXPECT_EQ(cfg.corner, phys::Corner::SS);
+    EXPECT_EQ(cfg.variation.vth_sigma, 0.02);
+    EXPECT_EQ(cfg.variation.vdd_rel_sigma, 0.01);
+    EXPECT_EQ(cfg.aging.vth_drift_v, 0.002);
+    EXPECT_EQ(cfg.aging.rate_sigma_ln, 0.1);
+    EXPECT_EQ(cfg.recal.policy, population::RecalPolicy::Periodic);
+    EXPECT_EQ(cfg.recal.interval_hours, 1000.0);
+    EXPECT_EQ(cfg.recal.temp_c, 55.0);
+    EXPECT_EQ(cfg.calibration, population::CalibrationPolicy::OnePoint);
+    EXPECT_EQ(cfg.cal_one_point_c, 45.0);
+    EXPECT_EQ(cfg.yield_limit_c, 2.0);
+}
+
+TEST(PopulationSpec, RecalibrationZeroIntervalMeansNever) {
+    const auto cfg = PopulationSpec().recalibration(0.0).config();
+    EXPECT_EQ(cfg.recal.policy, population::RecalPolicy::Never);
+    const auto neg = PopulationSpec().recalibration(-5.0).config();
+    EXPECT_EQ(neg.recal.policy, population::RecalPolicy::Never);
+    EXPECT_EQ(neg.recal.interval_hours, 0.0);
+}
+
+TEST(PopulationSpec, RejectionsNameTheOffendingField) {
+    expect_rejects(PopulationSpec().dice(0), "dice");
+    expect_rejects(PopulationSpec().dice(20'000'000), "dice");
+    expect_rejects(PopulationSpec().shard(0), "shard_size");
+    expect_rejects(PopulationSpec().quantiles({0.5, 1.5}), "quantiles");
+    expect_rejects(PopulationSpec().calibration_temps(100.0, 0.0, 50.0),
+                   "cal_low_c");
+    expect_rejects(PopulationSpec().yield_limit_c(0.0), "yield_limit_c");
+    expect_rejects(PopulationSpec().test_temps({}), "test_temps_c");
+    expect_rejects(PopulationSpec().horizon_hours(-1.0), "horizon_hours");
+    expect_rejects(PopulationSpec().vth_sigma(-0.01), "vth_sigma");
+    expect_rejects(PopulationSpec().aging(-0.01, 0.0, 0.0), "vth_drift_v");
+}
+
+TEST(PopulationSpec, FingerprintIsStableAndSeedSensitive) {
+    const auto a = PopulationSpec().dice(1000).seed(1).fingerprint();
+    const auto b = PopulationSpec().dice(1000).seed(1).fingerprint();
+    const auto c = PopulationSpec().dice(1000).seed(2).fingerprint();
+    const auto d = PopulationSpec().dice(1000).seed(1).shard(123).fingerprint();
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    // Shard boundaries are resume state, so sharding is part of the key.
+    EXPECT_NE(a, d);
+}
+
+TEST(PopulationSpec, CalibrationPolicyStrings) {
+    EXPECT_EQ(population::calibration_policy_from_string("golden"),
+              population::CalibrationPolicy::Golden);
+    EXPECT_EQ(population::calibration_policy_from_string("one_point"),
+              population::CalibrationPolicy::OnePoint);
+    EXPECT_EQ(population::calibration_policy_from_string("two_point"),
+              population::CalibrationPolicy::TwoPoint);
+    EXPECT_THROW(population::calibration_policy_from_string("bogus"),
+                 std::invalid_argument);
+    EXPECT_STREQ(population::to_string(population::CalibrationPolicy::Golden),
+                 "golden");
+}
+
+} // namespace
+} // namespace stsense
